@@ -1,0 +1,130 @@
+//! k-core decomposition (total-degree peeling) — linear-time bucket
+//! algorithm of Batagelj & Zaveršnik.
+
+use ugraph::{NodeId, UncertainGraph};
+
+/// Core number of every node under total (in + out) degree.
+pub fn core_numbers(graph: &UncertainGraph) -> Vec<u32> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n).map(|v| graph.degree(NodeId(v as u32)) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0u32;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0u32; n];
+    let mut vert = vec![0u32; n];
+    for v in 0..n {
+        let d = degree[v] as usize;
+        pos[v] = bin[d];
+        vert[bin[d] as usize] = v as u32;
+        bin[d] += 1;
+    }
+    for d in (1..=max_deg + 1).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v];
+        // Peel: lower each unprocessed neighbor's degree.
+        let vid = NodeId(v as u32);
+        let neighbors: Vec<u32> = graph
+            .out_neighbors(vid)
+            .iter()
+            .chain(graph.in_neighbors(vid))
+            .copied()
+            .collect();
+        for u in neighbors {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                let du = degree[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw as usize];
+                if u as u32 != w {
+                    vert[pu as usize] = w;
+                    vert[pw as usize] = u as u32;
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 (each degree 2 within), tail 2 → 3.
+        let g = from_parts(
+            &[0.0; 4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 0, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let c = core_numbers(&g);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 1);
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let g = from_parts(&[0.0; 4], &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)], DuplicateEdgePolicy::Error)
+            .unwrap();
+        let c = core_numbers(&g);
+        assert!(c.iter().all(|&x| x == 1), "{c:?}");
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = from_parts(&[0.0; 3], &[(0, 1, 0.5)], DuplicateEdgePolicy::Error).unwrap();
+        let c = core_numbers(&g);
+        assert_eq!(c[2], 0);
+        assert_eq!(c[0], 1);
+    }
+
+    #[test]
+    fn clique_core_equals_degree() {
+        // Directed 4-clique (both directions): total degree 6, core 6.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    edges.push((u, v, 0.5));
+                }
+            }
+        }
+        let g = from_parts(&[0.0; 4], &edges, DuplicateEdgePolicy::Error).unwrap();
+        let c = core_numbers(&g);
+        assert!(c.iter().all(|&x| x == 6), "{c:?}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ugraph::UncertainGraph::builder(0).build().unwrap();
+        assert!(core_numbers(&g).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Graph-centrality baselines of the paper's Table 3.
+
+pub mod betweenness;
+pub mod kcore;
+pub mod pagerank;
+
+pub use betweenness::betweenness;
+pub use kcore::core_numbers;
+pub use pagerank::{pagerank, PageRankParams};

@@ -1,0 +1,171 @@
+//! Influence maximization under the independent-cascade model, via
+//! reverse-reachable (RR) sets (Borgs et al., SODA'14 — the method the
+//! paper cites as [18] and compares against as `InfMax`).
+//!
+//! An RR set is the set of nodes that can reach a uniformly random target
+//! through edges kept independently with their diffusion probabilities.
+//! A node's coverage count over many RR sets is proportional to its
+//! influence spread; greedy max-cover over RR sets approximates the
+//! optimal seed set within `1 − 1/e`.
+
+use ugraph::{NodeId, UncertainGraph};
+use vulnds_sampling::Xoshiro256pp;
+
+/// Result of the RR-set computation.
+#[derive(Debug, Clone)]
+pub struct InfMaxResult {
+    /// Greedily selected seed set, in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Per-node influence score: fraction of RR sets covered (before any
+    /// greedy removal). Usable as a ranking for AUC baselines.
+    pub coverage: Vec<f64>,
+}
+
+/// Builds one RR set: reverse BFS from a random target with per-edge coin
+/// flips (IC semantics; node self-risks are ignored — IC nodes carry no
+/// probability, as the paper notes when contrasting the models).
+fn rr_set(graph: &UncertainGraph, rng: &mut Xoshiro256pp, scratch: &mut Vec<u32>, visited: &mut [u32], stamp: u32) -> Vec<u32> {
+    let n = graph.num_nodes() as u64;
+    let target = rng.next_bounded(n) as u32;
+    scratch.clear();
+    scratch.push(target);
+    visited[target as usize] = stamp;
+    let mut head = 0;
+    while head < scratch.len() {
+        let v = scratch[head];
+        head += 1;
+        for e in graph.in_edges(NodeId(v)) {
+            if visited[e.source.index()] != stamp && rng.bernoulli(e.prob) {
+                visited[e.source.index()] = stamp;
+                scratch.push(e.source.0);
+            }
+        }
+    }
+    scratch.clone()
+}
+
+/// Runs RR-set influence maximization: `num_sets` RR sets, then greedy
+/// max-cover to select `k` seeds.
+pub fn influence_maximization(
+    graph: &UncertainGraph,
+    k: usize,
+    num_sets: usize,
+    seed: u64,
+) -> InfMaxResult {
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    let k = k.min(n);
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut visited = vec![0u32; n];
+    let mut scratch = Vec::new();
+
+    let mut sets: Vec<Vec<u32>> = Vec::with_capacity(num_sets);
+    for i in 0..num_sets {
+        sets.push(rr_set(graph, &mut rng, &mut scratch, &mut visited, i as u32 + 1));
+    }
+
+    // node → list of RR-set indices covering it.
+    let mut covers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut count = vec![0u32; n];
+    for (si, s) in sets.iter().enumerate() {
+        for &v in s {
+            covers[v as usize].push(si as u32);
+            count[v as usize] += 1;
+        }
+    }
+    let denom = num_sets.max(1) as f64;
+    let coverage: Vec<f64> = count.iter().map(|&c| c as f64 / denom).collect();
+
+    // Greedy max-cover.
+    let mut alive = vec![true; num_sets];
+    let mut gain = count.clone();
+    let mut seeds = Vec::with_capacity(k);
+    let mut chosen = vec![false; n];
+    for _ in 0..k {
+        let best = (0..n)
+            .filter(|&v| !chosen[v])
+            .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
+            .expect("k ≤ n");
+        chosen[best] = true;
+        seeds.push(NodeId(best as u32));
+        for &si in &covers[best] {
+            if alive[si as usize] {
+                alive[si as usize] = false;
+                for &v in &sets[si as usize] {
+                    gain[v as usize] = gain[v as usize].saturating_sub(1);
+                }
+            }
+        }
+    }
+    InfMaxResult { seeds, coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn broadcast_star() -> UncertainGraph {
+        // Node 0 reaches everyone with certainty.
+        let edges: Vec<(u32, u32, f64)> = (1..10).map(|v| (0u32, v, 1.0)).collect();
+        from_parts(&[0.0; 10], &edges, DuplicateEdgePolicy::Error).unwrap()
+    }
+
+    #[test]
+    fn picks_the_broadcaster_first() {
+        let g = broadcast_star();
+        let r = influence_maximization(&g, 1, 500, 1);
+        assert_eq!(r.seeds, vec![NodeId(0)]);
+        // Node 0 covers every RR set.
+        assert!((r.coverage[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_ranks_by_reachability() {
+        // 0 → 1 → 2: node 0 covers RR sets of all three targets.
+        let g = from_parts(&[0.0; 3], &[(0, 1, 1.0), (1, 2, 1.0)], DuplicateEdgePolicy::Error)
+            .unwrap();
+        let r = influence_maximization(&g, 2, 600, 2);
+        assert!(r.coverage[0] > r.coverage[1]);
+        assert!(r.coverage[1] > r.coverage[2]);
+    }
+
+    #[test]
+    fn greedy_avoids_redundant_seeds() {
+        // Two disjoint broadcast stars; the two hubs should be picked.
+        let mut edges: Vec<(u32, u32, f64)> = (1..5).map(|v| (0u32, v, 1.0)).collect();
+        edges.extend((6..10).map(|v| (5u32, v, 1.0)));
+        let g = from_parts(&[0.0; 10], &edges, DuplicateEdgePolicy::Error).unwrap();
+        let r = influence_maximization(&g, 2, 1000, 3);
+        let mut s: Vec<u32> = r.seeds.iter().map(|v| v.0).collect();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 5]);
+    }
+
+    #[test]
+    fn zero_probability_edges_do_not_spread() {
+        let g = from_parts(&[0.0; 3], &[(0, 1, 0.0), (0, 2, 0.0)], DuplicateEdgePolicy::Error)
+            .unwrap();
+        let r = influence_maximization(&g, 1, 300, 4);
+        // Every node only covers its own RR sets: coverage ≈ 1/3 each.
+        for v in 0..3 {
+            assert!((r.coverage[v] - 1.0 / 3.0).abs() < 0.1, "{:?}", r.coverage);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = broadcast_star();
+        let a = influence_maximization(&g, 3, 200, 9);
+        let b = influence_maximization(&g, 3, 200, 9);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let g = from_parts(&[0.0; 2], &[(0, 1, 0.5)], DuplicateEdgePolicy::Error).unwrap();
+        let r = influence_maximization(&g, 10, 100, 5);
+        assert_eq!(r.seeds.len(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! ROC-AUC — the metric of the paper's Table 3.
+
+/// Area under the ROC curve for scores against binary labels, computed as
+/// the normalized Mann–Whitney U statistic with midrank tie handling.
+///
+/// Returns `None` when either class is empty (AUC undefined).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+
+    // Rank scores ascending with midranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_unstable_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in idx.iter().take(j + 1).skip(i) {
+            ranks[*item] = midrank;
+        }
+        i = j + 1;
+    }
+
+    let rank_sum_pos: f64 =
+        labels.iter().zip(&ranks).filter(|(&l, _)| l).map(|(_, &r)| r).sum();
+    let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+    Some(u / (pos as f64 * neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let auc = roc_auc(&[0.1, 0.2, 0.8, 0.9], &[false, false, true, true]).unwrap();
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let auc = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[false, false, true, true]).unwrap();
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        // Alternating labels with identical scores: AUC exactly 0.5 by
+        // midrank ties.
+        let scores = vec![0.5; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let auc = roc_auc(&scores, &labels).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // One misranked pair out of four: AUC = 3/4.
+        let auc = roc_auc(&[0.6, 0.2, 0.5, 0.9], &[false, true, true, true]).unwrap();
+        // pairs (pos, neg): (0.2,0.6) wrong, (0.5,0.6) wrong? 0.5 < 0.6 wrong,
+        // (0.9,0.6) right → 1/3.
+        assert!((auc - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_for_single_class() {
+        assert_eq!(roc_auc(&[0.1, 0.2], &[true, true]), None);
+        assert_eq!(roc_auc(&[0.1, 0.2], &[false, false]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        roc_auc(&[0.1], &[true, false]);
+    }
+
+    #[test]
+    fn invariant_to_monotone_transform() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, true, false, true];
+        let a = roc_auc(&scores, &labels).unwrap();
+        let squared: Vec<f64> = scores.iter().map(|s| s * s).collect();
+        let b = roc_auc(&squared, &labels).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

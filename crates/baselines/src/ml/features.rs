@@ -1,0 +1,177 @@
+//! Node feature extraction for the ML baselines of Table 3.
+//!
+//! The paper's feature-based models (Wide, Wide&Deep, GBDT, …) consume
+//! loan behavior features; our synthetic substitute uses the node's local
+//! view of the uncertain graph — which is exactly the information a
+//! feature model could plausibly see without possible-world reasoning.
+//! The structural aggregation the VulnDS algorithms perform (multi-hop
+//! probabilistic reachability) is deliberately *not* in the feature set;
+//! the Table 3 experiment measures how much that reasoning adds.
+
+use ugraph::{NodeId, UncertainGraph};
+
+/// Number of features produced per node.
+pub const NUM_FEATURES: usize = 8;
+
+/// Feature names, index-aligned with the vectors from [`node_features`].
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "self_risk",
+    "in_degree",
+    "out_degree",
+    "mean_in_edge_prob",
+    "max_in_edge_prob",
+    "mean_in_neighbor_self_risk",
+    "max_in_neighbor_self_risk",
+    "upstream_pressure", // Σ p(v|x)·ps(x) over in-edges
+];
+
+/// Extracts the feature matrix, one row per node.
+pub fn node_features(graph: &UncertainGraph) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut rows = Vec::with_capacity(n);
+    // Degree normalizers keep features in comparable ranges.
+    let max_in = (0..n).map(|v| graph.in_degree(NodeId(v as u32))).max().unwrap_or(1).max(1) as f64;
+    let max_out =
+        (0..n).map(|v| graph.out_degree(NodeId(v as u32))).max().unwrap_or(1).max(1) as f64;
+    for v in graph.nodes() {
+        let mut mean_p = 0.0;
+        let mut max_p: f64 = 0.0;
+        let mut mean_r = 0.0;
+        let mut max_r: f64 = 0.0;
+        let mut pressure = 0.0;
+        let din = graph.in_degree(v);
+        for e in graph.in_edges(v) {
+            let r = graph.self_risk(e.source);
+            mean_p += e.prob;
+            max_p = max_p.max(e.prob);
+            mean_r += r;
+            max_r = max_r.max(r);
+            pressure += e.prob * r;
+        }
+        if din > 0 {
+            mean_p /= din as f64;
+            mean_r /= din as f64;
+        }
+        rows.push(vec![
+            graph.self_risk(v),
+            din as f64 / max_in,
+            graph.out_degree(v) as f64 / max_out,
+            mean_p,
+            max_p,
+            mean_r,
+            max_r,
+            pressure,
+        ]);
+    }
+    rows
+}
+
+/// Standardizes features column-wise to zero mean, unit variance
+/// (constant columns become zeros). Returns `(means, stds)` so test
+/// data can reuse the training transform.
+pub fn standardize(rows: &mut [Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    if rows.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let d = rows[0].len();
+    let n = rows.len() as f64;
+    let mut means = vec![0.0; d];
+    for r in rows.iter() {
+        for (j, &x) in r.iter().enumerate() {
+            means[j] += x;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= n;
+    }
+    let mut stds = vec![0.0; d];
+    for r in rows.iter() {
+        for (j, &x) in r.iter().enumerate() {
+            stds[j] += (x - means[j]).powi(2);
+        }
+    }
+    for s in stds.iter_mut() {
+        *s = (*s / n).sqrt();
+        if *s < 1e-12 {
+            *s = 1.0;
+        }
+    }
+    for r in rows.iter_mut() {
+        for (j, x) in r.iter_mut().enumerate() {
+            *x = (*x - means[j]) / stds[j];
+        }
+    }
+    (means, stds)
+}
+
+/// Applies a previously-computed standardization to new rows.
+pub fn apply_standardization(rows: &mut [Vec<f64>], means: &[f64], stds: &[f64]) {
+    for r in rows.iter_mut() {
+        for (j, x) in r.iter_mut().enumerate() {
+            *x = (*x - means[j]) / stds[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn g() -> UncertainGraph {
+        from_parts(
+            &[0.9, 0.1, 0.3],
+            &[(0, 1, 0.8), (2, 1, 0.4)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_and_names_align() {
+        let f = node_features(&g());
+        assert_eq!(f.len(), 3);
+        for row in &f {
+            assert_eq!(row.len(), NUM_FEATURES);
+            assert_eq!(row.len(), FEATURE_NAMES.len());
+        }
+    }
+
+    #[test]
+    fn feature_values_for_middle_node() {
+        let f = node_features(&g());
+        let row = &f[1]; // node 1: in-edges from 0 (0.8) and 2 (0.4)
+        assert_eq!(row[0], 0.1); // self risk
+        assert!((row[3] - 0.6).abs() < 1e-12); // mean in-edge prob
+        assert_eq!(row[4], 0.8); // max in-edge prob
+        assert!((row[5] - 0.6).abs() < 1e-12); // mean in-neighbor risk
+        assert_eq!(row[6], 0.9); // max in-neighbor risk
+        let pressure = 0.8 * 0.9 + 0.4 * 0.3;
+        assert!((row[7] - pressure).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sources_have_zero_in_features() {
+        let f = node_features(&g());
+        let row = &f[0];
+        assert_eq!(row[3], 0.0);
+        assert_eq!(row[7], 0.0);
+    }
+
+    #[test]
+    fn standardization_centers_and_scales() {
+        let mut rows = node_features(&g());
+        let (means, stds) = standardize(&mut rows);
+        assert_eq!(means.len(), NUM_FEATURES);
+        for j in 0..NUM_FEATURES {
+            let col_mean: f64 = rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64;
+            assert!(col_mean.abs() < 1e-9, "column {j} mean {col_mean}");
+        }
+        // Applying the same transform to a copy reproduces the result.
+        let mut fresh = node_features(&g());
+        apply_standardization(&mut fresh, &means, &stds);
+        for (a, b) in fresh.iter().flatten().zip(rows.iter().flatten()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Weighted k-nearest-neighbors classifier — the stand-in for the
+//! paper's p-wkNN [15], which the authors use to infer guarantee-edge
+//! risk probabilities.
+//!
+//! Prediction: the probability of the positive class is the
+//! distance-weighted vote of the `k` nearest training rows under
+//! Euclidean distance, with weight `1 / (d + ε)`.
+
+/// A fitted (memorizing) weighted kNN model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedKnn {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+    k: usize,
+}
+
+impl WeightedKnn {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    /// Panics on empty input, inconsistent lengths, or `k == 0`.
+    pub fn fit(rows: &[Vec<f64>], labels: &[bool], k: usize) -> Self {
+        assert!(!rows.is_empty(), "empty training set");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(k > 0, "k must be positive");
+        WeightedKnn { rows: rows.to_vec(), labels: labels.to_vec(), k: k.min(rows.len()) }
+    }
+
+    /// The effective neighborhood size (clamped to the training size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Weighted vote for the positive class, in `[0, 1]`.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        // Distances to all training rows; partial-select the k nearest.
+        let mut dist: Vec<(f64, bool)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &l)| (euclidean(row, r), l))
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances are finite")
+        });
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &(d, l) in &dist[..k] {
+            let w = 1.0 / (d + 1e-9);
+            total += w;
+            if l {
+                pos += w;
+            }
+        }
+        pos / total
+    }
+
+    /// Batch prediction.
+    pub fn predict_many(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_proba(r)).collect()
+    }
+}
+
+#[inline]
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::auc::roc_auc;
+    use vulnds_sampling::Xoshiro256pp;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Two Gaussian-ish blobs around (0,0) and (2,2).
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let positive = i % 2 == 0;
+            let center = if positive { 2.0 } else { 0.0 };
+            rows.push(vec![
+                center + rng.next_f64() - 0.5,
+                center + rng.next_f64() - 0.5,
+            ]);
+            labels.push(positive);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (rows, labels) = blobs(200, 1);
+        let model = WeightedKnn::fit(&rows, &labels, 5);
+        let (test_rows, test_labels) = blobs(100, 2);
+        let auc = roc_auc(&model.predict_many(&test_rows), &test_labels).unwrap();
+        assert!(auc > 0.98, "AUC {auc}");
+    }
+
+    #[test]
+    fn exact_memorization_with_k1() {
+        let (rows, labels) = blobs(50, 3);
+        let model = WeightedKnn::fit(&rows, &labels, 1);
+        for (r, &l) in rows.iter().zip(&labels) {
+            let p = model.predict_proba(r);
+            assert_eq!(p > 0.5, l, "misremembered a training row");
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let model = WeightedKnn::fit(&rows, &[true, false], 100);
+        assert_eq!(model.k(), 2);
+        let p = model.predict_proba(&[0.0]);
+        assert!(p > 0.5, "near neighbor should dominate: {p}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (rows, labels) = blobs(60, 4);
+        let model = WeightedKnn::fit(&rows, &labels, 7);
+        for p in model.predict_many(&rows) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        WeightedKnn::fit(&[vec![0.0]], &[true], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty() {
+        WeightedKnn::fit(&[], &[], 3);
+    }
+}

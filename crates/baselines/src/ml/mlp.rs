@@ -1,0 +1,168 @@
+//! A small multi-layer perceptron (one ReLU hidden layer, sigmoid output)
+//! trained with SGD + backprop — the stand-in for the paper's deep
+//! baselines (Wide&Deep, CNN-max, crDNN), which all reduce to "nonlinear
+//! feature combinations" once stripped of their input-specific encoders.
+
+use super::logreg::SgdParams;
+use vulnds_sampling::Xoshiro256pp;
+
+/// A trained MLP: `input → hidden (ReLU) → 1 (sigmoid)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    // w1[h * d + j]: input j → hidden h.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    input_dim: usize,
+    hidden: usize,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Mlp {
+    /// Trains a new MLP with `hidden` units.
+    ///
+    /// # Panics
+    /// Panics on empty input, dimension mismatch, or `hidden == 0`.
+    pub fn train(rows: &[Vec<f64>], labels: &[bool], hidden: usize, params: SgdParams) -> Self {
+        assert!(!rows.is_empty(), "empty training set");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(hidden > 0, "need at least one hidden unit");
+        let d = rows[0].len();
+        let mut rng = Xoshiro256pp::new(params.seed);
+        // He-style init scaled to the input dimension.
+        let scale = (2.0 / d as f64).sqrt();
+        let mut w1: Vec<f64> =
+            (0..hidden * d).map(|_| (rng.next_f64() * 2.0 - 1.0) * scale).collect();
+        let mut b1 = vec![0.0f64; hidden];
+        let mut w2: Vec<f64> =
+            (0..hidden).map(|_| (rng.next_f64() * 2.0 - 1.0) * scale).collect();
+        let mut b2 = 0.0f64;
+
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut act = vec![0.0f64; hidden];
+        for _ in 0..params.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_bounded(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let row = &rows[i];
+                debug_assert_eq!(row.len(), d);
+                // Forward.
+                for h in 0..hidden {
+                    let mut z = b1[h];
+                    let base = h * d;
+                    for (j, &x) in row.iter().enumerate() {
+                        z += w1[base + j] * x;
+                    }
+                    act[h] = z.max(0.0);
+                }
+                let z2 = b2 + w2.iter().zip(&act).map(|(w, a)| w * a).sum::<f64>();
+                let out = sigmoid(z2);
+                // Backward (logistic loss gradient is out − y).
+                let err = out - labels[i] as u8 as f64;
+                for h in 0..hidden {
+                    let grad_w2 = err * act[h];
+                    let grad_hidden = if act[h] > 0.0 { err * w2[h] } else { 0.0 };
+                    w2[h] -= params.lr * (grad_w2 + params.l2 * w2[h]);
+                    if grad_hidden != 0.0 {
+                        let base = h * d;
+                        for (j, &x) in row.iter().enumerate() {
+                            w1[base + j] -=
+                                params.lr * (grad_hidden * x + params.l2 * w1[base + j]);
+                        }
+                        b1[h] -= params.lr * grad_hidden;
+                    }
+                }
+                b2 -= params.lr * err;
+            }
+        }
+        Mlp { w1, b1, w2, b2, input_dim: d, hidden }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.input_dim);
+        let mut z2 = self.b2;
+        for h in 0..self.hidden {
+            let mut z = self.b1[h];
+            let base = h * self.input_dim;
+            for (j, &x) in row.iter().enumerate() {
+                z += self.w1[base + j] * x;
+            }
+            if z > 0.0 {
+                z2 += self.w2[h] * z;
+            }
+        }
+        sigmoid(z2)
+    }
+
+    /// Batch prediction.
+    pub fn predict_many(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_proba(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::auc::roc_auc;
+
+    /// XOR-ish data a linear model cannot fit: label = (x0 > 0) ⊕ (x1 > 0).
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x0 = rng.next_f64() * 2.0 - 1.0;
+            let x1 = rng.next_f64() * 2.0 - 1.0;
+            rows.push(vec![x0, x1]);
+            labels.push((x0 > 0.0) != (x1 > 0.0));
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn fits_xor_better_than_linear() {
+        let (rows, labels) = xor_data(600, 1);
+        let params = SgdParams { lr: 0.05, epochs: 200, l2: 0.0, seed: 1 };
+        let mlp = Mlp::train(&rows, &labels, 16, params);
+        let mlp_auc = roc_auc(&mlp.predict_many(&rows), &labels).unwrap();
+        let lin = crate::ml::logreg::LogisticRegression::train(
+            &rows,
+            &labels,
+            crate::ml::logreg::SgdParams::default(),
+        );
+        let lin_auc = roc_auc(&lin.predict_many(&rows), &labels).unwrap();
+        assert!(mlp_auc > 0.9, "MLP AUC {mlp_auc}");
+        assert!(lin_auc < 0.65, "linear should fail at XOR: {lin_auc}");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (rows, labels) = xor_data(100, 2);
+        let mlp = Mlp::train(&rows, &labels, 8, SgdParams::default());
+        for p in mlp.predict_many(&rows) {
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (rows, labels) = xor_data(80, 3);
+        let a = Mlp::train(&rows, &labels, 4, SgdParams::default());
+        let b = Mlp::train(&rows, &labels, 4, SgdParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hidden unit")]
+    fn rejects_zero_hidden() {
+        Mlp::train(&[vec![0.0]], &[true], 0, SgdParams::default());
+    }
+}

@@ -1,0 +1,16 @@
+//! From-scratch ML classifiers standing in for the paper's TensorFlow
+//! baselines (see DESIGN.md §3 for the substitution rationale).
+
+pub mod auc;
+pub mod features;
+pub mod gbdt;
+pub mod knn;
+pub mod logreg;
+pub mod mlp;
+
+pub use auc::roc_auc;
+pub use features::{node_features, standardize, NUM_FEATURES};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use knn::WeightedKnn;
+pub use logreg::{LogisticRegression, SgdParams};
+pub use mlp::Mlp;

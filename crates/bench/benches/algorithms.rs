@@ -1,0 +1,37 @@
+//! End-to-end benchmark of the five detection algorithms (the Criterion
+//! counterpart of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vulnds_core::{detect, AlgorithmKind, VulnConfig};
+use vulnds_datasets::Dataset;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = Dataset::Citation.generate_scaled(1, 0.5);
+    let n = g.num_nodes();
+    let k = (n / 20).max(1); // 5%
+    let cfg = VulnConfig::default().with_seed(42);
+    let mut group = c.benchmark_group("detect_citation_k5pct");
+    group.sample_size(10);
+    for alg in AlgorithmKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| detect(&g, k, alg, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_sensitivity(c: &mut Criterion) {
+    let g = Dataset::Interbank.generate(42);
+    let cfg = VulnConfig::default().with_seed(42);
+    let mut group = c.benchmark_group("bsrbk_interbank_by_k");
+    for &pct in &[2usize, 6, 10] {
+        let k = (g.num_nodes() * pct / 100).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &k, |b, &k| {
+            b.iter(|| detect(&g, k, AlgorithmKind::BottomK, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_k_sensitivity);
+criterion_main!(benches);

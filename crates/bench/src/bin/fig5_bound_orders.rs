@@ -1,0 +1,40 @@
+//! Reproduces **Figure 5**: candidate-set size as a heatmap over the
+//! lower-bound order × upper-bound order grid (1..5 each), with
+//! `k = 5% · |V|`, on the four tuning datasets.
+//!
+//! Expected shape: candidate count collapses sharply from order 1 to 2
+//! and is mostly flat afterwards (the paper fixes both orders to 2).
+
+use vulnds_bench::report::Table;
+use vulnds_bench::workload;
+use vulnds_core::{lower_bounds_paper, reduce_candidates, upper_bounds};
+use vulnds_datasets::Dataset;
+
+fn main() {
+    println!(
+        "Figure 5 — candidate size vs bound orders (scale = {}, seed = {})\n",
+        workload::scale(),
+        workload::seed()
+    );
+    for ds in Dataset::TUNING {
+        let g = workload::generate(ds);
+        let n = g.num_nodes();
+        let k = (n * 5 / 100).max(1);
+        println!("{} (n = {n}, k = {k})", ds);
+        // Precompute bounds for each order.
+        let lowers: Vec<Vec<f64>> = (1..=5).map(|z| lower_bounds_paper(&g, z)).collect();
+        let uppers: Vec<Vec<f64>> = (1..=5).map(|z| upper_bounds(&g, z)).collect();
+        let mut t = Table::new(&["lower\\upper", "u=1", "u=2", "u=3", "u=4", "u=5"]);
+        for (li, lower) in lowers.iter().enumerate() {
+            let mut cells = vec![format!("l={}", li + 1)];
+            for upper in &uppers {
+                let r = reduce_candidates(lower, upper, k);
+                cells.push(format!("{}", r.candidate_count()));
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+    println!("Expected shape (paper): sharp drop from order 1 to 2, then steady.");
+}

@@ -1,0 +1,45 @@
+//! Reproduces **Figure 6**: wall-clock time of the five algorithms
+//! (N, SN, SR, BSR, BSRBK) on all eight datasets, `k` from 2% to 10%.
+//!
+//! Expected shape: N slowest and flat in `k` (fixed budget); each added
+//! technique is faster; BSRBK fastest, with up to two orders of magnitude
+//! between N and BSRBK.
+
+use vulnds_bench::report::{dur, Table};
+use vulnds_bench::workload;
+use vulnds_core::{detect, AlgorithmKind};
+use vulnds_datasets::Dataset;
+
+fn main() {
+    println!(
+        "Figure 6 — efficiency (scale = {}, seed = {})\n",
+        workload::scale(),
+        workload::seed()
+    );
+    for ds in Dataset::ALL {
+        let g = workload::generate(ds);
+        println!("{} (n = {}, m = {})", ds, g.num_nodes(), g.num_edges());
+        let mut t = Table::new(&["k%", "N", "SN", "SR", "BSR", "BSRBK", "N/BSRBK"]);
+        for (pct, k) in workload::k_grid(g.num_nodes()) {
+            let mut cells = vec![pct.to_string()];
+            let mut n_time = 0.0f64;
+            let mut bk_time = 0.0f64;
+            for alg in AlgorithmKind::ALL {
+                let r = detect(&g, k, alg, &workload::config());
+                let secs = r.stats.elapsed.as_secs_f64();
+                match alg {
+                    AlgorithmKind::Naive => n_time = secs,
+                    AlgorithmKind::BottomK => bk_time = secs,
+                    _ => {}
+                }
+                cells.push(dur(r.stats.elapsed));
+            }
+            let speedup = if bk_time > 0.0 { n_time / bk_time } else { f64::INFINITY };
+            cells.push(format!("{speedup:.0}x"));
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+    println!("Expected shape (paper): N ≫ SN > SR > BSR > BSRBK; up to ~100x between N and BSRBK.");
+}

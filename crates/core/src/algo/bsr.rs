@@ -1,0 +1,146 @@
+//! `BSR` — bounds + verification + reverse sampling with the reduced
+//! sample size of Equation 4 (Theorem 5).
+
+use super::reverse_common::{assemble_result, merge_verified, prune};
+use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use crate::config::VulnConfig;
+use crate::sample_size::reduced_sample_size;
+use crate::topk::{select_top_k, ScoredNode};
+use std::time::Instant;
+use ugraph::UncertainGraph;
+use vulnds_sampling::{parallel_reverse_counts, reverse_counts};
+
+/// Runs BSR: Algorithm 2 + 3 bounds, Algorithm 4 reduction, then reverse
+/// sampling over `B` with `t = (2/ε²) ln((k−k')(|B|−k+k')/δ)`.
+pub fn detect_bsr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+    validate_k(graph, k);
+    let start = Instant::now();
+    let pruned = prune(graph, k, config);
+    let k_verified = pruned.reduction.verified_count();
+    let k_rem = k - k_verified.min(k);
+    let candidates = pruned.reduction.candidates.clone();
+
+    // Degenerate cases: everything decided by the bounds alone.
+    if k_rem == 0 || candidates.len() <= k_rem {
+        let chosen = select_top_k(
+            candidates
+                .iter()
+                .map(|&node| ScoredNode { node, score: pruned.midpoint_score(node) }),
+            k_rem,
+        );
+        let top_k = merge_verified(&pruned, chosen, k);
+        return DetectionResult {
+            top_k,
+            stats: RunStats {
+                algorithm: AlgorithmKind::BoundedSampleReverse,
+                sample_budget: 0,
+                samples_used: 0,
+                candidates: candidates.len(),
+                verified: k_verified,
+                early_stopped: false,
+                elapsed: start.elapsed(),
+            },
+        };
+    }
+
+    let t = config
+        .cap_samples(reduced_sample_size(candidates.len(), k_rem, config.approx))
+        .max(1);
+    let counts = if config.threads > 1 {
+        parallel_reverse_counts(graph, &candidates, t, config.seed, config.threads)
+    } else {
+        reverse_counts(graph, &candidates, t, config.seed)
+    };
+    let top_k = assemble_result(&pruned, &candidates, &counts, k);
+    DetectionResult {
+        top_k,
+        stats: RunStats {
+            algorithm: AlgorithmKind::BoundedSampleReverse,
+            sample_budget: t,
+            samples_used: t,
+            candidates: candidates.len(),
+            verified: k_verified,
+            early_stopped: false,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_size::basic_sample_size;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+
+    fn skewed() -> UncertainGraph {
+        // One dominant node, a mid-tier pair, a long tail of safe nodes.
+        let mut risks = vec![0.95, 0.5, 0.45];
+        risks.extend(std::iter::repeat_n(0.01, 30));
+        let edges: Vec<(u32, u32, f64)> =
+            (3..32).map(|v| (0u32, v as u32, 0.02)).collect();
+        from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap()
+    }
+
+    #[test]
+    fn finds_dominant_nodes() {
+        let g = skewed();
+        let r = detect_bsr(&g, 3, &VulnConfig::default().with_seed(2));
+        let mut ids = r.node_ids();
+        ids.sort_unstable_by_key(|v| v.0);
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn budget_not_larger_than_sn() {
+        // Equation 4 is the point of BSR: with pruning, never more samples
+        // than Equation 3.
+        let g = skewed();
+        let cfg = VulnConfig::default();
+        let r = detect_bsr(&g, 3, &cfg);
+        let sn_budget = basic_sample_size(g.num_nodes(), 3, cfg.approx);
+        assert!(
+            r.stats.sample_budget <= sn_budget,
+            "bsr {} > sn {sn_budget}",
+            r.stats.sample_budget
+        );
+    }
+
+    #[test]
+    fn pruning_shrinks_candidates() {
+        let g = skewed();
+        let r = detect_bsr(&g, 3, &VulnConfig::default());
+        assert!(
+            r.stats.candidates < g.num_nodes(),
+            "no pruning happened: {} candidates",
+            r.stats.candidates
+        );
+    }
+
+    #[test]
+    fn zero_sampling_when_bounds_decide() {
+        // Distinct deterministic risks and no edges: bounds are exact and
+        // everything is verified.
+        let g = from_parts(&[0.9, 0.7, 0.5, 0.3], &[], DuplicateEdgePolicy::Error).unwrap();
+        let r = detect_bsr(&g, 2, &VulnConfig::default());
+        assert_eq!(r.stats.samples_used, 0);
+        assert_eq!(r.node_ids(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(r.stats.verified, 2);
+    }
+
+    #[test]
+    fn result_always_has_k_entries() {
+        let g = skewed();
+        for k in [1, 2, 5, 10, 33] {
+            let r = detect_bsr(&g, k, &VulnConfig::default());
+            assert_eq!(r.top_k.len(), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = skewed();
+        let seq = detect_bsr(&g, 3, &VulnConfig::default().with_seed(4));
+        let par = detect_bsr(&g, 3, &VulnConfig::default().with_seed(4).with_threads(4));
+        assert_eq!(seq.top_k, par.top_k);
+    }
+}

@@ -1,0 +1,144 @@
+//! The five detection algorithms evaluated in the paper:
+//!
+//! | Name | Paper label | Ingredients |
+//! |------|-------------|-------------|
+//! | [`AlgorithmKind::Naive`] | N | Algorithm 1, fixed sample size |
+//! | [`AlgorithmKind::SampledNaive`] | SN | Algorithm 1, Eq. 3 sample size |
+//! | [`AlgorithmKind::SampleReverse`] | SR | reverse sampling + Lemma 1 rule 2 |
+//! | [`AlgorithmKind::BoundedSampleReverse`] | BSR | + verification (rule 1) + Eq. 4 |
+//! | [`AlgorithmKind::BottomK`] | BSRBK | + bottom-k early stop (Thm. 6) |
+
+mod bsr;
+mod bsrbk;
+mod naive;
+mod reverse_common;
+mod sn;
+mod sr;
+
+pub use bsr::detect_bsr;
+pub use bsrbk::detect_bsrbk;
+pub use naive::detect_naive;
+pub use sn::detect_sn;
+pub use sr::detect_sr;
+
+use crate::config::VulnConfig;
+use crate::topk::ScoredNode;
+use std::time::Duration;
+use ugraph::UncertainGraph;
+
+/// Which algorithm to run; see the module table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// `N` — basic sampling with a fixed budget.
+    Naive,
+    /// `SN` — basic sampling sized by Equation 3.
+    SampledNaive,
+    /// `SR` — reverse sampling over rule-2 candidates.
+    SampleReverse,
+    /// `BSR` — bounds, verification, reverse sampling sized by Equation 4.
+    BoundedSampleReverse,
+    /// `BSRBK` — BSR plus the bottom-k early-stopping rule.
+    BottomK,
+}
+
+impl AlgorithmKind {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [AlgorithmKind; 5] = [
+        AlgorithmKind::Naive,
+        AlgorithmKind::SampledNaive,
+        AlgorithmKind::SampleReverse,
+        AlgorithmKind::BoundedSampleReverse,
+        AlgorithmKind::BottomK,
+    ];
+
+    /// The paper's short label (N, SN, SR, BSR, BSRBK).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Naive => "N",
+            AlgorithmKind::SampledNaive => "SN",
+            AlgorithmKind::SampleReverse => "SR",
+            AlgorithmKind::BoundedSampleReverse => "BSR",
+            AlgorithmKind::BottomK => "BSRBK",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Diagnostics of one detection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Which algorithm produced the result.
+    pub algorithm: AlgorithmKind,
+    /// Sample budget computed from theory (Eq. 3 / Eq. 4) or configuration.
+    pub sample_budget: u64,
+    /// Samples actually materialized (< budget only for BSRBK).
+    pub samples_used: u64,
+    /// Candidate-set size `|B|` after pruning (n for N/SN).
+    pub candidates: usize,
+    /// Verified nodes `k'` (0 for everything but BSR/BSRBK).
+    pub verified: usize,
+    /// `true` if BSRBK's stop condition fired before the budget ran out.
+    pub early_stopped: bool,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Result of a detection run: the top-k nodes (descending score) plus
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// The k detected nodes, most vulnerable first.
+    pub top_k: Vec<ScoredNode>,
+    /// Run diagnostics.
+    pub stats: RunStats,
+}
+
+impl DetectionResult {
+    /// Just the node ids, in rank order.
+    pub fn node_ids(&self) -> Vec<ugraph::NodeId> {
+        self.top_k.iter().map(|s| s.node).collect()
+    }
+}
+
+/// Validates `k` against the graph size.
+pub(crate) fn validate_k(graph: &UncertainGraph, k: usize) {
+    assert!(k >= 1, "k must be positive");
+    assert!(
+        k <= graph.num_nodes(),
+        "k = {k} exceeds the number of nodes ({})",
+        graph.num_nodes()
+    );
+}
+
+/// Runs the selected algorithm.
+pub fn detect(
+    graph: &UncertainGraph,
+    k: usize,
+    algorithm: AlgorithmKind,
+    config: &VulnConfig,
+) -> DetectionResult {
+    match algorithm {
+        AlgorithmKind::Naive => detect_naive(graph, k, config),
+        AlgorithmKind::SampledNaive => detect_sn(graph, k, config),
+        AlgorithmKind::SampleReverse => detect_sr(graph, k, config),
+        AlgorithmKind::BoundedSampleReverse => detect_bsr(graph, k, config),
+        AlgorithmKind::BottomK => detect_bsrbk(graph, k, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = AlgorithmKind::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["N", "SN", "SR", "BSR", "BSRBK"]);
+        assert_eq!(AlgorithmKind::BottomK.to_string(), "BSRBK");
+    }
+}

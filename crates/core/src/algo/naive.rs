@@ -1,0 +1,94 @@
+//! `N` — Algorithm 1 with a fixed sample budget.
+
+use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use crate::config::VulnConfig;
+use crate::topk::select_top_k_dense;
+use std::time::Instant;
+use ugraph::UncertainGraph;
+use vulnds_sampling::{forward_counts, parallel_forward_counts};
+
+/// Shared by N and SN: forward-sample `t` worlds, estimate every node's
+/// default probability, return the top-k.
+pub(super) fn forward_detect(
+    graph: &UncertainGraph,
+    k: usize,
+    t: u64,
+    algorithm: AlgorithmKind,
+    config: &VulnConfig,
+) -> DetectionResult {
+    validate_k(graph, k);
+    let start = Instant::now();
+    let counts = if config.threads > 1 {
+        parallel_forward_counts(graph, t, config.seed, config.threads)
+    } else {
+        forward_counts(graph, t, config.seed)
+    };
+    let top_k = select_top_k_dense(&counts.estimates(), k);
+    DetectionResult {
+        top_k,
+        stats: RunStats {
+            algorithm,
+            sample_budget: t,
+            samples_used: t,
+            candidates: graph.num_nodes(),
+            verified: 0,
+            early_stopped: false,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+/// Runs the naive baseline with the configured fixed budget
+/// (`config.naive_samples`).
+pub fn detect_naive(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+    forward_detect(graph, k, config.naive_samples, AlgorithmKind::Naive, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+
+    fn chain() -> UncertainGraph {
+        from_parts(&[0.6, 0.0, 0.0], &[(0, 1, 0.9), (1, 2, 0.9)], DuplicateEdgePolicy::Error)
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_obvious_ranking() {
+        // p = (0.6, 0.54, 0.486): ranking 0 > 1 > 2.
+        let g = chain();
+        let cfg = VulnConfig::default().with_seed(1);
+        let r = detect_naive(&g, 2, &cfg);
+        assert_eq!(r.node_ids(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(r.stats.samples_used, cfg.naive_samples);
+        assert_eq!(r.stats.candidates, 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = chain();
+        let cfg = VulnConfig::default().with_seed(7);
+        assert_eq!(detect_naive(&g, 2, &cfg).top_k, detect_naive(&g, 2, &cfg).top_k);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = chain();
+        let seq = detect_naive(&g, 2, &VulnConfig::default().with_seed(3));
+        let par = detect_naive(&g, 2, &VulnConfig::default().with_seed(3).with_threads(4));
+        assert_eq!(seq.top_k, par.top_k);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        detect_naive(&chain(), 0, &VulnConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of nodes")]
+    fn rejects_oversized_k() {
+        detect_naive(&chain(), 4, &VulnConfig::default());
+    }
+}

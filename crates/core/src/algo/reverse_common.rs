@@ -1,0 +1,112 @@
+//! Plumbing shared by the reverse-sampling algorithms (SR, BSR, BSRBK).
+
+use crate::bounds::compute_bounds;
+use crate::candidates::{reduce_candidates, CandidateReduction};
+use crate::config::VulnConfig;
+use crate::topk::{select_top_k, ScoredNode};
+use ugraph::{NodeId, UncertainGraph};
+use vulnds_sampling::DefaultCounts;
+
+/// Bound computation + Algorithm 4, as configured.
+pub(super) fn prune(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> Pruned {
+    let (lower, upper) = compute_bounds(graph, config.bound_order, config.bounds_method);
+    let reduction = reduce_candidates(&lower, &upper, k);
+    Pruned { lower, upper, reduction }
+}
+
+/// Bounds plus the candidate reduction built from them.
+pub(super) struct Pruned {
+    pub lower: Vec<f64>,
+    pub upper: Vec<f64>,
+    pub reduction: CandidateReduction,
+}
+
+impl Pruned {
+    /// Score assigned to nodes that skip estimation (verified nodes, and
+    /// candidates auto-included when `|B| ≤ k − k'`): the bound-interval
+    /// midpoint, which is the best available point estimate without
+    /// sampling.
+    pub fn midpoint_score(&self, v: NodeId) -> f64 {
+        0.5 * (self.lower[v.index()] + self.upper[v.index()])
+    }
+}
+
+/// Assembles the final ranking: verified nodes first (scored by their
+/// bound midpoints, clamped to dominate), then the best `k − k'`
+/// estimated candidates.
+pub(super) fn assemble_result(
+    pruned: &Pruned,
+    candidates: &[NodeId],
+    estimates: &DefaultCounts,
+    k: usize,
+) -> Vec<ScoredNode> {
+    let k_rem = k - pruned.reduction.verified.len().min(k);
+    let chosen = select_top_k(
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| ScoredNode { node, score: estimates.estimate(i) }),
+        k_rem,
+    );
+    merge_verified(pruned, chosen, k)
+}
+
+/// Places verified nodes ahead of the estimated selection, preserving both
+/// orders, truncated to `k`.
+pub(super) fn merge_verified(
+    pruned: &Pruned,
+    chosen: Vec<ScoredNode>,
+    k: usize,
+) -> Vec<ScoredNode> {
+    let mut out: Vec<ScoredNode> = pruned
+        .reduction
+        .verified
+        .iter()
+        .map(|&node| ScoredNode { node, score: pruned.midpoint_score(node) })
+        .collect();
+    out.extend(chosen);
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VulnConfig;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    #[test]
+    fn prune_produces_consistent_reduction() {
+        let g = from_parts(
+            &[0.9, 0.1, 0.1, 0.05],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let p = prune(&g, 2, &VulnConfig::default());
+        assert_eq!(p.lower.len(), 4);
+        assert_eq!(p.upper.len(), 4);
+        // Verified + candidates never exceeds n, covers at least k.
+        let total = p.reduction.verified_count() + p.reduction.candidate_count();
+        assert!(total >= 2);
+        assert!(total <= 4);
+    }
+
+    #[test]
+    fn assemble_orders_verified_first() {
+        let g = from_parts(&[0.9, 0.2, 0.1], &[(0, 1, 0.9)], DuplicateEdgePolicy::Error).unwrap();
+        let pruned = prune(&g, 2, &VulnConfig::default());
+        let cands = pruned.reduction.candidates.clone();
+        let mut est = DefaultCounts::new(cands.len());
+        est.begin_sample();
+        for i in 0..cands.len() {
+            est.bump(i);
+        }
+        let out = assemble_result(&pruned, &cands, &est, 2);
+        assert_eq!(out.len(), 2);
+        // Any verified node must appear before non-verified ones.
+        for (i, v) in pruned.reduction.verified.iter().enumerate() {
+            assert_eq!(out[i].node, *v);
+        }
+    }
+}

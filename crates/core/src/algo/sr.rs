@@ -1,0 +1,102 @@
+//! `SR` — reverse sampling over the candidate set derived with the
+//! *second* rule of Lemma 1 only (no verification).
+
+use super::reverse_common::{assemble_result, prune, Pruned};
+use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use crate::candidates::CandidateReduction;
+use crate::config::VulnConfig;
+use crate::sample_size::reduced_sample_size;
+use std::time::Instant;
+use ugraph::UncertainGraph;
+use vulnds_sampling::{parallel_reverse_counts, reverse_counts};
+
+/// Runs SR: prune with rule 2, reverse-sample the survivors with
+/// `t = (2/ε²) ln(k(|B|−k)/δ)`, return the top-k estimates.
+pub fn detect_sr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+    validate_k(graph, k);
+    let start = Instant::now();
+    let full = prune(graph, k, config);
+    // Rule 2 only: fold the verified nodes back into the candidate pool.
+    let mut candidates = full.reduction.verified.clone();
+    candidates.extend(full.reduction.candidates.iter().copied());
+    candidates.sort_unstable_by_key(|v| v.0);
+    let pruned = Pruned {
+        lower: full.lower,
+        upper: full.upper,
+        reduction: CandidateReduction {
+            verified: Vec::new(),
+            candidates: candidates.clone(),
+            t_lower: full.reduction.t_lower,
+            t_upper: full.reduction.t_upper,
+        },
+    };
+
+    let t = config
+        .cap_samples(reduced_sample_size(candidates.len(), k, config.approx))
+        .max(1);
+    let counts = if config.threads > 1 {
+        parallel_reverse_counts(graph, &candidates, t, config.seed, config.threads)
+    } else {
+        reverse_counts(graph, &candidates, t, config.seed)
+    };
+    let top_k = assemble_result(&pruned, &candidates, &counts, k);
+    DetectionResult {
+        top_k,
+        stats: RunStats {
+            algorithm: AlgorithmKind::SampleReverse,
+            sample_budget: t,
+            samples_used: t,
+            candidates: candidates.len(),
+            verified: 0,
+            early_stopped: false,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+
+    fn graph() -> UncertainGraph {
+        from_parts(
+            &[0.8, 0.1, 0.05, 0.02, 0.01],
+            &[(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.3), (3, 4, 0.1)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_clear_top2() {
+        // p ≈ (0.8, 0.748, 0.4, 0.13, 0.02).
+        let g = graph();
+        let r = detect_sr(&g, 2, &VulnConfig::default().with_seed(5));
+        assert_eq!(r.node_ids(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(r.stats.verified, 0, "SR never verifies");
+    }
+
+    #[test]
+    fn candidate_set_is_at_most_n() {
+        let g = graph();
+        let r = detect_sr(&g, 2, &VulnConfig::default());
+        assert!(r.stats.candidates <= 5);
+        assert!(r.stats.candidates >= 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = graph();
+        let seq = detect_sr(&g, 2, &VulnConfig::default().with_seed(9));
+        let par = detect_sr(&g, 2, &VulnConfig::default().with_seed(9).with_threads(3));
+        assert_eq!(seq.top_k, par.top_k);
+    }
+
+    #[test]
+    fn sample_cap_respected() {
+        let g = graph();
+        let r = detect_sr(&g, 2, &VulnConfig::default().with_max_samples(7));
+        assert!(r.stats.sample_budget <= 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Candidate reduction — Algorithm 4 / Lemma 1 of the paper.
+//!
+//! Given per-node lower bounds `pl` and upper bounds `pu`, and the
+//! thresholds `Tu` (k-th largest upper bound) and `Tl` (k-th largest lower
+//! bound):
+//!
+//! 1. a node with `pl(v) ≥ Tu` is **verified** into the top-k — at most
+//!    `k` nodes can have upper bound above `pl(v)`, so nothing can
+//!    displace it;
+//! 2. a node with `pu(v) < Tl` is **pruned** — at least `k` nodes have a
+//!    lower bound it cannot reach, so `Pk ≥ Tl > pu(v) ≥ p(v)`.
+//!
+//! Verified nodes reduce the open result slots from `k` to `k − k'`;
+//! the rest form the candidate set `B`, both feeding Equation 4.
+
+use crate::topk::kth_largest;
+use ugraph::NodeId;
+
+/// Output of the candidate-reduction phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateReduction {
+    /// Nodes proven to be in the top-k (`k'` of them), ordered by
+    /// descending lower bound (ties by id).
+    pub verified: Vec<NodeId>,
+    /// Remaining candidates `B`, in ascending node-id order.
+    pub candidates: Vec<NodeId>,
+    /// The threshold `Tl` (k-th largest lower bound).
+    pub t_lower: f64,
+    /// The threshold `Tu` (k-th largest upper bound).
+    pub t_upper: f64,
+}
+
+impl CandidateReduction {
+    /// Number of verified nodes `k'`.
+    pub fn verified_count(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// Candidate-set size `|B|`.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Runs Algorithm 4.
+///
+/// `k` must be positive and at most `n`; `lower` and `upper` must have
+/// equal length `n` with `lower[v] ≤ upper[v]`.
+///
+/// Ties at the verification threshold are resolved conservatively: at most
+/// `k` nodes are verified (highest lower bound first, then lowest id), and
+/// every node that met rule 1 but was not verified stays a candidate.
+pub fn reduce_candidates(lower: &[f64], upper: &[f64], k: usize) -> CandidateReduction {
+    assert_eq!(lower.len(), upper.len(), "bound vectors must align");
+    let n = lower.len();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+
+    let t_lower = kth_largest(lower, k).expect("k validated above");
+    let t_upper = kth_largest(upper, k).expect("k validated above");
+
+    // Rule 1 survivors, to be capped at k.
+    let mut rule1: Vec<u32> =
+        (0..n as u32).filter(|&v| lower[v as usize] >= t_upper).collect();
+    rule1.sort_unstable_by(|&a, &b| {
+        lower[b as usize]
+            .partial_cmp(&lower[a as usize])
+            .expect("bounds are finite")
+            .then(a.cmp(&b))
+    });
+    let verified: Vec<NodeId> = rule1.iter().take(k).map(|&v| NodeId(v)).collect();
+    let verified_set: Vec<bool> = {
+        let mut s = vec![false; n];
+        for v in &verified {
+            s[v.index()] = true;
+        }
+        s
+    };
+
+    let candidates: Vec<NodeId> = (0..n as u32)
+        .filter(|&v| !verified_set[v as usize] && upper[v as usize] >= t_lower)
+        .map(NodeId)
+        .collect();
+
+    CandidateReduction { verified, candidates, t_lower, t_upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_information_keeps_everything() {
+        // All bounds identical: nothing verified (unless interval is a
+        // point), nothing pruned.
+        let lower = vec![0.0; 5];
+        let upper = vec![1.0; 5];
+        let r = reduce_candidates(&lower, &upper, 2);
+        assert_eq!(r.verified_count(), 0);
+        assert_eq!(r.candidate_count(), 5);
+    }
+
+    #[test]
+    fn tight_bounds_verify_everything() {
+        // Point intervals with distinct values: k nodes verified, nobody
+        // else can reach the threshold.
+        let p = vec![0.9, 0.8, 0.3, 0.2, 0.1];
+        let r = reduce_candidates(&p, &p, 2);
+        assert_eq!(r.verified, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(r.candidate_count(), 0);
+    }
+
+    #[test]
+    fn rule2_prunes_hopeless_nodes() {
+        let lower = vec![0.8, 0.7, 0.0, 0.0];
+        let upper = vec![0.9, 0.9, 0.5, 0.9];
+        // k = 2: Tl = 0.7, Tu = 0.9. Node 2 (pu = 0.5 < 0.7) pruned.
+        let r = reduce_candidates(&lower, &upper, 2);
+        assert!(!r.candidates.contains(&NodeId(2)));
+        assert!((r.t_lower - 0.7).abs() < 1e-12);
+        assert!((r.t_upper - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule1_verifies_dominant_node() {
+        let lower = vec![0.95, 0.1, 0.1, 0.1];
+        let upper = vec![1.0, 0.9, 0.3, 0.3];
+        // k = 1: Tu = 1.0 → node 0 not verified (pl 0.95 < 1.0).
+        let r = reduce_candidates(&lower, &upper, 1);
+        assert_eq!(r.verified_count(), 0);
+        // k = 2: Tu = 0.9 → node 0 verified (0.95 ≥ 0.9).
+        let r = reduce_candidates(&lower, &upper, 2);
+        assert_eq!(r.verified, vec![NodeId(0)]);
+        // Node 0 no longer in candidates.
+        assert!(!r.candidates.contains(&NodeId(0)));
+        assert!(r.candidates.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn verified_capped_at_k_under_ties() {
+        let lower = vec![0.5; 4];
+        let upper = vec![0.5; 4];
+        let r = reduce_candidates(&lower, &upper, 2);
+        assert_eq!(r.verified_count(), 2);
+        assert_eq!(r.verified, vec![NodeId(0), NodeId(1)]); // id tie-break
+        // The others remain candidates (their pu ≥ Tl).
+        assert_eq!(r.candidates, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let lower = vec![0.2, 0.4];
+        let upper = vec![0.6, 0.8];
+        let r = reduce_candidates(&lower, &upper, 2);
+        assert_eq!(r.verified_count() + r.candidate_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_panics() {
+        reduce_candidates(&[0.1], &[0.2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        reduce_candidates(&[0.1], &[0.2, 0.3], 1);
+    }
+
+    #[test]
+    fn union_covers_topk_when_bounds_valid() {
+        // For valid bounds enclosing the truth, verified ∪ candidates must
+        // contain every true top-k node.
+        let truth = [0.9, 0.7, 0.5, 0.3, 0.1];
+        let lower: Vec<f64> = truth.iter().map(|p| p - 0.05).collect();
+        let upper: Vec<f64> = truth.iter().map(|p| p + 0.05).collect();
+        for k in 1..=5 {
+            let r = reduce_candidates(&lower, &upper, k);
+            let mut covered: Vec<u32> =
+                r.verified.iter().chain(&r.candidates).map(|v| v.0).collect();
+            covered.sort_unstable();
+            for top in 0..k as u32 {
+                assert!(covered.contains(&top), "k={k} lost node {top}");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # vulnds-core — top-k vulnerable nodes detection in uncertain graphs
+//!
+//! Reference implementation of *Efficient Top-k Vulnerable Nodes Detection
+//! in Uncertain Graphs* (Cheng, Chen, Wang, Xiang — ICDE 2022 /
+//! arXiv:1912.12383): given a directed uncertain graph with self-risk and
+//! diffusion probabilities, find the `k` nodes with the highest default
+//! probability under possible-world semantics, a #P-hard quantity that is
+//! estimated by sampling with `(ε, δ)` guarantees.
+//!
+//! The crate provides the paper's five algorithms (N, SN, SR, BSR, BSRBK),
+//! the iterative lower/upper bounds used for pruning (Algorithms 2–3), the
+//! candidate reduction of Algorithm 4, sample-size theory (Equations 3–4),
+//! exact oracles for tiny graphs, and the precision metrics used in the
+//! evaluation.
+//!
+//! ```
+//! use ugraph::{UncertainGraph, NodeId};
+//! use vulnds_core::{detect, AlgorithmKind, VulnConfig};
+//!
+//! // The toy guaranteed-loan network of the paper's Figure 3.
+//! let mut b = UncertainGraph::builder(5);
+//! for v in 0..5 {
+//!     b.set_self_risk(NodeId(v), 0.2).unwrap();
+//! }
+//! for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+//!     b.add_edge(NodeId(u), NodeId(v), 0.2).unwrap();
+//! }
+//! let g = b.build().unwrap();
+//!
+//! let result = detect(&g, 1, AlgorithmKind::BottomK, &VulnConfig::default());
+//! // Node E (id 4) has three upstream guarantors: most vulnerable.
+//! assert_eq!(result.top_k[0].node, NodeId(4));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+pub mod bounds;
+pub mod candidates;
+pub mod conditional;
+pub mod config;
+pub mod dynamic;
+pub mod exact;
+pub mod precision;
+pub mod sample_size;
+pub mod scoring;
+pub mod topk;
+pub mod what_if;
+
+pub use algo::{
+    detect, detect_bsr, detect_bsrbk, detect_naive, detect_sn, detect_sr, AlgorithmKind,
+    DetectionResult, RunStats,
+};
+pub use bounds::{compute_bounds, lower_bounds_paper, lower_bounds_safe, upper_bounds};
+pub use candidates::{reduce_candidates, CandidateReduction};
+pub use config::{ApproxParams, BoundsMethod, ConfigError, VulnConfig};
+pub use exact::{exact_default_probabilities, ground_truth, paper_ground_truth};
+pub use precision::{precision_at_k, precision_with_ties, satisfies_epsilon_contract};
+pub use sample_size::{basic_sample_size, reduced_sample_size};
+pub use scoring::{score_nodes_bottomk, score_nodes_mc};
+pub use conditional::{conditional_scores, intervention_scores, ConditionalScores};
+pub use dynamic::IncrementalBounds;
+pub use what_if::{apply_interventions, evaluate_interventions, greedy_hardening, Intervention, WhatIfReport};
+pub use topk::{select_top_k, select_top_k_dense, ScoredNode};

@@ -1,0 +1,232 @@
+//! What-if analysis: evaluate risk-mitigation interventions before
+//! committing to them.
+//!
+//! The paper's deployment (§5) feeds VulnDS output to an evaluation
+//! module that decides loan amounts and limits; the natural question a
+//! risk manager asks next is *"if we de-risk these enterprises, how much
+//! does systemic vulnerability drop?"*. This module answers it by
+//! re-running detection on a modified copy of the graph.
+
+use crate::algo::{detect, AlgorithmKind, DetectionResult};
+use crate::config::VulnConfig;
+use ugraph::{EdgeId, GraphError, NodeId, UncertainGraph};
+
+/// One modification to the uncertain graph's probabilities.
+///
+/// Structure-preserving only: topology changes go through a rebuild with
+/// [`ugraph::GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Intervention {
+    /// Set a node's self-risk (e.g. a capital injection lowers it).
+    SetSelfRisk(NodeId, f64),
+    /// Scale a node's self-risk by a factor (clamped into `[0, 1]`).
+    ScaleSelfRisk(NodeId, f64),
+    /// Set an edge's diffusion probability (e.g. restructure a guarantee).
+    SetEdgeProb(EdgeId, f64),
+    /// Neutralize an edge: diffusion probability 0 (contract dissolved).
+    CutEdge(EdgeId),
+}
+
+/// Applies interventions to a copy of the graph.
+pub fn apply_interventions(
+    graph: &UncertainGraph,
+    interventions: &[Intervention],
+) -> Result<UncertainGraph, GraphError> {
+    let mut g = graph.clone();
+    for &iv in interventions {
+        match iv {
+            Intervention::SetSelfRisk(v, p) => g.set_self_risk(v, p)?,
+            Intervention::ScaleSelfRisk(v, f) => {
+                let p = (g.self_risk(v) * f).clamp(0.0, 1.0);
+                g.set_self_risk(v, p)?;
+            }
+            Intervention::SetEdgeProb(e, p) => g.set_edge_prob(e, p)?,
+            Intervention::CutEdge(e) => g.set_edge_prob(e, 0.0)?,
+        }
+    }
+    Ok(g)
+}
+
+/// Before/after comparison of an intervention package.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReport {
+    /// Detection on the unmodified graph.
+    pub before: DetectionResult,
+    /// Detection on the intervened graph.
+    pub after: DetectionResult,
+}
+
+impl WhatIfReport {
+    /// Mean top-k score before the intervention.
+    pub fn risk_before(&self) -> f64 {
+        mean_score(&self.before)
+    }
+
+    /// Mean top-k score after the intervention.
+    pub fn risk_after(&self) -> f64 {
+        mean_score(&self.after)
+    }
+
+    /// Relative reduction of the mean top-k score (`0.25` = 25% lower).
+    pub fn risk_reduction(&self) -> f64 {
+        let b = self.risk_before();
+        if b <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.risk_after() / b
+        }
+    }
+}
+
+fn mean_score(r: &DetectionResult) -> f64 {
+    if r.top_k.is_empty() {
+        return 0.0;
+    }
+    r.top_k.iter().map(|s| s.score).sum::<f64>() / r.top_k.len() as f64
+}
+
+/// Runs detection before and after an intervention package.
+pub fn evaluate_interventions(
+    graph: &UncertainGraph,
+    k: usize,
+    interventions: &[Intervention],
+    algorithm: AlgorithmKind,
+    config: &VulnConfig,
+) -> Result<WhatIfReport, GraphError> {
+    let before = detect(graph, k, algorithm, config);
+    let modified = apply_interventions(graph, interventions)?;
+    let after = detect(&modified, k, algorithm, config);
+    Ok(WhatIfReport { before, after })
+}
+
+/// Greedy hardening: repeatedly halve the self-risk of the currently
+/// most vulnerable node, `budget` times, re-detecting after each step.
+/// Returns the hardened nodes in order plus the final report against the
+/// original graph.
+pub fn greedy_hardening(
+    graph: &UncertainGraph,
+    k: usize,
+    budget: usize,
+    algorithm: AlgorithmKind,
+    config: &VulnConfig,
+) -> (Vec<NodeId>, WhatIfReport) {
+    let before = detect(graph, k, algorithm, config);
+    let mut current = graph.clone();
+    let mut hardened = Vec::with_capacity(budget);
+    for _ in 0..budget {
+        let r = detect(&current, k, algorithm, config);
+        // Most vulnerable node not yet hardened.
+        let Some(target) = r.top_k.iter().map(|s| s.node).find(|v| !hardened.contains(v)) else {
+            break;
+        };
+        let p = current.self_risk(target) * 0.5;
+        current.set_self_risk(target, p).expect("halving keeps validity");
+        hardened.push(target);
+    }
+    let after = detect(&current, k, algorithm, config);
+    (hardened, WhatIfReport { before, after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn g() -> UncertainGraph {
+        from_parts(
+            &[0.8, 0.1, 0.1, 0.1],
+            &[(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> VulnConfig {
+        VulnConfig::default().with_seed(5)
+    }
+
+    #[test]
+    fn apply_all_intervention_kinds() {
+        let base = g();
+        let e = base.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let m = apply_interventions(
+            &base,
+            &[
+                Intervention::SetSelfRisk(NodeId(0), 0.2),
+                Intervention::ScaleSelfRisk(NodeId(1), 2.0),
+                Intervention::SetEdgeProb(e, 0.5),
+                Intervention::CutEdge(base.find_edge(NodeId(2), NodeId(3)).unwrap()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.self_risk(NodeId(0)), 0.2);
+        assert_eq!(m.self_risk(NodeId(1)), 0.2);
+        assert_eq!(m.edge_prob(e), 0.5);
+        assert_eq!(m.edge_prob(base.find_edge(NodeId(2), NodeId(3)).unwrap()), 0.0);
+        // Original untouched.
+        assert_eq!(base.self_risk(NodeId(0)), 0.8);
+    }
+
+    #[test]
+    fn scale_clamps_to_one() {
+        let m = apply_interventions(&g(), &[Intervention::ScaleSelfRisk(NodeId(0), 10.0)])
+            .unwrap();
+        assert_eq!(m.self_risk(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn invalid_intervention_errors() {
+        assert!(apply_interventions(&g(), &[Intervention::SetSelfRisk(NodeId(0), 2.0)]).is_err());
+        assert!(apply_interventions(&g(), &[Intervention::SetSelfRisk(NodeId(9), 0.1)]).is_err());
+    }
+
+    #[test]
+    fn derisking_the_source_reduces_systemic_risk() {
+        let report = evaluate_interventions(
+            &g(),
+            2,
+            &[Intervention::SetSelfRisk(NodeId(0), 0.05)],
+            AlgorithmKind::SampledNaive,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(
+            report.risk_after() < report.risk_before(),
+            "before {} after {}",
+            report.risk_before(),
+            report.risk_after()
+        );
+        assert!(report.risk_reduction() > 0.3, "reduction {}", report.risk_reduction());
+    }
+
+    #[test]
+    fn cutting_the_contagion_edge_protects_downstream() {
+        let base = g();
+        let e = base.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let report = evaluate_interventions(
+            &base,
+            3,
+            &[Intervention::CutEdge(e)],
+            AlgorithmKind::Naive,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(report.risk_after() < report.risk_before());
+    }
+
+    #[test]
+    fn greedy_hardening_targets_the_hotspot_first() {
+        let (hardened, report) =
+            greedy_hardening(&g(), 2, 2, AlgorithmKind::SampledNaive, &cfg());
+        assert_eq!(hardened.len(), 2);
+        assert_eq!(hardened[0], NodeId(0), "must harden the source first");
+        assert!(report.risk_reduction() > 0.0);
+    }
+
+    #[test]
+    fn zero_budget_hardening_changes_nothing() {
+        let (hardened, report) = greedy_hardening(&g(), 2, 0, AlgorithmKind::Naive, &cfg());
+        assert!(hardened.is_empty());
+        assert!((report.risk_reduction()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Directed Chung-Lu graphs with power-law degree weights.
+//!
+//! Nodes get out-weights and in-weights drawn from a bounded Pareto
+//! (power-law) distribution with exponent `alpha`; edges are drawn by
+//! sampling endpoints proportionally to their weights until the target
+//! edge count (after dedup) is reached. This reproduces heavy-tailed
+//! degree shapes without needing the original SNAP downloads.
+
+use super::dedup_edges;
+use crate::weighted::AliasTable;
+use vulnds_sampling::Xoshiro256pp;
+
+/// Parameters for the Chung-Lu generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChungLuParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of (deduplicated) edges.
+    pub edges: usize,
+    /// Power-law exponent of the weight distribution (typically 2–3;
+    /// smaller = heavier tail).
+    pub alpha: f64,
+    /// Cap on any node's weight, expressed as a maximum expected degree.
+    pub max_degree: usize,
+}
+
+/// Draws a bounded Pareto weight in `[1, cap]` with tail exponent `alpha`.
+fn pareto_weight(rng: &mut Xoshiro256pp, alpha: f64, cap: f64) -> f64 {
+    // Inverse-CDF of Pareto with x_min = 1: x = (1 − u)^(−1/(α−1)).
+    let u = rng.next_f64();
+    let w = (1.0 - u).powf(-1.0 / (alpha - 1.0));
+    w.min(cap)
+}
+
+/// Generates the edge list.
+///
+/// # Panics
+/// Panics if `nodes < 2`, `alpha ≤ 1`, or the requested edge count exceeds
+/// half of what a simple directed graph can hold (dedup would stall).
+pub fn generate(params: ChungLuParams, rng: &mut Xoshiro256pp) -> Vec<(u32, u32)> {
+    assert!(params.nodes >= 2, "need at least 2 nodes");
+    assert!(params.alpha > 1.0, "alpha must exceed 1");
+    let n = params.nodes;
+    let max_possible = n * (n - 1);
+    assert!(
+        params.edges * 2 <= max_possible,
+        "edge target {} too dense for n = {n}",
+        params.edges
+    );
+
+    let cap = params.max_degree.max(1) as f64;
+    let out_w: Vec<f64> = (0..n).map(|_| pareto_weight(rng, params.alpha, cap)).collect();
+    let in_w: Vec<f64> = (0..n).map(|_| pareto_weight(rng, params.alpha, cap)).collect();
+    let out_table = AliasTable::new(&out_w);
+    let in_table = AliasTable::new(&in_w);
+
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(params.edges * 2);
+    let mut produced = 0usize;
+    // Over-draw in rounds; dedup at the end of each round until the target
+    // count is met (bounded retries guard degenerate parameter corners).
+    let mut rounds = 0;
+    let mut kept: Vec<(u32, u32)> = Vec::new();
+    while kept.len() < params.edges && rounds < 64 {
+        let need = (params.edges - kept.len()) * 2 + 16;
+        edges.clear();
+        edges.extend(kept.iter().copied());
+        for _ in 0..need {
+            let u = out_table.sample(rng) as u32;
+            let v = in_table.sample(rng) as u32;
+            edges.push((u, v));
+            produced += 1;
+        }
+        kept = dedup_edges(std::mem::take(&mut edges));
+        rounds += 1;
+    }
+    let _ = produced;
+    kept.truncate(params.edges);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrees(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+        let mut d = vec![0usize; n];
+        for &(u, v) in edges {
+            d[u as usize] += 1;
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn hits_edge_target() {
+        let mut rng = Xoshiro256pp::new(1);
+        let p = ChungLuParams { nodes: 1000, edges: 5000, alpha: 2.1, max_degree: 200 };
+        let e = generate(p, &mut rng);
+        assert_eq!(e.len(), 5000);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = Xoshiro256pp::new(2);
+        let p = ChungLuParams { nodes: 300, edges: 1500, alpha: 2.0, max_degree: 100 };
+        let e = generate(p, &mut rng);
+        let mut set = std::collections::HashSet::new();
+        for &(u, v) in &e {
+            assert_ne!(u, v);
+            assert!(set.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let mut rng = Xoshiro256pp::new(3);
+        let p = ChungLuParams { nodes: 2000, edges: 12_000, alpha: 2.0, max_degree: 500 };
+        let e = generate(p, &mut rng);
+        let d = degrees(2000, &e);
+        let max = *d.iter().max().unwrap();
+        let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        // Heavy tail: max degree far above the mean.
+        assert!(max as f64 > 6.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn higher_alpha_means_lighter_tail() {
+        let gen_max = |alpha: f64, seed: u64| {
+            let mut rng = Xoshiro256pp::new(seed);
+            let p = ChungLuParams { nodes: 2000, edges: 10_000, alpha, max_degree: 1000 };
+            let e = generate(p, &mut rng);
+            *degrees(2000, &e).iter().max().unwrap()
+        };
+        // Average over a few seeds to dodge flukes.
+        let heavy: usize = (0..3).map(|s| gen_max(1.8, s)).sum();
+        let light: usize = (0..3).map(|s| gen_max(3.5, s)).sum();
+        assert!(heavy > light, "heavy {heavy} !> light {light}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ChungLuParams { nodes: 100, edges: 400, alpha: 2.2, max_degree: 50 };
+        let a = generate(p, &mut Xoshiro256pp::new(7));
+        let b = generate(p, &mut Xoshiro256pp::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense")]
+    fn rejects_overdense_request() {
+        let p = ChungLuParams { nodes: 10, edges: 80, alpha: 2.0, max_degree: 10 };
+        generate(p, &mut Xoshiro256pp::new(1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Uniform `G(n, m)` directed random graphs — the control workload for
+//! ablations (no degree structure).
+
+use super::dedup_edges;
+use vulnds_sampling::Xoshiro256pp;
+
+/// Generates exactly `m` distinct directed edges chosen uniformly among
+/// all ordered non-loop pairs.
+///
+/// # Panics
+/// Panics if `m` exceeds half the possible pairs (rejection would stall).
+pub fn generate(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "need at least 2 nodes");
+    let max_edges = n * (n - 1);
+    assert!(m * 2 <= max_edges, "edge target {m} too dense for n = {n}");
+    let mut kept: Vec<(u32, u32)> = Vec::new();
+    let mut rounds = 0;
+    while kept.len() < m && rounds < 64 {
+        let need = (m - kept.len()) * 2 + 8;
+        let mut batch = std::mem::take(&mut kept);
+        for _ in 0..need {
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            batch.push((u, v));
+        }
+        kept = dedup_edges(batch);
+        rounds += 1;
+    }
+    kept.truncate(m);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let e = generate(100, 1000, &mut Xoshiro256pp::new(1));
+        assert_eq!(e.len(), 1000);
+    }
+
+    #[test]
+    fn uniformish_degrees() {
+        let e = generate(500, 5000, &mut Xoshiro256pp::new(2));
+        let mut deg = vec![0usize; 500];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().sum::<usize>() as f64 / 500.0;
+        // Poisson-ish: no heavy tail.
+        assert!((max as f64) < 3.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate(50, 200, &mut Xoshiro256pp::new(3)),
+            generate(50, 200, &mut Xoshiro256pp::new(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense")]
+    fn rejects_overdense() {
+        generate(4, 10, &mut Xoshiro256pp::new(1));
+    }
+}

@@ -1,0 +1,121 @@
+//! Core-periphery interbank network in the spirit of the maximum-entropy
+//! reconstruction of Anand, Craig & von Peter (the generator behind the
+//! paper's Interbank dataset).
+//!
+//! A small core of money-center banks lends densely to each other; the
+//! periphery lends to/borrows from the core sparsely. Edge direction is
+//! lender → borrower, matching the paper's "edge corresponds to an
+//! interbank loan from the lender bank to the borrower bank".
+
+use super::dedup_edges;
+use vulnds_sampling::Xoshiro256pp;
+
+/// Parameters for the interbank generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterbankParams {
+    /// Total number of banks.
+    pub nodes: usize,
+    /// Target number of loans.
+    pub edges: usize,
+    /// Fraction of banks in the core (e.g. 0.15).
+    pub core_fraction: f64,
+}
+
+/// Generates the loan edge list.
+pub fn generate(params: InterbankParams, rng: &mut Xoshiro256pp) -> Vec<(u32, u32)> {
+    assert!(params.nodes >= 4, "need at least 4 banks");
+    assert!((0.0..=1.0).contains(&params.core_fraction), "core_fraction in [0,1]");
+    let n = params.nodes;
+    let core = ((n as f64 * params.core_fraction).round() as usize).clamp(2, n);
+
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(params.edges * 2);
+    // Dense core: include each ordered core pair with high probability.
+    for u in 0..core as u32 {
+        for v in 0..core as u32 {
+            if u != v && rng.next_f64() < 0.55 {
+                edges.push((u, v));
+            }
+        }
+    }
+    // Periphery: each peripheral bank gets 1–3 links with random core
+    // partners, random direction.
+    for p in core as u32..n as u32 {
+        let links = 1 + rng.next_bounded(3) as usize;
+        for _ in 0..links {
+            let c = rng.next_bounded(core as u64) as u32;
+            if rng.next_f64() < 0.5 {
+                edges.push((p, c)); // periphery lends to core
+            } else {
+                edges.push((c, p)); // core lends to periphery
+            }
+        }
+    }
+    let mut out = dedup_edges(edges);
+    // Trim or pad toward the target with random core-periphery links.
+    let mut guard = 0;
+    while out.len() < params.edges && guard < params.edges * 20 {
+        guard += 1;
+        let c = rng.next_bounded(core as u64) as u32;
+        let p = core as u32 + rng.next_bounded((n - core) as u64) as u32;
+        let e = if rng.next_f64() < 0.5 { (c, p) } else { (p, c) };
+        if !out.contains(&e) {
+            out.push(e);
+        }
+    }
+    out.truncate(params.edges);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_works() {
+        // Table 2: 125 banks, 249 loans, max degree 47.
+        let mut rng = Xoshiro256pp::new(1);
+        let p = InterbankParams { nodes: 125, edges: 249, core_fraction: 0.1 };
+        let e = generate(p, &mut rng);
+        assert_eq!(e.len(), 249);
+        let mut deg = vec![0usize; 125];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        assert!((20..=80).contains(&max), "max degree {max} out of the Table-2 ballpark");
+    }
+
+    #[test]
+    fn core_is_denser_than_periphery() {
+        let mut rng = Xoshiro256pp::new(2);
+        let p = InterbankParams { nodes: 200, edges: 400, core_fraction: 0.1 };
+        let e = generate(p, &mut rng);
+        let core = 20u32;
+        let mut deg = vec![0usize; 200];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let core_avg: f64 =
+            deg[..core as usize].iter().sum::<usize>() as f64 / core as f64;
+        let peri_avg: f64 =
+            deg[core as usize..].iter().sum::<usize>() as f64 / (200 - core) as f64;
+        assert!(core_avg > 3.0 * peri_avg, "core {core_avg}, periphery {peri_avg}");
+    }
+
+    #[test]
+    fn no_duplicate_loans() {
+        let mut rng = Xoshiro256pp::new(3);
+        let p = InterbankParams { nodes: 125, edges: 249, core_fraction: 0.12 };
+        let e = generate(p, &mut rng);
+        let set: std::collections::HashSet<_> = e.iter().collect();
+        assert_eq!(set.len(), e.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = InterbankParams { nodes: 125, edges: 249, core_fraction: 0.1 };
+        assert_eq!(generate(p, &mut Xoshiro256pp::new(5)), generate(p, &mut Xoshiro256pp::new(5)));
+    }
+}

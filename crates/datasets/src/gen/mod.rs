@@ -1,0 +1,35 @@
+//! Structure generators. Each produces a deduplicated directed edge list
+//! over `0..n`; probabilities are attached afterwards by
+//! [`crate::attach_probabilities`].
+
+pub mod bipartite;
+pub mod chung_lu;
+pub mod erdos;
+pub mod interbank;
+pub mod pref_attach;
+
+use std::collections::HashSet;
+
+/// Deduplicates `(u, v)` pairs and drops self-loops, preserving first-seen
+/// order.
+pub(crate) fn dedup_edges(edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+    let mut out = Vec::with_capacity(edges.len());
+    for (u, v) in edges {
+        if u != v && seen.insert((u, v)) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_removes_duplicates_and_loops() {
+        let e = vec![(0, 1), (1, 1), (0, 1), (1, 0)];
+        assert_eq!(dedup_edges(e), vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Preferential-attachment generator with an optional super-hub, used for
+//! the Guarantee network shape (31,309 nodes / 35,987 edges / max degree
+//! 14,362 — i.e. a near-tree with one giant guarantor).
+//!
+//! Nodes arrive one at a time; each new borrower adds edges toward
+//! existing guarantors chosen preferentially by in-degree, except that
+//! with probability `hub_bias` the edge attaches to node 0 (the dominant
+//! guarantor — in real guarantee data a large state-backed guarantee
+//! company).
+
+use super::dedup_edges;
+use vulnds_sampling::Xoshiro256pp;
+
+/// Parameters for the preferential-attachment generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefAttachParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of edges (≥ nodes − 1 recommended; ~1.15·n matches
+    /// the Guarantee network).
+    pub edges: usize,
+    /// Probability that an edge attaches to the super-hub (node 0).
+    pub hub_bias: f64,
+}
+
+/// Generates borrower → guarantor edges.
+pub fn generate(params: PrefAttachParams, rng: &mut Xoshiro256pp) -> Vec<(u32, u32)> {
+    assert!(params.nodes >= 2, "need at least 2 nodes");
+    assert!((0.0..1.0).contains(&params.hub_bias), "hub_bias must be in [0,1)");
+    let n = params.nodes;
+    let m = params.edges;
+
+    // `targets` is the repeated-endpoint urn realizing preferential
+    // attachment: each edge target is appended once per incidence.
+    let mut targets: Vec<u32> = vec![0];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m + n);
+
+    // Phase 1: arrival. Each node v ≥ 1 adds one edge v → guarantor.
+    for v in 1..n as u32 {
+        let g = pick_target(&targets, v, params.hub_bias, rng);
+        edges.push((v, g));
+        targets.push(g);
+        targets.push(v); // new node enters the urn once
+    }
+    // Phase 2: densification up to the edge target, sources uniform.
+    let mut guard = 0usize;
+    while edges.len() < m && guard < m * 20 {
+        guard += 1;
+        let v = rng.next_bounded(n as u64) as u32;
+        let g = pick_target(&targets, v, params.hub_bias, rng);
+        if g != v {
+            edges.push((v, g));
+            targets.push(g);
+        }
+    }
+    let mut out = dedup_edges(edges);
+    out.truncate(m);
+    out
+}
+
+fn pick_target(targets: &[u32], avoid: u32, hub_bias: f64, rng: &mut Xoshiro256pp) -> u32 {
+    for _ in 0..32 {
+        let g = if rng.next_f64() < hub_bias {
+            0
+        } else {
+            targets[rng.next_bounded(targets.len() as u64) as usize]
+        };
+        if g != avoid {
+            return g;
+        }
+    }
+    // Degenerate fallback (only reachable when `avoid` saturates the urn).
+    if avoid == 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_degrees(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+        let mut d = vec![0usize; n];
+        for &(u, v) in edges {
+            d[u as usize] += 1;
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn connected_arrival_phase() {
+        let mut rng = Xoshiro256pp::new(1);
+        let p = PrefAttachParams { nodes: 500, edges: 575, hub_bias: 0.3 };
+        let e = generate(p, &mut rng);
+        // Every node except 0 has at least one out-edge from arrival.
+        let mut has_out = vec![false; 500];
+        for &(u, _) in &e {
+            has_out[u as usize] = true;
+        }
+        let missing = (1..500).filter(|&v| !has_out[v]).count();
+        // Dedup can drop a handful of arrival edges; tolerate few.
+        assert!(missing < 10, "{missing} nodes without out-edge");
+    }
+
+    #[test]
+    fn hub_dominates_with_bias() {
+        let mut rng = Xoshiro256pp::new(2);
+        let p = PrefAttachParams { nodes: 2000, edges: 2300, hub_bias: 0.4 };
+        let e = generate(p, &mut rng);
+        let d = total_degrees(2000, &e);
+        let hub = d[0];
+        let second = d[1..].iter().max().copied().unwrap();
+        assert!(hub > 5 * second, "hub {hub} vs second {second}");
+        // Hub absorbs a large fraction of all edges.
+        assert!(hub as f64 > 0.25 * e.len() as f64);
+    }
+
+    #[test]
+    fn no_hub_without_bias() {
+        let mut rng = Xoshiro256pp::new(3);
+        let p = PrefAttachParams { nodes: 2000, edges: 2300, hub_bias: 0.0 };
+        let e = generate(p, &mut rng);
+        let d = total_degrees(2000, &e);
+        let hub = d[0];
+        assert!(hub < e.len() / 4, "unexpected super-hub: {hub}");
+    }
+
+    #[test]
+    fn near_tree_density() {
+        let mut rng = Xoshiro256pp::new(4);
+        let p = PrefAttachParams { nodes: 1000, edges: 1150, hub_bias: 0.3 };
+        let e = generate(p, &mut rng);
+        assert!(e.len() >= 1100, "only {} edges", e.len());
+        assert!(e.len() <= 1150);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PrefAttachParams { nodes: 200, edges: 230, hub_bias: 0.2 };
+        assert_eq!(generate(p, &mut Xoshiro256pp::new(9)), generate(p, &mut Xoshiro256pp::new(9)));
+    }
+}

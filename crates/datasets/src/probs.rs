@@ -1,0 +1,109 @@
+//! Probability models attached to generated graph structure.
+//!
+//! The paper assigns probabilities two ways (§4.1): benchmark graphs get
+//! uniform-random probabilities in `[0, 1]`; the financial graphs carry
+//! calibrated risk probabilities from the authors' prior models
+//! ([15], [20]), which are heavily skewed toward low risk — most
+//! enterprises are healthy, a few are very risky. We mimic that skew with
+//! a power transform of a uniform variate.
+
+use vulnds_sampling::Xoshiro256pp;
+
+/// How node self-risks and edge diffusion probabilities are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbabilityModel {
+    /// `U[0, 1]` — the paper's setting for the five benchmark graphs.
+    Uniform,
+    /// `scale · U^power` — right-skewed toward 0 for `power > 1`; mimics
+    /// calibrated financial risk scores (most low, few high).
+    SkewedLow {
+        /// Exponent applied to the uniform draw (≥ 1 skews low).
+        power: f64,
+        /// Upper bound of the support.
+        scale: f64,
+    },
+    /// Every draw returns the same value — for controlled experiments.
+    Constant(f64),
+}
+
+impl ProbabilityModel {
+    /// The financial-network default used for Interbank/Fraud/Guarantee:
+    /// cubic skew with support `[0, 0.8]` (mean ≈ 0.2).
+    pub fn financial() -> Self {
+        ProbabilityModel::SkewedLow { power: 3.0, scale: 0.8 }
+    }
+
+    /// Draws one probability.
+    pub fn draw(&self, rng: &mut Xoshiro256pp) -> f64 {
+        match *self {
+            ProbabilityModel::Uniform => rng.next_f64(),
+            ProbabilityModel::SkewedLow { power, scale } => {
+                debug_assert!(power >= 1.0 && (0.0..=1.0).contains(&scale));
+                rng.next_f64().powf(power) * scale
+            }
+            ProbabilityModel::Constant(p) => {
+                debug_assert!((0.0..=1.0).contains(&p));
+                p
+            }
+        }
+    }
+
+    /// Draws `count` probabilities.
+    pub fn draw_many(&self, count: usize, rng: &mut Xoshiro256pp) -> Vec<f64> {
+        (0..count).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Xoshiro256pp::new(1);
+        let v = ProbabilityModel::Uniform.draw_many(50_000, &mut rng);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn skewed_low_has_small_mean() {
+        // E[U^3 · 0.8] = 0.8/4 = 0.2.
+        let mut rng = Xoshiro256pp::new(2);
+        let v = ProbabilityModel::financial().draw_many(50_000, &mut rng);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.2).abs() < 0.01, "mean {mean}");
+        assert!(v.iter().all(|&p| (0.0..=0.8).contains(&p)));
+    }
+
+    #[test]
+    fn skew_direction() {
+        // Far more mass below 0.1 than above 0.5 for the financial model.
+        let mut rng = Xoshiro256pp::new(3);
+        let v = ProbabilityModel::financial().draw_many(20_000, &mut rng);
+        let low = v.iter().filter(|&&p| p < 0.1).count();
+        let high = v.iter().filter(|&&p| p > 0.5).count();
+        assert!(low > 3 * high, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn constant_model() {
+        let mut rng = Xoshiro256pp::new(4);
+        assert_eq!(ProbabilityModel::Constant(0.25).draw(&mut rng), 0.25);
+    }
+
+    #[test]
+    fn all_draws_are_valid_probabilities() {
+        let mut rng = Xoshiro256pp::new(5);
+        for model in [
+            ProbabilityModel::Uniform,
+            ProbabilityModel::financial(),
+            ProbabilityModel::Constant(1.0),
+        ] {
+            for _ in 0..1000 {
+                let p = model.draw(&mut rng);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

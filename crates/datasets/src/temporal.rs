@@ -1,0 +1,149 @@
+//! Temporal workloads: a base graph plus a stream of probability
+//! recalibration events, modelling the paper's deployed system where
+//! "all issued loans are evaluated regularly" and risk probabilities are
+//! refreshed monthly. Drives the incremental-bounds maintainer in
+//! `vulnds-core::dynamic`.
+
+use ugraph::{EdgeId, NodeId, UncertainGraph};
+use vulnds_sampling::Xoshiro256pp;
+
+/// One probability recalibration event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateEvent {
+    /// A node's self-risk was re-scored.
+    SelfRisk(NodeId, f64),
+    /// An edge's diffusion probability was re-scored.
+    EdgeProb(EdgeId, f64),
+}
+
+/// Parameters of the update stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStreamParams {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Fraction of events that touch nodes (the rest touch edges).
+    pub node_fraction: f64,
+    /// Maximum absolute drift added to the current probability
+    /// (new = clamp(old + U[−drift, +drift])).
+    pub drift: f64,
+}
+
+impl Default for UpdateStreamParams {
+    fn default() -> Self {
+        UpdateStreamParams { events: 100, node_fraction: 0.7, drift: 0.2 }
+    }
+}
+
+/// Generates a drift-style update stream against `graph`'s current
+/// probabilities. Events reference valid ids; values stay in `[0, 1]`.
+pub fn update_stream(
+    graph: &UncertainGraph,
+    params: UpdateStreamParams,
+    seed: u64,
+) -> Vec<UpdateEvent> {
+    assert!((0.0..=1.0).contains(&params.node_fraction), "node_fraction in [0,1]");
+    assert!(params.drift >= 0.0, "drift must be non-negative");
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    assert!(n > 0, "graph must have nodes");
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut events = Vec::with_capacity(params.events);
+    for _ in 0..params.events {
+        let touch_node = m == 0 || rng.next_f64() < params.node_fraction;
+        if touch_node {
+            let v = NodeId(rng.next_bounded(n as u64) as u32);
+            let old = graph.self_risk(v);
+            let delta = (rng.next_f64() * 2.0 - 1.0) * params.drift;
+            events.push(UpdateEvent::SelfRisk(v, (old + delta).clamp(0.0, 1.0)));
+        } else {
+            let e = EdgeId(rng.next_bounded(m as u64) as u32);
+            let old = graph.edge_prob(e);
+            let delta = (rng.next_f64() * 2.0 - 1.0) * params.drift;
+            events.push(UpdateEvent::EdgeProb(e, (old + delta).clamp(0.0, 1.0)));
+        }
+    }
+    events
+}
+
+/// Applies an event stream to a copy of the graph (the batch-replay
+/// reference the incremental maintainer is compared against).
+pub fn replay(graph: &UncertainGraph, events: &[UpdateEvent]) -> UncertainGraph {
+    let mut g = graph.clone();
+    for &ev in events {
+        match ev {
+            UpdateEvent::SelfRisk(v, p) => g.set_self_risk(v, p).expect("valid event"),
+            UpdateEvent::EdgeProb(e, p) => g.set_edge_prob(e, p).expect("valid event"),
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    #[test]
+    fn stream_references_valid_ids() {
+        let g = Dataset::Interbank.generate(1);
+        let events = update_stream(&g, UpdateStreamParams::default(), 2);
+        assert_eq!(events.len(), 100);
+        for ev in &events {
+            match *ev {
+                UpdateEvent::SelfRisk(v, p) => {
+                    assert!(v.index() < g.num_nodes());
+                    assert!((0.0..=1.0).contains(&p));
+                }
+                UpdateEvent::EdgeProb(e, p) => {
+                    assert!(e.index() < g.num_edges());
+                    assert!((0.0..=1.0).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_fraction_respected() {
+        let g = Dataset::Interbank.generate(1);
+        let params = UpdateStreamParams { events: 2000, node_fraction: 0.8, drift: 0.1 };
+        let events = update_stream(&g, params, 3);
+        let nodes =
+            events.iter().filter(|e| matches!(e, UpdateEvent::SelfRisk(..))).count();
+        let frac = nodes as f64 / events.len() as f64;
+        assert!((frac - 0.8).abs() < 0.05, "node fraction {frac}");
+    }
+
+    #[test]
+    fn replay_applies_all_events() {
+        let g = Dataset::Interbank.generate(1);
+        let events =
+            vec![UpdateEvent::SelfRisk(NodeId(0), 0.77), UpdateEvent::EdgeProb(EdgeId(0), 0.11)];
+        let g2 = replay(&g, &events);
+        assert_eq!(g2.self_risk(NodeId(0)), 0.77);
+        assert_eq!(g2.edge_prob(EdgeId(0)), 0.11);
+        // Original untouched; later events win over earlier ones.
+        assert_ne!(g.self_risk(NodeId(0)), 0.77);
+        let g3 = replay(
+            &g,
+            &[UpdateEvent::SelfRisk(NodeId(0), 0.2), UpdateEvent::SelfRisk(NodeId(0), 0.6)],
+        );
+        assert_eq!(g3.self_risk(NodeId(0)), 0.6);
+    }
+
+    #[test]
+    fn edgeless_graph_gets_node_events_only() {
+        let g = ugraph::from_parts(&[0.5, 0.4], &[], ugraph::DuplicateEdgePolicy::Error).unwrap();
+        let params = UpdateStreamParams { events: 50, node_fraction: 0.0, drift: 0.1 };
+        let events = update_stream(&g, params, 5);
+        assert!(events.iter().all(|e| matches!(e, UpdateEvent::SelfRisk(..))));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Dataset::Interbank.generate(1);
+        assert_eq!(
+            update_stream(&g, UpdateStreamParams::default(), 7),
+            update_stream(&g, UpdateStreamParams::default(), 7)
+        );
+    }
+}

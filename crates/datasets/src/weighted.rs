@@ -1,0 +1,152 @@
+//! Weighted discrete sampling via Walker's alias method.
+//!
+//! The Chung-Lu generator draws `O(m)` endpoint samples from a fixed
+//! weight distribution; the alias table makes each draw `O(1)` after
+//! `O(n)` preprocessing.
+
+use vulnds_sampling::Xoshiro256pp;
+
+/// Alias table over indices `0..n` with probabilities proportional to the
+/// provided weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table. Weights must be non-negative, finite, with a
+    /// positive sum.
+    ///
+    /// # Panics
+    /// Panics on empty input, negative/non-finite weights, or zero total.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weight {w} invalid");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "total weight must be positive");
+
+        // Scaled probabilities; Vose's stable construction.
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers become certain columns.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
+        let i = rng.next_bounded(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.8).abs() < 0.02, "freq {f0}");
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::new(3);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[0.5]);
+        let mut rng = Xoshiro256pp::new(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_panics() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_panics() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

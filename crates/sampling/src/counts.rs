@@ -1,0 +1,141 @@
+//! Accumulators turning per-sample default indicators into estimates.
+
+/// Running counts of how often each tracked node defaulted, over a known
+/// number of samples. This is the `vc` array of Algorithm 1 / Algorithm 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefaultCounts {
+    counts: Vec<u64>,
+    samples: u64,
+}
+
+impl DefaultCounts {
+    /// Creates an accumulator tracking `len` slots (nodes or candidates).
+    pub fn new(len: usize) -> Self {
+        DefaultCounts { counts: vec![0; len], samples: 0 }
+    }
+
+    /// Number of tracked slots.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Raw default count of slot `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Records one sample's outcome: `defaulted[i]` says whether slot `i`
+    /// defaulted in this sample.
+    pub fn record_mask(&mut self, defaulted: &[bool]) {
+        assert_eq!(defaulted.len(), self.counts.len(), "mask length mismatch");
+        self.samples += 1;
+        for (c, &d) in self.counts.iter_mut().zip(defaulted) {
+            *c += d as u64;
+        }
+    }
+
+    /// Starts a new sample without a mask; combine with [`Self::bump`].
+    pub fn begin_sample(&mut self) {
+        self.samples += 1;
+    }
+
+    /// Increments slot `i` within the current sample.
+    pub fn bump(&mut self, i: usize) {
+        self.counts[i] += 1;
+    }
+
+    /// Estimated default probability of slot `i`: `count / samples`.
+    /// Returns 0 when no samples were recorded.
+    pub fn estimate(&self, i: usize) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.samples as f64
+        }
+    }
+
+    /// All estimates as a vector.
+    pub fn estimates(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.estimate(i)).collect()
+    }
+
+    /// Merges counts from a disjoint batch of samples over the same slots.
+    pub fn merge(&mut self, other: &DefaultCounts) {
+        assert_eq!(self.counts.len(), other.counts.len(), "slot count mismatch");
+        self.samples += other.samples;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_estimate() {
+        let mut c = DefaultCounts::new(3);
+        c.record_mask(&[true, false, true]);
+        c.record_mask(&[true, false, false]);
+        assert_eq!(c.samples(), 2);
+        assert_eq!(c.estimate(0), 1.0);
+        assert_eq!(c.estimate(1), 0.0);
+        assert_eq!(c.estimate(2), 0.5);
+        assert_eq!(c.estimates(), vec![1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn empty_estimates_are_zero() {
+        let c = DefaultCounts::new(2);
+        assert_eq!(c.estimate(0), 0.0);
+        assert_eq!(c.samples(), 0);
+    }
+
+    #[test]
+    fn bump_api_matches_mask_api() {
+        let mut a = DefaultCounts::new(2);
+        a.record_mask(&[true, false]);
+        let mut b = DefaultCounts::new(2);
+        b.begin_sample();
+        b.bump(0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_samples() {
+        let mut a = DefaultCounts::new(2);
+        a.record_mask(&[true, false]);
+        let mut b = DefaultCounts::new(2);
+        b.record_mask(&[true, true]);
+        b.record_mask(&[false, true]);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn mask_length_is_checked() {
+        let mut c = DefaultCounts::new(2);
+        c.record_mask(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count mismatch")]
+    fn merge_length_is_checked() {
+        let mut a = DefaultCounts::new(2);
+        a.merge(&DefaultCounts::new(3));
+    }
+}

@@ -1,0 +1,41 @@
+//! # vulnds-sampling — possible-world samplers for uncertain graphs
+//!
+//! Implements the sampling substrate of the VulnDS system:
+//!
+//! * [`ForwardSampler`] — the inner loop of the paper's Algorithm 1:
+//!   flip every self-default coin, then BFS forward flipping edge coins.
+//! * [`ReverseSampler`] — Algorithm 5: per-candidate reverse BFS with
+//!   lazily-memoized coins, shared consistently within one sample.
+//! * [`PossibleWorld`] / [`WorldEnumerator`] — fully-materialized worlds,
+//!   the semantic reference the samplers are validated against.
+//! * [`parallel`] — deterministic multi-threaded drivers: identical counts
+//!   to the sequential runs for any thread count.
+//!
+//! ```
+//! use ugraph::{from_parts, DuplicateEdgePolicy};
+//! use vulnds_sampling::forward_counts;
+//!
+//! // 0 → 1 chain: p(0) = 0.5, p(1) = 0.5 · 0.5 = 0.25.
+//! let g = from_parts(&[0.5, 0.0], &[(0, 1, 0.5)], DuplicateEdgePolicy::Error).unwrap();
+//! let counts = forward_counts(&g, 20_000, 42);
+//! assert!((counts.estimate(1) - 0.25).abs() < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod antithetic;
+pub mod counts;
+pub mod forward;
+pub mod parallel;
+pub mod reverse;
+pub mod rng;
+pub mod world;
+
+pub use antithetic::antithetic_forward_counts;
+pub use counts::DefaultCounts;
+pub use forward::{forward_counts, ForwardSampler};
+pub use parallel::{parallel_forward_counts, parallel_reverse_counts};
+pub use reverse::{reverse_counts, ReverseSampler};
+pub use rng::Xoshiro256pp;
+pub use world::{PossibleWorld, WorldEnumerator};

@@ -1,0 +1,359 @@
+//! Reverse possible-world sampling — Algorithm 5 of the paper.
+//!
+//! Given a (hopefully small) candidate set `B`, one reverse sample decides
+//! for each `v ∈ B` whether `v` defaults in a lazily-materialized possible
+//! world, by BFS over **in**-edges from `v` looking for a self-defaulted
+//! ancestor reachable through surviving edges. Coins are flipped lazily on
+//! first contact and memoized for the rest of the sample, so the same edge
+//! examined from two candidates gives one consistent outcome — this is the
+//! paper's "mark it as checked and store the corresponding information"
+//! (Algorithm 5, lines 9–16).
+//!
+//! Memoization uses epoch-stamped dense arrays instead of hash maps: a
+//! stamp compare beats a hash lookup, and clearing is `O(1)` per sample
+//! (bump the epoch). DESIGN.md lists this choice for ablation.
+
+use crate::counts::DefaultCounts;
+use crate::rng::Xoshiro256pp;
+use ugraph::{NodeId, UncertainGraph};
+
+/// Reusable reverse sampler with lazily-memoized coin flips.
+#[derive(Debug, Clone)]
+pub struct ReverseSampler {
+    // Per-sample memo: node self-default coins.
+    node_epoch: Vec<u32>,
+    node_self: Vec<bool>,
+    // Per-sample memo: edge survival coins (canonical edge ids).
+    edge_epoch: Vec<u32>,
+    edge_surv: Vec<bool>,
+    // Per-sample positive cache: nodes known to default in this sample.
+    hit_epoch: Vec<u32>,
+    // Per-sample negative cache: nodes known NOT to default (only filled
+    // when a candidate BFS exhausts without success).
+    safe_epoch: Vec<u32>,
+    // Per-candidate-BFS visited stamps.
+    visit_stamp: Vec<u32>,
+    epoch: u32,
+    visit_counter: u32,
+    queue: Vec<u32>,
+    cache_negative: bool,
+}
+
+impl ReverseSampler {
+    /// Creates a sampler with buffers sized for `graph`, with negative-
+    /// result caching enabled.
+    pub fn new(graph: &UncertainGraph) -> Self {
+        ReverseSampler {
+            node_epoch: vec![0; graph.num_nodes()],
+            node_self: vec![false; graph.num_nodes()],
+            edge_epoch: vec![0; graph.num_edges()],
+            edge_surv: vec![false; graph.num_edges()],
+            hit_epoch: vec![0; graph.num_nodes()],
+            safe_epoch: vec![0; graph.num_nodes()],
+            visit_stamp: vec![0; graph.num_nodes()],
+            epoch: 0,
+            visit_counter: 0,
+            queue: Vec::new(),
+            cache_negative: true,
+        }
+    }
+
+    /// Disables the negative-result cache (exactly the paper's Algorithm 5).
+    /// Kept for the ablation benchmark; results are distribution-identical.
+    pub fn without_negative_cache(mut self) -> Self {
+        self.cache_negative = false;
+        self
+    }
+
+    /// Starts a new possible world: all memoized coins are forgotten.
+    pub fn begin_sample(&mut self) {
+        if self.epoch == u32::MAX {
+            self.node_epoch.fill(0);
+            self.edge_epoch.fill(0);
+            self.hit_epoch.fill(0);
+            self.safe_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn node_defaults_by_self(
+        &mut self,
+        graph: &UncertainGraph,
+        v: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> bool {
+        if self.node_epoch[v] != self.epoch {
+            self.node_epoch[v] = self.epoch;
+            self.node_self[v] = rng.bernoulli(graph.self_risk(NodeId(v as u32)));
+        }
+        self.node_self[v]
+    }
+
+    #[inline]
+    fn edge_survives(&mut self, graph: &UncertainGraph, e: usize, rng: &mut Xoshiro256pp) -> bool {
+        if self.edge_epoch[e] != self.epoch {
+            self.edge_epoch[e] = self.epoch;
+            self.edge_surv[e] = rng.bernoulli(graph.edge_prob(ugraph::EdgeId(e as u32)));
+        }
+        self.edge_surv[e]
+    }
+
+    /// Decides whether candidate `v` defaults in the current sample
+    /// (`h_v` of Algorithm 5). Must be called between
+    /// [`begin_sample`](Self::begin_sample) calls.
+    pub fn is_influenced(
+        &mut self,
+        graph: &UncertainGraph,
+        v: NodeId,
+        rng: &mut Xoshiro256pp,
+    ) -> bool {
+        assert!(self.epoch > 0, "call begin_sample before is_influenced");
+        if self.hit_epoch[v.index()] == self.epoch {
+            return true;
+        }
+        if self.cache_negative && self.safe_epoch[v.index()] == self.epoch {
+            return false;
+        }
+        if self.visit_counter >= u32::MAX - 1 {
+            self.visit_stamp.fill(0);
+            self.visit_counter = 0;
+        }
+        self.visit_counter += 1;
+        let stamp = self.visit_counter;
+
+        self.queue.clear();
+        self.queue.push(v.0);
+        self.visit_stamp[v.index()] = stamp;
+        let mut head = 0;
+        let mut found = false;
+        'bfs: while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            // A node already known to default infects the candidate
+            // (Algorithm 5, lines 7–8).
+            if self.hit_epoch[u] == self.epoch {
+                found = true;
+                break 'bfs;
+            }
+            if self.cache_negative && self.safe_epoch[u] == self.epoch {
+                // Known safe: its ancestors through surviving edges cannot
+                // contain a defaulted node either — do not expand.
+                continue;
+            }
+            if self.node_defaults_by_self(graph, u, rng) {
+                self.hit_epoch[u] = self.epoch;
+                found = true;
+                break 'bfs;
+            }
+            let lo = graph.in_edges(NodeId(u as u32));
+            for edge in lo {
+                if self.edge_survives(graph, edge.id.index(), rng)
+                    && self.visit_stamp[edge.source.index()] != stamp
+                {
+                    self.visit_stamp[edge.source.index()] = stamp;
+                    self.queue.push(edge.source.0);
+                }
+            }
+        }
+
+        if found {
+            self.hit_epoch[v.index()] = self.epoch;
+            true
+        } else {
+            if self.cache_negative {
+                // The BFS exhausted: every visited node's surviving in-tree
+                // was fully explored, so all of them are safe this sample.
+                for &u in &self.queue {
+                    self.safe_epoch[u as usize] = self.epoch;
+                }
+            }
+            false
+        }
+    }
+
+    /// Runs one full sample over a candidate list, writing `h_v` into
+    /// `out` (resized to `candidates.len()`).
+    pub fn sample_candidates(
+        &mut self,
+        graph: &UncertainGraph,
+        candidates: &[NodeId],
+        rng: &mut Xoshiro256pp,
+        out: &mut Vec<bool>,
+    ) {
+        self.begin_sample();
+        out.clear();
+        out.extend(candidates.iter().map(|&v| false_holder(v)));
+        for (i, &v) in candidates.iter().enumerate() {
+            out[i] = self.is_influenced(graph, v, rng);
+        }
+    }
+}
+
+#[inline]
+fn false_holder(_v: NodeId) -> bool {
+    false
+}
+
+/// Runs `t` reverse samples (ids `0..t`) over `candidates` and returns
+/// per-candidate default counts (indexed by candidate position).
+pub fn reverse_counts(
+    graph: &UncertainGraph,
+    candidates: &[NodeId],
+    t: u64,
+    seed: u64,
+) -> DefaultCounts {
+    let mut sampler = ReverseSampler::new(graph);
+    let mut counts = DefaultCounts::new(candidates.len());
+    let mut buf = Vec::with_capacity(candidates.len());
+    for sample_id in 0..t {
+        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
+        sampler.sample_candidates(graph, candidates, &mut rng, &mut buf);
+        counts.begin_sample();
+        for (i, &hit) in buf.iter().enumerate() {
+            if hit {
+                counts.bump(i);
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward_counts;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn chain() -> UncertainGraph {
+        from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
+            .unwrap()
+    }
+
+    fn all_nodes(g: &UncertainGraph) -> Vec<NodeId> {
+        g.nodes().collect()
+    }
+
+    #[test]
+    fn certain_chain_always_infects() {
+        let g = from_parts(&[1.0, 0.0], &[(0, 1, 1.0)], DuplicateEdgePolicy::Error).unwrap();
+        let counts = reverse_counts(&g, &all_nodes(&g), 100, 1);
+        assert_eq!(counts.estimate(0), 1.0);
+        assert_eq!(counts.estimate(1), 1.0);
+    }
+
+    #[test]
+    fn impossible_chain_never_infects() {
+        let g = from_parts(&[0.0, 0.0], &[(0, 1, 1.0)], DuplicateEdgePolicy::Error).unwrap();
+        let counts = reverse_counts(&g, &all_nodes(&g), 100, 1);
+        assert_eq!(counts.count(0), 0);
+        assert_eq!(counts.count(1), 0);
+    }
+
+    #[test]
+    fn marginals_match_forward_sampler() {
+        let g = chain();
+        let t = 40_000;
+        let fwd = forward_counts(&g, t, 5);
+        let rev = reverse_counts(&g, &all_nodes(&g), t, 6);
+        for v in 0..3 {
+            let diff = (fwd.estimate(v) - rev.estimate(v)).abs();
+            assert!(diff < 0.02, "node {v}: fwd {} rev {}", fwd.estimate(v), rev.estimate(v));
+        }
+    }
+
+    #[test]
+    fn marginals_match_on_cyclic_graph() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1],
+            &[(0, 1, 0.6), (1, 2, 0.6), (2, 0, 0.6)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let t = 40_000;
+        let fwd = forward_counts(&g, t, 8);
+        let rev = reverse_counts(&g, &all_nodes(&g), t, 9);
+        for v in 0..3 {
+            let diff = (fwd.estimate(v) - rev.estimate(v)).abs();
+            assert!(diff < 0.02, "node {v}: fwd {} rev {}", fwd.estimate(v), rev.estimate(v));
+        }
+    }
+
+    #[test]
+    fn negative_cache_does_not_change_distribution() {
+        let g = from_parts(
+            &[0.2, 0.2, 0.2, 0.2],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let cands = all_nodes(&g);
+        let t = 30_000;
+        let with = reverse_counts(&g, &cands, t, 10);
+        // Hand-rolled run without negative cache.
+        let mut sampler = ReverseSampler::new(&g).without_negative_cache();
+        let mut counts = DefaultCounts::new(cands.len());
+        let mut buf = Vec::new();
+        for sample_id in 0..t {
+            let mut rng = Xoshiro256pp::for_sample(11, sample_id);
+            sampler.sample_candidates(&g, &cands, &mut rng, &mut buf);
+            counts.begin_sample();
+            for (i, &h) in buf.iter().enumerate() {
+                if h {
+                    counts.bump(i);
+                }
+            }
+        }
+        for v in 0..cands.len() {
+            let diff = (with.estimate(v) - counts.estimate(v)).abs();
+            assert!(diff < 0.02, "node {v}");
+        }
+    }
+
+    #[test]
+    fn coins_are_consistent_within_a_sample() {
+        // Two candidates sharing an ancestor must observe the same coin:
+        // in the graph 0 → 1, 0 → 2 with ps(0) = 0.5 and certain edges,
+        // nodes 1 and 2 default together in every sample.
+        let g = from_parts(
+            &[0.5, 0.0, 0.0],
+            &[(0, 1, 1.0), (0, 2, 1.0)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let mut sampler = ReverseSampler::new(&g);
+        let mut buf = Vec::new();
+        for sample_id in 0..500 {
+            let mut rng = Xoshiro256pp::for_sample(13, sample_id);
+            sampler.sample_candidates(&g, &[NodeId(1), NodeId(2)], &mut rng, &mut buf);
+            assert_eq!(buf[0], buf[1], "sample {sample_id}: inconsistent shared coin");
+        }
+    }
+
+    #[test]
+    fn requires_begin_sample() {
+        let g = chain();
+        let mut sampler = ReverseSampler::new(&g);
+        let mut rng = Xoshiro256pp::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sampler.is_influenced(&g, NodeId(0), &mut rng)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reverse_counts_reproducible() {
+        let g = chain();
+        let cands = all_nodes(&g);
+        assert_eq!(reverse_counts(&g, &cands, 300, 2), reverse_counts(&g, &cands, 300, 2));
+    }
+
+    #[test]
+    fn subset_candidates_only_tracked() {
+        let g = chain();
+        let counts = reverse_counts(&g, &[NodeId(2)], 20_000, 3);
+        assert_eq!(counts.len(), 1);
+        assert!((counts.estimate(0) - 0.125).abs() < 0.02);
+    }
+}

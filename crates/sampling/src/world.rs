@@ -1,0 +1,243 @@
+//! Fully materialized possible worlds.
+//!
+//! A [`PossibleWorld`] fixes the outcome of every node's self-default coin
+//! and every edge's survival coin. It is the *semantic* reference object:
+//! the samplers in [`crate::forward`] and [`crate::reverse`] never
+//! materialize worlds (that would be `O(n + m)` per sample even on sparse
+//! traversals), but their results must agree with evaluating the
+//! materialized world — which is exactly what the cross-validation tests
+//! at the bottom of this crate check.
+
+use crate::rng::Xoshiro256pp;
+use ugraph::{NodeId, UncertainGraph};
+
+/// One possible world of an uncertain graph: concrete outcomes for all
+/// node and edge coins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossibleWorld {
+    /// `self_default[v]` — did node `v` default on its own?
+    pub self_default: Vec<bool>,
+    /// `edge_live[e]` — did edge `e` (canonical id) transmit the default?
+    pub edge_live: Vec<bool>,
+}
+
+impl PossibleWorld {
+    /// Samples a world with an explicit RNG.
+    pub fn sample(graph: &UncertainGraph, rng: &mut Xoshiro256pp) -> Self {
+        let self_default =
+            graph.nodes().map(|v| rng.bernoulli(graph.self_risk(v))).collect();
+        let edge_live = graph.edges().map(|e| rng.bernoulli(graph.edge_prob(e))).collect();
+        PossibleWorld { self_default, edge_live }
+    }
+
+    /// Samples the world with id `sample_id` of the run seeded by `seed`.
+    pub fn sample_indexed(graph: &UncertainGraph, seed: u64, sample_id: u64) -> Self {
+        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
+        PossibleWorld::sample(graph, &mut rng)
+    }
+
+    /// Evaluates which nodes default in this world: a node defaults iff it
+    /// self-defaulted or is reachable from a self-defaulted node through
+    /// live edges. `O(n + m)` BFS.
+    pub fn defaulted_nodes(&self, graph: &UncertainGraph) -> Vec<bool> {
+        let n = graph.num_nodes();
+        assert_eq!(self.self_default.len(), n, "world/graph node mismatch");
+        assert_eq!(self.edge_live.len(), graph.num_edges(), "world/graph edge mismatch");
+        let mut defaulted = self.self_default.clone();
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&v| defaulted[v as usize]).collect();
+        while let Some(v) = queue.pop() {
+            for e in graph.out_edges(NodeId(v)) {
+                if self.edge_live[e.id.index()] && !defaulted[e.target.index()] {
+                    defaulted[e.target.index()] = true;
+                    queue.push(e.target.0);
+                }
+            }
+        }
+        defaulted
+    }
+
+    /// Number of coins that came up "yes" — handy for test diagnostics.
+    pub fn active_counts(&self) -> (usize, usize) {
+        (
+            self.self_default.iter().filter(|&&b| b).count(),
+            self.edge_live.iter().filter(|&&b| b).count(),
+        )
+    }
+
+    /// Probability mass of this world under the graph's distribution.
+    /// Exponentially small for non-trivial graphs; used by the exact
+    /// enumerator in `vulnds-core` and by tests on tiny graphs.
+    pub fn probability(&self, graph: &UncertainGraph) -> f64 {
+        let mut p = 1.0;
+        for v in graph.nodes() {
+            let ps = graph.self_risk(v);
+            p *= if self.self_default[v.index()] { ps } else { 1.0 - ps };
+        }
+        for e in graph.edges() {
+            let pe = graph.edge_prob(e);
+            p *= if self.edge_live[e.index()] { pe } else { 1.0 - pe };
+        }
+        p
+    }
+}
+
+/// Iterator over **all** `2^(n+m)` possible worlds of a tiny graph, in
+/// lexicographic coin order. Panics at construction if `n + m > 24` to
+/// prevent accidental blow-ups.
+#[derive(Debug)]
+pub struct WorldEnumerator<'a> {
+    graph: &'a UncertainGraph,
+    next_code: u64,
+    end: u64,
+}
+
+impl<'a> WorldEnumerator<'a> {
+    /// Creates the enumerator. `n + m` must be at most 24.
+    pub fn new(graph: &'a UncertainGraph) -> Self {
+        let bits = graph.num_nodes() + graph.num_edges();
+        assert!(bits <= 24, "world enumeration over {bits} coins is infeasible");
+        WorldEnumerator { graph, next_code: 0, end: 1u64 << bits }
+    }
+}
+
+impl Iterator for WorldEnumerator<'_> {
+    type Item = PossibleWorld;
+
+    fn next(&mut self) -> Option<PossibleWorld> {
+        if self.next_code == self.end {
+            return None;
+        }
+        let code = self.next_code;
+        self.next_code += 1;
+        let n = self.graph.num_nodes();
+        let m = self.graph.num_edges();
+        let self_default = (0..n).map(|i| code >> i & 1 == 1).collect();
+        let edge_live = (0..m).map(|i| code >> (n + i) & 1 == 1).collect();
+        Some(PossibleWorld { self_default, edge_live })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next_code) as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn chain() -> UncertainGraph {
+        from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
+            .unwrap()
+    }
+
+    #[test]
+    fn sampled_world_has_right_shape() {
+        let g = chain();
+        let w = PossibleWorld::sample_indexed(&g, 1, 0);
+        assert_eq!(w.self_default.len(), 3);
+        assert_eq!(w.edge_live.len(), 2);
+    }
+
+    #[test]
+    fn indexed_sampling_is_reproducible() {
+        let g = chain();
+        assert_eq!(
+            PossibleWorld::sample_indexed(&g, 42, 7),
+            PossibleWorld::sample_indexed(&g, 42, 7)
+        );
+        assert_ne!(
+            PossibleWorld::sample_indexed(&g, 42, 7),
+            PossibleWorld::sample_indexed(&g, 42, 8)
+        );
+    }
+
+    #[test]
+    fn propagation_follows_live_edges_only() {
+        let g = chain();
+        let w = PossibleWorld {
+            self_default: vec![true, false, false],
+            edge_live: vec![true, false],
+        };
+        assert_eq!(w.defaulted_nodes(&g), vec![true, true, false]);
+        let w2 = PossibleWorld {
+            self_default: vec![true, false, false],
+            edge_live: vec![true, true],
+        };
+        assert_eq!(w2.defaulted_nodes(&g), vec![true, true, true]);
+    }
+
+    #[test]
+    fn no_seed_no_default() {
+        let g = chain();
+        let w = PossibleWorld {
+            self_default: vec![false, false, false],
+            edge_live: vec![true, true],
+        };
+        assert_eq!(w.defaulted_nodes(&g), vec![false, false, false]);
+    }
+
+    #[test]
+    fn propagation_handles_cycles() {
+        let g = from_parts(
+            &[0.5, 0.0, 0.0],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 0, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let w = PossibleWorld {
+            self_default: vec![false, true, false],
+            edge_live: vec![true, true, true],
+        };
+        // 1 defaults → 2 → 0; terminates despite the cycle.
+        assert_eq!(w.defaulted_nodes(&g), vec![true, true, true]);
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let g = chain();
+        let total: f64 = WorldEnumerator::new(&g).map(|w| w.probability(&g)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total = {total}");
+    }
+
+    #[test]
+    fn enumerator_yields_all_worlds() {
+        let g = chain(); // 3 nodes + 2 edges = 32 worlds
+        let worlds: Vec<_> = WorldEnumerator::new(&g).collect();
+        assert_eq!(worlds.len(), 32);
+        // All distinct.
+        for i in 0..worlds.len() {
+            for j in i + 1..worlds.len() {
+                assert_ne!(worlds[i], worlds[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn enumerator_rejects_large_graphs() {
+        let risks = vec![0.5; 30];
+        let g = from_parts(&risks, &[], DuplicateEdgePolicy::Error).unwrap();
+        let _ = WorldEnumerator::new(&g);
+    }
+
+    #[test]
+    fn exact_default_probability_of_example1() {
+        // Paper Example 1: p(A) = 0.2, p(B) = 1 − 0.8·(1 − 0.2·0.2) = 0.232.
+        let g = from_parts(&[0.2, 0.2], &[(0, 1, 0.2)], DuplicateEdgePolicy::Error).unwrap();
+        let mut p = [0.0f64; 2];
+        for w in WorldEnumerator::new(&g) {
+            let d = w.defaulted_nodes(&g);
+            let pw = w.probability(&g);
+            for (i, &def) in d.iter().enumerate() {
+                if def {
+                    p[i] += pw;
+                }
+            }
+        }
+        assert!((p[0] - 0.2).abs() < 1e-12);
+        assert!((p[1] - 0.232).abs() < 1e-12);
+    }
+}

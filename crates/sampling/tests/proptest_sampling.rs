@@ -1,0 +1,108 @@
+//! Property tests for the sampling substrate.
+
+use proptest::prelude::*;
+use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
+use vulnds_sampling::{
+    antithetic_forward_counts, forward_counts, parallel_forward_counts, parallel_reverse_counts,
+    reverse_counts, PossibleWorld,
+};
+
+fn arb_graph() -> impl Strategy<Value = UncertainGraph> {
+    (2usize..=12).prop_flat_map(|n| {
+        let risks = proptest::collection::vec(0.0f64..=1.0, n);
+        let edges = proptest::collection::vec(
+            (0..n as u32, 1..n as u32, 0.0f64..=1.0)
+                .prop_map(move |(u, d, p)| (u, (u + d) % n as u32, p)),
+            0..=24,
+        );
+        (risks, edges).prop_map(|(risks, edges)| {
+            from_parts(&risks, &edges, DuplicateEdgePolicy::KeepMax).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Estimates are proper probabilities and respect hard bounds:
+    /// p(v) ≥ ps(v) when ps ∈ {0,1} edge cases hold exactly.
+    #[test]
+    fn estimates_are_probabilities(g in arb_graph()) {
+        let counts = forward_counts(&g, 400, 7);
+        for v in g.nodes() {
+            let e = counts.estimate(v.index());
+            prop_assert!((0.0..=1.0).contains(&e));
+            if g.self_risk(v) == 1.0 {
+                prop_assert_eq!(e, 1.0, "certain node must always default");
+            }
+        }
+    }
+
+    /// Parallel forward and reverse drivers are bit-identical to their
+    /// sequential counterparts for any thread count.
+    #[test]
+    fn parallel_equals_sequential(g in arb_graph(), threads in 1usize..=6) {
+        let seq = forward_counts(&g, 200, 11);
+        prop_assert_eq!(parallel_forward_counts(&g, 200, 11, threads), seq);
+        let cands: Vec<NodeId> = g.nodes().collect();
+        let rseq = reverse_counts(&g, &cands, 200, 13);
+        prop_assert_eq!(parallel_reverse_counts(&g, &cands, 200, 13, threads), rseq);
+    }
+
+    /// Antithetic estimates agree with independent ones within sampling
+    /// noise on every graph.
+    #[test]
+    fn antithetic_is_unbiased(g in arb_graph()) {
+        let t = 6_000;
+        let anti = antithetic_forward_counts(&g, t, 17);
+        let indep = forward_counts(&g, t, 19);
+        for v in g.nodes() {
+            let diff = (anti.estimate(v.index()) - indep.estimate(v.index())).abs();
+            prop_assert!(diff < 0.08, "node {v}: anti {} indep {}",
+                anti.estimate(v.index()), indep.estimate(v.index()));
+        }
+    }
+
+    /// Reverse sampling over a candidate subset matches the full run's
+    /// estimates on those candidates (same seed, same worlds).
+    #[test]
+    fn candidate_subset_consistency(g in arb_graph()) {
+        let all: Vec<NodeId> = g.nodes().collect();
+        let t = 2_000;
+        let full = reverse_counts(&g, &all, t, 23);
+        // Singleton runs see the same lazily-built worlds only if the
+        // coin-consumption order matches, which it need not — so compare
+        // statistically, not bitwise.
+        for &v in all.iter().take(3) {
+            let single = reverse_counts(&g, &[v], t, 23);
+            let diff = (single.estimate(0) - full.estimate(v.index())).abs();
+            prop_assert!(diff < 0.1, "node {v}: single {} full {}",
+                single.estimate(0), full.estimate(v.index()));
+        }
+    }
+
+    /// A materialized world's defaulted set is monotone: adding live
+    /// edges can only grow it.
+    #[test]
+    fn world_monotone_in_edges(g in arb_graph(), seed in 0u64..100) {
+        let w = PossibleWorld::sample_indexed(&g, seed, 0);
+        let base = w.defaulted_nodes(&g);
+        let mut all_live = w.clone();
+        all_live.edge_live.iter_mut().for_each(|e| *e = true);
+        let grown = all_live.defaulted_nodes(&g);
+        for v in 0..g.num_nodes() {
+            prop_assert!(!base[v] || grown[v], "default lost at {v}");
+        }
+    }
+
+    /// World probability times enumeration consistency: a sampled world
+    /// has positive probability under its own graph unless it fixed a
+    /// zero-probability coin.
+    #[test]
+    fn sampled_world_probability_positive(g in arb_graph(), seed in 0u64..50) {
+        let w = PossibleWorld::sample_indexed(&g, seed, 1);
+        // Worlds sampled from the graph can only set coins consistent
+        // with their probabilities, so p(W) > 0.
+        prop_assert!(w.probability(&g) > 0.0);
+    }
+}

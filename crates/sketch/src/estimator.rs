@@ -1,0 +1,115 @@
+//! Estimators built on top of the bottom-k machinery.
+
+use crate::bottomk::BottomK;
+use crate::hash::UnitHasher;
+
+/// Streaming distinct-count estimator over `u64` keys.
+///
+/// Thin convenience wrapper pairing a [`UnitHasher`] with a [`BottomK`]
+/// sketch; exact below saturation, estimated above.
+#[derive(Debug, Clone)]
+pub struct DistinctCounter {
+    hasher: UnitHasher,
+    sketch: BottomK,
+    observed: usize,
+}
+
+impl DistinctCounter {
+    /// Creates a counter with sketch parameter `bk` and the given seed.
+    pub fn new(bk: usize, seed: u64) -> Self {
+        DistinctCounter { hasher: UnitHasher::new(seed), sketch: BottomK::new(bk), observed: 0 }
+    }
+
+    /// Observes a key (duplicates allowed).
+    pub fn observe(&mut self, key: u64) {
+        self.observed += 1;
+        self.sketch.insert(self.hasher.hash_unit(key));
+    }
+
+    /// Total observations, including duplicates.
+    pub fn observations(&self) -> usize {
+        self.observed
+    }
+
+    /// Estimated number of distinct keys.
+    ///
+    /// Before the sketch saturates the retained count is exact, so it is
+    /// returned directly. Note this under-reports if duplicate keys were
+    /// observed pre-saturation (the sketch retains duplicate hash values);
+    /// this matches the bottom-k contract, which assumes distinct inputs.
+    pub fn estimate(&self) -> f64 {
+        self.sketch.distinct_estimate().unwrap_or(self.sketch.len() as f64)
+    }
+
+    /// Access to the underlying sketch.
+    pub fn sketch(&self) -> &BottomK {
+        &self.sketch
+    }
+}
+
+/// Estimates, from a saturated per-node counter in BSRBK, the default
+/// probability of the node: `p̂(v) = (bk − 1) / (h · t)` where `h` is the
+/// hash value of the `bk`-th sample in which `v` defaulted and `t` the
+/// total sample budget (paper, proof of Theorem 6).
+///
+/// Returns a value clamped into `[0, 1]`.
+pub fn bottomk_default_probability(bk: usize, kth_hash: f64, t: usize) -> f64 {
+    assert!(bk >= 1 && t >= 1, "bk and t must be positive");
+    assert!(kth_hash > 0.0 && kth_hash < 1.0, "hash must lie in (0,1)");
+    (((bk as f64) - 1.0) / (kth_hash * t as f64)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_saturation() {
+        let mut c = DistinctCounter::new(16, 1);
+        for k in 0..10u64 {
+            c.observe(k);
+        }
+        assert_eq!(c.estimate(), 10.0);
+        assert_eq!(c.observations(), 10);
+    }
+
+    #[test]
+    fn estimates_above_saturation() {
+        let mut c = DistinctCounter::new(64, 2);
+        for k in 0..30_000u64 {
+            c.observe(k);
+            c.observe(k); // duplicates post-saturation don't change anything
+        }
+        let est = c.estimate();
+        assert!((est - 30_000.0).abs() / 30_000.0 < 0.5, "est = {est}");
+        assert_eq!(c.observations(), 60_000);
+    }
+
+    #[test]
+    fn default_probability_formula() {
+        // bk = 5, 5th hit at hash 0.5, t = 100 → (5-1)/(0.5·100) = 0.08
+        let p = bottomk_default_probability(5, 0.5, 100);
+        assert!((p - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_probability_clamped() {
+        // Tiny hash would give > 1; clamp.
+        assert_eq!(bottomk_default_probability(64, 1e-9, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash must lie in (0,1)")]
+    fn default_probability_rejects_bad_hash() {
+        bottomk_default_probability(4, 1.0, 10);
+    }
+
+    #[test]
+    fn higher_kth_hash_means_lower_probability() {
+        // Monotonicity used by Theorem 6: whoever saturates first (smaller
+        // kth hash) has the larger estimate.
+        let p_small = bottomk_default_probability(8, 0.2, 1000);
+        let p_large = bottomk_default_probability(8, 0.4, 1000);
+        assert!(p_small > p_large);
+    }
+}

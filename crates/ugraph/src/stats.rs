@@ -1,0 +1,231 @@
+//! Degree and probability statistics (reproduces the paper's Table 2).
+
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+
+/// Summary statistics of an uncertain graph, as reported in Table 2 of the
+/// paper: node count, edge count, average degree (`m / n`) and maximum
+/// total degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of edges `m`.
+    pub edges: usize,
+    /// Average degree `m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Maximum total (in + out) degree over all nodes.
+    pub max_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean self-risk probability.
+    pub mean_self_risk: f64,
+    /// Mean edge diffusion probability.
+    pub mean_edge_prob: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass over the graph.
+    pub fn compute(g: &UncertainGraph) -> GraphStats {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut max_degree = 0;
+        let mut max_in = 0;
+        let mut max_out = 0;
+        for v in g.nodes() {
+            let din = g.in_degree(v);
+            let dout = g.out_degree(v);
+            max_in = max_in.max(din);
+            max_out = max_out.max(dout);
+            max_degree = max_degree.max(din + dout);
+        }
+        let mean_self_risk = if n == 0 { 0.0 } else { g.total_self_risk() / n as f64 };
+        let mean_edge_prob = if m == 0 {
+            0.0
+        } else {
+            g.edges().map(|e| g.edge_prob(e)).sum::<f64>() / m as f64
+        };
+        GraphStats {
+            nodes: n,
+            edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_degree,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            mean_self_risk,
+            mean_edge_prob,
+        }
+    }
+}
+
+/// Histogram of total degrees, used to validate that synthetic datasets
+/// reproduce the degree shape of the originals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeHistogram {
+    /// `counts[d]` = number of nodes with total degree `d`.
+    pub counts: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram of total (in + out) degrees.
+    pub fn total(g: &UncertainGraph) -> DegreeHistogram {
+        let mut counts = Vec::new();
+        for v in g.nodes() {
+            let d = g.degree(v);
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+        }
+        DegreeHistogram { counts }
+    }
+
+    /// Fraction of nodes with degree at least `d`: the complementary CDF.
+    pub fn ccdf(&self, d: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let at_least: usize = self.counts.iter().skip(d).sum();
+        at_least as f64 / total as f64
+    }
+
+    /// Estimates the power-law exponent `alpha` by the Clauset–Shalizi–Newman
+    /// continuous MLE over degrees `>= d_min`:
+    /// `alpha = 1 + n / Σ ln(d_i / (d_min - 0.5))`.
+    ///
+    /// Returns `None` when fewer than two nodes have degree `>= d_min`.
+    pub fn power_law_alpha_mle(&self, d_min: usize) -> Option<f64> {
+        let d_min = d_min.max(1);
+        let mut n = 0usize;
+        let mut log_sum = 0.0;
+        for (d, &c) in self.counts.iter().enumerate().skip(d_min) {
+            if c == 0 {
+                continue;
+            }
+            n += c;
+            log_sum += c as f64 * (d as f64 / (d_min as f64 - 0.5)).ln();
+        }
+        if n < 2 || log_sum <= 0.0 {
+            return None;
+        }
+        Some(1.0 + n as f64 / log_sum)
+    }
+}
+
+/// Per-node degree triple, convenient for feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeTriple {
+    /// In-degree of the node.
+    pub in_deg: u32,
+    /// Out-degree of the node.
+    pub out_deg: u32,
+}
+
+/// Collects `(in_degree, out_degree)` for every node.
+pub fn degree_triples(g: &UncertainGraph) -> Vec<DegreeTriple> {
+    g.nodes()
+        .map(|v| DegreeTriple {
+            in_deg: g.in_degree(v) as u32,
+            out_deg: g.out_degree(v) as u32,
+        })
+        .collect()
+}
+
+/// Returns the node with the maximum total degree (ties broken by id), or
+/// `None` for an empty graph.
+pub fn max_degree_node(g: &UncertainGraph) -> Option<NodeId> {
+    g.nodes().max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_parts, DuplicateEdgePolicy};
+
+    fn star() -> UncertainGraph {
+        // hub 0 → 1..=4
+        from_parts(
+            &[0.5, 0.1, 0.1, 0.1, 0.1],
+            &[(0, 1, 0.2), (0, 2, 0.4), (0, 3, 0.6), (0, 4, 0.8)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let s = GraphStats::compute(&star());
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert!((s.avg_degree - 0.8).abs() < 1e-12);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.max_out_degree, 4);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.mean_self_risk - 0.18).abs() < 1e-12);
+        assert!((s.mean_edge_prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = UncertainGraph::builder(0).build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.mean_self_risk, 0.0);
+    }
+
+    #[test]
+    fn histogram_on_star() {
+        let h = DegreeHistogram::total(&star());
+        // Four leaves with degree 1, hub with degree 4.
+        assert_eq!(h.counts[1], 4);
+        assert_eq!(h.counts[4], 1);
+        assert!((h.ccdf(1) - 1.0).abs() < 1e-12);
+        assert!((h.ccdf(2) - 0.2).abs() < 1e-12);
+        assert_eq!(h.ccdf(5), 0.0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone() {
+        let h = DegreeHistogram::total(&star());
+        let mut prev = f64::INFINITY;
+        for d in 0..8 {
+            let c = h.ccdf(d);
+            assert!(c <= prev + 1e-15);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn alpha_mle_recovers_heavy_tail_direction() {
+        // A graph with all equal degrees has no heavy tail; the MLE should
+        // still return a finite alpha > 1 when defined.
+        let g = from_parts(
+            &[0.0; 4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let h = DegreeHistogram::total(&g);
+        let alpha = h.power_law_alpha_mle(1).unwrap();
+        assert!(alpha > 1.0);
+    }
+
+    #[test]
+    fn max_degree_node_is_hub() {
+        assert_eq!(max_degree_node(&star()), Some(NodeId(0)));
+        let empty = UncertainGraph::builder(0).build().unwrap();
+        assert_eq!(max_degree_node(&empty), None);
+    }
+
+    #[test]
+    fn degree_triples_match() {
+        let t = degree_triples(&star());
+        assert_eq!(t[0].out_deg, 4);
+        assert_eq!(t[0].in_deg, 0);
+        assert_eq!(t[3].in_deg, 1);
+    }
+}

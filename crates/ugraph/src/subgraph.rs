@@ -1,0 +1,149 @@
+//! Induced subgraphs and neighborhood extraction.
+//!
+//! Risk managers drill into one guarantee circle or one hub's
+//! neighborhood; these helpers carve out the corresponding uncertain
+//! subgraph with probabilities preserved and a mapping back to the
+//! original node ids.
+
+use crate::builder::GraphBuilder;
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use crate::traversal::{Bfs, Direction};
+
+/// A subgraph together with the id mapping back to its parent graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subgraph {
+    /// The induced uncertain graph with dense ids `0..len`.
+    pub graph: UncertainGraph,
+    /// `original[i]` — the parent-graph id of subgraph node `i`.
+    pub original: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Maps a subgraph node id back to the parent graph.
+    pub fn to_original(&self, v: NodeId) -> NodeId {
+        self.original[v.index()]
+    }
+
+    /// Maps a parent-graph id into the subgraph, if present. `O(log n)`.
+    pub fn from_original(&self, v: NodeId) -> Option<NodeId> {
+        // `original` is ascending by construction.
+        self.original.binary_search(&v).ok().map(|i| NodeId(i as u32))
+    }
+}
+
+/// Builds the subgraph induced by `nodes`: those nodes, their self-risks,
+/// and every edge with both endpoints inside. Duplicate ids are merged;
+/// the result's id order follows ascending original ids.
+pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
+    let mut original: Vec<NodeId> = nodes.to_vec();
+    original.sort_unstable();
+    original.dedup();
+
+    let mut remap = vec![u32::MAX; graph.num_nodes()];
+    for (i, v) in original.iter().enumerate() {
+        remap[v.index()] = i as u32;
+    }
+
+    let mut b = GraphBuilder::new(original.len());
+    for (i, &v) in original.iter().enumerate() {
+        b.set_self_risk(NodeId(i as u32), graph.self_risk(v))
+            .expect("existing risk is valid");
+    }
+    for &v in &original {
+        for e in graph.out_edges(v) {
+            let t = remap[e.target.index()];
+            if t != u32::MAX {
+                b.add_edge(NodeId(remap[v.index()]), NodeId(t), e.prob)
+                    .expect("existing edge is valid");
+            }
+        }
+    }
+    Subgraph { graph: b.build().expect("induced subgraph is valid"), original }
+}
+
+/// The `radius`-hop neighborhood of `center` following `direction`
+/// (upstream contagion sources use `Reverse`), as an induced subgraph.
+pub fn neighborhood(
+    graph: &UncertainGraph,
+    center: NodeId,
+    radius: u32,
+    direction: Direction,
+) -> Subgraph {
+    let nodes: Vec<NodeId> = Bfs::new(graph, center, direction)
+        .take_while(|&(_, d)| d <= radius)
+        .map(|(v, _)| v)
+        .collect();
+    induced_subgraph(graph, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_parts, DuplicateEdgePolicy};
+
+    fn g() -> UncertainGraph {
+        // 0 → 1 → 2 → 3, plus 0 → 3 shortcut.
+        from_parts(
+            &[0.1, 0.2, 0.3, 0.4],
+            &[(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.8)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let s = induced_subgraph(&g(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.graph.num_nodes(), 3);
+        assert_eq!(s.graph.num_edges(), 2); // 0→1, 1→2; both 3-edges cut
+        assert_eq!(s.graph.self_risk(NodeId(2)), 0.3);
+        let e = s.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(s.graph.edge_prob(e), 0.6);
+    }
+
+    #[test]
+    fn id_mapping_roundtrips() {
+        let s = induced_subgraph(&g(), &[NodeId(3), NodeId(1)]);
+        assert_eq!(s.original, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(s.to_original(NodeId(0)), NodeId(1));
+        assert_eq!(s.from_original(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(s.from_original(NodeId(0)), None);
+    }
+
+    #[test]
+    fn duplicates_in_selection_are_merged() {
+        let s = induced_subgraph(&g(), &[NodeId(1), NodeId(1), NodeId(1)]);
+        assert_eq!(s.graph.num_nodes(), 1);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn forward_neighborhood() {
+        let s = neighborhood(&g(), NodeId(0), 1, Direction::Forward);
+        // 0 plus its 1-hop targets {1, 3}.
+        assert_eq!(s.original, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(s.graph.has_edge(NodeId(0), NodeId(1)));
+        assert!(s.graph.has_edge(NodeId(0), NodeId(2))); // 0→3 remapped
+    }
+
+    #[test]
+    fn reverse_neighborhood_finds_contagion_sources() {
+        let s = neighborhood(&g(), NodeId(3), 1, Direction::Reverse);
+        // 3 plus in-neighbors {0, 2}.
+        assert_eq!(s.original, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn radius_zero_is_singleton() {
+        let s = neighborhood(&g(), NodeId(2), 0, Direction::Forward);
+        assert_eq!(s.original, vec![NodeId(2)]);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let s = induced_subgraph(&g(), &[]);
+        assert_eq!(s.graph.num_nodes(), 0);
+    }
+}

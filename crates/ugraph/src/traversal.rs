@@ -1,0 +1,246 @@
+//! Deterministic (probability-blind) traversals over the graph structure.
+//!
+//! The samplers in `vulnds-sampling` implement their own probabilistic
+//! BFS; the traversals here treat every edge as present and are used by
+//! dataset generators, statistics, and baselines (e.g. connectivity
+//! checks, reachability counts).
+
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Direction of a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges `(v, ·)`.
+    Forward,
+    /// Follow in-edges `(·, v)`.
+    Reverse,
+}
+
+/// Breadth-first traversal from a set of roots, yielding `(node, depth)`.
+#[derive(Debug)]
+pub struct Bfs<'a> {
+    graph: &'a UncertainGraph,
+    direction: Direction,
+    queue: VecDeque<(NodeId, u32)>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Bfs<'a> {
+    /// Starts a BFS from a single root.
+    pub fn new(graph: &'a UncertainGraph, root: NodeId, direction: Direction) -> Self {
+        Self::from_roots(graph, std::iter::once(root), direction)
+    }
+
+    /// Starts a BFS from several roots at depth 0.
+    pub fn from_roots(
+        graph: &'a UncertainGraph,
+        roots: impl IntoIterator<Item = NodeId>,
+        direction: Direction,
+    ) -> Self {
+        let mut visited = vec![false; graph.num_nodes()];
+        let mut queue = VecDeque::new();
+        for r in roots {
+            if !visited[r.index()] {
+                visited[r.index()] = true;
+                queue.push_back((r, 0));
+            }
+        }
+        Bfs { graph, direction, queue, visited }
+    }
+
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = (NodeId, u32);
+
+    fn next(&mut self) -> Option<(NodeId, u32)> {
+        let (v, d) = self.queue.pop_front()?;
+        let neigh: &[u32] = match self.direction {
+            Direction::Forward => self.graph.out_neighbors(v),
+            Direction::Reverse => self.graph.in_neighbors(v),
+        };
+        for &w in neigh {
+            if !self.visited[w as usize] {
+                self.visited[w as usize] = true;
+                self.queue.push_back((NodeId(w), d + 1));
+            }
+        }
+        Some((v, d))
+    }
+}
+
+/// Returns the set of nodes reachable from `root` (inclusive) following
+/// `direction`, as a boolean mask.
+pub fn reachable_mask(graph: &UncertainGraph, root: NodeId, direction: Direction) -> Vec<bool> {
+    let mut mask = vec![false; graph.num_nodes()];
+    for (v, _) in Bfs::new(graph, root, direction) {
+        mask[v.index()] = true;
+    }
+    mask
+}
+
+/// Counts nodes reachable from `root` (inclusive).
+pub fn reachable_count(graph: &UncertainGraph, root: NodeId, direction: Direction) -> usize {
+    Bfs::new(graph, root, direction).count()
+}
+
+/// Number of weakly-connected components (edges treated as undirected).
+pub fn weakly_connected_components(graph: &UncertainGraph) -> usize {
+    let n = graph.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = count;
+        stack.push(s as u32);
+        while let Some(v) = stack.pop() {
+            let v = NodeId(v);
+            for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                if comp[w as usize] == usize::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Topological order of the nodes if the graph is a DAG, `None` otherwise
+/// (Kahn's algorithm). The exact default-probability evaluator uses this to
+/// decide whether the closed-form recursion of Definition 1 applies.
+pub fn topological_order(graph: &UncertainGraph) -> Option<Vec<NodeId>> {
+    let n = graph.num_nodes();
+    let mut indeg: Vec<u32> = (0..n).map(|v| graph.in_degree(NodeId(v as u32)) as u32).collect();
+    let mut queue: VecDeque<u32> =
+        (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(NodeId(v));
+        for &w in graph.out_neighbors(NodeId(v)) {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_parts, DuplicateEdgePolicy};
+
+    fn chain() -> UncertainGraph {
+        // 0 → 1 → 2 → 3
+        from_parts(
+            &[0.0; 4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn diamond() -> UncertainGraph {
+        // 0 → {1, 2} → 3
+        from_parts(
+            &[0.0; 4],
+            &[(0, 1, 0.5), (0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_depths_on_chain() {
+        let g = chain();
+        let order: Vec<(u32, u32)> =
+            Bfs::new(&g, NodeId(0), Direction::Forward).map(|(v, d)| (v.0, d)).collect();
+        assert_eq!(order, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn reverse_bfs_on_chain() {
+        let g = chain();
+        let order: Vec<u32> =
+            Bfs::new(&g, NodeId(3), Direction::Reverse).map(|(v, _)| v.0).collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_visits_each_node_once_on_diamond() {
+        let g = diamond();
+        let visited: Vec<u32> =
+            Bfs::new(&g, NodeId(0), Direction::Forward).map(|(v, _)| v.0).collect();
+        assert_eq!(visited.len(), 4);
+        let depth3: u32 = Bfs::new(&g, NodeId(0), Direction::Forward)
+            .find(|&(v, _)| v == NodeId(3))
+            .map(|(_, d)| d)
+            .unwrap();
+        assert_eq!(depth3, 2);
+    }
+
+    #[test]
+    fn multi_root_bfs_dedups_roots() {
+        let g = chain();
+        let visited: Vec<u32> =
+            Bfs::from_roots(&g, [NodeId(1), NodeId(1), NodeId(2)], Direction::Forward)
+                .map(|(v, _)| v.0)
+                .collect();
+        assert_eq!(visited, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reachability_helpers() {
+        let g = diamond();
+        assert_eq!(reachable_count(&g, NodeId(0), Direction::Forward), 4);
+        assert_eq!(reachable_count(&g, NodeId(3), Direction::Forward), 1);
+        assert_eq!(reachable_count(&g, NodeId(3), Direction::Reverse), 4);
+        let mask = reachable_mask(&g, NodeId(1), Direction::Forward);
+        assert_eq!(mask, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn wcc_counts() {
+        let g = from_parts(
+            &[0.0; 5],
+            &[(0, 1, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        assert_eq!(weakly_connected_components(&g), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn topo_order_on_dag() {
+        let g = diamond();
+        let order = topological_order(&g).expect("diamond is a DAG");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn topo_order_rejects_cycle() {
+        let g = from_parts(
+            &[0.0; 3],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 0, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        assert!(topological_order(&g).is_none());
+    }
+}

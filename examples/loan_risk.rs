@@ -1,0 +1,56 @@
+//! Loan-risk screening on a synthetic guaranteed-loan network — the
+//! paper's motivating scenario: a bank's risk-control center flags the
+//! top-k enterprises for manual review each month.
+//!
+//! Run with `cargo run --release --example loan_risk`.
+
+use vulnds::prelude::*;
+
+fn main() {
+    // A 10%-scale Guarantee network (Table 2 shape: near-tree with one
+    // dominant guarantor hub, financial skewed-low probabilities).
+    let graph = Dataset::Guarantee.generate_scaled(2024, 0.1);
+    let stats = GraphStats::compute(&graph);
+    println!("Guaranteed-loan network:");
+    println!("  enterprises:        {}", stats.nodes);
+    println!("  guarantee relations: {}", stats.edges);
+    println!("  max degree (hub):   {}", stats.max_degree);
+    println!("  mean self-risk:     {:.3}", stats.mean_self_risk);
+
+    // Monthly screening: flag the top 1% enterprises.
+    let k = (stats.nodes / 100).max(10);
+    let config = VulnConfig::default().with_seed(2024).with_threads(4);
+    let result = detect(&graph, k, AlgorithmKind::BottomK, &config);
+
+    println!("\nTop-{k} vulnerable enterprises (BSRBK):");
+    for (rank, s) in result.top_k.iter().take(10).enumerate() {
+        println!(
+            "  #{:<3} enterprise {:<6} estimated default probability {:.3}  (self-risk {:.3}, {} guarantors)",
+            rank + 1,
+            s.node.0,
+            s.score,
+            graph.self_risk(s.node),
+            graph.in_degree(s.node),
+        );
+    }
+    if result.top_k.len() > 10 {
+        println!("  ... and {} more", result.top_k.len() - 10);
+    }
+
+    println!("\nRun diagnostics:");
+    println!("  candidates after pruning: {} / {}", result.stats.candidates, stats.nodes);
+    println!("  verified without sampling: {}", result.stats.verified);
+    println!("  samples used / budget:     {} / {}", result.stats.samples_used, result.stats.sample_budget);
+    println!("  early-stopped:             {}", result.stats.early_stopped);
+    println!("  wall-clock:                {:?}", result.stats.elapsed);
+
+    // Contagion analysis for the riskiest enterprise: who would it drag
+    // down? (Forward reachability, structural.)
+    let worst = result.top_k[0].node;
+    let downstream =
+        ugraph::traversal::reachable_count(&graph, worst, ugraph::Direction::Forward) - 1;
+    println!(
+        "\nEnterprise {} can reach {} downstream enterprises through guarantee chains.",
+        worst.0, downstream
+    );
+}

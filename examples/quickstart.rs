@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's Figure-3 toy guaranteed-loan network and
+//! find its most vulnerable enterprises with every algorithm.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use vulnds::prelude::*;
+
+fn main() {
+    // Figure 3: enterprises A..E; an edge (X, Y) means "X's default can
+    // drag Y down" with the given diffusion probability.
+    let names = ["A", "B", "C", "D", "E"];
+    let mut b = UncertainGraph::builder(5);
+    for v in 0..5 {
+        b.set_self_risk(NodeId(v), 0.2).expect("valid probability");
+    }
+    for (u, v) in [(0u32, 1u32), (0, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+        b.add_edge(NodeId(u), NodeId(v), 0.2).expect("valid edge");
+    }
+    let graph = b.build().expect("valid graph");
+
+    println!("Toy guaranteed-loan network (paper Figure 3):");
+    println!("  nodes: {}, edges: {}", graph.num_nodes(), graph.num_edges());
+
+    // Exact default probabilities by full possible-world enumeration —
+    // feasible only because the graph has 5 + 6 = 11 coins.
+    let exact = vulnds::core::exact_default_probabilities(&graph);
+    println!("\nExact default probabilities:");
+    for v in 0..5 {
+        println!("  {}: {:.4}", names[v], exact[v]);
+    }
+
+    // Detect the top-2 vulnerable nodes with each algorithm.
+    let config = VulnConfig::default().with_seed(7);
+    println!("\nTop-2 vulnerable nodes per algorithm:");
+    for alg in AlgorithmKind::ALL {
+        let result = detect(&graph, 2, alg, &config);
+        let picks: Vec<&str> =
+            result.top_k.iter().map(|s| names[s.node.index()]).collect();
+        println!(
+            "  {:6} -> {:?}  (samples used: {}, candidates: {}, {:?})",
+            alg.label(),
+            picks,
+            result.stats.samples_used,
+            result.stats.candidates,
+            result.stats.elapsed
+        );
+    }
+
+    println!("\nE is the most vulnerable: three upstream guarantors can infect it.");
+}

@@ -1,0 +1,12 @@
+//! The `vulnds` command-line tool. See `vulnds --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vulnds::cli::parse(&args).and_then(vulnds::cli::run) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Command-line interface implementation (see the `vulnds` binary).
+//!
+//! Hand-rolled argument parsing — the dependency budget is spent on the
+//! algorithmic crates, and the grammar is small:
+//!
+//! ```text
+//! vulnds stats    <graph>                      print Table-2 style stats
+//! vulnds detect   <graph> --k <n> [options]    top-k vulnerable nodes
+//! vulnds score    <graph> [--method mc|bottomk] all-node risk scores
+//! vulnds bounds   <graph> [--order z]          lower/upper bound summary
+//! vulnds generate <dataset> <out> [--scale s]  synthetic Table-2 dataset
+//! vulnds convert  <in> <out>                   text ↔ binary by extension
+//! ```
+
+use std::fmt::Write as _;
+use ugraph::{GraphStats, UncertainGraph};
+use vulnds_core::{
+    compute_bounds, detect, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams,
+    VulnConfig,
+};
+use vulnds_datasets::Dataset;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given by the grammar above
+pub enum Command {
+    /// `stats <graph>`
+    Stats { path: String },
+    /// `detect <graph> --k <n> ...`
+    Detect { path: String, k: usize, algorithm: AlgorithmKind, config: VulnConfig },
+    /// `score <graph> --method ...`
+    Score { path: String, bottomk: bool, config: VulnConfig },
+    /// `bounds <graph> --order <z>`
+    Bounds { path: String, order: usize },
+    /// `generate <dataset> <out> --scale <s> --seed <s>`
+    Generate { dataset: Dataset, out: String, scale: f64, seed: u64 },
+    /// `convert <in> <out>`
+    Convert { input: String, output: String },
+    /// `--help` or no arguments.
+    Help,
+}
+
+/// Errors from parsing or execution, with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+vulnds — top-k vulnerable nodes detection in uncertain graphs
+
+USAGE:
+  vulnds stats    <graph>
+  vulnds detect   <graph> --k <n> [--algorithm n|sn|sr|bsr|bsrbk]
+                  [--epsilon <e>] [--delta <d>] [--seed <s>]
+                  [--threads <t>] [--bk <b>] [--bound-order <z>]
+  vulnds score    <graph> [--method mc|bottomk] [--seed <s>] [--threads <t>]
+  vulnds bounds   <graph> [--order <z>]
+  vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
+                  datasets: bitcoin facebook wiki p2p citation
+                            interbank guarantee fraud
+  vulnds convert  <in> <out>       (.bin extension selects binary format)
+
+Graph files: text format (see ugraph::io) or binary (.bin).";
+
+/// Parses an argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "stats" => {
+            let path = it.next().ok_or_else(|| err("stats: missing <graph> path"))?.clone();
+            expect_empty(it)?;
+            Ok(Command::Stats { path })
+        }
+        "detect" => {
+            let path = it.next().ok_or_else(|| err("detect: missing <graph> path"))?.clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut k: Option<usize> = None;
+            let mut algorithm = AlgorithmKind::BottomK;
+            let mut config = VulnConfig::default();
+            let mut epsilon = config.approx.epsilon();
+            let mut delta = config.approx.delta();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--k" => k = Some(value(&rest, &mut i)?.parse().map_err(|_| err("--k: not an integer"))?),
+                    "--algorithm" => algorithm = parse_algorithm(&value(&rest, &mut i)?)?,
+                    "--epsilon" => epsilon = value(&rest, &mut i)?.parse().map_err(|_| err("--epsilon: not a number"))?,
+                    "--delta" => delta = value(&rest, &mut i)?.parse().map_err(|_| err("--delta: not a number"))?,
+                    "--seed" => config.seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
+                    "--threads" => config.threads = value(&rest, &mut i)?.parse().map_err(|_| err("--threads: not an integer"))?,
+                    "--bk" => config.bk = value(&rest, &mut i)?.parse().map_err(|_| err("--bk: not an integer"))?,
+                    "--bound-order" => config.bound_order = value(&rest, &mut i)?.parse().map_err(|_| err("--bound-order: not an integer"))?,
+                    other => return Err(err(format!("detect: unknown option {other}"))),
+                }
+                i += 1;
+            }
+            config.approx = ApproxParams::new(epsilon, delta).map_err(|e| err(e.to_string()))?;
+            let k = k.ok_or_else(|| err("detect: --k is required"))?;
+            Ok(Command::Detect { path, k, algorithm, config })
+        }
+        "score" => {
+            let path = it.next().ok_or_else(|| err("score: missing <graph> path"))?.clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut bottomk = false;
+            let mut config = VulnConfig::default();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--method" => {
+                        bottomk = match value(&rest, &mut i)?.as_str() {
+                            "mc" => false,
+                            "bottomk" => true,
+                            other => return Err(err(format!("--method: unknown method {other}"))),
+                        }
+                    }
+                    "--seed" => config.seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
+                    "--threads" => config.threads = value(&rest, &mut i)?.parse().map_err(|_| err("--threads: not an integer"))?,
+                    other => return Err(err(format!("score: unknown option {other}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Score { path, bottomk, config })
+        }
+        "bounds" => {
+            let path = it.next().ok_or_else(|| err("bounds: missing <graph> path"))?.clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut order = 2;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--order" => order = value(&rest, &mut i)?.parse().map_err(|_| err("--order: not an integer"))?,
+                    other => return Err(err(format!("bounds: unknown option {other}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Bounds { path, order })
+        }
+        "generate" => {
+            let name = it.next().ok_or_else(|| err("generate: missing <dataset>"))?;
+            let dataset = parse_dataset(name)?;
+            let out = it.next().ok_or_else(|| err("generate: missing <out> path"))?.clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut scale = 1.0;
+            let mut seed = 42;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--scale" => scale = value(&rest, &mut i)?.parse().map_err(|_| err("--scale: not a number"))?,
+                    "--seed" => seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
+                    other => return Err(err(format!("generate: unknown option {other}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate { dataset, out, scale, seed })
+        }
+        "convert" => {
+            let input = it.next().ok_or_else(|| err("convert: missing <in> path"))?.clone();
+            let output = it.next().ok_or_else(|| err("convert: missing <out> path"))?.clone();
+            expect_empty(it)?;
+            Ok(Command::Convert { input, output })
+        }
+        other => Err(err(format!("unknown command {other}; see --help"))),
+    }
+}
+
+fn value(rest: &[String], i: &mut usize) -> Result<String, CliError> {
+    *i += 1;
+    rest.get(*i).cloned().ok_or_else(|| err(format!("{}: missing value", rest[*i - 1])))
+}
+
+fn expect_empty<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), CliError> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(err(format!("unexpected argument {extra}"))),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<AlgorithmKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "n" | "naive" => Ok(AlgorithmKind::Naive),
+        "sn" => Ok(AlgorithmKind::SampledNaive),
+        "sr" => Ok(AlgorithmKind::SampleReverse),
+        "bsr" => Ok(AlgorithmKind::BoundedSampleReverse),
+        "bsrbk" => Ok(AlgorithmKind::BottomK),
+        other => Err(err(format!("unknown algorithm {other} (n|sn|sr|bsr|bsrbk)"))),
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "bitcoin" => Ok(Dataset::Bitcoin),
+        "facebook" => Ok(Dataset::Facebook),
+        "wiki" => Ok(Dataset::Wiki),
+        "p2p" => Ok(Dataset::P2P),
+        "citation" => Ok(Dataset::Citation),
+        "interbank" => Ok(Dataset::Interbank),
+        "guarantee" => Ok(Dataset::Guarantee),
+        "fraud" => Ok(Dataset::Fraud),
+        other => Err(err(format!("unknown dataset {other}"))),
+    }
+}
+
+fn load(path: &str) -> Result<UncertainGraph, CliError> {
+    let result = if path.ends_with(".bin") {
+        ugraph::io_binary::load_binary(path)
+    } else {
+        ugraph::io::load_from_path(path)
+    };
+    result.map_err(|e| err(format!("failed to load {path}: {e}")))
+}
+
+fn save(g: &UncertainGraph, path: &str) -> Result<(), CliError> {
+    let result = if path.ends_with(".bin") {
+        ugraph::io_binary::save_binary(g, path)
+    } else {
+        ugraph::io::save_to_path(g, path)
+    };
+    result.map_err(|e| err(format!("failed to save {path}: {e}")))
+}
+
+/// Executes a command, returning the text to print.
+pub fn run(command: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Stats { path } => {
+            let g = load(&path)?;
+            let s = GraphStats::compute(&g);
+            let _ = writeln!(out, "nodes:            {}", s.nodes);
+            let _ = writeln!(out, "edges:            {}", s.edges);
+            let _ = writeln!(out, "avg degree:       {:.3}", s.avg_degree);
+            let _ = writeln!(out, "max degree:       {}", s.max_degree);
+            let _ = writeln!(out, "max in-degree:    {}", s.max_in_degree);
+            let _ = writeln!(out, "max out-degree:   {}", s.max_out_degree);
+            let _ = writeln!(out, "mean self-risk:   {:.4}", s.mean_self_risk);
+            let _ = writeln!(out, "mean edge prob:   {:.4}", s.mean_edge_prob);
+            let scc = ugraph::strongly_connected_components(&g);
+            let _ = writeln!(out, "SCCs:             {} ({} non-trivial)", scc.count, scc.non_trivial().len());
+        }
+        Command::Detect { path, k, algorithm, config } => {
+            let g = load(&path)?;
+            if k == 0 || k > g.num_nodes() {
+                return Err(err(format!("--k must be in 1..={}", g.num_nodes())));
+            }
+            let r = detect(&g, k, algorithm, &config);
+            let _ = writeln!(out, "# algorithm {} | samples {}/{} | candidates {} | verified {} | {:?}",
+                algorithm.label(), r.stats.samples_used, r.stats.sample_budget,
+                r.stats.candidates, r.stats.verified, r.stats.elapsed);
+            let _ = writeln!(out, "# rank node score");
+            for (rank, s) in r.top_k.iter().enumerate() {
+                let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
+            }
+        }
+        Command::Score { path, bottomk, config } => {
+            let g = load(&path)?;
+            let k_hint = (g.num_nodes() / 10).max(1);
+            let scores = if bottomk {
+                score_nodes_bottomk(&g, k_hint, &config)
+            } else {
+                score_nodes_mc(&g, k_hint, &config)
+            };
+            let _ = writeln!(out, "# node score ({})", if bottomk { "bottomk" } else { "mc" });
+            for (v, s) in scores.iter().enumerate() {
+                let _ = writeln!(out, "{v} {s:.6}");
+            }
+        }
+        Command::Bounds { path, order } => {
+            let g = load(&path)?;
+            let (lower, upper) = compute_bounds(&g, order, Default::default());
+            let _ = writeln!(out, "# node lower upper (order {order})");
+            for v in 0..g.num_nodes() {
+                let _ = writeln!(out, "{v} {:.6} {:.6}", lower[v], upper[v]);
+            }
+        }
+        Command::Generate { dataset, out: path, scale, seed } => {
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(err("--scale must be in (0, 1]"));
+            }
+            let g = dataset.generate_scaled(seed, scale);
+            save(&g, &path)?;
+            let s = GraphStats::compute(&g);
+            let _ = writeln!(out, "wrote {} ({} nodes, {} edges) to {path}", dataset, s.nodes, s.edges);
+        }
+        Command::Convert { input, output } => {
+            let g = load(&input)?;
+            save(&g, &output)?;
+            let _ = writeln!(out, "converted {input} -> {output}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_detect_with_options() {
+        let c = parse(&args(
+            "detect g.txt --k 10 --algorithm bsr --epsilon 0.2 --delta 0.05 --seed 7 --threads 4 --bk 8 --bound-order 3",
+        ))
+        .unwrap();
+        match c {
+            Command::Detect { path, k, algorithm, config } => {
+                assert_eq!(path, "g.txt");
+                assert_eq!(k, 10);
+                assert_eq!(algorithm, AlgorithmKind::BoundedSampleReverse);
+                assert_eq!(config.approx.epsilon(), 0.2);
+                assert_eq!(config.approx.delta(), 0.05);
+                assert_eq!(config.seed, 7);
+                assert_eq!(config.threads, 4);
+                assert_eq!(config.bk, 8);
+                assert_eq!(config.bound_order, 3);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detect_requires_k() {
+        let e = parse(&args("detect g.txt")).unwrap_err();
+        assert!(e.to_string().contains("--k"));
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(parse(&args("detect g.txt --k 3 --frobnicate yes")).is_err());
+        assert!(parse(&args("warp g.txt")).is_err());
+        assert!(parse(&args("detect g.txt --k 3 --algorithm quantum")).is_err());
+        assert!(parse(&args("generate mars out.txt")).is_err());
+        assert!(parse(&args("detect g.txt --k 3 --epsilon 2.0")).is_err());
+    }
+
+    #[test]
+    fn parses_all_datasets() {
+        for name in ["bitcoin", "facebook", "wiki", "p2p", "citation", "interbank", "guarantee", "fraud"] {
+            let c = parse(&args(&format!("generate {name} out.txt"))).unwrap();
+            assert!(matches!(c, Command::Generate { .. }), "{name}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_detect_convert() {
+        let dir = std::env::temp_dir().join("vulnds_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        let bin = dir.join("g.bin").to_string_lossy().to_string();
+
+        let msg = run(parse(&args(&format!("generate interbank {txt} --scale 1.0 --seed 3"))).unwrap())
+            .unwrap();
+        assert!(msg.contains("125 nodes"), "{msg}");
+
+        let stats = run(parse(&args(&format!("stats {txt}"))).unwrap()).unwrap();
+        assert!(stats.contains("nodes:            125"), "{stats}");
+        assert!(stats.contains("SCCs"), "{stats}");
+
+        let det = run(parse(&args(&format!("detect {txt} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
+            .unwrap();
+        assert!(det.lines().count() >= 7, "{det}");
+        assert!(det.contains("# algorithm BSRBK"), "{det}");
+
+        let conv = run(parse(&args(&format!("convert {txt} {bin}"))).unwrap()).unwrap();
+        assert!(conv.contains("converted"));
+        // Binary file loads and detects identically.
+        let det2 = run(parse(&args(&format!("detect {bin} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
+            .unwrap();
+        assert_eq!(
+            det.lines().skip(1).collect::<Vec<_>>(),
+            det2.lines().skip(1).collect::<Vec<_>>(),
+            "text vs binary detection differ"
+        );
+
+        let bounds = run(parse(&args(&format!("bounds {txt} --order 2"))).unwrap()).unwrap();
+        assert_eq!(bounds.lines().count(), 126); // header + 125 nodes
+
+        let score = run(parse(&args(&format!("score {txt} --method bottomk --seed 4"))).unwrap())
+            .unwrap();
+        assert_eq!(score.lines().count(), 126);
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn detect_validates_k_against_graph() {
+        let dir = std::env::temp_dir().join("vulnds_cli_k_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
+        let e = run(parse(&args(&format!("detect {txt} --k 0"))).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("--k must be"), "{e}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let e = run(Command::Stats { path: "/nonexistent/g.txt".into() }).unwrap_err();
+        assert!(e.to_string().contains("failed to load"), "{e}");
+    }
+}

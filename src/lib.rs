@@ -1,0 +1,62 @@
+//! # vulnds — top-k vulnerable nodes detection in uncertain graphs
+//!
+//! Facade crate re-exporting the full VulnDS system, a reproduction of
+//! *Efficient Top-k Vulnerable Nodes Detection in Uncertain Graphs*
+//! (Cheng, Chen, Wang, Xiang — ICDE 2022 / arXiv:1912.12383).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vulnds::prelude::*;
+//!
+//! // Build an uncertain guarantee network: node self-risks + edge
+//! // diffusion probabilities.
+//! let mut b = UncertainGraph::builder(5);
+//! for v in 0..5 {
+//!     b.set_self_risk(NodeId(v), 0.2).unwrap();
+//! }
+//! for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+//!     b.add_edge(NodeId(u), NodeId(v), 0.2).unwrap();
+//! }
+//! let graph = b.build().unwrap();
+//!
+//! // Detect the most vulnerable node with the fastest algorithm.
+//! let result = detect(&graph, 1, AlgorithmKind::BottomK, &VulnConfig::default());
+//! assert_eq!(result.top_k[0].node, NodeId(4));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`ugraph`] — uncertain graph storage, I/O and statistics.
+//! * [`sampling`] — possible-world samplers (forward / reverse / parallel).
+//! * [`sketch`] — bottom-k sketches.
+//! * [`core`] — bounds, pruning, the five detection algorithms, metrics.
+//! * [`baselines`] — centralities, influence maximization, from-scratch ML.
+//! * [`datasets`] — synthetic workloads matching the paper's Table 2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+
+pub use ugraph;
+pub use vulnds_baselines as baselines;
+pub use vulnds_core as core;
+pub use vulnds_datasets as datasets;
+pub use vulnds_sampling as sampling;
+pub use vulnds_sketch as sketch;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use ugraph::{
+        from_parts, DuplicateEdgePolicy, EdgeId, GraphBuilder, GraphStats, NodeId, UncertainGraph,
+    };
+    pub use vulnds_core::{
+        detect, precision_at_k, AlgorithmKind, ApproxParams, BoundsMethod, DetectionResult,
+        IncrementalBounds, Intervention, ScoredNode, VulnConfig, WhatIfReport,
+    };
+    pub use vulnds_datasets::{Dataset, ProbabilityModel};
+    pub use vulnds_sampling::{forward_counts, reverse_counts, Xoshiro256pp};
+}
+
+pub use prelude::*;

@@ -1,0 +1,117 @@
+//! Cross-crate correctness on small graphs where the exact answer is
+//! computable by full possible-world enumeration.
+
+use vulnds::core::{
+    exact_default_probabilities, detect, precision_with_ties, satisfies_epsilon_contract,
+    AlgorithmKind, VulnConfig,
+};
+use vulnds::prelude::*;
+
+/// The paper's Figure-3 network with uniform 0.2 probabilities.
+fn figure3() -> UncertainGraph {
+    let mut b = UncertainGraph::builder(5);
+    for v in 0..5 {
+        b.set_self_risk(NodeId(v), 0.2).unwrap();
+    }
+    for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+        b.add_edge(NodeId(u), NodeId(v), 0.2).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A tiny random graph with at most 24 coins, for enumeration.
+fn tiny_random(seed: u64) -> UncertainGraph {
+    let mut rng = Xoshiro256pp::new(seed);
+    let n = 6;
+    let m = 8;
+    let risks: Vec<f64> = (0..n).map(|_| rng.next_f64() * 0.6).collect();
+    let mut edges = Vec::new();
+    while edges.len() < m {
+        let u = rng.next_bounded(n as u64) as u32;
+        let v = rng.next_bounded(n as u64) as u32;
+        if u != v && !edges.iter().any(|&(a, b, _)| (a, b) == (u, v)) {
+            edges.push((u, v, rng.next_f64()));
+        }
+    }
+    from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap()
+}
+
+#[test]
+fn all_algorithms_find_figure3_top1() {
+    let g = figure3();
+    for alg in AlgorithmKind::ALL {
+        let r = detect(&g, 1, alg, &VulnConfig::default().with_seed(3));
+        assert_eq!(r.top_k[0].node, NodeId(4), "{alg} missed node E");
+    }
+}
+
+#[test]
+fn algorithms_track_exact_probabilities_on_random_tiny_graphs() {
+    for seed in 0..8u64 {
+        let g = tiny_random(seed);
+        let exact = exact_default_probabilities(&g);
+        for alg in AlgorithmKind::ALL {
+            let r = detect(&g, 2, alg, &VulnConfig::default().with_seed(seed * 31 + 7));
+            // Tie-tolerant precision with the paper's ε slack: returned
+            // nodes must be within ε = 0.3 of the true 2nd value.
+            let p = precision_with_ties(&r.top_k, &exact, 2, 0.3);
+            assert!(
+                p >= 0.999,
+                "{alg} on seed {seed}: precision {p}, exact {exact:?}, got {:?}",
+                r.node_ids()
+            );
+        }
+    }
+}
+
+#[test]
+fn sn_satisfies_its_epsilon_contract_with_high_frequency() {
+    // Theorem 4: SN is (0.3, 0.1)-approximate, so across 20 independent
+    // runs at most a few should violate the ε contract.
+    let g = tiny_random(42);
+    let exact = exact_default_probabilities(&g);
+    let mut violations = 0;
+    let runs = 20;
+    for seed in 0..runs {
+        let r = detect(&g, 2, AlgorithmKind::SampledNaive, &VulnConfig::default().with_seed(seed));
+        if !satisfies_epsilon_contract(&r.top_k, &exact, 2, 0.3) {
+            violations += 1;
+        }
+    }
+    // δ = 0.1 ⇒ expected ≤ 2 violations in 20; allow generous slack.
+    assert!(violations <= 5, "{violations}/{runs} contract violations");
+}
+
+#[test]
+fn bsr_never_loses_verified_nodes() {
+    // A node with a point bound above everyone's upper bound must always
+    // be returned, for every algorithm that verifies (BSR, BSRBK).
+    let mut risks = vec![0.99];
+    risks.extend(std::iter::repeat_n(0.3, 20));
+    let edges: Vec<(u32, u32, f64)> = (1..=20).map(|v| (0u32, v as u32, 0.2)).collect();
+    let g = from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap();
+    for alg in [AlgorithmKind::BoundedSampleReverse, AlgorithmKind::BottomK] {
+        for seed in 0..5 {
+            let r = detect(&g, 3, alg, &VulnConfig::default().with_seed(seed));
+            assert!(r.node_ids().contains(&NodeId(0)), "{alg} seed {seed} lost the sure node");
+        }
+    }
+}
+
+#[test]
+fn exact_matches_definition1_on_a_tree() {
+    // On an in-tree, Equation 1 is exact; the enumerator must agree.
+    let g = from_parts(
+        &[0.3, 0.2, 0.1],
+        &[(0, 1, 0.5), (1, 2, 0.4)],
+        DuplicateEdgePolicy::Error,
+    )
+    .unwrap();
+    let exact = exact_default_probabilities(&g);
+    let p0 = 0.3;
+    let p1 = 1.0 - (1.0 - 0.2) * (1.0 - 0.5 * p0);
+    let p2 = 1.0 - (1.0 - 0.1) * (1.0 - 0.4 * p1);
+    assert!((exact[0] - p0).abs() < 1e-12);
+    assert!((exact[1] - p1).abs() < 1e-12);
+    assert!((exact[2] - p2).abs() < 1e-12);
+}

@@ -67,8 +67,8 @@ mod tests {
     #[test]
     fn middle_of_path_has_all_betweenness() {
         // 0 → 1 → 2: only node 1 lies strictly between a pair.
-        let g = from_parts(&[0.0; 3], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
-            .unwrap();
+        let g =
+            from_parts(&[0.0; 3], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error).unwrap();
         let b = betweenness(&g);
         assert_eq!(b[0], 0.0);
         assert_eq!(b[1], 1.0);

@@ -42,12 +42,8 @@ pub fn core_numbers(graph: &UncertainGraph) -> Vec<u32> {
         core[v] = degree[v];
         // Peel: lower each unprocessed neighbor's degree.
         let vid = NodeId(v as u32);
-        let neighbors: Vec<u32> = graph
-            .out_neighbors(vid)
-            .iter()
-            .chain(graph.in_neighbors(vid))
-            .copied()
-            .collect();
+        let neighbors: Vec<u32> =
+            graph.out_neighbors(vid).iter().chain(graph.in_neighbors(vid)).copied().collect();
         for u in neighbors {
             let u = u as usize;
             if degree[u] > degree[v] {
@@ -92,8 +88,12 @@ mod tests {
 
     #[test]
     fn path_is_one_core() {
-        let g = from_parts(&[0.0; 4], &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)], DuplicateEdgePolicy::Error)
-            .unwrap();
+        let g = from_parts(
+            &[0.0; 4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
         let c = core_numbers(&g);
         assert!(c.iter().all(|&x| x == 1), "{c:?}");
     }

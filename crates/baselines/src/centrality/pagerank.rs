@@ -29,8 +29,7 @@ pub fn pagerank(graph: &UncertainGraph, params: PageRankParams) -> Vec<f64> {
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
-    let out_deg: Vec<f64> =
-        (0..n).map(|v| graph.out_degree(NodeId(v as u32)) as f64).collect();
+    let out_deg: Vec<f64> = (0..n).map(|v| graph.out_degree(NodeId(v as u32)) as f64).collect();
 
     for _ in 0..params.max_iter {
         let mut dangling = 0.0;

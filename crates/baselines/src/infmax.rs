@@ -24,7 +24,13 @@ pub struct InfMaxResult {
 /// Builds one RR set: reverse BFS from a random target with per-edge coin
 /// flips (IC semantics; node self-risks are ignored — IC nodes carry no
 /// probability, as the paper notes when contrasting the models).
-fn rr_set(graph: &UncertainGraph, rng: &mut Xoshiro256pp, scratch: &mut Vec<u32>, visited: &mut [u32], stamp: u32) -> Vec<u32> {
+fn rr_set(
+    graph: &UncertainGraph,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut Vec<u32>,
+    visited: &mut [u32],
+    stamp: u32,
+) -> Vec<u32> {
     let n = graph.num_nodes() as u64;
     let target = rng.next_bounded(n) as u32;
     scratch.clear();
@@ -123,8 +129,8 @@ mod tests {
     #[test]
     fn coverage_ranks_by_reachability() {
         // 0 → 1 → 2: node 0 covers RR sets of all three targets.
-        let g = from_parts(&[0.0; 3], &[(0, 1, 1.0), (1, 2, 1.0)], DuplicateEdgePolicy::Error)
-            .unwrap();
+        let g =
+            from_parts(&[0.0; 3], &[(0, 1, 1.0), (1, 2, 1.0)], DuplicateEdgePolicy::Error).unwrap();
         let r = influence_maximization(&g, 2, 600, 2);
         assert!(r.coverage[0] > r.coverage[1]);
         assert!(r.coverage[1] > r.coverage[2]);
@@ -144,8 +150,8 @@ mod tests {
 
     #[test]
     fn zero_probability_edges_do_not_spread() {
-        let g = from_parts(&[0.0; 3], &[(0, 1, 0.0), (0, 2, 0.0)], DuplicateEdgePolicy::Error)
-            .unwrap();
+        let g =
+            from_parts(&[0.0; 3], &[(0, 1, 0.0), (0, 2, 0.0)], DuplicateEdgePolicy::Error).unwrap();
         let r = influence_maximization(&g, 1, 300, 4);
         // Every node only covers its own RR sets: coverage ≈ 1/3 each.
         for v in 0..3 {

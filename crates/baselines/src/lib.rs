@@ -23,5 +23,6 @@ pub use centrality::{betweenness, core_numbers, pagerank, PageRankParams};
 pub use infmax::{influence_maximization, InfMaxResult};
 pub use labels::{draw_period_labels, PeriodLabels};
 pub use ml::{
-    node_features, roc_auc, Gbdt, GbdtParams, LogisticRegression, Mlp, SgdParams, WeightedKnn, NUM_FEATURES,
+    node_features, roc_auc, Gbdt, GbdtParams, LogisticRegression, Mlp, SgdParams, WeightedKnn,
+    NUM_FEATURES,
 };

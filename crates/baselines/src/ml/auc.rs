@@ -29,8 +29,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
         i = j + 1;
     }
 
-    let rank_sum_pos: f64 =
-        labels.iter().zip(&ranks).filter(|(&l, _)| l).map(|(_, &r)| r).sum();
+    let rank_sum_pos: f64 = labels.iter().zip(&ranks).filter(|(&l, _)| l).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
     Some(u / (pos as f64 * neg as f64))
 }

@@ -119,12 +119,8 @@ mod tests {
     use ugraph::{from_parts, DuplicateEdgePolicy};
 
     fn g() -> UncertainGraph {
-        from_parts(
-            &[0.9, 0.1, 0.3],
-            &[(0, 1, 0.8), (2, 1, 0.4)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap()
+        from_parts(&[0.9, 0.1, 0.3], &[(0, 1, 0.8), (2, 1, 0.4)], DuplicateEdgePolicy::Error)
+            .unwrap()
     }
 
     #[test]

@@ -77,14 +77,10 @@ impl Gbdt {
         let mut stumps = Vec::with_capacity(params.rounds);
         for _ in 0..params.rounds {
             // Negative gradient of logistic loss: y − p.
-            let grad: Vec<f64> = margin
-                .iter()
-                .zip(labels)
-                .map(|(&m, &y)| y as u8 as f64 - sigmoid(m))
-                .collect();
+            let grad: Vec<f64> =
+                margin.iter().zip(labels).map(|(&m, &y)| y as u8 as f64 - sigmoid(m)).collect();
             // Hessian: p(1−p), for Newton leaf values.
-            let hess: Vec<f64> =
-                margin.iter().map(|&m| sigmoid(m) * (1.0 - sigmoid(m))).collect();
+            let hess: Vec<f64> = margin.iter().map(|&m| sigmoid(m) * (1.0 - sigmoid(m))).collect();
 
             let mut best: Option<(f64, Stump)> = None;
             for (j, grid) in grids.iter().enumerate() {

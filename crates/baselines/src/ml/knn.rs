@@ -34,12 +34,8 @@ impl WeightedKnn {
     /// Weighted vote for the positive class, in `[0, 1]`.
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
         // Distances to all training rows; partial-select the k nearest.
-        let mut dist: Vec<(f64, bool)> = self
-            .rows
-            .iter()
-            .zip(&self.labels)
-            .map(|(r, &l)| (euclidean(row, r), l))
-            .collect();
+        let mut dist: Vec<(f64, bool)> =
+            self.rows.iter().zip(&self.labels).map(|(r, &l)| (euclidean(row, r), l)).collect();
         let k = self.k.min(dist.len());
         dist.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0).expect("distances are finite")
@@ -82,10 +78,7 @@ mod tests {
         for i in 0..n {
             let positive = i % 2 == 0;
             let center = if positive { 2.0 } else { 0.0 };
-            rows.push(vec![
-                center + rng.next_f64() - 0.5,
-                center + rng.next_f64() - 0.5,
-            ]);
+            rows.push(vec![center + rng.next_f64() - 0.5, center + rng.next_f64() - 0.5]);
             labels.push(positive);
         }
         (rows, labels)

@@ -39,8 +39,7 @@ impl Mlp {
         let mut w1: Vec<f64> =
             (0..hidden * d).map(|_| (rng.next_f64() * 2.0 - 1.0) * scale).collect();
         let mut b1 = vec![0.0f64; hidden];
-        let mut w2: Vec<f64> =
-            (0..hidden).map(|_| (rng.next_f64() * 2.0 - 1.0) * scale).collect();
+        let mut w2: Vec<f64> = (0..hidden).map(|_| (rng.next_f64() * 2.0 - 1.0) * scale).collect();
         let mut b2 = 0.0f64;
 
         let mut order: Vec<usize> = (0..rows.len()).collect();

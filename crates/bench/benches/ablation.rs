@@ -1,14 +1,21 @@
 //! Ablations of design choices called out in DESIGN.md §6:
-//! negative-result caching in the reverse sampler, and bottom-k early
-//! stop vs the full Equation-4 budget.
+//! negative-result caching in the reverse sampler, bottom-k early stop
+//! vs the full Equation-4 budget, incremental bounds, and antithetic
+//! sampling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ugraph::NodeId;
-use vulnds_core::{detect, AlgorithmKind, VulnConfig};
+use vulnds_bench::microbench::bench;
+use vulnds_core::engine::{DetectRequest, Detector};
+use vulnds_core::{AlgorithmKind, VulnConfig};
 use vulnds_datasets::Dataset;
 use vulnds_sampling::{DefaultCounts, ReverseSampler, Xoshiro256pp};
 
-fn run_reverse(g: &ugraph::UncertainGraph, candidates: &[NodeId], t: u64, negative_cache: bool) -> DefaultCounts {
+fn run_reverse(
+    g: &ugraph::UncertainGraph,
+    candidates: &[NodeId],
+    t: u64,
+    negative_cache: bool,
+) -> DefaultCounts {
     let mut sampler = if negative_cache {
         ReverseSampler::new(g)
     } else {
@@ -29,47 +36,34 @@ fn run_reverse(g: &ugraph::UncertainGraph, candidates: &[NodeId], t: u64, negati
     counts
 }
 
-fn bench_negative_cache(c: &mut Criterion) {
+fn main() {
     // Dense candidate set on a hub graph: many overlapping reverse BFS
     // trees, where negative caching pays.
     let g = Dataset::Guarantee.generate_scaled(1, 0.05);
     let candidates: Vec<NodeId> = (0..(g.num_nodes() as u32 / 10).max(1)).map(NodeId).collect();
-    let mut group = c.benchmark_group("reverse_negative_cache");
-    group.sample_size(10);
-    group.bench_function("with_cache", |b| b.iter(|| run_reverse(&g, &candidates, 100, true)));
-    group.bench_function("without_cache", |b| b.iter(|| run_reverse(&g, &candidates, 100, false)));
-    group.finish();
-}
+    bench("reverse_negative_cache/with_cache", || run_reverse(&g, &candidates, 100, true));
+    bench("reverse_negative_cache/without_cache", || run_reverse(&g, &candidates, 100, false));
 
-fn bench_bottomk_early_stop(c: &mut Criterion) {
-    let g = Dataset::Citation.generate_scaled(2, 0.5);
-    let k = (g.num_nodes() / 20).max(1);
+    let g2 = Dataset::Citation.generate_scaled(2, 0.5);
+    let k = (g2.num_nodes() / 20).max(1);
     let cfg = VulnConfig::default().with_seed(42);
-    let mut group = c.benchmark_group("early_stop_vs_full_budget");
-    group.sample_size(10);
-    group.bench_function("bsr_full_budget", |b| {
-        b.iter(|| detect(&g, k, AlgorithmKind::BoundedSampleReverse, &cfg));
+    bench("early_stop_vs_full_budget/bsr_full_budget", || {
+        let mut d = Detector::builder(&g2).config(cfg.clone()).build().unwrap();
+        d.detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse)).unwrap()
     });
-    group.bench_function("bsrbk_early_stop", |b| {
-        b.iter(|| detect(&g, k, AlgorithmKind::BottomK, &cfg));
+    bench("early_stop_vs_full_budget/bsrbk_early_stop", || {
+        let mut d = Detector::builder(&g2).config(cfg.clone()).build().unwrap();
+        d.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).unwrap()
     });
-    group.finish();
-}
 
-fn bench_incremental_bounds(c: &mut Criterion) {
     // Monthly recalibration: incremental repair vs full recomputation.
-    use vulnds_core::{BoundsMethod, IncrementalBounds};
-    use vulnds_datasets::{update_stream, UpdateEvent, UpdateStreamParams};
-    let g = Dataset::Guarantee.generate_scaled(3, 0.1);
-    let events = update_stream(
-        &g,
-        UpdateStreamParams { events: 50, node_fraction: 0.7, drift: 0.2 },
-        9,
-    );
-    let mut group = c.benchmark_group("incremental_vs_batch_bounds");
-    group.sample_size(10);
-    group.bench_function("incremental_repair", |b| {
-        b.iter(|| {
+    {
+        use vulnds_core::{BoundsMethod, IncrementalBounds};
+        use vulnds_datasets::{update_stream, UpdateEvent, UpdateStreamParams};
+        let g = Dataset::Guarantee.generate_scaled(3, 0.1);
+        let events =
+            update_stream(&g, UpdateStreamParams { events: 50, node_fraction: 0.7, drift: 0.2 }, 9);
+        bench("incremental_vs_batch_bounds/incremental_repair", || {
             let mut inc = IncrementalBounds::new(g.clone(), 2, BoundsMethod::Paper);
             for &ev in &events {
                 match ev {
@@ -83,9 +77,7 @@ fn bench_incremental_bounds(c: &mut Criterion) {
             }
             inc.lower()[0]
         });
-    });
-    group.bench_function("batch_recompute", |b| {
-        b.iter(|| {
+        bench("incremental_vs_batch_bounds/batch_recompute", || {
             let mut g2 = g.clone();
             let mut last = 0.0;
             for &ev in &events {
@@ -98,26 +90,14 @@ fn bench_incremental_bounds(c: &mut Criterion) {
             }
             last
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_antithetic_sampling(c: &mut Criterion) {
-    use vulnds_sampling::{antithetic_forward_counts, forward_counts};
-    let g = Dataset::Citation.generate_scaled(4, 0.5);
-    let mut group = c.benchmark_group("antithetic_vs_independent");
-    group.bench_function("independent_2000", |b| b.iter(|| forward_counts(&g, 2000, 42)));
-    group.bench_function("antithetic_2000", |b| {
-        b.iter(|| antithetic_forward_counts(&g, 2000, 42))
-    });
-    group.finish();
+    {
+        use vulnds_sampling::{antithetic_forward_counts, forward_counts};
+        let g = Dataset::Citation.generate_scaled(4, 0.5);
+        bench("antithetic_vs_independent/independent_2000", || forward_counts(&g, 2000, 42));
+        bench("antithetic_vs_independent/antithetic_2000", || {
+            antithetic_forward_counts(&g, 2000, 42)
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_negative_cache,
-    bench_bottomk_early_stop,
-    bench_incremental_bounds,
-    bench_antithetic_sampling
-);
-criterion_main!(benches);

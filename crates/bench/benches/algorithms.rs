@@ -1,37 +1,43 @@
-//! End-to-end benchmark of the five detection algorithms (the Criterion
-//! counterpart of Figure 6).
+//! End-to-end benchmark of the five detection algorithms (the
+//! micro-bench counterpart of Figure 6), cold vs warm engine sessions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vulnds_core::{detect, AlgorithmKind, VulnConfig};
+use vulnds_bench::microbench::bench;
+use vulnds_core::engine::{DetectRequest, Detector};
+use vulnds_core::{AlgorithmKind, VulnConfig};
 use vulnds_datasets::Dataset;
 
-fn bench_algorithms(c: &mut Criterion) {
+fn main() {
     let g = Dataset::Citation.generate_scaled(1, 0.5);
     let n = g.num_nodes();
     let k = (n / 20).max(1); // 5%
     let cfg = VulnConfig::default().with_seed(42);
-    let mut group = c.benchmark_group("detect_citation_k5pct");
-    group.sample_size(10);
+
+    // Cold path: a fresh session per query (bounds + sampling each time),
+    // equivalent to the deprecated free-function API.
     for alg in AlgorithmKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
-            b.iter(|| detect(&g, k, alg, &cfg));
+        let req = DetectRequest::new(k, alg);
+        bench(&format!("detect_citation_k5pct/cold/{}", alg.label()), || {
+            let mut d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+            d.detect(&req).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_k_sensitivity(c: &mut Criterion) {
+    // Warm path: one session, repeated queries served from the cache.
+    for alg in AlgorithmKind::ALL {
+        let mut d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+        let req = DetectRequest::new(k, alg);
+        d.detect(&req).unwrap();
+        bench(&format!("detect_citation_k5pct/warm/{}", alg.label()), || d.detect(&req).unwrap());
+    }
+
+    // k sensitivity for BSRBK on the interbank network.
     let g = Dataset::Interbank.generate(42);
-    let cfg = VulnConfig::default().with_seed(42);
-    let mut group = c.benchmark_group("bsrbk_interbank_by_k");
-    for &pct in &[2usize, 6, 10] {
+    for pct in [2usize, 6, 10] {
         let k = (g.num_nodes() * pct / 100).max(1);
-        group.bench_with_input(BenchmarkId::from_parameter(pct), &k, |b, &k| {
-            b.iter(|| detect(&g, k, AlgorithmKind::BottomK, &cfg));
+        let req = DetectRequest::new(k, AlgorithmKind::BottomK);
+        bench(&format!("bsrbk_interbank_by_k/{pct}pct"), || {
+            let mut d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+            d.detect(&req).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithms, bench_k_sensitivity);
-criterion_main!(benches);

@@ -1,41 +1,24 @@
 //! Bound-computation benchmarks: cost of Algorithms 2/3 by order `z`
 //! (the trade-off Figure 5 tunes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vulnds_bench::microbench::bench;
 use vulnds_core::{lower_bounds_paper, lower_bounds_safe, reduce_candidates, upper_bounds};
 use vulnds_datasets::Dataset;
 
-fn bench_bound_orders(c: &mut Criterion) {
+fn main() {
     let g = Dataset::Bitcoin.generate_scaled(1, 0.25);
-    let mut group = c.benchmark_group("bounds_by_order");
-    for &z in &[1usize, 2, 3, 5] {
-        group.bench_with_input(BenchmarkId::new("lower_paper", z), &z, |b, &z| {
-            b.iter(|| lower_bounds_paper(&g, z));
-        });
-        group.bench_with_input(BenchmarkId::new("upper", z), &z, |b, &z| {
-            b.iter(|| upper_bounds(&g, z));
-        });
+    for z in [1usize, 2, 3, 5] {
+        bench(&format!("bounds_by_order/lower_paper/{z}"), || lower_bounds_paper(&g, z));
+        bench(&format!("bounds_by_order/upper/{z}"), || upper_bounds(&g, z));
     }
-    group.finish();
-}
 
-fn bench_safe_vs_paper_lower(c: &mut Criterion) {
-    let g = Dataset::Bitcoin.generate_scaled(2, 0.25);
-    let mut group = c.benchmark_group("lower_bound_variant");
-    group.bench_function("paper", |b| b.iter(|| lower_bounds_paper(&g, 2)));
-    group.bench_function("safe", |b| b.iter(|| lower_bounds_safe(&g, 2)));
-    group.finish();
-}
+    let g2 = Dataset::Bitcoin.generate_scaled(2, 0.25);
+    bench("lower_bound_variant/paper", || lower_bounds_paper(&g2, 2));
+    bench("lower_bound_variant/safe", || lower_bounds_safe(&g2, 2));
 
-fn bench_candidate_reduction(c: &mut Criterion) {
-    let g = Dataset::P2P.generate_scaled(3, 0.1);
-    let lower = lower_bounds_paper(&g, 2);
-    let upper = upper_bounds(&g, 2);
-    let k = (g.num_nodes() / 20).max(1);
-    c.bench_function("reduce_candidates_p2p", |b| {
-        b.iter(|| reduce_candidates(&lower, &upper, k));
-    });
+    let g3 = Dataset::P2P.generate_scaled(3, 0.1);
+    let lower = lower_bounds_paper(&g3, 2);
+    let upper = upper_bounds(&g3, 2);
+    let k = (g3.num_nodes() / 20).max(1);
+    bench("reduce_candidates_p2p", || reduce_candidates(&lower, &upper, k));
 }
-
-criterion_group!(benches, bench_bound_orders, bench_safe_vs_paper_lower, bench_candidate_reduction);
-criterion_main!(benches);

@@ -1,73 +1,47 @@
 //! Micro-benchmarks of the sampling substrate: forward vs reverse
 //! samplers, and parallel scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ugraph::NodeId;
+use vulnds_bench::microbench::bench;
 use vulnds_datasets::Dataset;
 use vulnds_sampling::{
     forward_counts, parallel_forward_counts, reverse_counts, ReverseSampler, Xoshiro256pp,
 };
 
-fn bench_forward(c: &mut Criterion) {
+fn main() {
     let g = Dataset::Citation.generate_scaled(1, 0.5);
-    let mut group = c.benchmark_group("forward_sampling");
-    for &t in &[100u64, 400] {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| forward_counts(&g, t, 42));
-        });
+    for t in [100u64, 400] {
+        bench(&format!("forward_sampling/{t}"), || forward_counts(&g, t, 42));
     }
-    group.finish();
-}
 
-fn bench_reverse_vs_forward_by_candidate_fraction(c: &mut Criterion) {
     // The crossover the reverse sampler exists for: with few candidates,
     // reverse beats forward; as |B|/|V| grows, the advantage shrinks.
-    let g = Dataset::Citation.generate_scaled(2, 0.5);
-    let n = g.num_nodes();
-    let mut group = c.benchmark_group("reverse_by_candidate_fraction");
-    for &pct in &[1usize, 10, 50] {
+    let g2 = Dataset::Citation.generate_scaled(2, 0.5);
+    let n = g2.num_nodes();
+    for pct in [1usize, 10, 50] {
         let count = (n * pct / 100).max(1);
         let candidates: Vec<NodeId> = (0..count as u32).map(NodeId).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(pct), &candidates, |b, cands| {
-            b.iter(|| reverse_counts(&g, cands, 200, 42));
+        bench(&format!("reverse_by_candidate_fraction/{pct}pct"), || {
+            reverse_counts(&g2, &candidates, 200, 42)
         });
     }
-    group.finish();
-}
 
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let g = Dataset::Bitcoin.generate_scaled(3, 0.25);
-    let mut group = c.benchmark_group("parallel_forward");
-    group.sample_size(10);
-    for &threads in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
-            b.iter(|| parallel_forward_counts(&g, 2000, 42, th));
+    let g3 = Dataset::Bitcoin.generate_scaled(3, 0.25);
+    for threads in [1usize, 2, 4] {
+        bench(&format!("parallel_forward/{threads}"), || {
+            parallel_forward_counts(&g3, 2000, 42, threads)
         });
     }
-    group.finish();
-}
 
-fn bench_single_reverse_sample(c: &mut Criterion) {
-    let g = Dataset::Guarantee.generate_scaled(4, 0.05);
+    let g4 = Dataset::Guarantee.generate_scaled(4, 0.05);
     let candidates: Vec<NodeId> = (0..50u32).map(NodeId).collect();
-    c.bench_function("single_reverse_sample_50cand", |b| {
-        let mut sampler = ReverseSampler::new(&g);
-        let mut buf = Vec::new();
-        let mut sample_id = 0u64;
-        b.iter(|| {
-            let mut rng = Xoshiro256pp::for_sample(7, sample_id);
-            sample_id += 1;
-            sampler.sample_candidates(&g, &candidates, &mut rng, &mut buf);
-            buf.iter().filter(|&&h| h).count()
-        });
+    let mut sampler = ReverseSampler::new(&g4);
+    let mut buf = Vec::new();
+    let mut sample_id = 0u64;
+    bench("single_reverse_sample_50cand", || {
+        let mut rng = Xoshiro256pp::for_sample(7, sample_id);
+        sample_id += 1;
+        sampler.sample_candidates(&g4, &candidates, &mut rng, &mut buf);
+        buf.iter().filter(|&&h| h).count()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_forward,
-    bench_reverse_vs_forward_by_candidate_fraction,
-    bench_parallel_scaling,
-    bench_single_reverse_sample
-);
-criterion_main!(benches);

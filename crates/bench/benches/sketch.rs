@@ -1,44 +1,27 @@
 //! Bottom-k sketch micro-benchmarks: insertion throughput and hash-order
 //! generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vulnds_bench::microbench::bench;
 use vulnds_sketch::{hash_order, BottomK, UnitHasher};
 
-fn bench_insert(c: &mut Criterion) {
+fn main() {
     let h = UnitHasher::new(1);
     let values: Vec<f64> = (0..10_000u64).map(|k| h.hash_unit(k)).collect();
-    let mut group = c.benchmark_group("bottomk_insert_10k");
-    for &bk in &[8usize, 64, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(bk), &bk, |b, &bk| {
-            b.iter(|| {
-                let mut s = BottomK::new(bk);
-                for &v in &values {
-                    s.insert(v);
-                }
-                s.kth_smallest()
-            });
+    for bk in [8usize, 64, 512] {
+        bench(&format!("bottomk_insert_10k/{bk}"), || {
+            let mut s = BottomK::new(bk);
+            for &v in &values {
+                s.insert(v);
+            }
+            s.kth_smallest()
         });
     }
-    group.finish();
-}
 
-fn bench_hash_order(c: &mut Criterion) {
-    let h = UnitHasher::new(2);
-    let mut group = c.benchmark_group("hash_order");
-    for &t in &[1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| hash_order(&h, t));
-        });
+    let h2 = UnitHasher::new(2);
+    for t in [1_000usize, 10_000] {
+        bench(&format!("hash_order/{t}"), || hash_order(&h2, t));
     }
-    group.finish();
-}
 
-fn bench_unit_hash(c: &mut Criterion) {
-    let h = UnitHasher::new(3);
-    c.bench_function("hash_unit_1k", |b| {
-        b.iter(|| (0..1000u64).map(|k| h.hash_unit(k)).sum::<f64>());
-    });
+    let h3 = UnitHasher::new(3);
+    bench("hash_unit_1k", || (0..1000u64).map(|k| h3.hash_unit(k)).sum::<f64>());
 }
-
-criterion_group!(benches, bench_insert, bench_hash_order, bench_unit_hash);
-criterion_main!(benches);

@@ -7,7 +7,8 @@
 
 use vulnds_bench::report::{f3, Table};
 use vulnds_bench::workload;
-use vulnds_core::{detect_bsrbk, precision_with_ties};
+use vulnds_core::engine::{DetectRequest, Detector};
+use vulnds_core::{precision_with_ties, AlgorithmKind};
 use vulnds_datasets::Dataset;
 
 fn main() {
@@ -25,8 +26,11 @@ fn main() {
         for (pct, k) in workload::k_grid(g.num_nodes()) {
             let mut cells = vec![pct.to_string()];
             for bk in bks {
-                let cfg = workload::config().with_bk(bk);
-                let r = detect_bsrbk(&g, k, &cfg);
+                // `bk` is session state, so each setting gets its own
+                // session; bounds are cheap relative to sampling here.
+                let mut d =
+                    Detector::builder(&g).config(workload::config().with_bk(bk)).build().unwrap();
+                let r = d.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).unwrap();
                 cells.push(f3(precision_with_ties(&r.top_k, &truth, k, 1e-9)));
             }
             t.row(cells);

@@ -7,7 +7,8 @@
 
 use vulnds_bench::report::{dur, Table};
 use vulnds_bench::workload;
-use vulnds_core::{detect, AlgorithmKind};
+use vulnds_core::engine::{DetectRequest, Detector};
+use vulnds_core::AlgorithmKind;
 use vulnds_datasets::Dataset;
 
 fn main() {
@@ -25,7 +26,9 @@ fn main() {
             let mut n_time = 0.0f64;
             let mut bk_time = 0.0f64;
             for alg in AlgorithmKind::ALL {
-                let r = detect(&g, k, alg, &workload::config());
+                // Fresh session per run: Figure 6 times the cold path.
+                let mut d = Detector::builder(&g).config(workload::config()).build().unwrap();
+                let r = d.detect(&DetectRequest::new(k, alg)).unwrap();
                 let secs = r.stats.elapsed.as_secs_f64();
                 match alg {
                     AlgorithmKind::Naive => n_time = secs,

@@ -8,7 +8,8 @@
 
 use vulnds_bench::report::{f3, Table};
 use vulnds_bench::workload;
-use vulnds_core::{detect, precision_with_ties, AlgorithmKind};
+use vulnds_core::engine::{DetectRequest, Detector};
+use vulnds_core::{precision_with_ties, AlgorithmKind};
 use vulnds_datasets::Dataset;
 
 fn main() {
@@ -22,10 +23,14 @@ fn main() {
         let truth = workload::truth(&g);
         println!("{} (n = {}, m = {})", ds, g.num_nodes(), g.num_edges());
         let mut t = Table::new(&["k%", "N", "SN", "SR", "BSR", "BSRBK"]);
+        // One session per dataset: all k values and algorithms share the
+        // cached bounds, reductions, and sampled worlds.
+        let mut d = Detector::builder(&g).config(workload::config()).build().unwrap();
         for (pct, k) in workload::k_grid(g.num_nodes()) {
             let mut cells = vec![pct.to_string()];
-            for alg in AlgorithmKind::ALL {
-                let r = detect(&g, k, alg, &workload::config());
+            let requests: Vec<DetectRequest> =
+                AlgorithmKind::ALL.iter().map(|&alg| DetectRequest::new(k, alg)).collect();
+            for r in d.detect_many(&requests).unwrap() {
                 cells.push(f3(precision_with_ties(&r.top_k, &truth, k, 1e-9)));
             }
             t.row(cells);

@@ -12,8 +12,8 @@
 
 use vulnds_baselines::ml::features::{apply_standardization, node_features, standardize};
 use vulnds_baselines::{
-    betweenness, core_numbers, draw_period_labels, influence_maximization, pagerank, roc_auc,
-    Gbdt, GbdtParams, LogisticRegression, Mlp, PageRankParams, SgdParams, WeightedKnn,
+    betweenness, core_numbers, draw_period_labels, influence_maximization, pagerank, roc_auc, Gbdt,
+    GbdtParams, LogisticRegression, Mlp, PageRankParams, SgdParams, WeightedKnn,
 };
 use vulnds_bench::report::{f3, Table};
 use vulnds_bench::workload;
@@ -63,10 +63,7 @@ fn main() {
         ("Betweenness", betweenness(&g)),
         ("PageRank", pagerank(&g, PageRankParams::default())),
         ("K-core", core_numbers(&g).iter().map(|&c| c as f64).collect()),
-        (
-            "InfMax",
-            influence_maximization(&g, k_hint, 2000, workload::seed()).coverage,
-        ),
+        ("InfMax", influence_maximization(&g, k_hint, 2000, workload::seed()).coverage),
         ("BSRBK", score_nodes_bottomk(&g, k_hint, &cfg)),
         ("BSR", score_nodes_mc(&g, k_hint, &cfg)),
     ];

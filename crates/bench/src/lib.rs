@@ -11,12 +11,14 @@
 //! | `fig7_effectiveness` | Figure 7 — precision of the five algorithms |
 //! | `table3_case_study` | Table 3 — default-prediction AUC |
 //!
-//! Criterion micro-benches live in `benches/` (sampling, bounds, sketch,
-//! algorithms, ablations). Set `VULNDS_SCALE=1.0` to run experiments at
-//! the paper's full dataset sizes.
+//! Micro-benches live in `benches/` (sampling, bounds, sketch,
+//! algorithms, ablations), driven by the dependency-free harness in
+//! [`microbench`]. Set `VULNDS_SCALE=1.0` to run experiments at the
+//! paper's full dataset sizes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod microbench;
 pub mod report;
 pub mod workload;

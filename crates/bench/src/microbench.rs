@@ -1,0 +1,85 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! bench targets use this tiny timing loop instead of Criterion: warm up,
+//! run adaptive batches until a time budget is spent, report the median
+//! batch time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Time budget per benchmark (after warm-up). Kept small so `cargo bench`
+/// over the whole suite stays in minutes; raise `VULNDS_BENCH_MS` for
+/// more stable numbers.
+fn budget() -> Duration {
+    let ms = std::env::var("VULNDS_BENCH_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Runs `f` repeatedly and prints `name: <median iteration time>`.
+///
+/// The closure's return value is passed through a volatile read so the
+/// optimizer cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up: one untimed run (fills caches, faults pages).
+    black_box(f());
+
+    // Calibrate a batch size aiming at ~10 batches within the budget.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(100));
+    let per_batch = budget() / 10;
+    let batch = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let deadline = Instant::now() + budget();
+    let mut samples: Vec<f64> = Vec::new();
+    while Instant::now() < deadline || samples.len() < 3 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        if samples.len() >= 1000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    println!("{name}: {} ({} batches x {batch} iters)", format_secs(median), samples.len());
+}
+
+/// Opaque identity — keeps the computed value alive past the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("VULNDS_BENCH_MS", "10");
+        bench("noop", || 1 + 1);
+        std::env::remove_var("VULNDS_BENCH_MS");
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert!(format_secs(2.0).ends_with(" s"));
+        assert!(format_secs(2e-3).ends_with(" ms"));
+        assert!(format_secs(2e-6).ends_with(" µs"));
+        assert!(format_secs(2e-9).ends_with(" ns"));
+    }
+}

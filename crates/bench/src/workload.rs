@@ -9,9 +9,9 @@
 //! The paper varies `k` from 1% to 10% of `|V|`; [`k_grid`] reproduces the
 //! {2, 4, 6, 8, 10}% grid its figures plot.
 
+use ugraph::UncertainGraph;
 use vulnds_core::{ground_truth, VulnConfig};
 use vulnds_datasets::Dataset;
-use ugraph::UncertainGraph;
 
 /// Reads the experiment scale from `VULNDS_SCALE` (default 0.1).
 pub fn scale() -> f64 {
@@ -29,10 +29,7 @@ pub fn seed() -> u64 {
 
 /// The paper's `k` grid: {2, 4, 6, 8, 10}% of `|V|`, each at least 1.
 pub fn k_grid(n: usize) -> Vec<(usize, usize)> {
-    [2usize, 4, 6, 8, 10]
-        .iter()
-        .map(|&pct| (pct, ((n * pct) / 100).max(1)))
-        .collect()
+    [2usize, 4, 6, 8, 10].iter().map(|&pct| (pct, ((n * pct) / 100).max(1))).collect()
 }
 
 /// Generates a dataset at the configured experiment scale.

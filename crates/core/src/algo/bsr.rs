@@ -1,73 +1,30 @@
 //! `BSR` — bounds + verification + reverse sampling with the reduced
 //! sample size of Equation 4 (Theorem 5).
+//!
+//! The implementation lives in
+//! [`engine::BoundedSampleReverse`](crate::engine::BoundedSampleReverse);
+//! this module keeps the classic free-function entry point as a
+//! deprecated shim over a throwaway session.
 
-use super::reverse_common::{assemble_result, merge_verified, prune};
-use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use super::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
-use crate::sample_size::reduced_sample_size;
-use crate::topk::{select_top_k, ScoredNode};
-use std::time::Instant;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{parallel_reverse_counts, reverse_counts};
 
 /// Runs BSR: Algorithm 2 + 3 bounds, Algorithm 4 reduction, then reverse
 /// sampling over `B` with `t = (2/ε²) ln((k−k')(|B|−k+k')/δ)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and request \
+            `AlgorithmKind::BoundedSampleReverse`"
+)]
 pub fn detect_bsr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    validate_k(graph, k);
-    let start = Instant::now();
-    let pruned = prune(graph, k, config);
-    let k_verified = pruned.reduction.verified_count();
-    let k_rem = k - k_verified.min(k);
-    let candidates = pruned.reduction.candidates.clone();
-
-    // Degenerate cases: everything decided by the bounds alone.
-    if k_rem == 0 || candidates.len() <= k_rem {
-        let chosen = select_top_k(
-            candidates
-                .iter()
-                .map(|&node| ScoredNode { node, score: pruned.midpoint_score(node) }),
-            k_rem,
-        );
-        let top_k = merge_verified(&pruned, chosen, k);
-        return DetectionResult {
-            top_k,
-            stats: RunStats {
-                algorithm: AlgorithmKind::BoundedSampleReverse,
-                sample_budget: 0,
-                samples_used: 0,
-                candidates: candidates.len(),
-                verified: k_verified,
-                early_stopped: false,
-                elapsed: start.elapsed(),
-            },
-        };
-    }
-
-    let t = config
-        .cap_samples(reduced_sample_size(candidates.len(), k_rem, config.approx))
-        .max(1);
-    let counts = if config.threads > 1 {
-        parallel_reverse_counts(graph, &candidates, t, config.seed, config.threads)
-    } else {
-        reverse_counts(graph, &candidates, t, config.seed)
-    };
-    let top_k = assemble_result(&pruned, &candidates, &counts, k);
-    DetectionResult {
-        top_k,
-        stats: RunStats {
-            algorithm: AlgorithmKind::BoundedSampleReverse,
-            sample_budget: t,
-            samples_used: t,
-            candidates: candidates.len(),
-            verified: k_verified,
-            early_stopped: false,
-            elapsed: start.elapsed(),
-        },
-    }
+    run_one_shot(graph, k, AlgorithmKind::BoundedSampleReverse, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::sample_size::basic_sample_size;
     use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
@@ -76,8 +33,7 @@ mod tests {
         // One dominant node, a mid-tier pair, a long tail of safe nodes.
         let mut risks = vec![0.95, 0.5, 0.45];
         risks.extend(std::iter::repeat_n(0.01, 30));
-        let edges: Vec<(u32, u32, f64)> =
-            (3..32).map(|v| (0u32, v as u32, 0.02)).collect();
+        let edges: Vec<(u32, u32, f64)> = (3..32).map(|v| (0u32, v as u32, 0.02)).collect();
         from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap()
     }
 

@@ -1,149 +1,33 @@
 //! `BSRBK` — BSR plus the bottom-k early-stopping rule (paper §3.3).
 //!
-//! Sample ids `0..t` are assigned hash values in `(0, 1)` and visited in
-//! ascending hash order. Each candidate counts the samples in which it
-//! defaults; the moment `k − k'` candidates have reached `bk` hits, the
-//! run stops. By Theorem 6 the candidates that saturate first are exactly
-//! those with the largest bottom-k estimates
-//! `p̂(v) = (bk − 1) / (h_bk(v) · t)`, where `h_bk(v)` is the hash of the
-//! sample in which `v` scored its `bk`-th hit.
-//!
-//! If the budget is exhausted before the stop condition fires, the
-//! algorithm degrades to plain BSR ranking: unsaturated candidates are
-//! ranked by `count / samples`, saturated ones by their sketch estimate
-//! (their raw counts are frozen at `bk` because saturated candidates are
-//! skipped — the sketch estimate is the unbiased continuation).
+//! The implementation lives in
+//! [`engine::BottomKEarlyStop`](crate::engine::BottomKEarlyStop); this
+//! module keeps the classic free-function entry point as a deprecated
+//! shim over a throwaway session. See the engine type for the algorithm
+//! description (hash-ordered samples, Theorem-6 stopping rule, BSR-style
+//! fallback when the budget runs out).
 
-use super::reverse_common::{merge_verified, prune};
-use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use super::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
-use crate::sample_size::reduced_sample_size;
-use crate::topk::{select_top_k, ScoredNode};
-use std::time::Instant;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{ReverseSampler, Xoshiro256pp};
-use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 
-/// Seed domain separator so the sample-order hash never correlates with
-/// the possible-world RNG streams.
-const HASH_DOMAIN: u64 = 0xB077_0A6B_5EED_0001;
-
-/// Runs BSRBK. See the module docs.
+/// Runs BSRBK.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::BottomK`"
+)]
 pub fn detect_bsrbk(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    validate_k(graph, k);
-    assert!(config.bk >= 2, "bottom-k parameter must be at least 2");
-    let start = Instant::now();
-    let pruned = prune(graph, k, config);
-    let k_verified = pruned.reduction.verified_count();
-    let k_rem = k - k_verified.min(k);
-    let candidates = pruned.reduction.candidates.clone();
-
-    if k_rem == 0 || candidates.len() <= k_rem {
-        let chosen = select_top_k(
-            candidates
-                .iter()
-                .map(|&node| ScoredNode { node, score: pruned.midpoint_score(node) }),
-            k_rem,
-        );
-        let top_k = merge_verified(&pruned, chosen, k);
-        return DetectionResult {
-            top_k,
-            stats: RunStats {
-                algorithm: AlgorithmKind::BottomK,
-                sample_budget: 0,
-                samples_used: 0,
-                candidates: candidates.len(),
-                verified: k_verified,
-                early_stopped: false,
-                elapsed: start.elapsed(),
-            },
-        };
-    }
-
-    let t = config
-        .cap_samples(reduced_sample_size(candidates.len(), k_rem, config.approx))
-        .max(1);
-    let hasher = UnitHasher::new(config.seed ^ HASH_DOMAIN);
-    let order = hash_order(&hasher, t as usize);
-
-    let mut sampler = ReverseSampler::new(graph);
-    let mut counters = vec![0u32; candidates.len()];
-    let mut kth_hash = vec![0.0f64; candidates.len()];
-    let mut saturated = vec![false; candidates.len()];
-    let mut saturated_count = 0usize;
-    let mut samples_used = 0u64;
-    let mut early_stopped = false;
-
-    'outer: for &sample_id in &order {
-        let h = hasher.hash_unit(sample_id as u64);
-        let mut rng = Xoshiro256pp::for_sample(config.seed, sample_id as u64);
-        sampler.begin_sample();
-        samples_used += 1;
-        for (i, &v) in candidates.iter().enumerate() {
-            if saturated[i] {
-                continue;
-            }
-            if sampler.is_influenced(graph, v, &mut rng) {
-                counters[i] += 1;
-                if counters[i] as usize == config.bk {
-                    saturated[i] = true;
-                    kth_hash[i] = h;
-                    saturated_count += 1;
-                }
-            }
-        }
-        if saturated_count >= k_rem {
-            early_stopped = true;
-            break 'outer;
-        }
-    }
-
-    let chosen = if early_stopped {
-        // Rank the saturated candidates by their sketch estimates; more
-        // than k_rem can saturate in the final sample, so select.
-        select_top_k(
-            candidates.iter().enumerate().filter(|(i, _)| saturated[*i]).map(|(i, &node)| {
-                ScoredNode {
-                    node,
-                    score: bottomk_default_probability(config.bk, kth_hash[i], t as usize),
-                }
-            }),
-            k_rem,
-        )
-    } else {
-        // Budget exhausted: BSR-style ranking.
-        select_top_k(
-            candidates.iter().enumerate().map(|(i, &node)| ScoredNode {
-                node,
-                score: if saturated[i] {
-                    bottomk_default_probability(config.bk, kth_hash[i], t as usize)
-                } else {
-                    counters[i] as f64 / samples_used as f64
-                },
-            }),
-            k_rem,
-        )
-    };
-    let top_k = merge_verified(&pruned, chosen, k);
-
-    DetectionResult {
-        top_k,
-        stats: RunStats {
-            algorithm: AlgorithmKind::BottomK,
-            sample_budget: t,
-            samples_used,
-            candidates: candidates.len(),
-            verified: k_verified,
-            early_stopped,
-            elapsed: start.elapsed(),
-        },
-    }
+    run_one_shot(graph, k, AlgorithmKind::BottomK, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
+    use super::super::detect_bsr;
     use super::*;
     use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    use vulnds_sampling::Xoshiro256pp;
 
     /// A random sparse graph whose order-2 bounds are genuinely loose
     /// (every node sits on a cycle-ish mesh, so intervals overlap and
@@ -176,7 +60,7 @@ mod tests {
     fn uses_fewer_samples_than_bsr() {
         let g = random_graph(400, 800, 5);
         let cfg = VulnConfig::default().with_seed(5);
-        let bsr = super::super::detect_bsr(&g, 10, &cfg);
+        let bsr = detect_bsr(&g, 10, &cfg);
         let bk = detect_bsrbk(&g, 10, &cfg);
         assert!(
             bk.stats.samples_used <= bsr.stats.samples_used,

@@ -11,14 +11,19 @@
 mod bsr;
 mod bsrbk;
 mod naive;
-mod reverse_common;
+pub(crate) mod reverse_common;
 mod sn;
 mod sr;
 
+#[allow(deprecated)]
 pub use bsr::detect_bsr;
+#[allow(deprecated)]
 pub use bsrbk::detect_bsrbk;
+#[allow(deprecated)]
 pub use naive::detect_naive;
+#[allow(deprecated)]
 pub use sn::detect_sn;
+#[allow(deprecated)]
 pub use sr::detect_sr;
 
 use crate::config::VulnConfig;
@@ -108,27 +113,42 @@ impl DetectionResult {
 /// Validates `k` against the graph size.
 pub(crate) fn validate_k(graph: &UncertainGraph, k: usize) {
     assert!(k >= 1, "k must be positive");
-    assert!(
-        k <= graph.num_nodes(),
-        "k = {k} exceeds the number of nodes ({})",
-        graph.num_nodes()
-    );
+    assert!(k <= graph.num_nodes(), "k = {k} exceeds the number of nodes ({})", graph.num_nodes());
 }
 
-/// Runs the selected algorithm.
+/// One-shot run through a throwaway engine session — the compatibility
+/// path behind the deprecated free functions. Produces results identical
+/// to the pre-engine implementations (a cold session draws exactly the
+/// same sample streams).
+pub(crate) fn run_one_shot(
+    graph: &UncertainGraph,
+    k: usize,
+    algorithm: AlgorithmKind,
+    config: &VulnConfig,
+) -> DetectionResult {
+    validate_k(graph, k);
+    let mut detector = crate::engine::Detector::builder(graph)
+        .config(config.clone())
+        .build()
+        .expect("session configuration is valid");
+    match detector.detect(&crate::engine::DetectRequest::new(k, algorithm)) {
+        Ok(response) => response.into_detection_result(),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs the selected algorithm in a throwaway session.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and call `detect` on it"
+)]
 pub fn detect(
     graph: &UncertainGraph,
     k: usize,
     algorithm: AlgorithmKind,
     config: &VulnConfig,
 ) -> DetectionResult {
-    match algorithm {
-        AlgorithmKind::Naive => detect_naive(graph, k, config),
-        AlgorithmKind::SampledNaive => detect_sn(graph, k, config),
-        AlgorithmKind::SampleReverse => detect_sr(graph, k, config),
-        AlgorithmKind::BoundedSampleReverse => detect_bsr(graph, k, config),
-        AlgorithmKind::BottomK => detect_bsrbk(graph, k, config),
-    }
+    run_one_shot(graph, k, algorithm, config)
 }
 
 #[cfg(test)]

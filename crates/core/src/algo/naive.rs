@@ -1,51 +1,28 @@
 //! `N` — Algorithm 1 with a fixed sample budget.
+//!
+//! The implementation lives in
+//! [`engine::NaiveMonteCarlo`](crate::engine::NaiveMonteCarlo); this
+//! module keeps the classic free-function entry point as a deprecated
+//! shim over a throwaway session.
 
-use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
+use super::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
-use crate::topk::select_top_k_dense;
-use std::time::Instant;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{forward_counts, parallel_forward_counts};
-
-/// Shared by N and SN: forward-sample `t` worlds, estimate every node's
-/// default probability, return the top-k.
-pub(super) fn forward_detect(
-    graph: &UncertainGraph,
-    k: usize,
-    t: u64,
-    algorithm: AlgorithmKind,
-    config: &VulnConfig,
-) -> DetectionResult {
-    validate_k(graph, k);
-    let start = Instant::now();
-    let counts = if config.threads > 1 {
-        parallel_forward_counts(graph, t, config.seed, config.threads)
-    } else {
-        forward_counts(graph, t, config.seed)
-    };
-    let top_k = select_top_k_dense(&counts.estimates(), k);
-    DetectionResult {
-        top_k,
-        stats: RunStats {
-            algorithm,
-            sample_budget: t,
-            samples_used: t,
-            candidates: graph.num_nodes(),
-            verified: 0,
-            early_stopped: false,
-            elapsed: start.elapsed(),
-        },
-    }
-}
 
 /// Runs the naive baseline with the configured fixed budget
 /// (`config.naive_samples`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::Naive`"
+)]
 pub fn detect_naive(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    forward_detect(graph, k, config.naive_samples, AlgorithmKind::Naive, config)
+    run_one_shot(graph, k, AlgorithmKind::Naive, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
 

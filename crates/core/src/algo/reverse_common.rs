@@ -1,27 +1,22 @@
-//! Plumbing shared by the reverse-sampling algorithms (SR, BSR, BSRBK).
+//! Plumbing shared by the reverse-sampling algorithms (SR, BSR, BSRBK):
+//! a borrowed view over the bound/reduction phase plus final-ranking
+//! assembly. The engine owns the cached bounds and reductions; these
+//! helpers only borrow them.
 
-use crate::bounds::compute_bounds;
-use crate::candidates::{reduce_candidates, CandidateReduction};
-use crate::config::VulnConfig;
+use crate::candidates::CandidateReduction;
 use crate::topk::{select_top_k, ScoredNode};
-use ugraph::{NodeId, UncertainGraph};
+use ugraph::NodeId;
 use vulnds_sampling::DefaultCounts;
 
-/// Bound computation + Algorithm 4, as configured.
-pub(super) fn prune(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> Pruned {
-    let (lower, upper) = compute_bounds(graph, config.bound_order, config.bounds_method);
-    let reduction = reduce_candidates(&lower, &upper, k);
-    Pruned { lower, upper, reduction }
+/// Borrowed view of the pruning phase: bound vectors plus the candidate
+/// reduction built from them.
+pub(crate) struct Pruned<'a> {
+    pub lower: &'a [f64],
+    pub upper: &'a [f64],
+    pub reduction: &'a CandidateReduction,
 }
 
-/// Bounds plus the candidate reduction built from them.
-pub(super) struct Pruned {
-    pub lower: Vec<f64>,
-    pub upper: Vec<f64>,
-    pub reduction: CandidateReduction,
-}
-
-impl Pruned {
+impl Pruned<'_> {
     /// Score assigned to nodes that skip estimation (verified nodes, and
     /// candidates auto-included when `|B| ≤ k − k'`): the bound-interval
     /// midpoint, which is the best available point estimate without
@@ -34,8 +29,8 @@ impl Pruned {
 /// Assembles the final ranking: verified nodes first (scored by their
 /// bound midpoints, clamped to dominate), then the best `k − k'`
 /// estimated candidates.
-pub(super) fn assemble_result(
-    pruned: &Pruned,
+pub(crate) fn assemble_result(
+    pruned: &Pruned<'_>,
     candidates: &[NodeId],
     estimates: &DefaultCounts,
     k: usize,
@@ -53,8 +48,8 @@ pub(super) fn assemble_result(
 
 /// Places verified nodes ahead of the estimated selection, preserving both
 /// orders, truncated to `k`.
-pub(super) fn merge_verified(
-    pruned: &Pruned,
+pub(crate) fn merge_verified(
+    pruned: &Pruned<'_>,
     chosen: Vec<ScoredNode>,
     k: usize,
 ) -> Vec<ScoredNode> {
@@ -72,8 +67,17 @@ pub(super) fn merge_verified(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bounds::compute_bounds;
+    use crate::candidates::reduce_candidates;
     use crate::config::VulnConfig;
-    use ugraph::{from_parts, DuplicateEdgePolicy};
+    use ugraph::{from_parts, DuplicateEdgePolicy, UncertainGraph};
+
+    fn prune(g: &UncertainGraph, k: usize) -> (Vec<f64>, Vec<f64>, CandidateReduction) {
+        let cfg = VulnConfig::default();
+        let (lower, upper) = compute_bounds(g, cfg.bound_order, cfg.bounds_method);
+        let reduction = reduce_candidates(&lower, &upper, k);
+        (lower, upper, reduction)
+    }
 
     #[test]
     fn prune_produces_consistent_reduction() {
@@ -83,11 +87,11 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
-        let p = prune(&g, 2, &VulnConfig::default());
-        assert_eq!(p.lower.len(), 4);
-        assert_eq!(p.upper.len(), 4);
+        let (lower, upper, reduction) = prune(&g, 2);
+        assert_eq!(lower.len(), 4);
+        assert_eq!(upper.len(), 4);
         // Verified + candidates never exceeds n, covers at least k.
-        let total = p.reduction.verified_count() + p.reduction.candidate_count();
+        let total = reduction.verified_count() + reduction.candidate_count();
         assert!(total >= 2);
         assert!(total <= 4);
     }
@@ -95,8 +99,9 @@ mod tests {
     #[test]
     fn assemble_orders_verified_first() {
         let g = from_parts(&[0.9, 0.2, 0.1], &[(0, 1, 0.9)], DuplicateEdgePolicy::Error).unwrap();
-        let pruned = prune(&g, 2, &VulnConfig::default());
-        let cands = pruned.reduction.candidates.clone();
+        let (lower, upper, reduction) = prune(&g, 2);
+        let pruned = Pruned { lower: &lower, upper: &upper, reduction: &reduction };
+        let cands = reduction.candidates.clone();
         let mut est = DefaultCounts::new(cands.len());
         est.begin_sample();
         for i in 0..cands.len() {
@@ -105,7 +110,7 @@ mod tests {
         let out = assemble_result(&pruned, &cands, &est, 2);
         assert_eq!(out.len(), 2);
         // Any verified node must appear before non-verified ones.
-        for (i, v) in pruned.reduction.verified.iter().enumerate() {
+        for (i, v) in reduction.verified.iter().enumerate() {
             assert_eq!(out[i].node, *v);
         }
     }

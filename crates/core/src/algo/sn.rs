@@ -1,20 +1,28 @@
 //! `SN` — Algorithm 1 with the sample size of Equation 3, making it an
 //! `(ε, δ)`-approximation (Theorem 4).
+//!
+//! The implementation lives in
+//! [`engine::SampledNaive`](crate::engine::SampledNaive); this module
+//! keeps the classic free-function entry point as a deprecated shim over
+//! a throwaway session.
 
-use super::naive::forward_detect;
-use super::{AlgorithmKind, DetectionResult};
+use super::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
-use crate::sample_size::basic_sample_size;
 use ugraph::UncertainGraph;
 
 /// Runs SN: `t = (2/ε²) ln(k(n−k)/δ)` forward samples, then top-k.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::SampledNaive`"
+)]
 pub fn detect_sn(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    let t = config.cap_samples(basic_sample_size(graph.num_nodes(), k, config.approx)).max(1);
-    forward_detect(graph, k, t, AlgorithmKind::SampledNaive, config)
+    run_one_shot(graph, k, AlgorithmKind::SampledNaive, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::sample_size::basic_sample_size;
     use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};

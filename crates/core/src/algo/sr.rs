@@ -1,61 +1,29 @@
 //! `SR` — reverse sampling over the candidate set derived with the
 //! *second* rule of Lemma 1 only (no verification).
+//!
+//! The implementation lives in
+//! [`engine::SampleReverse`](crate::engine::SampleReverse); this module
+//! keeps the classic free-function entry point as a deprecated shim over
+//! a throwaway session.
 
-use super::reverse_common::{assemble_result, prune, Pruned};
-use super::{validate_k, AlgorithmKind, DetectionResult, RunStats};
-use crate::candidates::CandidateReduction;
+use super::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
-use crate::sample_size::reduced_sample_size;
-use std::time::Instant;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{parallel_reverse_counts, reverse_counts};
 
 /// Runs SR: prune with rule 2, reverse-sample the survivors with
 /// `t = (2/ε²) ln(k(|B|−k)/δ)`, return the top-k estimates.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::SampleReverse`"
+)]
 pub fn detect_sr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    validate_k(graph, k);
-    let start = Instant::now();
-    let full = prune(graph, k, config);
-    // Rule 2 only: fold the verified nodes back into the candidate pool.
-    let mut candidates = full.reduction.verified.clone();
-    candidates.extend(full.reduction.candidates.iter().copied());
-    candidates.sort_unstable_by_key(|v| v.0);
-    let pruned = Pruned {
-        lower: full.lower,
-        upper: full.upper,
-        reduction: CandidateReduction {
-            verified: Vec::new(),
-            candidates: candidates.clone(),
-            t_lower: full.reduction.t_lower,
-            t_upper: full.reduction.t_upper,
-        },
-    };
-
-    let t = config
-        .cap_samples(reduced_sample_size(candidates.len(), k, config.approx))
-        .max(1);
-    let counts = if config.threads > 1 {
-        parallel_reverse_counts(graph, &candidates, t, config.seed, config.threads)
-    } else {
-        reverse_counts(graph, &candidates, t, config.seed)
-    };
-    let top_k = assemble_result(&pruned, &candidates, &counts, k);
-    DetectionResult {
-        top_k,
-        stats: RunStats {
-            algorithm: AlgorithmKind::SampleReverse,
-            sample_budget: t,
-            samples_used: t,
-            candidates: candidates.len(),
-            verified: 0,
-            early_stopped: false,
-            elapsed: start.elapsed(),
-        },
-    }
+    run_one_shot(graph, k, AlgorithmKind::SampleReverse, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
 

@@ -79,7 +79,11 @@ pub fn upper_bounds(graph: &UncertainGraph, z: usize) -> Vec<f64> {
 }
 
 /// Dispatch on the configured method, returning `(lower, upper)`.
-pub fn compute_bounds(graph: &UncertainGraph, z: usize, method: BoundsMethod) -> (Vec<f64>, Vec<f64>) {
+pub fn compute_bounds(
+    graph: &UncertainGraph,
+    z: usize,
+    method: BoundsMethod,
+) -> (Vec<f64>, Vec<f64>) {
     let lower = match method {
         BoundsMethod::Paper => lower_bounds_paper(graph, z),
         BoundsMethod::Safe => lower_bounds_safe(graph, z),

@@ -59,8 +59,7 @@ pub fn reduce_candidates(lower: &[f64], upper: &[f64], k: usize) -> CandidateRed
     let t_upper = kth_largest(upper, k).expect("k validated above");
 
     // Rule 1 survivors, to be capped at k.
-    let mut rule1: Vec<u32> =
-        (0..n as u32).filter(|&v| lower[v as usize] >= t_upper).collect();
+    let mut rule1: Vec<u32> = (0..n as u32).filter(|&v| lower[v as usize] >= t_upper).collect();
     rule1.sort_unstable_by(|&a, &b| {
         lower[b as usize]
             .partial_cmp(&lower[a as usize])
@@ -141,8 +140,8 @@ mod tests {
         let upper = vec![0.5; 4];
         let r = reduce_candidates(&lower, &upper, 2);
         assert_eq!(r.verified_count(), 2);
-        assert_eq!(r.verified, vec![NodeId(0), NodeId(1)]); // id tie-break
-        // The others remain candidates (their pu ≥ Tl).
+        // Ties break by id; the others remain candidates (their pu ≥ Tl).
+        assert_eq!(r.verified, vec![NodeId(0), NodeId(1)]);
         assert_eq!(r.candidates, vec![NodeId(2), NodeId(3)]);
     }
 

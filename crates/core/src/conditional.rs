@@ -53,8 +53,7 @@ pub fn intervention_scores(
     for &v in evidence {
         g.set_self_risk(v, 1.0).expect("evidence node must exist");
     }
-    vulnds_sampling::parallel_forward_counts(&g, t, config.seed, config.threads.max(1))
-        .estimates()
+    vulnds_sampling::parallel_forward_counts(&g, t, config.seed, config.threads.max(1)).estimates()
 }
 
 /// Bayesian conditioning by rejection: draw worlds until `accept_target`
@@ -125,12 +124,8 @@ mod tests {
 
     fn chain() -> UncertainGraph {
         // 0 → 1 → 2 with moderate probabilities everywhere.
-        from_parts(
-            &[0.3, 0.2, 0.1],
-            &[(0, 1, 0.6), (1, 2, 0.6)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap()
+        from_parts(&[0.3, 0.2, 0.1], &[(0, 1, 0.6), (1, 2, 0.6)], DuplicateEdgePolicy::Error)
+            .unwrap()
     }
 
     #[test]
@@ -141,12 +136,11 @@ mod tests {
         let cfg = VulnConfig::default().with_seed(3);
         let est = conditional_scores(&g, &evidence, 4_000, 200_000, &cfg);
         assert!(est.accepted >= 4_000, "only {} accepted", est.accepted);
-        for v in 0..3 {
+        for (v, &truth) in exact.iter().enumerate() {
             assert!(
-                (est.scores[v] - exact[v]).abs() < 0.03,
-                "node {v}: est {} exact {}",
+                (est.scores[v] - truth).abs() < 0.03,
+                "node {v}: est {} exact {truth}",
                 est.scores[v],
-                exact[v]
             );
         }
         // Evidence node reports probability 1.
@@ -207,12 +201,11 @@ mod tests {
         let exact = exact_conditional(&g, &[NodeId(0), NodeId(2)]);
         let cfg = VulnConfig::default().with_seed(11);
         let est = conditional_scores(&g, &[NodeId(0), NodeId(2)], 2_000, 500_000, &cfg);
-        for v in 0..3 {
+        for (v, &truth) in exact.iter().enumerate() {
             assert!(
-                (est.scores[v] - exact[v]).abs() < 0.05,
-                "node {v}: est {} exact {}",
+                (est.scores[v] - truth).abs() < 0.05,
+                "node {v}: est {} exact {truth}",
                 est.scores[v],
-                exact[v]
             );
         }
     }

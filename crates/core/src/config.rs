@@ -52,7 +52,7 @@ impl ApproxParams {
 }
 
 /// Which lower/upper bound recursion the pruning phase uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BoundsMethod {
     /// Algorithms 2 and 3 verbatim. The upper bound is provably valid (the
     /// default indicators are increasing functions of independent coins,

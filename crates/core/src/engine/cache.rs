@@ -1,0 +1,141 @@
+//! Session caches: bounds, candidate reductions, and prefix-extendable
+//! sample counts.
+//!
+//! The sample cache exploits the samplers' per-sample RNG streams
+//! (sample `i` is always drawn from the stream derived from `(seed, i)`):
+//! cumulative counts over ids `0..t` are a *prefix sum* in `t`, so a
+//! snapshot at `t0 < t` extends to `t` by drawing only ids `t0..t` — the
+//! result is bit-identical to a cold run of `0..t`, which is what lets a
+//! warm session serve exact answers while drawing strictly fewer fresh
+//! samples.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use vulnds_sampling::DefaultCounts;
+
+/// Cap on stored snapshots per stream: a session sweeping many distinct
+/// budgets would otherwise accumulate one O(slots) counts vector per
+/// budget forever. When full, the smallest prefix is evicted — it is the
+/// cheapest to re-draw, and the largest snapshot (which every future
+/// extension builds on) is always among the survivors.
+const MAX_SNAPSHOTS: usize = 8;
+
+/// Prefix-extendable cache of cumulative sample counts for one stream
+/// (one seed and, for reverse sampling, one candidate set).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SampleCache {
+    /// `t →` cumulative counts over sample ids `0..t`. Shared out as
+    /// `Arc` so exact cache hits are O(1) instead of an O(slots) copy.
+    snapshots: BTreeMap<u64, Arc<DefaultCounts>>,
+}
+
+impl SampleCache {
+    /// Returns cumulative counts over sample ids `0..t`, drawing as few
+    /// fresh samples as possible. `draw` materializes counts for a raw
+    /// id range. Returns `(counts, drawn, reused)` where `drawn + reused
+    /// == t`.
+    pub(crate) fn serve(
+        &mut self,
+        t: u64,
+        draw: impl FnOnce(Range<u64>) -> DefaultCounts,
+    ) -> (Arc<DefaultCounts>, u64, u64) {
+        if let Some(hit) = self.snapshots.get(&t) {
+            return (hit.clone(), 0, t);
+        }
+        let floor = self.snapshots.range(..t).next_back().map(|(&t0, c)| (t0, c.clone()));
+        let (t0, counts) = match floor {
+            Some((t0, base)) => {
+                let mut extended = (*base).clone();
+                extended.merge(&draw(t0..t));
+                (t0, Arc::new(extended))
+            }
+            None => (0, Arc::new(draw(0..t))),
+        };
+        self.snapshots.insert(t, counts.clone());
+        while self.snapshots.len() > MAX_SNAPSHOTS {
+            let smallest = *self.snapshots.keys().next().expect("cache is non-empty");
+            if smallest == t {
+                // Never evict what this call just produced; the next
+                // smallest goes instead.
+                let second = *self.snapshots.keys().nth(1).expect("len > MAX >= 2");
+                self.snapshots.remove(&second);
+            } else {
+                self.snapshots.remove(&smallest);
+            }
+        }
+        (counts, t - t0, t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fake draw: counts slot 0 once per sample, tagging nothing else —
+    /// enough to verify prefix arithmetic.
+    fn draw(range: Range<u64>) -> DefaultCounts {
+        let mut c = DefaultCounts::new(1);
+        for _ in range {
+            c.begin_sample();
+            c.bump(0);
+        }
+        c
+    }
+
+    #[test]
+    fn cold_draws_everything() {
+        let mut cache = SampleCache::default();
+        let (c, drawn, reused) = cache.serve(10, draw);
+        assert_eq!((c.samples(), drawn, reused), (10, 10, 0));
+    }
+
+    #[test]
+    fn exact_hit_draws_nothing() {
+        let mut cache = SampleCache::default();
+        cache.serve(10, draw);
+        let (c, drawn, reused) = cache.serve(10, draw);
+        assert_eq!((c.samples(), drawn, reused), (10, 0, 10));
+    }
+
+    #[test]
+    fn extends_prefix() {
+        let mut cache = SampleCache::default();
+        cache.serve(10, draw);
+        let (c, drawn, reused) = cache.serve(25, draw);
+        assert_eq!((c.samples(), c.count(0), drawn, reused), (25, 25, 15, 10));
+        // The new snapshot serves exact hits too.
+        let (_, drawn, reused) = cache.serve(25, draw);
+        assert_eq!((drawn, reused), (0, 25));
+    }
+
+    #[test]
+    fn smaller_than_all_snapshots_redraws() {
+        let mut cache = SampleCache::default();
+        cache.serve(100, draw);
+        let (c, drawn, reused) = cache.serve(40, draw);
+        assert_eq!((c.samples(), drawn, reused), (40, 40, 0));
+        // The new 40-snapshot now serves the gap between 0 and 100.
+        let (_, drawn, reused) = cache.serve(70, draw);
+        assert_eq!((drawn, reused), (30, 40));
+    }
+
+    #[test]
+    fn snapshot_count_is_bounded_and_keeps_the_largest() {
+        let mut cache = SampleCache::default();
+        for t in 1..=50u64 {
+            cache.serve(t * 10, draw);
+        }
+        assert!(cache.snapshots.len() <= MAX_SNAPSHOTS);
+        // The largest prefix survives eviction: an extension past it
+        // reuses all 500 cached samples.
+        let (_, drawn, reused) = cache.serve(600, draw);
+        assert_eq!((drawn, reused), (100, 500));
+        // Eviction never drops the snapshot produced by the current call.
+        let (_, drawn, reused) = cache.serve(5, draw);
+        assert_eq!((drawn, reused), (5, 0));
+        let (_, drawn, reused) = cache.serve(5, draw);
+        assert_eq!((drawn, reused), (0, 5));
+    }
+}

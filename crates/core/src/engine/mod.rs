@@ -1,0 +1,706 @@
+//! # The session-oriented detection engine
+//!
+//! [`Detector`] is the primary public API of the VulnDS system: a query
+//! session bound to one graph that owns the run configuration, a worker
+//! thread count, and **reusable state** — bound vectors (Algorithms 2–3),
+//! candidate reductions (Algorithm 4), and cumulative sampled-world
+//! counts — so that repeated queries (multiple `k`, tweaked `ε`/`δ`,
+//! what-if follow-ups) amortize each other's work instead of re-deriving
+//! everything from scratch like the classic free functions.
+//!
+//! ```
+//! use ugraph::{NodeId, UncertainGraph};
+//! use vulnds_core::engine::{DetectRequest, Detector};
+//! use vulnds_core::AlgorithmKind;
+//!
+//! let mut b = UncertainGraph::builder(5);
+//! for v in 0..5 {
+//!     b.set_self_risk(NodeId(v), 0.2).unwrap();
+//! }
+//! for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+//!     b.add_edge(NodeId(u), NodeId(v), 0.2).unwrap();
+//! }
+//! let graph = b.build().unwrap();
+//!
+//! let mut detector = Detector::builder(&graph).seed(7).build().unwrap();
+//! let top1 = detector.detect(&DetectRequest::new(1, AlgorithmKind::BottomK)).unwrap();
+//! assert_eq!(top1.top_k[0].node, NodeId(4));
+//!
+//! // A follow-up query reuses the session's bounds and sampled worlds.
+//! let top2 = detector.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)).unwrap();
+//! assert!(top2.engine.bounds_reused);
+//! ```
+//!
+//! ## Determinism
+//!
+//! Results are bit-identical for a given `(graph, config, request)`
+//! across thread counts, across repeated calls, and across warm vs cold
+//! caches: sample `i` is always drawn from the RNG stream derived from
+//! `(seed, i)`, so cached cumulative counts over ids `0..t0` extend to
+//! `0..t` by drawing only `t0..t` — exactly what a cold run would have
+//! produced.
+//!
+//! ## Batching
+//!
+//! [`Detector::detect_many`] answers a batch of requests while sharing
+//! one sampling pass per stream: requests that sample the same stream
+//! (same seed and, for reverse sampling, the same candidate set) are
+//! served in ascending budget order, so the whole group draws only
+//! `max(tᵢ)` fresh worlds instead of `Σ tᵢ`. Every response is still
+//! bit-identical to a lone [`Detector::detect`] call for that request.
+
+mod algorithms;
+mod cache;
+mod request;
+
+pub use algorithms::{
+    algorithm, Algorithm, BottomKEarlyStop, BoundedSampleReverse, NaiveMonteCarlo, SampleReverse,
+    SampledNaive,
+};
+pub use request::{DetectRequest, DetectResponse, EngineStats, ResolvedRequest};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ugraph::{NodeId, UncertainGraph};
+use vulnds_sampling::{
+    parallel_forward_counts_range, parallel_reverse_counts_range, DefaultCounts,
+};
+
+use crate::algo::AlgorithmKind;
+use crate::bounds::compute_bounds;
+use crate::candidates::{reduce_candidates, CandidateReduction};
+use crate::config::{ApproxParams, BoundsMethod, VulnConfig};
+use crate::error::Result;
+
+use cache::SampleCache;
+
+/// Lower and upper bound vectors, as cached by a session.
+pub type BoundsPair = (Vec<f64>, Vec<f64>);
+
+/// Builder for a [`Detector`] session.
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder<'g> {
+    graph: &'g UncertainGraph,
+    config: VulnConfig,
+    threads: Option<usize>,
+}
+
+impl<'g> DetectorBuilder<'g> {
+    /// Adopts a full configuration (including its thread count, for
+    /// drop-in compatibility with the classic API).
+    pub fn config(mut self, config: VulnConfig) -> Self {
+        self.threads = Some(config.threads);
+        self.config = config;
+        self
+    }
+
+    /// Session RNG seed (identical seeds give identical results).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Default `(ε, δ)` approximation contract for requests that do not
+    /// override it.
+    pub fn approx(mut self, approx: ApproxParams) -> Self {
+        self.config.approx = approx;
+        self
+    }
+
+    /// Order `z` of the bound recursions (Algorithms 2–3).
+    pub fn bound_order(mut self, z: usize) -> Self {
+        self.config.bound_order = z;
+        self
+    }
+
+    /// Which bound recursion the pruning phase uses.
+    pub fn bounds_method(mut self, method: BoundsMethod) -> Self {
+        self.config.bounds_method = method;
+        self
+    }
+
+    /// Bottom-k early-stop parameter for BSRBK.
+    pub fn bk(mut self, bk: usize) -> Self {
+        self.config.bk = bk;
+        self
+    }
+
+    /// Fixed budget of the naive `N` baseline.
+    pub fn naive_samples(mut self, t: u64) -> Self {
+        self.config.naive_samples = t;
+        self
+    }
+
+    /// Hard cap on any computed sample size.
+    pub fn max_samples(mut self, cap: u64) -> Self {
+        self.config.max_samples = Some(cap);
+        self
+    }
+
+    /// Worker threads for the samplers. Defaults to the machine's
+    /// available parallelism; results do not depend on the choice.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Result<Detector<'g>> {
+        let mut config = self.config;
+        config.threads = self.threads.unwrap_or_else(default_threads).max(1);
+        Ok(Detector { graph: self.graph, config, state: EngineState::default() })
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Cumulative cache counters for a whole session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Queries answered (batch requests count individually).
+    pub queries: u64,
+    /// Possible worlds freshly sampled.
+    pub samples_drawn: u64,
+    /// Possible worlds served from cache instead of being re-sampled.
+    pub samples_reused: u64,
+    /// Bound vectors computed.
+    pub bounds_computed: u64,
+    /// Bound-vector cache hits.
+    pub bounds_reused: u64,
+    /// Candidate reductions computed.
+    pub reductions_computed: u64,
+    /// Candidate-reduction cache hits.
+    pub reductions_reused: u64,
+}
+
+/// Session caches (bounds, reductions, sample streams) plus counters.
+#[derive(Debug, Default)]
+struct EngineState {
+    bounds: HashMap<(usize, BoundsMethod), Arc<BoundsPair>>,
+    reductions: HashMap<(usize, usize, BoundsMethod), Arc<CandidateReduction>>,
+    forward: HashMap<u64, SampleCache>,
+    reverse: HashMap<(u64, Vec<u32>), SampleCache>,
+    totals: SessionStats,
+}
+
+/// What [`Algorithm`] implementations see of a session: the graph, the
+/// resolved configuration, and cache accessors that record usage.
+pub struct EngineCtx<'a> {
+    graph: &'a UncertainGraph,
+    config: &'a VulnConfig,
+    state: &'a mut EngineState,
+    request: EngineStats,
+    // First-access guards: a request that computes bounds and then reaches
+    // them again through the cache did not "reuse" session state.
+    bounds_accessed: bool,
+    reduction_accessed: bool,
+    // False during batch planning: cache traffic that only sizes budgets
+    // must not show up in the session or per-request counters.
+    record_usage: bool,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// The session's graph.
+    pub fn graph(&self) -> &'a UncertainGraph {
+        self.graph
+    }
+
+    /// The session's resolved configuration.
+    pub fn config(&self) -> &VulnConfig {
+        self.config
+    }
+
+    /// Bound vectors for the session's `(order, method)`, computed once
+    /// per session.
+    pub fn bounds(&mut self) -> Arc<BoundsPair> {
+        let first_access = !self.bounds_accessed;
+        self.bounds_accessed = true;
+        let key = (self.config.bound_order, self.config.bounds_method);
+        if let Some(hit) = self.state.bounds.get(&key) {
+            if first_access && self.record_usage {
+                self.request.bounds_reused = true;
+                self.state.totals.bounds_reused += 1;
+            }
+            return hit.clone();
+        }
+        let pair = Arc::new(compute_bounds(self.graph, key.0, key.1));
+        self.state.bounds.insert(key, pair.clone());
+        self.state.totals.bounds_computed += 1;
+        pair
+    }
+
+    /// Candidate reduction (Algorithm 4) for `k`, computed once per
+    /// session and `k`.
+    pub fn reduction(&mut self, k: usize) -> Arc<CandidateReduction> {
+        let first_access = !self.reduction_accessed;
+        self.reduction_accessed = true;
+        let key = (k, self.config.bound_order, self.config.bounds_method);
+        if let Some(hit) = self.state.reductions.get(&key) {
+            if first_access && self.record_usage {
+                self.request.reduction_reused = true;
+                self.state.totals.reductions_reused += 1;
+            }
+            return hit.clone();
+        }
+        let bounds = self.bounds();
+        let reduction = Arc::new(reduce_candidates(&bounds.0, &bounds.1, k));
+        self.state.reductions.insert(key, reduction.clone());
+        self.state.totals.reductions_computed += 1;
+        reduction
+    }
+
+    /// Cumulative forward-sample counts over ids `0..t` for `seed`,
+    /// served through the session's prefix-extendable cache.
+    pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
+        let (graph, threads) = (self.graph, self.config.threads);
+        let cache = self.state.forward.entry(seed).or_default();
+        let (counts, drawn, reused) =
+            cache.serve(t, |range| parallel_forward_counts_range(graph, range, seed, threads));
+        self.note_usage(drawn, reused);
+        counts
+    }
+
+    /// Cumulative reverse-sample counts over ids `0..t` for
+    /// `(seed, candidates)`, served through the session's
+    /// prefix-extendable cache. Counts are indexed by candidate position.
+    pub fn reverse_counts(
+        &mut self,
+        candidates: &[NodeId],
+        t: u64,
+        seed: u64,
+    ) -> Arc<DefaultCounts> {
+        let (graph, threads) = (self.graph, self.config.threads);
+        let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
+        let cache = self.state.reverse.entry(key).or_default();
+        let (counts, drawn, reused) = cache.serve(t, |range| {
+            parallel_reverse_counts_range(graph, candidates, range, seed, threads)
+        });
+        self.note_usage(drawn, reused);
+        counts
+    }
+
+    /// Records worlds an algorithm sampled outside the cache (BSRBK's
+    /// adaptive pass).
+    pub fn note_adaptive_samples(&mut self, drawn: u64) {
+        self.note_usage(drawn, 0);
+    }
+
+    fn note_usage(&mut self, drawn: u64, reused: u64) {
+        self.request.samples_drawn += drawn;
+        self.request.samples_reused += reused;
+        self.state.totals.samples_drawn += drawn;
+        self.state.totals.samples_reused += reused;
+    }
+}
+
+/// How a request will sample, for batch planning: requests with equal
+/// keys share one stream and extend each other's prefixes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PlanKey {
+    /// Forward sampling over all nodes (N, SN).
+    Forward { seed: u64 },
+    /// Reverse sampling over a fixed candidate set (SR, BSR).
+    Reverse { seed: u64, candidates: Vec<u32> },
+    /// Adaptive or sampling-free: nothing to share (BSRBK, degenerate
+    /// BSR). The index keeps each solo request in its own group.
+    Solo { index: usize },
+}
+
+/// A query session bound to one graph. See the [module docs](self).
+#[derive(Debug)]
+pub struct Detector<'g> {
+    graph: &'g UncertainGraph,
+    config: VulnConfig,
+    state: EngineState,
+}
+
+impl<'g> Detector<'g> {
+    /// Starts building a session for `graph`.
+    pub fn builder(graph: &'g UncertainGraph) -> DetectorBuilder<'g> {
+        DetectorBuilder { graph, config: VulnConfig::default(), threads: None }
+    }
+
+    /// The session's graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.graph
+    }
+
+    /// The session's resolved configuration (threads already defaulted).
+    pub fn config(&self) -> &VulnConfig {
+        &self.config
+    }
+
+    /// Cumulative cache counters for the session.
+    pub fn session_stats(&self) -> SessionStats {
+        self.state.totals
+    }
+
+    /// Drops all cached state (bounds, reductions, sampled worlds) but
+    /// keeps the session counters. Subsequent queries behave like a
+    /// fresh session — results are identical either way.
+    pub fn clear_cache(&mut self) {
+        let totals = self.state.totals;
+        self.state = EngineState::default();
+        self.state.totals = totals;
+    }
+
+    /// Precomputes the session's bound vectors (useful before taking
+    /// traffic) and returns them.
+    pub fn warm_bounds(&mut self) -> Arc<BoundsPair> {
+        self.ctx().bounds()
+    }
+
+    fn ctx(&mut self) -> EngineCtx<'_> {
+        EngineCtx {
+            graph: self.graph,
+            config: &self.config,
+            state: &mut self.state,
+            request: EngineStats::default(),
+            bounds_accessed: false,
+            reduction_accessed: false,
+            record_usage: true,
+        }
+    }
+
+    /// Answers one request.
+    pub fn detect(&mut self, request: &DetectRequest) -> Result<DetectResponse> {
+        let resolved = request.resolve(self.graph, &self.config)?;
+        let algo = algorithm(resolved.algorithm);
+        let mut ctx = self.ctx();
+        let mut response = algo.run(&mut ctx, &resolved)?;
+        response.engine = ctx.request;
+        self.state.totals.queries += 1;
+        Ok(response)
+    }
+
+    /// Answers a batch of requests, sharing one sampling pass per
+    /// stream.
+    ///
+    /// Requests with the same stream (same seed; for reverse sampling
+    /// also the same candidate set) are executed in ascending budget
+    /// order, so the group draws only `max(tᵢ)` fresh worlds in total.
+    /// Responses come back in request order and are bit-identical to
+    /// what a lone [`Detector::detect`] call would return.
+    ///
+    /// Validation is all-or-nothing: if any request is invalid, no
+    /// request runs.
+    ///
+    /// Per-response `bounds_reused`/`reduction_reused` flags describe
+    /// session state at the moment each request executes — bounds the
+    /// batch planner computed while sizing budgets count as session
+    /// state, so even the batch's first reverse-sampling request can
+    /// report them reused. Planning itself records no cache usage.
+    pub fn detect_many(&mut self, requests: &[DetectRequest]) -> Result<Vec<DetectResponse>> {
+        let resolved: Vec<ResolvedRequest> =
+            requests.iter().map(|r| r.resolve(self.graph, &self.config)).collect::<Result<_>>()?;
+
+        // Plan each request's stream and budget, then order: groups by
+        // first appearance, ascending budget within a group (so later
+        // requests extend earlier prefixes instead of redrawing).
+        let plans: Vec<(PlanKey, u64)> =
+            resolved.iter().enumerate().map(|(i, r)| self.plan(i, r)).collect();
+        let mut first_seen: HashMap<&PlanKey, usize> = HashMap::new();
+        for (i, (key, _)) in plans.iter().enumerate() {
+            first_seen.entry(key).or_insert(i);
+        }
+        let mut order: Vec<usize> = (0..resolved.len()).collect();
+        order.sort_by_key(|&i| (first_seen[&plans[i].0], plans[i].1, i));
+
+        let mut responses: Vec<Option<DetectResponse>> = vec![None; resolved.len()];
+        for i in order {
+            let algo = algorithm(resolved[i].algorithm);
+            let mut ctx = self.ctx();
+            let mut response = algo.run(&mut ctx, &resolved[i])?;
+            response.engine = ctx.request;
+            self.state.totals.queries += 1;
+            responses[i] = Some(response);
+        }
+        Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
+    }
+
+    /// Stream key and sample budget for one resolved request. Uses the
+    /// session caches (bounds/reductions computed here are reused by the
+    /// actual run) but records no usage: planning is bookkeeping, not a
+    /// query.
+    fn plan(&mut self, index: usize, req: &ResolvedRequest) -> (PlanKey, u64) {
+        let mut ctx = self.ctx();
+        ctx.record_usage = false;
+        match req.algorithm {
+            AlgorithmKind::Naive => {
+                (PlanKey::Forward { seed: req.seed }, ctx.config().naive_samples)
+            }
+            AlgorithmKind::SampledNaive => {
+                let t = algorithms::sn_budget(&ctx, req);
+                (PlanKey::Forward { seed: req.seed }, t)
+            }
+            AlgorithmKind::SampleReverse | AlgorithmKind::BoundedSampleReverse => {
+                // Same derivation the run will use — see `reverse_plan`.
+                let plan = algorithms::reverse_plan(&mut ctx, req);
+                if plan.degenerate {
+                    return (PlanKey::Solo { index }, 0);
+                }
+                let ids = plan.candidates.iter().map(|v| v.0).collect();
+                (PlanKey::Reverse { seed: req.seed, candidates: ids }, plan.budget)
+            }
+            AlgorithmKind::BottomK => (PlanKey::Solo { index }, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::VulnError;
+    use vulnds_sampling::Xoshiro256pp;
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> UncertainGraph {
+        let mut rng = Xoshiro256pp::new(seed);
+        let risks: Vec<f64> = (0..n).map(|_| rng.next_f64() * 0.5).collect();
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            if u != v {
+                edges.push((u, v, rng.next_f64() * 0.5));
+            }
+        }
+        ugraph::from_parts(&risks, &edges, ugraph::DuplicateEdgePolicy::KeepMax).unwrap()
+    }
+
+    fn session(graph: &UncertainGraph) -> Detector<'_> {
+        Detector::builder(graph).config(VulnConfig::default().with_seed(77)).build().unwrap()
+    }
+
+    #[test]
+    fn cold_session_matches_legacy_shims() {
+        let g = random_graph(120, 240, 1);
+        let cfg = VulnConfig::default().with_seed(77);
+        for kind in AlgorithmKind::ALL {
+            let legacy = crate::algo::run_one_shot(&g, 6, kind, &cfg);
+            let mut d = session(&g);
+            let resp = d.detect(&DetectRequest::new(6, kind)).unwrap();
+            assert_eq!(resp.top_k, legacy.top_k, "{kind}");
+            assert_eq!(resp.stats.samples_used, legacy.stats.samples_used, "{kind}");
+            assert_eq!(resp.stats.sample_budget, legacy.stats.sample_budget, "{kind}");
+        }
+    }
+
+    #[test]
+    fn warm_cache_serves_identical_results_without_redrawing() {
+        let g = random_graph(100, 200, 2);
+        let mut d = session(&g);
+        for kind in [
+            AlgorithmKind::Naive,
+            AlgorithmKind::SampledNaive,
+            AlgorithmKind::SampleReverse,
+            AlgorithmKind::BoundedSampleReverse,
+        ] {
+            let req = DetectRequest::new(5, kind);
+            let cold = d.detect(&req).unwrap();
+            let warm = d.detect(&req).unwrap();
+            assert_eq!(warm.top_k, cold.top_k, "{kind}");
+            assert_eq!(warm.engine.samples_drawn, 0, "{kind}: drew fresh samples when warm");
+            assert_eq!(warm.engine.samples_reused, cold.stats.samples_used, "{kind}");
+        }
+    }
+
+    #[test]
+    fn bounds_and_reduction_are_reused_across_k() {
+        let g = random_graph(80, 160, 3);
+        let mut d = session(&g);
+        let a = d.detect(&DetectRequest::new(3, AlgorithmKind::BoundedSampleReverse)).unwrap();
+        assert!(!a.engine.bounds_reused);
+        let b = d.detect(&DetectRequest::new(7, AlgorithmKind::BoundedSampleReverse)).unwrap();
+        assert!(b.engine.bounds_reused, "bounds must be shared across k");
+        assert!(!b.engine.reduction_reused, "different k needs its own reduction");
+        let c = d.detect(&DetectRequest::new(7, AlgorithmKind::BottomK)).unwrap();
+        assert!(c.engine.reduction_reused, "same k shares the reduction across algorithms");
+    }
+
+    #[test]
+    fn detect_many_matches_individual_calls_and_draws_fewer_samples() {
+        let g = random_graph(100, 200, 4);
+        let requests = vec![
+            DetectRequest::new(4, AlgorithmKind::SampledNaive),
+            DetectRequest::new(8, AlgorithmKind::SampledNaive),
+            DetectRequest::new(4, AlgorithmKind::BoundedSampleReverse),
+            DetectRequest::new(6, AlgorithmKind::Naive),
+        ];
+        let mut batch = session(&g);
+        let responses = batch.detect_many(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+
+        let mut independent_total = 0u64;
+        for (req, resp) in requests.iter().zip(&responses) {
+            let mut solo = session(&g);
+            let solo_resp = solo.detect(req).unwrap();
+            assert_eq!(solo_resp.top_k, resp.top_k, "batch answer differs for {req:?}");
+            independent_total += solo.session_stats().samples_drawn;
+        }
+        let batch_total = batch.session_stats().samples_drawn;
+        assert!(
+            batch_total < independent_total,
+            "batch drew {batch_total}, independent calls drew {independent_total}"
+        );
+    }
+
+    #[test]
+    fn per_request_overrides_do_not_touch_the_session() {
+        let g = random_graph(60, 120, 5);
+        let mut d = session(&g);
+        let tight = DetectRequest::new(3, AlgorithmKind::SampledNaive)
+            .with_epsilon(0.1)
+            .with_delta(0.05)
+            .with_seed(123);
+        let r1 = d.detect(&tight).unwrap();
+        let r2 = d.detect(&DetectRequest::new(3, AlgorithmKind::SampledNaive)).unwrap();
+        assert!(r1.stats.sample_budget > r2.stats.sample_budget, "tighter ε must cost more");
+        assert_eq!(d.config().seed, 77, "request seed override leaked into the session");
+    }
+
+    #[test]
+    fn candidate_hint_restricts_reverse_sampling() {
+        let g = random_graph(60, 120, 6);
+        let mut d = session(&g);
+        let hint: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let r = d
+            .detect(&DetectRequest::new(2, AlgorithmKind::SampleReverse).with_candidates(hint))
+            .unwrap();
+        assert!(r.stats.candidates <= 10);
+        for s in &r.top_k {
+            assert!(s.node.0 < 10, "hint violated: {:?}", s.node);
+        }
+    }
+
+    #[test]
+    fn hint_smaller_than_k_is_rejected() {
+        let g = random_graph(60, 120, 11);
+        let mut d = session(&g);
+        for kind in [
+            AlgorithmKind::SampleReverse,
+            AlgorithmKind::BoundedSampleReverse,
+            AlgorithmKind::BottomK,
+        ] {
+            let req = DetectRequest::new(40, kind).with_candidates(vec![NodeId(0), NodeId(1)]);
+            assert!(
+                matches!(d.detect(&req), Err(VulnError::InvalidParameter(_))),
+                "{kind}: undersized hint must be rejected"
+            );
+            // A hint that covers k (counting bound-verified nodes) still
+            // returns exactly k results.
+            let ok = DetectRequest::new(2, kind).with_candidates((0..10).map(NodeId).collect());
+            assert_eq!(d.detect(&ok).unwrap().top_k.len(), 2, "{kind}");
+        }
+        // SR has no verified fallback: an empty hint can never cover k.
+        let empty = DetectRequest::new(1, AlgorithmKind::SampleReverse).with_candidates(vec![]);
+        assert!(matches!(d.detect(&empty), Err(VulnError::InvalidParameter(_))));
+
+        // Hint validation happens at resolve time, so a bad hint anywhere
+        // in a batch keeps detect_many all-or-nothing: nothing runs.
+        let mut fresh = session(&g);
+        let batch = vec![
+            DetectRequest::new(5, AlgorithmKind::SampledNaive),
+            DetectRequest::new(5, AlgorithmKind::SampleReverse)
+                .with_candidates(vec![NodeId(0), NodeId(1)]),
+        ];
+        assert!(fresh.detect_many(&batch).is_err());
+        assert_eq!(fresh.session_stats().queries, 0);
+        assert_eq!(fresh.session_stats().samples_drawn, 0);
+    }
+
+    #[test]
+    fn unified_errors() {
+        let g = random_graph(10, 20, 7);
+        let mut d = session(&g);
+        assert!(matches!(
+            d.detect(&DetectRequest::new(0, AlgorithmKind::Naive)),
+            Err(VulnError::InvalidK { k: 0, n: 10 })
+        ));
+        assert!(matches!(
+            d.detect(&DetectRequest::new(11, AlgorithmKind::Naive)),
+            Err(VulnError::InvalidK { k: 11, n: 10 })
+        ));
+        assert!(matches!(
+            d.detect(&DetectRequest::new(2, AlgorithmKind::Naive).with_epsilon(2.0)),
+            Err(VulnError::Config(_))
+        ));
+        assert!(matches!(
+            d.detect(
+                &DetectRequest::new(2, AlgorithmKind::SampleReverse)
+                    .with_candidates(vec![NodeId(99)])
+            ),
+            Err(VulnError::CandidateOutOfBounds { node: 99, n: 10 })
+        ));
+        let mut degenerate =
+            Detector::builder(&g).config(VulnConfig::default().with_bk(1)).build().unwrap();
+        assert!(matches!(
+            degenerate.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)),
+            Err(VulnError::InvalidParameter(_))
+        ));
+        // detect_many is all-or-nothing.
+        let mut d2 = session(&g);
+        let reqs = vec![
+            DetectRequest::new(2, AlgorithmKind::Naive),
+            DetectRequest::new(0, AlgorithmKind::Naive),
+        ];
+        assert!(d2.detect_many(&reqs).is_err());
+        assert_eq!(d2.session_stats().queries, 0, "no request may run on batch failure");
+    }
+
+    #[test]
+    fn clear_cache_keeps_results_identical() {
+        let g = random_graph(80, 160, 8);
+        let mut d = session(&g);
+        let req = DetectRequest::new(4, AlgorithmKind::BottomK);
+        let a = d.detect(&req).unwrap();
+        d.clear_cache();
+        let b = d.detect(&req).unwrap();
+        assert_eq!(a.top_k, b.top_k);
+        assert_eq!(d.session_stats().queries, 2);
+    }
+
+    #[test]
+    fn builder_defaults_threads_to_available_parallelism() {
+        let g = random_graph(10, 10, 9);
+        let d = Detector::builder(&g).build().unwrap();
+        assert_eq!(d.config().threads, default_threads());
+        let e = Detector::builder(&g).threads(3).build().unwrap();
+        assert_eq!(e.config().threads, 3);
+        // `.config()` adopts the classic thread semantics wholesale.
+        let f = Detector::builder(&g).config(VulnConfig::default()).build().unwrap();
+        assert_eq!(f.config().threads, 1);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let g = random_graph(90, 180, 10);
+        let mut reference: Option<Vec<DetectResponse>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut d = Detector::builder(&g)
+                .config(VulnConfig::default().with_seed(77))
+                .threads(threads)
+                .build()
+                .unwrap();
+            let responses: Vec<DetectResponse> = AlgorithmKind::ALL
+                .iter()
+                .map(|&kind| d.detect(&DetectRequest::new(5, kind)).unwrap())
+                .collect();
+            match &reference {
+                None => reference = Some(responses),
+                Some(expected) => {
+                    for (e, r) in expected.iter().zip(&responses) {
+                        assert_eq!(e.top_k, r.top_k, "threads = {threads}");
+                        assert_eq!(
+                            e.stats.samples_used, r.stats.samples_used,
+                            "threads = {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

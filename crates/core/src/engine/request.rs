@@ -1,0 +1,186 @@
+//! Typed queries and answers for the [`Detector`](super::Detector)
+//! engine.
+
+use crate::algo::{AlgorithmKind, RunStats};
+use crate::config::ApproxParams;
+use crate::error::{Result, VulnError};
+use crate::topk::ScoredNode;
+use ugraph::{NodeId, UncertainGraph};
+
+use super::VulnConfig;
+
+/// One detection query against a [`Detector`](super::Detector) session.
+///
+/// Only `k` and `algorithm` are required; everything else defaults to the
+/// session's [`VulnConfig`]. Overrides are per-request: they do not
+/// mutate the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectRequest {
+    /// How many nodes to return.
+    pub k: usize,
+    /// Which of the paper's five algorithms answers the query.
+    pub algorithm: AlgorithmKind,
+    /// Per-request accuracy override (`ε` of Definition 2).
+    pub epsilon: Option<f64>,
+    /// Per-request failure-probability override (`δ` of Definition 2).
+    pub delta: Option<f64>,
+    /// Per-request RNG seed override. Requests with equal seeds share
+    /// sampled worlds through the session cache.
+    pub seed: Option<u64>,
+    /// Candidate hint for the reverse-sampling algorithms (SR, BSR,
+    /// BSRBK): replaces the bound-derived candidate set `B`. Nodes the
+    /// bound phase verifies into the top-k are excluded automatically.
+    /// Ignored by the forward-sampling algorithms (N, SN), which always
+    /// estimate every node. Use when a previous query or external
+    /// knowledge already narrowed the plausible top-k.
+    pub candidates: Option<Vec<NodeId>>,
+}
+
+impl DetectRequest {
+    /// A request with session defaults for everything but `k` and the
+    /// algorithm.
+    pub fn new(k: usize, algorithm: AlgorithmKind) -> Self {
+        DetectRequest { k, algorithm, epsilon: None, delta: None, seed: None, candidates: None }
+    }
+
+    /// Per-request `ε` override.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Per-request `δ` override.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Per-request seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Candidate hint (see [`DetectRequest::candidates`]).
+    pub fn with_candidates(mut self, candidates: Vec<NodeId>) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Validates the request against a graph and session configuration,
+    /// producing the fully-resolved form the [`Algorithm`](super::Algorithm)
+    /// implementations run on.
+    pub(crate) fn resolve(
+        &self,
+        graph: &UncertainGraph,
+        config: &VulnConfig,
+    ) -> Result<ResolvedRequest> {
+        let n = graph.num_nodes();
+        if self.k == 0 || self.k > n {
+            return Err(VulnError::InvalidK { k: self.k, n });
+        }
+        let approx = match (self.epsilon, self.delta) {
+            (None, None) => config.approx,
+            (eps, delta) => ApproxParams::new(
+                eps.unwrap_or_else(|| config.approx.epsilon()),
+                delta.unwrap_or_else(|| config.approx.delta()),
+            )?,
+        };
+        if self.algorithm == AlgorithmKind::BottomK && config.bk < 2 {
+            return Err(VulnError::InvalidParameter(
+                "bottom-k parameter must be at least 2".into(),
+            ));
+        }
+        let candidates = match &self.candidates {
+            None => None,
+            Some(hint) => {
+                let mut ids: Vec<NodeId> = Vec::with_capacity(hint.len());
+                for &v in hint {
+                    if v.index() >= n {
+                        return Err(VulnError::CandidateOutOfBounds { node: v.0, n });
+                    }
+                    ids.push(v);
+                }
+                // Normalize: ascending ids, deduplicated — candidate order
+                // is part of the sample-cache key and of the per-sample
+                // coin-consumption order.
+                ids.sort_unstable_by_key(|v| v.0);
+                ids.dedup();
+                // A hint must contain at least k nodes or the response
+                // could not hold k entries (every caller is promised
+                // `top_k.len() == k`). Checked here, not at run time, so
+                // `detect_many` stays all-or-nothing.
+                if ids.len() < self.k {
+                    return Err(VulnError::InvalidParameter(format!(
+                        "candidate hint has {} distinct nodes but k = {}",
+                        ids.len(),
+                        self.k
+                    )));
+                }
+                Some(ids)
+            }
+        };
+        Ok(ResolvedRequest {
+            k: self.k,
+            algorithm: self.algorithm,
+            approx,
+            seed: self.seed.unwrap_or(config.seed),
+            candidates,
+        })
+    }
+}
+
+/// A validated request with all session defaults applied. This is what
+/// [`Algorithm`](super::Algorithm) implementations receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedRequest {
+    /// How many nodes to return.
+    pub k: usize,
+    /// Which algorithm runs.
+    pub algorithm: AlgorithmKind,
+    /// Fully-resolved approximation contract.
+    pub approx: ApproxParams,
+    /// Fully-resolved RNG seed.
+    pub seed: u64,
+    /// Normalized candidate hint (ascending ids, deduplicated).
+    pub candidates: Option<Vec<NodeId>>,
+}
+
+/// What the session cache contributed to one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Possible worlds freshly sampled for this query.
+    pub samples_drawn: u64,
+    /// Possible worlds served from the session cache instead of being
+    /// re-sampled.
+    pub samples_reused: u64,
+    /// Whether the bound vectors were already cached.
+    pub bounds_reused: bool,
+    /// Whether the candidate reduction was already cached.
+    pub reduction_reused: bool,
+}
+
+/// Answer to one [`DetectRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectResponse {
+    /// The k detected nodes, most vulnerable first.
+    pub top_k: Vec<ScoredNode>,
+    /// Algorithm-level diagnostics (budget, candidates, verification,
+    /// early stop — same shape as the classic API).
+    pub stats: RunStats,
+    /// Session-cache diagnostics for this query.
+    pub engine: EngineStats,
+}
+
+impl DetectResponse {
+    /// Just the node ids, in rank order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.top_k.iter().map(|s| s.node).collect()
+    }
+
+    /// Converts to the classic [`DetectionResult`](crate::DetectionResult)
+    /// shape (drops the engine stats).
+    pub fn into_detection_result(self) -> crate::algo::DetectionResult {
+        crate::algo::DetectionResult { top_k: self.top_k, stats: self.stats }
+    }
+}

@@ -95,8 +95,9 @@ mod tests {
 
     #[test]
     fn deterministic_graph_exact() {
-        let g = from_parts(&[1.0, 0.0, 0.0], &[(0, 1, 1.0), (1, 2, 0.0)], DuplicateEdgePolicy::Error)
-            .unwrap();
+        let g =
+            from_parts(&[1.0, 0.0, 0.0], &[(0, 1, 1.0), (1, 2, 0.0)], DuplicateEdgePolicy::Error)
+                .unwrap();
         let p = exact_default_probabilities(&g);
         assert_eq!(p, vec![1.0, 1.0, 0.0]);
     }

@@ -13,9 +13,16 @@
 //! exact oracles for tiny graphs, and the precision metrics used in the
 //! evaluation.
 //!
+//! The primary entry point is the session-oriented [`engine::Detector`]:
+//! build one per graph, then issue typed requests — repeated queries
+//! amortize bound computation, candidate reduction, and sampled worlds
+//! through the session cache, and [`engine::Detector::detect_many`]
+//! shares one sampling pass across a whole batch.
+//!
 //! ```
 //! use ugraph::{UncertainGraph, NodeId};
-//! use vulnds_core::{detect, AlgorithmKind, VulnConfig};
+//! use vulnds_core::engine::{DetectRequest, Detector};
+//! use vulnds_core::AlgorithmKind;
 //!
 //! // The toy guaranteed-loan network of the paper's Figure 3.
 //! let mut b = UncertainGraph::builder(5);
@@ -27,9 +34,14 @@
 //! }
 //! let g = b.build().unwrap();
 //!
-//! let result = detect(&g, 1, AlgorithmKind::BottomK, &VulnConfig::default());
+//! let mut detector = Detector::builder(&g).seed(7).build().unwrap();
+//! let result = detector.detect(&DetectRequest::new(1, AlgorithmKind::BottomK)).unwrap();
 //! // Node E (id 4) has three upstream guarantors: most vulnerable.
 //! assert_eq!(result.top_k[0].node, NodeId(4));
+//!
+//! // Follow-up queries on the same session reuse its cached state.
+//! let again = detector.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)).unwrap();
+//! assert!(again.engine.bounds_reused);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,6 +53,8 @@ pub mod candidates;
 pub mod conditional;
 pub mod config;
 pub mod dynamic;
+pub mod engine;
+pub mod error;
 pub mod exact;
 pub mod precision;
 pub mod sample_size;
@@ -48,18 +62,25 @@ pub mod scoring;
 pub mod topk;
 pub mod what_if;
 
+#[allow(deprecated)]
 pub use algo::{
     detect, detect_bsr, detect_bsrbk, detect_naive, detect_sn, detect_sr, AlgorithmKind,
     DetectionResult, RunStats,
 };
 pub use bounds::{compute_bounds, lower_bounds_paper, lower_bounds_safe, upper_bounds};
 pub use candidates::{reduce_candidates, CandidateReduction};
+pub use conditional::{conditional_scores, intervention_scores, ConditionalScores};
 pub use config::{ApproxParams, BoundsMethod, ConfigError, VulnConfig};
+pub use dynamic::IncrementalBounds;
+pub use engine::{
+    DetectRequest, DetectResponse, Detector, DetectorBuilder, EngineStats, SessionStats,
+};
+pub use error::VulnError;
 pub use exact::{exact_default_probabilities, ground_truth, paper_ground_truth};
 pub use precision::{precision_at_k, precision_with_ties, satisfies_epsilon_contract};
 pub use sample_size::{basic_sample_size, reduced_sample_size};
 pub use scoring::{score_nodes_bottomk, score_nodes_mc};
-pub use conditional::{conditional_scores, intervention_scores, ConditionalScores};
-pub use dynamic::IncrementalBounds;
-pub use what_if::{apply_interventions, evaluate_interventions, greedy_hardening, Intervention, WhatIfReport};
 pub use topk::{select_top_k, select_top_k_dense, ScoredNode};
+pub use what_if::{
+    apply_interventions, evaluate_interventions, greedy_hardening, Intervention, WhatIfReport,
+};

@@ -29,11 +29,7 @@ pub fn precision_with_ties(returned: &[ScoredNode], truth: &[f64], k: usize, tol
         return 1.0;
     }
     let pk = crate::topk::kth_largest(truth, k.min(truth.len())).unwrap_or(0.0);
-    let hits = returned
-        .iter()
-        .take(k)
-        .filter(|s| truth[s.node.index()] >= pk - tol)
-        .count();
+    let hits = returned.iter().take(k).filter(|s| truth[s.node.index()] >= pk - tol).count();
     hits as f64 / k as f64
 }
 

@@ -2,8 +2,8 @@
 //! paper's Table 3 case study, where BSR/BSRBK scores feed a default-
 //! prediction AUC instead of a top-k query.
 
-use crate::sample_size::basic_sample_size;
 use crate::config::VulnConfig;
+use crate::sample_size::basic_sample_size;
 use ugraph::UncertainGraph;
 use vulnds_sampling::{parallel_forward_counts, ForwardSampler, Xoshiro256pp};
 use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
@@ -13,7 +13,11 @@ use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 pub fn score_nodes_mc(graph: &UncertainGraph, k_hint: usize, config: &VulnConfig) -> Vec<f64> {
     let n = graph.num_nodes();
     let t = config
-        .cap_samples(basic_sample_size(n, k_hint.clamp(1, n.saturating_sub(1).max(1)), config.approx))
+        .cap_samples(basic_sample_size(
+            n,
+            k_hint.clamp(1, n.saturating_sub(1).max(1)),
+            config.approx,
+        ))
         .max(1);
     parallel_forward_counts(graph, t, config.seed, config.threads).estimates()
 }
@@ -27,7 +31,11 @@ pub fn score_nodes_bottomk(graph: &UncertainGraph, k_hint: usize, config: &VulnC
     let n = graph.num_nodes();
     assert!(config.bk >= 2, "bottom-k parameter must be at least 2");
     let t = config
-        .cap_samples(basic_sample_size(n, k_hint.clamp(1, n.saturating_sub(1).max(1)), config.approx))
+        .cap_samples(basic_sample_size(
+            n,
+            k_hint.clamp(1, n.saturating_sub(1).max(1)),
+            config.approx,
+        ))
         .max(1);
     let hasher = UnitHasher::new(config.seed ^ 0xB07_70A6);
     let order = hash_order(&hasher, t as usize);

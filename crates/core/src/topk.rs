@@ -49,10 +49,7 @@ pub fn select_top_k(scores: impl IntoIterator<Item = ScoredNode>, k: usize) -> V
 /// Selects the top-k from a dense score vector indexed by node id.
 pub fn select_top_k_dense(scores: &[f64], k: usize) -> Vec<ScoredNode> {
     select_top_k(
-        scores
-            .iter()
-            .enumerate()
-            .map(|(i, &score)| ScoredNode { node: NodeId(i as u32), score }),
+        scores.iter().enumerate().map(|(i, &score)| ScoredNode { node: NodeId(i as u32), score }),
         k,
     )
 }
@@ -68,9 +65,8 @@ pub fn kth_largest(values: &[f64], k: usize) -> Option<f64> {
     }
     let mut v = values.to_vec();
     let idx = k - 1;
-    let (_, kth, _) = v.select_nth_unstable_by(idx, |a, b| {
-        b.partial_cmp(a).expect("values are finite")
-    });
+    let (_, kth, _) =
+        v.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("values are finite"));
     Some(*kth)
 }
 

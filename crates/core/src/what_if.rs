@@ -7,7 +7,7 @@
 //! does systemic vulnerability drop?"*. This module answers it by
 //! re-running detection on a modified copy of the graph.
 
-use crate::algo::{detect, AlgorithmKind, DetectionResult};
+use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
 use crate::config::VulnConfig;
 use ugraph::{EdgeId, GraphError, NodeId, UncertainGraph};
 
@@ -93,9 +93,9 @@ pub fn evaluate_interventions(
     algorithm: AlgorithmKind,
     config: &VulnConfig,
 ) -> Result<WhatIfReport, GraphError> {
-    let before = detect(graph, k, algorithm, config);
+    let before = run_one_shot(graph, k, algorithm, config);
     let modified = apply_interventions(graph, interventions)?;
-    let after = detect(&modified, k, algorithm, config);
+    let after = run_one_shot(&modified, k, algorithm, config);
     Ok(WhatIfReport { before, after })
 }
 
@@ -110,11 +110,11 @@ pub fn greedy_hardening(
     algorithm: AlgorithmKind,
     config: &VulnConfig,
 ) -> (Vec<NodeId>, WhatIfReport) {
-    let before = detect(graph, k, algorithm, config);
+    let before = run_one_shot(graph, k, algorithm, config);
     let mut current = graph.clone();
     let mut hardened = Vec::with_capacity(budget);
     for _ in 0..budget {
-        let r = detect(&current, k, algorithm, config);
+        let r = run_one_shot(&current, k, algorithm, config);
         // Most vulnerable node not yet hardened.
         let Some(target) = r.top_k.iter().map(|s| s.node).find(|v| !hardened.contains(v)) else {
             break;
@@ -123,7 +123,7 @@ pub fn greedy_hardening(
         current.set_self_risk(target, p).expect("halving keeps validity");
         hardened.push(target);
     }
-    let after = detect(&current, k, algorithm, config);
+    let after = run_one_shot(&current, k, algorithm, config);
     (hardened, WhatIfReport { before, after })
 }
 
@@ -169,8 +169,7 @@ mod tests {
 
     #[test]
     fn scale_clamps_to_one() {
-        let m = apply_interventions(&g(), &[Intervention::ScaleSelfRisk(NodeId(0), 10.0)])
-            .unwrap();
+        let m = apply_interventions(&g(), &[Intervention::ScaleSelfRisk(NodeId(0), 10.0)]).unwrap();
         assert_eq!(m.self_risk(NodeId(0)), 1.0);
     }
 
@@ -216,8 +215,7 @@ mod tests {
 
     #[test]
     fn greedy_hardening_targets_the_hotspot_first() {
-        let (hardened, report) =
-            greedy_hardening(&g(), 2, 2, AlgorithmKind::SampledNaive, &cfg());
+        let (hardened, report) = greedy_hardening(&g(), 2, 2, AlgorithmKind::SampledNaive, &cfg());
         assert_eq!(hardened.len(), 2);
         assert_eq!(hardened[0], NodeId(0), "must harden the source first");
         assert!(report.risk_reduction() > 0.0);

@@ -218,11 +218,8 @@ impl Dataset {
             }
         };
 
-        let model = if spec.financial {
-            ProbabilityModel::financial()
-        } else {
-            ProbabilityModel::Uniform
-        };
+        let model =
+            if spec.financial { ProbabilityModel::financial() } else { ProbabilityModel::Uniform };
         crate::attach_probabilities(n, &edges, model, &mut rng)
     }
 }
@@ -245,9 +242,8 @@ fn scaled_cap(max_degree: usize, scale: f64) -> usize {
 }
 
 fn fingerprint(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
 }
 
 /// Builds an uncertain graph from generated structure plus a probability

@@ -38,9 +38,8 @@ pub fn generate(params: BipartiteParams, rng: &mut Xoshiro256pp) -> Vec<(u32, u3
     );
 
     // Merchant popularity ∝ 1 / rank^skew (Zipf).
-    let weights: Vec<f64> = (0..params.merchants)
-        .map(|r| 1.0 / ((r + 1) as f64).powf(params.merchant_skew))
-        .collect();
+    let weights: Vec<f64> =
+        (0..params.merchants).map(|r| 1.0 / ((r + 1) as f64).powf(params.merchant_skew)).collect();
     let merchant_table = AliasTable::new(&weights);
 
     let mut kept: Vec<(u32, u32)> = Vec::new();
@@ -67,7 +66,8 @@ mod tests {
     #[test]
     fn respects_bipartite_structure() {
         let mut rng = Xoshiro256pp::new(1);
-        let p = BipartiteParams { consumers: 1000, merchants: 100, edges: 5000, merchant_skew: 1.0 };
+        let p =
+            BipartiteParams { consumers: 1000, merchants: 100, edges: 5000, merchant_skew: 1.0 };
         let e = generate(p, &mut rng);
         assert_eq!(e.len(), 5000);
         for &(c, m) in &e {
@@ -79,7 +79,8 @@ mod tests {
     #[test]
     fn hub_merchant_emerges() {
         let mut rng = Xoshiro256pp::new(2);
-        let p = BipartiteParams { consumers: 5000, merchants: 200, edges: 30_000, merchant_skew: 1.2 };
+        let p =
+            BipartiteParams { consumers: 5000, merchants: 200, edges: 30_000, merchant_skew: 1.2 };
         let e = generate(p, &mut rng);
         let mut in_deg = vec![0usize; 5200];
         for &(_, m) in &e {

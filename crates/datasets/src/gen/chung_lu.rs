@@ -42,11 +42,7 @@ pub fn generate(params: ChungLuParams, rng: &mut Xoshiro256pp) -> Vec<(u32, u32)
     assert!(params.alpha > 1.0, "alpha must exceed 1");
     let n = params.nodes;
     let max_possible = n * (n - 1);
-    assert!(
-        params.edges * 2 <= max_possible,
-        "edge target {} too dense for n = {n}",
-        params.edges
-    );
+    assert!(params.edges * 2 <= max_possible, "edge target {} too dense for n = {n}", params.edges);
 
     let cap = params.max_degree.max(1) as f64;
     let out_w: Vec<f64> = (0..n).map(|_| pareto_weight(rng, params.alpha, cap)).collect();

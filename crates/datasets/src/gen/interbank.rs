@@ -97,10 +97,8 @@ mod tests {
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }
-        let core_avg: f64 =
-            deg[..core as usize].iter().sum::<usize>() as f64 / core as f64;
-        let peri_avg: f64 =
-            deg[core as usize..].iter().sum::<usize>() as f64 / (200 - core) as f64;
+        let core_avg: f64 = deg[..core as usize].iter().sum::<usize>() as f64 / core as f64;
+        let peri_avg: f64 = deg[core as usize..].iter().sum::<usize>() as f64 / (200 - core) as f64;
         assert!(core_avg > 3.0 * peri_avg, "core {core_avg}, periphery {peri_avg}");
     }
 

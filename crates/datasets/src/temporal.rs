@@ -107,8 +107,7 @@ mod tests {
         let g = Dataset::Interbank.generate(1);
         let params = UpdateStreamParams { events: 2000, node_fraction: 0.8, drift: 0.1 };
         let events = update_stream(&g, params, 3);
-        let nodes =
-            events.iter().filter(|e| matches!(e, UpdateEvent::SelfRisk(..))).count();
+        let nodes = events.iter().filter(|e| matches!(e, UpdateEvent::SelfRisk(..))).count();
         let frac = nodes as f64 / events.len() as f64;
         assert!((frac - 0.8).abs() < 0.05, "node fraction {frac}");
     }

@@ -91,8 +91,7 @@ pub fn antithetic_forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> D
     for pair in 0..pairs {
         for mirror in [false, true] {
             epoch += 1;
-            let mut stream =
-                MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
+            let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
             counts.begin_sample();
             sample_with_stream(graph, &mut stream, &mut visited, epoch, &mut queue, |v| {
                 counts.bump(v.index())
@@ -130,8 +129,7 @@ pub fn pair_variance_comparison(
         let mut hits = 0.0;
         for mirror in [false, true] {
             epoch += 1;
-            let mut stream =
-                MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
+            let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
             let mut hit = false;
             sample_with_stream(graph, &mut stream, &mut visited, epoch, &mut queue, |v| {
                 if v == node {
@@ -225,10 +223,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = chain();
-        assert_eq!(
-            antithetic_forward_counts(&g, 500, 13),
-            antithetic_forward_counts(&g, 500, 13)
-        );
+        assert_eq!(antithetic_forward_counts(&g, 500, 13), antithetic_forward_counts(&g, 500, 13));
     }
 
     #[test]

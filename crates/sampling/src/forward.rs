@@ -89,9 +89,23 @@ impl ForwardSampler {
 /// returns per-node default counts. This is the whole of Algorithm 1
 /// except the final top-k selection.
 pub fn forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> DefaultCounts {
+    forward_counts_range(graph, 0..t, seed)
+}
+
+/// Runs forward samples for the given range of sample ids.
+///
+/// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
+/// counts over disjoint ranges merge (commutatively) into exactly the
+/// counts of the union range — the property the engine's incremental
+/// sample cache extends prefixes with.
+pub fn forward_counts_range(
+    graph: &UncertainGraph,
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> DefaultCounts {
     let mut sampler = ForwardSampler::new(graph);
     let mut counts = DefaultCounts::new(graph.num_nodes());
-    for sample_id in 0..t {
+    for sample_id in range {
         let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
         counts.begin_sample();
         sampler.sample_with(graph, &mut rng, |v| counts.bump(v.index()));

@@ -34,8 +34,11 @@ pub mod world;
 
 pub use antithetic::antithetic_forward_counts;
 pub use counts::DefaultCounts;
-pub use forward::{forward_counts, ForwardSampler};
-pub use parallel::{parallel_forward_counts, parallel_reverse_counts};
-pub use reverse::{reverse_counts, ReverseSampler};
+pub use forward::{forward_counts, forward_counts_range, ForwardSampler};
+pub use parallel::{
+    parallel_forward_counts, parallel_forward_counts_range, parallel_reverse_counts,
+    parallel_reverse_counts_range,
+};
+pub use reverse::{reverse_counts, reverse_counts_range, ReverseSampler};
 pub use rng::Xoshiro256pp;
 pub use world::{PossibleWorld, WorldEnumerator};

@@ -1,4 +1,4 @@
-//! Parallel sample execution over crossbeam scoped threads.
+//! Parallel sample execution over std scoped threads.
 //!
 //! Samples are embarrassingly parallel: sample `i` always uses the RNG
 //! stream derived from `(seed, i)`, so a parallel run with any thread
@@ -26,18 +26,31 @@ pub fn parallel_forward_counts(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    let threads = effective_threads(threads, t);
+    parallel_forward_counts_range(graph, 0..t, seed, threads)
+}
+
+/// Parallel version of [`crate::forward::forward_counts_range`]:
+/// bit-identical to the sequential range run for any thread count.
+pub fn parallel_forward_counts_range(
+    graph: &UncertainGraph,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+) -> DefaultCounts {
+    let work = range.end.saturating_sub(range.start);
+    let threads = effective_threads(threads, work);
     if threads == 1 {
-        return crate::forward::forward_counts(graph, t, seed);
+        return crate::forward::forward_counts_range(graph, range, seed);
     }
-    let partials = crossbeam::thread::scope(|scope| {
+    let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                scope.spawn(move |_| {
+                let range = range.clone();
+                scope.spawn(move || {
                     let mut sampler = ForwardSampler::new(graph);
                     let mut counts = DefaultCounts::new(graph.num_nodes());
-                    let mut sample_id = tid as u64;
-                    while sample_id < t {
+                    let mut sample_id = range.start + tid as u64;
+                    while sample_id < range.end {
                         let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
                         counts.begin_sample();
                         sampler.sample_with(graph, &mut rng, |v| counts.bump(v.index()));
@@ -48,8 +61,7 @@ pub fn parallel_forward_counts(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut total = DefaultCounts::new(graph.num_nodes());
     for p in &partials {
@@ -66,19 +78,33 @@ pub fn parallel_reverse_counts(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    let threads = effective_threads(threads, t);
+    parallel_reverse_counts_range(graph, candidates, 0..t, seed, threads)
+}
+
+/// Parallel version of [`crate::reverse::reverse_counts_range`]:
+/// bit-identical to the sequential range run for any thread count.
+pub fn parallel_reverse_counts_range(
+    graph: &UncertainGraph,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+) -> DefaultCounts {
+    let work = range.end.saturating_sub(range.start);
+    let threads = effective_threads(threads, work);
     if threads == 1 {
-        return crate::reverse::reverse_counts(graph, candidates, t, seed);
+        return crate::reverse::reverse_counts_range(graph, candidates, range, seed);
     }
-    let partials = crossbeam::thread::scope(|scope| {
+    let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                scope.spawn(move |_| {
+                let range = range.clone();
+                scope.spawn(move || {
                     let mut sampler = ReverseSampler::new(graph);
                     let mut counts = DefaultCounts::new(candidates.len());
                     let mut buf = Vec::with_capacity(candidates.len());
-                    let mut sample_id = tid as u64;
-                    while sample_id < t {
+                    let mut sample_id = range.start + tid as u64;
+                    while sample_id < range.end {
                         let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
                         sampler.sample_candidates(graph, candidates, &mut rng, &mut buf);
                         counts.begin_sample();
@@ -94,8 +120,7 @@ pub fn parallel_reverse_counts(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut total = DefaultCounts::new(candidates.len());
     for p in &partials {

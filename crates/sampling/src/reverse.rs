@@ -204,10 +204,25 @@ pub fn reverse_counts(
     t: u64,
     seed: u64,
 ) -> DefaultCounts {
+    reverse_counts_range(graph, candidates, 0..t, seed)
+}
+
+/// Runs reverse samples for the given range of sample ids.
+///
+/// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
+/// counts over disjoint ranges merge into exactly the counts of the
+/// union range — the property the engine's incremental sample cache
+/// extends prefixes with.
+pub fn reverse_counts_range(
+    graph: &UncertainGraph,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> DefaultCounts {
     let mut sampler = ReverseSampler::new(graph);
     let mut counts = DefaultCounts::new(candidates.len());
     let mut buf = Vec::with_capacity(candidates.len());
-    for sample_id in 0..t {
+    for sample_id in range {
         let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
         sampler.sample_candidates(graph, candidates, &mut rng, &mut buf);
         counts.begin_sample();
@@ -316,12 +331,9 @@ mod tests {
         // Two candidates sharing an ancestor must observe the same coin:
         // in the graph 0 → 1, 0 → 2 with ps(0) = 0.5 and certain edges,
         // nodes 1 and 2 default together in every sample.
-        let g = from_parts(
-            &[0.5, 0.0, 0.0],
-            &[(0, 1, 1.0), (0, 2, 1.0)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap();
+        let g =
+            from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 1.0), (0, 2, 1.0)], DuplicateEdgePolicy::Error)
+                .unwrap();
         let mut sampler = ReverseSampler::new(&g);
         let mut buf = Vec::new();
         for sample_id in 0..500 {

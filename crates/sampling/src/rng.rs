@@ -5,8 +5,6 @@
 //! are drawn sequentially or in parallel, and independent of how many coin
 //! flips earlier samples consumed.
 
-use rand::{Error, RngCore, SeedableRng};
-
 /// Xoshiro256++ PRNG (Blackman & Vigna). Small state, excellent statistical
 /// quality, and ~1 ns per 64-bit output — the sampler's hot loop is coin
 /// flips, so this matters.
@@ -29,12 +27,8 @@ impl Xoshiro256pp {
     /// recommended by the xoshiro authors).
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Xoshiro256pp { s }
     }
 
@@ -51,10 +45,7 @@ impl Xoshiro256pp {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -91,16 +82,9 @@ impl Xoshiro256pp {
     }
 }
 
-impl RngCore for Xoshiro256pp {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_raw() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl Xoshiro256pp {
+    /// Fills `dest` with raw output bytes (little-endian words).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
@@ -111,25 +95,11 @@ impl RngCore for Xoshiro256pp {
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
     }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Xoshiro256pp {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: [u8; 8]) -> Self {
-        Xoshiro256pp::new(u64::from_le_bytes(seed))
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn deterministic_stream() {
@@ -205,10 +175,8 @@ mod tests {
     }
 
     #[test]
-    fn rng_core_interop_with_rand() {
+    fn fill_bytes_covers_partial_words() {
         let mut r = Xoshiro256pp::new(23);
-        let x: f64 = r.gen_range(0.0..1.0);
-        assert!((0.0..1.0).contains(&x));
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));

@@ -24,8 +24,7 @@ pub struct PossibleWorld {
 impl PossibleWorld {
     /// Samples a world with an explicit RNG.
     pub fn sample(graph: &UncertainGraph, rng: &mut Xoshiro256pp) -> Self {
-        let self_default =
-            graph.nodes().map(|v| rng.bernoulli(graph.self_risk(v))).collect();
+        let self_default = graph.nodes().map(|v| rng.bernoulli(graph.self_risk(v))).collect();
         let edge_live = graph.edges().map(|e| rng.bernoulli(graph.edge_prob(e))).collect();
         PossibleWorld { self_default, edge_live }
     }
@@ -44,8 +43,7 @@ impl PossibleWorld {
         assert_eq!(self.self_default.len(), n, "world/graph node mismatch");
         assert_eq!(self.edge_live.len(), graph.num_edges(), "world/graph edge mismatch");
         let mut defaulted = self.self_default.clone();
-        let mut queue: Vec<u32> =
-            (0..n as u32).filter(|&v| defaulted[v as usize]).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| defaulted[v as usize]).collect();
         while let Some(v) = queue.pop() {
             for e in graph.out_edges(NodeId(v)) {
                 if self.edge_live[e.id.index()] && !defaulted[e.target.index()] {
@@ -157,25 +155,19 @@ mod tests {
     #[test]
     fn propagation_follows_live_edges_only() {
         let g = chain();
-        let w = PossibleWorld {
-            self_default: vec![true, false, false],
-            edge_live: vec![true, false],
-        };
+        let w =
+            PossibleWorld { self_default: vec![true, false, false], edge_live: vec![true, false] };
         assert_eq!(w.defaulted_nodes(&g), vec![true, true, false]);
-        let w2 = PossibleWorld {
-            self_default: vec![true, false, false],
-            edge_live: vec![true, true],
-        };
+        let w2 =
+            PossibleWorld { self_default: vec![true, false, false], edge_live: vec![true, true] };
         assert_eq!(w2.defaulted_nodes(&g), vec![true, true, true]);
     }
 
     #[test]
     fn no_seed_no_default() {
         let g = chain();
-        let w = PossibleWorld {
-            self_default: vec![false, false, false],
-            edge_live: vec![true, true],
-        };
+        let w =
+            PossibleWorld { self_default: vec![false, false, false], edge_live: vec![true, true] };
         assert_eq!(w.defaulted_nodes(&g), vec![false, false, false]);
     }
 

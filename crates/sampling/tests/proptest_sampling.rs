@@ -1,72 +1,76 @@
-//! Property tests for the sampling substrate.
+//! Randomized property tests for the sampling substrate (in-repo test
+//! kit; the workspace builds offline with no external dependencies).
 
-use proptest::prelude::*;
-use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
+use ugraph::testkit::{check, random_graph, TestRng};
+use ugraph::{NodeId, UncertainGraph};
 use vulnds_sampling::{
     antithetic_forward_counts, forward_counts, parallel_forward_counts, parallel_reverse_counts,
     reverse_counts, PossibleWorld,
 };
 
-fn arb_graph() -> impl Strategy<Value = UncertainGraph> {
-    (2usize..=12).prop_flat_map(|n| {
-        let risks = proptest::collection::vec(0.0f64..=1.0, n);
-        let edges = proptest::collection::vec(
-            (0..n as u32, 1..n as u32, 0.0f64..=1.0)
-                .prop_map(move |(u, d, p)| (u, (u + d) % n as u32, p)),
-            0..=24,
-        );
-        (risks, edges).prop_map(|(risks, edges)| {
-            from_parts(&risks, &edges, DuplicateEdgePolicy::KeepMax).unwrap()
-        })
-    })
+fn arb_graph(rng: &mut TestRng) -> UncertainGraph {
+    random_graph(rng, 12, 24)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Estimates are proper probabilities and respect hard bounds:
-    /// p(v) ≥ ps(v) when ps ∈ {0,1} edge cases hold exactly.
-    #[test]
-    fn estimates_are_probabilities(g in arb_graph()) {
+/// Estimates are proper probabilities and respect hard bounds: a node
+/// with `ps = 1` defaults in every world.
+#[test]
+fn estimates_are_probabilities() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
         let counts = forward_counts(&g, 400, 7);
         for v in g.nodes() {
             let e = counts.estimate(v.index());
-            prop_assert!((0.0..=1.0).contains(&e));
+            assert!((0.0..=1.0).contains(&e));
             if g.self_risk(v) == 1.0 {
-                prop_assert_eq!(e, 1.0, "certain node must always default");
+                assert_eq!(e, 1.0, "certain node must always default");
             }
         }
-    }
+    });
+}
 
-    /// Parallel forward and reverse drivers are bit-identical to their
-    /// sequential counterparts for any thread count.
-    #[test]
-    fn parallel_equals_sequential(g in arb_graph(), threads in 1usize..=6) {
+/// Parallel forward and reverse drivers are bit-identical to their
+/// sequential counterparts for any thread count.
+#[test]
+fn parallel_equals_sequential() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
+        let threads = rng.range_usize(1, 6);
         let seq = forward_counts(&g, 200, 11);
-        prop_assert_eq!(parallel_forward_counts(&g, 200, 11, threads), seq);
+        assert_eq!(parallel_forward_counts(&g, 200, 11, threads), seq);
         let cands: Vec<NodeId> = g.nodes().collect();
         let rseq = reverse_counts(&g, &cands, 200, 13);
-        prop_assert_eq!(parallel_reverse_counts(&g, &cands, 200, 13, threads), rseq);
-    }
+        assert_eq!(parallel_reverse_counts(&g, &cands, 200, 13, threads), rseq);
+    });
+}
 
-    /// Antithetic estimates agree with independent ones within sampling
-    /// noise on every graph.
-    #[test]
-    fn antithetic_is_unbiased(g in arb_graph()) {
+/// Antithetic estimates agree with independent ones within sampling
+/// noise on every graph.
+#[test]
+fn antithetic_is_unbiased() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
         let t = 6_000;
         let anti = antithetic_forward_counts(&g, t, 17);
         let indep = forward_counts(&g, t, 19);
         for v in g.nodes() {
             let diff = (anti.estimate(v.index()) - indep.estimate(v.index())).abs();
-            prop_assert!(diff < 0.08, "node {v}: anti {} indep {}",
-                anti.estimate(v.index()), indep.estimate(v.index()));
+            assert!(
+                diff < 0.08,
+                "node {v}: anti {} indep {}",
+                anti.estimate(v.index()),
+                indep.estimate(v.index())
+            );
         }
-    }
+    });
+}
 
-    /// Reverse sampling over a candidate subset matches the full run's
-    /// estimates on those candidates (same seed, same worlds).
-    #[test]
-    fn candidate_subset_consistency(g in arb_graph()) {
+/// Reverse sampling over a candidate subset matches the full run's
+/// estimates on those candidates (same seed, same worlds).
+#[test]
+fn candidate_subset_consistency() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
         let all: Vec<NodeId> = g.nodes().collect();
         let t = 2_000;
         let full = reverse_counts(&g, &all, t, 23);
@@ -76,33 +80,42 @@ proptest! {
         for &v in all.iter().take(3) {
             let single = reverse_counts(&g, &[v], t, 23);
             let diff = (single.estimate(0) - full.estimate(v.index())).abs();
-            prop_assert!(diff < 0.1, "node {v}: single {} full {}",
-                single.estimate(0), full.estimate(v.index()));
+            assert!(
+                diff < 0.1,
+                "node {v}: single {} full {}",
+                single.estimate(0),
+                full.estimate(v.index())
+            );
         }
-    }
+    });
+}
 
-    /// A materialized world's defaulted set is monotone: adding live
-    /// edges can only grow it.
-    #[test]
-    fn world_monotone_in_edges(g in arb_graph(), seed in 0u64..100) {
+/// A materialized world's defaulted set is monotone: adding live edges
+/// can only grow it.
+#[test]
+fn world_monotone_in_edges() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.next_bounded(100);
         let w = PossibleWorld::sample_indexed(&g, seed, 0);
         let base = w.defaulted_nodes(&g);
         let mut all_live = w.clone();
         all_live.edge_live.iter_mut().for_each(|e| *e = true);
         let grown = all_live.defaulted_nodes(&g);
         for v in 0..g.num_nodes() {
-            prop_assert!(!base[v] || grown[v], "default lost at {v}");
+            assert!(!base[v] || grown[v], "default lost at {v}");
         }
-    }
+    });
+}
 
-    /// World probability times enumeration consistency: a sampled world
-    /// has positive probability under its own graph unless it fixed a
-    /// zero-probability coin.
-    #[test]
-    fn sampled_world_probability_positive(g in arb_graph(), seed in 0u64..50) {
+/// A sampled world has positive probability under its own graph: sampling
+/// can only fix coins consistent with their probabilities.
+#[test]
+fn sampled_world_probability_positive() {
+    check(32, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.next_bounded(50);
         let w = PossibleWorld::sample_indexed(&g, seed, 1);
-        // Worlds sampled from the graph can only set coins consistent
-        // with their probabilities, so p(W) > 0.
-        prop_assert!(w.probability(&g) > 0.0);
-    }
+        assert!(w.probability(&g) > 0.0);
+    });
 }

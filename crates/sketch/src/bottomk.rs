@@ -84,8 +84,7 @@ impl BottomK {
     /// Panics in debug builds if `value` is outside `(0, 1)`.
     pub fn insert(&mut self, value: f64) -> bool {
         debug_assert!(value > 0.0 && value < 1.0, "hash value {value} outside (0,1)");
-        if self.heap.len() == self.bk && self.heap.peek().is_some_and(|&Finite(top)| value >= top)
-        {
+        if self.heap.len() == self.bk && self.heap.peek().is_some_and(|&Finite(top)| value >= top) {
             return false; // not among the bk smallest; duplicates of larger values irrelevant
         }
         // O(bk) duplicate scan; bk is small (paper uses 4..64).

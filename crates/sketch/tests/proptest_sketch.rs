@@ -1,15 +1,23 @@
-//! Property tests for the bottom-k sketch machinery.
+//! Randomized property tests for the bottom-k sketch machinery, on the
+//! shared deterministic test kit (`ugraph::testkit`, a dev-dependency —
+//! the crate itself stays dependency-free).
 
-use proptest::prelude::*;
+use ugraph::testkit::{check, TestRng};
 use vulnds_sketch::{hash_order, BottomK, UnitHasher};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Values strictly inside `(0.0001, 0.9999)`, like the old proptest
+/// strategy.
+fn unit_values(rng: &mut TestRng, max_len: usize) -> Vec<f64> {
+    let len = rng.range_usize(1, max_len.max(1));
+    (0..len).map(|_| 0.0001 + rng.next_f64() * 0.9998).collect()
+}
 
-    /// The sketch retains exactly the bk smallest distinct values.
-    #[test]
-    fn retains_bk_smallest(values in proptest::collection::vec(0.0001f64..0.9999, 1..200),
-                           bk in 1usize..=32) {
+/// The sketch retains exactly the bk smallest distinct values.
+#[test]
+fn retains_bk_smallest() {
+    check(64, |rng| {
+        let values = unit_values(rng, 200);
+        let bk = rng.range_usize(1, 32);
         let mut sketch = BottomK::new(bk);
         for &v in &values {
             sketch.insert(v);
@@ -18,13 +26,16 @@ proptest! {
         distinct.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         distinct.dedup();
         distinct.truncate(bk);
-        prop_assert_eq!(sketch.sorted_values(), distinct);
-    }
+        assert_eq!(sketch.sorted_values(), distinct);
+    });
+}
 
-    /// Insertion order never matters.
-    #[test]
-    fn order_invariant(mut values in proptest::collection::vec(0.0001f64..0.9999, 1..100),
-                       bk in 1usize..=16) {
+/// Insertion order never matters.
+#[test]
+fn order_invariant() {
+    check(64, |rng| {
+        let mut values = unit_values(rng, 100);
+        let bk = rng.range_usize(1, 16);
         let mut a = BottomK::new(bk);
         for &v in &values {
             a.insert(v);
@@ -34,14 +45,17 @@ proptest! {
         for &v in &values {
             b.insert(v);
         }
-        prop_assert_eq!(a.sorted_values(), b.sorted_values());
-    }
+        assert_eq!(a.sorted_values(), b.sorted_values());
+    });
+}
 
-    /// Merging sketches equals sketching the concatenation.
-    #[test]
-    fn merge_is_union(xs in proptest::collection::vec(0.0001f64..0.9999, 0..80),
-                      ys in proptest::collection::vec(0.0001f64..0.9999, 0..80),
-                      bk in 1usize..=16) {
+/// Merging sketches equals sketching the concatenation.
+#[test]
+fn merge_is_union() {
+    check(64, |rng| {
+        let xs = unit_values(rng, 80);
+        let ys = unit_values(rng, 80);
+        let bk = rng.range_usize(1, 16);
         let mut a = BottomK::new(bk);
         for &v in &xs {
             a.insert(v);
@@ -55,39 +69,48 @@ proptest! {
         for &v in xs.iter().chain(&ys) {
             all.insert(v);
         }
-        prop_assert_eq!(a.sorted_values(), all.sorted_values());
-    }
+        assert_eq!(a.sorted_values(), all.sorted_values());
+    });
+}
 
-    /// Distinct-count estimates stay within a generous multiplicative
-    /// band of the truth once saturated.
-    #[test]
-    fn estimate_within_band(n in 500u64..5000, seed in 0u64..50) {
+/// Distinct-count estimates stay within a generous multiplicative band of
+/// the truth once saturated.
+#[test]
+fn estimate_within_band() {
+    check(50, |rng| {
+        let n = 500 + rng.next_bounded(4500);
+        let seed = rng.next_bounded(50);
         let h = UnitHasher::new(seed);
         let mut sketch = BottomK::new(64);
         for k in 0..n {
             sketch.insert(h.hash_unit(k));
         }
         let est = sketch.distinct_estimate().unwrap();
-        prop_assert!(est > n as f64 * 0.5 && est < n as f64 * 2.0,
-            "n = {n}, est = {est}");
-    }
+        assert!(est > n as f64 * 0.5 && est < n as f64 * 2.0, "n = {n}, est = {est}");
+    });
+}
 
-    /// hash_order is always a permutation, stable across calls.
-    #[test]
-    fn hash_order_permutation(t in 0usize..500, seed in 0u64..100) {
-        let h = UnitHasher::new(seed);
+/// hash_order is always a permutation, stable across calls.
+#[test]
+fn hash_order_permutation() {
+    check(64, |rng| {
+        let t = rng.next_bounded(500) as usize;
+        let h = UnitHasher::new(rng.next_bounded(100));
         let order = hash_order(&h, t);
-        prop_assert_eq!(order.clone(), hash_order(&h, t));
+        assert_eq!(order.clone(), hash_order(&h, t));
         let mut sorted = order;
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..t as u32).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..t as u32).collect::<Vec<_>>());
+    });
+}
 
-    /// Unit hashes never collide with themselves under different seeds in
-    /// a way that breaks the (0,1) range contract.
-    #[test]
-    fn hash_unit_range(seed in proptest::num::u64::ANY, key in proptest::num::u64::ANY) {
+/// Unit hashes always land strictly inside `(0, 1)`, for any seed/key.
+#[test]
+fn hash_unit_range() {
+    check(256, |rng| {
+        let seed = rng.next_u64();
+        let key = rng.next_u64();
         let x = UnitHasher::new(seed).hash_unit(key);
-        prop_assert!(x > 0.0 && x < 1.0, "{x}");
-    }
+        assert!(x > 0.0 && x < 1.0, "{x}");
+    });
 }

@@ -271,12 +271,8 @@ mod tests {
 
     #[test]
     fn duplicate_policy_noisy_or() {
-        let g = from_parts(
-            &[0.0, 0.0],
-            &[(0, 1, 0.5), (0, 1, 0.5)],
-            DuplicateEdgePolicy::NoisyOr,
-        )
-        .unwrap();
+        let g = from_parts(&[0.0, 0.0], &[(0, 1, 0.5), (0, 1, 0.5)], DuplicateEdgePolicy::NoisyOr)
+            .unwrap();
         assert_eq!(g.num_edges(), 1);
         assert!((g.edge_prob(EdgeId(0)) - 0.75).abs() < 1e-12);
     }

@@ -135,22 +135,14 @@ impl UncertainGraph {
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> OutEdges<'_> {
         let i = v.index();
-        OutEdges {
-            graph: self,
-            source: v,
-            range: self.out_offsets[i]..self.out_offsets[i + 1],
-        }
+        OutEdges { graph: self, source: v, range: self.out_offsets[i]..self.out_offsets[i + 1] }
     }
 
     /// Iterator over the in-edges of `v` (edges `(u, v)`).
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> InEdges<'_> {
         let i = v.index();
-        InEdges {
-            graph: self,
-            target: v,
-            range: self.in_offsets[i]..self.in_offsets[i + 1],
-        }
+        InEdges { graph: self, target: v, range: self.in_offsets[i]..self.in_offsets[i + 1] }
     }
 
     /// Out-neighbor node ids of `v` as a slice (no probabilities).
@@ -279,7 +271,10 @@ impl UncertainGraph {
             for pos in lo..hi {
                 let e = self.in_edge_ids[pos] as usize;
                 if e >= m || seen[e] {
-                    return Err(GraphError::Parse { line: 0, message: "in_edge_ids invalid".into() });
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        message: "in_edge_ids invalid".into(),
+                    });
                 }
                 seen[e] = true;
                 if self.out_targets[e] as usize != v {

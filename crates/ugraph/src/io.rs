@@ -25,17 +25,13 @@ fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
 
 /// Reads a graph in the crate's text format from any buffered reader.
 pub fn read_graph<R: BufRead>(reader: R) -> Result<UncertainGraph> {
-    let mut lines = reader
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| match l {
-            Ok(s) => {
-                let t = s.trim();
-                !t.is_empty() && !t.starts_with('#')
-            }
-            Err(_) => true,
-        });
+    let mut lines = reader.lines().enumerate().map(|(i, l)| (i + 1, l)).filter(|(_, l)| match l {
+        Ok(s) => {
+            let t = s.trim();
+            !t.is_empty() && !t.starts_with('#')
+        }
+        Err(_) => true,
+    });
 
     let (lineno, header) = lines.next().ok_or_else(|| parse_err(0, "missing header"))?;
     let header = header?;
@@ -57,7 +53,8 @@ pub fn read_graph<R: BufRead>(reader: R) -> Result<UncertainGraph> {
     let mut builder = GraphBuilder::new(n);
     let mut seen = vec![false; n];
     for _ in 0..n {
-        let (lineno, line) = lines.next().ok_or_else(|| parse_err(0, "unexpected EOF in node section"))?;
+        let (lineno, line) =
+            lines.next().ok_or_else(|| parse_err(0, "unexpected EOF in node section"))?;
         let line = line?;
         let mut it = line.split_whitespace();
         let id: u32 = it
@@ -80,13 +77,12 @@ pub fn read_graph<R: BufRead>(reader: R) -> Result<UncertainGraph> {
             return Err(parse_err(lineno, format!("node id {id} repeated")));
         }
         seen[id as usize] = true;
-        builder
-            .set_self_risk(NodeId(id), ps)
-            .map_err(|e| parse_err(lineno, e.to_string()))?;
+        builder.set_self_risk(NodeId(id), ps).map_err(|e| parse_err(lineno, e.to_string()))?;
     }
 
     for _ in 0..m {
-        let (lineno, line) = lines.next().ok_or_else(|| parse_err(0, "unexpected EOF in edge section"))?;
+        let (lineno, line) =
+            lines.next().ok_or_else(|| parse_err(0, "unexpected EOF in edge section"))?;
         let line = line?;
         let mut it = line.split_whitespace();
         let u: u32 = it
@@ -107,9 +103,7 @@ pub fn read_graph<R: BufRead>(reader: R) -> Result<UncertainGraph> {
         if it.next().is_some() {
             return Err(parse_err(lineno, "trailing tokens in edge line"));
         }
-        builder
-            .add_edge(NodeId(u), NodeId(v), p)
-            .map_err(|e| parse_err(lineno, e.to_string()))?;
+        builder.add_edge(NodeId(u), NodeId(v), p).map_err(|e| parse_err(lineno, e.to_string()))?;
     }
 
     if let Some((lineno, _)) = lines.next() {
@@ -245,15 +239,15 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         for bad in [
-            "",                              // no header
-            "2\n",                           // missing edge count
-            "2 0\n0 0.1\n",                  // missing node line
-            "1 0\n0 0.1 extra\n",            // trailing token
-            "1 0\n0 nope\n",                 // bad float
-            "2 0\n0 0.1\n0 0.2\n",           // duplicate node id
-            "2 0\n0 0.1\n5 0.2\n",           // node id out of range
-            "2 1\n0 0.1\n1 0.2\n0 1 2.0\n",  // probability out of range
-            "1 0\n0 0.1\nleftover\n",        // trailing content
+            "",                             // no header
+            "2\n",                          // missing edge count
+            "2 0\n0 0.1\n",                 // missing node line
+            "1 0\n0 0.1 extra\n",           // trailing token
+            "1 0\n0 nope\n",                // bad float
+            "2 0\n0 0.1\n0 0.2\n",          // duplicate node id
+            "2 0\n0 0.1\n5 0.2\n",          // node id out of range
+            "2 1\n0 0.1\n1 0.2\n0 1 2.0\n", // probability out of range
+            "1 0\n0 0.1\nleftover\n",       // trailing content
         ] {
             assert!(read_graph(std::io::Cursor::new(bad)).is_err(), "accepted: {bad:?}");
         }

@@ -78,8 +78,7 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<UncertainGraph> {
     }
     for i in 0..m {
         let p = read_f64(&mut r)?;
-        b.add_edge(NodeId(sources[i]), NodeId(targets[i]), p)
-            .map_err(|e| bad(e.to_string()))?;
+        b.add_edge(NodeId(sources[i]), NodeId(targets[i]), p).map_err(|e| bad(e.to_string()))?;
     }
     // Trailing garbage is an error: catches truncated/concatenated files.
     let mut probe = [0u8; 1];
@@ -213,8 +212,7 @@ mod tests {
 
     #[test]
     fn binary_is_smaller_than_text_for_large_graphs() {
-        let edges: Vec<(u32, u32, f64)> =
-            (0..999u32).map(|v| (v, v + 1, 0.123456789)).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..999u32).map(|v| (v, v + 1, 0.123456789)).collect();
         let g = from_parts(&vec![0.5; 1000], &edges, DuplicateEdgePolicy::Error).unwrap();
         let mut bin = Vec::new();
         write_binary(&g, &mut bin).unwrap();

@@ -51,6 +51,7 @@ pub mod io_binary;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
+pub mod testkit;
 pub mod traversal;
 
 pub use builder::{from_parts, DuplicateEdgePolicy, GraphBuilder};

@@ -34,12 +34,7 @@ impl SccDecomposition {
     /// Ids of components with more than one node — the "guarantee
     /// circles" of the paper's motivating domain.
     pub fn non_trivial(&self) -> Vec<u32> {
-        self.sizes()
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s > 1)
-            .map(|(i, _)| i as u32)
-            .collect()
+        self.sizes().iter().enumerate().filter(|(_, &s)| s > 1).map(|(i, _)| i as u32).collect()
     }
 
     /// Members of component `c`, in ascending node-id order.
@@ -102,8 +97,7 @@ pub fn strongly_connected_components(graph: &UncertainGraph) -> SccDecomposition
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v roots a component: pop it off the Tarjan stack.
@@ -196,8 +190,7 @@ mod tests {
         // 50,000-node chain: the iterative implementation must not blow
         // the call stack.
         let n = 50_000;
-        let edges: Vec<(u32, u32, f64)> =
-            (0..n as u32 - 1).map(|v| (v, v + 1, 0.5)).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..n as u32 - 1).map(|v| (v, v + 1, 0.5)).collect();
         let g = from_parts(&vec![0.0; n], &edges, DuplicateEdgePolicy::Error).unwrap();
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.count, n);

@@ -42,11 +42,8 @@ impl GraphStats {
             max_degree = max_degree.max(din + dout);
         }
         let mean_self_risk = if n == 0 { 0.0 } else { g.total_self_risk() / n as f64 };
-        let mean_edge_prob = if m == 0 {
-            0.0
-        } else {
-            g.edges().map(|e| g.edge_prob(e)).sum::<f64>() / m as f64
-        };
+        let mean_edge_prob =
+            if m == 0 { 0.0 } else { g.edges().map(|e| g.edge_prob(e)).sum::<f64>() / m as f64 };
         GraphStats {
             nodes: n,
             edges: m,
@@ -127,10 +124,7 @@ pub struct DegreeTriple {
 /// Collects `(in_degree, out_degree)` for every node.
 pub fn degree_triples(g: &UncertainGraph) -> Vec<DegreeTriple> {
     g.nodes()
-        .map(|v| DegreeTriple {
-            in_deg: g.in_degree(v) as u32,
-            out_deg: g.out_degree(v) as u32,
-        })
+        .map(|v| DegreeTriple { in_deg: g.in_degree(v) as u32, out_deg: g.out_degree(v) as u32 })
         .collect()
 }
 

@@ -47,8 +47,7 @@ pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
 
     let mut b = GraphBuilder::new(original.len());
     for (i, &v) in original.iter().enumerate() {
-        b.set_self_risk(NodeId(i as u32), graph.self_risk(v))
-            .expect("existing risk is valid");
+        b.set_self_risk(NodeId(i as u32), graph.self_risk(v)).expect("existing risk is valid");
     }
     for &v in &original {
         for e in graph.out_edges(v) {

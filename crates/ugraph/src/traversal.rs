@@ -49,7 +49,6 @@ impl<'a> Bfs<'a> {
         }
         Bfs { graph, direction, queue, visited }
     }
-
 }
 
 impl Iterator for Bfs<'_> {
@@ -118,8 +117,7 @@ pub fn weakly_connected_components(graph: &UncertainGraph) -> usize {
 pub fn topological_order(graph: &UncertainGraph) -> Option<Vec<NodeId>> {
     let n = graph.num_nodes();
     let mut indeg: Vec<u32> = (0..n).map(|v| graph.in_degree(NodeId(v as u32)) as u32).collect();
-    let mut queue: VecDeque<u32> =
-        (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(NodeId(v));
@@ -140,12 +138,8 @@ mod tests {
 
     fn chain() -> UncertainGraph {
         // 0 → 1 → 2 → 3
-        from_parts(
-            &[0.0; 4],
-            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap()
+        from_parts(&[0.0; 4], &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)], DuplicateEdgePolicy::Error)
+            .unwrap()
     }
 
     fn diamond() -> UncertainGraph {
@@ -209,12 +203,8 @@ mod tests {
 
     #[test]
     fn wcc_counts() {
-        let g = from_parts(
-            &[0.0; 5],
-            &[(0, 1, 0.5), (2, 3, 0.5)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap();
+        let g =
+            from_parts(&[0.0; 5], &[(0, 1, 0.5), (2, 3, 0.5)], DuplicateEdgePolicy::Error).unwrap();
         assert_eq!(weakly_connected_components(&g), 3); // {0,1}, {2,3}, {4}
     }
 

@@ -1,104 +1,105 @@
-//! Property-based tests for the graph substrate.
+//! Randomized property tests for the graph substrate (in-repo test kit;
+//! the workspace builds offline with no external dependencies).
 
-use proptest::prelude::*;
-use ugraph::{from_parts, io, DuplicateEdgePolicy, GraphStats, NodeId, UncertainGraph};
+use ugraph::testkit::{check, random_graph};
+use ugraph::{io, GraphStats, NodeId};
 
-/// Strategy: a random valid uncertain graph with up to `max_n` nodes.
-fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = UncertainGraph> {
-    (2..=max_n.max(2)).prop_flat_map(move |n| {
-        let risks = proptest::collection::vec(0.0f64..=1.0, n);
-        // Build (u, v) pairs with v = (u + d) mod n, d in 1..n, so
-        // self-loops are impossible by construction.
-        let edges = proptest::collection::vec(
-            (0..n as u32, 1..n as u32, 0.0f64..=1.0)
-                .prop_map(move |(u, d, p)| (u, (u + d) % n as u32, p)),
-            0..=max_m,
-        );
-        (risks, edges).prop_map(|(risks, edges)| {
-            from_parts(&risks, &edges, DuplicateEdgePolicy::KeepMax).expect("valid parts")
-        })
-    })
+#[test]
+fn invariants_hold() {
+    check(64, |rng| {
+        let g = random_graph(rng, 40, 200);
+        g.check_invariants().unwrap();
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn invariants_hold(g in arb_graph(40, 200)) {
-        g.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn degree_sums_match_edge_count(g in arb_graph(40, 200)) {
+#[test]
+fn degree_sums_match_edge_count() {
+    check(64, |rng| {
+        let g = random_graph(rng, 40, 200);
         let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
         let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
-        prop_assert_eq!(out_sum, g.num_edges());
-        prop_assert_eq!(in_sum, g.num_edges());
-    }
+        assert_eq!(out_sum, g.num_edges());
+        assert_eq!(in_sum, g.num_edges());
+    });
+}
 
-    #[test]
-    fn transpose_is_involution_on_structure(g in arb_graph(25, 100)) {
+#[test]
+fn transpose_is_involution_on_structure() {
+    check(64, |rng| {
+        let g = random_graph(rng, 25, 100);
         let tt = g.transpose().transpose();
-        prop_assert_eq!(tt.num_nodes(), g.num_nodes());
-        prop_assert_eq!(tt.num_edges(), g.num_edges());
+        assert_eq!(tt.num_nodes(), g.num_nodes());
+        assert_eq!(tt.num_edges(), g.num_edges());
         for e in g.edges() {
             let (u, v) = g.edge_endpoints(e);
             let id = tt.find_edge(u, v);
-            prop_assert!(id.is_some());
+            assert!(id.is_some());
             let diff = (tt.edge_prob(id.unwrap()) - g.edge_prob(e)).abs();
-            prop_assert!(diff < 1e-12);
+            assert!(diff < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn io_roundtrip_preserves_graph(g in arb_graph(25, 100)) {
+#[test]
+fn io_roundtrip_preserves_graph() {
+    check(64, |rng| {
+        let g = random_graph(rng, 25, 100);
         let mut buf = Vec::new();
         io::write_graph(&g, &mut buf).unwrap();
         let g2 = io::read_graph(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(g, g2);
-    }
+        assert_eq!(g, g2);
+    });
+}
 
-    #[test]
-    fn find_edge_agrees_with_iteration(g in arb_graph(20, 80)) {
+#[test]
+fn find_edge_agrees_with_iteration() {
+    check(64, |rng| {
+        let g = random_graph(rng, 20, 80);
         for u in g.nodes() {
             for e in g.out_edges(u) {
-                prop_assert_eq!(g.find_edge(u, e.target), Some(e.id));
+                assert_eq!(g.find_edge(u, e.target), Some(e.id));
             }
         }
         // A few absent pairs.
         for u in g.nodes().take(5) {
             for v in g.nodes().take(5) {
                 if u != v && !g.out_neighbors(u).contains(&v.0) {
-                    prop_assert_eq!(g.find_edge(u, v), None);
+                    assert_eq!(g.find_edge(u, v), None);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_are_consistent(g in arb_graph(40, 200)) {
+#[test]
+fn stats_are_consistent() {
+    check(64, |rng| {
+        let g = random_graph(rng, 40, 200);
         let s = GraphStats::compute(&g);
-        prop_assert_eq!(s.nodes, g.num_nodes());
-        prop_assert_eq!(s.edges, g.num_edges());
-        prop_assert!(s.max_degree >= s.max_in_degree);
-        prop_assert!(s.max_degree >= s.max_out_degree);
-        prop_assert!(s.max_degree <= s.max_in_degree + s.max_out_degree);
-        prop_assert!((0.0..=1.0).contains(&s.mean_self_risk));
+        assert_eq!(s.nodes, g.num_nodes());
+        assert_eq!(s.edges, g.num_edges());
+        assert!(s.max_degree >= s.max_in_degree);
+        assert!(s.max_degree >= s.max_out_degree);
+        assert!(s.max_degree <= s.max_in_degree + s.max_out_degree);
+        assert!((0.0..=1.0).contains(&s.mean_self_risk));
         if g.num_edges() > 0 {
-            prop_assert!((0.0..=1.0).contains(&s.mean_edge_prob));
+            assert!((0.0..=1.0).contains(&s.mean_edge_prob));
         }
         let hand_max = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
-        prop_assert_eq!(s.max_degree, hand_max);
-    }
+        assert_eq!(s.max_degree, hand_max);
+    });
+}
 
-    #[test]
-    fn bfs_visits_no_node_twice(g in arb_graph(30, 150)) {
-        use ugraph::{Bfs, Direction};
+#[test]
+fn bfs_visits_no_node_twice() {
+    use ugraph::{Bfs, Direction};
+    check(64, |rng| {
+        let g = random_graph(rng, 30, 150);
         let root = NodeId(0);
         let visited: Vec<u32> = Bfs::new(&g, root, Direction::Forward).map(|(v, _)| v.0).collect();
         let mut dedup = visited.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), visited.len());
-    }
+        assert_eq!(dedup.len(), visited.len());
+    });
 }

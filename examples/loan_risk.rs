@@ -17,10 +17,13 @@ fn main() {
     println!("  max degree (hub):   {}", stats.max_degree);
     println!("  mean self-risk:     {:.3}", stats.mean_self_risk);
 
-    // Monthly screening: flag the top 1% enterprises.
+    // Monthly screening: flag the top 1% enterprises. The session owns
+    // the thread pool size (defaults to available parallelism) and keeps
+    // bounds and sampled worlds warm for follow-up queries.
     let k = (stats.nodes / 100).max(10);
-    let config = VulnConfig::default().with_seed(2024).with_threads(4);
-    let result = detect(&graph, k, AlgorithmKind::BottomK, &config);
+    let mut detector = Detector::builder(&graph).seed(2024).build().expect("valid session");
+    let result =
+        detector.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).expect("valid request");
 
     println!("\nTop-{k} vulnerable enterprises (BSRBK):");
     for (rank, s) in result.top_k.iter().take(10).enumerate() {
@@ -40,9 +43,23 @@ fn main() {
     println!("\nRun diagnostics:");
     println!("  candidates after pruning: {} / {}", result.stats.candidates, stats.nodes);
     println!("  verified without sampling: {}", result.stats.verified);
-    println!("  samples used / budget:     {} / {}", result.stats.samples_used, result.stats.sample_budget);
+    println!(
+        "  samples used / budget:     {} / {}",
+        result.stats.samples_used, result.stats.sample_budget
+    );
     println!("  early-stopped:             {}", result.stats.early_stopped);
     println!("  wall-clock:                {:?}", result.stats.elapsed);
+
+    // The analyst asks a follow-up on the same session: a wider review
+    // list. Bounds and the candidate machinery are already warm.
+    let wider =
+        detector.detect(&DetectRequest::new(k * 2, AlgorithmKind::BottomK)).expect("valid request");
+    println!(
+        "\nFollow-up top-{} on the warm session: bounds reused = {}, drew {} fresh worlds.",
+        k * 2,
+        wider.engine.bounds_reused,
+        wider.engine.samples_drawn
+    );
 
     // Contagion analysis for the riskiest enterprise: who would it drag
     // down? (Forward reachability, structural.)

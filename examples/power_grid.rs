@@ -29,8 +29,7 @@ fn build_grid(layers: &[usize], seed: u64) -> UncertainGraph {
         let base = 0.12 / (tier as f64 + 1.0);
         for i in 0..count {
             let jitter = rng.next_f64() * base;
-            b.set_self_risk(NodeId((offset[tier] + i) as u32), base + jitter)
-                .expect("valid risk");
+            b.set_self_risk(NodeId((offset[tier] + i) as u32), base + jitter).expect("valid risk");
         }
     }
 
@@ -41,8 +40,7 @@ fn build_grid(layers: &[usize], seed: u64) -> UncertainGraph {
             let child = (offset[tier + 1] + i) as u32;
             let feeds = 2 + rng.next_bounded(2) as usize;
             for _ in 0..feeds {
-                let parent =
-                    (offset[tier] + rng.next_bounded(layers[tier] as u64) as usize) as u32;
+                let parent = (offset[tier] + rng.next_bounded(layers[tier] as u64) as usize) as u32;
                 let p = 0.25 + rng.next_f64() * 0.35;
                 b.add_edge(NodeId(parent), NodeId(child), p).expect("valid edge");
             }
@@ -69,8 +67,10 @@ fn main() {
     println!("Layered power grid: {} facilities, {} feed lines", stats.nodes, stats.edges);
 
     let k = 25;
-    let config = VulnConfig::default().with_seed(77).with_threads(4);
-    let before = detect(&grid, k, AlgorithmKind::BoundedSampleReverse, &config);
+    let mut detector = Detector::builder(&grid).seed(77).build().expect("valid session");
+    let before = detector
+        .detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse))
+        .expect("valid request");
     println!("\nTop-{k} breakdown-prone facilities (BSR):");
     for s in before.top_k.iter().take(8) {
         println!(
@@ -82,7 +82,8 @@ fn main() {
     }
 
     // Hardening experiment: halve the self-risk of the top-5 facilities
-    // and re-detect — the top-k risk mass should drop.
+    // and re-detect — the top-k risk mass should drop. The modified grid
+    // is a different graph, so it gets its own session.
     let mut b = GraphBuilder::new(grid.num_nodes());
     for v in grid.nodes() {
         b.set_self_risk(v, grid.self_risk(v)).unwrap();
@@ -95,11 +96,14 @@ fn main() {
         b.add_edge(u, v, grid.edge_prob(e)).unwrap();
     }
     let hardened = b.build().expect("valid grid");
-    let after = detect(&hardened, k, AlgorithmKind::BoundedSampleReverse, &config);
+    let mut hardened_detector =
+        Detector::builder(&hardened).seed(77).build().expect("valid session");
+    let after = hardened_detector
+        .detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse))
+        .expect("valid request");
 
-    let mean = |r: &DetectionResult| {
-        r.top_k.iter().map(|s| s.score).sum::<f64>() / r.top_k.len() as f64
-    };
+    let mean =
+        |r: &DetectResponse| r.top_k.iter().map(|s| s.score).sum::<f64>() / r.top_k.len() as f64;
     let (mb, ma) = (mean(&before), mean(&after));
     println!("\nHardening the top-5 facilities:");
     println!("  mean top-{k} breakdown probability before: {mb:.3}");

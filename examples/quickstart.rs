@@ -1,5 +1,6 @@
 //! Quickstart: build the paper's Figure-3 toy guaranteed-loan network and
-//! find its most vulnerable enterprises with every algorithm.
+//! find its most vulnerable enterprises with every algorithm — one
+//! `Detector` session, one batched query.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -29,22 +30,31 @@ fn main() {
         println!("  {}: {:.4}", names[v], exact[v]);
     }
 
-    // Detect the top-2 vulnerable nodes with each algorithm.
-    let config = VulnConfig::default().with_seed(7);
+    // One session answers all five algorithms as a batch: the bounds are
+    // computed once, and algorithms that sample the same stream share
+    // one sampling pass.
+    let mut detector = Detector::builder(&graph).seed(7).build().expect("valid session");
+    let requests: Vec<DetectRequest> =
+        AlgorithmKind::ALL.iter().map(|&alg| DetectRequest::new(2, alg)).collect();
+    let responses = detector.detect_many(&requests).expect("valid requests");
+
     println!("\nTop-2 vulnerable nodes per algorithm:");
-    for alg in AlgorithmKind::ALL {
-        let result = detect(&graph, 2, alg, &config);
-        let picks: Vec<&str> =
-            result.top_k.iter().map(|s| names[s.node.index()]).collect();
+    for (req, result) in requests.iter().zip(&responses) {
+        let picks: Vec<&str> = result.top_k.iter().map(|s| names[s.node.index()]).collect();
         println!(
-            "  {:6} -> {:?}  (samples used: {}, candidates: {}, {:?})",
-            alg.label(),
+            "  {:6} -> {:?}  (drawn: {}, reused from session: {}, candidates: {})",
+            req.algorithm.label(),
             picks,
-            result.stats.samples_used,
+            result.engine.samples_drawn,
+            result.engine.samples_reused,
             result.stats.candidates,
-            result.stats.elapsed
         );
     }
 
-    println!("\nE is the most vulnerable: three upstream guarantors can infect it.");
+    let totals = detector.session_stats();
+    println!(
+        "\nSession totals: {} queries, {} worlds drawn, {} served from cache.",
+        totals.queries, totals.samples_drawn, totals.samples_reused
+    );
+    println!("E is the most vulnerable: three upstream guarantors can infect it.");
 }

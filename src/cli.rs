@@ -11,12 +11,18 @@
 //! vulnds generate <dataset> <out> [--scale s]  synthetic Table-2 dataset
 //! vulnds convert  <in> <out>                   text ↔ binary by extension
 //! ```
+//!
+//! Detection runs through the session-oriented
+//! [`Detector`](vulnds_core::engine::Detector) engine; every failure
+//! (usage, graph I/O, configuration) surfaces as the workspace-wide
+//! [`VulnError`].
 
 use std::fmt::Write as _;
 use ugraph::{GraphStats, UncertainGraph};
+use vulnds_core::engine::{default_threads, DetectRequest, Detector};
 use vulnds_core::{
-    compute_bounds, detect, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams,
-    VulnConfig,
+    compute_bounds, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams, VulnConfig,
+    VulnError,
 };
 use vulnds_datasets::Dataset;
 
@@ -40,20 +46,8 @@ pub enum Command {
     Help,
 }
 
-/// Errors from parsing or execution, with a user-facing message.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
-
-fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+fn err(msg: impl Into<String>) -> VulnError {
+    VulnError::Usage(msg.into())
 }
 
 /// Usage text.
@@ -72,10 +66,12 @@ USAGE:
                             interbank guarantee fraud
   vulnds convert  <in> <out>       (.bin extension selects binary format)
 
+--threads defaults to the machine's available parallelism; results are
+bit-identical for any thread count.
 Graph files: text format (see ugraph::io) or binary (.bin).";
 
 /// Parses an argument list (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, CliError> {
+pub fn parse(args: &[String]) -> Result<Command, VulnError> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
@@ -93,24 +89,58 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut k: Option<usize> = None;
             let mut algorithm = AlgorithmKind::BottomK;
             let mut config = VulnConfig::default();
+            let mut threads: Option<usize> = None;
             let mut epsilon = config.approx.epsilon();
             let mut delta = config.approx.delta();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--k" => k = Some(value(&rest, &mut i)?.parse().map_err(|_| err("--k: not an integer"))?),
+                    "--k" => {
+                        k = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--k: not an integer"))?,
+                        )
+                    }
                     "--algorithm" => algorithm = parse_algorithm(&value(&rest, &mut i)?)?,
-                    "--epsilon" => epsilon = value(&rest, &mut i)?.parse().map_err(|_| err("--epsilon: not a number"))?,
-                    "--delta" => delta = value(&rest, &mut i)?.parse().map_err(|_| err("--delta: not a number"))?,
-                    "--seed" => config.seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
-                    "--threads" => config.threads = value(&rest, &mut i)?.parse().map_err(|_| err("--threads: not an integer"))?,
-                    "--bk" => config.bk = value(&rest, &mut i)?.parse().map_err(|_| err("--bk: not an integer"))?,
-                    "--bound-order" => config.bound_order = value(&rest, &mut i)?.parse().map_err(|_| err("--bound-order: not an integer"))?,
+                    "--epsilon" => {
+                        epsilon = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--epsilon: not a number"))?
+                    }
+                    "--delta" => {
+                        delta = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--delta: not a number"))?
+                    }
+                    "--seed" => {
+                        config.seed = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--seed: not an integer"))?
+                    }
+                    "--threads" => {
+                        threads = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--threads: not an integer"))?,
+                        )
+                    }
+                    "--bk" => {
+                        config.bk = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--bk: not an integer"))?
+                    }
+                    "--bound-order" => {
+                        config.bound_order = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--bound-order: not an integer"))?
+                    }
                     other => return Err(err(format!("detect: unknown option {other}"))),
                 }
                 i += 1;
             }
-            config.approx = ApproxParams::new(epsilon, delta).map_err(|e| err(e.to_string()))?;
+            config.approx = ApproxParams::new(epsilon, delta)?;
+            config.threads = threads.unwrap_or_else(default_threads).max(1);
             let k = k.ok_or_else(|| err("detect: --k is required"))?;
             Ok(Command::Detect { path, k, algorithm, config })
         }
@@ -119,6 +149,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             let mut bottomk = false;
             let mut config = VulnConfig::default();
+            let mut threads: Option<usize> = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -129,12 +160,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             other => return Err(err(format!("--method: unknown method {other}"))),
                         }
                     }
-                    "--seed" => config.seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
-                    "--threads" => config.threads = value(&rest, &mut i)?.parse().map_err(|_| err("--threads: not an integer"))?,
+                    "--seed" => {
+                        config.seed = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--seed: not an integer"))?
+                    }
+                    "--threads" => {
+                        threads = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--threads: not an integer"))?,
+                        )
+                    }
                     other => return Err(err(format!("score: unknown option {other}"))),
                 }
                 i += 1;
             }
+            config.threads = threads.unwrap_or_else(default_threads).max(1);
             Ok(Command::Score { path, bottomk, config })
         }
         "bounds" => {
@@ -144,7 +186,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--order" => order = value(&rest, &mut i)?.parse().map_err(|_| err("--order: not an integer"))?,
+                    "--order" => {
+                        order = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--order: not an integer"))?
+                    }
                     other => return Err(err(format!("bounds: unknown option {other}"))),
                 }
                 i += 1;
@@ -161,8 +207,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--scale" => scale = value(&rest, &mut i)?.parse().map_err(|_| err("--scale: not a number"))?,
-                    "--seed" => seed = value(&rest, &mut i)?.parse().map_err(|_| err("--seed: not an integer"))?,
+                    "--scale" => {
+                        scale = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--scale: not a number"))?
+                    }
+                    "--seed" => {
+                        seed = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--seed: not an integer"))?
+                    }
                     other => return Err(err(format!("generate: unknown option {other}"))),
                 }
                 i += 1;
@@ -179,19 +233,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-fn value(rest: &[String], i: &mut usize) -> Result<String, CliError> {
+fn value(rest: &[String], i: &mut usize) -> Result<String, VulnError> {
     *i += 1;
     rest.get(*i).cloned().ok_or_else(|| err(format!("{}: missing value", rest[*i - 1])))
 }
 
-fn expect_empty<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), CliError> {
+fn expect_empty<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), VulnError> {
     match it.next() {
         None => Ok(()),
         Some(extra) => Err(err(format!("unexpected argument {extra}"))),
     }
 }
 
-fn parse_algorithm(s: &str) -> Result<AlgorithmKind, CliError> {
+fn parse_algorithm(s: &str) -> Result<AlgorithmKind, VulnError> {
     match s.to_ascii_lowercase().as_str() {
         "n" | "naive" => Ok(AlgorithmKind::Naive),
         "sn" => Ok(AlgorithmKind::SampledNaive),
@@ -202,7 +256,7 @@ fn parse_algorithm(s: &str) -> Result<AlgorithmKind, CliError> {
     }
 }
 
-fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
+fn parse_dataset(s: &str) -> Result<Dataset, VulnError> {
     match s.to_ascii_lowercase().as_str() {
         "bitcoin" => Ok(Dataset::Bitcoin),
         "facebook" => Ok(Dataset::Facebook),
@@ -216,26 +270,26 @@ fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
     }
 }
 
-fn load(path: &str) -> Result<UncertainGraph, CliError> {
+fn load(path: &str) -> Result<UncertainGraph, VulnError> {
     let result = if path.ends_with(".bin") {
         ugraph::io_binary::load_binary(path)
     } else {
         ugraph::io::load_from_path(path)
     };
-    result.map_err(|e| err(format!("failed to load {path}: {e}")))
+    result.map_err(|error| VulnError::File { path: path.to_string(), error })
 }
 
-fn save(g: &UncertainGraph, path: &str) -> Result<(), CliError> {
+fn save(g: &UncertainGraph, path: &str) -> Result<(), VulnError> {
     let result = if path.ends_with(".bin") {
         ugraph::io_binary::save_binary(g, path)
     } else {
         ugraph::io::save_to_path(g, path)
     };
-    result.map_err(|e| err(format!("failed to save {path}: {e}")))
+    result.map_err(|error| VulnError::File { path: path.to_string(), error })
 }
 
 /// Executes a command, returning the text to print.
-pub fn run(command: Command) -> Result<String, CliError> {
+pub fn run(command: Command) -> Result<String, VulnError> {
     let mut out = String::new();
     match command {
         Command::Help => out.push_str(USAGE),
@@ -251,17 +305,30 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "mean self-risk:   {:.4}", s.mean_self_risk);
             let _ = writeln!(out, "mean edge prob:   {:.4}", s.mean_edge_prob);
             let scc = ugraph::strongly_connected_components(&g);
-            let _ = writeln!(out, "SCCs:             {} ({} non-trivial)", scc.count, scc.non_trivial().len());
+            let _ = writeln!(
+                out,
+                "SCCs:             {} ({} non-trivial)",
+                scc.count,
+                scc.non_trivial().len()
+            );
         }
         Command::Detect { path, k, algorithm, config } => {
             let g = load(&path)?;
             if k == 0 || k > g.num_nodes() {
                 return Err(err(format!("--k must be in 1..={}", g.num_nodes())));
             }
-            let r = detect(&g, k, algorithm, &config);
-            let _ = writeln!(out, "# algorithm {} | samples {}/{} | candidates {} | verified {} | {:?}",
-                algorithm.label(), r.stats.samples_used, r.stats.sample_budget,
-                r.stats.candidates, r.stats.verified, r.stats.elapsed);
+            let mut detector = Detector::builder(&g).config(config).build()?;
+            let r = detector.detect(&DetectRequest::new(k, algorithm))?;
+            let _ = writeln!(
+                out,
+                "# algorithm {} | samples {}/{} | candidates {} | verified {} | {:?}",
+                algorithm.label(),
+                r.stats.samples_used,
+                r.stats.sample_budget,
+                r.stats.candidates,
+                r.stats.verified,
+                r.stats.elapsed
+            );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
                 let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
@@ -295,7 +362,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let g = dataset.generate_scaled(seed, scale);
             save(&g, &path)?;
             let s = GraphStats::compute(&g);
-            let _ = writeln!(out, "wrote {} ({} nodes, {} edges) to {path}", dataset, s.nodes, s.edges);
+            let _ =
+                writeln!(out, "wrote {} ({} nodes, {} edges) to {path}", dataset, s.nodes, s.edges);
         }
         Command::Convert { input, output } => {
             let g = load(&input)?;
@@ -344,9 +412,21 @@ mod tests {
     }
 
     #[test]
+    fn threads_default_to_available_parallelism() {
+        for cmd in ["detect g.txt --k 3", "score g.txt"] {
+            let threads = match parse(&args(cmd)).unwrap() {
+                Command::Detect { config, .. } | Command::Score { config, .. } => config.threads,
+                other => panic!("wrong command: {other:?}"),
+            };
+            assert_eq!(threads, default_threads().max(1), "{cmd}");
+        }
+    }
+
+    #[test]
     fn detect_requires_k() {
         let e = parse(&args("detect g.txt")).unwrap_err();
         assert!(e.to_string().contains("--k"));
+        assert!(matches!(e, VulnError::Usage(_)));
     }
 
     #[test]
@@ -355,12 +435,18 @@ mod tests {
         assert!(parse(&args("warp g.txt")).is_err());
         assert!(parse(&args("detect g.txt --k 3 --algorithm quantum")).is_err());
         assert!(parse(&args("generate mars out.txt")).is_err());
-        assert!(parse(&args("detect g.txt --k 3 --epsilon 2.0")).is_err());
+        // Invalid (ε, δ) surfaces as the unified configuration error.
+        assert!(matches!(
+            parse(&args("detect g.txt --k 3 --epsilon 2.0")),
+            Err(VulnError::Config(_))
+        ));
     }
 
     #[test]
     fn parses_all_datasets() {
-        for name in ["bitcoin", "facebook", "wiki", "p2p", "citation", "interbank", "guarantee", "fraud"] {
+        for name in
+            ["bitcoin", "facebook", "wiki", "p2p", "citation", "interbank", "guarantee", "fraud"]
+        {
             let c = parse(&args(&format!("generate {name} out.txt"))).unwrap();
             assert!(matches!(c, Command::Generate { .. }), "{name}");
         }
@@ -373,24 +459,27 @@ mod tests {
         let txt = dir.join("g.txt").to_string_lossy().to_string();
         let bin = dir.join("g.bin").to_string_lossy().to_string();
 
-        let msg = run(parse(&args(&format!("generate interbank {txt} --scale 1.0 --seed 3"))).unwrap())
-            .unwrap();
+        let msg =
+            run(parse(&args(&format!("generate interbank {txt} --scale 1.0 --seed 3"))).unwrap())
+                .unwrap();
         assert!(msg.contains("125 nodes"), "{msg}");
 
         let stats = run(parse(&args(&format!("stats {txt}"))).unwrap()).unwrap();
         assert!(stats.contains("nodes:            125"), "{stats}");
         assert!(stats.contains("SCCs"), "{stats}");
 
-        let det = run(parse(&args(&format!("detect {txt} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
-            .unwrap();
+        let det =
+            run(parse(&args(&format!("detect {txt} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
+                .unwrap();
         assert!(det.lines().count() >= 7, "{det}");
         assert!(det.contains("# algorithm BSRBK"), "{det}");
 
         let conv = run(parse(&args(&format!("convert {txt} {bin}"))).unwrap()).unwrap();
         assert!(conv.contains("converted"));
         // Binary file loads and detects identically.
-        let det2 = run(parse(&args(&format!("detect {bin} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
-            .unwrap();
+        let det2 =
+            run(parse(&args(&format!("detect {bin} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
+                .unwrap();
         assert_eq!(
             det.lines().skip(1).collect::<Vec<_>>(),
             det2.lines().skip(1).collect::<Vec<_>>(),
@@ -400,10 +489,28 @@ mod tests {
         let bounds = run(parse(&args(&format!("bounds {txt} --order 2"))).unwrap()).unwrap();
         assert_eq!(bounds.lines().count(), 126); // header + 125 nodes
 
-        let score = run(parse(&args(&format!("score {txt} --method bottomk --seed 4"))).unwrap())
-            .unwrap();
+        let score =
+            run(parse(&args(&format!("score {txt} --method bottomk --seed 4"))).unwrap()).unwrap();
         assert_eq!(score.lines().count(), 126);
 
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn threads_do_not_change_cli_output() {
+        let dir = std::env::temp_dir().join("vulnds_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
+        let one = run(parse(&args(&format!("detect {txt} --k 5 --threads 1 --seed 2"))).unwrap())
+            .unwrap();
+        let four = run(parse(&args(&format!("detect {txt} --k 5 --threads 4 --seed 2"))).unwrap())
+            .unwrap();
+        assert_eq!(
+            one.lines().skip(1).collect::<Vec<_>>(),
+            four.lines().skip(1).collect::<Vec<_>>(),
+            "thread count changed the ranking"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -421,6 +528,7 @@ mod tests {
     #[test]
     fn load_reports_missing_file() {
         let e = run(Command::Stats { path: "/nonexistent/g.txt".into() }).unwrap_err();
-        assert!(e.to_string().contains("failed to load"), "{e}");
+        assert!(matches!(e, VulnError::File { .. }), "{e:?}");
+        assert!(e.to_string().contains("/nonexistent/g.txt"), "{e}");
     }
 }

@@ -20,8 +20,11 @@
 //! }
 //! let graph = b.build().unwrap();
 //!
-//! // Detect the most vulnerable node with the fastest algorithm.
-//! let result = detect(&graph, 1, AlgorithmKind::BottomK, &VulnConfig::default());
+//! // Open a query session and ask for the most vulnerable node with the
+//! // fastest algorithm. Follow-up queries reuse the session's cached
+//! // bounds, candidate sets, and sampled worlds.
+//! let mut detector = Detector::builder(&graph).build().unwrap();
+//! let result = detector.detect(&DetectRequest::new(1, AlgorithmKind::BottomK)).unwrap();
 //! assert_eq!(result.top_k[0].node, NodeId(4));
 //! ```
 //!
@@ -30,7 +33,8 @@
 //! * [`ugraph`] — uncertain graph storage, I/O and statistics.
 //! * [`sampling`] — possible-world samplers (forward / reverse / parallel).
 //! * [`sketch`] — bottom-k sketches.
-//! * [`core`] — bounds, pruning, the five detection algorithms, metrics.
+//! * [`core`] — the `Detector` engine, bounds, pruning, the five
+//!   detection algorithms, metrics.
 //! * [`baselines`] — centralities, influence maximization, from-scratch ML.
 //! * [`datasets`] — synthetic workloads matching the paper's Table 2.
 
@@ -51,9 +55,12 @@ pub mod prelude {
     pub use ugraph::{
         from_parts, DuplicateEdgePolicy, EdgeId, GraphBuilder, GraphStats, NodeId, UncertainGraph,
     };
+    #[allow(deprecated)]
+    pub use vulnds_core::detect;
     pub use vulnds_core::{
-        detect, precision_at_k, AlgorithmKind, ApproxParams, BoundsMethod, DetectionResult,
-        IncrementalBounds, Intervention, ScoredNode, VulnConfig, WhatIfReport,
+        precision_at_k, AlgorithmKind, ApproxParams, BoundsMethod, DetectRequest, DetectResponse,
+        DetectionResult, Detector, DetectorBuilder, EngineStats, IncrementalBounds, Intervention,
+        ScoredNode, SessionStats, VulnConfig, VulnError, WhatIfReport,
     };
     pub use vulnds_datasets::{Dataset, ProbabilityModel};
     pub use vulnds_sampling::{forward_counts, reverse_counts, Xoshiro256pp};

@@ -1,10 +1,7 @@
 //! Cross-crate correctness on small graphs where the exact answer is
 //! computable by full possible-world enumeration.
 
-use vulnds::core::{
-    exact_default_probabilities, detect, precision_with_ties, satisfies_epsilon_contract,
-    AlgorithmKind, VulnConfig,
-};
+use vulnds::core::{exact_default_probabilities, precision_with_ties, satisfies_epsilon_contract};
 use vulnds::prelude::*;
 
 /// The paper's Figure-3 network with uniform 0.2 probabilities.
@@ -36,11 +33,23 @@ fn tiny_random(seed: u64) -> UncertainGraph {
     from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap()
 }
 
+/// One-shot query through a fresh session.
+fn detect_once(
+    g: &UncertainGraph,
+    k: usize,
+    alg: AlgorithmKind,
+    cfg: &VulnConfig,
+) -> DetectResponse {
+    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    d.detect(&DetectRequest::new(k, alg)).unwrap()
+}
+
 #[test]
 fn all_algorithms_find_figure3_top1() {
     let g = figure3();
+    let mut d = Detector::builder(&g).config(VulnConfig::default().with_seed(3)).build().unwrap();
     for alg in AlgorithmKind::ALL {
-        let r = detect(&g, 1, alg, &VulnConfig::default().with_seed(3));
+        let r = d.detect(&DetectRequest::new(1, alg)).unwrap();
         assert_eq!(r.top_k[0].node, NodeId(4), "{alg} missed node E");
     }
 }
@@ -51,7 +60,7 @@ fn algorithms_track_exact_probabilities_on_random_tiny_graphs() {
         let g = tiny_random(seed);
         let exact = exact_default_probabilities(&g);
         for alg in AlgorithmKind::ALL {
-            let r = detect(&g, 2, alg, &VulnConfig::default().with_seed(seed * 31 + 7));
+            let r = detect_once(&g, 2, alg, &VulnConfig::default().with_seed(seed * 31 + 7));
             // Tie-tolerant precision with the paper's ε slack: returned
             // nodes must be within ε = 0.3 of the true 2nd value.
             let p = precision_with_ties(&r.top_k, &exact, 2, 0.3);
@@ -73,7 +82,8 @@ fn sn_satisfies_its_epsilon_contract_with_high_frequency() {
     let mut violations = 0;
     let runs = 20;
     for seed in 0..runs {
-        let r = detect(&g, 2, AlgorithmKind::SampledNaive, &VulnConfig::default().with_seed(seed));
+        let r =
+            detect_once(&g, 2, AlgorithmKind::SampledNaive, &VulnConfig::default().with_seed(seed));
         if !satisfies_epsilon_contract(&r.top_k, &exact, 2, 0.3) {
             violations += 1;
         }
@@ -92,7 +102,7 @@ fn bsr_never_loses_verified_nodes() {
     let g = from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap();
     for alg in [AlgorithmKind::BoundedSampleReverse, AlgorithmKind::BottomK] {
         for seed in 0..5 {
-            let r = detect(&g, 3, alg, &VulnConfig::default().with_seed(seed));
+            let r = detect_once(&g, 3, alg, &VulnConfig::default().with_seed(seed));
             assert!(r.node_ids().contains(&NodeId(0)), "{alg} seed {seed} lost the sure node");
         }
     }
@@ -101,12 +111,8 @@ fn bsr_never_loses_verified_nodes() {
 #[test]
 fn exact_matches_definition1_on_a_tree() {
     // On an in-tree, Equation 1 is exact; the enumerator must agree.
-    let g = from_parts(
-        &[0.3, 0.2, 0.1],
-        &[(0, 1, 0.5), (1, 2, 0.4)],
-        DuplicateEdgePolicy::Error,
-    )
-    .unwrap();
+    let g = from_parts(&[0.3, 0.2, 0.1], &[(0, 1, 0.5), (1, 2, 0.4)], DuplicateEdgePolicy::Error)
+        .unwrap();
     let exact = exact_default_probabilities(&g);
     let p0 = 0.3;
     let p1 = 1.0 - (1.0 - 0.2) * (1.0 - 0.5 * p0);

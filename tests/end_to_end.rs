@@ -1,11 +1,22 @@
 //! End-to-end pipeline tests: dataset generation → detection → metrics,
-//! exercising the public API the way the bench harness does.
+//! exercising the engine API the way the bench harness does.
 
-use vulnds::core::{detect, ground_truth, precision_with_ties, AlgorithmKind, VulnConfig};
+use vulnds::core::{ground_truth, precision_with_ties};
 use vulnds::prelude::*;
 
 fn small(ds: Dataset) -> UncertainGraph {
     ds.generate_scaled(7, 0.05)
+}
+
+/// One-shot query through a fresh session.
+fn detect_once(
+    g: &UncertainGraph,
+    k: usize,
+    alg: AlgorithmKind,
+    cfg: &VulnConfig,
+) -> DetectResponse {
+    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    d.detect(&DetectRequest::new(k, alg)).unwrap()
 }
 
 #[test]
@@ -13,8 +24,10 @@ fn full_pipeline_on_interbank() {
     let g = Dataset::Interbank.generate(7);
     let truth = ground_truth(&g, 20_000, 99, 2);
     let k = (g.num_nodes() / 10).max(1);
+    // One session answers all five algorithms.
+    let mut d = Detector::builder(&g).config(VulnConfig::default().with_seed(5)).build().unwrap();
     for alg in AlgorithmKind::ALL {
-        let r = detect(&g, k, alg, &VulnConfig::default().with_seed(5));
+        let r = d.detect(&DetectRequest::new(k, alg)).unwrap();
         assert_eq!(r.top_k.len(), k, "{alg}");
         let p = precision_with_ties(&r.top_k, &truth, k, 0.05);
         assert!(p >= 0.5, "{alg}: precision {p}");
@@ -32,10 +45,10 @@ fn sample_budgets_shrink_down_the_algorithm_ladder() {
     let g = small(Dataset::Citation);
     let k = (g.num_nodes() / 20).max(2);
     let cfg = VulnConfig::default().with_seed(11);
-    let n = detect(&g, k, AlgorithmKind::Naive, &cfg);
-    let sn = detect(&g, k, AlgorithmKind::SampledNaive, &cfg);
-    let bsr = detect(&g, k, AlgorithmKind::BoundedSampleReverse, &cfg);
-    let bk = detect(&g, k, AlgorithmKind::BottomK, &cfg);
+    let n = detect_once(&g, k, AlgorithmKind::Naive, &cfg);
+    let sn = detect_once(&g, k, AlgorithmKind::SampledNaive, &cfg);
+    let bsr = detect_once(&g, k, AlgorithmKind::BoundedSampleReverse, &cfg);
+    let bk = detect_once(&g, k, AlgorithmKind::BottomK, &cfg);
     assert!(sn.stats.samples_used < n.stats.samples_used);
     assert!(bsr.stats.sample_budget <= sn.stats.sample_budget);
     assert!(bk.stats.samples_used <= bsr.stats.samples_used);
@@ -47,7 +60,7 @@ fn pruning_is_effective_on_financial_shapes() {
     // candidate set must be far below n.
     let g = small(Dataset::Guarantee);
     let k = (g.num_nodes() / 20).max(2);
-    let r = detect(&g, k, AlgorithmKind::BoundedSampleReverse, &VulnConfig::default());
+    let r = detect_once(&g, k, AlgorithmKind::BoundedSampleReverse, &VulnConfig::default());
     assert!(
         (r.stats.candidates as f64) < 0.8 * g.num_nodes() as f64,
         "candidates {} of n {}",
@@ -66,21 +79,44 @@ fn threads_do_not_change_results() {
         AlgorithmKind::SampleReverse,
         AlgorithmKind::BoundedSampleReverse,
     ] {
-        let seq = detect(&g, k, alg, &VulnConfig::default().with_seed(3).with_threads(1));
-        let par = detect(&g, k, alg, &VulnConfig::default().with_seed(3).with_threads(4));
+        let seq = detect_once(&g, k, alg, &VulnConfig::default().with_seed(3).with_threads(1));
+        let par = detect_once(&g, k, alg, &VulnConfig::default().with_seed(3).with_threads(4));
         assert_eq!(seq.top_k, par.top_k, "{alg}");
     }
 }
 
 #[test]
-fn detection_is_reproducible_across_runs() {
+fn detection_is_reproducible_across_sessions() {
     let g = small(Dataset::Wiki);
     let cfg = VulnConfig::default().with_seed(21);
     for alg in AlgorithmKind::ALL {
-        let a = detect(&g, 10, alg, &cfg);
-        let b = detect(&g, 10, alg, &cfg);
+        let a = detect_once(&g, 10, alg, &cfg);
+        let b = detect_once(&g, 10, alg, &cfg);
         assert_eq!(a.top_k, b.top_k, "{alg}");
         assert_eq!(a.stats.samples_used, b.stats.samples_used, "{alg}");
+    }
+}
+
+#[test]
+fn deprecated_shims_match_engine_sessions() {
+    // The classic free functions are thin shims over a throwaway
+    // session; their answers must be bit-identical to the engine's.
+    #[allow(deprecated)]
+    fn legacy(
+        g: &UncertainGraph,
+        k: usize,
+        alg: AlgorithmKind,
+        cfg: &VulnConfig,
+    ) -> DetectionResult {
+        detect(g, k, alg, cfg)
+    }
+    let g = small(Dataset::Citation);
+    let cfg = VulnConfig::default().with_seed(13);
+    for alg in AlgorithmKind::ALL {
+        let old = legacy(&g, 5, alg, &cfg);
+        let new = detect_once(&g, 5, alg, &cfg);
+        assert_eq!(old.top_k, new.top_k, "{alg}");
+        assert_eq!(old.stats.samples_used, new.stats.samples_used, "{alg}");
     }
 }
 
@@ -92,8 +128,8 @@ fn graph_io_roundtrip_preserves_detection() {
     let g2 = ugraph::io::read_graph(std::io::Cursor::new(buf)).unwrap();
     assert_eq!(g, g2);
     let cfg = VulnConfig::default().with_seed(9);
-    let a = detect(&g, 5, AlgorithmKind::BottomK, &cfg);
-    let b = detect(&g2, 5, AlgorithmKind::BottomK, &cfg);
+    let a = detect_once(&g, 5, AlgorithmKind::BottomK, &cfg);
+    let b = detect_once(&g2, 5, AlgorithmKind::BottomK, &cfg);
     assert_eq!(a.top_k, b.top_k);
 }
 

@@ -1,0 +1,85 @@
+//! Acceptance tests for `Detector::detect_many`: a batch over one graph
+//! must draw strictly fewer total samples than the same requests issued
+//! as independent one-shot calls, while returning bit-identical answers.
+
+use vulnds::prelude::*;
+
+fn graph() -> UncertainGraph {
+    Dataset::Interbank.generate(7)
+}
+
+fn cfg() -> VulnConfig {
+    VulnConfig::default().with_seed(41)
+}
+
+/// Four requests on the same graph: multiple `k` plus a tightened-ε
+/// what-if repeat — the session workload the engine exists for.
+fn requests() -> Vec<DetectRequest> {
+    vec![
+        DetectRequest::new(5, AlgorithmKind::SampledNaive),
+        DetectRequest::new(10, AlgorithmKind::SampledNaive),
+        DetectRequest::new(5, AlgorithmKind::SampledNaive).with_epsilon(0.25),
+        DetectRequest::new(12, AlgorithmKind::BoundedSampleReverse),
+    ]
+}
+
+#[test]
+fn batch_draws_strictly_fewer_samples_than_independent_calls() {
+    let g = graph();
+
+    let mut batch = Detector::builder(&g).config(cfg()).build().unwrap();
+    let batched = batch.detect_many(&requests()).unwrap();
+
+    let mut independent_drawn = 0u64;
+    let mut independent_responses = Vec::new();
+    for req in requests() {
+        let mut solo = Detector::builder(&g).config(cfg()).build().unwrap();
+        independent_responses.push(solo.detect(&req).unwrap());
+        independent_drawn += solo.session_stats().samples_drawn;
+    }
+
+    // The three SN requests share one forward stream: the batch extends
+    // one sampling pass to the largest budget instead of redrawing.
+    let batch_drawn = batch.session_stats().samples_drawn;
+    assert!(
+        batch_drawn < independent_drawn,
+        "batch drew {batch_drawn} samples, independent calls drew {independent_drawn}"
+    );
+    let reused: u64 = batched.iter().map(|r| r.engine.samples_reused).sum();
+    assert!(reused > 0, "no request reported cache reuse");
+
+    // Sharing must not change any answer.
+    for (b, s) in batched.iter().zip(&independent_responses) {
+        assert_eq!(b.top_k, s.top_k);
+        assert_eq!(b.stats.samples_used, s.stats.samples_used);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_produce_identical_topk() {
+    // The classic free functions must keep answering exactly like the
+    // engine (they are thin shims over a cold session).
+    let g = graph();
+    for alg in AlgorithmKind::ALL {
+        let shim = detect(&g, 8, alg, &cfg());
+        let mut d = Detector::builder(&g).config(cfg()).build().unwrap();
+        let engine = d.detect(&DetectRequest::new(8, alg)).unwrap();
+        assert_eq!(shim.top_k, engine.top_k, "{alg}");
+        assert_eq!(shim.stats.samples_used, engine.stats.samples_used, "{alg}");
+        assert_eq!(shim.stats.candidates, engine.stats.candidates, "{alg}");
+    }
+}
+
+#[test]
+fn batch_responses_preserve_request_order() {
+    let g = graph();
+    let mut d = Detector::builder(&g).config(cfg()).build().unwrap();
+    let reqs = requests();
+    let responses = d.detect_many(&reqs).unwrap();
+    assert_eq!(responses.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&responses) {
+        assert_eq!(resp.top_k.len(), req.k, "response out of order for {req:?}");
+        assert_eq!(resp.stats.algorithm, req.algorithm, "response out of order for {req:?}");
+    }
+}

@@ -2,18 +2,26 @@
 //! bounds maintainer and the detection pipeline — the "monthly
 //! recalibration" loop of the paper's deployed system.
 
-use vulnds::core::{compute_bounds, detect, AlgorithmKind, BoundsMethod, IncrementalBounds, VulnConfig};
+use vulnds::core::compute_bounds;
 use vulnds::datasets::{replay, update_stream, UpdateEvent, UpdateStreamParams};
 use vulnds::prelude::*;
+
+/// One-shot query through a fresh session.
+fn detect_once(
+    g: &UncertainGraph,
+    k: usize,
+    alg: AlgorithmKind,
+    cfg: &VulnConfig,
+) -> DetectResponse {
+    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    d.detect(&DetectRequest::new(k, alg)).unwrap()
+}
 
 #[test]
 fn incremental_bounds_track_a_month_of_updates() {
     let g = Dataset::Guarantee.generate_scaled(11, 0.02);
-    let events = update_stream(
-        &g,
-        UpdateStreamParams { events: 200, node_fraction: 0.7, drift: 0.3 },
-        5,
-    );
+    let events =
+        update_stream(&g, UpdateStreamParams { events: 200, node_fraction: 0.7, drift: 0.3 }, 5);
     let mut inc = IncrementalBounds::new(g.clone(), 2, BoundsMethod::Paper);
     let mut total_cells = 0usize;
     for &ev in &events {
@@ -56,8 +64,8 @@ fn detection_after_updates_equals_detection_on_replayed_graph() {
         }
     }
     let cfg = VulnConfig::default().with_seed(19);
-    let from_incremental = detect(inc.graph(), 5, AlgorithmKind::BottomK, &cfg);
-    let from_replay = detect(&replayed, 5, AlgorithmKind::BottomK, &cfg);
+    let from_incremental = detect_once(inc.graph(), 5, AlgorithmKind::BottomK, &cfg);
+    let from_replay = detect_once(&replayed, 5, AlgorithmKind::BottomK, &cfg);
     assert_eq!(from_incremental.top_k, from_replay.top_k);
 }
 
@@ -67,13 +75,10 @@ fn drift_changes_the_ranking_eventually() {
     // the incremental machinery is pointless.
     let g = Dataset::Interbank.generate(23);
     let cfg = VulnConfig::default().with_seed(29);
-    let before = detect(&g, 5, AlgorithmKind::BoundedSampleReverse, &cfg);
-    let events = update_stream(
-        &g,
-        UpdateStreamParams { events: 500, node_fraction: 0.9, drift: 0.5 },
-        31,
-    );
+    let before = detect_once(&g, 5, AlgorithmKind::BoundedSampleReverse, &cfg);
+    let events =
+        update_stream(&g, UpdateStreamParams { events: 500, node_fraction: 0.9, drift: 0.5 }, 31);
     let after_graph = replay(&g, &events);
-    let after = detect(&after_graph, 5, AlgorithmKind::BoundedSampleReverse, &cfg);
+    let after = detect_once(&after_graph, 5, AlgorithmKind::BoundedSampleReverse, &cfg);
     assert_ne!(before.node_ids(), after.node_ids(), "500 drift events changed nothing");
 }

@@ -1,6 +1,6 @@
 //! Influence maximization under the independent-cascade model, via
 //! reverse-reachable (RR) sets (Borgs et al., SODA'14 — the method the
-//! paper cites as [18] and compares against as `InfMax`).
+//! paper cites as \[18\] and compares against as `InfMax`).
 //!
 //! An RR set is the set of nodes that can reach a uniformly random target
 //! through edges kept independently with their diffusion probabilities.

@@ -1,5 +1,5 @@
 //! Weighted k-nearest-neighbors classifier — the stand-in for the
-//! paper's p-wkNN [15], which the authors use to infer guarantee-edge
+//! paper's p-wkNN \[15\], which the authors use to infer guarantee-edge
 //! risk probabilities.
 //!
 //! Prediction: the probability of the positive class is the

@@ -1,47 +1,168 @@
-//! Micro-benchmarks of the sampling substrate: forward vs reverse
-//! samplers, and parallel scaling.
+//! Micro-benchmarks of the sampling substrate, centered on the
+//! scalar-vs-block world-evaluation comparison that motivates the
+//! bit-parallel data path.
+//!
+//! For each graph family from `vulnds_datasets::gen` the bench measures,
+//! per possible world:
+//!
+//! * `eval/scalar` — default reachability over one pre-materialized
+//!   world at a time ([`PossibleWorld::defaulted_nodes`] + mask
+//!   accumulation), the pre-refactor inner loop;
+//! * `eval/block` — the same 64 worlds through
+//!   [`BlockKernel::forward_defaults`] + popcount accumulation;
+//! * `end_to_end/{scalar,block}` — coin materialization included.
+//!
+//! Results append to stdout and are written to `BENCH_sampling.json`
+//! (override the path with `VULNDS_BENCH_JSON`) so the perf trajectory
+//! is tracked from PR 2 on. Raise `VULNDS_BENCH_MS` for tighter
+//! medians.
 
-use ugraph::NodeId;
-use vulnds_bench::microbench::bench;
-use vulnds_datasets::Dataset;
+use ugraph::{NodeId, UncertainGraph};
+use vulnds_bench::microbench::{bench, measure, JsonReport};
+use vulnds_datasets::gen::{chung_lu, erdos, pref_attach};
+use vulnds_datasets::{attach_probabilities, ProbabilityModel};
 use vulnds_sampling::{
-    forward_counts, parallel_forward_counts, reverse_counts, ReverseSampler, Xoshiro256pp,
+    forward_counts, parallel_forward_counts, reverse_counts, reverse_counts_range, BlockKernel,
+    DefaultCounts, ForwardSampler, PossibleWorld, WorldBlock, Xoshiro256pp, LANES,
 };
 
+struct Family {
+    name: &'static str,
+    graph: UncertainGraph,
+}
+
+/// The acceptance-size families: ≥ 10k nodes each, one per structure
+/// generator, financial-skew probabilities so traversals stay sparse but
+/// non-trivial.
+fn families() -> Vec<Family> {
+    let model = ProbabilityModel::financial();
+    let mut rng = Xoshiro256pp::new(0xB10C_BE4C);
+    let erdos_edges = erdos::generate(12_000, 36_000, &mut rng);
+    let erdos_graph = attach_probabilities(12_000, &erdos_edges, model, &mut rng);
+    let cl_params =
+        chung_lu::ChungLuParams { nodes: 12_000, edges: 30_000, alpha: 2.5, max_degree: 400 };
+    let cl_edges = chung_lu::generate(cl_params, &mut rng);
+    let cl_graph = attach_probabilities(12_000, &cl_edges, model, &mut rng);
+    let pa_params = pref_attach::PrefAttachParams { nodes: 12_000, edges: 14_000, hub_bias: 0.1 };
+    let pa_edges = pref_attach::generate(pa_params, &mut rng);
+    let pa_graph = attach_probabilities(12_000, &pa_edges, model, &mut rng);
+    vec![
+        Family { name: "erdos", graph: erdos_graph },
+        Family { name: "chung_lu", graph: cl_graph },
+        Family { name: "pref_attach", graph: pa_graph },
+    ]
+}
+
 fn main() {
-    let g = Dataset::Citation.generate_scaled(1, 0.5);
-    for t in [100u64, 400] {
-        bench(&format!("forward_sampling/{t}"), || forward_counts(&g, t, 42));
+    let mut report = JsonReport::new();
+    for Family { name, graph: g } in families() {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+
+        // --- World evaluation: coins fixed, reachability only. ---
+        // Scalar: 64 pre-sampled worlds, one BFS each.
+        let worlds: Vec<PossibleWorld> =
+            (0..LANES as u64).map(|i| PossibleWorld::sample_indexed(&g, 42, i)).collect();
+        let scalar_eval = measure(&format!("{name}/eval/scalar_per_64_worlds"), || {
+            let mut counts = DefaultCounts::new(n);
+            for w in &worlds {
+                counts.record_mask(&w.defaulted_nodes(&g));
+            }
+            counts.samples()
+        });
+
+        // Block: the same 64 worlds, one bit-parallel BFS.
+        let mut block = WorldBlock::new(&g);
+        block.materialize(&g, 42, 0, LANES);
+        let mut kernel = BlockKernel::new(&g);
+        let block_eval = measure(&format!("{name}/eval/block_per_64_worlds"), || {
+            let mut counts = DefaultCounts::new(n);
+            let words = kernel.forward_defaults(&g, &block);
+            counts.record_block(words, u64::MAX);
+            counts.samples()
+        });
+
+        // --- End to end: coin materialization included. ---
+        let mut sampler = ForwardSampler::new(&g);
+        let scalar_e2e = measure(&format!("{name}/end_to_end/scalar_per_64_worlds"), || {
+            let mut counts = DefaultCounts::new(n);
+            for i in 0..LANES as u64 {
+                let mut rng = Xoshiro256pp::for_sample(43, i);
+                counts.begin_sample();
+                sampler.sample_with(&g, &mut rng, |v| counts.bump(v.index()));
+            }
+            counts.samples()
+        });
+        let block_e2e = measure(&format!("{name}/end_to_end/block_per_64_worlds"), || {
+            forward_counts(&g, LANES as u64, 43).samples()
+        });
+
+        let eval_speedup = scalar_eval.median_secs / block_eval.median_secs;
+        let e2e_speedup = scalar_e2e.median_secs / block_e2e.median_secs;
+        println!("{name}: eval speedup {eval_speedup:.1}x, end-to-end speedup {e2e_speedup:.1}x");
+
+        let per_world = 1.0 / LANES as f64 * 1e9;
+        report
+            .group(name)
+            .num("nodes", n as f64)
+            .num("edges", m as f64)
+            .num("scalar_eval_per_world_ns", scalar_eval.median_secs * per_world)
+            .num("block_eval_per_world_ns", block_eval.median_secs * per_world)
+            .num("eval_speedup", eval_speedup)
+            .num("scalar_end_to_end_per_world_ns", scalar_e2e.median_secs * per_world)
+            .num("block_end_to_end_per_world_ns", block_e2e.median_secs * per_world)
+            .num("end_to_end_speedup", e2e_speedup);
     }
 
-    // The crossover the reverse sampler exists for: with few candidates,
-    // reverse beats forward; as |B|/|V| grows, the advantage shrinks.
-    let g2 = Dataset::Citation.generate_scaled(2, 0.5);
-    let n = g2.num_nodes();
+    // Context benches kept from the scalar era: reverse-candidate
+    // crossover and parallel scaling, now on the block data path.
+    let model = ProbabilityModel::financial();
+    let mut rng = Xoshiro256pp::new(7);
+    let edges = erdos::generate(3_000, 9_000, &mut rng);
+    let g = attach_probabilities(3_000, &edges, model, &mut rng);
     for pct in [1usize, 10, 50] {
-        let count = (n * pct / 100).max(1);
+        let count = (g.num_nodes() * pct / 100).max(1);
         let candidates: Vec<NodeId> = (0..count as u32).map(NodeId).collect();
         bench(&format!("reverse_by_candidate_fraction/{pct}pct"), || {
-            reverse_counts(&g2, &candidates, 200, 42)
+            reverse_counts(&g, &candidates, 192, 42)
         });
     }
-
-    let g3 = Dataset::Bitcoin.generate_scaled(3, 0.25);
+    // The small-candidate regime Algorithm 5's lazy coins used to win:
+    // under the materialized-world contract every reverse world costs
+    // Θ(n + m) coins regardless of |B|, so this row tracks that
+    // trade-off explicitly (per 64 worlds over 50 candidates).
+    {
+        let candidates: Vec<NodeId> = (0..50u32).map(NodeId).collect();
+        let mut sample_base = 0u64;
+        let small = measure("reverse_small_candidate_set/50cand_per_64_worlds", || {
+            let base = sample_base;
+            sample_base += LANES as u64;
+            reverse_counts_range(&g, &candidates, base..base + LANES as u64, 7).samples()
+        });
+        report
+            .group("reverse_small_candidate_set")
+            .num("nodes", g.num_nodes() as f64)
+            .num("edges", g.num_edges() as f64)
+            .num("candidates", 50.0)
+            .num("per_world_ns", small.median_secs / LANES as f64 * 1e9);
+    }
+    // `effective_threads` clamps to available_parallelism, so on a
+    // machine with fewer cores these rows measure the same (sequential)
+    // path — record the hardware limit so trajectory readers can tell.
+    let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("available_parallelism: {hardware}");
     for threads in [1usize, 2, 4] {
-        bench(&format!("parallel_forward/{threads}"), || {
-            parallel_forward_counts(&g3, 2000, 42, threads)
+        let effective = threads.min(hardware);
+        bench(&format!("parallel_forward/requested_{threads}_effective_{effective}"), || {
+            parallel_forward_counts(&g, 2048, 42, threads)
         });
     }
+    report.group("machine").num("available_parallelism", hardware as f64);
 
-    let g4 = Dataset::Guarantee.generate_scaled(4, 0.05);
-    let candidates: Vec<NodeId> = (0..50u32).map(NodeId).collect();
-    let mut sampler = ReverseSampler::new(&g4);
-    let mut buf = Vec::new();
-    let mut sample_id = 0u64;
-    bench("single_reverse_sample_50cand", || {
-        let mut rng = Xoshiro256pp::for_sample(7, sample_id);
-        sample_id += 1;
-        sampler.sample_candidates(&g4, &candidates, &mut rng, &mut buf);
-        buf.iter().filter(|&&h| h).count()
+    // Default next to the workspace root, independent of the bench CWD.
+    let path = std::env::var("VULNDS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampling.json").to_string()
     });
+    report.write(&path).expect("write benchmark report");
+    println!("wrote {path}");
 }

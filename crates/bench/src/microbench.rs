@@ -15,11 +15,25 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
-/// Runs `f` repeatedly and prints `name: <median iteration time>`.
+/// One benchmark result: the median per-iteration wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Median seconds per iteration.
+    pub median_secs: f64,
+    /// Timed batches collected.
+    pub batches: usize,
+    /// Iterations per batch.
+    pub batch_iters: u64,
+}
+
+/// Runs `f` repeatedly, prints `name: <median iteration time>`, and
+/// returns the measurement (for JSON reports — see [`JsonReport`]).
 ///
 /// The closure's return value is passed through a volatile read so the
 /// optimizer cannot delete the work.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+pub fn measure<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
     // Warm-up: one untimed run (fills caches, faults pages).
     black_box(f());
 
@@ -45,6 +59,75 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = samples[samples.len() / 2];
     println!("{name}: {} ({} batches x {batch} iters)", format_secs(median), samples.len());
+    Measurement {
+        name: name.to_string(),
+        median_secs: median,
+        batches: samples.len(),
+        batch_iters: batch,
+    }
+}
+
+/// Runs `f` repeatedly and prints `name: <median iteration time>`.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    let _ = measure(name, f);
+}
+
+/// Minimal JSON report builder — enough structure for perf-trajectory
+/// tracking files like `BENCH_sampling.json` without external
+/// dependencies. Values are numbers or strings; nesting is one level of
+/// named groups.
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    groups: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl JsonReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Starts a named group (e.g. one per graph family).
+    pub fn group(&mut self, name: &str) -> &mut Self {
+        self.groups.push((name.to_string(), Vec::new()));
+        self
+    }
+
+    /// Adds a numeric field to the current group.
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        let group = self.groups.last_mut().expect("call group() first");
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".to_string() };
+        group.1.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a string field to the current group.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        let group = self.groups.last_mut().expect("call group() first");
+        group.1.push((key.to_string(), format!("\"{}\"", value.replace('"', "\\\""))));
+        self
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (gi, (name, fields)) in self.groups.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": {{\n"));
+            for (fi, (key, value)) in fields.iter().enumerate() {
+                let comma = if fi + 1 == fields.len() { "" } else { "," };
+                out.push_str(&format!("    \"{key}\": {value}{comma}\n"));
+            }
+            let comma = if gi + 1 == self.groups.len() { "" } else { "," };
+            out.push_str(&format!("  }}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the rendered report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
 }
 
 /// Opaque identity — keeps the computed value alive past the optimizer.
@@ -73,6 +156,34 @@ mod tests {
         std::env::set_var("VULNDS_BENCH_MS", "10");
         bench("noop", || 1 + 1);
         std::env::remove_var("VULNDS_BENCH_MS");
+    }
+
+    #[test]
+    fn measure_returns_positive_median() {
+        std::env::set_var("VULNDS_BENCH_MS", "10");
+        let m = measure("noop_measown", || 1 + 1);
+        std::env::remove_var("VULNDS_BENCH_MS");
+        assert!(m.median_secs >= 0.0);
+        assert!(m.batches >= 3);
+        assert_eq!(m.name, "noop_measown");
+    }
+
+    #[test]
+    fn json_report_renders_valid_shape() {
+        let mut r = JsonReport::new();
+        r.group("erdos").text("family", "erdos").num("nodes", 10000.0).num("speedup", 4.5);
+        r.group("chung_lu").num("nodes", 20000.0);
+        let s = r.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"erdos\": {"));
+        assert!(s.contains("\"family\": \"erdos\","));
+        assert!(s.contains("\"speedup\": 4.5\n"));
+        assert!(s.contains("\"nodes\": 20000\n"));
+        // Exactly one trailing comma pattern per list: crude but catches
+        // the classic malformed-JSON bugs.
+        assert!(!s.contains(",\n  }"));
+        assert!(!s.contains(",\n}"));
     }
 
     #[test]

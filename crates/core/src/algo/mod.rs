@@ -81,7 +81,8 @@ pub struct RunStats {
     pub algorithm: AlgorithmKind,
     /// Sample budget computed from theory (Eq. 3 / Eq. 4) or configuration.
     pub sample_budget: u64,
-    /// Samples actually materialized (< budget only for BSRBK).
+    /// Samples actually consumed (< budget only for BSRBK, whose
+    /// early stop can cut a world block short).
     pub samples_used: u64,
     /// Candidate-set size `|B|` after pruning (n for N/SN).
     pub candidates: usize,

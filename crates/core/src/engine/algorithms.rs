@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use ugraph::NodeId;
-use vulnds_sampling::{ReverseSampler, Xoshiro256pp};
+use vulnds_sampling::{BlockKernel, WorldBlock, LANES};
 use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 
 use crate::algo::reverse_common::{assemble_result, merge_verified, Pruned};
@@ -304,6 +304,11 @@ impl Algorithm for BoundedSampleReverse {
 /// The sampling pass is adaptive (which worlds are visited depends on
 /// when candidates saturate), so it cannot share a prefix with the other
 /// algorithms; it still reuses the session's bounds and reduction.
+///
+/// Worlds are evaluated through the bit-parallel block kernel, 64 per
+/// [`WorldBlock`] in hash order, and then replayed lane by lane so the
+/// early-stop bookkeeping (counters, k-th hashes, `samples_used`) is
+/// identical to processing the samples one at a time.
 pub struct BottomKEarlyStop;
 
 impl Algorithm for BottomKEarlyStop {
@@ -328,7 +333,8 @@ impl Algorithm for BottomKEarlyStop {
         let order = hash_order(&hasher, t as usize);
 
         let graph = ctx.graph();
-        let mut sampler = ReverseSampler::new(graph);
+        let mut block = WorldBlock::new(graph);
+        let mut kernel = BlockKernel::new(graph);
         let mut counters = vec![0u32; candidates.len()];
         let mut kth_hash = vec![0.0f64; candidates.len()];
         let mut saturated = vec![false; candidates.len()];
@@ -336,27 +342,49 @@ impl Algorithm for BottomKEarlyStop {
         let mut samples_used = 0u64;
         let mut early_stopped = false;
 
-        'outer: for &sample_id in &order {
-            let h = hasher.hash_unit(sample_id as u64);
-            let mut rng = Xoshiro256pp::for_sample(req.seed, sample_id as u64);
-            sampler.begin_sample();
-            samples_used += 1;
-            for (i, &v) in candidates.iter().enumerate() {
-                if saturated[i] {
-                    continue;
-                }
-                if sampler.is_influenced(graph, v, &mut rng) {
-                    counters[i] += 1;
-                    if counters[i] as usize == bk {
-                        saturated[i] = true;
-                        kth_hash[i] = h;
-                        saturated_count += 1;
+        // Scratch reused across chunks.
+        let mut ids: Vec<u64> = Vec::with_capacity(LANES);
+        let mut active: Vec<(usize, NodeId)> = Vec::with_capacity(candidates.len());
+        let mut hit_words: Vec<u64> = Vec::with_capacity(candidates.len());
+
+        'outer: for chunk in order.chunks(LANES) {
+            ids.clear();
+            ids.extend(chunk.iter().map(|&s| s as u64));
+            block.materialize_ids(graph, req.seed, &ids);
+            kernel.begin_block();
+            // One bit-parallel reverse BFS per still-unsaturated
+            // candidate decides all 64 worlds of the chunk at once …
+            active.clear();
+            active.extend(
+                candidates.iter().enumerate().filter(|(i, _)| !saturated[*i]).map(|(i, &v)| (i, v)),
+            );
+            hit_words.clear();
+            for &(_, v) in &active {
+                let word = kernel.reverse_hit_word(graph, &block, v);
+                hit_words.push(word);
+            }
+            // … and the lanes are replayed in sample order so counters,
+            // saturation hashes and the stop condition match a
+            // one-world-at-a-time run exactly. (A candidate saturating
+            // mid-chunk simply ignores its later lanes, like the scalar
+            // loop skipped saturated candidates.)
+            for (lane, &sample_id) in ids.iter().enumerate() {
+                let h = hasher.hash_unit(sample_id);
+                samples_used += 1;
+                for (&(i, _), &word) in active.iter().zip(&hit_words) {
+                    if !saturated[i] && word >> lane & 1 == 1 {
+                        counters[i] += 1;
+                        if counters[i] as usize == bk {
+                            saturated[i] = true;
+                            kth_hash[i] = h;
+                            saturated_count += 1;
+                        }
                     }
                 }
-            }
-            if saturated_count >= k_rem {
-                early_stopped = true;
-                break 'outer;
+                if saturated_count >= k_rem {
+                    early_stopped = true;
+                    break 'outer;
+                }
             }
         }
         ctx.note_adaptive_samples(samples_used);

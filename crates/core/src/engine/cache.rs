@@ -8,6 +8,14 @@
 //! result is bit-identical to a cold run of `0..t`, which is what lets a
 //! warm session serve exact answers while drawing strictly fewer fresh
 //! samples.
+//!
+//! Snapshots are kept in **world-block granularity**: the samplers
+//! evaluate 64 worlds per [`WorldBlock`](vulnds_sampling::WorldBlock),
+//! so in addition to the exact budget `t` the cache snapshots the
+//! largest 64-aligned prefix below it. Future extensions then start at
+//! a block boundary and re-materialize at most the one partial block a
+//! non-aligned budget left open, instead of re-entering a block mid-way
+//! on every extension.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -21,6 +29,9 @@ use vulnds_sampling::DefaultCounts;
 /// cheapest to re-draw, and the largest snapshot (which every future
 /// extension builds on) is always among the survivors.
 const MAX_SNAPSHOTS: usize = 8;
+
+/// Worlds per sampler block — the snapshot alignment unit.
+const BLOCK_SAMPLES: u64 = vulnds_sampling::LANES as u64;
 
 /// Prefix-extendable cache of cumulative sample counts for one stream
 /// (one seed and, for reverse sampling, one candidate set).
@@ -39,19 +50,39 @@ impl SampleCache {
     pub(crate) fn serve(
         &mut self,
         t: u64,
-        draw: impl FnOnce(Range<u64>) -> DefaultCounts,
+        mut draw: impl FnMut(Range<u64>) -> DefaultCounts,
     ) -> (Arc<DefaultCounts>, u64, u64) {
         if let Some(hit) = self.snapshots.get(&t) {
             return (hit.clone(), 0, t);
         }
         let floor = self.snapshots.range(..t).next_back().map(|(&t0, c)| (t0, c.clone()));
-        let (t0, counts) = match floor {
-            Some((t0, base)) => {
-                let mut extended = (*base).clone();
-                extended.merge(&draw(t0..t));
-                (t0, Arc::new(extended))
+        let t0 = floor.as_ref().map_or(0, |&(t0, _)| t0);
+        // Largest block-aligned prefix strictly inside the drawn gap:
+        // worth its own snapshot so later extensions resume on a block
+        // boundary (see the module docs).
+        let t_align = t / BLOCK_SAMPLES * BLOCK_SAMPLES;
+        let counts = if t_align > t0 && t_align < t {
+            let mut aligned = match &floor {
+                Some((_, base)) => {
+                    let mut extended = (**base).clone();
+                    extended.merge(&draw(t0..t_align));
+                    extended
+                }
+                None => draw(0..t_align),
+            };
+            let aligned_arc = Arc::new(aligned.clone());
+            self.snapshots.insert(t_align, aligned_arc);
+            aligned.merge(&draw(t_align..t));
+            Arc::new(aligned)
+        } else {
+            match floor {
+                Some((_, base)) => {
+                    let mut extended = (*base).clone();
+                    extended.merge(&draw(t0..t));
+                    Arc::new(extended)
+                }
+                None => Arc::new(draw(0..t)),
             }
-            None => (0, Arc::new(draw(0..t))),
         };
         self.snapshots.insert(t, counts.clone());
         while self.snapshots.len() > MAX_SNAPSHOTS {
@@ -116,9 +147,31 @@ mod tests {
         cache.serve(100, draw);
         let (c, drawn, reused) = cache.serve(40, draw);
         assert_eq!((c.samples(), drawn, reused), (40, 40, 0));
-        // The new 40-snapshot now serves the gap between 0 and 100.
+        // The 64-aligned snapshot produced by the 100-serve beats the
+        // fresh 40-snapshot as an extension base.
         let (_, drawn, reused) = cache.serve(70, draw);
-        assert_eq!((drawn, reused), (30, 40));
+        assert_eq!((drawn, reused), (6, 64));
+    }
+
+    #[test]
+    fn extensions_resume_on_block_boundaries() {
+        let mut cache = SampleCache::default();
+        // A non-aligned budget snapshots its aligned prefix too …
+        let (c, drawn, reused) = cache.serve(100, draw);
+        assert_eq!((c.samples(), drawn, reused), (100, 100, 0));
+        assert!(cache.snapshots.contains_key(&64), "aligned prefix not snapshotted");
+        // … so a smaller follow-up bridges from the block boundary
+        // instead of redrawing everything.
+        let (c, drawn, reused) = cache.serve(70, draw);
+        assert_eq!((c.samples(), c.count(0), drawn, reused), (70, 70, 6, 64));
+        // Aligned budgets take the single-draw path and add one snapshot.
+        let (_, drawn, reused) = cache.serve(128, draw);
+        assert_eq!((drawn, reused), (28, 100));
+        // Tiny budgets below one block never split.
+        let mut small = SampleCache::default();
+        let (_, drawn, reused) = small.serve(10, draw);
+        assert_eq!((drawn, reused), (10, 0));
+        assert_eq!(small.snapshots.len(), 1);
     }
 
     #[test]

@@ -36,9 +36,14 @@
 //! Results are bit-identical for a given `(graph, config, request)`
 //! across thread counts, across repeated calls, and across warm vs cold
 //! caches: sample `i` is always drawn from the RNG stream derived from
-//! `(seed, i)`, so cached cumulative counts over ids `0..t0` extend to
-//! `0..t` by drawing only `t0..t` — exactly what a cold run would have
-//! produced.
+//! `(seed, i)` and IS the materialized world
+//! `PossibleWorld::sample_indexed(graph, seed, i)`, so cached cumulative
+//! counts over ids `0..t0` extend to `0..t` by drawing only `t0..t` —
+//! exactly what a cold run would have produced. Sampling executes on the
+//! bit-parallel world-block kernel (64 worlds per block, see
+//! `vulnds_sampling::block`); the session cache additionally snapshots
+//! counts at 64-aligned block boundaries so prefix extensions resume on
+//! whole blocks.
 //!
 //! ## Batching
 //!

@@ -17,7 +17,7 @@ pub enum VulnError {
     /// [`ugraph::GraphError`], including its parse and I/O variants).
     Graph(GraphError),
     /// A configuration parameter was invalid (wraps
-    /// [`ConfigError`](crate::ConfigError)).
+    /// [`ConfigError`]).
     Config(ConfigError),
     /// `k` was zero or exceeded the number of nodes.
     InvalidK {

@@ -5,7 +5,7 @@
 use crate::config::VulnConfig;
 use crate::sample_size::basic_sample_size;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{parallel_forward_counts, ForwardSampler, Xoshiro256pp};
+use vulnds_sampling::{parallel_forward_counts, BlockKernel, WorldBlock, LANES};
 use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 
 /// Monte-Carlo scores for every node with the Equation-3 budget — the
@@ -27,6 +27,11 @@ pub fn score_nodes_mc(graph: &UncertainGraph, k_hint: usize, config: &VulnConfig
 /// is scored by the sketch estimate `(bk − 1)/(h · t)` and frozen, others
 /// by their final empirical frequency. Processing stops once every node
 /// is frozen (or the budget is spent).
+///
+/// Worlds are evaluated 64 at a time on the bit-parallel block kernel
+/// and replayed in hash order, so counters, freeze hashes, and the
+/// processed-sample denominator are identical to a one-world-at-a-time
+/// run.
 pub fn score_nodes_bottomk(graph: &UncertainGraph, k_hint: usize, config: &VulnConfig) -> Vec<f64> {
     let n = graph.num_nodes();
     assert!(config.bk >= 2, "bottom-k parameter must be at least 2");
@@ -40,28 +45,50 @@ pub fn score_nodes_bottomk(graph: &UncertainGraph, k_hint: usize, config: &VulnC
     let hasher = UnitHasher::new(config.seed ^ 0xB07_70A6);
     let order = hash_order(&hasher, t as usize);
 
-    let mut sampler = ForwardSampler::new(graph);
+    let mut block = WorldBlock::new(graph);
+    let mut kernel = BlockKernel::new(graph);
+    let mut ids: Vec<u64> = Vec::with_capacity(LANES);
     let mut counters = vec![0u32; n];
     let mut score = vec![f64::NAN; n];
     let mut frozen = 0usize;
     let mut processed = 0u64;
-    for &sample_id in &order {
+    for chunk in order.chunks(LANES) {
         if frozen == n {
             break;
         }
-        let h = hasher.hash_unit(sample_id as u64);
-        let mut rng = Xoshiro256pp::for_sample(config.seed, sample_id as u64);
-        processed += 1;
-        sampler.sample_with(graph, &mut rng, |v| {
-            let i = v.index();
-            if score[i].is_nan() {
+        ids.clear();
+        ids.extend(chunk.iter().map(|&s| s as u64));
+        block.materialize_ids(graph, config.seed, &ids);
+        let words = kernel.forward_defaults(graph, &block);
+        // Per-node replay: a node's counter only depends on its own
+        // default lanes, in lane (= hash) order. The single cross-node
+        // coupling is the all-frozen early stop, handled below.
+        let mut last_freeze_lane = 0usize;
+        for (i, &word) in words.iter().enumerate() {
+            if !score[i].is_nan() {
+                continue;
+            }
+            let mut w = word;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
                 counters[i] += 1;
                 if counters[i] as usize == config.bk {
+                    let h = hasher.hash_unit(ids[lane]);
                     score[i] = bottomk_default_probability(config.bk, h, t as usize);
                     frozen += 1;
+                    last_freeze_lane = last_freeze_lane.max(lane);
+                    break;
                 }
             }
-        });
+        }
+        if frozen == n {
+            // The final freeze is the latest freeze event of this chunk:
+            // a sequential run would stop right after that sample.
+            processed += last_freeze_lane as u64 + 1;
+            break;
+        }
+        processed += chunk.len() as u64;
     }
     for i in 0..n {
         if score[i].is_nan() {

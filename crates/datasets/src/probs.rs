@@ -3,7 +3,7 @@
 //! The paper assigns probabilities two ways (§4.1): benchmark graphs get
 //! uniform-random probabilities in `[0, 1]`; the financial graphs carry
 //! calibrated risk probabilities from the authors' prior models
-//! ([15], [20]), which are heavily skewed toward low risk — most
+//! (\[15\], \[20\]), which are heavily skewed toward low risk — most
 //! enterprises are healthy, a few are very risky. We mimic that skew with
 //! a power transform of a uniform variate.
 

@@ -39,7 +39,10 @@ impl MirroredStream {
 }
 
 /// One antithetic forward sample: behaves like
-/// [`ForwardSampler::sample_with`] but draws from a mirrored stream.
+/// [`ForwardSampler::sample_with`] but draws from a mirrored stream, in
+/// the same canonical world order (all node coins in node order, then
+/// all edge coins in canonical edge order — the contract documented in
+/// [`crate::block`]).
 ///
 /// Implemented as a standalone walk (not via `ForwardSampler`) because
 /// the mirroring must wrap every coin of the sample.
@@ -49,6 +52,7 @@ fn sample_with_stream(
     visited: &mut [u32],
     epoch: u32,
     queue: &mut Vec<u32>,
+    edge_live: &mut [bool],
     mut on_default: impl FnMut(NodeId),
 ) {
     queue.clear();
@@ -59,15 +63,15 @@ fn sample_with_stream(
             on_default(v);
         }
     }
+    for e in graph.edges() {
+        edge_live[e.index()] = stream.next() < graph.edge_prob(e);
+    }
     let mut head = 0;
     while head < queue.len() {
         let vq = NodeId(queue[head]);
         head += 1;
         for e in graph.out_edges(vq) {
-            if visited[e.target.index()] == epoch {
-                continue;
-            }
-            if stream.next() < e.prob {
+            if edge_live[e.id.index()] && visited[e.target.index()] != epoch {
                 visited[e.target.index()] = epoch;
                 queue.push(e.target.0);
                 on_default(e.target);
@@ -86,6 +90,7 @@ pub fn antithetic_forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> D
     let mut counts = DefaultCounts::new(n);
     let mut visited = vec![0u32; n];
     let mut queue: Vec<u32> = Vec::new();
+    let mut edge_live = vec![false; graph.num_edges()];
     let mut epoch = 0u32;
     let pairs = t / 2;
     for pair in 0..pairs {
@@ -93,9 +98,15 @@ pub fn antithetic_forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> D
             epoch += 1;
             let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
             counts.begin_sample();
-            sample_with_stream(graph, &mut stream, &mut visited, epoch, &mut queue, |v| {
-                counts.bump(v.index())
-            });
+            sample_with_stream(
+                graph,
+                &mut stream,
+                &mut visited,
+                epoch,
+                &mut queue,
+                &mut edge_live,
+                |v| counts.bump(v.index()),
+            );
         }
     }
     if t % 2 == 1 {
@@ -103,9 +114,15 @@ pub fn antithetic_forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> D
         let mut stream =
             MirroredStream { rng: Xoshiro256pp::for_sample(seed, pairs), mirror: false };
         counts.begin_sample();
-        sample_with_stream(graph, &mut stream, &mut visited, epoch, &mut queue, |v| {
-            counts.bump(v.index())
-        });
+        sample_with_stream(
+            graph,
+            &mut stream,
+            &mut visited,
+            epoch,
+            &mut queue,
+            &mut edge_live,
+            |v| counts.bump(v.index()),
+        );
     }
     counts
 }
@@ -122,6 +139,7 @@ pub fn pair_variance_comparison(
     let n = graph.num_nodes();
     let mut visited = vec![0u32; n];
     let mut queue = Vec::new();
+    let mut edge_live = vec![false; graph.num_edges()];
     let mut epoch = 0u32;
 
     let mut anti_means = Vec::with_capacity(pairs as usize);
@@ -131,11 +149,19 @@ pub fn pair_variance_comparison(
             epoch += 1;
             let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
             let mut hit = false;
-            sample_with_stream(graph, &mut stream, &mut visited, epoch, &mut queue, |v| {
-                if v == node {
-                    hit = true;
-                }
-            });
+            sample_with_stream(
+                graph,
+                &mut stream,
+                &mut visited,
+                epoch,
+                &mut queue,
+                &mut edge_live,
+                |v| {
+                    if v == node {
+                        hit = true;
+                    }
+                },
+            );
             hits += hit as u8 as f64;
         }
         anti_means.push(hits / 2.0);

@@ -1,0 +1,484 @@
+//! Bit-parallel world blocks — the 64-lane possible-world kernel.
+//!
+//! A [`WorldBlock`] packs **64 possible worlds** into `u64` lane masks:
+//! one word per node (bit `j` = "node self-defaulted in lane `j`'s
+//! world") and one word per edge (bit `j` = "edge survived in lane `j`'s
+//! world"). [`BlockKernel`] then advances *all 64 worlds per traversal
+//! step* with bitwise AND/OR over the graph's CSR arrays — the classic
+//! SIMD-within-a-register technique — so the reachability BFS that
+//! dominated the scalar data path is amortized 64×.
+//!
+//! # The `(seed, 64·b + j)` stream contract
+//!
+//! Lane `j` of block `b` is **exactly** the possible world
+//! [`PossibleWorld::sample_indexed(graph, seed, 64·b + j)`]: its coins
+//! are drawn from the RNG stream [`Xoshiro256pp::for_sample`]`(seed,
+//! 64·b + j)`, consumed in the canonical world order — all node
+//! self-default coins in node-id order, then all edge survival coins in
+//! canonical edge-id order. Every sampler in this crate (the block
+//! kernel, the scalar [`ForwardSampler`](crate::ForwardSampler) and
+//! [`ReverseSampler`](crate::ReverseSampler) references, and the
+//! parallel drivers) evaluates deterministic functions of *that* world,
+//! which is why block-kernel counts are **bit-identical** to the scalar
+//! oracle for any sample budget, any lane count, and any thread count —
+//! including budgets that are not multiples of 64, served through
+//! partial lane masks.
+//!
+//! [`PossibleWorld::sample_indexed(graph, seed, 64·b + j)`]: PossibleWorld::sample_indexed
+
+use crate::rng::Xoshiro256pp;
+use crate::world::PossibleWorld;
+use ugraph::{NodeId, UncertainGraph};
+
+/// Number of possible worlds packed into one [`WorldBlock`]: the lane
+/// width of the `u64` SIMD-within-a-register kernel.
+pub const LANES: usize = 64;
+
+/// All-lanes mask for a block holding `lanes` worlds (`lanes ≤ 64`).
+#[inline]
+pub fn lane_mask(lanes: usize) -> u64 {
+    assert!(lanes <= LANES, "a block holds at most {LANES} lanes");
+    if lanes == LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// 64 possible worlds packed as per-node and per-edge `u64` lane masks.
+///
+/// Buffers are reusable: [`materialize`](Self::materialize) overwrites
+/// them in place, so a sampling loop allocates once per run.
+#[derive(Debug, Clone)]
+pub struct WorldBlock {
+    /// `node_words[v]` bit `j` — node `v` self-defaulted in lane `j`.
+    node_words: Vec<u64>,
+    /// `edge_words[e]` bit `j` — edge `e` (canonical id) survived in
+    /// lane `j`.
+    edge_words: Vec<u64>,
+    /// Which lanes hold materialized worlds (low bits for partial
+    /// blocks).
+    lane_mask: u64,
+    /// Per-lane RNG states of the block being materialized (scratch).
+    rngs: Vec<Xoshiro256pp>,
+}
+
+impl WorldBlock {
+    /// Creates an empty block with buffers sized for `graph`.
+    pub fn new(graph: &UncertainGraph) -> Self {
+        WorldBlock {
+            node_words: vec![0; graph.num_nodes()],
+            edge_words: vec![0; graph.num_edges()],
+            lane_mask: 0,
+            rngs: Vec::with_capacity(LANES),
+        }
+    }
+
+    /// Materializes `lanes` consecutive worlds: lane `j` is sample
+    /// `base_id + j`, drawn from the `(seed, base_id + j)` RNG stream in
+    /// canonical world order (all node coins, then all edge coins).
+    ///
+    /// `lanes` may be less than [`LANES`] for a partial tail block; the
+    /// unused high lanes read as all-zero and are excluded from
+    /// [`Self::lane_mask`].
+    pub fn materialize(&mut self, graph: &UncertainGraph, seed: u64, base_id: u64, lanes: usize) {
+        assert!(lanes <= LANES, "a block holds at most {LANES} lanes");
+        self.rngs.clear();
+        self.rngs.extend((0..lanes).map(|j| Xoshiro256pp::for_sample(seed, base_id + j as u64)));
+        self.draw_all(graph);
+    }
+
+    /// Materializes worlds for explicit sample ids (at most [`LANES`]):
+    /// lane `j` is sample `ids[j]`. Used by adaptive passes (BSRBK,
+    /// bottom-k scoring) that visit samples in hash order.
+    pub fn materialize_ids(&mut self, graph: &UncertainGraph, seed: u64, ids: &[u64]) {
+        assert!(ids.len() <= LANES, "a block holds at most {LANES} lanes");
+        self.rngs.clear();
+        self.rngs.extend(ids.iter().map(|&id| Xoshiro256pp::for_sample(seed, id)));
+        self.draw_all(graph);
+    }
+
+    /// Draws every lane's coins. The item loop is outermost and the lane
+    /// loop innermost: each lane still consumes *its own* stream in the
+    /// canonical order (a stream only advances on its own draws), but
+    /// each node/edge word is assembled in a register and written once,
+    /// instead of 64 read-modify-write passes over the whole block.
+    fn draw_all(&mut self, graph: &UncertainGraph) {
+        let rngs = &mut self.rngs[..];
+        for (v, word) in self.node_words.iter_mut().enumerate() {
+            let p = graph.self_risk(NodeId(v as u32));
+            let mut w = 0u64;
+            for (j, rng) in rngs.iter_mut().enumerate() {
+                w |= (rng.bernoulli(p) as u64) << j;
+            }
+            *word = w;
+        }
+        for (e, word) in self.edge_words.iter_mut().enumerate() {
+            let p = graph.edge_prob(ugraph::EdgeId(e as u32));
+            let mut w = 0u64;
+            for (j, rng) in rngs.iter_mut().enumerate() {
+                w |= (rng.bernoulli(p) as u64) << j;
+            }
+            *word = w;
+        }
+        self.lane_mask = lane_mask(rngs.len());
+    }
+
+    /// Per-node self-default lane masks.
+    #[inline]
+    pub fn node_words(&self) -> &[u64] {
+        &self.node_words
+    }
+
+    /// Per-edge survival lane masks.
+    #[inline]
+    pub fn edge_words(&self) -> &[u64] {
+        &self.edge_words
+    }
+
+    /// Mask of materialized lanes.
+    #[inline]
+    pub fn lane_mask(&self) -> u64 {
+        self.lane_mask
+    }
+
+    /// Number of materialized lanes.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lane_mask.count_ones() as usize
+    }
+
+    /// Unpacks one lane into a [`PossibleWorld`] — a test/debug helper,
+    /// bit-identical to sampling that world directly.
+    pub fn lane_world(&self, lane: usize) -> PossibleWorld {
+        assert!(self.lane_mask >> lane & 1 == 1, "lane {lane} is not materialized");
+        let bit = 1u64 << lane;
+        PossibleWorld {
+            self_default: self.node_words.iter().map(|w| w & bit != 0).collect(),
+            edge_live: self.edge_words.iter().map(|w| w & bit != 0).collect(),
+        }
+    }
+}
+
+/// Reusable block BFS/propagation kernel. Holds all scratch buffers so
+/// repeated blocks allocate nothing.
+#[derive(Debug, Clone)]
+pub struct BlockKernel {
+    // Forward pass: per-node "defaulted in lane j" masks.
+    defaulted: Vec<u64>,
+    // Reverse pass: per-node "reachable from the candidate in lane j
+    // through surviving edges" masks, cleared via `touched`.
+    reached: Vec<u64>,
+    // Per-block positive/negative caches shared across candidates of one
+    // block: lanes where a node is known to default / known safe.
+    hit_known: Vec<u64>,
+    safe_known: Vec<u64>,
+    queue: Vec<u32>,
+    in_queue: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl BlockKernel {
+    /// Creates a kernel with scratch buffers sized for `graph`.
+    pub fn new(graph: &UncertainGraph) -> Self {
+        let n = graph.num_nodes();
+        BlockKernel {
+            defaulted: vec![0; n],
+            reached: vec![0; n],
+            hit_known: vec![0; n],
+            safe_known: vec![0; n],
+            queue: Vec::new(),
+            in_queue: vec![false; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Evaluates default reachability for all 64 worlds of `block` at
+    /// once: returns per-node lane masks where bit `j` says "node
+    /// defaults in lane `j`'s world" (self-default or reachable from a
+    /// self-defaulted node through surviving edges).
+    ///
+    /// One label-correcting BFS advances every lane per step: an edge
+    /// transmits `defaulted[source] & edge_words[edge]` in a single AND,
+    /// so the traversal cost is shared by all 64 worlds.
+    pub fn forward_defaults(&mut self, graph: &UncertainGraph, block: &WorldBlock) -> &[u64] {
+        let node_words = block.node_words();
+        let edge_words = block.edge_words();
+        debug_assert_eq!(node_words.len(), graph.num_nodes(), "block/graph node mismatch");
+        debug_assert_eq!(edge_words.len(), graph.num_edges(), "block/graph edge mismatch");
+        self.defaulted.copy_from_slice(node_words);
+        self.queue.clear();
+        for (v, &w) in self.defaulted.iter().enumerate() {
+            if w != 0 {
+                self.queue.push(v as u32);
+                self.in_queue[v] = true;
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head] as usize;
+            head += 1;
+            self.in_queue[v] = false;
+            let lanes = self.defaulted[v];
+            let targets = graph.out_neighbors(NodeId(v as u32));
+            for (e, &t) in graph.out_edge_range(NodeId(v as u32)).zip(targets) {
+                let t = t as usize;
+                let new = lanes & edge_words[e] & !self.defaulted[t];
+                if new != 0 {
+                    self.defaulted[t] |= new;
+                    if !self.in_queue[t] {
+                        self.in_queue[t] = true;
+                        self.queue.push(t as u32);
+                    }
+                }
+            }
+        }
+        &self.defaulted
+    }
+
+    /// Starts a new block for [`Self::reverse_hit_word`]: forgets the
+    /// per-block positive/negative caches. Must be called after
+    /// materializing a fresh block and before the first candidate query
+    /// against it.
+    pub fn begin_block(&mut self) {
+        self.hit_known.iter_mut().for_each(|w| *w = 0);
+        self.safe_known.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Decides, for every lane of `block` at once, whether candidate `v`
+    /// defaults in that lane's world: a reverse BFS over **in**-edges
+    /// from `v` looks for a self-defaulted ancestor reachable through
+    /// surviving edges, with per-lane frontiers. Returns the lane mask
+    /// of worlds where `v` defaults.
+    ///
+    /// Results are pure functions of the block's worlds, so the
+    /// per-block caches filled by earlier candidates only skip work —
+    /// they can never change an answer.
+    pub fn reverse_hit_word(
+        &mut self,
+        graph: &UncertainGraph,
+        block: &WorldBlock,
+        v: NodeId,
+    ) -> u64 {
+        let node_words = block.node_words();
+        let edge_words = block.edge_words();
+        let want = block.lane_mask();
+        let mut hit = self.hit_known[v.index()] & want;
+        // Lanes still needing a verdict; shrinks as hits are found.
+        let mut undecided = want & !hit & !self.safe_known[v.index()];
+        if undecided != 0 {
+            self.queue.clear();
+            self.touched.clear();
+            self.reached[v.index()] = undecided;
+            self.touched.push(v.0);
+            self.queue.push(v.0);
+            self.in_queue[v.index()] = true;
+            let mut head = 0;
+            while head < self.queue.len() {
+                let u = self.queue[head] as usize;
+                head += 1;
+                self.in_queue[u] = false;
+                let active = self.reached[u] & undecided;
+                if active == 0 {
+                    continue;
+                }
+                // A self-defaulted (or known-defaulted) ancestor decides
+                // its lanes immediately.
+                let hits_here = active & (node_words[u] | self.hit_known[u]);
+                if hits_here != 0 {
+                    hit |= hits_here;
+                    undecided &= !hits_here;
+                    if undecided == 0 {
+                        break;
+                    }
+                }
+                // Known-safe lanes cannot contain a defaulted ancestor:
+                // do not expand them.
+                let expand = active & !hits_here & !self.safe_known[u];
+                if expand == 0 {
+                    continue;
+                }
+                let sources = graph.in_neighbors(NodeId(u as u32));
+                for (&e, &s) in graph.in_edge_ids(NodeId(u as u32)).iter().zip(sources) {
+                    let s = s as usize;
+                    let new = expand & edge_words[e as usize] & !self.reached[s];
+                    if new != 0 {
+                        if self.reached[s] == 0 {
+                            self.touched.push(s as u32);
+                        }
+                        self.reached[s] |= new;
+                        if !self.in_queue[s] {
+                            self.in_queue[s] = true;
+                            self.queue.push(s as u32);
+                        }
+                    }
+                }
+            }
+            // Reset per-candidate scratch. `in_queue` may hold stale
+            // `true` marks when the search broke early, so clear both.
+            for &u in &self.touched {
+                self.reached[u as usize] = 0;
+                self.in_queue[u as usize] = false;
+            }
+        }
+        // Record the verdicts: lanes that exhausted without a hit are
+        // provably safe for this candidate within this block.
+        self.hit_known[v.index()] |= hit;
+        self.safe_known[v.index()] |= want & !hit;
+        hit
+    }
+
+    /// [`Self::reverse_hit_word`] over a candidate list, writing one
+    /// lane mask per candidate into `out` (cleared and refilled).
+    /// Calls [`Self::begin_block`] internally.
+    pub fn reverse_hits_into(
+        &mut self,
+        graph: &UncertainGraph,
+        block: &WorldBlock,
+        candidates: &[NodeId],
+        out: &mut Vec<u64>,
+    ) {
+        self.begin_block();
+        out.clear();
+        for &v in candidates {
+            let word = self.reverse_hit_word(graph, block, v);
+            out.push(word);
+        }
+    }
+}
+
+/// Splits a sample-id range into chunks that never cross a 64-aligned
+/// block boundary — the unit the parallel driver partitions by and the
+/// engine cache snapshots at.
+pub fn block_chunks(range: std::ops::Range<u64>) -> impl Iterator<Item = std::ops::Range<u64>> {
+    let end = range.end.max(range.start);
+    let mut next = range.start;
+    std::iter::from_fn(move || {
+        if next >= end {
+            return None;
+        }
+        let start = next;
+        let boundary = (start / LANES as u64 + 1) * LANES as u64;
+        next = boundary.min(end);
+        Some(start..next)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy};
+
+    fn chain() -> UncertainGraph {
+        from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
+            .unwrap()
+    }
+
+    #[test]
+    fn lanes_match_materialized_worlds_bitwise() {
+        let g = chain();
+        let mut block = WorldBlock::new(&g);
+        block.materialize(&g, 42, 128, 64);
+        assert_eq!(block.lane_mask(), u64::MAX);
+        for j in [0usize, 1, 17, 63] {
+            let expected = PossibleWorld::sample_indexed(&g, 42, 128 + j as u64);
+            assert_eq!(block.lane_world(j), expected, "lane {j}");
+        }
+    }
+
+    #[test]
+    fn partial_blocks_mask_unused_lanes() {
+        let g = chain();
+        let mut block = WorldBlock::new(&g);
+        block.materialize(&g, 7, 0, 5);
+        assert_eq!(block.lane_mask(), 0b11111);
+        assert_eq!(block.lane_count(), 5);
+        // High lanes read as all-zero coins.
+        for w in block.node_words().iter().chain(block.edge_words()) {
+            assert_eq!(w & !0b11111, 0);
+        }
+    }
+
+    #[test]
+    fn forward_kernel_matches_scalar_world_evaluation() {
+        let g = from_parts(
+            &[0.4, 0.1, 0.2, 0.0, 0.3],
+            &[(0, 1, 0.6), (1, 2, 0.5), (2, 0, 0.4), (1, 3, 0.7), (3, 4, 0.9)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let mut block = WorldBlock::new(&g);
+        let mut kernel = BlockKernel::new(&g);
+        block.materialize(&g, 9, 0, 64);
+        let words = kernel.forward_defaults(&g, &block).to_vec();
+        for j in 0..64 {
+            let scalar = block.lane_world(j).defaulted_nodes(&g);
+            for v in 0..g.num_nodes() {
+                assert_eq!(words[v] >> j & 1 == 1, scalar[v], "lane {j}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_kernel_matches_forward_kernel() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1, 0.4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.25), (3, 0, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let mut block = WorldBlock::new(&g);
+        let mut kernel = BlockKernel::new(&g);
+        block.materialize(&g, 3, 64, 64);
+        let forward = kernel.forward_defaults(&g, &block).to_vec();
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let mut hits = Vec::new();
+        kernel.reverse_hits_into(&g, &block, &candidates, &mut hits);
+        assert_eq!(hits, forward, "reverse and forward must agree on every lane");
+        // Repeating candidates exercises the per-block caches.
+        let repeated: Vec<NodeId> = candidates.iter().chain(candidates.iter()).copied().collect();
+        let mut hits2 = Vec::new();
+        kernel.reverse_hits_into(&g, &block, &repeated, &mut hits2);
+        assert_eq!(&hits2[..4], &forward[..]);
+        assert_eq!(&hits2[4..], &forward[..]);
+    }
+
+    #[test]
+    fn kernel_reuse_is_stateless_across_blocks() {
+        let g = chain();
+        let mut block = WorldBlock::new(&g);
+        let mut kernel = BlockKernel::new(&g);
+        block.materialize(&g, 1, 0, 64);
+        let first = kernel.forward_defaults(&g, &block).to_vec();
+        block.materialize(&g, 1, 64, 64);
+        let _ = kernel.forward_defaults(&g, &block);
+        block.materialize(&g, 1, 0, 64);
+        assert_eq!(kernel.forward_defaults(&g, &block), &first[..]);
+    }
+
+    #[test]
+    fn block_chunks_align_to_64() {
+        let chunks: Vec<_> = block_chunks(10..200).collect();
+        assert_eq!(chunks, vec![10..64, 64..128, 128..192, 192..200]);
+        assert_eq!(block_chunks(0..64).collect::<Vec<_>>(), vec![0..64]);
+        assert_eq!(block_chunks(5..5).count(), 0);
+        assert_eq!(block_chunks(64..66).collect::<Vec<_>>(), vec![64..66]);
+    }
+
+    #[test]
+    fn lane_mask_helper() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn materialize_ids_rejects_oversized_blocks() {
+        let g = chain();
+        let mut block = WorldBlock::new(&g);
+        let ids: Vec<u64> = (0..65).collect();
+        block.materialize_ids(&g, 1, &ids);
+    }
+}

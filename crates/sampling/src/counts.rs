@@ -44,6 +44,18 @@ impl DefaultCounts {
         }
     }
 
+    /// Records a whole world block's outcomes by popcount: `words[i]` is
+    /// slot `i`'s per-lane default mask and `lane_mask` selects which
+    /// lanes count (all 64 for a full block, the low bits for a partial
+    /// one). Equivalent to [`Self::record_mask`] once per selected lane.
+    pub fn record_block(&mut self, words: &[u64], lane_mask: u64) {
+        assert_eq!(words.len(), self.counts.len(), "block width mismatch");
+        self.samples += u64::from(lane_mask.count_ones());
+        for (c, &w) in self.counts.iter_mut().zip(words) {
+            *c += u64::from((w & lane_mask).count_ones());
+        }
+    }
+
     /// Starts a new sample without a mask; combine with [`Self::bump`].
     pub fn begin_sample(&mut self) {
         self.samples += 1;
@@ -110,6 +122,31 @@ mod tests {
         b.begin_sample();
         b.bump(0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_block_matches_per_lane_masks() {
+        let words = [0b1011u64, 0b0110u64];
+        let mut blockwise = DefaultCounts::new(2);
+        blockwise.record_block(&words, 0b1111);
+        let mut lanewise = DefaultCounts::new(2);
+        for lane in 0..4 {
+            lanewise.record_mask(&[words[0] >> lane & 1 == 1, words[1] >> lane & 1 == 1]);
+        }
+        assert_eq!(blockwise, lanewise);
+        // A partial lane mask ignores the unselected lanes entirely.
+        let mut partial = DefaultCounts::new(2);
+        partial.record_block(&words, 0b0011);
+        assert_eq!(partial.samples(), 2);
+        assert_eq!(partial.count(0), 2);
+        assert_eq!(partial.count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width mismatch")]
+    fn record_block_checks_width() {
+        let mut c = DefaultCounts::new(2);
+        c.record_block(&[0u64], u64::MAX);
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! Forward possible-world sampling — the inner loop of Algorithm 1.
 //!
-//! One sample: flip every node's self-default coin, then BFS forward from
-//! the self-defaulted seeds, flipping each encountered edge's survival coin
-//! at most once. Nodes reached through surviving edges default. Average
-//! cost is far below `O(n + m)` when self-risks are small, because only the
-//! infected subgraph is traversed — but the seed coin flips are always
-//! `O(n)`, which is exactly the inefficiency the reverse sampler removes
-//! for small candidate sets.
+//! One sample: materialize the world of the `(seed, sample_id)` stream
+//! (all node self-default coins in node order, then all edge survival
+//! coins in canonical edge order — see [`crate::block`] for the
+//! contract), then BFS forward from the self-defaulted seeds through
+//! surviving edges. Nodes reached that way default.
+//!
+//! Two implementations share that semantic:
+//!
+//! * [`ForwardSampler`] — the **scalar reference**: one world at a time,
+//!   kept as the oracle the bit-parallel kernel is validated against.
+//! * [`forward_counts_range`] — the **runtime path**: worlds are packed
+//!   64-per-[`WorldBlock`] and evaluated by the
+//!   bit-parallel [`BlockKernel`], bit-identical to
+//!   the scalar reference for any range and seed.
 
+use crate::block::{block_chunks, BlockKernel, WorldBlock};
 use crate::counts::DefaultCounts;
 use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
 
-/// Reusable forward sampler. Holds scratch buffers so repeated samples
-/// allocate nothing.
+/// Reusable scalar forward sampler. Holds scratch buffers so repeated
+/// samples allocate nothing.
+///
+/// This is the semantic reference for the block kernel, not the hot
+/// path: it materializes every coin of the world (`O(n + m)` per
+/// sample), exactly like [`PossibleWorld::sample`](crate::PossibleWorld::sample),
+/// so its results are bit-identical to the bit-parallel data path.
 #[derive(Debug, Clone)]
 pub struct ForwardSampler {
     // Epoch-stamped "defaulted in current sample" marks; avoids an O(n)
@@ -21,12 +34,19 @@ pub struct ForwardSampler {
     mark: Vec<u32>,
     epoch: u32,
     queue: Vec<u32>,
+    // Materialized edge survival coins of the current sample.
+    edge_live: Vec<bool>,
 }
 
 impl ForwardSampler {
     /// Creates a sampler with buffers sized for `graph`.
     pub fn new(graph: &UncertainGraph) -> Self {
-        ForwardSampler { mark: vec![0; graph.num_nodes()], epoch: 0, queue: Vec::new() }
+        ForwardSampler {
+            mark: vec![0; graph.num_nodes()],
+            epoch: 0,
+            queue: Vec::new(),
+            edge_live: vec![false; graph.num_edges()],
+        }
     }
 
     fn next_epoch(&mut self) -> u32 {
@@ -38,7 +58,8 @@ impl ForwardSampler {
         self.epoch
     }
 
-    /// Draws one possible world and invokes `on_default` for every node
+    /// Draws one possible world from `rng` (consuming its coins in the
+    /// canonical world order) and invokes `on_default` for every node
     /// that defaults in it (seeds and infected nodes alike, each once).
     pub fn sample_with(
         &mut self,
@@ -48,7 +69,7 @@ impl ForwardSampler {
     ) {
         let epoch = self.next_epoch();
         self.queue.clear();
-        // Lines 4–7 of Algorithm 1: self-default coins.
+        // Lines 4–7 of Algorithm 1: self-default coins, node order.
         for v in graph.nodes() {
             if rng.bernoulli(graph.self_risk(v)) {
                 self.mark[v.index()] = epoch;
@@ -56,18 +77,20 @@ impl ForwardSampler {
                 on_default(v);
             }
         }
-        // Lines 10–19: BFS with per-edge survival coins. Each edge is
-        // examined once (when its source is popped), so no edge memo is
-        // needed.
+        // Edge survival coins, canonical order — materialized up front so
+        // the stream consumption is independent of the traversal, which
+        // is what makes the scalar path bit-compatible with the 64-lane
+        // block kernel.
+        for e in graph.edges() {
+            self.edge_live[e.index()] = rng.bernoulli(graph.edge_prob(e));
+        }
+        // Lines 10–19: BFS through surviving edges.
         let mut head = 0;
         while head < self.queue.len() {
             let vq = NodeId(self.queue[head]);
             head += 1;
             for e in graph.out_edges(vq) {
-                if self.mark[e.target.index()] == epoch {
-                    continue; // already defaulted; coin irrelevant
-                }
-                if rng.bernoulli(e.prob) {
+                if self.edge_live[e.id.index()] && self.mark[e.target.index()] != epoch {
                     self.mark[e.target.index()] = epoch;
                     self.queue.push(e.target.0);
                     on_default(e.target);
@@ -76,8 +99,8 @@ impl ForwardSampler {
         }
     }
 
-    /// Draws one world and returns the defaulted-node mask. Allocates; the
-    /// closure API is preferred in hot loops.
+    /// Draws one world and returns the defaulted-node mask. Allocates;
+    /// the closure API is preferred in loops.
     pub fn sample_mask(&mut self, graph: &UncertainGraph, rng: &mut Xoshiro256pp) -> Vec<bool> {
         let mut mask = vec![false; graph.num_nodes()];
         self.sample_with(graph, rng, |v| mask[v.index()] = true);
@@ -85,32 +108,53 @@ impl ForwardSampler {
     }
 }
 
-/// Runs `t` forward samples (ids `0..t`) with per-sample RNG streams and
-/// returns per-node default counts. This is the whole of Algorithm 1
-/// except the final top-k selection.
+/// Runs `t` forward samples (ids `0..t`) and returns per-node default
+/// counts. This is the whole of Algorithm 1 except the final top-k
+/// selection, executed on the bit-parallel block kernel.
 pub fn forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> DefaultCounts {
     forward_counts_range(graph, 0..t, seed)
 }
 
-/// Runs forward samples for the given range of sample ids.
+/// Runs forward samples for the given range of sample ids on the block
+/// kernel: the range is split at 64-aligned block boundaries, each chunk
+/// is materialized as a [`WorldBlock`] (lane `j` of
+/// block `b` draws from the `(seed, 64·b + j)` stream) and evaluated in
+/// one bit-parallel BFS, and partial chunks accumulate through a lane
+/// mask.
 ///
 /// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
 /// counts over disjoint ranges merge (commutatively) into exactly the
 /// counts of the union range — the property the engine's incremental
-/// sample cache extends prefixes with.
+/// sample cache extends prefixes with — and the result is bit-identical
+/// to the scalar [`ForwardSampler`] reference.
 pub fn forward_counts_range(
     graph: &UncertainGraph,
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> DefaultCounts {
-    let mut sampler = ForwardSampler::new(graph);
     let mut counts = DefaultCounts::new(graph.num_nodes());
-    for sample_id in range {
-        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
-        counts.begin_sample();
-        sampler.sample_with(graph, &mut rng, |v| counts.bump(v.index()));
+    let mut block = WorldBlock::new(graph);
+    let mut kernel = BlockKernel::new(graph);
+    for chunk in block_chunks(range) {
+        accumulate_forward_chunk(graph, chunk, seed, &mut block, &mut kernel, &mut counts);
     }
     counts
+}
+
+/// Materializes and evaluates one ≤64-sample chunk, accumulating into
+/// `counts`. Shared with the parallel driver.
+pub(crate) fn accumulate_forward_chunk(
+    graph: &UncertainGraph,
+    chunk: std::ops::Range<u64>,
+    seed: u64,
+    block: &mut WorldBlock,
+    kernel: &mut BlockKernel,
+    counts: &mut DefaultCounts,
+) {
+    let lanes = (chunk.end - chunk.start) as usize;
+    block.materialize(graph, seed, chunk.start, lanes);
+    let words = kernel.forward_defaults(graph, block);
+    counts.record_block(words, block.lane_mask());
 }
 
 #[cfg(test)]
@@ -192,9 +236,30 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_materialized_worlds_in_distribution() {
-        // Forward sampling and full world materialization are different
-        // factorizations of the same distribution; compare marginals.
+    fn block_path_bit_identical_to_scalar_reference() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1],
+            &[(0, 1, 0.7), (1, 2, 0.4), (0, 2, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        // Budgets straddling block boundaries, including t % 64 != 0.
+        for t in [1u64, 63, 64, 65, 130, 500] {
+            let blockwise = forward_counts(&g, t, 21);
+            let mut sampler = ForwardSampler::new(&g);
+            let mut scalar = DefaultCounts::new(3);
+            for i in 0..t {
+                let mut rng = Xoshiro256pp::for_sample(21, i);
+                scalar.record_mask(&sampler.sample_mask(&g, &mut rng));
+            }
+            assert_eq!(blockwise, scalar, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn scalar_sampler_matches_materialized_world_bitwise() {
+        // The scalar sampler and full world materialization are the SAME
+        // factorization now: identical worlds, not just equal marginals.
         use crate::world::PossibleWorld;
         let g = from_parts(
             &[0.3, 0.2, 0.1],
@@ -202,16 +267,22 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
-        let t = 30_000u64;
-        let fwd = forward_counts(&g, t, 21);
-        let mut world_counts = DefaultCounts::new(3);
-        for i in 0..t {
-            let w = PossibleWorld::sample_indexed(&g, 22, i);
-            world_counts.record_mask(&w.defaulted_nodes(&g));
+        let mut sampler = ForwardSampler::new(&g);
+        for i in 0..200u64 {
+            let mut rng = Xoshiro256pp::for_sample(22, i);
+            let mask = sampler.sample_mask(&g, &mut rng);
+            let world = PossibleWorld::sample_indexed(&g, 22, i);
+            assert_eq!(mask, world.defaulted_nodes(&g), "sample {i}");
         }
-        for v in 0..3 {
-            let diff = (fwd.estimate(v) - world_counts.estimate(v)).abs();
-            assert!(diff < 0.02, "node {v}: {} vs {}", fwd.estimate(v), world_counts.estimate(v));
-        }
+    }
+
+    #[test]
+    fn range_decomposition_merges_exactly() {
+        let g = chain();
+        let whole = forward_counts_range(&g, 0..300, 31);
+        // An unaligned split must still merge into the identical counts.
+        let mut parts = forward_counts_range(&g, 0..97, 31);
+        parts.merge(&forward_counts_range(&g, 97..300, 31));
+        assert_eq!(whole, parts);
     }
 }

@@ -1,15 +1,23 @@
 //! # vulnds-sampling — possible-world samplers for uncertain graphs
 //!
-//! Implements the sampling substrate of the VulnDS system:
+//! Implements the sampling substrate of the VulnDS system. Since the
+//! world-block refactor, every runtime path is **bit-parallel**: worlds
+//! are packed 64-per-block as `u64` lane masks and one BFS step advances
+//! all 64 worlds with bitwise AND/OR — see [`block`] for the data path
+//! and the `(seed, 64·b + j)` stream contract.
 //!
-//! * [`ForwardSampler`] — the inner loop of the paper's Algorithm 1:
-//!   flip every self-default coin, then BFS forward flipping edge coins.
-//! * [`ReverseSampler`] — Algorithm 5: per-candidate reverse BFS with
-//!   lazily-memoized coins, shared consistently within one sample.
+//! * [`WorldBlock`] / [`BlockKernel`] — the 64-lane possible-world
+//!   kernel behind [`forward_counts`], [`reverse_counts`], and the
+//!   parallel drivers.
+//! * [`ForwardSampler`] — scalar reference for the inner loop of the
+//!   paper's Algorithm 1 (one materialized world at a time).
+//! * [`ReverseSampler`] — scalar reference for Algorithm 5: per-candidate
+//!   reverse BFS over a materialized world, with result caches.
 //! * [`PossibleWorld`] / [`WorldEnumerator`] — fully-materialized worlds,
-//!   the semantic reference the samplers are validated against.
-//! * [`parallel`] — deterministic multi-threaded drivers: identical counts
-//!   to the sequential runs for any thread count.
+//!   the semantic oracle everything above is validated against
+//!   (bit-identical, not just in distribution).
+//! * [`parallel`] — deterministic multi-threaded drivers partitioned by
+//!   block: identical counts to the sequential runs for any thread count.
 //!
 //! ```
 //! use ugraph::{from_parts, DuplicateEdgePolicy};
@@ -25,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod antithetic;
+pub mod block;
 pub mod counts;
 pub mod forward;
 pub mod parallel;
@@ -33,6 +42,7 @@ pub mod rng;
 pub mod world;
 
 pub use antithetic::antithetic_forward_counts;
+pub use block::{block_chunks, lane_mask, BlockKernel, WorldBlock, LANES};
 pub use counts::DefaultCounts;
 pub use forward::{forward_counts, forward_counts_range, ForwardSampler};
 pub use parallel::{

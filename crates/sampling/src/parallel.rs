@@ -1,25 +1,28 @@
 //! Parallel sample execution over std scoped threads.
 //!
-//! Samples are embarrassingly parallel: sample `i` always uses the RNG
-//! stream derived from `(seed, i)`, so a parallel run with any thread
-//! count produces **bit-identical counts** to the sequential run — the
-//! per-thread partial counts are merged with commutative addition.
+//! Work is partitioned by **world block** (64-sample aligned chunks, see
+//! [`crate::block`]), not by individual sample: thread `tid` owns chunks
+//! `tid, tid + T, tid + 2T, …` of the range's block decomposition. Each
+//! chunk's counts are a pure function of `(seed, chunk)` and partial
+//! counts merge with commutative addition, so a parallel run with any
+//! thread count produces **bit-identical counts** to the sequential run.
 
+use crate::block::{block_chunks, BlockKernel, WorldBlock};
 use crate::counts::DefaultCounts;
-use crate::forward::ForwardSampler;
-use crate::reverse::ReverseSampler;
-use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
 
-/// Clamps a requested thread count to something sane.
-fn effective_threads(requested: usize, work_items: u64) -> usize {
-    requested.max(1).min(work_items.max(1) as usize).min(64)
+/// Clamps a requested thread count to something sane: at least one, at
+/// most one thread per work item, and never more than the machine's
+/// available parallelism (extra threads could only contend).
+pub(crate) fn effective_threads(requested: usize, work_items: u64) -> usize {
+    let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    requested.max(1).min(work_items.max(1) as usize).min(hardware)
 }
 
 /// Parallel version of [`crate::forward::forward_counts`].
 ///
-/// Splits sample ids `0..t` into `threads` strided partitions; each thread
-/// owns its sampler and partial counts.
+/// Splits the block decomposition of `0..t` into `threads` strided
+/// partitions; each thread owns its kernel scratch and partial counts.
 pub fn parallel_forward_counts(
     graph: &UncertainGraph,
     t: u64,
@@ -37,24 +40,40 @@ pub fn parallel_forward_counts_range(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    let work = range.end.saturating_sub(range.start);
-    let threads = effective_threads(threads, work);
+    let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
+    let threads = effective_threads(threads, chunks.len() as u64);
     if threads == 1 {
         return crate::forward::forward_counts_range(graph, range, seed);
     }
+    forward_partitioned(graph, &chunks, seed, threads)
+}
+
+/// The strided multi-thread forward runner, taking `threads` as-is.
+/// Split out from the public entry point so tests exercise the threaded
+/// merge path even on single-core machines (where `effective_threads`
+/// would clamp to the sequential path).
+fn forward_partitioned(
+    graph: &UncertainGraph,
+    chunks: &[std::ops::Range<u64>],
+    seed: u64,
+    threads: usize,
+) -> DefaultCounts {
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                let range = range.clone();
                 scope.spawn(move || {
-                    let mut sampler = ForwardSampler::new(graph);
+                    let mut block = WorldBlock::new(graph);
+                    let mut kernel = BlockKernel::new(graph);
                     let mut counts = DefaultCounts::new(graph.num_nodes());
-                    let mut sample_id = range.start + tid as u64;
-                    while sample_id < range.end {
-                        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
-                        counts.begin_sample();
-                        sampler.sample_with(graph, &mut rng, |v| counts.bump(v.index()));
-                        sample_id += threads as u64;
+                    for chunk in chunks.iter().skip(tid).step_by(threads) {
+                        crate::forward::accumulate_forward_chunk(
+                            graph,
+                            chunk.clone(),
+                            seed,
+                            &mut block,
+                            &mut kernel,
+                            &mut counts,
+                        );
                     }
                     counts
                 })
@@ -90,30 +109,42 @@ pub fn parallel_reverse_counts_range(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    let work = range.end.saturating_sub(range.start);
-    let threads = effective_threads(threads, work);
+    let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
+    let threads = effective_threads(threads, chunks.len() as u64);
     if threads == 1 {
         return crate::reverse::reverse_counts_range(graph, candidates, range, seed);
     }
+    reverse_partitioned(graph, candidates, &chunks, seed, threads)
+}
+
+/// The strided multi-thread reverse runner, taking `threads` as-is (see
+/// [`forward_partitioned`] for why it is split out).
+fn reverse_partitioned(
+    graph: &UncertainGraph,
+    candidates: &[NodeId],
+    chunks: &[std::ops::Range<u64>],
+    seed: u64,
+    threads: usize,
+) -> DefaultCounts {
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                let range = range.clone();
                 scope.spawn(move || {
-                    let mut sampler = ReverseSampler::new(graph);
+                    let mut block = WorldBlock::new(graph);
+                    let mut kernel = BlockKernel::new(graph);
+                    let mut hits = Vec::with_capacity(candidates.len());
                     let mut counts = DefaultCounts::new(candidates.len());
-                    let mut buf = Vec::with_capacity(candidates.len());
-                    let mut sample_id = range.start + tid as u64;
-                    while sample_id < range.end {
-                        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
-                        sampler.sample_candidates(graph, candidates, &mut rng, &mut buf);
-                        counts.begin_sample();
-                        for (i, &hit) in buf.iter().enumerate() {
-                            if hit {
-                                counts.bump(i);
-                            }
-                        }
-                        sample_id += threads as u64;
+                    for chunk in chunks.iter().skip(tid).step_by(threads) {
+                        crate::reverse::accumulate_reverse_chunk(
+                            graph,
+                            candidates,
+                            chunk.clone(),
+                            seed,
+                            &mut block,
+                            &mut kernel,
+                            &mut hits,
+                            &mut counts,
+                        );
                     }
                     counts
                 })
@@ -167,9 +198,30 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_runners_bit_identical_at_forced_thread_counts() {
+        // Drive the strided runners directly so the threaded merge path
+        // is exercised even where available_parallelism() == 1.
+        let g = graph();
+        let chunks: Vec<std::ops::Range<u64>> = block_chunks(37..411).collect();
+        let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
+        for threads in [2, 3, 5] {
+            assert_eq!(forward_partitioned(&g, &chunks, 9, threads), seq, "threads = {threads}");
+        }
+        let cands: Vec<NodeId> = g.nodes().collect();
+        let rseq = crate::reverse::reverse_counts_range(&g, &cands, 37..411, 9);
+        for threads in [2, 4] {
+            assert_eq!(
+                reverse_partitioned(&g, &cands, &chunks, 9, threads),
+                rseq,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn thread_count_edge_cases() {
         let g = graph();
-        // zero threads clamps to 1; more threads than samples also works.
+        // zero threads clamps to 1; more threads than blocks also works.
         let a = parallel_forward_counts(&g, 5, 1, 0);
         let b = parallel_forward_counts(&g, 5, 1, 128);
         assert_eq!(a, b);
@@ -181,5 +233,19 @@ mod tests {
         let g = graph();
         let c = parallel_forward_counts(&g, 0, 1, 4);
         assert_eq!(c.samples(), 0);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_available_parallelism() {
+        let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        // No hard cap anymore: a huge request lands exactly on the
+        // machine's parallelism (previously frozen at 64).
+        assert_eq!(effective_threads(usize::MAX, u64::MAX), hardware);
+        assert_eq!(effective_threads(1_000_000, u64::MAX), hardware);
+        // Still clamped below by 1 and above by the number of work items.
+        assert_eq!(effective_threads(0, 10), 1);
+        assert_eq!(effective_threads(8, 1), 1);
+        assert_eq!(effective_threads(8, 3), 3.min(hardware));
+        assert_eq!(effective_threads(1, 0), 1);
     }
 }

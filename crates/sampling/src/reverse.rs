@@ -1,30 +1,43 @@
 //! Reverse possible-world sampling — Algorithm 5 of the paper.
 //!
-//! Given a (hopefully small) candidate set `B`, one reverse sample decides
-//! for each `v ∈ B` whether `v` defaults in a lazily-materialized possible
-//! world, by BFS over **in**-edges from `v` looking for a self-defaulted
-//! ancestor reachable through surviving edges. Coins are flipped lazily on
-//! first contact and memoized for the rest of the sample, so the same edge
-//! examined from two candidates gives one consistent outcome — this is the
-//! paper's "mark it as checked and store the corresponding information"
-//! (Algorithm 5, lines 9–16).
+//! Given a (hopefully small) candidate set `B`, one reverse sample
+//! decides for each `v ∈ B` whether `v` defaults in the sample's
+//! possible world, by BFS over **in**-edges from `v` looking for a
+//! self-defaulted ancestor reachable through surviving edges.
 //!
-//! Memoization uses epoch-stamped dense arrays instead of hash maps: a
-//! stamp compare beats a hash lookup, and clearing is `O(1)` per sample
-//! (bump the epoch). DESIGN.md lists this choice for ablation.
+//! Since the world-block refactor, a sample's world is the *fully
+//! materialized* world of the `(seed, sample_id)` stream (see
+//! [`crate::block`] for the contract): `h_v` is a pure function of that
+//! world, so reverse sampling over any candidate set is **bit-identical**
+//! to forward sampling restricted to those candidates — a property the
+//! cross-validation tests assert. Two implementations share it:
+//!
+//! * [`ReverseSampler`] — the **scalar reference**: one world at a time,
+//!   with the paper's positive/negative result caches (epoch-stamped
+//!   dense arrays; the negative cache is the ablation toggle from
+//!   DESIGN.md).
+//! * [`reverse_counts_range`] — the **runtime path** on the bit-parallel
+//!   [`BlockKernel`]: one reverse BFS per candidate
+//!   advances all 64 worlds of a block at once.
+//!
+//! Trade-off: the materialized-world contract prices every world at
+//! `Θ(n + m)` coins even for tiny candidate sets, where the paper's lazy
+//! coins touched only the candidates' reverse BFS trees. The traversal
+//! (which dominated) is amortized 64×, but the coin floor is new —
+//! `benches/sampling.rs` tracks this regime as
+//! `reverse_small_candidate_set` in `BENCH_sampling.json`.
 
+use crate::block::{block_chunks, BlockKernel, WorldBlock};
 use crate::counts::DefaultCounts;
 use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
 
-/// Reusable reverse sampler with lazily-memoized coin flips.
+/// Reusable scalar reverse sampler over materialized worlds — the
+/// semantic reference for the block kernel's reverse pass.
 #[derive(Debug, Clone)]
 pub struct ReverseSampler {
-    // Per-sample memo: node self-default coins.
-    node_epoch: Vec<u32>,
+    // The current sample's world: fully materialized coins.
     node_self: Vec<bool>,
-    // Per-sample memo: edge survival coins (canonical edge ids).
-    edge_epoch: Vec<u32>,
     edge_surv: Vec<bool>,
     // Per-sample positive cache: nodes known to default in this sample.
     hit_epoch: Vec<u32>,
@@ -44,9 +57,7 @@ impl ReverseSampler {
     /// result caching enabled.
     pub fn new(graph: &UncertainGraph) -> Self {
         ReverseSampler {
-            node_epoch: vec![0; graph.num_nodes()],
             node_self: vec![false; graph.num_nodes()],
-            edge_epoch: vec![0; graph.num_edges()],
             edge_surv: vec![false; graph.num_edges()],
             hit_epoch: vec![0; graph.num_nodes()],
             safe_epoch: vec![0; graph.num_nodes()],
@@ -58,57 +69,37 @@ impl ReverseSampler {
         }
     }
 
-    /// Disables the negative-result cache (exactly the paper's Algorithm 5).
-    /// Kept for the ablation benchmark; results are distribution-identical.
+    /// Disables the negative-result cache (exactly the paper's Algorithm
+    /// 5). Kept for the ablation benchmark; results are identical either
+    /// way — `h_v` is a pure function of the materialized world.
     pub fn without_negative_cache(mut self) -> Self {
         self.cache_negative = false;
         self
     }
 
-    /// Starts a new possible world: all memoized coins are forgotten.
-    pub fn begin_sample(&mut self) {
+    /// Starts a new possible world: materializes every coin from `rng`
+    /// in the canonical world order (all node self-default coins in node
+    /// order, then all edge survival coins in canonical edge order) and
+    /// forgets the per-sample result caches.
+    pub fn begin_sample(&mut self, graph: &UncertainGraph, rng: &mut Xoshiro256pp) {
         if self.epoch == u32::MAX {
-            self.node_epoch.fill(0);
-            self.edge_epoch.fill(0);
             self.hit_epoch.fill(0);
             self.safe_epoch.fill(0);
             self.epoch = 0;
         }
         self.epoch += 1;
-    }
-
-    #[inline]
-    fn node_defaults_by_self(
-        &mut self,
-        graph: &UncertainGraph,
-        v: usize,
-        rng: &mut Xoshiro256pp,
-    ) -> bool {
-        if self.node_epoch[v] != self.epoch {
-            self.node_epoch[v] = self.epoch;
-            self.node_self[v] = rng.bernoulli(graph.self_risk(NodeId(v as u32)));
+        for (v, coin) in self.node_self.iter_mut().enumerate() {
+            *coin = rng.bernoulli(graph.self_risk(NodeId(v as u32)));
         }
-        self.node_self[v]
-    }
-
-    #[inline]
-    fn edge_survives(&mut self, graph: &UncertainGraph, e: usize, rng: &mut Xoshiro256pp) -> bool {
-        if self.edge_epoch[e] != self.epoch {
-            self.edge_epoch[e] = self.epoch;
-            self.edge_surv[e] = rng.bernoulli(graph.edge_prob(ugraph::EdgeId(e as u32)));
+        for (e, coin) in self.edge_surv.iter_mut().enumerate() {
+            *coin = rng.bernoulli(graph.edge_prob(ugraph::EdgeId(e as u32)));
         }
-        self.edge_surv[e]
     }
 
     /// Decides whether candidate `v` defaults in the current sample
     /// (`h_v` of Algorithm 5). Must be called between
     /// [`begin_sample`](Self::begin_sample) calls.
-    pub fn is_influenced(
-        &mut self,
-        graph: &UncertainGraph,
-        v: NodeId,
-        rng: &mut Xoshiro256pp,
-    ) -> bool {
+    pub fn is_influenced(&mut self, graph: &UncertainGraph, v: NodeId) -> bool {
         assert!(self.epoch > 0, "call begin_sample before is_influenced");
         if self.hit_epoch[v.index()] == self.epoch {
             return true;
@@ -142,15 +133,13 @@ impl ReverseSampler {
                 // contain a defaulted node either — do not expand.
                 continue;
             }
-            if self.node_defaults_by_self(graph, u, rng) {
+            if self.node_self[u] {
                 self.hit_epoch[u] = self.epoch;
                 found = true;
                 break 'bfs;
             }
-            let lo = graph.in_edges(NodeId(u as u32));
-            for edge in lo {
-                if self.edge_survives(graph, edge.id.index(), rng)
-                    && self.visit_stamp[edge.source.index()] != stamp
+            for edge in graph.in_edges(NodeId(u as u32)) {
+                if self.edge_surv[edge.id.index()] && self.visit_stamp[edge.source.index()] != stamp
                 {
                     self.visit_stamp[edge.source.index()] = stamp;
                     self.queue.push(edge.source.0);
@@ -174,7 +163,8 @@ impl ReverseSampler {
     }
 
     /// Runs one full sample over a candidate list, writing `h_v` into
-    /// `out` (resized to `candidates.len()`).
+    /// `out` (resized to `candidates.len()`). Consumes one world's coins
+    /// from `rng`.
     pub fn sample_candidates(
         &mut self,
         graph: &UncertainGraph,
@@ -182,18 +172,13 @@ impl ReverseSampler {
         rng: &mut Xoshiro256pp,
         out: &mut Vec<bool>,
     ) {
-        self.begin_sample();
+        self.begin_sample(graph, rng);
         out.clear();
-        out.extend(candidates.iter().map(|&v| false_holder(v)));
-        for (i, &v) in candidates.iter().enumerate() {
-            out[i] = self.is_influenced(graph, v, rng);
+        for &v in candidates {
+            let hit = self.is_influenced(graph, v);
+            out.push(hit);
         }
     }
-}
-
-#[inline]
-fn false_holder(_v: NodeId) -> bool {
-    false
 }
 
 /// Runs `t` reverse samples (ids `0..t`) over `candidates` and returns
@@ -207,32 +192,59 @@ pub fn reverse_counts(
     reverse_counts_range(graph, candidates, 0..t, seed)
 }
 
-/// Runs reverse samples for the given range of sample ids.
+/// Runs reverse samples for the given range of sample ids on the block
+/// kernel: 64 worlds per [`WorldBlock`], one
+/// bit-parallel reverse BFS per candidate per block.
 ///
 /// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
 /// counts over disjoint ranges merge into exactly the counts of the
 /// union range — the property the engine's incremental sample cache
-/// extends prefixes with.
+/// extends prefixes with — and the result is bit-identical both to the
+/// scalar [`ReverseSampler`] reference and to
+/// [`forward_counts_range`](crate::forward_counts_range) restricted to
+/// `candidates`.
 pub fn reverse_counts_range(
     graph: &UncertainGraph,
     candidates: &[NodeId],
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> DefaultCounts {
-    let mut sampler = ReverseSampler::new(graph);
     let mut counts = DefaultCounts::new(candidates.len());
-    let mut buf = Vec::with_capacity(candidates.len());
-    for sample_id in range {
-        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
-        sampler.sample_candidates(graph, candidates, &mut rng, &mut buf);
-        counts.begin_sample();
-        for (i, &hit) in buf.iter().enumerate() {
-            if hit {
-                counts.bump(i);
-            }
-        }
+    let mut block = WorldBlock::new(graph);
+    let mut kernel = BlockKernel::new(graph);
+    let mut hits = Vec::with_capacity(candidates.len());
+    for chunk in block_chunks(range) {
+        accumulate_reverse_chunk(
+            graph,
+            candidates,
+            chunk,
+            seed,
+            &mut block,
+            &mut kernel,
+            &mut hits,
+            &mut counts,
+        );
     }
     counts
+}
+
+/// Materializes and evaluates one ≤64-sample chunk over `candidates`,
+/// accumulating into `counts`. Shared with the parallel driver.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_reverse_chunk(
+    graph: &UncertainGraph,
+    candidates: &[NodeId],
+    chunk: std::ops::Range<u64>,
+    seed: u64,
+    block: &mut WorldBlock,
+    kernel: &mut BlockKernel,
+    hits: &mut Vec<u64>,
+    counts: &mut DefaultCounts,
+) {
+    let lanes = (chunk.end - chunk.start) as usize;
+    block.materialize(graph, seed, chunk.start, lanes);
+    kernel.reverse_hits_into(graph, block, candidates, hits);
+    counts.record_block(hits, block.lane_mask());
 }
 
 #[cfg(test)]
@@ -267,62 +279,58 @@ mod tests {
     }
 
     #[test]
-    fn marginals_match_forward_sampler() {
+    fn bit_identical_to_forward_sampler() {
+        // Same seed, same worlds, same verdicts — not just equal
+        // marginals: the world contract makes reverse a projection of
+        // forward.
         let g = chain();
-        let t = 40_000;
-        let fwd = forward_counts(&g, t, 5);
-        let rev = reverse_counts(&g, &all_nodes(&g), t, 6);
-        for v in 0..3 {
-            let diff = (fwd.estimate(v) - rev.estimate(v)).abs();
-            assert!(diff < 0.02, "node {v}: fwd {} rev {}", fwd.estimate(v), rev.estimate(v));
+        for t in [1u64, 63, 64, 200] {
+            let fwd = forward_counts(&g, t, 5);
+            let rev = reverse_counts(&g, &all_nodes(&g), t, 5);
+            assert_eq!(rev, fwd, "t = {t}");
         }
     }
 
     #[test]
-    fn marginals_match_on_cyclic_graph() {
+    fn bit_identical_to_forward_on_cyclic_graph() {
         let g = from_parts(
             &[0.3, 0.2, 0.1],
             &[(0, 1, 0.6), (1, 2, 0.6), (2, 0, 0.6)],
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
-        let t = 40_000;
-        let fwd = forward_counts(&g, t, 8);
-        let rev = reverse_counts(&g, &all_nodes(&g), t, 9);
-        for v in 0..3 {
-            let diff = (fwd.estimate(v) - rev.estimate(v)).abs();
-            assert!(diff < 0.02, "node {v}: fwd {} rev {}", fwd.estimate(v), rev.estimate(v));
-        }
+        let t = 500;
+        assert_eq!(reverse_counts(&g, &all_nodes(&g), t, 8), forward_counts(&g, t, 8));
     }
 
     #[test]
-    fn negative_cache_does_not_change_distribution() {
+    fn scalar_reference_matches_block_path() {
         let g = from_parts(
             &[0.2, 0.2, 0.2, 0.2],
             &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)],
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
-        let cands = all_nodes(&g);
-        let t = 30_000;
-        let with = reverse_counts(&g, &cands, t, 10);
-        // Hand-rolled run without negative cache.
-        let mut sampler = ReverseSampler::new(&g).without_negative_cache();
-        let mut counts = DefaultCounts::new(cands.len());
-        let mut buf = Vec::new();
-        for sample_id in 0..t {
-            let mut rng = Xoshiro256pp::for_sample(11, sample_id);
-            sampler.sample_candidates(&g, &cands, &mut rng, &mut buf);
-            counts.begin_sample();
-            for (i, &h) in buf.iter().enumerate() {
-                if h {
-                    counts.bump(i);
+        let cands = [NodeId(3), NodeId(1)];
+        for variant in [true, false] {
+            let mut sampler = if variant {
+                ReverseSampler::new(&g)
+            } else {
+                ReverseSampler::new(&g).without_negative_cache()
+            };
+            let mut counts = DefaultCounts::new(cands.len());
+            let mut buf = Vec::new();
+            for sample_id in 0..300 {
+                let mut rng = Xoshiro256pp::for_sample(11, sample_id);
+                sampler.sample_candidates(&g, &cands, &mut rng, &mut buf);
+                counts.begin_sample();
+                for (i, &h) in buf.iter().enumerate() {
+                    if h {
+                        counts.bump(i);
+                    }
                 }
             }
-        }
-        for v in 0..cands.len() {
-            let diff = (with.estimate(v) - counts.estimate(v)).abs();
-            assert!(diff < 0.02, "node {v}");
+            assert_eq!(counts, reverse_counts(&g, &cands, 300, 11), "negative cache = {variant}");
         }
     }
 
@@ -347,9 +355,8 @@ mod tests {
     fn requires_begin_sample() {
         let g = chain();
         let mut sampler = ReverseSampler::new(&g);
-        let mut rng = Xoshiro256pp::new(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sampler.is_influenced(&g, NodeId(0), &mut rng)
+            sampler.is_influenced(&g, NodeId(0))
         }));
         assert!(result.is_err());
     }
@@ -362,8 +369,13 @@ mod tests {
     }
 
     #[test]
-    fn subset_candidates_only_tracked() {
+    fn subset_candidates_match_full_run_bitwise() {
+        // Worlds are shared state, not per-candidate: a singleton run
+        // sees exactly the worlds of the full run.
         let g = chain();
+        let full = reverse_counts(&g, &all_nodes(&g), 500, 3);
+        let single = reverse_counts(&g, &[NodeId(2)], 500, 3);
+        assert_eq!(single.count(0), full.count(2));
         let counts = reverse_counts(&g, &[NodeId(2)], 20_000, 3);
         assert_eq!(counts.len(), 1);
         assert!((counts.estimate(0) - 0.125).abs() < 0.02);

@@ -159,6 +159,27 @@ impl UncertainGraph {
         &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
     }
 
+    /// Canonical edge ids of the out-edges of `v`, as an index range.
+    ///
+    /// Out-edges of one node occupy a contiguous run of canonical ids, so
+    /// `out_edge_range(v).zip(out_neighbors(v))` walks `(edge id, target)`
+    /// pairs without constructing [`EdgeRef`]s — the form the bit-parallel
+    /// world-block kernel consumes.
+    #[inline]
+    pub fn out_edge_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize
+    }
+
+    /// Canonical edge ids of the in-edges of `v`, parallel to
+    /// [`in_neighbors`](Self::in_neighbors): position `p` of both slices
+    /// describes the same edge `(in_neighbors(v)[p], v)`.
+    #[inline]
+    pub fn in_edge_ids(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.in_edge_ids[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
     /// Returns the canonical id of edge `(u, v)` if present.
     ///
     /// Runs in `O(log out_degree(u))` thanks to CSR target ordering.
@@ -230,7 +251,7 @@ impl UncertainGraph {
     }
 
     /// Validates internal CSR invariants. Used by tests and `debug_assert!`
-    /// callers; a graph built through [`GraphBuilder`] always passes.
+    /// callers; a graph built through [`GraphBuilder`](crate::builder::GraphBuilder) always passes.
     pub fn check_invariants(&self) -> Result<()> {
         let n = self.num_nodes();
         let m = self.num_edges();
@@ -416,6 +437,26 @@ mod tests {
         from_out.sort_unstable();
         from_in.sort_unstable();
         assert_eq!(from_out, from_in);
+    }
+
+    #[test]
+    fn csr_slice_accessors_agree_with_iterators() {
+        let g = figure3();
+        for v in g.nodes() {
+            let ids: Vec<u32> = g.out_edge_range(v).map(|e| e as u32).collect();
+            let from_iter: Vec<u32> = g.out_edges(v).map(|e| e.id.0).collect();
+            assert_eq!(ids, from_iter, "out ids of {v}");
+            let targets: Vec<u32> = g.out_neighbors(v).to_vec();
+            let iter_targets: Vec<u32> = g.out_edges(v).map(|e| e.target.0).collect();
+            assert_eq!(targets, iter_targets, "out targets of {v}");
+
+            let in_ids: Vec<u32> = g.in_edge_ids(v).to_vec();
+            let in_iter: Vec<u32> = g.in_edges(v).map(|e| e.id.0).collect();
+            assert_eq!(in_ids, in_iter, "in ids of {v}");
+            let in_srcs: Vec<u32> = g.in_neighbors(v).to_vec();
+            let in_iter_srcs: Vec<u32> = g.in_edges(v).map(|e| e.source.0).collect();
+            assert_eq!(in_srcs, in_iter_srcs, "in sources of {v}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Detection runs through the session-oriented
-//! [`Detector`](vulnds_core::engine::Detector) engine; every failure
+//! [`vulnds_core::engine::Detector`] engine; every failure
 //! (usage, graph I/O, configuration) surfaces as the workspace-wide
 //! [`VulnError`].
 

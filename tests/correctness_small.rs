@@ -46,10 +46,14 @@ fn detect_once(
 
 #[test]
 fn all_algorithms_find_figure3_top1() {
+    // The true margin is p(E) − p(D) ≈ 0.069, so request ε below it:
+    // with the default ε = 0.3 the theorems do not promise this ranking
+    // and whether it comes out right is seed luck.
     let g = figure3();
     let mut d = Detector::builder(&g).config(VulnConfig::default().with_seed(3)).build().unwrap();
     for alg in AlgorithmKind::ALL {
-        let r = d.detect(&DetectRequest::new(1, alg)).unwrap();
+        let req = DetectRequest::new(1, alg).with_epsilon(0.05).with_delta(0.05);
+        let r = d.detect(&req).unwrap();
         assert_eq!(r.top_k[0].node, NodeId(4), "{alg} missed node E");
     }
 }

@@ -8,7 +8,7 @@ use vulnds_bench::microbench::bench;
 use vulnds_core::engine::{DetectRequest, Detector};
 use vulnds_core::{AlgorithmKind, VulnConfig};
 use vulnds_datasets::Dataset;
-use vulnds_sampling::{DefaultCounts, ReverseSampler, Xoshiro256pp};
+use vulnds_sampling::{CoinTable, DefaultCounts, ReverseSampler, ScalarCoins};
 
 fn run_reverse(
     g: &ugraph::UncertainGraph,
@@ -16,6 +16,7 @@ fn run_reverse(
     t: u64,
     negative_cache: bool,
 ) -> DefaultCounts {
+    let table = CoinTable::new(g);
     let mut sampler = if negative_cache {
         ReverseSampler::new(g)
     } else {
@@ -24,8 +25,7 @@ fn run_reverse(
     let mut counts = DefaultCounts::new(candidates.len());
     let mut buf = Vec::new();
     for sample_id in 0..t {
-        let mut rng = Xoshiro256pp::for_sample(42, sample_id);
-        sampler.sample_candidates(g, candidates, &mut rng, &mut buf);
+        sampler.sample_candidates(g, &table, candidates, ScalarCoins::new(42, sample_id), &mut buf);
         counts.begin_sample();
         for (i, &h) in buf.iter().enumerate() {
             if h {

@@ -1,29 +1,29 @@
 //! Micro-benchmarks of the sampling substrate, centered on the
-//! scalar-vs-block world-evaluation comparison that motivates the
-//! bit-parallel data path.
+//! scalar-vs-block comparison that motivates the bit-parallel data path
+//! — now split into its two phases, since the counter-RNG refactor
+//! attacks materialization specifically:
 //!
-//! For each graph family from `vulnds_datasets::gen` the bench measures,
-//! per possible world:
-//!
-//! * `eval/scalar` — default reachability over one pre-materialized
-//!   world at a time ([`PossibleWorld::defaulted_nodes`] + mask
-//!   accumulation), the pre-refactor inner loop;
-//! * `eval/block` — the same 64 worlds through
-//!   [`BlockKernel::forward_defaults`] + popcount accumulation;
-//! * `end_to_end/{scalar,block}` — coin materialization included.
+//! * `materialize/{scalar,block}` — coin cost only: drawing one world's
+//!   coins one at a time vs synthesizing all 64 lane words transposed
+//!   (eagerly, so the phase is isolated from traversal order);
+//! * `eval/{scalar,block}` — default reachability over pre-materialized
+//!   worlds, the PR-2 comparison;
+//! * `end_to_end/{scalar,block}` — both phases together; the block path
+//!   runs production-shaped, i.e. with frontier-lazy edge words.
 //!
 //! Results append to stdout and are written to `BENCH_sampling.json`
 //! (override the path with `VULNDS_BENCH_JSON`) so the perf trajectory
-//! is tracked from PR 2 on. Raise `VULNDS_BENCH_MS` for tighter
-//! medians.
+//! is tracked from PR 2 on, together with the coin precision and the
+//! lazy-skip ratio. Raise `VULNDS_BENCH_MS` for tighter medians.
 
 use ugraph::{NodeId, UncertainGraph};
 use vulnds_bench::microbench::{bench, measure, JsonReport};
 use vulnds_datasets::gen::{chung_lu, erdos, pref_attach};
 use vulnds_datasets::{attach_probabilities, ProbabilityModel};
 use vulnds_sampling::{
-    forward_counts, parallel_forward_counts, reverse_counts, reverse_counts_range, BlockKernel,
-    DefaultCounts, ForwardSampler, PossibleWorld, WorldBlock, Xoshiro256pp, LANES,
+    forward_counts_range_with, parallel_forward_counts, reverse_counts, reverse_counts_range_with,
+    BlockKernel, CoinTable, CoinUsage, DefaultCounts, ForwardSampler, PossibleWorld,
+    ReverseSampler, ScalarCoins, WorldBlock, Xoshiro256pp, COIN_PRECISION, LANES,
 };
 
 struct Family {
@@ -58,11 +58,32 @@ fn main() {
     for Family { name, graph: g } in families() {
         let n = g.num_nodes();
         let m = g.num_edges();
+        let table = CoinTable::new(&g);
+
+        // --- Materialization phase: coins only, no reachability. ---
+        // Scalar: every coin of 64 worlds drawn one lane at a time.
+        let scalar_mat = measure(&format!("{name}/materialize/scalar_per_64_worlds"), || {
+            let mut live = 0usize;
+            for i in 0..LANES as u64 {
+                let w = PossibleWorld::sample_with_table(&g, &table, 42, i);
+                live += w.active_counts().1;
+            }
+            live
+        });
+        // Block: the same 64 worlds as transposed lane words, eagerly
+        // (force_edges) so the phase excludes traversal effects.
+        let mut block = WorldBlock::new(&g);
+        let block_mat = measure(&format!("{name}/materialize/block_per_64_worlds"), || {
+            block.materialize(&g, &table, 42, 0, LANES);
+            block.force_edges(&table);
+            block.lane_mask()
+        });
+        let _ = block.take_usage();
 
         // --- World evaluation: coins fixed, reachability only. ---
-        // Scalar: 64 pre-sampled worlds, one BFS each.
-        let worlds: Vec<PossibleWorld> =
-            (0..LANES as u64).map(|i| PossibleWorld::sample_indexed(&g, 42, i)).collect();
+        let worlds: Vec<PossibleWorld> = (0..LANES as u64)
+            .map(|i| PossibleWorld::sample_with_table(&g, &table, 42, i))
+            .collect();
         let scalar_eval = measure(&format!("{name}/eval/scalar_per_64_worlds"), || {
             let mut counts = DefaultCounts::new(n);
             for w in &worlds {
@@ -71,47 +92,61 @@ fn main() {
             counts.samples()
         });
 
-        // Block: the same 64 worlds, one bit-parallel BFS.
-        let mut block = WorldBlock::new(&g);
-        block.materialize(&g, 42, 0, LANES);
+        // Block: the same 64 worlds, one bit-parallel BFS; edge words
+        // are pre-materialized above so no synthesis happens here.
         let mut kernel = BlockKernel::new(&g);
         let block_eval = measure(&format!("{name}/eval/block_per_64_worlds"), || {
             let mut counts = DefaultCounts::new(n);
-            let words = kernel.forward_defaults(&g, &block);
-            counts.record_block(words, u64::MAX);
+            let words = kernel.forward_defaults(&g, &table, &mut block);
+            counts.record_block(words, block.lane_mask());
             counts.samples()
         });
 
-        // --- End to end: coin materialization included. ---
+        // --- End to end: materialization + evaluation. ---
         let mut sampler = ForwardSampler::new(&g);
         let scalar_e2e = measure(&format!("{name}/end_to_end/scalar_per_64_worlds"), || {
             let mut counts = DefaultCounts::new(n);
             for i in 0..LANES as u64 {
-                let mut rng = Xoshiro256pp::for_sample(43, i);
                 counts.begin_sample();
-                sampler.sample_with(&g, &mut rng, |v| counts.bump(v.index()));
+                sampler
+                    .sample_with(&g, &table, &ScalarCoins::new(43, i), |v| counts.bump(v.index()));
             }
             counts.samples()
         });
         let block_e2e = measure(&format!("{name}/end_to_end/block_per_64_worlds"), || {
-            forward_counts(&g, LANES as u64, 43).samples()
+            forward_counts_range_with(&g, &table, 0..LANES as u64, 43).0.samples()
         });
 
+        // Lazy-skip ratio of the production path, over a longer run so
+        // per-block variation averages out.
+        let (_, usage) = forward_counts_range_with(&g, &table, 0..(32 * LANES as u64), 43);
+
+        let mat_speedup = scalar_mat.median_secs / block_mat.median_secs;
         let eval_speedup = scalar_eval.median_secs / block_eval.median_secs;
         let e2e_speedup = scalar_e2e.median_secs / block_e2e.median_secs;
-        println!("{name}: eval speedup {eval_speedup:.1}x, end-to-end speedup {e2e_speedup:.1}x");
+        println!(
+            "{name}: materialize speedup {mat_speedup:.1}x, eval speedup {eval_speedup:.1}x, \
+             end-to-end speedup {e2e_speedup:.1}x, lazy skip {:.0}%",
+            usage.lazy_skip_ratio() * 100.0
+        );
 
         let per_world = 1.0 / LANES as f64 * 1e9;
         report
             .group(name)
             .num("nodes", n as f64)
             .num("edges", m as f64)
+            .num("coin_precision_bits", COIN_PRECISION as f64)
+            .num("scalar_materialize_per_world_ns", scalar_mat.median_secs * per_world)
+            .num("block_materialize_per_world_ns", block_mat.median_secs * per_world)
+            .num("materialize_speedup", mat_speedup)
             .num("scalar_eval_per_world_ns", scalar_eval.median_secs * per_world)
             .num("block_eval_per_world_ns", block_eval.median_secs * per_world)
             .num("eval_speedup", eval_speedup)
             .num("scalar_end_to_end_per_world_ns", scalar_e2e.median_secs * per_world)
             .num("block_end_to_end_per_world_ns", block_e2e.median_secs * per_world)
-            .num("end_to_end_speedup", e2e_speedup);
+            .num("end_to_end_speedup", e2e_speedup)
+            .num("lazy_edge_skip_ratio", usage.lazy_skip_ratio())
+            .num("coin_words_per_world", usage.words as f64 / (32.0 * LANES as f64));
     }
 
     // Context benches kept from the scalar era: reverse-candidate
@@ -127,24 +162,53 @@ fn main() {
             reverse_counts(&g, &candidates, 192, 42)
         });
     }
-    // The small-candidate regime Algorithm 5's lazy coins used to win:
-    // under the materialized-world contract every reverse world costs
-    // Θ(n + m) coins regardless of |B|, so this row tracks that
-    // trade-off explicitly (per 64 worlds over 50 candidates).
+    // The small-candidate regime the paper's lazy coins won: with the
+    // counter RNG the block path only materializes the edge words the
+    // candidates' reverse BFS trees touch, so this row now compares the
+    // scalar per-world path against the lazy block path explicitly
+    // (per 64 worlds over 50 candidates).
     {
+        let table = CoinTable::new(&g);
         let candidates: Vec<NodeId> = (0..50u32).map(NodeId).collect();
+        let mut scalar_sampler = ReverseSampler::new(&g);
+        let mut buf = Vec::new();
         let mut sample_base = 0u64;
-        let small = measure("reverse_small_candidate_set/50cand_per_64_worlds", || {
-            let base = sample_base;
-            sample_base += LANES as u64;
-            reverse_counts_range(&g, &candidates, base..base + LANES as u64, 7).samples()
+        let scalar_small =
+            measure("reverse_small_candidate_set/scalar_50cand_per_64_worlds", || {
+                let base = sample_base;
+                sample_base += LANES as u64;
+                let mut hits = 0usize;
+                for i in base..base + LANES as u64 {
+                    scalar_sampler.sample_candidates(
+                        &g,
+                        &table,
+                        &candidates,
+                        ScalarCoins::new(7, i),
+                        &mut buf,
+                    );
+                    hits += buf.iter().filter(|&&h| h).count();
+                }
+                hits
+            });
+        let mut block_base = 0u64;
+        let block_small = measure("reverse_small_candidate_set/block_50cand_per_64_worlds", || {
+            let base = block_base;
+            block_base += LANES as u64;
+            reverse_counts_range_with(&g, &table, &candidates, base..base + LANES as u64, 7)
+                .0
+                .samples()
         });
+        let (_, usage): (DefaultCounts, CoinUsage) =
+            reverse_counts_range_with(&g, &table, &candidates, 0..(16 * LANES as u64), 7);
         report
             .group("reverse_small_candidate_set")
             .num("nodes", g.num_nodes() as f64)
             .num("edges", g.num_edges() as f64)
             .num("candidates", 50.0)
-            .num("per_world_ns", small.median_secs / LANES as f64 * 1e9);
+            .num("scalar_per_world_ns", scalar_small.median_secs / LANES as f64 * 1e9)
+            .num("block_per_world_ns", block_small.median_secs / LANES as f64 * 1e9)
+            .num("speedup", scalar_small.median_secs / block_small.median_secs)
+            .num("lazy_edge_skip_ratio", usage.lazy_skip_ratio());
     }
     // `effective_threads` clamps to available_parallelism, so on a
     // machine with fewer cores these rows measure the same (sequential)

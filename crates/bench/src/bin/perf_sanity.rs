@@ -1,0 +1,63 @@
+//! CI perf-sanity gate for the world-block materialization kernel.
+//!
+//! Compares, on a small graph, the transposed bit-sliced coin synthesis
+//! (eager block materialization) against the scalar per-lane path
+//! (drawing the same 64 worlds coin by coin). The block kernel's whole
+//! point is that materialization is bit-parallel; if it is ever not
+//! measurably faster than the per-lane path, the kernel has regressed
+//! and this binary exits non-zero, failing CI.
+//!
+//! Usage: `perf_sanity [--quick]`. `--quick` caps the per-measurement
+//! budget (`VULNDS_BENCH_MS=60`) so the whole gate runs in about a
+//! second; the required margin (block ≥ 1.5× faster) is far below the
+//! ~30× the kernel delivers, keeping the gate robust to CI noise.
+
+use vulnds_bench::microbench::measure;
+use vulnds_datasets::gen::erdos;
+use vulnds_datasets::{attach_probabilities, ProbabilityModel};
+use vulnds_sampling::{CoinTable, PossibleWorld, WorldBlock, Xoshiro256pp, LANES};
+
+/// Block materialization must beat the scalar per-lane path by at least
+/// this factor, or the gate fails.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick && std::env::var("VULNDS_BENCH_MS").is_err() {
+        std::env::set_var("VULNDS_BENCH_MS", "60");
+    }
+
+    let model = ProbabilityModel::financial();
+    let mut rng = Xoshiro256pp::new(0x5A11_7E57);
+    let edges = erdos::generate(2_000, 6_000, &mut rng);
+    let g = attach_probabilities(2_000, &edges, model, &mut rng);
+    let table = CoinTable::new(&g);
+
+    let scalar = measure("perf_sanity/scalar_per_lane_materialize_64_worlds", || {
+        let mut live = 0usize;
+        for i in 0..LANES as u64 {
+            live += PossibleWorld::sample_with_table(&g, &table, 7, i).active_counts().1;
+        }
+        live
+    });
+    let mut block = WorldBlock::new(&g);
+    let blockwise = measure("perf_sanity/block_transposed_materialize_64_worlds", || {
+        block.materialize(&g, &table, 7, 0, LANES);
+        block.force_edges(&table);
+        block.lane_mask()
+    });
+
+    let speedup = scalar.median_secs / blockwise.median_secs;
+    println!(
+        "perf_sanity: block materialization speedup {speedup:.1}x (required ≥ {REQUIRED_SPEEDUP}x)"
+    );
+    if speedup.is_nan() || speedup < REQUIRED_SPEEDUP {
+        eprintln!(
+            "perf_sanity FAILED: block materialization ({:.3} ms) is not ≥ {REQUIRED_SPEEDUP}x \
+             faster than the scalar per-lane path ({:.3} ms)",
+            blockwise.median_secs * 1e3,
+            scalar.median_secs * 1e3,
+        );
+        std::process::exit(1);
+    }
+}

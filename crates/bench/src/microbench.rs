@@ -101,10 +101,24 @@ impl JsonReport {
         self
     }
 
-    /// Adds a string field to the current group.
+    /// Adds a string field to the current group. Backslashes, quotes,
+    /// and control characters are escaped so the output stays valid
+    /// JSON for any value.
     pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
         let group = self.groups.last_mut().expect("call group() first");
-        group.1.push((key.to_string(), format!("\"{}\"", value.replace('"', "\\\""))));
+        let mut escaped = String::with_capacity(value.len() + 2);
+        for c in value.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                '\n' => escaped.push_str("\\n"),
+                '\r' => escaped.push_str("\\r"),
+                '\t' => escaped.push_str("\\t"),
+                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+                c => escaped.push(c),
+            }
+        }
+        group.1.push((key.to_string(), format!("\"{escaped}\"")));
         self
     }
 
@@ -151,8 +165,14 @@ fn format_secs(s: f64) -> String {
 mod tests {
     use super::*;
 
+    /// The budget env var is process-global and the test harness runs
+    /// tests on parallel threads, so every test that touches it must
+    /// hold this lock for its whole body.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_runs_and_reports() {
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("VULNDS_BENCH_MS", "10");
         bench("noop", || 1 + 1);
         std::env::remove_var("VULNDS_BENCH_MS");
@@ -160,6 +180,7 @@ mod tests {
 
     #[test]
     fn measure_returns_positive_median() {
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("VULNDS_BENCH_MS", "10");
         let m = measure("noop_measown", || 1 + 1);
         std::env::remove_var("VULNDS_BENCH_MS");
@@ -173,7 +194,10 @@ mod tests {
         let mut r = JsonReport::new();
         r.group("erdos").text("family", "erdos").num("nodes", 10000.0).num("speedup", 4.5);
         r.group("chung_lu").num("nodes", 20000.0);
+        r.group("esc").text("path", "C:\\bench \"x\"\n");
         let s = r.render();
+        // Backslashes, quotes, and control characters stay valid JSON.
+        assert!(s.contains(r#""path": "C:\\bench \"x\"\n""#), "{s}");
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
         assert!(s.contains("\"erdos\": {"));

@@ -15,7 +15,7 @@
 
 use crate::config::VulnConfig;
 use ugraph::{NodeId, UncertainGraph};
-use vulnds_sampling::{BlockKernel, WorldBlock, LANES};
+use vulnds_sampling::{BlockKernel, CoinTable, WorldBlock, LANES};
 
 /// Result of a conditional estimation.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,7 @@ pub fn conditional_scores(
     for &v in evidence {
         assert!(v.index() < n, "evidence node {v} out of bounds");
     }
+    let coins = CoinTable::new(graph);
     let mut block = WorldBlock::new(graph);
     let mut kernel = BlockKernel::new(graph);
     let mut counts = vec![0u64; n];
@@ -84,8 +85,8 @@ pub fn conditional_scores(
     let mut drawn = 0u64;
     while accepted < accept_target && drawn < max_draws {
         let lanes = (LANES as u64).min(max_draws - drawn) as usize;
-        block.materialize(graph, config.seed, drawn, lanes);
-        let words = kernel.forward_defaults(graph, &block);
+        block.materialize(graph, &coins, config.seed, drawn, lanes);
+        let words = kernel.forward_defaults(graph, &coins, &mut block);
         // Lanes whose world is consistent with every evidence node.
         let mut accept_word = block.lane_mask();
         for &v in evidence {

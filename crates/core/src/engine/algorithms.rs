@@ -332,6 +332,7 @@ impl Algorithm for BottomKEarlyStop {
         let hasher = UnitHasher::new(req.seed ^ HASH_DOMAIN);
         let order = hash_order(&hasher, t as usize);
 
+        let coins = ctx.coin_table();
         let graph = ctx.graph();
         let mut block = WorldBlock::new(graph);
         let mut kernel = BlockKernel::new(graph);
@@ -350,7 +351,7 @@ impl Algorithm for BottomKEarlyStop {
         'outer: for chunk in order.chunks(LANES) {
             ids.clear();
             ids.extend(chunk.iter().map(|&s| s as u64));
-            block.materialize_ids(graph, req.seed, &ids);
+            block.materialize_ids(graph, &coins, req.seed, &ids);
             kernel.begin_block();
             // One bit-parallel reverse BFS per still-unsaturated
             // candidate decides all 64 worlds of the chunk at once …
@@ -360,7 +361,7 @@ impl Algorithm for BottomKEarlyStop {
             );
             hit_words.clear();
             for &(_, v) in &active {
-                let word = kernel.reverse_hit_word(graph, &block, v);
+                let word = kernel.reverse_hit_word(graph, &coins, &mut block, v);
                 hit_words.push(word);
             }
             // … and the lanes are replayed in sample order so counters,
@@ -388,6 +389,7 @@ impl Algorithm for BottomKEarlyStop {
             }
         }
         ctx.note_adaptive_samples(samples_used);
+        ctx.note_coins(&block.take_usage());
 
         let chosen = if early_stopped {
             // Rank the saturated candidates by their sketch estimates;

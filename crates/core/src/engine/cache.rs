@@ -21,7 +21,8 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
-use vulnds_sampling::DefaultCounts;
+use ugraph::UncertainGraph;
+use vulnds_sampling::{CoinTable, DefaultCounts};
 
 /// Cap on stored snapshots per stream: a session sweeping many distinct
 /// budgets would otherwise accumulate one O(slots) counts vector per
@@ -32,6 +33,44 @@ const MAX_SNAPSHOTS: usize = 8;
 
 /// Worlds per sampler block — the snapshot alignment unit.
 const BLOCK_SAMPLES: u64 = vulnds_sampling::LANES as u64;
+
+/// Session cache of the graph's [`CoinTable`] — the per-graph
+/// fixed-point thresholds the counter-RNG synthesis reads.
+///
+/// Built once per session and revalidated on every access against the
+/// graph's probability version: a `set_self_risk`/`set_edge_prob` call
+/// bumps the version, so a stale table is **rebuilt** instead of
+/// serving old thresholds (and the rebuild is counted, so sessions can
+/// report it).
+#[derive(Debug, Default)]
+pub(crate) struct CoinCache {
+    table: Option<Arc<CoinTable>>,
+    builds: u64,
+}
+
+impl CoinCache {
+    /// Returns a current table for `graph`, building (or rebuilding)
+    /// it if the cached one is missing or stale. The flag reports
+    /// whether this call built a table.
+    pub(crate) fn get(&mut self, graph: &UncertainGraph) -> (Arc<CoinTable>, bool) {
+        if let Some(table) = &self.table {
+            if table.matches(graph) {
+                return (table.clone(), false);
+            }
+        }
+        let table = Arc::new(CoinTable::new(graph));
+        self.table = Some(table.clone());
+        self.builds += 1;
+        (table, true)
+    }
+
+    /// Tables built (including rebuilds after invalidation) over the
+    /// cache's lifetime.
+    #[cfg(test)]
+    pub(crate) fn builds(&self) -> u64 {
+        self.builds
+    }
+}
 
 /// Prefix-extendable cache of cumulative sample counts for one stream
 /// (one seed and, for reverse sampling, one candidate set).
@@ -103,6 +142,33 @@ impl SampleCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy, EdgeId, NodeId};
+
+    #[test]
+    fn coin_cache_rebuilds_on_probability_updates() {
+        let mut g = from_parts(&[0.5, 0.1], &[(0, 1, 0.7)], DuplicateEdgePolicy::Error).unwrap();
+        let mut cache = CoinCache::default();
+        let (t1, built) = cache.get(&g);
+        assert!(built);
+        let (t2, built) = cache.get(&g);
+        assert!(!built, "unchanged graph must hit the cached table");
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.builds(), 1);
+
+        // A probability update bumps the graph version: the stale table
+        // must be rebuilt, not served.
+        g.set_edge_prob(EdgeId(0), 0.2).unwrap();
+        let (t3, built) = cache.get(&g);
+        assert!(built, "stale coin table served after set_edge_prob");
+        assert!(!Arc::ptr_eq(&t1, &t3));
+        assert_eq!(t3.edge_threshold(0), vulnds_sampling::coins::quantize_probability(0.2));
+
+        g.set_self_risk(NodeId(1), 0.9).unwrap();
+        let (t4, built) = cache.get(&g);
+        assert!(built, "stale coin table served after set_self_risk");
+        assert_eq!(t4.node_threshold(1), vulnds_sampling::coins::quantize_probability(0.9));
+        assert_eq!(cache.builds(), 3);
+    }
 
     /// Fake draw: counts slot 0 once per sample, tagging nothing else —
     /// enough to verify prefix arithmetic.

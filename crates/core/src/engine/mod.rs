@@ -69,7 +69,8 @@ use std::sync::Arc;
 
 use ugraph::{NodeId, UncertainGraph};
 use vulnds_sampling::{
-    parallel_forward_counts_range, parallel_reverse_counts_range, DefaultCounts,
+    parallel_forward_counts_range_with, parallel_reverse_counts_range_with, CoinTable, CoinUsage,
+    DefaultCounts,
 };
 
 use crate::algo::AlgorithmKind;
@@ -78,7 +79,7 @@ use crate::candidates::{reduce_candidates, CandidateReduction};
 use crate::config::{ApproxParams, BoundsMethod, VulnConfig};
 use crate::error::Result;
 
-use cache::SampleCache;
+use cache::{CoinCache, SampleCache};
 
 /// Lower and upper bound vectors, as cached by a session.
 pub type BoundsPair = (Vec<f64>, Vec<f64>);
@@ -180,6 +181,15 @@ pub struct SessionStats {
     pub reductions_computed: u64,
     /// Candidate-reduction cache hits.
     pub reductions_reused: u64,
+    /// Coin tables built, including rebuilds after a probability update
+    /// invalidated the cached one.
+    pub coin_tables_built: u64,
+    /// Uniform 64-bit words synthesized by the counter-RNG coin
+    /// generator (the raw materialization cost).
+    pub coin_words_synthesized: u64,
+    /// Edge lane-words the frontier-lazy materialization never had to
+    /// synthesize (the lazy win, in words).
+    pub lazy_edge_words_skipped: u64,
 }
 
 /// Session caches (bounds, reductions, sample streams) plus counters.
@@ -189,6 +199,7 @@ struct EngineState {
     reductions: HashMap<(usize, usize, BoundsMethod), Arc<CandidateReduction>>,
     forward: HashMap<u64, SampleCache>,
     reverse: HashMap<(u64, Vec<u32>), SampleCache>,
+    coins: CoinCache,
     totals: SessionStats,
 }
 
@@ -258,14 +269,31 @@ impl<'a> EngineCtx<'a> {
         reduction
     }
 
+    /// The session's [`CoinTable`], built on first use and rebuilt
+    /// whenever the graph's probability version changes (so a stale
+    /// table can never serve old thresholds).
+    pub fn coin_table(&mut self) -> Arc<CoinTable> {
+        let (table, built) = self.state.coins.get(self.graph);
+        if built {
+            self.state.totals.coin_tables_built += 1;
+        }
+        table
+    }
+
     /// Cumulative forward-sample counts over ids `0..t` for `seed`,
     /// served through the session's prefix-extendable cache.
     pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
+        let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
         let cache = self.state.forward.entry(seed).or_default();
-        let (counts, drawn, reused) =
-            cache.serve(t, |range| parallel_forward_counts_range(graph, range, seed, threads));
+        let mut usage = CoinUsage::default();
+        let (counts, drawn, reused) = cache.serve(t, |range| {
+            let (c, u) = parallel_forward_counts_range_with(graph, &coins, range, seed, threads);
+            usage.merge(&u);
+            c
+        });
         self.note_usage(drawn, reused);
+        self.note_coins(&usage);
         counts
     }
 
@@ -278,13 +306,19 @@ impl<'a> EngineCtx<'a> {
         t: u64,
         seed: u64,
     ) -> Arc<DefaultCounts> {
+        let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
         let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
         let cache = self.state.reverse.entry(key).or_default();
+        let mut usage = CoinUsage::default();
         let (counts, drawn, reused) = cache.serve(t, |range| {
-            parallel_reverse_counts_range(graph, candidates, range, seed, threads)
+            let (c, u) =
+                parallel_reverse_counts_range_with(graph, &coins, candidates, range, seed, threads);
+            usage.merge(&u);
+            c
         });
         self.note_usage(drawn, reused);
+        self.note_coins(&usage);
         counts
     }
 
@@ -292,6 +326,15 @@ impl<'a> EngineCtx<'a> {
     /// adaptive pass).
     pub fn note_adaptive_samples(&mut self, drawn: u64) {
         self.note_usage(drawn, 0);
+    }
+
+    /// Records coin-materialization cost (words synthesized, lazy edge
+    /// words skipped) against the request and session counters.
+    pub fn note_coins(&mut self, usage: &CoinUsage) {
+        self.request.coin_words_synthesized += usage.words;
+        self.request.lazy_edge_words_skipped += usage.edge_words_skipped;
+        self.state.totals.coin_words_synthesized += usage.words;
+        self.state.totals.lazy_edge_words_skipped += usage.edge_words_skipped;
     }
 
     fn note_usage(&mut self, drawn: u64, reused: u64) {

@@ -158,6 +158,12 @@ pub struct EngineStats {
     pub bounds_reused: bool,
     /// Whether the candidate reduction was already cached.
     pub reduction_reused: bool,
+    /// Uniform 64-bit words the counter-RNG coin generator synthesized
+    /// for this query (the raw materialization cost).
+    pub coin_words_synthesized: u64,
+    /// Edge lane-words the frontier-lazy materialization skipped for
+    /// this query (edges no traversal touched).
+    pub lazy_edge_words_skipped: u64,
 }
 
 /// Answer to one [`DetectRequest`].

@@ -5,7 +5,7 @@
 use crate::config::VulnConfig;
 use crate::sample_size::basic_sample_size;
 use ugraph::UncertainGraph;
-use vulnds_sampling::{parallel_forward_counts, BlockKernel, WorldBlock, LANES};
+use vulnds_sampling::{parallel_forward_counts, BlockKernel, CoinTable, WorldBlock, LANES};
 use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 
 /// Monte-Carlo scores for every node with the Equation-3 budget — the
@@ -45,6 +45,7 @@ pub fn score_nodes_bottomk(graph: &UncertainGraph, k_hint: usize, config: &VulnC
     let hasher = UnitHasher::new(config.seed ^ 0xB07_70A6);
     let order = hash_order(&hasher, t as usize);
 
+    let coins = CoinTable::new(graph);
     let mut block = WorldBlock::new(graph);
     let mut kernel = BlockKernel::new(graph);
     let mut ids: Vec<u64> = Vec::with_capacity(LANES);
@@ -58,8 +59,8 @@ pub fn score_nodes_bottomk(graph: &UncertainGraph, k_hint: usize, config: &VulnC
         }
         ids.clear();
         ids.extend(chunk.iter().map(|&s| s as u64));
-        block.materialize_ids(graph, config.seed, &ids);
-        let words = kernel.forward_defaults(graph, &block);
+        block.materialize_ids(graph, &coins, config.seed, &ids);
+        let words = kernel.forward_defaults(graph, &coins, &mut block);
         // Per-node replay: a node's counter only depends on its own
         // default lanes, in lane (= hash) order. The single cross-node
         // coupling is the all-frozen early stop, handled below.

@@ -1,128 +1,46 @@
 //! Antithetic-pair forward sampling — a variance-reduction extension.
 //!
 //! Pair each sample with its antithetic twin: wherever the base sample
-//! consumes a uniform `r`, the twin consumes `1 − r`. Because the default
-//! indicator is monotone in every coin (smaller `r` means "fires" under
-//! `r < p`), the paired indicators are negatively correlated, so the
+//! reads a uniform bit, the twin reads its complement (see
+//! [`ScalarCoins::mirrored`]), i.e. the twin compares `!U < T` where the
+//! base compares `U < T`. Because the default indicator is monotone in
+//! every coin, the paired indicators are negatively correlated, so the
 //! average of a pair has lower variance than two independent samples —
 //! a classical trick (Hammersley & Morton, 1956) that slots cleanly into
-//! Algorithm 1's budget.
+//! Algorithm 1's budget. Both members are exact Bernoulli draws under
+//! the dyadic thresholds, so estimates stay unbiased.
 //!
 //! Caveat: the pairing couples the whole world, not individual marginals;
 //! the reduction is strongest for high-probability nodes and fades for
 //! deep multi-hop targets. The test quantifies it and the ablation bench
 //! measures the wall-clock trade-off.
 
+use crate::coins::{CoinTable, ScalarCoins};
 use crate::counts::DefaultCounts;
 use crate::forward::ForwardSampler;
-use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
-
-/// A uniform stream that can run in mirrored mode (`1 − r`).
-struct MirroredStream {
-    rng: Xoshiro256pp,
-    mirror: bool,
-}
-
-impl MirroredStream {
-    #[inline]
-    fn next(&mut self) -> f64 {
-        let r = self.rng.next_f64();
-        if self.mirror {
-            // 1 − r stays in (0, 1]; clamp the boundary so `r < p` with
-            // p = 1 still always fires.
-            (1.0 - r).min(1.0 - f64::EPSILON)
-        } else {
-            r
-        }
-    }
-}
-
-/// One antithetic forward sample: behaves like
-/// [`ForwardSampler::sample_with`] but draws from a mirrored stream, in
-/// the same canonical world order (all node coins in node order, then
-/// all edge coins in canonical edge order — the contract documented in
-/// [`crate::block`]).
-///
-/// Implemented as a standalone walk (not via `ForwardSampler`) because
-/// the mirroring must wrap every coin of the sample.
-fn sample_with_stream(
-    graph: &UncertainGraph,
-    stream: &mut MirroredStream,
-    visited: &mut [u32],
-    epoch: u32,
-    queue: &mut Vec<u32>,
-    edge_live: &mut [bool],
-    mut on_default: impl FnMut(NodeId),
-) {
-    queue.clear();
-    for v in graph.nodes() {
-        if stream.next() < graph.self_risk(v) {
-            visited[v.index()] = epoch;
-            queue.push(v.0);
-            on_default(v);
-        }
-    }
-    for e in graph.edges() {
-        edge_live[e.index()] = stream.next() < graph.edge_prob(e);
-    }
-    let mut head = 0;
-    while head < queue.len() {
-        let vq = NodeId(queue[head]);
-        head += 1;
-        for e in graph.out_edges(vq) {
-            if edge_live[e.id.index()] && visited[e.target.index()] != epoch {
-                visited[e.target.index()] = epoch;
-                queue.push(e.target.0);
-                on_default(e.target);
-            }
-        }
-    }
-}
 
 /// Runs `t` samples as `t/2` antithetic pairs (plus one plain sample if
 /// `t` is odd) and returns per-node default counts.
 ///
-/// Deterministic for a fixed seed; pair `i` derives its stream from
-/// `(seed, i)` exactly like the independent sampler.
+/// Deterministic for a fixed seed; pair `i` derives both members from
+/// the counter-RNG stream of sample id `i` — the base reads it
+/// directly, the twin mirrored.
 pub fn antithetic_forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> DefaultCounts {
-    let n = graph.num_nodes();
-    let mut counts = DefaultCounts::new(n);
-    let mut visited = vec![0u32; n];
-    let mut queue: Vec<u32> = Vec::new();
-    let mut edge_live = vec![false; graph.num_edges()];
-    let mut epoch = 0u32;
+    let table = CoinTable::new(graph);
+    let mut counts = DefaultCounts::new(graph.num_nodes());
+    let mut sampler = ForwardSampler::new(graph);
     let pairs = t / 2;
     for pair in 0..pairs {
-        for mirror in [false, true] {
-            epoch += 1;
-            let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
+        for coins in [ScalarCoins::new(seed, pair), ScalarCoins::mirrored(seed, pair)] {
             counts.begin_sample();
-            sample_with_stream(
-                graph,
-                &mut stream,
-                &mut visited,
-                epoch,
-                &mut queue,
-                &mut edge_live,
-                |v| counts.bump(v.index()),
-            );
+            sampler.sample_with(graph, &table, &coins, |v| counts.bump(v.index()));
         }
     }
     if t % 2 == 1 {
-        epoch += 1;
-        let mut stream =
-            MirroredStream { rng: Xoshiro256pp::for_sample(seed, pairs), mirror: false };
         counts.begin_sample();
-        sample_with_stream(
-            graph,
-            &mut stream,
-            &mut visited,
-            epoch,
-            &mut queue,
-            &mut edge_live,
-            |v| counts.bump(v.index()),
-        );
+        sampler
+            .sample_with(graph, &table, &ScalarCoins::new(seed, pairs), |v| counts.bump(v.index()));
     }
     counts
 }
@@ -136,52 +54,35 @@ pub fn pair_variance_comparison(
     pairs: u64,
     seed: u64,
 ) -> (f64, f64) {
-    let n = graph.num_nodes();
-    let mut visited = vec![0u32; n];
-    let mut queue = Vec::new();
-    let mut edge_live = vec![false; graph.num_edges()];
-    let mut epoch = 0u32;
-
-    let mut anti_means = Vec::with_capacity(pairs as usize);
-    for pair in 0..pairs {
-        let mut hits = 0.0;
-        for mirror in [false, true] {
-            epoch += 1;
-            let mut stream = MirroredStream { rng: Xoshiro256pp::for_sample(seed, pair), mirror };
-            let mut hit = false;
-            sample_with_stream(
-                graph,
-                &mut stream,
-                &mut visited,
-                epoch,
-                &mut queue,
-                &mut edge_live,
-                |v| {
-                    if v == node {
-                        hit = true;
-                    }
-                },
-            );
-            hits += hit as u8 as f64;
-        }
-        anti_means.push(hits / 2.0);
-    }
-
-    let mut indep_means = Vec::with_capacity(pairs as usize);
+    let table = CoinTable::new(graph);
     let mut sampler = ForwardSampler::new(graph);
-    for pair in 0..pairs {
+
+    let mut run_pair = |a: ScalarCoins, b: ScalarCoins| {
         let mut hits = 0.0;
-        for j in 0..2u64 {
-            let mut rng = Xoshiro256pp::for_sample(seed ^ 0xFACE, pair * 2 + j);
+        for coins in [a, b] {
             let mut hit = false;
-            sampler.sample_with(graph, &mut rng, |v| {
+            sampler.sample_with(graph, &table, &coins, |v| {
                 if v == node {
                     hit = true;
                 }
             });
             hits += hit as u8 as f64;
         }
-        indep_means.push(hits / 2.0);
+        hits / 2.0
+    };
+
+    let mut anti_means = Vec::with_capacity(pairs as usize);
+    for pair in 0..pairs {
+        anti_means.push(run_pair(ScalarCoins::new(seed, pair), ScalarCoins::mirrored(seed, pair)));
+    }
+
+    let indep_seed = seed ^ 0xFACE;
+    let mut indep_means = Vec::with_capacity(pairs as usize);
+    for pair in 0..pairs {
+        indep_means.push(run_pair(
+            ScalarCoins::new(indep_seed, pair * 2),
+            ScalarCoins::new(indep_seed, pair * 2 + 1),
+        ));
     }
     (variance(&anti_means), variance(&indep_means))
 }

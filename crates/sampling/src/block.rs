@@ -8,25 +8,35 @@
 //! SIMD-within-a-register technique — so the reachability BFS that
 //! dominated the scalar data path is amortized 64×.
 //!
-//! # The `(seed, 64·b + j)` stream contract
+//! Since the counter-RNG refactor, **materialization is bit-parallel
+//! too**: lane words are synthesized transposed, straight from the
+//! stateless `(seed, block, item, level)` generator of [`crate::coins`]
+//! — one 64-lane Bernoulli word costs an expected `log2(64) + O(1)`
+//! uniform words instead of 64 sequential draws. And because the
+//! generator is stateless per item, **edge words are frontier-lazy**:
+//! [`WorldBlock::edge_word`] synthesizes an edge's lane word the first
+//! time a traversal touches it, so a block costs `O(n + edges reached)`
+//! coins instead of `O(n + m)`.
 //!
-//! Lane `j` of block `b` is **exactly** the possible world
-//! [`PossibleWorld::sample_indexed(graph, seed, 64·b + j)`]: its coins
-//! are drawn from the RNG stream [`Xoshiro256pp::for_sample`]`(seed,
-//! 64·b + j)`, consumed in the canonical world order — all node
-//! self-default coins in node-id order, then all edge survival coins in
-//! canonical edge-id order. Every sampler in this crate (the block
-//! kernel, the scalar [`ForwardSampler`](crate::ForwardSampler) and
+//! # The `(seed, block, lane)` stream contract
+//!
+//! Sample `i` occupies lane `i % 64` of block `i / 64`, and its world
+//! is **exactly** [`PossibleWorld::sample_indexed(graph, seed, i)`]:
+//! every coin is a fixed bit of the stateless synthesis keyed by
+//! `(seed, i / 64, item)` — see [`crate::coins`] for the generator.
+//! Every sampler in this crate (the block kernels, the scalar
+//! [`ForwardSampler`](crate::ForwardSampler) and
 //! [`ReverseSampler`](crate::ReverseSampler) references, and the
-//! parallel drivers) evaluates deterministic functions of *that* world,
-//! which is why block-kernel counts are **bit-identical** to the scalar
-//! oracle for any sample budget, any lane count, and any thread count —
-//! including budgets that are not multiples of 64, served through
-//! partial lane masks.
+//! parallel drivers) evaluates deterministic functions of *those*
+//! worlds, which is why counts are **bit-identical** across lazy and
+//! eager materialization, block and scalar evaluation, any sample
+//! budget (including budgets that are not multiples of 64, served
+//! through partial lane masks), and any thread count.
 //!
-//! [`PossibleWorld::sample_indexed(graph, seed, 64·b + j)`]: PossibleWorld::sample_indexed
+//! [`PossibleWorld::sample_indexed(graph, seed, i)`]: PossibleWorld::sample_indexed
 
-use crate::rng::Xoshiro256pp;
+use crate::coins::{bernoulli_bit, bernoulli_word, block_key, edge_key, node_key};
+use crate::coins::{CoinTable, CoinUsage};
 use crate::world::PossibleWorld;
 use ugraph::{NodeId, UncertainGraph};
 
@@ -45,22 +55,48 @@ pub fn lane_mask(lanes: usize) -> u64 {
     }
 }
 
+/// Where the current block's lanes draw their coins from.
+#[derive(Debug, Clone)]
+enum LaneSource {
+    /// No block materialized yet.
+    Empty,
+    /// Lanes are the 64 consecutive samples of one block: coins come
+    /// from transposed 64-lane synthesis under one block key.
+    Aligned { key: u64 },
+    /// Lane `j` is the arbitrary sample `ids[j]` (BSRBK hash order):
+    /// each lane projects its own home block's synthesis, one bit at a
+    /// time.
+    Scattered { keys: Vec<(u64, u32)> },
+}
+
 /// 64 possible worlds packed as per-node and per-edge `u64` lane masks.
 ///
-/// Buffers are reusable: [`materialize`](Self::materialize) overwrites
-/// them in place, so a sampling loop allocates once per run.
+/// Node words are synthesized eagerly at
+/// [`materialize`](Self::materialize) time (the forward kernel needs
+/// every node's seeds); edge words are **frontier-lazy** — synthesized
+/// by [`edge_word`](Self::edge_word) on first touch and cached for the
+/// rest of the block via epoch stamps, so untouched edges cost nothing.
+///
+/// Buffers are reusable: materialization overwrites them in place, so a
+/// sampling loop allocates once per run.
 #[derive(Debug, Clone)]
 pub struct WorldBlock {
     /// `node_words[v]` bit `j` — node `v` self-defaulted in lane `j`.
     node_words: Vec<u64>,
     /// `edge_words[e]` bit `j` — edge `e` (canonical id) survived in
-    /// lane `j`.
+    /// lane `j`. Valid only where `edge_epoch[e] == epoch`.
     edge_words: Vec<u64>,
-    /// Which lanes hold materialized worlds (low bits for partial
-    /// blocks).
+    /// Lazy-materialization stamps: `edge_words[e]` belongs to the
+    /// current block iff `edge_epoch[e] == epoch`.
+    edge_epoch: Vec<u32>,
+    epoch: u32,
+    /// Which lanes hold materialized worlds.
     lane_mask: u64,
-    /// Per-lane RNG states of the block being materialized (scratch).
-    rngs: Vec<Xoshiro256pp>,
+    source: LaneSource,
+    /// Edges not yet materialized in the current block (flushed into
+    /// `usage.edge_words_skipped` when the next block begins).
+    pending_edges: u64,
+    usage: CoinUsage,
 }
 
 impl WorldBlock {
@@ -69,59 +105,152 @@ impl WorldBlock {
         WorldBlock {
             node_words: vec![0; graph.num_nodes()],
             edge_words: vec![0; graph.num_edges()],
+            // Stamps start unequal to every epoch the block can reach,
+            // so an edge_word() call before the first materialize()
+            // hits the LaneSource::Empty panic instead of silently
+            // serving an all-zero word.
+            edge_epoch: vec![u32::MAX; graph.num_edges()],
+            epoch: 0,
             lane_mask: 0,
-            rngs: Vec::with_capacity(LANES),
+            source: LaneSource::Empty,
+            pending_edges: 0,
+            usage: CoinUsage::default(),
         }
     }
 
-    /// Materializes `lanes` consecutive worlds: lane `j` is sample
-    /// `base_id + j`, drawn from the `(seed, base_id + j)` RNG stream in
-    /// canonical world order (all node coins, then all edge coins).
+    /// Starts a new block: flushes lazy-skip accounting and invalidates
+    /// all cached edge words.
+    fn begin_block(&mut self) {
+        self.usage.edge_words_skipped += self.pending_edges;
+        self.pending_edges = self.edge_words.len() as u64;
+        // `u32::MAX` is reserved as the never-materialized sentinel, so
+        // recycle one step early.
+        if self.epoch >= u32::MAX - 1 {
+            self.edge_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Materializes the worlds of samples `first_id .. first_id + lanes`
+    /// (all within one 64-aligned block): sample `first_id + i` occupies
+    /// lane `(first_id + i) % 64`, so partial chunks of the same block
+    /// draw the same transposed words and merge exactly.
     ///
-    /// `lanes` may be less than [`LANES`] for a partial tail block; the
-    /// unused high lanes read as all-zero and are excluded from
-    /// [`Self::lane_mask`].
-    pub fn materialize(&mut self, graph: &UncertainGraph, seed: u64, base_id: u64, lanes: usize) {
-        assert!(lanes <= LANES, "a block holds at most {LANES} lanes");
-        self.rngs.clear();
-        self.rngs.extend((0..lanes).map(|j| Xoshiro256pp::for_sample(seed, base_id + j as u64)));
-        self.draw_all(graph);
+    /// Node words are synthesized now; edge words wait for
+    /// [`edge_word`](Self::edge_word) (call
+    /// [`force_edges`](Self::force_edges) for the eager equivalent).
+    pub fn materialize(
+        &mut self,
+        graph: &UncertainGraph,
+        coins: &CoinTable,
+        seed: u64,
+        first_id: u64,
+        lanes: usize,
+    ) {
+        let lane0 = (first_id % LANES as u64) as usize;
+        assert!(lanes >= 1 && lane0 + lanes <= LANES, "chunk crosses a block boundary");
+        debug_assert!(coins.matches(graph), "stale coin table for this graph");
+        debug_assert_eq!(coins.num_nodes(), graph.num_nodes(), "table/graph node mismatch");
+        self.begin_block();
+        let key = block_key(seed, first_id / LANES as u64);
+        let mask = lane_mask(lanes) << lane0;
+        for (v, word) in self.node_words.iter_mut().enumerate() {
+            *word = bernoulli_word(
+                coins.node_threshold(v),
+                node_key(key, v),
+                mask,
+                &mut self.usage.words,
+            );
+        }
+        self.source = LaneSource::Aligned { key };
+        self.lane_mask = mask;
     }
 
     /// Materializes worlds for explicit sample ids (at most [`LANES`]):
     /// lane `j` is sample `ids[j]`. Used by adaptive passes (BSRBK,
-    /// bottom-k scoring) that visit samples in hash order.
-    pub fn materialize_ids(&mut self, graph: &UncertainGraph, seed: u64, ids: &[u64]) {
+    /// bottom-k scoring) that visit samples in hash order. Each lane
+    /// projects one bit out of its home block's synthesis, so scattered
+    /// blocks remain bit-identical to the aligned path and the oracle.
+    pub fn materialize_ids(
+        &mut self,
+        graph: &UncertainGraph,
+        coins: &CoinTable,
+        seed: u64,
+        ids: &[u64],
+    ) {
         assert!(ids.len() <= LANES, "a block holds at most {LANES} lanes");
-        self.rngs.clear();
-        self.rngs.extend(ids.iter().map(|&id| Xoshiro256pp::for_sample(seed, id)));
-        self.draw_all(graph);
+        debug_assert!(coins.matches(graph), "stale coin table for this graph");
+        self.begin_block();
+        let keys: Vec<(u64, u32)> = ids
+            .iter()
+            .map(|&id| (block_key(seed, id / LANES as u64), (id % LANES as u64) as u32))
+            .collect();
+        for (v, word) in self.node_words.iter_mut().enumerate() {
+            let t = coins.node_threshold(v);
+            let mut w = 0u64;
+            if t != 0 {
+                for (j, &(key, lane)) in keys.iter().enumerate() {
+                    let coin =
+                        bernoulli_bit(t, node_key(key, v), lane, false, &mut self.usage.words);
+                    w |= (coin as u64) << j;
+                }
+            }
+            *word = w;
+        }
+        self.lane_mask = lane_mask(keys.len());
+        self.source = LaneSource::Scattered { keys };
     }
 
-    /// Draws every lane's coins. The item loop is outermost and the lane
-    /// loop innermost: each lane still consumes *its own* stream in the
-    /// canonical order (a stream only advances on its own draws), but
-    /// each node/edge word is assembled in a register and written once,
-    /// instead of 64 read-modify-write passes over the whole block.
-    fn draw_all(&mut self, graph: &UncertainGraph) {
-        let rngs = &mut self.rngs[..];
-        for (v, word) in self.node_words.iter_mut().enumerate() {
-            let p = graph.self_risk(NodeId(v as u32));
-            let mut w = 0u64;
-            for (j, rng) in rngs.iter_mut().enumerate() {
-                w |= (rng.bernoulli(p) as u64) << j;
-            }
-            *word = w;
+    /// The survival lane word of edge `e` in the current block,
+    /// synthesized on first touch (frontier-lazy) and cached for the
+    /// rest of the block.
+    #[inline]
+    pub fn edge_word(&mut self, coins: &CoinTable, e: usize) -> u64 {
+        if self.edge_epoch[e] == self.epoch {
+            self.edge_words[e]
+        } else {
+            self.materialize_edge(coins, e)
         }
-        for (e, word) in self.edge_words.iter_mut().enumerate() {
-            let p = graph.edge_prob(ugraph::EdgeId(e as u32));
-            let mut w = 0u64;
-            for (j, rng) in rngs.iter_mut().enumerate() {
-                w |= (rng.bernoulli(p) as u64) << j;
+    }
+
+    fn materialize_edge(&mut self, coins: &CoinTable, e: usize) -> u64 {
+        self.edge_epoch[e] = self.epoch;
+        // Saturating: a `take_usage` mid-block already flushed the
+        // remaining edges as skipped, so later touches must not
+        // underflow the pending count.
+        self.pending_edges = self.pending_edges.saturating_sub(1);
+        self.usage.edge_words_materialized += 1;
+        let t = coins.edge_threshold(e);
+        let w = match &self.source {
+            LaneSource::Aligned { key } => {
+                bernoulli_word(t, edge_key(*key, e), self.lane_mask, &mut self.usage.words)
             }
-            *word = w;
+            LaneSource::Scattered { keys } => {
+                let mut w = 0u64;
+                if t != 0 {
+                    for (j, &(key, lane)) in keys.iter().enumerate() {
+                        let coin =
+                            bernoulli_bit(t, edge_key(key, e), lane, false, &mut self.usage.words);
+                        w |= (coin as u64) << j;
+                    }
+                }
+                w
+            }
+            LaneSource::Empty => panic!("edge_word before materialize"),
+        };
+        self.edge_words[e] = w;
+        w
+    }
+
+    /// Eagerly synthesizes every edge word of the current block —
+    /// bit-identical to what the lazy path would produce on touch. Used
+    /// by the eager/lazy equivalence tests and the materialization-phase
+    /// benchmarks.
+    pub fn force_edges(&mut self, coins: &CoinTable) {
+        for e in 0..self.edge_words.len() {
+            let _ = self.edge_word(coins, e);
         }
-        self.lane_mask = lane_mask(rngs.len());
     }
 
     /// Per-node self-default lane masks.
@@ -130,10 +259,10 @@ impl WorldBlock {
         &self.node_words
     }
 
-    /// Per-edge survival lane masks.
+    /// Self-default lane mask of node `v` (always materialized).
     #[inline]
-    pub fn edge_words(&self) -> &[u64] {
-        &self.edge_words
+    pub fn node_word(&self, v: usize) -> u64 {
+        self.node_words[v]
     }
 
     /// Mask of materialized lanes.
@@ -148,10 +277,21 @@ impl WorldBlock {
         self.lane_mask.count_ones() as usize
     }
 
+    /// Drains the accumulated materialization counters (including the
+    /// lazy-skip credit of the current block, which is thereby closed
+    /// out).
+    pub fn take_usage(&mut self) -> CoinUsage {
+        self.usage.edge_words_skipped += self.pending_edges;
+        self.pending_edges = 0;
+        std::mem::take(&mut self.usage)
+    }
+
     /// Unpacks one lane into a [`PossibleWorld`] — a test/debug helper,
-    /// bit-identical to sampling that world directly.
-    pub fn lane_world(&self, lane: usize) -> PossibleWorld {
+    /// bit-identical to sampling that world directly. Forces every edge
+    /// word of the block.
+    pub fn lane_world(&mut self, coins: &CoinTable, lane: usize) -> PossibleWorld {
         assert!(self.lane_mask >> lane & 1 == 1, "lane {lane} is not materialized");
+        self.force_edges(coins);
         let bit = 1u64 << lane;
         PossibleWorld {
             self_default: self.node_words.iter().map(|w| w & bit != 0).collect(),
@@ -161,7 +301,8 @@ impl WorldBlock {
 }
 
 /// Reusable block BFS/propagation kernel. Holds all scratch buffers so
-/// repeated blocks allocate nothing.
+/// repeated blocks allocate nothing. Takes the block mutably: edge lane
+/// words materialize lazily as the traversal first touches them.
 #[derive(Debug, Clone)]
 pub struct BlockKernel {
     // Forward pass: per-node "defaulted in lane j" masks.
@@ -193,20 +334,25 @@ impl BlockKernel {
         }
     }
 
-    /// Evaluates default reachability for all 64 worlds of `block` at
+    /// Evaluates default reachability for all worlds of `block` at
     /// once: returns per-node lane masks where bit `j` says "node
     /// defaults in lane `j`'s world" (self-default or reachable from a
     /// self-defaulted node through surviving edges).
     ///
     /// One label-correcting BFS advances every lane per step: an edge
-    /// transmits `defaulted[source] & edge_words[edge]` in a single AND,
-    /// so the traversal cost is shared by all 64 worlds.
-    pub fn forward_defaults(&mut self, graph: &UncertainGraph, block: &WorldBlock) -> &[u64] {
-        let node_words = block.node_words();
-        let edge_words = block.edge_words();
-        debug_assert_eq!(node_words.len(), graph.num_nodes(), "block/graph node mismatch");
-        debug_assert_eq!(edge_words.len(), graph.num_edges(), "block/graph edge mismatch");
-        self.defaulted.copy_from_slice(node_words);
+    /// transmits `defaulted[source] & edge_word(edge)` in a single AND,
+    /// so the traversal cost is shared by all 64 worlds — and the edge
+    /// word is only synthesized if the transmission could still change
+    /// the target, so untouched edges draw no coins at all.
+    pub fn forward_defaults(
+        &mut self,
+        graph: &UncertainGraph,
+        coins: &CoinTable,
+        block: &mut WorldBlock,
+    ) -> &[u64] {
+        debug_assert_eq!(block.node_words.len(), graph.num_nodes(), "block/graph node mismatch");
+        debug_assert_eq!(block.edge_words.len(), graph.num_edges(), "block/graph edge mismatch");
+        self.defaulted.copy_from_slice(block.node_words());
         self.queue.clear();
         for (v, &w) in self.defaulted.iter().enumerate() {
             if w != 0 {
@@ -223,7 +369,13 @@ impl BlockKernel {
             let targets = graph.out_neighbors(NodeId(v as u32));
             for (e, &t) in graph.out_edge_range(NodeId(v as u32)).zip(targets) {
                 let t = t as usize;
-                let new = lanes & edge_words[e] & !self.defaulted[t];
+                // Lanes the transmission could still infect; if none,
+                // the edge word is not even synthesized.
+                let gate = lanes & !self.defaulted[t];
+                if gate == 0 {
+                    continue;
+                }
+                let new = gate & block.edge_word(coins, e);
                 if new != 0 {
                     self.defaulted[t] |= new;
                     if !self.in_queue[t] {
@@ -249,7 +401,9 @@ impl BlockKernel {
     /// defaults in that lane's world: a reverse BFS over **in**-edges
     /// from `v` looks for a self-defaulted ancestor reachable through
     /// surviving edges, with per-lane frontiers. Returns the lane mask
-    /// of worlds where `v` defaults.
+    /// of worlds where `v` defaults. Edge words materialize lazily as
+    /// the reverse frontier first crosses them, so the block's coin
+    /// cost is `O(edges reached)`, not `O(m)`.
     ///
     /// Results are pure functions of the block's worlds, so the
     /// per-block caches filled by earlier candidates only skip work —
@@ -257,11 +411,10 @@ impl BlockKernel {
     pub fn reverse_hit_word(
         &mut self,
         graph: &UncertainGraph,
-        block: &WorldBlock,
+        coins: &CoinTable,
+        block: &mut WorldBlock,
         v: NodeId,
     ) -> u64 {
-        let node_words = block.node_words();
-        let edge_words = block.edge_words();
         let want = block.lane_mask();
         let mut hit = self.hit_known[v.index()] & want;
         // Lanes still needing a verdict; shrinks as hits are found.
@@ -284,7 +437,7 @@ impl BlockKernel {
                 }
                 // A self-defaulted (or known-defaulted) ancestor decides
                 // its lanes immediately.
-                let hits_here = active & (node_words[u] | self.hit_known[u]);
+                let hits_here = active & (block.node_word(u) | self.hit_known[u]);
                 if hits_here != 0 {
                     hit |= hits_here;
                     undecided &= !hits_here;
@@ -301,7 +454,11 @@ impl BlockKernel {
                 let sources = graph.in_neighbors(NodeId(u as u32));
                 for (&e, &s) in graph.in_edge_ids(NodeId(u as u32)).iter().zip(sources) {
                     let s = s as usize;
-                    let new = expand & edge_words[e as usize] & !self.reached[s];
+                    let gate = expand & !self.reached[s];
+                    if gate == 0 {
+                        continue;
+                    }
+                    let new = gate & block.edge_word(coins, e as usize);
                     if new != 0 {
                         if self.reached[s] == 0 {
                             self.touched.push(s as u32);
@@ -334,14 +491,15 @@ impl BlockKernel {
     pub fn reverse_hits_into(
         &mut self,
         graph: &UncertainGraph,
-        block: &WorldBlock,
+        coins: &CoinTable,
+        block: &mut WorldBlock,
         candidates: &[NodeId],
         out: &mut Vec<u64>,
     ) {
         self.begin_block();
         out.clear();
         for &v in candidates {
-            let word = self.reverse_hit_word(graph, block, v);
+            let word = self.reverse_hit_word(graph, coins, block, v);
             out.push(word);
         }
     }
@@ -377,26 +535,92 @@ mod tests {
     #[test]
     fn lanes_match_materialized_worlds_bitwise() {
         let g = chain();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
-        block.materialize(&g, 42, 128, 64);
+        block.materialize(&g, &coins, 42, 128, 64);
         assert_eq!(block.lane_mask(), u64::MAX);
         for j in [0usize, 1, 17, 63] {
             let expected = PossibleWorld::sample_indexed(&g, 42, 128 + j as u64);
-            assert_eq!(block.lane_world(j), expected, "lane {j}");
+            assert_eq!(block.lane_world(&coins, j), expected, "lane {j}");
         }
     }
 
     #[test]
     fn partial_blocks_mask_unused_lanes() {
         let g = chain();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
-        block.materialize(&g, 7, 0, 5);
+        block.materialize(&g, &coins, 7, 0, 5);
         assert_eq!(block.lane_mask(), 0b11111);
         assert_eq!(block.lane_count(), 5);
+        block.force_edges(&coins);
         // High lanes read as all-zero coins.
-        for w in block.node_words().iter().chain(block.edge_words()) {
+        for w in block.node_words().iter().chain(&block.edge_words) {
             assert_eq!(w & !0b11111, 0);
         }
+    }
+
+    #[test]
+    fn unaligned_chunks_share_their_block_words() {
+        // Samples 70..75 are lanes 6..11 of block 1: the same transposed
+        // words as a full materialization of that block, masked.
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut full = WorldBlock::new(&g);
+        full.materialize(&g, &coins, 9, 64, 64);
+        full.force_edges(&coins);
+        let mut partial = WorldBlock::new(&g);
+        partial.materialize(&g, &coins, 9, 70, 5);
+        partial.force_edges(&coins);
+        assert_eq!(partial.lane_mask(), 0b11111 << 6);
+        for v in 0..g.num_nodes() {
+            assert_eq!(partial.node_word(v), full.node_word(v) & (0b11111 << 6), "node {v}");
+        }
+        for e in 0..g.num_edges() {
+            assert_eq!(partial.edge_words[e], full.edge_words[e] & (0b11111 << 6), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn lazy_edges_match_eager_edges_bitwise() {
+        let g = from_parts(
+            &[0.4, 0.1, 0.2, 0.0, 0.3],
+            &[(0, 1, 0.6), (1, 2, 0.5), (2, 0, 0.4), (1, 3, 0.7), (3, 4, 0.9)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let coins = CoinTable::new(&g);
+        let mut eager = WorldBlock::new(&g);
+        eager.materialize(&g, &coins, 5, 0, 64);
+        eager.force_edges(&coins);
+        let mut lazy = WorldBlock::new(&g);
+        lazy.materialize(&g, &coins, 5, 0, 64);
+        for e in [3usize, 0, 4, 1, 2, 3] {
+            assert_eq!(lazy.edge_word(&coins, e), eager.edge_words[e], "edge {e}");
+        }
+    }
+
+    #[test]
+    fn usage_accounts_for_lazy_skips() {
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = WorldBlock::new(&g);
+        block.materialize(&g, &coins, 1, 0, 64);
+        let _ = block.edge_word(&coins, 0);
+        let usage = block.take_usage();
+        assert_eq!(usage.edge_words_materialized, 1);
+        assert_eq!(usage.edge_words_skipped, 1);
+        assert!(usage.words > 0);
+        assert!((usage.lazy_skip_ratio() - 0.5).abs() < 1e-12);
+        // Counters were drained.
+        assert_eq!(block.take_usage(), CoinUsage::default());
+        // Touching a fresh edge after a mid-block drain must not
+        // underflow the pending count (the edge was already credited as
+        // skipped by the drain).
+        let _ = block.edge_word(&coins, 1);
+        let after = block.take_usage();
+        assert_eq!(after.edge_words_materialized, 1);
+        assert_eq!(after.edge_words_skipped, 0);
     }
 
     #[test]
@@ -407,12 +631,13 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let mut kernel = BlockKernel::new(&g);
-        block.materialize(&g, 9, 0, 64);
-        let words = kernel.forward_defaults(&g, &block).to_vec();
+        block.materialize(&g, &coins, 9, 0, 64);
+        let words = kernel.forward_defaults(&g, &coins, &mut block).to_vec();
         for j in 0..64 {
-            let scalar = block.lane_world(j).defaulted_nodes(&g);
+            let scalar = block.lane_world(&coins, j).defaulted_nodes(&g);
             for v in 0..g.num_nodes() {
                 assert_eq!(words[v] >> j & 1 == 1, scalar[v], "lane {j}, node {v}");
             }
@@ -427,18 +652,19 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let mut kernel = BlockKernel::new(&g);
-        block.materialize(&g, 3, 64, 64);
-        let forward = kernel.forward_defaults(&g, &block).to_vec();
+        block.materialize(&g, &coins, 3, 64, 64);
+        let forward = kernel.forward_defaults(&g, &coins, &mut block).to_vec();
         let candidates: Vec<NodeId> = g.nodes().collect();
         let mut hits = Vec::new();
-        kernel.reverse_hits_into(&g, &block, &candidates, &mut hits);
+        kernel.reverse_hits_into(&g, &coins, &mut block, &candidates, &mut hits);
         assert_eq!(hits, forward, "reverse and forward must agree on every lane");
         // Repeating candidates exercises the per-block caches.
         let repeated: Vec<NodeId> = candidates.iter().chain(candidates.iter()).copied().collect();
         let mut hits2 = Vec::new();
-        kernel.reverse_hits_into(&g, &block, &repeated, &mut hits2);
+        kernel.reverse_hits_into(&g, &coins, &mut block, &repeated, &mut hits2);
         assert_eq!(&hits2[..4], &forward[..]);
         assert_eq!(&hits2[4..], &forward[..]);
     }
@@ -446,14 +672,15 @@ mod tests {
     #[test]
     fn kernel_reuse_is_stateless_across_blocks() {
         let g = chain();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let mut kernel = BlockKernel::new(&g);
-        block.materialize(&g, 1, 0, 64);
-        let first = kernel.forward_defaults(&g, &block).to_vec();
-        block.materialize(&g, 1, 64, 64);
-        let _ = kernel.forward_defaults(&g, &block);
-        block.materialize(&g, 1, 0, 64);
-        assert_eq!(kernel.forward_defaults(&g, &block), &first[..]);
+        block.materialize(&g, &coins, 1, 0, 64);
+        let first = kernel.forward_defaults(&g, &coins, &mut block).to_vec();
+        block.materialize(&g, &coins, 1, 64, 64);
+        let _ = kernel.forward_defaults(&g, &coins, &mut block);
+        block.materialize(&g, &coins, 1, 0, 64);
+        assert_eq!(kernel.forward_defaults(&g, &coins, &mut block), &first[..]);
     }
 
     #[test]
@@ -474,11 +701,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "edge_word before materialize")]
+    fn edge_word_requires_a_materialized_block() {
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = WorldBlock::new(&g);
+        let _ = block.edge_word(&coins, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "at most 64 lanes")]
     fn materialize_ids_rejects_oversized_blocks() {
         let g = chain();
+        let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let ids: Vec<u64> = (0..65).collect();
-        block.materialize_ids(&g, 1, &ids);
+        block.materialize_ids(&g, &coins, 1, &ids);
     }
 }

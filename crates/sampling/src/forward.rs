@@ -1,32 +1,34 @@
 //! Forward possible-world sampling — the inner loop of Algorithm 1.
 //!
-//! One sample: materialize the world of the `(seed, sample_id)` stream
-//! (all node self-default coins in node order, then all edge survival
-//! coins in canonical edge order — see [`crate::block`] for the
-//! contract), then BFS forward from the self-defaulted seeds through
-//! surviving edges. Nodes reached that way default.
+//! One sample: fix the world of the `(seed, sample_id)` counter-RNG
+//! stream (every coin is a stateless function of `(seed, block, item)` —
+//! see [`crate::coins`] for the contract), then BFS forward from the
+//! self-defaulted seeds through surviving edges. Nodes reached that way
+//! default.
 //!
 //! Two implementations share that semantic:
 //!
 //! * [`ForwardSampler`] — the **scalar reference**: one world at a time,
 //!   kept as the oracle the bit-parallel kernel is validated against.
+//!   Because coins are random-access, it draws edge coins lazily at BFS
+//!   touch — the scalar mirror of the block path's frontier-lazy words.
 //! * [`forward_counts_range`] — the **runtime path**: worlds are packed
-//!   64-per-[`WorldBlock`] and evaluated by the
-//!   bit-parallel [`BlockKernel`], bit-identical to
+//!   64-per-[`WorldBlock`] with transposed lane-word synthesis and
+//!   evaluated by the bit-parallel [`BlockKernel`], bit-identical to
 //!   the scalar reference for any range and seed.
 
 use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
-use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
 
 /// Reusable scalar forward sampler. Holds scratch buffers so repeated
 /// samples allocate nothing.
 ///
 /// This is the semantic reference for the block kernel, not the hot
-/// path: it materializes every coin of the world (`O(n + m)` per
-/// sample), exactly like [`PossibleWorld::sample`](crate::PossibleWorld::sample),
-/// so its results are bit-identical to the bit-parallel data path.
+/// path: it walks one world at a time, exactly like
+/// [`PossibleWorld`](crate::PossibleWorld) evaluation, so its results
+/// are bit-identical to the bit-parallel data path.
 #[derive(Debug, Clone)]
 pub struct ForwardSampler {
     // Epoch-stamped "defaulted in current sample" marks; avoids an O(n)
@@ -34,19 +36,12 @@ pub struct ForwardSampler {
     mark: Vec<u32>,
     epoch: u32,
     queue: Vec<u32>,
-    // Materialized edge survival coins of the current sample.
-    edge_live: Vec<bool>,
 }
 
 impl ForwardSampler {
     /// Creates a sampler with buffers sized for `graph`.
     pub fn new(graph: &UncertainGraph) -> Self {
-        ForwardSampler {
-            mark: vec![0; graph.num_nodes()],
-            epoch: 0,
-            queue: Vec::new(),
-            edge_live: vec![false; graph.num_edges()],
-        }
+        ForwardSampler { mark: vec![0; graph.num_nodes()], epoch: 0, queue: Vec::new() }
     }
 
     fn next_epoch(&mut self) -> u32 {
@@ -58,39 +53,39 @@ impl ForwardSampler {
         self.epoch
     }
 
-    /// Draws one possible world from `rng` (consuming its coins in the
-    /// canonical world order) and invokes `on_default` for every node
-    /// that defaults in it (seeds and infected nodes alike, each once).
+    /// Evaluates one possible world (the one fixed by `coins`) and
+    /// invokes `on_default` for every node that defaults in it (seeds
+    /// and infected nodes alike, each once).
+    ///
+    /// Edge coins are drawn lazily when the BFS first crosses the edge;
+    /// since every coin is a stateless function of `(seed, sample,
+    /// item)`, the world observed is identical to a fully materialized
+    /// one.
     pub fn sample_with(
         &mut self,
         graph: &UncertainGraph,
-        rng: &mut Xoshiro256pp,
+        table: &CoinTable,
+        coins: &ScalarCoins,
         mut on_default: impl FnMut(NodeId),
     ) {
         let epoch = self.next_epoch();
         self.queue.clear();
         // Lines 4–7 of Algorithm 1: self-default coins, node order.
         for v in graph.nodes() {
-            if rng.bernoulli(graph.self_risk(v)) {
+            if coins.node_coin(table, v.index()) {
                 self.mark[v.index()] = epoch;
                 self.queue.push(v.0);
                 on_default(v);
             }
         }
-        // Edge survival coins, canonical order — materialized up front so
-        // the stream consumption is independent of the traversal, which
-        // is what makes the scalar path bit-compatible with the 64-lane
-        // block kernel.
-        for e in graph.edges() {
-            self.edge_live[e.index()] = rng.bernoulli(graph.edge_prob(e));
-        }
-        // Lines 10–19: BFS through surviving edges.
+        // Lines 10–19: BFS through surviving edges, drawing each edge's
+        // coin at the moment the frontier reaches it.
         let mut head = 0;
         while head < self.queue.len() {
             let vq = NodeId(self.queue[head]);
             head += 1;
             for e in graph.out_edges(vq) {
-                if self.edge_live[e.id.index()] && self.mark[e.target.index()] != epoch {
+                if self.mark[e.target.index()] != epoch && coins.edge_coin(table, e.id.index()) {
                     self.mark[e.target.index()] = epoch;
                     self.queue.push(e.target.0);
                     on_default(e.target);
@@ -99,11 +94,16 @@ impl ForwardSampler {
         }
     }
 
-    /// Draws one world and returns the defaulted-node mask. Allocates;
-    /// the closure API is preferred in loops.
-    pub fn sample_mask(&mut self, graph: &UncertainGraph, rng: &mut Xoshiro256pp) -> Vec<bool> {
+    /// Evaluates one world and returns the defaulted-node mask.
+    /// Allocates; the closure API is preferred in loops.
+    pub fn sample_mask(
+        &mut self,
+        graph: &UncertainGraph,
+        table: &CoinTable,
+        coins: &ScalarCoins,
+    ) -> Vec<bool> {
         let mut mask = vec![false; graph.num_nodes()];
-        self.sample_with(graph, rng, |v| mask[v.index()] = true);
+        self.sample_with(graph, table, coins, |v| mask[v.index()] = true);
         mask
     }
 }
@@ -115,36 +115,48 @@ pub fn forward_counts(graph: &UncertainGraph, t: u64, seed: u64) -> DefaultCount
     forward_counts_range(graph, 0..t, seed)
 }
 
-/// Runs forward samples for the given range of sample ids on the block
-/// kernel: the range is split at 64-aligned block boundaries, each chunk
-/// is materialized as a [`WorldBlock`] (lane `j` of
-/// block `b` draws from the `(seed, 64·b + j)` stream) and evaluated in
-/// one bit-parallel BFS, and partial chunks accumulate through a lane
-/// mask.
-///
-/// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
-/// counts over disjoint ranges merge (commutatively) into exactly the
-/// counts of the union range — the property the engine's incremental
-/// sample cache extends prefixes with — and the result is bit-identical
-/// to the scalar [`ForwardSampler`] reference.
+/// [`forward_counts_range_with`] with a throwaway [`CoinTable`], for
+/// callers without a session cache.
 pub fn forward_counts_range(
     graph: &UncertainGraph,
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> DefaultCounts {
+    forward_counts_range_with(graph, &CoinTable::new(graph), range, seed).0
+}
+
+/// Runs forward samples for the given range of sample ids on the block
+/// kernel: the range is split at 64-aligned block boundaries, each chunk
+/// is materialized as a [`WorldBlock`] (sample `i` occupies lane
+/// `i % 64` of block `i / 64`) and evaluated in one bit-parallel BFS
+/// with frontier-lazy edge words; partial chunks accumulate through a
+/// lane mask. Returns the counts plus the materialization-cost counters.
+///
+/// Sample `i` always draws from the counter-RNG stream derived from
+/// `(seed, i)`, so counts over disjoint ranges merge (commutatively)
+/// into exactly the counts of the union range — the property the
+/// engine's incremental sample cache extends prefixes with — and the
+/// result is bit-identical to the scalar [`ForwardSampler`] reference.
+pub fn forward_counts_range_with(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(graph.num_nodes());
     let mut block = WorldBlock::new(graph);
     let mut kernel = BlockKernel::new(graph);
     for chunk in block_chunks(range) {
-        accumulate_forward_chunk(graph, chunk, seed, &mut block, &mut kernel, &mut counts);
+        accumulate_forward_chunk(graph, coins, chunk, seed, &mut block, &mut kernel, &mut counts);
     }
-    counts
+    (counts, block.take_usage())
 }
 
 /// Materializes and evaluates one ≤64-sample chunk, accumulating into
 /// `counts`. Shared with the parallel driver.
 pub(crate) fn accumulate_forward_chunk(
     graph: &UncertainGraph,
+    coins: &CoinTable,
     chunk: std::ops::Range<u64>,
     seed: u64,
     block: &mut WorldBlock,
@@ -152,8 +164,8 @@ pub(crate) fn accumulate_forward_chunk(
     counts: &mut DefaultCounts,
 ) {
     let lanes = (chunk.end - chunk.start) as usize;
-    block.materialize(graph, seed, chunk.start, lanes);
-    let words = kernel.forward_defaults(graph, block);
+    block.materialize(graph, coins, seed, chunk.start, lanes);
+    let words = kernel.forward_defaults(graph, coins, block);
     counts.record_block(words, block.lane_mask());
 }
 
@@ -170,10 +182,10 @@ mod tests {
     #[test]
     fn deterministic_nodes_behave_deterministically() {
         let g = from_parts(&[1.0, 0.0], &[(0, 1, 1.0)], DuplicateEdgePolicy::Error).unwrap();
+        let table = CoinTable::new(&g);
         let mut s = ForwardSampler::new(&g);
-        let mut rng = Xoshiro256pp::new(1);
-        for _ in 0..50 {
-            let mask = s.sample_mask(&g, &mut rng);
+        for i in 0..50u64 {
+            let mask = s.sample_mask(&g, &table, &ScalarCoins::new(1, i));
             assert_eq!(mask, vec![true, true]);
         }
     }
@@ -204,10 +216,10 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let table = CoinTable::new(&g);
         let mut s = ForwardSampler::new(&g);
-        let mut rng = Xoshiro256pp::new(5);
         let mut seen = Vec::new();
-        s.sample_with(&g, &mut rng, |v| seen.push(v.0));
+        s.sample_with(&g, &table, &ScalarCoins::new(5, 0), |v| seen.push(v.0));
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3]);
     }
@@ -216,12 +228,15 @@ mod tests {
     fn sampler_reuse_matches_fresh_sampler() {
         // Epoch recycling must not leak state between samples.
         let g = chain();
+        let table = CoinTable::new(&g);
         let mut reused = ForwardSampler::new(&g);
         for sample_id in 0..20 {
-            let mut r1 = Xoshiro256pp::for_sample(99, sample_id);
-            let mut r2 = Xoshiro256pp::for_sample(99, sample_id);
+            let coins = ScalarCoins::new(99, sample_id);
             let mut fresh = ForwardSampler::new(&g);
-            assert_eq!(reused.sample_mask(&g, &mut r1), fresh.sample_mask(&g, &mut r2));
+            assert_eq!(
+                reused.sample_mask(&g, &table, &coins),
+                fresh.sample_mask(&g, &table, &coins)
+            );
         }
     }
 
@@ -243,14 +258,14 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let table = CoinTable::new(&g);
         // Budgets straddling block boundaries, including t % 64 != 0.
         for t in [1u64, 63, 64, 65, 130, 500] {
             let blockwise = forward_counts(&g, t, 21);
             let mut sampler = ForwardSampler::new(&g);
             let mut scalar = DefaultCounts::new(3);
             for i in 0..t {
-                let mut rng = Xoshiro256pp::for_sample(21, i);
-                scalar.record_mask(&sampler.sample_mask(&g, &mut rng));
+                scalar.record_mask(&sampler.sample_mask(&g, &table, &ScalarCoins::new(21, i)));
             }
             assert_eq!(blockwise, scalar, "t = {t}");
         }
@@ -258,8 +273,9 @@ mod tests {
 
     #[test]
     fn scalar_sampler_matches_materialized_world_bitwise() {
-        // The scalar sampler and full world materialization are the SAME
-        // factorization now: identical worlds, not just equal marginals.
+        // The scalar sampler and full world materialization project the
+        // SAME stateless coins: identical worlds, not just equal
+        // marginals — even though the sampler draws edge coins lazily.
         use crate::world::PossibleWorld;
         let g = from_parts(
             &[0.3, 0.2, 0.1],
@@ -267,11 +283,11 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let table = CoinTable::new(&g);
         let mut sampler = ForwardSampler::new(&g);
         for i in 0..200u64 {
-            let mut rng = Xoshiro256pp::for_sample(22, i);
-            let mask = sampler.sample_mask(&g, &mut rng);
-            let world = PossibleWorld::sample_indexed(&g, 22, i);
+            let mask = sampler.sample_mask(&g, &table, &ScalarCoins::new(22, i));
+            let world = PossibleWorld::sample_with_table(&g, &table, 22, i);
             assert_eq!(mask, world.defaulted_nodes(&g), "sample {i}");
         }
     }
@@ -284,5 +300,22 @@ mod tests {
         let mut parts = forward_counts_range(&g, 0..97, 31);
         parts.merge(&forward_counts_range(&g, 97..300, 31));
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn usage_reports_lazy_skips_per_block() {
+        // Chain with an unreachable tail edge: 0 → 1 fires sometimes,
+        // 1 → 2 only when 1 defaults; with ps(1) = ps(2) = 0 and a dead
+        // first edge, the second edge is often never touched.
+        let g =
+            from_parts(&[0.0, 0.0, 0.0], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
+                .unwrap();
+        let table = CoinTable::new(&g);
+        let (counts, usage) = forward_counts_range_with(&g, &table, 0..128, 9);
+        assert_eq!(counts.samples(), 128);
+        // No seeds ever default, so no edge is ever touched.
+        assert_eq!(usage.edge_words_materialized, 0);
+        assert_eq!(usage.edge_words_skipped, 4, "2 edges × 2 blocks");
+        assert_eq!(usage.lazy_skip_ratio(), 1.0);
     }
 }

@@ -1,18 +1,23 @@
 //! # vulnds-sampling — possible-world samplers for uncertain graphs
 //!
-//! Implements the sampling substrate of the VulnDS system. Since the
-//! world-block refactor, every runtime path is **bit-parallel**: worlds
-//! are packed 64-per-block as `u64` lane masks and one BFS step advances
-//! all 64 worlds with bitwise AND/OR — see [`block`] for the data path
-//! and the `(seed, 64·b + j)` stream contract.
+//! Implements the sampling substrate of the VulnDS system. Every
+//! runtime path is **bit-parallel end to end**: worlds are packed
+//! 64-per-block as `u64` lane masks, one BFS step advances all 64
+//! worlds with bitwise AND/OR, and — since the counter-RNG refactor —
+//! the lane masks themselves are synthesized transposed from a
+//! stateless `(seed, block, item, level)` generator, with edge words
+//! materialized lazily when a traversal first touches them. See
+//! [`coins`] for the generator and [`block`] for the data path.
 //!
+//! * [`CoinTable`] / [`coins`] — per-graph dyadic thresholds plus the
+//!   stateless bit-sliced Bernoulli synthesis.
 //! * [`WorldBlock`] / [`BlockKernel`] — the 64-lane possible-world
 //!   kernel behind [`forward_counts`], [`reverse_counts`], and the
 //!   parallel drivers.
 //! * [`ForwardSampler`] — scalar reference for the inner loop of the
-//!   paper's Algorithm 1 (one materialized world at a time).
+//!   paper's Algorithm 1 (one world at a time).
 //! * [`ReverseSampler`] — scalar reference for Algorithm 5: per-candidate
-//!   reverse BFS over a materialized world, with result caches.
+//!   reverse BFS with result caches and lazy coins.
 //! * [`PossibleWorld`] / [`WorldEnumerator`] — fully-materialized worlds,
 //!   the semantic oracle everything above is validated against
 //!   (bit-identical, not just in distribution).
@@ -34,6 +39,7 @@
 
 pub mod antithetic;
 pub mod block;
+pub mod coins;
 pub mod counts;
 pub mod forward;
 pub mod parallel;
@@ -43,12 +49,17 @@ pub mod world;
 
 pub use antithetic::antithetic_forward_counts;
 pub use block::{block_chunks, lane_mask, BlockKernel, WorldBlock, LANES};
+pub use coins::{CoinTable, CoinUsage, ScalarCoins, COIN_PRECISION};
 pub use counts::DefaultCounts;
-pub use forward::{forward_counts, forward_counts_range, ForwardSampler};
-pub use parallel::{
-    parallel_forward_counts, parallel_forward_counts_range, parallel_reverse_counts,
-    parallel_reverse_counts_range,
+pub use forward::{
+    forward_counts, forward_counts_range, forward_counts_range_with, ForwardSampler,
 };
-pub use reverse::{reverse_counts, reverse_counts_range, ReverseSampler};
+pub use parallel::{
+    parallel_forward_counts, parallel_forward_counts_range, parallel_forward_counts_range_with,
+    parallel_reverse_counts, parallel_reverse_counts_range, parallel_reverse_counts_range_with,
+};
+pub use reverse::{
+    reverse_counts, reverse_counts_range, reverse_counts_range_with, ReverseSampler,
+};
 pub use rng::Xoshiro256pp;
 pub use world::{PossibleWorld, WorldEnumerator};

@@ -3,11 +3,14 @@
 //! Work is partitioned by **world block** (64-sample aligned chunks, see
 //! [`crate::block`]), not by individual sample: thread `tid` owns chunks
 //! `tid, tid + T, tid + 2T, …` of the range's block decomposition. Each
-//! chunk's counts are a pure function of `(seed, chunk)` and partial
-//! counts merge with commutative addition, so a parallel run with any
-//! thread count produces **bit-identical counts** to the sequential run.
+//! chunk's counts are a pure function of `(seed, chunk)` — the coin
+//! generator is a stateless counter RNG, so threads share one read-only
+//! [`CoinTable`] and never coordinate — and partial counts merge with
+//! commutative addition, so a parallel run with any thread count
+//! produces **bit-identical counts** to the sequential run.
 
 use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::coins::{CoinTable, CoinUsage};
 use crate::counts::DefaultCounts;
 use ugraph::{NodeId, UncertainGraph};
 
@@ -32,20 +35,34 @@ pub fn parallel_forward_counts(
     parallel_forward_counts_range(graph, 0..t, seed, threads)
 }
 
-/// Parallel version of [`crate::forward::forward_counts_range`]:
-/// bit-identical to the sequential range run for any thread count.
+/// [`parallel_forward_counts_range_with`] with a throwaway
+/// [`CoinTable`], for callers without a session cache.
 pub fn parallel_forward_counts_range(
     graph: &UncertainGraph,
     range: std::ops::Range<u64>,
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
+    parallel_forward_counts_range_with(graph, &CoinTable::new(graph), range, seed, threads).0
+}
+
+/// Parallel version of [`crate::forward::forward_counts_range_with`]:
+/// bit-identical to the sequential range run for any thread count.
+/// Returns the counts plus the merged materialization counters of every
+/// worker.
+pub fn parallel_forward_counts_range_with(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+) -> (DefaultCounts, CoinUsage) {
     let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
     let threads = effective_threads(threads, chunks.len() as u64);
     if threads == 1 {
-        return crate::forward::forward_counts_range(graph, range, seed);
+        return crate::forward::forward_counts_range_with(graph, coins, range, seed);
     }
-    forward_partitioned(graph, &chunks, seed, threads)
+    forward_partitioned(graph, coins, &chunks, seed, threads)
 }
 
 /// The strided multi-thread forward runner, taking `threads` as-is.
@@ -54,10 +71,11 @@ pub fn parallel_forward_counts_range(
 /// would clamp to the sequential path).
 fn forward_partitioned(
     graph: &UncertainGraph,
+    coins: &CoinTable,
     chunks: &[std::ops::Range<u64>],
     seed: u64,
     threads: usize,
-) -> DefaultCounts {
+) -> (DefaultCounts, CoinUsage) {
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
@@ -68,6 +86,7 @@ fn forward_partitioned(
                     for chunk in chunks.iter().skip(tid).step_by(threads) {
                         crate::forward::accumulate_forward_chunk(
                             graph,
+                            coins,
                             chunk.clone(),
                             seed,
                             &mut block,
@@ -75,7 +94,7 @@ fn forward_partitioned(
                             &mut counts,
                         );
                     }
-                    counts
+                    (counts, block.take_usage())
                 })
             })
             .collect();
@@ -83,10 +102,12 @@ fn forward_partitioned(
     });
 
     let mut total = DefaultCounts::new(graph.num_nodes());
-    for p in &partials {
+    let mut usage = CoinUsage::default();
+    for (p, u) in &partials {
         total.merge(p);
+        usage.merge(u);
     }
-    total
+    (total, usage)
 }
 
 /// Parallel version of [`crate::reverse::reverse_counts`].
@@ -100,8 +121,8 @@ pub fn parallel_reverse_counts(
     parallel_reverse_counts_range(graph, candidates, 0..t, seed, threads)
 }
 
-/// Parallel version of [`crate::reverse::reverse_counts_range`]:
-/// bit-identical to the sequential range run for any thread count.
+/// [`parallel_reverse_counts_range_with`] with a throwaway
+/// [`CoinTable`], for callers without a session cache.
 pub fn parallel_reverse_counts_range(
     graph: &UncertainGraph,
     candidates: &[NodeId],
@@ -109,23 +130,45 @@ pub fn parallel_reverse_counts_range(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
+    parallel_reverse_counts_range_with(
+        graph,
+        &CoinTable::new(graph),
+        candidates,
+        range,
+        seed,
+        threads,
+    )
+    .0
+}
+
+/// Parallel version of [`crate::reverse::reverse_counts_range_with`]:
+/// bit-identical to the sequential range run for any thread count.
+pub fn parallel_reverse_counts_range_with(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+) -> (DefaultCounts, CoinUsage) {
     let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
     let threads = effective_threads(threads, chunks.len() as u64);
     if threads == 1 {
-        return crate::reverse::reverse_counts_range(graph, candidates, range, seed);
+        return crate::reverse::reverse_counts_range_with(graph, coins, candidates, range, seed);
     }
-    reverse_partitioned(graph, candidates, &chunks, seed, threads)
+    reverse_partitioned(graph, coins, candidates, &chunks, seed, threads)
 }
 
 /// The strided multi-thread reverse runner, taking `threads` as-is (see
 /// [`forward_partitioned`] for why it is split out).
 fn reverse_partitioned(
     graph: &UncertainGraph,
+    coins: &CoinTable,
     candidates: &[NodeId],
     chunks: &[std::ops::Range<u64>],
     seed: u64,
     threads: usize,
-) -> DefaultCounts {
+) -> (DefaultCounts, CoinUsage) {
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
@@ -137,6 +180,7 @@ fn reverse_partitioned(
                     for chunk in chunks.iter().skip(tid).step_by(threads) {
                         crate::reverse::accumulate_reverse_chunk(
                             graph,
+                            coins,
                             candidates,
                             chunk.clone(),
                             seed,
@@ -146,7 +190,7 @@ fn reverse_partitioned(
                             &mut counts,
                         );
                     }
-                    counts
+                    (counts, block.take_usage())
                 })
             })
             .collect();
@@ -154,10 +198,12 @@ fn reverse_partitioned(
     });
 
     let mut total = DefaultCounts::new(candidates.len());
-    for p in &partials {
+    let mut usage = CoinUsage::default();
+    for (p, u) in &partials {
         total.merge(p);
+        usage.merge(u);
     }
-    total
+    (total, usage)
 }
 
 #[cfg(test)]
@@ -202,16 +248,25 @@ mod tests {
         // Drive the strided runners directly so the threaded merge path
         // is exercised even where available_parallelism() == 1.
         let g = graph();
+        let coins = CoinTable::new(&g);
         let chunks: Vec<std::ops::Range<u64>> = block_chunks(37..411).collect();
         let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
         for threads in [2, 3, 5] {
-            assert_eq!(forward_partitioned(&g, &chunks, 9, threads), seq, "threads = {threads}");
+            let (par, usage) = forward_partitioned(&g, &coins, &chunks, 9, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+            // Lazy accounting covers every block exactly once regardless
+            // of the partition.
+            assert_eq!(
+                usage.edge_words_materialized + usage.edge_words_skipped,
+                chunks.len() as u64 * g.num_edges() as u64,
+                "threads = {threads}"
+            );
         }
         let cands: Vec<NodeId> = g.nodes().collect();
         let rseq = crate::reverse::reverse_counts_range(&g, &cands, 37..411, 9);
         for threads in [2, 4] {
             assert_eq!(
-                reverse_partitioned(&g, &cands, &chunks, 9, threads),
+                reverse_partitioned(&g, &coins, &cands, &chunks, 9, threads).0,
                 rseq,
                 "threads = {threads}"
             );

@@ -5,40 +5,37 @@
 //! possible world, by BFS over **in**-edges from `v` looking for a
 //! self-defaulted ancestor reachable through surviving edges.
 //!
-//! Since the world-block refactor, a sample's world is the *fully
-//! materialized* world of the `(seed, sample_id)` stream (see
-//! [`crate::block`] for the contract): `h_v` is a pure function of that
-//! world, so reverse sampling over any candidate set is **bit-identical**
-//! to forward sampling restricted to those candidates — a property the
-//! cross-validation tests assert. Two implementations share it:
+//! Under the counter-RNG contract (see [`crate::coins`]) a sample's
+//! world is a *stateless function* of `(seed, sample_id)`: `h_v` is a
+//! pure function of that world, so reverse sampling over any candidate
+//! set is **bit-identical** to forward sampling restricted to those
+//! candidates — a property the cross-validation tests assert. Two
+//! implementations share it:
 //!
 //! * [`ReverseSampler`] — the **scalar reference**: one world at a time,
 //!   with the paper's positive/negative result caches (epoch-stamped
 //!   dense arrays; the negative cache is the ablation toggle from
-//!   DESIGN.md).
+//!   DESIGN.md). Coins are drawn lazily where the reverse BFS touches
+//!   them — the paper's original lazy-coin regime, restored by the
+//!   stateless generator.
 //! * [`reverse_counts_range`] — the **runtime path** on the bit-parallel
-//!   [`BlockKernel`]: one reverse BFS per candidate
-//!   advances all 64 worlds of a block at once.
-//!
-//! Trade-off: the materialized-world contract prices every world at
-//! `Θ(n + m)` coins even for tiny candidate sets, where the paper's lazy
-//! coins touched only the candidates' reverse BFS trees. The traversal
-//! (which dominated) is amortized 64×, but the coin floor is new —
-//! `benches/sampling.rs` tracks this regime as
-//! `reverse_small_candidate_set` in `BENCH_sampling.json`.
+//!   [`BlockKernel`]: one reverse BFS per candidate advances all 64
+//!   worlds of a block at once, and an edge's 64-lane word is
+//!   synthesized only when some candidate's frontier first crosses it —
+//!   `O(edges reached)` coins per block, not `O(m)`.
 
 use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
-use crate::rng::Xoshiro256pp;
 use ugraph::{NodeId, UncertainGraph};
 
-/// Reusable scalar reverse sampler over materialized worlds — the
-/// semantic reference for the block kernel's reverse pass.
+/// Reusable scalar reverse sampler — the semantic reference for the
+/// block kernel's reverse pass. Coins are projected lazily from the
+/// per-sample counter streams.
 #[derive(Debug, Clone)]
 pub struct ReverseSampler {
-    // The current sample's world: fully materialized coins.
-    node_self: Vec<bool>,
-    edge_surv: Vec<bool>,
+    // The current sample's coin view.
+    coins: Option<ScalarCoins>,
     // Per-sample positive cache: nodes known to default in this sample.
     hit_epoch: Vec<u32>,
     // Per-sample negative cache: nodes known NOT to default (only filled
@@ -57,8 +54,7 @@ impl ReverseSampler {
     /// result caching enabled.
     pub fn new(graph: &UncertainGraph) -> Self {
         ReverseSampler {
-            node_self: vec![false; graph.num_nodes()],
-            edge_surv: vec![false; graph.num_edges()],
+            coins: None,
             hit_epoch: vec![0; graph.num_nodes()],
             safe_epoch: vec![0; graph.num_nodes()],
             visit_stamp: vec![0; graph.num_nodes()],
@@ -71,36 +67,30 @@ impl ReverseSampler {
 
     /// Disables the negative-result cache (exactly the paper's Algorithm
     /// 5). Kept for the ablation benchmark; results are identical either
-    /// way — `h_v` is a pure function of the materialized world.
+    /// way — `h_v` is a pure function of the sample's world.
     pub fn without_negative_cache(mut self) -> Self {
         self.cache_negative = false;
         self
     }
 
-    /// Starts a new possible world: materializes every coin from `rng`
-    /// in the canonical world order (all node self-default coins in node
-    /// order, then all edge survival coins in canonical edge order) and
-    /// forgets the per-sample result caches.
-    pub fn begin_sample(&mut self, graph: &UncertainGraph, rng: &mut Xoshiro256pp) {
+    /// Starts a new possible world — the one fixed by `coins` — and
+    /// forgets the per-sample result caches. No coin is drawn until a
+    /// candidate's reverse BFS touches it.
+    pub fn begin_sample(&mut self, coins: ScalarCoins) {
         if self.epoch == u32::MAX {
             self.hit_epoch.fill(0);
             self.safe_epoch.fill(0);
             self.epoch = 0;
         }
         self.epoch += 1;
-        for (v, coin) in self.node_self.iter_mut().enumerate() {
-            *coin = rng.bernoulli(graph.self_risk(NodeId(v as u32)));
-        }
-        for (e, coin) in self.edge_surv.iter_mut().enumerate() {
-            *coin = rng.bernoulli(graph.edge_prob(ugraph::EdgeId(e as u32)));
-        }
+        self.coins = Some(coins);
     }
 
     /// Decides whether candidate `v` defaults in the current sample
     /// (`h_v` of Algorithm 5). Must be called between
     /// [`begin_sample`](Self::begin_sample) calls.
-    pub fn is_influenced(&mut self, graph: &UncertainGraph, v: NodeId) -> bool {
-        assert!(self.epoch > 0, "call begin_sample before is_influenced");
+    pub fn is_influenced(&mut self, graph: &UncertainGraph, table: &CoinTable, v: NodeId) -> bool {
+        let coins = self.coins.expect("call begin_sample before is_influenced");
         if self.hit_epoch[v.index()] == self.epoch {
             return true;
         }
@@ -133,13 +123,14 @@ impl ReverseSampler {
                 // contain a defaulted node either — do not expand.
                 continue;
             }
-            if self.node_self[u] {
+            if coins.node_coin(table, u) {
                 self.hit_epoch[u] = self.epoch;
                 found = true;
                 break 'bfs;
             }
             for edge in graph.in_edges(NodeId(u as u32)) {
-                if self.edge_surv[edge.id.index()] && self.visit_stamp[edge.source.index()] != stamp
+                if self.visit_stamp[edge.source.index()] != stamp
+                    && coins.edge_coin(table, edge.id.index())
                 {
                     self.visit_stamp[edge.source.index()] = stamp;
                     self.queue.push(edge.source.0);
@@ -163,19 +154,20 @@ impl ReverseSampler {
     }
 
     /// Runs one full sample over a candidate list, writing `h_v` into
-    /// `out` (resized to `candidates.len()`). Consumes one world's coins
-    /// from `rng`.
+    /// `out` (resized to `candidates.len()`). The sample is the world of
+    /// `coins`.
     pub fn sample_candidates(
         &mut self,
         graph: &UncertainGraph,
+        table: &CoinTable,
         candidates: &[NodeId],
-        rng: &mut Xoshiro256pp,
+        coins: ScalarCoins,
         out: &mut Vec<bool>,
     ) {
-        self.begin_sample(graph, rng);
+        self.begin_sample(coins);
         out.clear();
         for &v in candidates {
-            let hit = self.is_influenced(graph, v);
+            let hit = self.is_influenced(graph, table, v);
             out.push(hit);
         }
     }
@@ -192,23 +184,36 @@ pub fn reverse_counts(
     reverse_counts_range(graph, candidates, 0..t, seed)
 }
 
-/// Runs reverse samples for the given range of sample ids on the block
-/// kernel: 64 worlds per [`WorldBlock`], one
-/// bit-parallel reverse BFS per candidate per block.
-///
-/// Sample `i` always uses the RNG stream derived from `(seed, i)`, so
-/// counts over disjoint ranges merge into exactly the counts of the
-/// union range — the property the engine's incremental sample cache
-/// extends prefixes with — and the result is bit-identical both to the
-/// scalar [`ReverseSampler`] reference and to
-/// [`forward_counts_range`](crate::forward_counts_range) restricted to
-/// `candidates`.
+/// [`reverse_counts_range_with`] with a throwaway [`CoinTable`], for
+/// callers without a session cache.
 pub fn reverse_counts_range(
     graph: &UncertainGraph,
     candidates: &[NodeId],
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> DefaultCounts {
+    reverse_counts_range_with(graph, &CoinTable::new(graph), candidates, range, seed).0
+}
+
+/// Runs reverse samples for the given range of sample ids on the block
+/// kernel: 64 worlds per [`WorldBlock`], one bit-parallel reverse BFS
+/// per candidate per block, frontier-lazy edge words. Returns the
+/// counts plus the materialization-cost counters.
+///
+/// Sample `i` always draws from the counter-RNG stream derived from
+/// `(seed, i)`, so counts over disjoint ranges merge into exactly the
+/// counts of the union range — the property the engine's incremental
+/// sample cache extends prefixes with — and the result is bit-identical
+/// both to the scalar [`ReverseSampler`] reference and to
+/// [`forward_counts_range`](crate::forward_counts_range) restricted to
+/// `candidates`.
+pub fn reverse_counts_range_with(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(candidates.len());
     let mut block = WorldBlock::new(graph);
     let mut kernel = BlockKernel::new(graph);
@@ -216,6 +221,7 @@ pub fn reverse_counts_range(
     for chunk in block_chunks(range) {
         accumulate_reverse_chunk(
             graph,
+            coins,
             candidates,
             chunk,
             seed,
@@ -225,7 +231,7 @@ pub fn reverse_counts_range(
             &mut counts,
         );
     }
-    counts
+    (counts, block.take_usage())
 }
 
 /// Materializes and evaluates one ≤64-sample chunk over `candidates`,
@@ -233,6 +239,7 @@ pub fn reverse_counts_range(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn accumulate_reverse_chunk(
     graph: &UncertainGraph,
+    coins: &CoinTable,
     candidates: &[NodeId],
     chunk: std::ops::Range<u64>,
     seed: u64,
@@ -242,8 +249,8 @@ pub(crate) fn accumulate_reverse_chunk(
     counts: &mut DefaultCounts,
 ) {
     let lanes = (chunk.end - chunk.start) as usize;
-    block.materialize(graph, seed, chunk.start, lanes);
-    kernel.reverse_hits_into(graph, block, candidates, hits);
+    block.materialize(graph, coins, seed, chunk.start, lanes);
+    kernel.reverse_hits_into(graph, coins, block, candidates, hits);
     counts.record_block(hits, block.lane_mask());
 }
 
@@ -281,8 +288,8 @@ mod tests {
     #[test]
     fn bit_identical_to_forward_sampler() {
         // Same seed, same worlds, same verdicts — not just equal
-        // marginals: the world contract makes reverse a projection of
-        // forward.
+        // marginals: the stateless-coin contract makes reverse a
+        // projection of forward.
         let g = chain();
         for t in [1u64, 63, 64, 200] {
             let fwd = forward_counts(&g, t, 5);
@@ -311,6 +318,7 @@ mod tests {
             DuplicateEdgePolicy::Error,
         )
         .unwrap();
+        let table = CoinTable::new(&g);
         let cands = [NodeId(3), NodeId(1)];
         for variant in [true, false] {
             let mut sampler = if variant {
@@ -321,8 +329,8 @@ mod tests {
             let mut counts = DefaultCounts::new(cands.len());
             let mut buf = Vec::new();
             for sample_id in 0..300 {
-                let mut rng = Xoshiro256pp::for_sample(11, sample_id);
-                sampler.sample_candidates(&g, &cands, &mut rng, &mut buf);
+                let coins = ScalarCoins::new(11, sample_id);
+                sampler.sample_candidates(&g, &table, &cands, coins, &mut buf);
                 counts.begin_sample();
                 for (i, &h) in buf.iter().enumerate() {
                     if h {
@@ -342,11 +350,12 @@ mod tests {
         let g =
             from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 1.0), (0, 2, 1.0)], DuplicateEdgePolicy::Error)
                 .unwrap();
+        let table = CoinTable::new(&g);
         let mut sampler = ReverseSampler::new(&g);
         let mut buf = Vec::new();
         for sample_id in 0..500 {
-            let mut rng = Xoshiro256pp::for_sample(13, sample_id);
-            sampler.sample_candidates(&g, &[NodeId(1), NodeId(2)], &mut rng, &mut buf);
+            let coins = ScalarCoins::new(13, sample_id);
+            sampler.sample_candidates(&g, &table, &[NodeId(1), NodeId(2)], coins, &mut buf);
             assert_eq!(buf[0], buf[1], "sample {sample_id}: inconsistent shared coin");
         }
     }
@@ -354,9 +363,10 @@ mod tests {
     #[test]
     fn requires_begin_sample() {
         let g = chain();
+        let table = CoinTable::new(&g);
         let mut sampler = ReverseSampler::new(&g);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sampler.is_influenced(&g, NodeId(0))
+            sampler.is_influenced(&g, &table, NodeId(0))
         }));
         assert!(result.is_err());
     }
@@ -379,5 +389,24 @@ mod tests {
         let counts = reverse_counts(&g, &[NodeId(2)], 20_000, 3);
         assert_eq!(counts.len(), 1);
         assert!((counts.estimate(0) - 0.125).abs() < 0.02);
+    }
+
+    #[test]
+    fn small_candidate_sets_skip_most_edge_words() {
+        // A long chain with a candidate at its head: the reverse BFS
+        // only walks the candidate's ancestor tree, so the lazy path
+        // must leave the downstream edges unmaterialized.
+        let n = 50usize;
+        let risks = vec![0.2; n];
+        let edges: Vec<(u32, u32, f64)> = (0..n as u32 - 1).map(|v| (v, v + 1, 0.5)).collect();
+        let g = from_parts(&risks, &edges, DuplicateEdgePolicy::Error).unwrap();
+        let table = CoinTable::new(&g);
+        let (_, usage) = reverse_counts_range_with(&g, &table, &[NodeId(1)], 0..128, 17);
+        assert!(
+            usage.edge_words_materialized <= 2 * 2,
+            "candidate 1 has one in-edge per world-block, got {}",
+            usage.edge_words_materialized
+        );
+        assert!(usage.lazy_skip_ratio() > 0.9, "ratio {}", usage.lazy_skip_ratio());
     }
 }

@@ -1,9 +1,11 @@
-//! Deterministic random number generation for possible-world sampling.
+//! Deterministic sequential random number generation.
 //!
-//! Every sample `i` of a run gets its own RNG stream derived from
-//! `(seed, i)` via SplitMix64, so results are bit-identical whether samples
-//! are drawn sequentially or in parallel, and independent of how many coin
-//! flips earlier samples consumed.
+//! Since the counter-RNG refactor the possible-world coins come from the
+//! stateless generator in [`crate::coins`]; this sequential PRNG remains
+//! the workhorse for everything that *wants* a stream — synthetic
+//! dataset generation, workload drivers, label noise, and test
+//! utilities. [`Xoshiro256pp::for_sample`] still derives independent
+//! per-index streams via SplitMix64 for those callers.
 
 /// Xoshiro256++ PRNG (Blackman & Vigna). Small state, excellent statistical
 /// quality, and ~1 ns per 64-bit output — the sampler's hot loop is coin

@@ -2,13 +2,13 @@
 //!
 //! A [`PossibleWorld`] fixes the outcome of every node's self-default coin
 //! and every edge's survival coin. It is the *semantic* reference object:
-//! the samplers in [`crate::forward`] and [`crate::reverse`] never
-//! materialize worlds (that would be `O(n + m)` per sample even on sparse
-//! traversals), but their results must agree with evaluating the
-//! materialized world — which is exactly what the cross-validation tests
-//! at the bottom of this crate check.
+//! every coin of the world with id `i` is the scalar projection of the
+//! stateless counter-RNG synthesis described in [`crate::coins`], so the
+//! oracle is bit-identical — coin for coin — to what the bit-parallel
+//! block kernels (lazy or eager) observe for the same `(seed, i)`. The
+//! cross-validation suites assert exactly that.
 
-use crate::rng::Xoshiro256pp;
+use crate::coins::{CoinTable, ScalarCoins};
 use ugraph::{NodeId, UncertainGraph};
 
 /// One possible world of an uncertain graph: concrete outcomes for all
@@ -22,17 +22,26 @@ pub struct PossibleWorld {
 }
 
 impl PossibleWorld {
-    /// Samples a world with an explicit RNG.
-    pub fn sample(graph: &UncertainGraph, rng: &mut Xoshiro256pp) -> Self {
-        let self_default = graph.nodes().map(|v| rng.bernoulli(graph.self_risk(v))).collect();
-        let edge_live = graph.edges().map(|e| rng.bernoulli(graph.edge_prob(e))).collect();
+    /// Samples the world with id `sample_id` against a prebuilt
+    /// [`CoinTable`]: every coin is the scalar projection of the
+    /// counter-RNG stream for `(seed, sample_id)`.
+    pub fn sample_with_table(
+        graph: &UncertainGraph,
+        table: &CoinTable,
+        seed: u64,
+        sample_id: u64,
+    ) -> Self {
+        let coins = ScalarCoins::new(seed, sample_id);
+        let self_default = graph.nodes().map(|v| coins.node_coin(table, v.index())).collect();
+        let edge_live = graph.edges().map(|e| coins.edge_coin(table, e.index())).collect();
         PossibleWorld { self_default, edge_live }
     }
 
-    /// Samples the world with id `sample_id` of the run seeded by `seed`.
+    /// Samples the world with id `sample_id` of the run seeded by `seed`
+    /// (builds a throwaway [`CoinTable`]; loops should prefer
+    /// [`sample_with_table`](Self::sample_with_table)).
     pub fn sample_indexed(graph: &UncertainGraph, seed: u64, sample_id: u64) -> Self {
-        let mut rng = Xoshiro256pp::for_sample(seed, sample_id);
-        PossibleWorld::sample(graph, &mut rng)
+        PossibleWorld::sample_with_table(graph, &CoinTable::new(graph), seed, sample_id)
     }
 
     /// Evaluates which nodes default in this world: a node defaults iff it

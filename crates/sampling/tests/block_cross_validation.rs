@@ -3,19 +3,20 @@
 //! builds offline with no external dependencies).
 //!
 //! The contract under test: sample `i` of a run seeded `s` IS the world
-//! `PossibleWorld::sample_indexed(g, s, i)` (lane `j` of block `b` draws
-//! from the `(seed, 64·b + j)` stream), and every counting API is a pure
-//! function of those worlds — so `DefaultCounts` must be **bit-identical**
-//! across the block kernel, the scalar samplers, and the parallel
-//! drivers, for any seed, any thread count, and any budget including
-//! `t % 64 != 0`.
+//! `PossibleWorld::sample_indexed(g, s, i)` — every coin a stateless
+//! counter-RNG function of `(s, i / 64, item)` projected at lane
+//! `i % 64` — and every counting API is a pure function of those worlds.
+//! So `DefaultCounts` must be **bit-identical** across the block kernel
+//! (lazy or eager edge materialization), the scalar samplers, and the
+//! parallel drivers, for any seed, any thread count, and any budget
+//! including `t % 64 != 0`.
 
 use ugraph::testkit::{check, random_graph, TestRng};
 use ugraph::{NodeId, UncertainGraph};
 use vulnds_sampling::{
     forward_counts, forward_counts_range, parallel_forward_counts_range,
-    parallel_reverse_counts_range, reverse_counts, reverse_counts_range, BlockKernel,
-    DefaultCounts, ForwardSampler, PossibleWorld, ReverseSampler, WorldBlock, Xoshiro256pp, LANES,
+    parallel_reverse_counts_range, reverse_counts, reverse_counts_range, BlockKernel, CoinTable,
+    DefaultCounts, ForwardSampler, PossibleWorld, ReverseSampler, ScalarCoins, WorldBlock, LANES,
 };
 
 fn arb_graph(rng: &mut TestRng) -> UncertainGraph {
@@ -34,9 +35,10 @@ fn oracle_forward_counts(
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> DefaultCounts {
+    let table = CoinTable::new(g);
     let mut counts = DefaultCounts::new(g.num_nodes());
     for i in range {
-        let world = PossibleWorld::sample_indexed(g, seed, i);
+        let world = PossibleWorld::sample_with_table(g, &table, seed, i);
         counts.record_mask(&world.defaulted_nodes(g));
     }
     counts
@@ -49,9 +51,10 @@ fn oracle_reverse_counts(
     t: u64,
     seed: u64,
 ) -> DefaultCounts {
+    let table = CoinTable::new(g);
     let mut counts = DefaultCounts::new(candidates.len());
     for i in 0..t {
-        let world = PossibleWorld::sample_indexed(g, seed, i);
+        let world = PossibleWorld::sample_with_table(g, &table, seed, i);
         let defaulted = world.defaulted_nodes(g);
         let mask: Vec<bool> = candidates.iter().map(|&v| defaulted[v.index()]).collect();
         counts.record_mask(&mask);
@@ -72,12 +75,12 @@ fn forward_block_equals_oracle_and_scalar_and_parallel() {
 
         assert_eq!(blockwise, oracle_forward_counts(&g, 0..t, seed), "oracle, t = {t}");
 
+        let table = CoinTable::new(&g);
         let mut sampler = ForwardSampler::new(&g);
         let mut scalar = DefaultCounts::new(g.num_nodes());
         for i in 0..t {
-            let mut r = Xoshiro256pp::for_sample(seed, i);
             scalar.begin_sample();
-            sampler.sample_with(&g, &mut r, |v| scalar.bump(v.index()));
+            sampler.sample_with(&g, &table, &ScalarCoins::new(seed, i), |v| scalar.bump(v.index()));
         }
         assert_eq!(blockwise, scalar, "scalar sampler, t = {t}");
 
@@ -112,6 +115,7 @@ fn reverse_block_equals_oracle_and_scalar_and_parallel() {
         let blockwise = reverse_counts(&g, &candidates, t, seed);
         assert_eq!(blockwise, oracle_reverse_counts(&g, &candidates, t, seed), "oracle, t = {t}");
 
+        let table = CoinTable::new(&g);
         for negative_cache in [true, false] {
             let mut sampler = if negative_cache {
                 ReverseSampler::new(&g)
@@ -121,8 +125,13 @@ fn reverse_block_equals_oracle_and_scalar_and_parallel() {
             let mut scalar = DefaultCounts::new(candidates.len());
             let mut buf = Vec::new();
             for i in 0..t {
-                let mut r = Xoshiro256pp::for_sample(seed, i);
-                sampler.sample_candidates(&g, &candidates, &mut r, &mut buf);
+                sampler.sample_candidates(
+                    &g,
+                    &table,
+                    &candidates,
+                    ScalarCoins::new(seed, i),
+                    &mut buf,
+                );
                 scalar.begin_sample();
                 for (j, &hit) in buf.iter().enumerate() {
                     if hit {
@@ -145,7 +154,9 @@ fn reverse_block_equals_oracle_and_scalar_and_parallel() {
 
 /// Range decomposition is exact: counts over `a..b` plus `b..c` merge
 /// into the counts over `a..c` for arbitrary (unaligned) split points —
-/// the prefix-extension property the engine cache relies on.
+/// the prefix-extension property the engine cache relies on. Unaligned
+/// chunks occupy the *high* lanes of their home block, so this also
+/// exercises partial lane masks that do not start at lane 0.
 #[test]
 fn unaligned_range_splits_merge_exactly() {
     check(24, |rng| {
@@ -175,12 +186,14 @@ fn scattered_id_blocks_match_oracle() {
         let seed = rng.next_bounded(1 << 20);
         let lanes = rng.range_usize(1, LANES);
         let ids: Vec<u64> = (0..lanes).map(|_| rng.next_bounded(10_000)).collect();
+        let table = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let mut kernel = BlockKernel::new(&g);
-        block.materialize_ids(&g, seed, &ids);
-        let words = kernel.forward_defaults(&g, &block).to_vec();
+        block.materialize_ids(&g, &table, seed, &ids);
+        let words = kernel.forward_defaults(&g, &table, &mut block).to_vec();
         for (lane, &id) in ids.iter().enumerate() {
-            let defaulted = PossibleWorld::sample_indexed(&g, seed, id).defaulted_nodes(&g);
+            let defaulted =
+                PossibleWorld::sample_with_table(&g, &table, seed, id).defaulted_nodes(&g);
             for v in 0..g.num_nodes() {
                 assert_eq!(
                     words[v] >> lane & 1 == 1,
@@ -192,7 +205,7 @@ fn scattered_id_blocks_match_oracle() {
         // The reverse kernel agrees candidate by candidate.
         kernel.begin_block();
         for v in g.nodes() {
-            let word = kernel.reverse_hit_word(&g, &block, v);
+            let word = kernel.reverse_hit_word(&g, &table, &mut block, v);
             assert_eq!(word, words[v.index()], "reverse word of {v}");
         }
     });

@@ -185,6 +185,7 @@ impl GraphBuilder {
             in_offsets,
             in_sources,
             in_edge_ids,
+            version: 0,
         };
         debug_assert!(g.check_invariants().is_ok());
         Ok(g)

@@ -19,6 +19,13 @@ pub enum GraphError {
         /// Number of nodes in the graph.
         len: u32,
     },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending canonical edge id.
+        edge: u32,
+        /// Number of edges in the graph.
+        len: u32,
+    },
     /// A self-loop `(v, v)` was inserted; a node's default cannot diffuse to
     /// itself under the paper's model.
     SelfLoop {
@@ -57,6 +64,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::NodeOutOfBounds { node, len } => {
                 write!(f, "node id {node} out of bounds for graph with {len} nodes")
+            }
+            GraphError::EdgeOutOfBounds { edge, len } => {
+                write!(f, "edge id {edge} out of bounds for graph with {len} edges")
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")

@@ -33,7 +33,7 @@ pub struct EdgeRef {
 ///
 /// Construct via [`GraphBuilder`](crate::builder::GraphBuilder) or
 /// [`UncertainGraph::builder`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct UncertainGraph {
     pub(crate) self_risk: Vec<f64>,
     // Forward CSR. Edge id `e` has source `edge_sources[e]`, target
@@ -46,6 +46,23 @@ pub struct UncertainGraph {
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_sources: Vec<u32>,
     pub(crate) in_edge_ids: Vec<u32>,
+    // Probability version: bumped by every in-place probability update so
+    // caches keyed on the graph's probabilities (e.g. coin tables) can
+    // detect staleness. Not part of structural equality.
+    pub(crate) version: u64,
+}
+
+impl PartialEq for UncertainGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.self_risk == other.self_risk
+            && self.out_offsets == other.out_offsets
+            && self.out_targets == other.out_targets
+            && self.edge_prob == other.edge_prob
+            && self.edge_sources == other.edge_sources
+            && self.in_offsets == other.in_offsets
+            && self.in_sources == other.in_sources
+            && self.in_edge_ids == other.in_edge_ids
+    }
 }
 
 impl UncertainGraph {
@@ -222,6 +239,17 @@ impl UncertainGraph {
         self.self_risk.iter().sum()
     }
 
+    /// Probability version of the graph: starts at 0 and is bumped by
+    /// every [`set_self_risk`](Self::set_self_risk) /
+    /// [`set_edge_prob`](Self::set_edge_prob) call (successful ones
+    /// only). Caches derived from the graph's probabilities compare
+    /// versions to detect staleness instead of re-hashing `n + m`
+    /// floats.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Updates a node's self-risk probability in place.
     ///
     /// Probability updates preserve the CSR structure, so they are `O(1)`
@@ -235,6 +263,7 @@ impl UncertainGraph {
             .get_mut(v.index())
             .ok_or(GraphError::NodeOutOfBounds { node: v.0, len })?;
         *slot = ps;
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -245,8 +274,9 @@ impl UncertainGraph {
         let slot = self
             .edge_prob
             .get_mut(e.index())
-            .ok_or(GraphError::NodeOutOfBounds { node: e.0, len })?;
+            .ok_or(GraphError::EdgeOutOfBounds { edge: e.0, len })?;
         *slot = prob;
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -518,17 +548,27 @@ mod tests {
     #[test]
     fn in_place_probability_updates() {
         let mut g = figure3();
+        assert_eq!(g.version(), 0);
         g.set_self_risk(NodeId(0), 0.9).unwrap();
         assert_eq!(g.self_risk(NodeId(0)), 0.9);
         let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
         g.set_edge_prob(e, 0.75).unwrap();
         assert_eq!(g.edge_prob(e), 0.75);
+        assert_eq!(g.version(), 2, "each successful update bumps the probability version");
         g.check_invariants().unwrap();
-        // Invalid updates are rejected and leave the graph untouched.
+        // Invalid updates are rejected and leave the graph untouched,
+        // each with the matching out-of-bounds variant.
         assert!(g.set_self_risk(NodeId(0), 1.5).is_err());
-        assert!(g.set_self_risk(NodeId(99), 0.5).is_err());
-        assert!(g.set_edge_prob(EdgeId(99), 0.5).is_err());
+        assert!(matches!(
+            g.set_self_risk(NodeId(99), 0.5),
+            Err(GraphError::NodeOutOfBounds { node: 99, .. })
+        ));
+        assert!(matches!(
+            g.set_edge_prob(EdgeId(99), 0.5),
+            Err(GraphError::EdgeOutOfBounds { edge: 99, .. })
+        ));
         assert_eq!(g.self_risk(NodeId(0)), 0.9);
+        assert_eq!(g.version(), 2, "failed updates must not bump the version");
     }
 
     #[test]

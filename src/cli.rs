@@ -329,6 +329,14 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 r.stats.verified,
                 r.stats.elapsed
             );
+            let session = detector.session_stats();
+            let _ = writeln!(
+                out,
+                "# coins coin-words {} | lazy edge-words skipped {} | tables built {}",
+                r.engine.coin_words_synthesized,
+                r.engine.lazy_edge_words_skipped,
+                session.coin_tables_built
+            );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
                 let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
@@ -471,8 +479,10 @@ mod tests {
         let det =
             run(parse(&args(&format!("detect {txt} --k 5 --algorithm bsrbk --seed 2"))).unwrap())
                 .unwrap();
-        assert!(det.lines().count() >= 7, "{det}");
+        assert!(det.lines().count() >= 8, "{det}");
         assert!(det.contains("# algorithm BSRBK"), "{det}");
+        assert!(det.contains("# coins coin-words"), "{det}");
+        assert!(det.contains("tables built 1"), "{det}");
 
         let conv = run(parse(&args(&format!("convert {txt} {bin}"))).unwrap()).unwrap();
         assert!(conv.contains("converted"));

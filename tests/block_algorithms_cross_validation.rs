@@ -19,9 +19,9 @@
 use ugraph::testkit::{check, TestRng};
 use vulnds::prelude::*;
 use vulnds::sampling::{
-    BlockKernel, PossibleWorld, ReverseSampler, WorldBlock, Xoshiro256pp, LANES,
+    BlockKernel, CoinTable, PossibleWorld, ReverseSampler, ScalarCoins, WorldBlock, LANES,
 };
-use vulnds::sketch::{hash_order, UnitHasher};
+use vulnds::sketch::{bottomk_default_probability, hash_order, UnitHasher};
 
 fn arb_graph(rng: &mut TestRng) -> UncertainGraph {
     let n = rng.range_usize(20, 80);
@@ -92,20 +92,20 @@ fn reverse_algorithms_match_scalar_oracle_estimates() {
                     *c += d as u64;
                 }
             }
-            // Sampled candidates carry exact oracle frequencies; nodes
-            // promoted by bounds alone carry midpoint scores we skip.
-            let sampled_scores: Vec<f64> =
-                hint.iter().map(|v| counts[v.index()] as f64 / t as f64).collect();
-            for scored in &r.top_k {
-                if let Some(pos) = hint.iter().position(|&v| v == scored.node) {
-                    let freq = sampled_scores[pos];
-                    assert!(
-                        scored.score == freq || r.stats.verified > 0,
-                        "{kind}: node {:?} scored {} vs oracle {freq}",
-                        scored.node,
-                        scored.score
-                    );
+            // Sampled candidates carry exact oracle frequencies. The
+            // first `stats.verified` entries are bound-verified nodes
+            // with midpoint scores (skipped individually); every entry
+            // after them must match the oracle bit for bit.
+            for (rank, scored) in r.top_k.iter().enumerate() {
+                if rank < r.stats.verified {
+                    continue;
                 }
+                let freq = counts[scored.node.index()] as f64 / t as f64;
+                assert_eq!(
+                    scored.score, freq,
+                    "{kind}: rank {rank} node {:?} scored {} vs oracle {freq}",
+                    scored.node, scored.score
+                );
             }
         }
     });
@@ -131,6 +131,7 @@ fn bsrbk_block_replay_matches_scalar_adaptive_pass() {
 
         // --- Scalar reference: one world per step, stop on saturation.
         let run_scalar = || {
+            let table = CoinTable::new(&g);
             let mut sampler = ReverseSampler::new(&g);
             let mut counters = vec![0u32; candidates.len()];
             let mut kth_hash = vec![0.0f64; candidates.len()];
@@ -140,11 +141,10 @@ fn bsrbk_block_replay_matches_scalar_adaptive_pass() {
             let mut stopped = false;
             'outer: for &sample_id in &order {
                 let h = hasher.hash_unit(sample_id as u64);
-                let mut r = Xoshiro256pp::for_sample(seed, sample_id as u64);
-                sampler.begin_sample(&g, &mut r);
+                sampler.begin_sample(ScalarCoins::new(seed, sample_id as u64));
                 used += 1;
                 for (i, &v) in candidates.iter().enumerate() {
-                    if !saturated[i] && sampler.is_influenced(&g, v) {
+                    if !saturated[i] && sampler.is_influenced(&g, &table, v) {
                         counters[i] += 1;
                         if counters[i] as usize == bk {
                             saturated[i] = true;
@@ -163,6 +163,7 @@ fn bsrbk_block_replay_matches_scalar_adaptive_pass() {
 
         // --- Block replay: 64 worlds per chunk, lanes consumed in order.
         let run_block = || {
+            let table = CoinTable::new(&g);
             let mut block = WorldBlock::new(&g);
             let mut kernel = BlockKernel::new(&g);
             let mut counters = vec![0u32; candidates.len()];
@@ -173,13 +174,13 @@ fn bsrbk_block_replay_matches_scalar_adaptive_pass() {
             let mut stopped = false;
             'outer: for chunk in order.chunks(LANES) {
                 let ids: Vec<u64> = chunk.iter().map(|&s| s as u64).collect();
-                block.materialize_ids(&g, seed, &ids);
+                block.materialize_ids(&g, &table, seed, &ids);
                 kernel.begin_block();
                 let active: Vec<(usize, u64)> = candidates
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| !saturated[*i])
-                    .map(|(i, &v)| (i, kernel.reverse_hit_word(&g, &block, v)))
+                    .map(|(i, &v)| (i, kernel.reverse_hit_word(&g, &table, &mut block, v)))
                     .collect();
                 for (lane, &sample_id) in ids.iter().enumerate() {
                     let h = hasher.hash_unit(sample_id);
@@ -204,6 +205,83 @@ fn bsrbk_block_replay_matches_scalar_adaptive_pass() {
         };
 
         assert_eq!(run_scalar(), run_block(), "bk {bk}, k_rem {k_rem}, t {t}");
+    });
+}
+
+/// The engine's *actual* BSRBK implementation (the chunked block replay
+/// inside `BottomKEarlyStop::run`, including its `begin_block` cache
+/// resets) reproduces a scalar per-sample adaptive pass reconstructed
+/// from the engine's own reported plan: same `samples_used`, same
+/// early-stop verdict, and bit-identical scores for every sampled
+/// top-k entry.
+#[test]
+fn engine_bsrbk_matches_scalar_adaptive_reference() {
+    check(8, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.next_bounded(1000);
+        let k = rng.range_usize(2, 6);
+        let bk = rng.range_usize(2, 5);
+        let hint: Vec<NodeId> = g.nodes().collect();
+        let cfg = VulnConfig::default().with_seed(seed).with_bk(bk);
+        let mut d = Detector::builder(&g).config(cfg).build().unwrap();
+        let req = DetectRequest::new(k, AlgorithmKind::BottomK).with_candidates(hint.clone());
+        let r = d.detect(&req).unwrap();
+        let t = r.stats.sample_budget;
+        if t == 0 {
+            return; // degenerate plan: the bounds decided everything
+        }
+        // Reconstruct the engine's plan from its response: verified
+        // nodes lead the top-k, and the sampled candidate set is the
+        // hint minus those verified nodes.
+        let verified: Vec<NodeId> = r.top_k[..r.stats.verified].iter().map(|s| s.node).collect();
+        let candidates: Vec<NodeId> =
+            hint.iter().copied().filter(|v| !verified.contains(v)).collect();
+        assert_eq!(candidates.len(), r.stats.candidates, "plan reconstruction drifted");
+        let k_rem = k - r.stats.verified;
+
+        // Scalar per-sample adaptive pass over the same plan.
+        let table = CoinTable::new(&g);
+        let hasher = UnitHasher::new(seed ^ 0xB077_0A6B_5EED_0001);
+        let order = hash_order(&hasher, t as usize);
+        let mut sampler = ReverseSampler::new(&g);
+        let mut counters = vec![0u32; candidates.len()];
+        let mut kth_hash = vec![0.0f64; candidates.len()];
+        let mut saturated = vec![false; candidates.len()];
+        let mut saturated_count = 0usize;
+        let mut used = 0u64;
+        let mut stopped = false;
+        'outer: for &sample_id in &order {
+            let h = hasher.hash_unit(sample_id as u64);
+            sampler.begin_sample(ScalarCoins::new(seed, sample_id as u64));
+            used += 1;
+            for (i, &v) in candidates.iter().enumerate() {
+                if !saturated[i] && sampler.is_influenced(&g, &table, v) {
+                    counters[i] += 1;
+                    if counters[i] as usize == bk {
+                        saturated[i] = true;
+                        kth_hash[i] = h;
+                        saturated_count += 1;
+                    }
+                }
+            }
+            if saturated_count >= k_rem {
+                stopped = true;
+                break 'outer;
+            }
+        }
+        assert_eq!(used, r.stats.samples_used, "samples_used diverged from the scalar pass");
+        assert_eq!(stopped, r.stats.early_stopped, "early-stop verdict diverged");
+        // Score every sampled top-k entry exactly as the engine must.
+        for (rank, scored) in r.top_k.iter().enumerate().skip(r.stats.verified) {
+            let i = candidates.iter().position(|&v| v == scored.node).expect("sampled entry");
+            let expected = if saturated[i] {
+                bottomk_default_probability(bk, kth_hash[i], t as usize)
+            } else {
+                assert!(!stopped, "early-stopped selection must come from saturated candidates");
+                counters[i] as f64 / used as f64
+            };
+            assert_eq!(scored.score, expected, "rank {rank} node {:?}", scored.node);
+        }
     });
 }
 

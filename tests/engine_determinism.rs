@@ -89,6 +89,43 @@ fn warm_cache_matches_cold_cache() {
     });
 }
 
+/// Regression for coin-table invalidation: `set_edge_prob` /
+/// `set_self_risk` bump the graph's probability version, so a session
+/// must rebuild its cached `CoinTable` instead of serving stale
+/// thresholds. The graph is rigged so the stale answer would be
+/// deterministically wrong.
+#[test]
+fn coin_table_invalidated_by_probability_updates() {
+    // ps(0) = 1, dead edge 0 → 1: node 1 can never default.
+    let mut g = from_parts(&[1.0, 0.0], &[(0, 1, 0.0)], DuplicateEdgePolicy::Error).unwrap();
+    let v0 = g.version();
+    let req = DetectRequest::new(2, AlgorithmKind::SampledNaive);
+    let cfg = VulnConfig::default().with_seed(5);
+    let score_of = |r: &DetectResponse| {
+        r.top_k.iter().find(|s| s.node == NodeId(1)).expect("k = n includes node 1").score
+    };
+
+    let first = {
+        let mut d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+        let r = d.detect(&req).unwrap();
+        assert_eq!(d.session_stats().coin_tables_built, 1);
+        // A warm repeat reuses the cached table (and the cached worlds).
+        d.detect(&req).unwrap();
+        assert_eq!(d.session_stats().coin_tables_built, 1, "warm query rebuilt the coin table");
+        score_of(&r)
+    };
+    assert_eq!(first, 0.0, "dead edge must never transmit");
+
+    g.set_edge_prob(EdgeId(0), 1.0).unwrap();
+    assert_ne!(g.version(), v0, "probability updates must bump the graph version");
+
+    let second = {
+        let mut d = Detector::builder(&g).config(cfg).build().unwrap();
+        score_of(&d.detect(&req).unwrap())
+    };
+    assert_eq!(second, 1.0, "stale coin thresholds served after set_edge_prob");
+}
+
 /// Repeating the same request on a warm session is a pure cache hit for
 /// the non-adaptive algorithms: identical answer, zero fresh samples.
 #[test]

@@ -21,10 +21,42 @@ use vulnds_bench::microbench::{bench, measure, JsonReport};
 use vulnds_datasets::gen::{chung_lu, erdos, pref_attach};
 use vulnds_datasets::{attach_probabilities, ProbabilityModel};
 use vulnds_sampling::{
-    forward_counts_range_with, parallel_forward_counts, reverse_counts, reverse_counts_range_with,
-    BlockKernel, CoinTable, CoinUsage, DefaultCounts, ForwardSampler, PossibleWorld,
-    ReverseSampler, ScalarCoins, WorldBlock, Xoshiro256pp, COIN_PRECISION, LANES,
+    forward_counts_range_width, forward_counts_range_with, parallel_forward_counts, reverse_counts,
+    reverse_counts_range_width, reverse_counts_range_with, BlockKernel, BlockWords, CoinTable,
+    CoinUsage, DefaultCounts, ForwardSampler, PossibleWorld, ReverseSampler, ScalarCoins,
+    WorldBlock, Xoshiro256pp, COIN_PRECISION, LANES,
 };
+
+/// Worlds per end-to-end measurement: one widest superblock, so every
+/// width runs the same fixed budget through one driver call.
+const WIDTH_BUDGET: u64 = (vulnds_sampling::MAX_BLOCK_WORDS * LANES) as u64;
+
+/// The widest SIMD extension the running CPU reports (compile-target
+/// fallback off x86-64). Recorded so trajectory readers can tell what
+/// the autovectorized word-vector loops had to work with.
+fn detected_simd() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return "avx512";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            return "sse4.2";
+        }
+        "sse2"
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "unknown"
+    }
+}
 
 struct Family {
     name: &'static str,
@@ -117,6 +149,22 @@ fn main() {
             forward_counts_range_with(&g, &table, 0..LANES as u64, 43).0.samples()
         });
 
+        // Per-width superblock rows: the same fixed budget (one widest
+        // superblock = 512 worlds) through each monomorphized width, so
+        // the width effect is isolated from call and allocation shape.
+        let mut width_ns = Vec::new();
+        for width in BlockWords::ALL {
+            let m =
+                measure(&format!("{name}/end_to_end/superblock_w{width}_per_512_worlds"), || {
+                    forward_counts_range_width(&g, &table, 0..WIDTH_BUDGET, 43, width).0.samples()
+                });
+            width_ns.push((width, m.median_secs / WIDTH_BUDGET as f64 * 1e9));
+        }
+        let planned = BlockWords::plan(WIDTH_BUDGET, 1);
+        let w1_ns = width_ns[0].1;
+        let planned_ns =
+            width_ns.iter().find(|(w, _)| *w == planned).expect("planned width measured").1;
+
         // Lazy-skip ratio of the production path, over a longer run so
         // per-block variation averages out.
         let (_, usage) = forward_counts_range_with(&g, &table, 0..(32 * LANES as u64), 43);
@@ -126,12 +174,14 @@ fn main() {
         let e2e_speedup = scalar_e2e.median_secs / block_e2e.median_secs;
         println!(
             "{name}: materialize speedup {mat_speedup:.1}x, eval speedup {eval_speedup:.1}x, \
-             end-to-end speedup {e2e_speedup:.1}x, lazy skip {:.0}%",
+             end-to-end speedup {e2e_speedup:.1}x, superblock w{planned} vs w1 {:.2}x, \
+             lazy skip {:.0}%",
+            w1_ns / planned_ns,
             usage.lazy_skip_ratio() * 100.0
         );
 
         let per_world = 1.0 / LANES as f64 * 1e9;
-        report
+        let mut group = report
             .group(name)
             .num("nodes", n as f64)
             .num("edges", m as f64)
@@ -144,7 +194,14 @@ fn main() {
             .num("eval_speedup", eval_speedup)
             .num("scalar_end_to_end_per_world_ns", scalar_e2e.median_secs * per_world)
             .num("block_end_to_end_per_world_ns", block_e2e.median_secs * per_world)
-            .num("end_to_end_speedup", e2e_speedup)
+            .num("end_to_end_speedup", e2e_speedup);
+        for (width, ns) in &width_ns {
+            group = group.num(&format!("superblock_end_to_end_per_world_ns_w{width}"), *ns);
+        }
+        group
+            .num("superblock_end_to_end_per_world_ns", planned_ns)
+            .num("superblock_block_words", planned.words() as f64)
+            .num("superblock_speedup_vs_w1", w1_ns / planned_ns)
             .num("lazy_edge_skip_ratio", usage.lazy_skip_ratio())
             .num("coin_words_per_world", usage.words as f64 / (32.0 * LANES as f64));
     }
@@ -198,6 +255,24 @@ fn main() {
                 .0
                 .samples()
         });
+        // The superblock reverse path at the widest width, same budget
+        // per call as one widest superblock.
+        let mut wide_base = 0u64;
+        let wide_small =
+            measure("reverse_small_candidate_set/superblock_w8_per_512_worlds", || {
+                let base = wide_base;
+                wide_base += WIDTH_BUDGET;
+                reverse_counts_range_width(
+                    &g,
+                    &table,
+                    &candidates,
+                    base..base + WIDTH_BUDGET,
+                    7,
+                    BlockWords::W8,
+                )
+                .0
+                .samples()
+            });
         let (_, usage): (DefaultCounts, CoinUsage) =
             reverse_counts_range_with(&g, &table, &candidates, 0..(16 * LANES as u64), 7);
         report
@@ -207,6 +282,7 @@ fn main() {
             .num("candidates", 50.0)
             .num("scalar_per_world_ns", scalar_small.median_secs / LANES as f64 * 1e9)
             .num("block_per_world_ns", block_small.median_secs / LANES as f64 * 1e9)
+            .num("superblock_w8_per_world_ns", wide_small.median_secs / WIDTH_BUDGET as f64 * 1e9)
             .num("speedup", scalar_small.median_secs / block_small.median_secs)
             .num("lazy_edge_skip_ratio", usage.lazy_skip_ratio());
     }
@@ -214,14 +290,18 @@ fn main() {
     // machine with fewer cores these rows measure the same (sequential)
     // path — record the hardware limit so trajectory readers can tell.
     let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    println!("available_parallelism: {hardware}");
+    println!("available_parallelism: {hardware}, simd: {}", detected_simd());
     for threads in [1usize, 2, 4] {
         let effective = threads.min(hardware);
         bench(&format!("parallel_forward/requested_{threads}_effective_{effective}"), || {
             parallel_forward_counts(&g, 2048, 42, threads)
         });
     }
-    report.group("machine").num("available_parallelism", hardware as f64);
+    report
+        .group("machine")
+        .num("available_parallelism", hardware as f64)
+        .num("block_words", BlockWords::plan(WIDTH_BUDGET, 1).words() as f64)
+        .text("simd", detected_simd());
 
     // Default next to the workspace root, independent of the bench CWD.
     let path = std::env::var("VULNDS_BENCH_JSON").unwrap_or_else(|_| {

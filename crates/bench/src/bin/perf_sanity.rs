@@ -1,25 +1,45 @@
-//! CI perf-sanity gate for the world-block materialization kernel.
+//! CI perf-sanity gates for the world-superblock data path.
 //!
-//! Compares, on a small graph, the transposed bit-sliced coin synthesis
-//! (eager block materialization) against the scalar per-lane path
-//! (drawing the same 64 worlds coin by coin). The block kernel's whole
-//! point is that materialization is bit-parallel; if it is ever not
-//! measurably faster than the per-lane path, the kernel has regressed
-//! and this binary exits non-zero, failing CI.
+//! Two regressions fail this binary (and CI):
+//!
+//! 1. **Materialization**: the transposed bit-sliced coin synthesis
+//!    (eager block materialization) must beat the scalar per-lane path
+//!    (drawing the same 64 worlds coin by coin) by at least
+//!    [`MATERIALIZE_REQUIRED_SPEEDUP`]. The block kernel's whole point
+//!    is that materialization is bit-parallel; the margin is far below
+//!    the ~30× the kernel delivers, keeping the gate robust to CI noise.
+//! 2. **Superblocks**: the wide path (planner-selected `W`-word
+//!    superblocks) must beat the single-word block path on a
+//!    fixed-budget forward workload by at least
+//!    [`SUPERBLOCK_REQUIRED_SPEEDUP`]. Widening exists to amortize
+//!    structural BFS work across `W` words; if the wide kernel is ever
+//!    not measurably faster, the superblock path has regressed. The
+//!    margin is far below the ~1.4–1.6× measured at width 8.
 //!
 //! Usage: `perf_sanity [--quick]`. `--quick` caps the per-measurement
-//! budget (`VULNDS_BENCH_MS=60`) so the whole gate runs in about a
-//! second; the required margin (block ≥ 1.5× faster) is far below the
-//! ~30× the kernel delivers, keeping the gate robust to CI noise.
+//! budget (`VULNDS_BENCH_MS=60`) so the whole gate runs in a few
+//! seconds.
 
 use vulnds_bench::microbench::measure;
 use vulnds_datasets::gen::erdos;
 use vulnds_datasets::{attach_probabilities, ProbabilityModel};
-use vulnds_sampling::{CoinTable, PossibleWorld, WorldBlock, Xoshiro256pp, LANES};
+use vulnds_sampling::{
+    forward_counts_range_width, BlockWords, CoinTable, PossibleWorld, WorldBlock, Xoshiro256pp,
+    LANES,
+};
 
 /// Block materialization must beat the scalar per-lane path by at least
 /// this factor, or the gate fails.
-const REQUIRED_SPEEDUP: f64 = 1.5;
+const MATERIALIZE_REQUIRED_SPEEDUP: f64 = 1.5;
+
+/// The planner-width superblock forward path must beat the single-word
+/// block path by at least this factor on the fixed-budget workload, or
+/// the gate fails.
+const SUPERBLOCK_REQUIRED_SPEEDUP: f64 = 1.05;
+
+/// Fixed forward budget for the superblock gate: several widest
+/// superblocks, so both paths amortize their setup identically.
+const SUPERBLOCK_BUDGET: u64 = 4 * (vulnds_sampling::MAX_BLOCK_WORDS * LANES) as u64;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -47,17 +67,47 @@ fn main() {
         block.lane_mask()
     });
 
-    let speedup = scalar.median_secs / blockwise.median_secs;
+    let mut failed = false;
+    let mat_speedup = scalar.median_secs / blockwise.median_secs;
     println!(
-        "perf_sanity: block materialization speedup {speedup:.1}x (required ≥ {REQUIRED_SPEEDUP}x)"
+        "perf_sanity: block materialization speedup {mat_speedup:.1}x \
+         (required ≥ {MATERIALIZE_REQUIRED_SPEEDUP}x)"
     );
-    if speedup.is_nan() || speedup < REQUIRED_SPEEDUP {
+    if mat_speedup.is_nan() || mat_speedup < MATERIALIZE_REQUIRED_SPEEDUP {
         eprintln!(
-            "perf_sanity FAILED: block materialization ({:.3} ms) is not ≥ {REQUIRED_SPEEDUP}x \
-             faster than the scalar per-lane path ({:.3} ms)",
+            "perf_sanity FAILED: block materialization ({:.3} ms) is not ≥ \
+             {MATERIALIZE_REQUIRED_SPEEDUP}x faster than the scalar per-lane path ({:.3} ms)",
             blockwise.median_secs * 1e3,
             scalar.median_secs * 1e3,
         );
+        failed = true;
+    }
+
+    // Superblock gate: same fixed forward budget through the width-1
+    // block path and the planner-width superblock path.
+    let narrow = measure("perf_sanity/forward_fixed_budget_w1", || {
+        forward_counts_range_width(&g, &table, 0..SUPERBLOCK_BUDGET, 11, BlockWords::W1).0.samples()
+    });
+    let planned = BlockWords::plan(SUPERBLOCK_BUDGET, 1);
+    let wide = measure("perf_sanity/forward_fixed_budget_planned_width", || {
+        forward_counts_range_width(&g, &table, 0..SUPERBLOCK_BUDGET, 11, planned).0.samples()
+    });
+    let wide_speedup = narrow.median_secs / wide.median_secs;
+    println!(
+        "perf_sanity: superblock (w{planned}) forward speedup {wide_speedup:.2}x over w1 \
+         (required ≥ {SUPERBLOCK_REQUIRED_SPEEDUP}x)"
+    );
+    if wide_speedup.is_nan() || wide_speedup < SUPERBLOCK_REQUIRED_SPEEDUP {
+        eprintln!(
+            "perf_sanity FAILED: the w{planned} superblock forward path ({:.3} ms) is not ≥ \
+             {SUPERBLOCK_REQUIRED_SPEEDUP}x faster than the single-word block path ({:.3} ms)",
+            wide.median_secs * 1e3,
+            narrow.median_secs * 1e3,
+        );
+        failed = true;
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

@@ -3,31 +3,19 @@
 //!
 //! The implementation lives in
 //! [`engine::BoundedSampleReverse`](crate::engine::BoundedSampleReverse);
-//! this module keeps the classic free-function entry point as a
-//! deprecated shim over a throwaway session.
-
-use super::{run_one_shot, AlgorithmKind, DetectionResult};
-use crate::config::VulnConfig;
-use ugraph::UncertainGraph;
-
-/// Runs BSR: Algorithm 2 + 3 bounds, Algorithm 4 reduction, then reverse
-/// sampling over `B` with `t = (2/ε²) ln((k−k')(|B|−k+k')/δ)`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and request \
-            `AlgorithmKind::BoundedSampleReverse`"
-)]
-pub fn detect_bsr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    run_one_shot(graph, k, AlgorithmKind::BoundedSampleReverse, config)
-}
+//! this module holds its behavioral test suite (the 0.2.0 free-function
+//! shim was removed in 0.3.0).
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
-    use super::*;
+    use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
+    use crate::config::VulnConfig;
     use crate::sample_size::basic_sample_size;
-    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
+
+    fn detect_bsr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::BoundedSampleReverse, config)
+    }
 
     fn skewed() -> UncertainGraph {
         // One dominant node, a mid-tier pair, a long tail of safe nodes.

@@ -2,32 +2,25 @@
 //!
 //! The implementation lives in
 //! [`engine::BottomKEarlyStop`](crate::engine::BottomKEarlyStop); this
-//! module keeps the classic free-function entry point as a deprecated
-//! shim over a throwaway session. See the engine type for the algorithm
+//! module holds its behavioral test suite (the 0.2.0 free-function shim
+//! was removed in 0.3.0). See the engine type for the algorithm
 //! description (hash-ordered samples, Theorem-6 stopping rule, BSR-style
 //! fallback when the budget runs out).
 
-use super::{run_one_shot, AlgorithmKind, DetectionResult};
-use crate::config::VulnConfig;
-use ugraph::UncertainGraph;
-
-/// Runs BSRBK.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::BottomK`"
-)]
-pub fn detect_bsrbk(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    run_one_shot(graph, k, AlgorithmKind::BottomK, config)
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
-    use super::super::detect_bsr;
-    use super::*;
-    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
+    use crate::config::VulnConfig;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
     use vulnds_sampling::Xoshiro256pp;
+
+    fn detect_bsrbk(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::BottomK, config)
+    }
+
+    fn detect_bsr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::BoundedSampleReverse, config)
+    }
 
     /// A random sparse graph whose order-2 bounds are genuinely loose
     /// (every node sits on a cycle-ish mesh, so intervals overlap and

@@ -15,17 +15,6 @@ pub(crate) mod reverse_common;
 mod sn;
 mod sr;
 
-#[allow(deprecated)]
-pub use bsr::detect_bsr;
-#[allow(deprecated)]
-pub use bsrbk::detect_bsrbk;
-#[allow(deprecated)]
-pub use naive::detect_naive;
-#[allow(deprecated)]
-pub use sn::detect_sn;
-#[allow(deprecated)]
-pub use sr::detect_sr;
-
 use crate::config::VulnConfig;
 use crate::topk::ScoredNode;
 use std::time::Duration;
@@ -117,10 +106,12 @@ pub(crate) fn validate_k(graph: &UncertainGraph, k: usize) {
     assert!(k <= graph.num_nodes(), "k = {k} exceeds the number of nodes ({})", graph.num_nodes());
 }
 
-/// One-shot run through a throwaway engine session — the compatibility
-/// path behind the deprecated free functions. Produces results identical
-/// to the pre-engine implementations (a cold session draws exactly the
-/// same sample streams).
+/// One-shot run through a throwaway engine session — the harness behind
+/// the per-algorithm behavioral test suites and benches. Produces
+/// results identical to a cold [`Detector`](crate::engine::Detector)
+/// session (it *is* one). The 0.2.0 deprecated free-function shims
+/// (`detect`, `detect_naive`/`_sn`/`_sr`/`_bsr`/`_bsrbk`) that wrapped
+/// this were removed in 0.3.0 — build a session instead.
 pub(crate) fn run_one_shot(
     graph: &UncertainGraph,
     k: usize,
@@ -136,20 +127,6 @@ pub(crate) fn run_one_shot(
         Ok(response) => response.into_detection_result(),
         Err(e) => panic!("{e}"),
     }
-}
-
-/// Runs the selected algorithm in a throwaway session.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and call `detect` on it"
-)]
-pub fn detect(
-    graph: &UncertainGraph,
-    k: usize,
-    algorithm: AlgorithmKind,
-    config: &VulnConfig,
-) -> DetectionResult {
-    run_one_shot(graph, k, algorithm, config)
 }
 
 #[cfg(test)]

@@ -2,29 +2,18 @@
 //!
 //! The implementation lives in
 //! [`engine::NaiveMonteCarlo`](crate::engine::NaiveMonteCarlo); this
-//! module keeps the classic free-function entry point as a deprecated
-//! shim over a throwaway session.
-
-use super::{run_one_shot, AlgorithmKind, DetectionResult};
-use crate::config::VulnConfig;
-use ugraph::UncertainGraph;
-
-/// Runs the naive baseline with the configured fixed budget
-/// (`config.naive_samples`).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::Naive`"
-)]
-pub fn detect_naive(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    run_one_shot(graph, k, AlgorithmKind::Naive, config)
-}
+//! module holds its behavioral test suite (the 0.2.0 free-function shim
+//! was removed in 0.3.0).
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
+    use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
+    use crate::config::VulnConfig;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
 
-    use super::*;
-    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    fn detect_naive(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::Naive, config)
+    }
 
     fn chain() -> UncertainGraph {
         from_parts(&[0.6, 0.0, 0.0], &[(0, 1, 0.9), (1, 2, 0.9)], DuplicateEdgePolicy::Error)

@@ -3,29 +3,19 @@
 //!
 //! The implementation lives in
 //! [`engine::SampledNaive`](crate::engine::SampledNaive); this module
-//! keeps the classic free-function entry point as a deprecated shim over
-//! a throwaway session.
-
-use super::{run_one_shot, AlgorithmKind, DetectionResult};
-use crate::config::VulnConfig;
-use ugraph::UncertainGraph;
-
-/// Runs SN: `t = (2/ε²) ln(k(n−k)/δ)` forward samples, then top-k.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::SampledNaive`"
-)]
-pub fn detect_sn(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    run_one_shot(graph, k, AlgorithmKind::SampledNaive, config)
-}
+//! holds its behavioral test suite (the 0.2.0 free-function shim was
+//! removed in 0.3.0).
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
-    use super::*;
+    use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
+    use crate::config::VulnConfig;
     use crate::sample_size::basic_sample_size;
-    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
+
+    fn detect_sn(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::SampledNaive, config)
+    }
 
     fn graph() -> UncertainGraph {
         from_parts(

@@ -3,29 +3,18 @@
 //!
 //! The implementation lives in
 //! [`engine::SampleReverse`](crate::engine::SampleReverse); this module
-//! keeps the classic free-function entry point as a deprecated shim over
-//! a throwaway session.
-
-use super::{run_one_shot, AlgorithmKind, DetectionResult};
-use crate::config::VulnConfig;
-use ugraph::UncertainGraph;
-
-/// Runs SR: prune with rule 2, reverse-sample the survivors with
-/// `t = (2/ε²) ln(k(|B|−k)/δ)`, return the top-k estimates.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a reusable `engine::Detector` session and request `AlgorithmKind::SampleReverse`"
-)]
-pub fn detect_sr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
-    run_one_shot(graph, k, AlgorithmKind::SampleReverse, config)
-}
+//! holds its behavioral test suite (the 0.2.0 free-function shim was
+//! removed in 0.3.0).
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
+    use crate::algo::{run_one_shot, AlgorithmKind, DetectionResult};
+    use crate::config::VulnConfig;
+    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId, UncertainGraph};
 
-    use super::*;
-    use ugraph::{from_parts, DuplicateEdgePolicy, NodeId};
+    fn detect_sr(graph: &UncertainGraph, k: usize, config: &VulnConfig) -> DetectionResult {
+        run_one_shot(graph, k, AlgorithmKind::SampleReverse, config)
+    }
 
     fn graph() -> UncertainGraph {
         from_parts(

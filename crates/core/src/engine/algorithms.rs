@@ -390,6 +390,8 @@ impl Algorithm for BottomKEarlyStop {
         }
         ctx.note_adaptive_samples(samples_used);
         ctx.note_coins(&block.take_usage());
+        // Scattered hash-order replay is inherently single-word.
+        ctx.note_width(vulnds_sampling::BlockWords::W1);
 
         let chosen = if early_stopped {
             // Rank the saturated candidates by their sketch estimates;

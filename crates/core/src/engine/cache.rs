@@ -9,13 +9,17 @@
 //! warm session serve exact answers while drawing strictly fewer fresh
 //! samples.
 //!
-//! Snapshots are kept in **world-block granularity**: the samplers
-//! evaluate 64 worlds per [`WorldBlock`](vulnds_sampling::WorldBlock),
-//! so in addition to the exact budget `t` the cache snapshots the
-//! largest 64-aligned prefix below it. Future extensions then start at
-//! a block boundary and re-materialize at most the one partial block a
-//! non-aligned budget left open, instead of re-entering a block mid-way
-//! on every extension.
+//! Snapshots are kept in **superblock granularity**: the samplers
+//! evaluate `W · 64` worlds per [`SuperBlock`](vulnds_sampling::SuperBlock)
+//! at the width the engine planned for the stream, so in addition to
+//! the exact budget `t` the cache snapshots the largest
+//! superblock-aligned prefix below it (the caller passes the alignment,
+//! a multiple of 64). Future extensions then start at a superblock
+//! boundary and re-materialize at most the one partial superblock a
+//! non-aligned budget left open, instead of re-entering one mid-way on
+//! every extension. Extensions that resume at a *narrower* width's
+//! boundary still merge exactly — partial superblocks mask the home
+//! blocks they do not cover.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -30,9 +34,6 @@ use vulnds_sampling::{CoinTable, DefaultCounts};
 /// cheapest to re-draw, and the largest snapshot (which every future
 /// extension builds on) is always among the survivors.
 const MAX_SNAPSHOTS: usize = 8;
-
-/// Worlds per sampler block — the snapshot alignment unit.
-const BLOCK_SAMPLES: u64 = vulnds_sampling::LANES as u64;
 
 /// Session cache of the graph's [`CoinTable`] — the per-graph
 /// fixed-point thresholds the counter-RNG synthesis reads.
@@ -83,23 +84,26 @@ pub(crate) struct SampleCache {
 
 impl SampleCache {
     /// Returns cumulative counts over sample ids `0..t`, drawing as few
-    /// fresh samples as possible. `draw` materializes counts for a raw
-    /// id range. Returns `(counts, drawn, reused)` where `drawn + reused
-    /// == t`.
+    /// fresh samples as possible. `align` is the snapshot alignment —
+    /// the stream's worlds-per-superblock (`W · 64`), a positive
+    /// multiple of 64. `draw` materializes counts for a raw id range.
+    /// Returns `(counts, drawn, reused)` where `drawn + reused == t`.
     pub(crate) fn serve(
         &mut self,
         t: u64,
+        align: u64,
         mut draw: impl FnMut(Range<u64>) -> DefaultCounts,
     ) -> (Arc<DefaultCounts>, u64, u64) {
+        debug_assert!(align >= 64 && align % 64 == 0, "alignment must be a superblock span");
         if let Some(hit) = self.snapshots.get(&t) {
             return (hit.clone(), 0, t);
         }
         let floor = self.snapshots.range(..t).next_back().map(|(&t0, c)| (t0, c.clone()));
         let t0 = floor.as_ref().map_or(0, |&(t0, _)| t0);
-        // Largest block-aligned prefix strictly inside the drawn gap:
-        // worth its own snapshot so later extensions resume on a block
-        // boundary (see the module docs).
-        let t_align = t / BLOCK_SAMPLES * BLOCK_SAMPLES;
+        // Largest superblock-aligned prefix strictly inside the drawn
+        // gap: worth its own snapshot so later extensions resume on a
+        // superblock boundary (see the module docs).
+        let t_align = t / align * align;
         let counts = if t_align > t0 && t_align < t {
             let mut aligned = match &floor {
                 Some((_, base)) => {
@@ -184,38 +188,38 @@ mod tests {
     #[test]
     fn cold_draws_everything() {
         let mut cache = SampleCache::default();
-        let (c, drawn, reused) = cache.serve(10, draw);
+        let (c, drawn, reused) = cache.serve(10, 64, draw);
         assert_eq!((c.samples(), drawn, reused), (10, 10, 0));
     }
 
     #[test]
     fn exact_hit_draws_nothing() {
         let mut cache = SampleCache::default();
-        cache.serve(10, draw);
-        let (c, drawn, reused) = cache.serve(10, draw);
+        cache.serve(10, 64, draw);
+        let (c, drawn, reused) = cache.serve(10, 64, draw);
         assert_eq!((c.samples(), drawn, reused), (10, 0, 10));
     }
 
     #[test]
     fn extends_prefix() {
         let mut cache = SampleCache::default();
-        cache.serve(10, draw);
-        let (c, drawn, reused) = cache.serve(25, draw);
+        cache.serve(10, 64, draw);
+        let (c, drawn, reused) = cache.serve(25, 64, draw);
         assert_eq!((c.samples(), c.count(0), drawn, reused), (25, 25, 15, 10));
         // The new snapshot serves exact hits too.
-        let (_, drawn, reused) = cache.serve(25, draw);
+        let (_, drawn, reused) = cache.serve(25, 64, draw);
         assert_eq!((drawn, reused), (0, 25));
     }
 
     #[test]
     fn smaller_than_all_snapshots_redraws() {
         let mut cache = SampleCache::default();
-        cache.serve(100, draw);
-        let (c, drawn, reused) = cache.serve(40, draw);
+        cache.serve(100, 64, draw);
+        let (c, drawn, reused) = cache.serve(40, 64, draw);
         assert_eq!((c.samples(), drawn, reused), (40, 40, 0));
         // The 64-aligned snapshot produced by the 100-serve beats the
         // fresh 40-snapshot as an extension base.
-        let (_, drawn, reused) = cache.serve(70, draw);
+        let (_, drawn, reused) = cache.serve(70, 64, draw);
         assert_eq!((drawn, reused), (6, 64));
     }
 
@@ -223,38 +227,55 @@ mod tests {
     fn extensions_resume_on_block_boundaries() {
         let mut cache = SampleCache::default();
         // A non-aligned budget snapshots its aligned prefix too …
-        let (c, drawn, reused) = cache.serve(100, draw);
+        let (c, drawn, reused) = cache.serve(100, 64, draw);
         assert_eq!((c.samples(), drawn, reused), (100, 100, 0));
         assert!(cache.snapshots.contains_key(&64), "aligned prefix not snapshotted");
         // … so a smaller follow-up bridges from the block boundary
         // instead of redrawing everything.
-        let (c, drawn, reused) = cache.serve(70, draw);
+        let (c, drawn, reused) = cache.serve(70, 64, draw);
         assert_eq!((c.samples(), c.count(0), drawn, reused), (70, 70, 6, 64));
         // Aligned budgets take the single-draw path and add one snapshot.
-        let (_, drawn, reused) = cache.serve(128, draw);
+        let (_, drawn, reused) = cache.serve(128, 64, draw);
         assert_eq!((drawn, reused), (28, 100));
         // Tiny budgets below one block never split.
         let mut small = SampleCache::default();
-        let (_, drawn, reused) = small.serve(10, draw);
+        let (_, drawn, reused) = small.serve(10, 64, draw);
         assert_eq!((drawn, reused), (10, 0));
         assert_eq!(small.snapshots.len(), 1);
+    }
+
+    #[test]
+    fn extensions_resume_on_superblock_boundaries() {
+        // A width-8 stream aligns snapshots at 512: a non-aligned budget
+        // snapshots its 512-aligned prefix…
+        let mut cache = SampleCache::default();
+        let (c, drawn, reused) = cache.serve(1000, 512, draw);
+        assert_eq!((c.samples(), drawn, reused), (1000, 1000, 0));
+        assert!(cache.snapshots.contains_key(&512), "superblock prefix not snapshotted");
+        // …so a smaller follow-up bridges from the superblock boundary.
+        let (c, drawn, reused) = cache.serve(600, 512, draw);
+        assert_eq!((c.samples(), drawn, reused), (600, 88, 512));
+        // A later narrow-width query on the same stream still extends
+        // the widest prefix exactly.
+        let (c, drawn, reused) = cache.serve(1100, 64, draw);
+        assert_eq!((c.samples(), c.count(0), drawn, reused), (1100, 1100, 100, 1000));
     }
 
     #[test]
     fn snapshot_count_is_bounded_and_keeps_the_largest() {
         let mut cache = SampleCache::default();
         for t in 1..=50u64 {
-            cache.serve(t * 10, draw);
+            cache.serve(t * 10, 64, draw);
         }
         assert!(cache.snapshots.len() <= MAX_SNAPSHOTS);
         // The largest prefix survives eviction: an extension past it
         // reuses all 500 cached samples.
-        let (_, drawn, reused) = cache.serve(600, draw);
+        let (_, drawn, reused) = cache.serve(600, 64, draw);
         assert_eq!((drawn, reused), (100, 500));
         // Eviction never drops the snapshot produced by the current call.
-        let (_, drawn, reused) = cache.serve(5, draw);
+        let (_, drawn, reused) = cache.serve(5, 64, draw);
         assert_eq!((drawn, reused), (5, 0));
-        let (_, drawn, reused) = cache.serve(5, draw);
+        let (_, drawn, reused) = cache.serve(5, 64, draw);
         assert_eq!((drawn, reused), (0, 5));
     }
 }

@@ -69,8 +69,8 @@ use std::sync::Arc;
 
 use ugraph::{NodeId, UncertainGraph};
 use vulnds_sampling::{
-    parallel_forward_counts_range_with, parallel_reverse_counts_range_with, CoinTable, CoinUsage,
-    DefaultCounts,
+    fit_width, parallel_forward_counts_range_width, parallel_reverse_counts_range_width,
+    BlockWords, CoinTable, CoinUsage, DefaultCounts,
 };
 
 use crate::algo::AlgorithmKind;
@@ -151,6 +151,14 @@ impl<'g> DetectorBuilder<'g> {
         self
     }
 
+    /// Pins the samplers' superblock width instead of letting the
+    /// engine plan it per pass; results do not depend on the choice
+    /// (see [`VulnConfig::block_words`]).
+    pub fn block_words(mut self, width: BlockWords) -> Self {
+        self.config.block_words = Some(width);
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Result<Detector<'g>> {
         let mut config = self.config;
@@ -190,6 +198,12 @@ pub struct SessionStats {
     /// Edge lane-words the frontier-lazy materialization never had to
     /// synthesize (the lazy win, in words).
     pub lazy_edge_words_skipped: u64,
+    /// Superblocks materialized across all sampling passes (one per
+    /// `W·64`-world unit; width-1 blocks count too).
+    pub superblocks_evaluated: u64,
+    /// Widest superblock (in 64-lane words) any pass of the session ran
+    /// on — 0 until a sampling pass executes.
+    pub widest_block_words: usize,
 }
 
 /// Session caches (bounds, reductions, sample streams) plus counters.
@@ -280,20 +294,41 @@ impl<'a> EngineCtx<'a> {
         table
     }
 
+    /// The superblock width a `budget`-world sampling pass runs on: the
+    /// session's [`VulnConfig::block_words`] override if set, otherwise
+    /// the budget/thread-aware planner ([`BlockWords::plan`]) — big
+    /// fixed-budget passes go wide, small follow-ups stay narrow. Width
+    /// never changes counts, only throughput.
+    pub fn plan_block_words(&self, budget: u64) -> BlockWords {
+        self.config.block_words.unwrap_or_else(|| BlockWords::plan(budget, self.config.threads))
+    }
+
     /// Cumulative forward-sample counts over ids `0..t` for `seed`,
     /// served through the session's prefix-extendable cache.
     pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
+        let width = self.plan_block_words(t);
         let cache = self.state.forward.entry(seed).or_default();
         let mut usage = CoinUsage::default();
-        let (counts, drawn, reused) = cache.serve(t, |range| {
-            let (c, u) = parallel_forward_counts_range_with(graph, &coins, range, seed, threads);
+        // The width a drawn range actually runs on: `fit_width` narrows
+        // the planned width when the gap is too small to keep every
+        // thread busy (e.g. a short cache extension), and the stats
+        // must report what executed, not what was planned.
+        let mut used_width: Option<BlockWords> = None;
+        let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
+            let fitted = fit_width(&range, width, threads);
+            used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
+            let (c, u) =
+                parallel_forward_counts_range_width(graph, &coins, range, seed, threads, fitted);
             usage.merge(&u);
             c
         });
         self.note_usage(drawn, reused);
         self.note_coins(&usage);
+        if let Some(width) = used_width {
+            self.note_width(width);
+        }
         counts
     }
 
@@ -308,17 +343,26 @@ impl<'a> EngineCtx<'a> {
     ) -> Arc<DefaultCounts> {
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
+        let width = self.plan_block_words(t);
         let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
         let cache = self.state.reverse.entry(key).or_default();
         let mut usage = CoinUsage::default();
-        let (counts, drawn, reused) = cache.serve(t, |range| {
-            let (c, u) =
-                parallel_reverse_counts_range_with(graph, &coins, candidates, range, seed, threads);
+        // See `forward_counts`: report the fitted width that executed.
+        let mut used_width: Option<BlockWords> = None;
+        let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
+            let fitted = fit_width(&range, width, threads);
+            used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
+            let (c, u) = parallel_reverse_counts_range_width(
+                graph, &coins, candidates, range, seed, threads, fitted,
+            );
             usage.merge(&u);
             c
         });
         self.note_usage(drawn, reused);
         self.note_coins(&usage);
+        if let Some(width) = used_width {
+            self.note_width(width);
+        }
         counts
     }
 
@@ -329,12 +373,23 @@ impl<'a> EngineCtx<'a> {
     }
 
     /// Records coin-materialization cost (words synthesized, lazy edge
-    /// words skipped) against the request and session counters.
+    /// words skipped, superblocks evaluated) against the request and
+    /// session counters.
     pub fn note_coins(&mut self, usage: &CoinUsage) {
         self.request.coin_words_synthesized += usage.words;
         self.request.lazy_edge_words_skipped += usage.edge_words_skipped;
+        self.request.superblocks += usage.superblocks;
         self.state.totals.coin_words_synthesized += usage.words;
         self.state.totals.lazy_edge_words_skipped += usage.edge_words_skipped;
+        self.state.totals.superblocks_evaluated += usage.superblocks;
+    }
+
+    /// Records the superblock width a sampling pass ran on (the widest
+    /// pass wins within a request and across the session).
+    pub fn note_width(&mut self, width: BlockWords) {
+        self.request.block_words = self.request.block_words.max(width.words());
+        self.state.totals.widest_block_words =
+            self.state.totals.widest_block_words.max(width.words());
     }
 
     fn note_usage(&mut self, drawn: u64, reused: u64) {
@@ -709,6 +764,66 @@ mod tests {
         let b = d.detect(&req).unwrap();
         assert_eq!(a.top_k, b.top_k);
         assert_eq!(d.session_stats().queries, 2);
+    }
+
+    #[test]
+    fn width_planning_and_counters_are_reported() {
+        let g = random_graph(100, 200, 12);
+        // Planner-driven session: the naive 20k-world budget goes wide.
+        let mut d = session(&g);
+        let r = d.detect(&DetectRequest::new(4, AlgorithmKind::Naive)).unwrap();
+        assert_eq!(r.engine.block_words, 8, "20k-world budget must plan the widest superblock");
+        assert!(r.engine.superblocks > 0);
+        assert_eq!(d.session_stats().widest_block_words, 8);
+        assert!(d.session_stats().superblocks_evaluated >= r.engine.superblocks);
+        // Warm repeat: nothing sampled, so no width is attributed.
+        let warm = d.detect(&DetectRequest::new(4, AlgorithmKind::Naive)).unwrap();
+        assert_eq!(warm.engine.block_words, 0, "cache hit must not report a sampling width");
+        assert_eq!(warm.engine.superblocks, 0);
+
+        // Pinned session: the override wins over the planner and the
+        // answers stay bit-identical.
+        let mut pinned = Detector::builder(&g)
+            .config(VulnConfig::default().with_seed(77).with_block_words(BlockWords::W2))
+            .build()
+            .unwrap();
+        let p = pinned.detect(&DetectRequest::new(4, AlgorithmKind::Naive)).unwrap();
+        assert_eq!(p.engine.block_words, 2);
+        assert_eq!(p.top_k, r.top_k, "width must never change the answer");
+
+        // BSRBK's scattered adaptive pass is single-word by construction.
+        let mut adaptive = session(&g);
+        let b = adaptive.detect(&DetectRequest::new(4, AlgorithmKind::BottomK)).unwrap();
+        if b.stats.samples_used > 0 {
+            assert_eq!(b.engine.block_words, 1, "scattered replay must report width 1");
+        }
+    }
+
+    #[test]
+    fn stats_report_fitted_width_for_small_cache_extensions() {
+        let g = random_graph(60, 120, 14);
+        let mut d = Detector::builder(&g)
+            .config(VulnConfig::default().with_seed(9))
+            .threads(8)
+            .build()
+            .unwrap();
+        {
+            let mut ctx = d.ctx();
+            let _ = ctx.forward_counts(20_000, 9);
+            assert_eq!(ctx.request.block_words, 8, "big cold pass runs wide");
+        }
+        // A 200-world cache extension still *plans* wide, but fit_width
+        // narrows it so 8 threads keep fine-grained chunks — and the
+        // stats must report the width that actually executed.
+        {
+            let mut ctx = d.ctx();
+            let _ = ctx.forward_counts(20_200, 9);
+            assert_eq!(ctx.request.samples_drawn, 200);
+            assert_eq!(
+                ctx.request.block_words, 1,
+                "stats must report the fitted width, not the planned one"
+            );
+        }
     }
 
     #[test]

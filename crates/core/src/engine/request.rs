@@ -164,6 +164,12 @@ pub struct EngineStats {
     /// Edge lane-words the frontier-lazy materialization skipped for
     /// this query (edges no traversal touched).
     pub lazy_edge_words_skipped: u64,
+    /// Widest superblock (in 64-lane words) this query's sampling
+    /// passes ran on — 0 when the query drew entirely from cache or
+    /// never sampled. Width never changes results, only throughput.
+    pub block_words: usize,
+    /// Superblocks this query materialized (one per `W·64`-world unit).
+    pub superblocks: u64,
 }
 
 /// Answer to one [`DetectRequest`].

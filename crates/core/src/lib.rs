@@ -62,11 +62,7 @@ pub mod scoring;
 pub mod topk;
 pub mod what_if;
 
-#[allow(deprecated)]
-pub use algo::{
-    detect, detect_bsr, detect_bsrbk, detect_naive, detect_sn, detect_sr, AlgorithmKind,
-    DetectionResult, RunStats,
-};
+pub use algo::{AlgorithmKind, DetectionResult, RunStats};
 pub use bounds::{compute_bounds, lower_bounds_paper, lower_bounds_safe, upper_bounds};
 pub use candidates::{reduce_candidates, CandidateReduction};
 pub use conditional::{conditional_scores, intervention_scores, ConditionalScores};
@@ -81,6 +77,7 @@ pub use precision::{precision_at_k, precision_with_ties, satisfies_epsilon_contr
 pub use sample_size::{basic_sample_size, reduced_sample_size};
 pub use scoring::{score_nodes_bottomk, score_nodes_mc};
 pub use topk::{select_top_k, select_top_k_dense, ScoredNode};
+pub use vulnds_sampling::BlockWords;
 pub use what_if::{
     apply_interventions, evaluate_interventions, greedy_hardening, Intervention, WhatIfReport,
 };

@@ -1,50 +1,62 @@
-//! Bit-parallel world blocks — the 64-lane possible-world kernel.
+//! Bit-parallel world superblocks — the W×64-lane possible-world kernel.
 //!
-//! A [`WorldBlock`] packs **64 possible worlds** into `u64` lane masks:
-//! one word per node (bit `j` = "node self-defaulted in lane `j`'s
-//! world") and one word per edge (bit `j` = "edge survived in lane `j`'s
-//! world"). [`BlockKernel`] then advances *all 64 worlds per traversal
-//! step* with bitwise AND/OR over the graph's CSR arrays — the classic
-//! SIMD-within-a-register technique — so the reachability BFS that
-//! dominated the scalar data path is amortized 64×.
+//! A [`SuperBlock`] packs **`W · 64` possible worlds** — `W` consecutive
+//! 64-lane *home blocks* — into `[u64; W]` word-vectors stored
+//! transposed-contiguously: one word-vector per node (bit `j` of word
+//! `w` = "node self-defaulted in lane `j` of home block `w`") and one
+//! per edge. [`SuperKernel`] then advances *all `W · 64` worlds per
+//! traversal step*: an edge transmission is `W` bitwise AND/ORs over
+//! adjacent words — a shape the compiler autovectorizes to SSE/AVX/NEON
+//! — so the structural work that dominated the 64-lane path (CSR index
+//! arithmetic, frontier queue pushes, epoch checks) is amortized over
+//! `W` times as many worlds.
 //!
-//! Since the counter-RNG refactor, **materialization is bit-parallel
-//! too**: lane words are synthesized transposed, straight from the
-//! stateless `(seed, block, item, level)` generator of [`crate::coins`]
-//! — one 64-lane Bernoulli word costs an expected `log2(64) + O(1)`
-//! uniform words instead of 64 sequential draws. And because the
-//! generator is stateless per item, **edge words are frontier-lazy**:
-//! [`WorldBlock::edge_word`] synthesizes an edge's lane word the first
-//! time a traversal touches it, so a block costs `O(n + edges reached)`
-//! coins instead of `O(n + m)`.
+//! [`WorldBlock`] and [`BlockKernel`] are the `W = 1` aliases — the
+//! classic 64-lane block path, still used by the scattered-lane adaptive
+//! passes (BSRBK, bottom-k scoring) whose hash-order replay is
+//! inherently single-word. Runtime width selection lives in
+//! [`BlockWords`](crate::BlockWords).
+//!
+//! Materialization is bit-parallel too: lane words are synthesized
+//! transposed, straight from the stateless `(seed, block, item, level)`
+//! generator of [`crate::coins`], **per home block** — a superblock
+//! holds `W` independent home-block syntheses side by side, which is
+//! what keeps counts bit-identical across widths. Edge word-vectors are
+//! **frontier-lazy**: [`SuperBlock::edge_word`] synthesizes all `W`
+//! words of an edge the first time a traversal touches it, so a
+//! superblock costs `O(W·n + W·(edges reached))` coins instead of
+//! `O(W·(n + m))`.
 //!
 //! # The `(seed, block, lane)` stream contract
 //!
-//! Sample `i` occupies lane `i % 64` of block `i / 64`, and its world
-//! is **exactly** [`PossibleWorld::sample_indexed(graph, seed, i)`]:
-//! every coin is a fixed bit of the stateless synthesis keyed by
-//! `(seed, i / 64, item)` — see [`crate::coins`] for the generator.
-//! Every sampler in this crate (the block kernels, the scalar
-//! [`ForwardSampler`](crate::ForwardSampler) and
+//! Sample `i` occupies lane `i % 64` of home block `i / 64` — word
+//! `(i / 64) % W` of superblock `i / (W · 64)` — and its world is
+//! **exactly** [`PossibleWorld::sample_indexed(graph, seed, i)`]: every
+//! coin is a fixed bit of the stateless synthesis keyed by
+//! `(seed, i / 64, item)`, independent of the superblock width it is
+//! evaluated under — see [`crate::coins`] for the generator. Every
+//! sampler in this crate (the superblock kernels at every width, the
+//! scalar [`ForwardSampler`](crate::ForwardSampler) and
 //! [`ReverseSampler`](crate::ReverseSampler) references, and the
 //! parallel drivers) evaluates deterministic functions of *those*
-//! worlds, which is why counts are **bit-identical** across lazy and
-//! eager materialization, block and scalar evaluation, any sample
-//! budget (including budgets that are not multiples of 64, served
-//! through partial lane masks), and any thread count.
+//! worlds, which is why counts are **bit-identical** across widths,
+//! lazy and eager materialization, block and scalar evaluation, any
+//! sample budget (including budgets that are not multiples of `W · 64`,
+//! served through per-word lane masks over the partial superblock), and
+//! any thread count.
 //!
 //! [`PossibleWorld::sample_indexed(graph, seed, i)`]: PossibleWorld::sample_indexed
 
-use crate::coins::{bernoulli_bit, bernoulli_word, block_key, edge_key, node_key};
+use crate::coins::{bernoulli_bit, bernoulli_words, block_key, edge_key, node_key};
 use crate::coins::{CoinTable, CoinUsage};
 use crate::world::PossibleWorld;
 use ugraph::{NodeId, UncertainGraph};
 
-/// Number of possible worlds packed into one [`WorldBlock`]: the lane
-/// width of the `u64` SIMD-within-a-register kernel.
+/// Number of possible worlds packed into one `u64` lane word: the lane
+/// width of the SIMD-within-a-register kernel.
 pub const LANES: usize = 64;
 
-/// All-lanes mask for a block holding `lanes` worlds (`lanes ≤ 64`).
+/// All-lanes mask for a word holding `lanes` worlds (`lanes ≤ 64`).
 #[inline]
 pub fn lane_mask(lanes: usize) -> u64 {
     assert!(lanes <= LANES, "a block holds at most {LANES} lanes");
@@ -55,74 +67,124 @@ pub fn lane_mask(lanes: usize) -> u64 {
     }
 }
 
-/// Where the current block's lanes draw their coins from.
+/// The word-vector of item `i` in a flat stride-`W` slice.
+#[inline(always)]
+fn wv<const W: usize>(words: &[u64], i: usize) -> &[u64; W] {
+    (&words[i * W..i * W + W]).try_into().expect("stride-W word-vector")
+}
+
+/// Mutable [`wv`].
+#[inline(always)]
+fn wv_mut<const W: usize>(words: &mut [u64], i: usize) -> &mut [u64; W] {
+    (&mut words[i * W..i * W + W]).try_into().expect("stride-W word-vector")
+}
+
+/// Per-word lane masks of the sample chunk `first_id .. first_id + lanes`
+/// within its `W`-word superblock: word `w` selects the chunk's samples
+/// that live in home block `superblock · W + w`. Uncovered home blocks
+/// get an all-zero mask (and draw no coins at all).
+fn word_masks<const W: usize>(first_id: u64, lanes: usize) -> [u64; W] {
+    let span = (W * LANES) as u64;
+    let base = first_id / span * span;
+    let (lo, hi) = (first_id, first_id + lanes as u64);
+    let mut masks = [0u64; W];
+    for (w, mask) in masks.iter_mut().enumerate() {
+        let word_start = base + (w * LANES) as u64;
+        let s = lo.max(word_start);
+        let e = hi.min(word_start + LANES as u64);
+        if s < e {
+            *mask = lane_mask((e - s) as usize) << (s - word_start);
+        }
+    }
+    masks
+}
+
+/// Where the current superblock's lanes draw their coins from.
 #[derive(Debug, Clone)]
-enum LaneSource {
-    /// No block materialized yet.
+enum LaneSource<const W: usize> {
+    /// No superblock materialized yet.
     Empty,
-    /// Lanes are the 64 consecutive samples of one block: coins come
-    /// from transposed 64-lane synthesis under one block key.
-    Aligned { key: u64 },
+    /// Word `w` holds the 64 consecutive samples of home block
+    /// `superblock · W + w`: coins come from transposed 64-lane
+    /// synthesis under one block key per word.
+    Aligned { keys: [u64; W] },
     /// Lane `j` is the arbitrary sample `ids[j]` (BSRBK hash order):
     /// each lane projects its own home block's synthesis, one bit at a
-    /// time.
+    /// time. Only built at `W = 1`.
     Scattered { keys: Vec<(u64, u32)> },
 }
 
-/// 64 possible worlds packed as per-node and per-edge `u64` lane masks.
+/// `W · 64` possible worlds packed as per-node and per-edge `[u64; W]`
+/// word-vectors (stored transposed-contiguously in flat stride-`W`
+/// buffers).
 ///
-/// Node words are synthesized eagerly at
+/// Node word-vectors are synthesized eagerly at
 /// [`materialize`](Self::materialize) time (the forward kernel needs
-/// every node's seeds); edge words are **frontier-lazy** — synthesized
-/// by [`edge_word`](Self::edge_word) on first touch and cached for the
-/// rest of the block via epoch stamps, so untouched edges cost nothing.
+/// every node's seeds); edge word-vectors are **frontier-lazy** —
+/// synthesized by [`edge_word`](Self::edge_word) on first touch and
+/// cached for the rest of the superblock via epoch stamps, so untouched
+/// edges cost nothing.
 ///
 /// Buffers are reusable: materialization overwrites them in place, so a
-/// sampling loop allocates once per run.
+/// sampling loop allocates once per run. [`WorldBlock`] is the `W = 1`
+/// alias.
 #[derive(Debug, Clone)]
-pub struct WorldBlock {
-    /// `node_words[v]` bit `j` — node `v` self-defaulted in lane `j`.
+pub struct SuperBlock<const W: usize> {
+    /// `node_words[v·W + w]` bit `j` — node `v` self-defaulted in lane
+    /// `j` of home block `w`.
     node_words: Vec<u64>,
-    /// `edge_words[e]` bit `j` — edge `e` (canonical id) survived in
-    /// lane `j`. Valid only where `edge_epoch[e] == epoch`.
+    /// `edge_words[e·W + w]` bit `j` — edge `e` (canonical id) survived
+    /// in lane `j` of home block `w`. Valid only where
+    /// `edge_epoch[e] == epoch`.
     edge_words: Vec<u64>,
-    /// Lazy-materialization stamps: `edge_words[e]` belongs to the
-    /// current block iff `edge_epoch[e] == epoch`.
+    /// Lazy-materialization stamps: edge `e`'s word-vector belongs to
+    /// the current superblock iff `edge_epoch[e] == epoch`.
     edge_epoch: Vec<u32>,
     epoch: u32,
-    /// Which lanes hold materialized worlds.
-    lane_mask: u64,
-    source: LaneSource,
-    /// Edges not yet materialized in the current block (flushed into
-    /// `usage.edge_words_skipped` when the next block begins).
-    pending_edges: u64,
+    /// Which lanes of which words hold materialized worlds.
+    lane_masks: [u64; W],
+    /// Words of `lane_masks` that are non-zero — the per-edge lazy-skip
+    /// accounting unit, so partial superblocks are not over-credited.
+    covered_words: u64,
+    source: LaneSource<W>,
+    /// Edge words not yet materialized in the current superblock
+    /// (flushed into `usage.edge_words_skipped` when the next superblock
+    /// begins).
+    pending_edge_words: u64,
     usage: CoinUsage,
 }
 
-impl WorldBlock {
-    /// Creates an empty block with buffers sized for `graph`.
+/// The classic 64-lane world block — a [`SuperBlock`] of width 1.
+pub type WorldBlock = SuperBlock<1>;
+
+impl<const W: usize> SuperBlock<W> {
+    /// Creates an empty superblock with buffers sized for `graph`.
     pub fn new(graph: &UncertainGraph) -> Self {
-        WorldBlock {
-            node_words: vec![0; graph.num_nodes()],
-            edge_words: vec![0; graph.num_edges()],
+        assert!(W >= 1 && W <= crate::width::MAX_BLOCK_WORDS && W.is_power_of_two());
+        SuperBlock {
+            node_words: vec![0; graph.num_nodes() * W],
+            edge_words: vec![0; graph.num_edges() * W],
             // Stamps start unequal to every epoch the block can reach,
             // so an edge_word() call before the first materialize()
             // hits the LaneSource::Empty panic instead of silently
             // serving an all-zero word.
             edge_epoch: vec![u32::MAX; graph.num_edges()],
             epoch: 0,
-            lane_mask: 0,
+            lane_masks: [0; W],
+            covered_words: 0,
             source: LaneSource::Empty,
-            pending_edges: 0,
+            pending_edge_words: 0,
             usage: CoinUsage::default(),
         }
     }
 
-    /// Starts a new block: flushes lazy-skip accounting and invalidates
-    /// all cached edge words.
-    fn begin_block(&mut self) {
-        self.usage.edge_words_skipped += self.pending_edges;
-        self.pending_edges = self.edge_words.len() as u64;
+    /// Starts a new superblock: flushes lazy-skip accounting and
+    /// invalidates all cached edge word-vectors.
+    fn begin_block(&mut self, covered_words: u64) {
+        self.usage.edge_words_skipped += self.pending_edge_words;
+        self.covered_words = covered_words;
+        self.pending_edge_words = self.edge_epoch.len() as u64 * covered_words;
+        self.usage.superblocks += 1;
         // `u32::MAX` is reserved as the never-materialized sentinel, so
         // recycle one step early.
         if self.epoch >= u32::MAX - 1 {
@@ -133,11 +195,15 @@ impl WorldBlock {
     }
 
     /// Materializes the worlds of samples `first_id .. first_id + lanes`
-    /// (all within one 64-aligned block): sample `first_id + i` occupies
-    /// lane `(first_id + i) % 64`, so partial chunks of the same block
-    /// draw the same transposed words and merge exactly.
+    /// (all within one `W·64`-aligned superblock): sample `first_id + i`
+    /// occupies lane `(first_id + i) % 64` of word
+    /// `(first_id + i) / 64 % W`, so partial chunks of the same
+    /// superblock draw the same transposed words and merge exactly —
+    /// and the same lane words the width-1 path would synthesize for
+    /// each covered home block, which is what keeps every width
+    /// bit-identical.
     ///
-    /// Node words are synthesized now; edge words wait for
+    /// Node word-vectors are synthesized now; edge word-vectors wait for
     /// [`edge_word`](Self::edge_word) (call
     /// [`force_edges`](Self::force_edges) for the eager equivalent).
     pub fn materialize(
@@ -148,30 +214,161 @@ impl WorldBlock {
         first_id: u64,
         lanes: usize,
     ) {
-        let lane0 = (first_id % LANES as u64) as usize;
-        assert!(lanes >= 1 && lane0 + lanes <= LANES, "chunk crosses a block boundary");
+        let span = (W * LANES) as u64;
+        assert!(
+            lanes >= 1 && first_id % span + lanes as u64 <= span,
+            "chunk crosses a superblock boundary"
+        );
         debug_assert!(coins.matches(graph), "stale coin table for this graph");
         debug_assert_eq!(coins.num_nodes(), graph.num_nodes(), "table/graph node mismatch");
-        self.begin_block();
-        let key = block_key(seed, first_id / LANES as u64);
-        let mask = lane_mask(lanes) << lane0;
-        for (v, word) in self.node_words.iter_mut().enumerate() {
-            *word = bernoulli_word(
-                coins.node_threshold(v),
-                node_key(key, v),
-                mask,
-                &mut self.usage.words,
-            );
+        let superblock = first_id / span;
+        let mut keys = [0u64; W];
+        for (w, key) in keys.iter_mut().enumerate() {
+            *key = block_key(seed, superblock * W as u64 + w as u64);
         }
-        self.source = LaneSource::Aligned { key };
-        self.lane_mask = mask;
+        let masks = word_masks::<W>(first_id, lanes);
+        self.begin_block(masks.iter().filter(|&&m| m != 0).count() as u64);
+        for (v, out) in self.node_words.chunks_exact_mut(W).enumerate() {
+            let t = coins.node_threshold(v);
+            let mut item_keys = [0u64; W];
+            for w in 0..W {
+                item_keys[w] = node_key(keys[w], v);
+            }
+            let vec = bernoulli_words::<W>(t, &item_keys, &masks, &mut self.usage.words);
+            out.copy_from_slice(&vec);
+        }
+        self.source = LaneSource::Aligned { keys };
+        self.lane_masks = masks;
     }
 
+    /// The survival word-vector of edge `e` in the current superblock,
+    /// synthesized on first touch (frontier-lazy, all `W` words at once)
+    /// and cached for the rest of the superblock.
+    #[inline]
+    pub fn edge_word(&mut self, coins: &CoinTable, e: usize) -> [u64; W] {
+        if self.edge_epoch[e] == self.epoch {
+            *wv::<W>(&self.edge_words, e)
+        } else {
+            self.materialize_edge(coins, e)
+        }
+    }
+
+    fn materialize_edge(&mut self, coins: &CoinTable, e: usize) -> [u64; W] {
+        self.edge_epoch[e] = self.epoch;
+        // Saturating: a `take_usage` mid-block already flushed the
+        // remaining edge words as skipped, so later touches must not
+        // underflow the pending count.
+        self.pending_edge_words = self.pending_edge_words.saturating_sub(self.covered_words);
+        self.usage.edge_words_materialized += self.covered_words;
+        let t = coins.edge_threshold(e);
+        let mut vec = [0u64; W];
+        match &self.source {
+            LaneSource::Aligned { keys } => {
+                let mut item_keys = [0u64; W];
+                for w in 0..W {
+                    item_keys[w] = edge_key(keys[w], e);
+                }
+                vec = bernoulli_words::<W>(t, &item_keys, &self.lane_masks, &mut self.usage.words);
+            }
+            LaneSource::Scattered { keys } => {
+                let mut word = 0u64;
+                if t != 0 {
+                    for (j, &(key, lane)) in keys.iter().enumerate() {
+                        let coin =
+                            bernoulli_bit(t, edge_key(key, e), lane, false, &mut self.usage.words);
+                        word |= (coin as u64) << j;
+                    }
+                }
+                vec[0] = word;
+            }
+            LaneSource::Empty => panic!("edge_word before materialize"),
+        }
+        wv_mut::<W>(&mut self.edge_words, e).copy_from_slice(&vec);
+        vec
+    }
+
+    /// Eagerly synthesizes every edge word-vector of the current
+    /// superblock — bit-identical to what the lazy path would produce on
+    /// touch. Used by the eager/lazy equivalence tests and the
+    /// materialization-phase benchmarks.
+    pub fn force_edges(&mut self, coins: &CoinTable) {
+        for e in 0..self.edge_epoch.len() {
+            let _ = self.edge_word(coins, e);
+        }
+    }
+
+    /// Per-node self-default word-vectors as a flat stride-`W` slice:
+    /// node `v`'s words are `node_words()[v·W .. v·W + W]`. At `W = 1`
+    /// this is the classic one-word-per-node layout.
+    #[inline]
+    pub fn node_words(&self) -> &[u64] {
+        &self.node_words
+    }
+
+    /// Self-default word-vector of node `v` (always materialized).
+    #[inline]
+    pub fn node_word_vec(&self, v: usize) -> &[u64; W] {
+        wv::<W>(&self.node_words, v)
+    }
+
+    /// Per-word masks of materialized lanes. Words whose mask is zero
+    /// hold no worlds (partial superblocks at the tail of a budget, or
+    /// the head of a cache extension resuming mid-superblock).
+    #[inline]
+    pub fn lane_masks(&self) -> &[u64; W] {
+        &self.lane_masks
+    }
+
+    /// Number of materialized lanes across all words.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lane_masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Drains the accumulated materialization counters (including the
+    /// lazy-skip credit of the current superblock, which is thereby
+    /// closed out).
+    pub fn take_usage(&mut self) -> CoinUsage {
+        self.usage.edge_words_skipped += self.pending_edge_words;
+        self.pending_edge_words = 0;
+        std::mem::take(&mut self.usage)
+    }
+
+    /// Unpacks one lane (`lane < W · 64`, indexing the superblock's
+    /// worlds in sample order) into a [`PossibleWorld`] — a test/debug
+    /// helper, bit-identical to sampling that world directly. Forces
+    /// every edge word of the superblock.
+    pub fn lane_world(&mut self, coins: &CoinTable, lane: usize) -> PossibleWorld {
+        let (word, bit_index) = (lane / LANES, lane % LANES);
+        assert!(
+            word < W && self.lane_masks[word] >> bit_index & 1 == 1,
+            "lane {lane} is not materialized"
+        );
+        self.force_edges(coins);
+        let bit = 1u64 << bit_index;
+        PossibleWorld {
+            self_default: self
+                .node_words
+                .chunks_exact(W)
+                .map(|words| words[word] & bit != 0)
+                .collect(),
+            edge_live: self
+                .edge_words
+                .chunks_exact(W)
+                .map(|words| words[word] & bit != 0)
+                .collect(),
+        }
+    }
+}
+
+impl WorldBlock {
     /// Materializes worlds for explicit sample ids (at most [`LANES`]):
     /// lane `j` is sample `ids[j]`. Used by adaptive passes (BSRBK,
     /// bottom-k scoring) that visit samples in hash order. Each lane
     /// projects one bit out of its home block's synthesis, so scattered
     /// blocks remain bit-identical to the aligned path and the oracle.
+    /// Scattered replay is inherently single-word, so this only exists
+    /// at `W = 1`.
     pub fn materialize_ids(
         &mut self,
         graph: &UncertainGraph,
@@ -181,7 +378,7 @@ impl WorldBlock {
     ) {
         assert!(ids.len() <= LANES, "a block holds at most {LANES} lanes");
         debug_assert!(coins.matches(graph), "stale coin table for this graph");
-        self.begin_block();
+        self.begin_block(1);
         let keys: Vec<(u64, u32)> = ids
             .iter()
             .map(|&id| (block_key(seed, id / LANES as u64), (id % LANES as u64) as u32))
@@ -198,65 +395,14 @@ impl WorldBlock {
             }
             *word = w;
         }
-        self.lane_mask = lane_mask(keys.len());
+        self.lane_masks = [lane_mask(keys.len())];
         self.source = LaneSource::Scattered { keys };
     }
 
-    /// The survival lane word of edge `e` in the current block,
-    /// synthesized on first touch (frontier-lazy) and cached for the
-    /// rest of the block.
+    /// Mask of materialized lanes — the single word of a width-1 block.
     #[inline]
-    pub fn edge_word(&mut self, coins: &CoinTable, e: usize) -> u64 {
-        if self.edge_epoch[e] == self.epoch {
-            self.edge_words[e]
-        } else {
-            self.materialize_edge(coins, e)
-        }
-    }
-
-    fn materialize_edge(&mut self, coins: &CoinTable, e: usize) -> u64 {
-        self.edge_epoch[e] = self.epoch;
-        // Saturating: a `take_usage` mid-block already flushed the
-        // remaining edges as skipped, so later touches must not
-        // underflow the pending count.
-        self.pending_edges = self.pending_edges.saturating_sub(1);
-        self.usage.edge_words_materialized += 1;
-        let t = coins.edge_threshold(e);
-        let w = match &self.source {
-            LaneSource::Aligned { key } => {
-                bernoulli_word(t, edge_key(*key, e), self.lane_mask, &mut self.usage.words)
-            }
-            LaneSource::Scattered { keys } => {
-                let mut w = 0u64;
-                if t != 0 {
-                    for (j, &(key, lane)) in keys.iter().enumerate() {
-                        let coin =
-                            bernoulli_bit(t, edge_key(key, e), lane, false, &mut self.usage.words);
-                        w |= (coin as u64) << j;
-                    }
-                }
-                w
-            }
-            LaneSource::Empty => panic!("edge_word before materialize"),
-        };
-        self.edge_words[e] = w;
-        w
-    }
-
-    /// Eagerly synthesizes every edge word of the current block —
-    /// bit-identical to what the lazy path would produce on touch. Used
-    /// by the eager/lazy equivalence tests and the materialization-phase
-    /// benchmarks.
-    pub fn force_edges(&mut self, coins: &CoinTable) {
-        for e in 0..self.edge_words.len() {
-            let _ = self.edge_word(coins, e);
-        }
-    }
-
-    /// Per-node self-default lane masks.
-    #[inline]
-    pub fn node_words(&self) -> &[u64] {
-        &self.node_words
+    pub fn lane_mask(&self) -> u64 {
+        self.lane_masks[0]
     }
 
     /// Self-default lane mask of node `v` (always materialized).
@@ -264,54 +410,22 @@ impl WorldBlock {
     pub fn node_word(&self, v: usize) -> u64 {
         self.node_words[v]
     }
-
-    /// Mask of materialized lanes.
-    #[inline]
-    pub fn lane_mask(&self) -> u64 {
-        self.lane_mask
-    }
-
-    /// Number of materialized lanes.
-    #[inline]
-    pub fn lane_count(&self) -> usize {
-        self.lane_mask.count_ones() as usize
-    }
-
-    /// Drains the accumulated materialization counters (including the
-    /// lazy-skip credit of the current block, which is thereby closed
-    /// out).
-    pub fn take_usage(&mut self) -> CoinUsage {
-        self.usage.edge_words_skipped += self.pending_edges;
-        self.pending_edges = 0;
-        std::mem::take(&mut self.usage)
-    }
-
-    /// Unpacks one lane into a [`PossibleWorld`] — a test/debug helper,
-    /// bit-identical to sampling that world directly. Forces every edge
-    /// word of the block.
-    pub fn lane_world(&mut self, coins: &CoinTable, lane: usize) -> PossibleWorld {
-        assert!(self.lane_mask >> lane & 1 == 1, "lane {lane} is not materialized");
-        self.force_edges(coins);
-        let bit = 1u64 << lane;
-        PossibleWorld {
-            self_default: self.node_words.iter().map(|w| w & bit != 0).collect(),
-            edge_live: self.edge_words.iter().map(|w| w & bit != 0).collect(),
-        }
-    }
 }
 
-/// Reusable block BFS/propagation kernel. Holds all scratch buffers so
-/// repeated blocks allocate nothing. Takes the block mutably: edge lane
-/// words materialize lazily as the traversal first touches them.
+/// Reusable superblock BFS/propagation kernel. Holds all scratch buffers
+/// (flat stride-`W`, like [`SuperBlock`]) so repeated superblocks
+/// allocate nothing. Takes the superblock mutably: edge word-vectors
+/// materialize lazily as the traversal first touches them.
+/// [`BlockKernel`] is the `W = 1` alias.
 #[derive(Debug, Clone)]
-pub struct BlockKernel {
-    // Forward pass: per-node "defaulted in lane j" masks.
+pub struct SuperKernel<const W: usize> {
+    // Forward pass: per-node "defaulted in lane j of word w" vectors.
     defaulted: Vec<u64>,
-    // Reverse pass: per-node "reachable from the candidate in lane j
-    // through surviving edges" masks, cleared via `touched`.
+    // Reverse pass: per-node "reachable from the candidate through
+    // surviving edges" vectors, cleared via `touched`.
     reached: Vec<u64>,
-    // Per-block positive/negative caches shared across candidates of one
-    // block: lanes where a node is known to default / known safe.
+    // Per-superblock positive/negative caches shared across candidates:
+    // lanes where a node is known to default / known safe.
     hit_known: Vec<u64>,
     safe_known: Vec<u64>,
     queue: Vec<u32>,
@@ -319,43 +433,48 @@ pub struct BlockKernel {
     touched: Vec<u32>,
 }
 
-impl BlockKernel {
+/// The classic 64-lane block kernel — a [`SuperKernel`] of width 1.
+pub type BlockKernel = SuperKernel<1>;
+
+impl<const W: usize> SuperKernel<W> {
     /// Creates a kernel with scratch buffers sized for `graph`.
     pub fn new(graph: &UncertainGraph) -> Self {
         let n = graph.num_nodes();
-        BlockKernel {
-            defaulted: vec![0; n],
-            reached: vec![0; n],
-            hit_known: vec![0; n],
-            safe_known: vec![0; n],
+        SuperKernel {
+            defaulted: vec![0; n * W],
+            reached: vec![0; n * W],
+            hit_known: vec![0; n * W],
+            safe_known: vec![0; n * W],
             queue: Vec::new(),
             in_queue: vec![false; n],
             touched: Vec::new(),
         }
     }
 
-    /// Evaluates default reachability for all worlds of `block` at
-    /// once: returns per-node lane masks where bit `j` says "node
-    /// defaults in lane `j`'s world" (self-default or reachable from a
-    /// self-defaulted node through surviving edges).
+    /// Evaluates default reachability for all worlds of `block` at once:
+    /// returns per-node word-vectors (flat stride-`W`, node `v` at
+    /// `result[v·W .. v·W + W]`) where bit `j` of word `w` says "node
+    /// defaults in lane `j` of home block `w`" (self-default or
+    /// reachable from a self-defaulted node through surviving edges).
     ///
-    /// One label-correcting BFS advances every lane per step: an edge
-    /// transmits `defaulted[source] & edge_word(edge)` in a single AND,
-    /// so the traversal cost is shared by all 64 worlds — and the edge
-    /// word is only synthesized if the transmission could still change
-    /// the target, so untouched edges draw no coins at all.
+    /// One label-correcting BFS advances every lane of every word per
+    /// step: an edge transmits `defaulted[source] & edge_word(edge)` as
+    /// `W` adjacent ANDs, so the traversal cost is shared by all `W·64`
+    /// worlds — and the edge word-vector is only synthesized if the
+    /// transmission could still change the target, so untouched edges
+    /// draw no coins at all.
     pub fn forward_defaults(
         &mut self,
         graph: &UncertainGraph,
         coins: &CoinTable,
-        block: &mut WorldBlock,
+        block: &mut SuperBlock<W>,
     ) -> &[u64] {
-        debug_assert_eq!(block.node_words.len(), graph.num_nodes(), "block/graph node mismatch");
-        debug_assert_eq!(block.edge_words.len(), graph.num_edges(), "block/graph edge mismatch");
+        debug_assert_eq!(block.node_words.len(), self.defaulted.len(), "block/kernel mismatch");
+        debug_assert_eq!(block.edge_epoch.len(), graph.num_edges(), "block/graph edge mismatch");
         self.defaulted.copy_from_slice(block.node_words());
         self.queue.clear();
-        for (v, &w) in self.defaulted.iter().enumerate() {
-            if w != 0 {
+        for (v, words) in self.defaulted.chunks_exact(W).enumerate() {
+            if words.iter().any(|&w| w != 0) {
                 self.queue.push(v as u32);
                 self.in_queue[v] = true;
             }
@@ -365,105 +484,171 @@ impl BlockKernel {
             let v = self.queue[head] as usize;
             head += 1;
             self.in_queue[v] = false;
-            let lanes = self.defaulted[v];
+            let lanes = *wv::<W>(&self.defaulted, v);
             let targets = graph.out_neighbors(NodeId(v as u32));
             for (e, &t) in graph.out_edge_range(NodeId(v as u32)).zip(targets) {
                 let t = t as usize;
                 // Lanes the transmission could still infect; if none,
-                // the edge word is not even synthesized.
-                let gate = lanes & !self.defaulted[t];
-                if gate == 0 {
+                // the edge word-vector is not even synthesized.
+                let mut gate = [0u64; W];
+                let mut any = 0u64;
+                let target = wv::<W>(&self.defaulted, t);
+                for w in 0..W {
+                    gate[w] = lanes[w] & !target[w];
+                    any |= gate[w];
+                }
+                if any == 0 {
                     continue;
                 }
-                let new = gate & block.edge_word(coins, e);
-                if new != 0 {
-                    self.defaulted[t] |= new;
-                    if !self.in_queue[t] {
-                        self.in_queue[t] = true;
-                        self.queue.push(t as u32);
-                    }
+                let edge = block.edge_word(coins, e);
+                let target = wv_mut::<W>(&mut self.defaulted, t);
+                let mut new_any = 0u64;
+                for w in 0..W {
+                    let new = gate[w] & edge[w];
+                    new_any |= new;
+                    target[w] |= new;
+                }
+                if new_any != 0 && !self.in_queue[t] {
+                    self.in_queue[t] = true;
+                    self.queue.push(t as u32);
                 }
             }
         }
         &self.defaulted
     }
 
-    /// Starts a new block for [`Self::reverse_hit_word`]: forgets the
-    /// per-block positive/negative caches. Must be called after
-    /// materializing a fresh block and before the first candidate query
-    /// against it.
+    /// Starts a new superblock for [`Self::reverse_hit_words`]: forgets
+    /// the per-superblock positive/negative caches. Must be called after
+    /// materializing a fresh superblock and before the first candidate
+    /// query against it.
     pub fn begin_block(&mut self) {
         self.hit_known.iter_mut().for_each(|w| *w = 0);
         self.safe_known.iter_mut().for_each(|w| *w = 0);
     }
 
-    /// Decides, for every lane of `block` at once, whether candidate `v`
-    /// defaults in that lane's world: a reverse BFS over **in**-edges
-    /// from `v` looks for a self-defaulted ancestor reachable through
-    /// surviving edges, with per-lane frontiers. Returns the lane mask
-    /// of worlds where `v` defaults. Edge words materialize lazily as
-    /// the reverse frontier first crosses them, so the block's coin
-    /// cost is `O(edges reached)`, not `O(m)`.
+    /// Decides, for every lane of every word of `block` at once, whether
+    /// candidate `v` defaults in that lane's world: a reverse BFS over
+    /// **in**-edges from `v` looks for a self-defaulted ancestor
+    /// reachable through surviving edges, with per-lane frontiers.
+    /// Returns the word-vector of worlds where `v` defaults. Edge
+    /// word-vectors materialize lazily as the reverse frontier first
+    /// crosses them, so the superblock's coin cost is
+    /// `O(W · edges reached)`, not `O(W · m)`.
     ///
-    /// Results are pure functions of the block's worlds, so the
-    /// per-block caches filled by earlier candidates only skip work —
-    /// they can never change an answer.
-    pub fn reverse_hit_word(
+    /// Results are pure functions of the superblock's worlds, so the
+    /// per-superblock caches filled by earlier candidates only skip work
+    /// — they can never change an answer.
+    pub fn reverse_hit_words(
         &mut self,
         graph: &UncertainGraph,
         coins: &CoinTable,
-        block: &mut WorldBlock,
+        block: &mut SuperBlock<W>,
         v: NodeId,
-    ) -> u64 {
-        let want = block.lane_mask();
-        let mut hit = self.hit_known[v.index()] & want;
+    ) -> [u64; W] {
+        let want = *block.lane_masks();
+        let mut hit = [0u64; W];
         // Lanes still needing a verdict; shrinks as hits are found.
-        let mut undecided = want & !hit & !self.safe_known[v.index()];
-        if undecided != 0 {
+        let mut undecided = [0u64; W];
+        let mut any_undecided = 0u64;
+        {
+            let known_hit = wv::<W>(&self.hit_known, v.index());
+            let known_safe = wv::<W>(&self.safe_known, v.index());
+            for w in 0..W {
+                hit[w] = known_hit[w] & want[w];
+                undecided[w] = want[w] & !hit[w] & !known_safe[w];
+                any_undecided |= undecided[w];
+            }
+        }
+        if any_undecided != 0 {
             self.queue.clear();
             self.touched.clear();
-            self.reached[v.index()] = undecided;
+            wv_mut::<W>(&mut self.reached, v.index()).copy_from_slice(&undecided);
             self.touched.push(v.0);
             self.queue.push(v.0);
             self.in_queue[v.index()] = true;
             let mut head = 0;
-            while head < self.queue.len() {
+            'bfs: while head < self.queue.len() {
                 let u = self.queue[head] as usize;
                 head += 1;
                 self.in_queue[u] = false;
-                let active = self.reached[u] & undecided;
-                if active == 0 {
+                let mut active = [0u64; W];
+                let mut any_active = 0u64;
+                {
+                    let reached = wv::<W>(&self.reached, u);
+                    for w in 0..W {
+                        active[w] = reached[w] & undecided[w];
+                        any_active |= active[w];
+                    }
+                }
+                if any_active == 0 {
                     continue;
                 }
                 // A self-defaulted (or known-defaulted) ancestor decides
                 // its lanes immediately.
-                let hits_here = active & (block.node_word(u) | self.hit_known[u]);
-                if hits_here != 0 {
-                    hit |= hits_here;
-                    undecided &= !hits_here;
-                    if undecided == 0 {
-                        break;
+                let mut hits_here = [0u64; W];
+                let mut any_hits = 0u64;
+                {
+                    let node = block.node_word_vec(u);
+                    let known_hit = wv::<W>(&self.hit_known, u);
+                    for w in 0..W {
+                        hits_here[w] = active[w] & (node[w] | known_hit[w]);
+                        any_hits |= hits_here[w];
+                    }
+                }
+                if any_hits != 0 {
+                    let mut left = 0u64;
+                    for w in 0..W {
+                        hit[w] |= hits_here[w];
+                        undecided[w] &= !hits_here[w];
+                        left |= undecided[w];
+                    }
+                    if left == 0 {
+                        break 'bfs;
                     }
                 }
                 // Known-safe lanes cannot contain a defaulted ancestor:
                 // do not expand them.
-                let expand = active & !hits_here & !self.safe_known[u];
-                if expand == 0 {
+                let mut expand = [0u64; W];
+                let mut any_expand = 0u64;
+                {
+                    let known_safe = wv::<W>(&self.safe_known, u);
+                    for w in 0..W {
+                        expand[w] = active[w] & !hits_here[w] & !known_safe[w];
+                        any_expand |= expand[w];
+                    }
+                }
+                if any_expand == 0 {
                     continue;
                 }
                 let sources = graph.in_neighbors(NodeId(u as u32));
                 for (&e, &s) in graph.in_edge_ids(NodeId(u as u32)).iter().zip(sources) {
                     let s = s as usize;
-                    let gate = expand & !self.reached[s];
-                    if gate == 0 {
+                    let mut gate = [0u64; W];
+                    let mut any_gate = 0u64;
+                    let mut was_reached = 0u64;
+                    {
+                        let reached = wv::<W>(&self.reached, s);
+                        for w in 0..W {
+                            gate[w] = expand[w] & !reached[w];
+                            any_gate |= gate[w];
+                            was_reached |= reached[w];
+                        }
+                    }
+                    if any_gate == 0 {
                         continue;
                     }
-                    let new = gate & block.edge_word(coins, e as usize);
-                    if new != 0 {
-                        if self.reached[s] == 0 {
+                    let edge = block.edge_word(coins, e as usize);
+                    let reached = wv_mut::<W>(&mut self.reached, s);
+                    let mut any_new = 0u64;
+                    for w in 0..W {
+                        let new = gate[w] & edge[w];
+                        any_new |= new;
+                        reached[w] |= new;
+                    }
+                    if any_new != 0 {
+                        if was_reached == 0 {
                             self.touched.push(s as u32);
                         }
-                        self.reached[s] |= new;
                         if !self.in_queue[s] {
                             self.in_queue[s] = true;
                             self.queue.push(s as u32);
@@ -474,41 +659,73 @@ impl BlockKernel {
             // Reset per-candidate scratch. `in_queue` may hold stale
             // `true` marks when the search broke early, so clear both.
             for &u in &self.touched {
-                self.reached[u as usize] = 0;
+                wv_mut::<W>(&mut self.reached, u as usize).fill(0);
                 self.in_queue[u as usize] = false;
             }
         }
         // Record the verdicts: lanes that exhausted without a hit are
-        // provably safe for this candidate within this block.
-        self.hit_known[v.index()] |= hit;
-        self.safe_known[v.index()] |= want & !hit;
+        // provably safe for this candidate within this superblock.
+        let known_hit = wv_mut::<W>(&mut self.hit_known, v.index());
+        for w in 0..W {
+            known_hit[w] |= hit[w];
+        }
+        let known_safe = wv_mut::<W>(&mut self.safe_known, v.index());
+        for w in 0..W {
+            known_safe[w] |= want[w] & !hit[w];
+        }
         hit
     }
 
-    /// [`Self::reverse_hit_word`] over a candidate list, writing one
-    /// lane mask per candidate into `out` (cleared and refilled).
+    /// [`Self::reverse_hit_words`] over a candidate list, writing one
+    /// word-vector per candidate into `out` (cleared and refilled as a
+    /// flat stride-`W` buffer, candidate `i` at `out[i·W .. i·W + W]`).
     /// Calls [`Self::begin_block`] internally.
     pub fn reverse_hits_into(
         &mut self,
         graph: &UncertainGraph,
         coins: &CoinTable,
-        block: &mut WorldBlock,
+        block: &mut SuperBlock<W>,
         candidates: &[NodeId],
         out: &mut Vec<u64>,
     ) {
         self.begin_block();
         out.clear();
         for &v in candidates {
-            let word = self.reverse_hit_word(graph, coins, block, v);
-            out.push(word);
+            let words = self.reverse_hit_words(graph, coins, block, v);
+            out.extend_from_slice(&words);
         }
     }
 }
 
+impl BlockKernel {
+    /// Single-word [`SuperKernel::reverse_hit_words`]: the lane mask of
+    /// worlds where candidate `v` defaults. Used by the scattered-lane
+    /// adaptive passes (BSRBK), which replay individual lanes.
+    pub fn reverse_hit_word(
+        &mut self,
+        graph: &UncertainGraph,
+        coins: &CoinTable,
+        block: &mut WorldBlock,
+        v: NodeId,
+    ) -> u64 {
+        self.reverse_hit_words(graph, coins, block, v)[0]
+    }
+}
+
 /// Splits a sample-id range into chunks that never cross a 64-aligned
-/// block boundary — the unit the parallel driver partitions by and the
-/// engine cache snapshots at.
+/// block boundary — [`superblock_chunks`] at width 1.
 pub fn block_chunks(range: std::ops::Range<u64>) -> impl Iterator<Item = std::ops::Range<u64>> {
+    superblock_chunks(range, 1)
+}
+
+/// Splits a sample-id range into chunks that never cross a
+/// `words · 64`-aligned superblock boundary — the unit the parallel
+/// driver partitions by and the engine cache snapshots at.
+pub fn superblock_chunks(
+    range: std::ops::Range<u64>,
+    words: usize,
+) -> impl Iterator<Item = std::ops::Range<u64>> {
+    let span = (words * LANES) as u64;
     let end = range.end.max(range.start);
     let mut next = range.start;
     std::iter::from_fn(move || {
@@ -516,7 +733,7 @@ pub fn block_chunks(range: std::ops::Range<u64>) -> impl Iterator<Item = std::op
             return None;
         }
         let start = next;
-        let boundary = (start / LANES as u64 + 1) * LANES as u64;
+        let boundary = (start / span + 1) * span;
         next = boundary.min(end);
         Some(start..next)
     })
@@ -530,6 +747,15 @@ mod tests {
     fn chain() -> UncertainGraph {
         from_parts(&[0.5, 0.0, 0.0], &[(0, 1, 0.5), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
             .unwrap()
+    }
+
+    fn mesh() -> UncertainGraph {
+        from_parts(
+            &[0.4, 0.1, 0.2, 0.0, 0.3],
+            &[(0, 1, 0.6), (1, 2, 0.5), (2, 0, 0.4), (1, 3, 0.7), (3, 4, 0.9)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -546,6 +772,47 @@ mod tests {
     }
 
     #[test]
+    fn superblock_lanes_match_materialized_worlds_bitwise() {
+        let g = mesh();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<4>::new(&g);
+        // Superblock 2 of width 4 covers samples 512..768.
+        block.materialize(&g, &coins, 42, 512, 256);
+        assert_eq!(block.lane_masks(), &[u64::MAX; 4]);
+        assert_eq!(block.lane_count(), 256);
+        for lane in [0usize, 63, 64, 100, 191, 255] {
+            let expected = PossibleWorld::sample_indexed(&g, 42, 512 + lane as u64);
+            assert_eq!(block.lane_world(&coins, lane), expected, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn superblock_words_match_width1_blocks_bitwise() {
+        // Word w of a superblock must hold exactly the lane words a
+        // width-1 materialization of home block w would synthesize.
+        let g = mesh();
+        let coins = CoinTable::new(&g);
+        let mut wide = SuperBlock::<4>::new(&g);
+        wide.materialize(&g, &coins, 9, 256, 256);
+        wide.force_edges(&coins);
+        for w in 0..4usize {
+            let mut narrow = WorldBlock::new(&g);
+            narrow.materialize(&g, &coins, 9, 256 + (w * LANES) as u64, LANES);
+            narrow.force_edges(&coins);
+            for v in 0..g.num_nodes() {
+                assert_eq!(wide.node_word_vec(v)[w], narrow.node_word(v), "node {v} word {w}");
+            }
+            for e in 0..g.num_edges() {
+                assert_eq!(
+                    wide.edge_word(&coins, e)[w],
+                    narrow.edge_word(&coins, e)[0],
+                    "edge {e} word {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn partial_blocks_mask_unused_lanes() {
         let g = chain();
         let coins = CoinTable::new(&g);
@@ -557,6 +824,41 @@ mod tests {
         // High lanes read as all-zero coins.
         for w in block.node_words().iter().chain(&block.edge_words) {
             assert_eq!(w & !0b11111, 0);
+        }
+    }
+
+    #[test]
+    fn partial_superblocks_mask_trailing_words() {
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<4>::new(&g);
+        // Samples 0..70: word 0 full, word 1 partial, words 2–3 empty.
+        block.materialize(&g, &coins, 7, 0, 70);
+        assert_eq!(block.lane_masks(), &[u64::MAX, 0b111111, 0, 0]);
+        assert_eq!(block.lane_count(), 70);
+        block.force_edges(&coins);
+        for words in block.node_words.chunks_exact(4).chain(block.edge_words.chunks_exact(4)) {
+            assert_eq!(words[1] & !0b111111, 0);
+            assert_eq!(words[2], 0);
+            assert_eq!(words[3], 0);
+        }
+    }
+
+    #[test]
+    fn mid_superblock_chunks_mask_leading_words() {
+        // A cache extension can resume at a 64-aligned point that is not
+        // superblock-aligned: samples 64..256 of a width-4 superblock
+        // leave word 0 empty.
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<4>::new(&g);
+        block.materialize(&g, &coins, 7, 64, 192);
+        assert_eq!(block.lane_masks(), &[0, u64::MAX, u64::MAX, u64::MAX]);
+        let mut full = SuperBlock::<4>::new(&g);
+        full.materialize(&g, &coins, 7, 0, 256);
+        for v in 0..g.num_nodes() {
+            assert_eq!(&block.node_word_vec(v)[1..], &full.node_word_vec(v)[1..], "node {v}");
+            assert_eq!(block.node_word_vec(v)[0], 0, "node {v} word 0");
         }
     }
 
@@ -583,20 +885,15 @@ mod tests {
 
     #[test]
     fn lazy_edges_match_eager_edges_bitwise() {
-        let g = from_parts(
-            &[0.4, 0.1, 0.2, 0.0, 0.3],
-            &[(0, 1, 0.6), (1, 2, 0.5), (2, 0, 0.4), (1, 3, 0.7), (3, 4, 0.9)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap();
+        let g = mesh();
         let coins = CoinTable::new(&g);
-        let mut eager = WorldBlock::new(&g);
-        eager.materialize(&g, &coins, 5, 0, 64);
+        let mut eager = SuperBlock::<2>::new(&g);
+        eager.materialize(&g, &coins, 5, 0, 128);
         eager.force_edges(&coins);
-        let mut lazy = WorldBlock::new(&g);
-        lazy.materialize(&g, &coins, 5, 0, 64);
+        let mut lazy = SuperBlock::<2>::new(&g);
+        lazy.materialize(&g, &coins, 5, 0, 128);
         for e in [3usize, 0, 4, 1, 2, 3] {
-            assert_eq!(lazy.edge_word(&coins, e), eager.edge_words[e], "edge {e}");
+            assert_eq!(lazy.edge_word(&coins, e), eager.edge_word(&coins, e), "edge {e}");
         }
     }
 
@@ -610,6 +907,7 @@ mod tests {
         let usage = block.take_usage();
         assert_eq!(usage.edge_words_materialized, 1);
         assert_eq!(usage.edge_words_skipped, 1);
+        assert_eq!(usage.superblocks, 1);
         assert!(usage.words > 0);
         assert!((usage.lazy_skip_ratio() - 0.5).abs() < 1e-12);
         // Counters were drained.
@@ -624,13 +922,23 @@ mod tests {
     }
 
     #[test]
+    fn superblock_usage_counts_covered_words_only() {
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<4>::new(&g);
+        // 70 lanes cover 2 of the 4 words; touching edge 0 materializes
+        // its covered words, edge 1 stays skipped.
+        block.materialize(&g, &coins, 1, 0, 70);
+        let _ = block.edge_word(&coins, 0);
+        let usage = block.take_usage();
+        assert_eq!(usage.edge_words_materialized, 2, "2 covered words for the touched edge");
+        assert_eq!(usage.edge_words_skipped, 2, "2 covered words for the untouched edge");
+        assert_eq!(usage.superblocks, 1);
+    }
+
+    #[test]
     fn forward_kernel_matches_scalar_world_evaluation() {
-        let g = from_parts(
-            &[0.4, 0.1, 0.2, 0.0, 0.3],
-            &[(0, 1, 0.6), (1, 2, 0.5), (2, 0, 0.4), (1, 3, 0.7), (3, 4, 0.9)],
-            DuplicateEdgePolicy::Error,
-        )
-        .unwrap();
+        let g = mesh();
         let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let mut kernel = BlockKernel::new(&g);
@@ -640,6 +948,25 @@ mod tests {
             let scalar = block.lane_world(&coins, j).defaulted_nodes(&g);
             for v in 0..g.num_nodes() {
                 assert_eq!(words[v] >> j & 1 == 1, scalar[v], "lane {j}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn superblock_forward_matches_width1_forward() {
+        let g = mesh();
+        let coins = CoinTable::new(&g);
+        let mut wide = SuperBlock::<8>::new(&g);
+        let mut wide_kernel = SuperKernel::<8>::new(&g);
+        wide.materialize(&g, &coins, 11, 0, 512);
+        let wide_words = wide_kernel.forward_defaults(&g, &coins, &mut wide).to_vec();
+        let mut narrow = WorldBlock::new(&g);
+        let mut narrow_kernel = BlockKernel::new(&g);
+        for w in 0..8usize {
+            narrow.materialize(&g, &coins, 11, (w * LANES) as u64, LANES);
+            let narrow_words = narrow_kernel.forward_defaults(&g, &coins, &mut narrow);
+            for v in 0..g.num_nodes() {
+                assert_eq!(wide_words[v * 8 + w], narrow_words[v], "node {v} word {w}");
             }
         }
     }
@@ -670,16 +997,41 @@ mod tests {
     }
 
     #[test]
+    fn superblock_reverse_matches_superblock_forward() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1, 0.4],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.25), (3, 0, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<2>::new(&g);
+        let mut kernel = SuperKernel::<2>::new(&g);
+        // Partial superblock: 100 of 128 lanes.
+        block.materialize(&g, &coins, 3, 0, 100);
+        let forward = kernel.forward_defaults(&g, &coins, &mut block).to_vec();
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let mut hits = Vec::new();
+        kernel.reverse_hits_into(&g, &coins, &mut block, &candidates, &mut hits);
+        assert_eq!(hits, forward, "reverse and forward must agree on every lane");
+        let repeated: Vec<NodeId> = candidates.iter().chain(candidates.iter()).copied().collect();
+        let mut hits2 = Vec::new();
+        kernel.reverse_hits_into(&g, &coins, &mut block, &repeated, &mut hits2);
+        assert_eq!(&hits2[..8], &forward[..]);
+        assert_eq!(&hits2[8..], &forward[..]);
+    }
+
+    #[test]
     fn kernel_reuse_is_stateless_across_blocks() {
         let g = chain();
         let coins = CoinTable::new(&g);
-        let mut block = WorldBlock::new(&g);
-        let mut kernel = BlockKernel::new(&g);
-        block.materialize(&g, &coins, 1, 0, 64);
+        let mut block = SuperBlock::<2>::new(&g);
+        let mut kernel = SuperKernel::<2>::new(&g);
+        block.materialize(&g, &coins, 1, 0, 128);
         let first = kernel.forward_defaults(&g, &coins, &mut block).to_vec();
-        block.materialize(&g, &coins, 1, 64, 64);
+        block.materialize(&g, &coins, 1, 128, 128);
         let _ = kernel.forward_defaults(&g, &coins, &mut block);
-        block.materialize(&g, &coins, 1, 0, 64);
+        block.materialize(&g, &coins, 1, 0, 128);
         assert_eq!(kernel.forward_defaults(&g, &coins, &mut block), &first[..]);
     }
 
@@ -690,6 +1042,26 @@ mod tests {
         assert_eq!(block_chunks(0..64).collect::<Vec<_>>(), vec![0..64]);
         assert_eq!(block_chunks(5..5).count(), 0);
         assert_eq!(block_chunks(64..66).collect::<Vec<_>>(), vec![64..66]);
+    }
+
+    #[test]
+    fn superblock_chunks_align_to_width() {
+        let chunks: Vec<_> = superblock_chunks(10..600, 4).collect();
+        assert_eq!(chunks, vec![10..256, 256..512, 512..600]);
+        assert_eq!(superblock_chunks(0..512, 8).collect::<Vec<_>>(), vec![0..512]);
+        assert_eq!(superblock_chunks(5..5, 8).count(), 0);
+        assert_eq!(superblock_chunks(100..130, 2).collect::<Vec<_>>(), vec![100..128, 128..130]);
+    }
+
+    #[test]
+    fn word_masks_cover_chunk_exactly() {
+        assert_eq!(word_masks::<4>(0, 256), [u64::MAX; 4]);
+        assert_eq!(word_masks::<4>(256, 70), [u64::MAX, 0b111111, 0, 0]);
+        assert_eq!(word_masks::<4>(70, 5), [0, 0b11111 << 6, 0, 0]);
+        assert_eq!(word_masks::<1>(70, 5), [0b11111 << 6]);
+        // Samples 190..192 live in home block 2 = word 0 of superblock 1.
+        assert_eq!(word_masks::<2>(190, 2), [0b11 << 62, 0]);
+        assert_eq!(word_masks::<2>(254, 2), [0, 0b11 << 62]);
     }
 
     #[test]
@@ -707,6 +1079,15 @@ mod tests {
         let coins = CoinTable::new(&g);
         let mut block = WorldBlock::new(&g);
         let _ = block.edge_word(&coins, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a superblock boundary")]
+    fn materialize_rejects_chunks_crossing_superblocks() {
+        let g = chain();
+        let coins = CoinTable::new(&g);
+        let mut block = SuperBlock::<2>::new(&g);
+        block.materialize(&g, &coins, 1, 100, 100);
     }
 
     #[test]

@@ -151,6 +151,77 @@ pub fn bernoulli_word(threshold: u64, item_key: u64, lanes: u64, words: &mut u64
     fired
 }
 
+/// `W` parallel [`bernoulli_word`] syntheses for one item — one word
+/// per home block of a superblock, each under its own `item_keys[w]` —
+/// advanced **level-synchronized**: every comparison level draws the
+/// still-undecided words' uniforms together, so the `W` independent
+/// `mix64` chains overlap in the pipeline (and autovectorize where the
+/// target has 64-bit SIMD multiplies) instead of running as `W`
+/// sequential early-exit loops.
+///
+/// Bit-identical to calling [`bernoulli_word`] once per word: the same
+/// uniform levels are compared against the same threshold bits (updates
+/// applied to an already-decided word are no-ops), and `words` counts
+/// exactly the levels a per-word early-exit loop would have drawn.
+#[inline]
+pub fn bernoulli_words<const W: usize>(
+    threshold: u64,
+    item_keys: &[u64; W],
+    lanes: &[u64; W],
+    words: &mut u64,
+) -> [u64; W] {
+    let mut fired = [0u64; W];
+    if threshold == 0 {
+        return fired;
+    }
+    if threshold >= FULL_THRESHOLD {
+        return *lanes;
+    }
+    let mut undecided = *lanes;
+    let live = undecided.iter().fold(0u64, |acc, &word| acc | word);
+    if live == 0 {
+        return fired;
+    }
+    let t = threshold as u32;
+    // Fast path: while the threshold bit is 0 a lane only stays in play
+    // while its uniform bits are all 0 — a pure AND-chain per word.
+    let leading = t.leading_zeros();
+    for level in 0..leading {
+        let mut active = 0u64;
+        let mut still = 0u64;
+        for w in 0..W {
+            active += u64::from(undecided[w] != 0);
+            undecided[w] &= !level_word(item_keys[w], level);
+            still |= undecided[w];
+        }
+        *words += active;
+        if still == 0 {
+            return fired;
+        }
+    }
+    for level in leading..COIN_PRECISION {
+        let bit = t >> (COIN_PRECISION - 1 - level) & 1 == 1;
+        let mut active = 0u64;
+        let mut still = 0u64;
+        for w in 0..W {
+            active += u64::from(undecided[w] != 0);
+            let u = level_word(item_keys[w], level);
+            if bit {
+                fired[w] |= undecided[w] & !u;
+                undecided[w] &= u;
+            } else {
+                undecided[w] &= !u;
+            }
+            still |= undecided[w];
+        }
+        *words += active;
+        if still == 0 {
+            break;
+        }
+    }
+    fired
+}
+
 /// One lane of [`bernoulli_word`], bit-identical to bit `lane` of the
 /// 64-lane synthesis. `mirror` complements every uniform bit — the
 /// antithetic twin: still Bernoulli(`threshold / 2^32`) exactly, but
@@ -311,11 +382,14 @@ pub struct CoinUsage {
     /// Uniform 64-bit words synthesized (the raw generator cost).
     pub words: u64,
     /// Edge lane-words actually materialized (eagerly or on first BFS
-    /// touch).
+    /// touch). Partial superblocks count covered home blocks only.
     pub edge_words_materialized: u64,
     /// Edge lane-words skipped entirely because no traversal touched
     /// the edge in that block — the frontier-lazy win.
     pub edge_words_skipped: u64,
+    /// Superblocks materialized (a width-1 run counts one per 64-lane
+    /// block; a width-W run one per W home blocks).
+    pub superblocks: u64,
 }
 
 impl CoinUsage {
@@ -324,6 +398,7 @@ impl CoinUsage {
         self.words += other.words;
         self.edge_words_materialized += other.edge_words_materialized;
         self.edge_words_skipped += other.edge_words_skipped;
+        self.superblocks += other.superblocks;
     }
 
     /// Fraction of edge lane-words the lazy path never materialized
@@ -369,6 +444,35 @@ mod tests {
                     "threshold {threshold}, lane {lane}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_synthesis_matches_per_word_synthesis_and_counts() {
+        for (i, &threshold) in
+            [0u64, 1, 3, 1 << 16, (1 << 31) + 12345, FULL_THRESHOLD - 1, FULL_THRESHOLD]
+                .iter()
+                .enumerate()
+        {
+            let keys = [
+                mix64(0xABCD ^ i as u64),
+                mix64(0x1234 ^ i as u64),
+                mix64(0x9999 ^ i as u64),
+                mix64(0x4242 ^ i as u64),
+            ];
+            // Full, partial, and empty lane masks side by side.
+            let lanes = [u64::MAX, 0xFFFF, u64::MAX << 32, 0];
+            let mut batched_words = 0;
+            let batched = bernoulli_words::<4>(threshold, &keys, &lanes, &mut batched_words);
+            let mut sequential_words = 0;
+            for w in 0..4 {
+                let expected = bernoulli_word(threshold, keys[w], lanes[w], &mut sequential_words);
+                assert_eq!(batched[w], expected, "threshold {threshold}, word {w}");
+            }
+            assert_eq!(
+                batched_words, sequential_words,
+                "threshold {threshold}: word accounting diverged"
+            );
         }
     }
 
@@ -488,10 +592,28 @@ mod tests {
 
     #[test]
     fn usage_merge_and_ratio() {
-        let mut a = CoinUsage { words: 10, edge_words_materialized: 3, edge_words_skipped: 9 };
-        let b = CoinUsage { words: 5, edge_words_materialized: 1, edge_words_skipped: 3 };
+        let mut a = CoinUsage {
+            words: 10,
+            edge_words_materialized: 3,
+            edge_words_skipped: 9,
+            superblocks: 2,
+        };
+        let b = CoinUsage {
+            words: 5,
+            edge_words_materialized: 1,
+            edge_words_skipped: 3,
+            superblocks: 1,
+        };
         a.merge(&b);
-        assert_eq!(a, CoinUsage { words: 15, edge_words_materialized: 4, edge_words_skipped: 12 });
+        assert_eq!(
+            a,
+            CoinUsage {
+                words: 15,
+                edge_words_materialized: 4,
+                edge_words_skipped: 12,
+                superblocks: 3,
+            }
+        );
         assert!((a.lazy_skip_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(CoinUsage::default().lazy_skip_ratio(), 0.0);
     }

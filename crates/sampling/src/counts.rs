@@ -49,10 +49,23 @@ impl DefaultCounts {
     /// lanes count (all 64 for a full block, the low bits for a partial
     /// one). Equivalent to [`Self::record_mask`] once per selected lane.
     pub fn record_block(&mut self, words: &[u64], lane_mask: u64) {
-        assert_eq!(words.len(), self.counts.len(), "block width mismatch");
-        self.samples += u64::from(lane_mask.count_ones());
-        for (c, &w) in self.counts.iter_mut().zip(words) {
-            *c += u64::from((w & lane_mask).count_ones());
+        self.record_words::<1>(words, &[lane_mask]);
+    }
+
+    /// Records a whole `W`-word superblock's outcomes by popcount:
+    /// `words` is a flat stride-`W` buffer (slot `i`'s word-vector at
+    /// `words[i·W .. i·W + W]`) and `masks[w]` selects which lanes of
+    /// word `w` count. Equivalent to [`Self::record_mask`] once per
+    /// selected lane — and to [`Self::record_block`] once per word.
+    pub fn record_words<const W: usize>(&mut self, words: &[u64], masks: &[u64; W]) {
+        assert_eq!(words.len(), self.counts.len() * W, "block width mismatch");
+        self.samples += masks.iter().map(|m| u64::from(m.count_ones())).sum::<u64>();
+        for (c, vec) in self.counts.iter_mut().zip(words.chunks_exact(W)) {
+            let mut hits = 0u64;
+            for w in 0..W {
+                hits += u64::from((vec[w] & masks[w]).count_ones());
+            }
+            *c += hits;
         }
     }
 
@@ -140,6 +153,26 @@ mod tests {
         assert_eq!(partial.samples(), 2);
         assert_eq!(partial.count(0), 2);
         assert_eq!(partial.count(1), 1);
+    }
+
+    #[test]
+    fn record_words_matches_per_word_record_block() {
+        // Two slots, width 2: word-vectors [a0, a1], [b0, b1].
+        let words = [0b1011u64, 0b1100u64, 0b0110u64, 0b0001u64];
+        let masks = [0b1111u64, 0b0111u64];
+        let mut wide = DefaultCounts::new(2);
+        wide.record_words::<2>(&words, &masks);
+        let mut narrow = DefaultCounts::new(2);
+        narrow.record_block(&[words[0], words[2]], masks[0]);
+        narrow.record_block(&[words[1], words[3]], masks[1]);
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width mismatch")]
+    fn record_words_checks_width() {
+        let mut c = DefaultCounts::new(2);
+        c.record_words::<2>(&[0u64; 3], &[u64::MAX; 2]);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 //!   Because coins are random-access, it draws edge coins lazily at BFS
 //!   touch — the scalar mirror of the block path's frontier-lazy words.
 //! * [`forward_counts_range`] — the **runtime path**: worlds are packed
-//!   64-per-[`WorldBlock`] with transposed lane-word synthesis and
-//!   evaluated by the bit-parallel [`BlockKernel`], bit-identical to
+//!   64-per-[`WorldBlock`](crate::WorldBlock) with transposed lane-word synthesis and
+//!   evaluated by the bit-parallel [`BlockKernel`](crate::BlockKernel), bit-identical to
 //!   the scalar reference for any range and seed.
 
-use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
 use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
+use crate::width::{with_block_words, BlockWords};
 use ugraph::{NodeId, UncertainGraph};
 
 /// Reusable scalar forward sampler. Holds scratch buffers so repeated
@@ -127,7 +128,7 @@ pub fn forward_counts_range(
 
 /// Runs forward samples for the given range of sample ids on the block
 /// kernel: the range is split at 64-aligned block boundaries, each chunk
-/// is materialized as a [`WorldBlock`] (sample `i` occupies lane
+/// is materialized as a [`WorldBlock`](crate::WorldBlock) (sample `i` occupies lane
 /// `i % 64` of block `i / 64`) and evaluated in one bit-parallel BFS
 /// with frontier-lazy edge words; partial chunks accumulate through a
 /// lane mask. Returns the counts plus the materialization-cost counters.
@@ -143,30 +144,55 @@ pub fn forward_counts_range_with(
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> (DefaultCounts, CoinUsage) {
+    forward_counts_range_wide::<1>(graph, coins, range, seed)
+}
+
+/// [`forward_counts_range_with`] on `W`-word superblocks: the range is
+/// split at `W·64`-aligned superblock boundaries and each chunk is
+/// evaluated in one `W`-wide bit-parallel BFS. Counts are bit-identical
+/// at every width — width is purely a throughput knob (see
+/// [`BlockWords`]).
+pub fn forward_counts_range_wide<const W: usize>(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(graph.num_nodes());
-    let mut block = WorldBlock::new(graph);
-    let mut kernel = BlockKernel::new(graph);
-    for chunk in block_chunks(range) {
+    let mut block = SuperBlock::<W>::new(graph);
+    let mut kernel = SuperKernel::<W>::new(graph);
+    for chunk in superblock_chunks(range, W) {
         accumulate_forward_chunk(graph, coins, chunk, seed, &mut block, &mut kernel, &mut counts);
     }
     (counts, block.take_usage())
 }
 
-/// Materializes and evaluates one ≤64-sample chunk, accumulating into
-/// `counts`. Shared with the parallel driver.
-pub(crate) fn accumulate_forward_chunk(
+/// [`forward_counts_range_wide`] with a runtime-selected width.
+pub fn forward_counts_range_width(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    width: BlockWords,
+) -> (DefaultCounts, CoinUsage) {
+    with_block_words!(width, W, forward_counts_range_wide::<W>(graph, coins, range, seed))
+}
+
+/// Materializes and evaluates one ≤`W·64`-sample chunk, accumulating
+/// into `counts`. Shared with the parallel driver.
+pub(crate) fn accumulate_forward_chunk<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
     chunk: std::ops::Range<u64>,
     seed: u64,
-    block: &mut WorldBlock,
-    kernel: &mut BlockKernel,
+    block: &mut SuperBlock<W>,
+    kernel: &mut SuperKernel<W>,
     counts: &mut DefaultCounts,
 ) {
     let lanes = (chunk.end - chunk.start) as usize;
     block.materialize(graph, coins, seed, chunk.start, lanes);
     let words = kernel.forward_defaults(graph, coins, block);
-    counts.record_block(words, block.lane_mask());
+    counts.record_words::<W>(words, block.lane_masks());
 }
 
 #[cfg(test)]
@@ -289,6 +315,25 @@ mod tests {
             let mask = sampler.sample_mask(&g, &table, &ScalarCoins::new(22, i));
             let world = PossibleWorld::sample_with_table(&g, &table, 22, i);
             assert_eq!(mask, world.defaulted_nodes(&g), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn every_width_is_bit_identical() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1],
+            &[(0, 1, 0.7), (1, 2, 0.4), (0, 2, 0.5)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let table = CoinTable::new(&g);
+        // Budgets straddling superblock boundaries at every width.
+        for range in [0..1u64, 0..100, 0..512, 0..700, 37..411, 64..256] {
+            let reference = forward_counts_range_with(&g, &table, range.clone(), 5).0;
+            for width in crate::BlockWords::ALL {
+                let (counts, _) = forward_counts_range_width(&g, &table, range.clone(), 5, width);
+                assert_eq!(counts, reference, "range {range:?}, width {width}");
+            }
         }
     }
 

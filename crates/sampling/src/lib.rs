@@ -1,19 +1,24 @@
 //! # vulnds-sampling — possible-world samplers for uncertain graphs
 //!
 //! Implements the sampling substrate of the VulnDS system. Every
-//! runtime path is **bit-parallel end to end**: worlds are packed
-//! 64-per-block as `u64` lane masks, one BFS step advances all 64
-//! worlds with bitwise AND/OR, and — since the counter-RNG refactor —
-//! the lane masks themselves are synthesized transposed from a
-//! stateless `(seed, block, item, level)` generator, with edge words
-//! materialized lazily when a traversal first touches them. See
-//! [`coins`] for the generator and [`block`] for the data path.
+//! runtime path is **bit-parallel end to end**: worlds are packed as
+//! `[u64; W]` word-vectors — `W` consecutive 64-lane home blocks form a
+//! *superblock* — one BFS step advances all `W·64` worlds with bitwise
+//! AND/OR the compiler autovectorizes, and the lane words themselves
+//! are synthesized transposed from a stateless `(seed, block, item,
+//! level)` generator, with edge word-vectors materialized lazily when a
+//! traversal first touches them. See [`coins`] for the generator,
+//! [`block`] for the data path, and [`width`] for runtime width
+//! selection (counts are bit-identical at every width).
 //!
 //! * [`CoinTable`] / [`coins`] — per-graph dyadic thresholds plus the
 //!   stateless bit-sliced Bernoulli synthesis.
-//! * [`WorldBlock`] / [`BlockKernel`] — the 64-lane possible-world
+//! * [`SuperBlock`] / [`SuperKernel`] — the W×64-lane possible-world
 //!   kernel behind [`forward_counts`], [`reverse_counts`], and the
-//!   parallel drivers.
+//!   parallel drivers; [`WorldBlock`] / [`BlockKernel`] are the width-1
+//!   aliases used by scattered-lane adaptive passes.
+//! * [`BlockWords`] — the supported superblock widths and the
+//!   budget/thread-aware planning heuristic.
 //! * [`ForwardSampler`] — scalar reference for the inner loop of the
 //!   paper's Algorithm 1 (one world at a time).
 //! * [`ReverseSampler`] — scalar reference for Algorithm 5: per-candidate
@@ -45,21 +50,30 @@ pub mod forward;
 pub mod parallel;
 pub mod reverse;
 pub mod rng;
+pub mod width;
 pub mod world;
 
 pub use antithetic::antithetic_forward_counts;
-pub use block::{block_chunks, lane_mask, BlockKernel, WorldBlock, LANES};
+pub use block::{
+    block_chunks, lane_mask, superblock_chunks, BlockKernel, SuperBlock, SuperKernel, WorldBlock,
+    LANES,
+};
 pub use coins::{CoinTable, CoinUsage, ScalarCoins, COIN_PRECISION};
 pub use counts::DefaultCounts;
 pub use forward::{
-    forward_counts, forward_counts_range, forward_counts_range_with, ForwardSampler,
+    forward_counts, forward_counts_range, forward_counts_range_wide, forward_counts_range_width,
+    forward_counts_range_with, ForwardSampler,
 };
 pub use parallel::{
-    parallel_forward_counts, parallel_forward_counts_range, parallel_forward_counts_range_with,
-    parallel_reverse_counts, parallel_reverse_counts_range, parallel_reverse_counts_range_with,
+    fit_width, parallel_forward_counts, parallel_forward_counts_range,
+    parallel_forward_counts_range_width, parallel_forward_counts_range_with,
+    parallel_reverse_counts, parallel_reverse_counts_range, parallel_reverse_counts_range_width,
+    parallel_reverse_counts_range_with,
 };
 pub use reverse::{
-    reverse_counts, reverse_counts_range, reverse_counts_range_with, ReverseSampler,
+    reverse_counts, reverse_counts_range, reverse_counts_range_wide, reverse_counts_range_width,
+    reverse_counts_range_with, ReverseSampler,
 };
 pub use rng::Xoshiro256pp;
+pub use width::{BlockWords, MAX_BLOCK_WORDS};
 pub use world::{PossibleWorld, WorldEnumerator};

@@ -1,17 +1,26 @@
 //! Parallel sample execution over std scoped threads.
 //!
-//! Work is partitioned by **world block** (64-sample aligned chunks, see
-//! [`crate::block`]), not by individual sample: thread `tid` owns chunks
-//! `tid, tid + T, tid + 2T, …` of the range's block decomposition. Each
-//! chunk's counts are a pure function of `(seed, chunk)` — the coin
-//! generator is a stateless counter RNG, so threads share one read-only
-//! [`CoinTable`] and never coordinate — and partial counts merge with
-//! commutative addition, so a parallel run with any thread count
-//! produces **bit-identical counts** to the sequential run.
+//! Work is partitioned by **superblock** (`W·64`-sample aligned chunks,
+//! see [`crate::block`]), not by individual sample: thread `tid` owns
+//! chunks `tid, tid + T, tid + 2T, …` of the range's superblock
+//! decomposition. Each chunk's counts are a pure function of
+//! `(seed, chunk)` — the coin generator is a stateless counter RNG, so
+//! threads share one read-only [`CoinTable`] and never coordinate — and
+//! partial counts merge with commutative addition, so a parallel run
+//! with any thread count produces **bit-identical counts** to the
+//! sequential run, at any width.
+//!
+//! Width-aware chunking: a wide superblock coarsens the partition unit,
+//! so before partitioning the drivers narrow the requested width until
+//! the range decomposes into at least two chunks per worker thread
+//! ([`fit_width`]). Counts are width-independent, so narrowing never
+//! changes an answer — it only keeps small budgets from starving
+//! threads.
 
-use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
 use crate::coins::{CoinTable, CoinUsage};
 use crate::counts::DefaultCounts;
+use crate::width::{with_block_words, BlockWords};
 use ugraph::{NodeId, UncertainGraph};
 
 /// Clamps a requested thread count to something sane: at least one, at
@@ -22,9 +31,39 @@ pub(crate) fn effective_threads(requested: usize, work_items: u64) -> usize {
     requested.max(1).min(work_items.max(1) as usize).min(hardware)
 }
 
-/// Parallel version of [`crate::forward::forward_counts`].
+/// Number of superblock chunks `range` decomposes into at `width`.
+fn chunk_count(range: &std::ops::Range<u64>, width: BlockWords) -> u64 {
+    if range.end <= range.start {
+        return 0;
+    }
+    let span = width.lanes();
+    (range.end - 1) / span - range.start / span + 1
+}
+
+/// Narrows `width` until the range decomposes into at least
+/// [`MIN_UNITS_PER_THREAD`](crate::width::MIN_UNITS_PER_THREAD)
+/// superblock chunks per worker thread (or width 1 is reached), so a
+/// small budget still saturates and balances all threads even when the
+/// planner asked for wide superblocks. Partial chunks count — unlike
+/// [`BlockWords::plan`], which requires *full* superblocks, this guards
+/// a concrete range where any chunk is real work for a thread. Counts
+/// are bit-identical at every width, so this only redistributes work.
+pub fn fit_width(range: &std::ops::Range<u64>, width: BlockWords, threads: usize) -> BlockWords {
+    let threads = threads.max(1) as u64;
+    let mut width = width;
+    while let Some(narrower) = width.narrower() {
+        if chunk_count(range, width) >= threads * crate::width::MIN_UNITS_PER_THREAD {
+            break;
+        }
+        width = narrower;
+    }
+    width
+}
+
+/// Parallel version of [`crate::forward::forward_counts`], on
+/// planner-selected superblocks ([`BlockWords::plan`]).
 ///
-/// Splits the block decomposition of `0..t` into `threads` strided
+/// Splits the superblock decomposition of `0..t` into `threads` strided
 /// partitions; each thread owns its kernel scratch and partial counts.
 pub fn parallel_forward_counts(
     graph: &UncertainGraph,
@@ -32,7 +71,8 @@ pub fn parallel_forward_counts(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    parallel_forward_counts_range(graph, 0..t, seed, threads)
+    let width = BlockWords::plan(t, threads);
+    parallel_forward_counts_range_width(graph, &CoinTable::new(graph), 0..t, seed, threads, width).0
 }
 
 /// [`parallel_forward_counts_range_with`] with a throwaway
@@ -46,10 +86,11 @@ pub fn parallel_forward_counts_range(
     parallel_forward_counts_range_with(graph, &CoinTable::new(graph), range, seed, threads).0
 }
 
-/// Parallel version of [`crate::forward::forward_counts_range_with`]:
-/// bit-identical to the sequential range run for any thread count.
-/// Returns the counts plus the merged materialization counters of every
-/// worker.
+/// Parallel version of [`crate::forward::forward_counts_range_with`]
+/// (width 1): bit-identical to the sequential range run for any thread
+/// count. Returns the counts plus the merged materialization counters of
+/// every worker. Width-selecting callers use
+/// [`parallel_forward_counts_range_width`].
 pub fn parallel_forward_counts_range_with(
     graph: &UncertainGraph,
     coins: &CoinTable,
@@ -57,19 +98,37 @@ pub fn parallel_forward_counts_range_with(
     seed: u64,
     threads: usize,
 ) -> (DefaultCounts, CoinUsage) {
-    let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
-    let threads = effective_threads(threads, chunks.len() as u64);
-    if threads == 1 {
-        return crate::forward::forward_counts_range_with(graph, coins, range, seed);
-    }
-    forward_partitioned(graph, coins, &chunks, seed, threads)
+    parallel_forward_counts_range_width(graph, coins, range, seed, threads, BlockWords::W1)
+}
+
+/// [`parallel_forward_counts_range_with`] on superblocks of the given
+/// width (narrowed by [`fit_width`] when the range is too small to keep
+/// every thread busy at that width): bit-identical to the sequential
+/// width-1 run for any thread count and any width.
+pub fn parallel_forward_counts_range_width(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+) -> (DefaultCounts, CoinUsage) {
+    let width = fit_width(&range, width, threads);
+    with_block_words!(width, W, {
+        let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
+        let threads = effective_threads(threads, chunks.len() as u64);
+        if threads == 1 {
+            return crate::forward::forward_counts_range_wide::<W>(graph, coins, range, seed);
+        }
+        forward_partitioned::<W>(graph, coins, &chunks, seed, threads)
+    })
 }
 
 /// The strided multi-thread forward runner, taking `threads` as-is.
 /// Split out from the public entry point so tests exercise the threaded
 /// merge path even on single-core machines (where `effective_threads`
 /// would clamp to the sequential path).
-fn forward_partitioned(
+fn forward_partitioned<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
     chunks: &[std::ops::Range<u64>],
@@ -80,8 +139,8 @@ fn forward_partitioned(
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 scope.spawn(move || {
-                    let mut block = WorldBlock::new(graph);
-                    let mut kernel = BlockKernel::new(graph);
+                    let mut block = SuperBlock::<W>::new(graph);
+                    let mut kernel = SuperKernel::<W>::new(graph);
                     let mut counts = DefaultCounts::new(graph.num_nodes());
                     for chunk in chunks.iter().skip(tid).step_by(threads) {
                         crate::forward::accumulate_forward_chunk(
@@ -110,7 +169,8 @@ fn forward_partitioned(
     (total, usage)
 }
 
-/// Parallel version of [`crate::reverse::reverse_counts`].
+/// Parallel version of [`crate::reverse::reverse_counts`], on
+/// planner-selected superblocks ([`BlockWords::plan`]).
 pub fn parallel_reverse_counts(
     graph: &UncertainGraph,
     candidates: &[NodeId],
@@ -118,7 +178,17 @@ pub fn parallel_reverse_counts(
     seed: u64,
     threads: usize,
 ) -> DefaultCounts {
-    parallel_reverse_counts_range(graph, candidates, 0..t, seed, threads)
+    let width = BlockWords::plan(t, threads);
+    parallel_reverse_counts_range_width(
+        graph,
+        &CoinTable::new(graph),
+        candidates,
+        0..t,
+        seed,
+        threads,
+        width,
+    )
+    .0
 }
 
 /// [`parallel_reverse_counts_range_with`] with a throwaway
@@ -141,8 +211,10 @@ pub fn parallel_reverse_counts_range(
     .0
 }
 
-/// Parallel version of [`crate::reverse::reverse_counts_range_with`]:
-/// bit-identical to the sequential range run for any thread count.
+/// Parallel version of [`crate::reverse::reverse_counts_range_with`]
+/// (width 1): bit-identical to the sequential range run for any thread
+/// count. Width-selecting callers use
+/// [`parallel_reverse_counts_range_width`].
 pub fn parallel_reverse_counts_range_with(
     graph: &UncertainGraph,
     coins: &CoinTable,
@@ -151,17 +223,47 @@ pub fn parallel_reverse_counts_range_with(
     seed: u64,
     threads: usize,
 ) -> (DefaultCounts, CoinUsage) {
-    let chunks: Vec<std::ops::Range<u64>> = block_chunks(range.clone()).collect();
-    let threads = effective_threads(threads, chunks.len() as u64);
-    if threads == 1 {
-        return crate::reverse::reverse_counts_range_with(graph, coins, candidates, range, seed);
-    }
-    reverse_partitioned(graph, coins, candidates, &chunks, seed, threads)
+    parallel_reverse_counts_range_width(
+        graph,
+        coins,
+        candidates,
+        range,
+        seed,
+        threads,
+        BlockWords::W1,
+    )
+}
+
+/// [`parallel_reverse_counts_range_with`] on superblocks of the given
+/// width (narrowed by [`fit_width`] when the range is too small to keep
+/// every thread busy at that width): bit-identical to the sequential
+/// width-1 run for any thread count and any width.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_reverse_counts_range_width(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+) -> (DefaultCounts, CoinUsage) {
+    let width = fit_width(&range, width, threads);
+    with_block_words!(width, W, {
+        let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
+        let threads = effective_threads(threads, chunks.len() as u64);
+        if threads == 1 {
+            return crate::reverse::reverse_counts_range_wide::<W>(
+                graph, coins, candidates, range, seed,
+            );
+        }
+        reverse_partitioned::<W>(graph, coins, candidates, &chunks, seed, threads)
+    })
 }
 
 /// The strided multi-thread reverse runner, taking `threads` as-is (see
 /// [`forward_partitioned`] for why it is split out).
-fn reverse_partitioned(
+fn reverse_partitioned<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
     candidates: &[NodeId],
@@ -173,9 +275,9 @@ fn reverse_partitioned(
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 scope.spawn(move || {
-                    let mut block = WorldBlock::new(graph);
-                    let mut kernel = BlockKernel::new(graph);
-                    let mut hits = Vec::with_capacity(candidates.len());
+                    let mut block = SuperBlock::<W>::new(graph);
+                    let mut kernel = SuperKernel::<W>::new(graph);
+                    let mut hits = Vec::with_capacity(candidates.len() * W);
                     let mut counts = DefaultCounts::new(candidates.len());
                     for chunk in chunks.iter().skip(tid).step_by(threads) {
                         crate::reverse::accumulate_reverse_chunk(
@@ -209,6 +311,7 @@ fn reverse_partitioned(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::block_chunks;
     use crate::forward::forward_counts;
     use crate::reverse::reverse_counts;
     use ugraph::{from_parts, DuplicateEdgePolicy};
@@ -246,13 +349,14 @@ mod tests {
     #[test]
     fn partitioned_runners_bit_identical_at_forced_thread_counts() {
         // Drive the strided runners directly so the threaded merge path
-        // is exercised even where available_parallelism() == 1.
+        // is exercised even where available_parallelism() == 1 — at
+        // width 1 and at the wide widths.
         let g = graph();
         let coins = CoinTable::new(&g);
         let chunks: Vec<std::ops::Range<u64>> = block_chunks(37..411).collect();
         let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
         for threads in [2, 3, 5] {
-            let (par, usage) = forward_partitioned(&g, &coins, &chunks, 9, threads);
+            let (par, usage) = forward_partitioned::<1>(&g, &coins, &chunks, 9, threads);
             assert_eq!(par, seq, "threads = {threads}");
             // Lazy accounting covers every block exactly once regardless
             // of the partition.
@@ -262,13 +366,82 @@ mod tests {
                 "threads = {threads}"
             );
         }
+        let wide_chunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..1500, 4).collect();
+        let wide_seq = crate::forward::forward_counts_range(&g, 37..1500, 9);
+        for threads in [2, 3] {
+            let (par, _) = forward_partitioned::<4>(&g, &coins, &wide_chunks, 9, threads);
+            assert_eq!(par, wide_seq, "width 4, threads = {threads}");
+        }
         let cands: Vec<NodeId> = g.nodes().collect();
         let rseq = crate::reverse::reverse_counts_range(&g, &cands, 37..411, 9);
         for threads in [2, 4] {
             assert_eq!(
-                reverse_partitioned(&g, &coins, &cands, &chunks, 9, threads).0,
+                reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, threads).0,
                 rseq,
                 "threads = {threads}"
+            );
+        }
+        let rchunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..411, 2).collect();
+        assert_eq!(reverse_partitioned::<2>(&g, &coins, &cands, &rchunks, 9, 2).0, rseq);
+    }
+
+    #[test]
+    fn width_requests_are_bit_identical_for_any_thread_count() {
+        let g = graph();
+        let coins = CoinTable::new(&g);
+        let seq = crate::forward::forward_counts_range(&g, 0..900, 3);
+        let cands: Vec<NodeId> = g.nodes().collect();
+        let rseq = crate::reverse::reverse_counts_range(&g, &cands, 0..900, 3);
+        for width in BlockWords::ALL {
+            for threads in [1, 2, 8] {
+                let (f, _) =
+                    parallel_forward_counts_range_width(&g, &coins, 0..900, 3, threads, width);
+                assert_eq!(f, seq, "forward width {width}, threads {threads}");
+                let (r, _) = parallel_reverse_counts_range_width(
+                    &g,
+                    &coins,
+                    &cands,
+                    0..900,
+                    3,
+                    threads,
+                    width,
+                );
+                assert_eq!(r, rseq, "reverse width {width}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_width_keeps_small_budgets_fine_grained() {
+        // A few thousand worlds at width 8 would decompose into too few
+        // superblocks to feed 8 threads; the fitted width must narrow
+        // until every thread gets at least two chunks.
+        let range = 0..2048u64;
+        let fitted = fit_width(&range, BlockWords::W8, 8);
+        assert_eq!(fitted, BlockWords::W2, "2048 worlds / 8 threads need 128-lane chunks");
+        assert!(chunk_count(&range, fitted) >= 16);
+        // With more budget the same request keeps its width.
+        assert_eq!(fit_width(&(0..8192), BlockWords::W8, 8), BlockWords::W8);
+        // Single-threaded runs never narrow below the chunk floor…
+        assert_eq!(fit_width(&(0..1024), BlockWords::W8, 1), BlockWords::W8);
+        // …and tiny ranges bottom out at width 1 without panicking.
+        assert_eq!(fit_width(&(0..64), BlockWords::W8, 4), BlockWords::W1);
+        assert_eq!(fit_width(&(5..5), BlockWords::W8, 4), BlockWords::W1);
+    }
+
+    #[test]
+    fn chunk_counts_match_decomposition() {
+        for (range, width) in [
+            (0..2048u64, BlockWords::W8),
+            (37..411, BlockWords::W1),
+            (100..130, BlockWords::W2),
+            (0..512, BlockWords::W4),
+            (7..7, BlockWords::W8),
+        ] {
+            assert_eq!(
+                chunk_count(&range, width),
+                superblock_chunks(range.clone(), width.words()).count() as u64,
+                "{range:?} at {width}"
             );
         }
     }

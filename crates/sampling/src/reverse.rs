@@ -19,14 +19,15 @@
 //!   them — the paper's original lazy-coin regime, restored by the
 //!   stateless generator.
 //! * [`reverse_counts_range`] — the **runtime path** on the bit-parallel
-//!   [`BlockKernel`]: one reverse BFS per candidate advances all 64
+//!   [`BlockKernel`](crate::BlockKernel): one reverse BFS per candidate advances all 64
 //!   worlds of a block at once, and an edge's 64-lane word is
 //!   synthesized only when some candidate's frontier first crosses it —
 //!   `O(edges reached)` coins per block, not `O(m)`.
 
-use crate::block::{block_chunks, BlockKernel, WorldBlock};
+use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
 use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
+use crate::width::{with_block_words, BlockWords};
 use ugraph::{NodeId, UncertainGraph};
 
 /// Reusable scalar reverse sampler — the semantic reference for the
@@ -196,7 +197,7 @@ pub fn reverse_counts_range(
 }
 
 /// Runs reverse samples for the given range of sample ids on the block
-/// kernel: 64 worlds per [`WorldBlock`], one bit-parallel reverse BFS
+/// kernel: 64 worlds per [`WorldBlock`](crate::WorldBlock), one bit-parallel reverse BFS
 /// per candidate per block, frontier-lazy edge words. Returns the
 /// counts plus the materialization-cost counters.
 ///
@@ -214,11 +215,25 @@ pub fn reverse_counts_range_with(
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> (DefaultCounts, CoinUsage) {
+    reverse_counts_range_wide::<1>(graph, coins, candidates, range, seed)
+}
+
+/// [`reverse_counts_range_with`] on `W`-word superblocks: one
+/// bit-parallel reverse BFS per candidate decides all `W·64` worlds of
+/// a superblock at once. Counts are bit-identical at every width —
+/// width is purely a throughput knob (see [`BlockWords`]).
+pub fn reverse_counts_range_wide<const W: usize>(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(candidates.len());
-    let mut block = WorldBlock::new(graph);
-    let mut kernel = BlockKernel::new(graph);
-    let mut hits = Vec::with_capacity(candidates.len());
-    for chunk in block_chunks(range) {
+    let mut block = SuperBlock::<W>::new(graph);
+    let mut kernel = SuperKernel::<W>::new(graph);
+    let mut hits = Vec::with_capacity(candidates.len() * W);
+    for chunk in superblock_chunks(range, W) {
         accumulate_reverse_chunk(
             graph,
             coins,
@@ -234,24 +249,41 @@ pub fn reverse_counts_range_with(
     (counts, block.take_usage())
 }
 
-/// Materializes and evaluates one ≤64-sample chunk over `candidates`,
-/// accumulating into `counts`. Shared with the parallel driver.
+/// [`reverse_counts_range_wide`] with a runtime-selected width.
+pub fn reverse_counts_range_width(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    width: BlockWords,
+) -> (DefaultCounts, CoinUsage) {
+    with_block_words!(
+        width,
+        W,
+        reverse_counts_range_wide::<W>(graph, coins, candidates, range, seed)
+    )
+}
+
+/// Materializes and evaluates one ≤`W·64`-sample chunk over
+/// `candidates`, accumulating into `counts`. Shared with the parallel
+/// driver.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn accumulate_reverse_chunk(
+pub(crate) fn accumulate_reverse_chunk<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
     candidates: &[NodeId],
     chunk: std::ops::Range<u64>,
     seed: u64,
-    block: &mut WorldBlock,
-    kernel: &mut BlockKernel,
+    block: &mut SuperBlock<W>,
+    kernel: &mut SuperKernel<W>,
     hits: &mut Vec<u64>,
     counts: &mut DefaultCounts,
 ) {
     let lanes = (chunk.end - chunk.start) as usize;
     block.materialize(graph, coins, seed, chunk.start, lanes);
     kernel.reverse_hits_into(graph, coins, block, candidates, hits);
-    counts.record_block(hits, block.lane_mask());
+    counts.record_words::<W>(hits, block.lane_masks());
 }
 
 #[cfg(test)]
@@ -376,6 +408,26 @@ mod tests {
         let g = chain();
         let cands = all_nodes(&g);
         assert_eq!(reverse_counts(&g, &cands, 300, 2), reverse_counts(&g, &cands, 300, 2));
+    }
+
+    #[test]
+    fn every_width_is_bit_identical_to_forward() {
+        let g = from_parts(
+            &[0.3, 0.2, 0.1],
+            &[(0, 1, 0.6), (1, 2, 0.6), (2, 0, 0.6)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let table = CoinTable::new(&g);
+        let cands = all_nodes(&g);
+        for range in [0..100u64, 0..600, 70..300] {
+            let fwd = crate::forward::forward_counts_range_with(&g, &table, range.clone(), 8).0;
+            for width in crate::BlockWords::ALL {
+                let (counts, _) =
+                    reverse_counts_range_width(&g, &table, &cands, range.clone(), 8, width);
+                assert_eq!(counts, fwd, "range {range:?}, width {width}");
+            }
+        }
     }
 
     #[test]

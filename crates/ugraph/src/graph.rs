@@ -90,11 +90,13 @@ impl UncertainGraph {
     }
 
     /// Iterator over all node ids `0..n`.
+    #[inline]
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
         (0..self.num_nodes() as u32).map(NodeId)
     }
 
     /// Iterator over all canonical edge ids `0..m`.
+    #[inline]
     pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeId> {
         (0..self.num_edges() as u32).map(EdgeId)
     }
@@ -163,14 +165,14 @@ impl UncertainGraph {
     }
 
     /// Out-neighbor node ids of `v` as a slice (no probabilities).
-    #[inline]
+    #[inline(always)]
     pub fn out_neighbors(&self, v: NodeId) -> &[u32] {
         let i = v.index();
         &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
     }
 
     /// In-neighbor node ids of `v` as a slice (no probabilities).
-    #[inline]
+    #[inline(always)]
     pub fn in_neighbors(&self, v: NodeId) -> &[u32] {
         let i = v.index();
         &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
@@ -182,7 +184,7 @@ impl UncertainGraph {
     /// `out_edge_range(v).zip(out_neighbors(v))` walks `(edge id, target)`
     /// pairs without constructing [`EdgeRef`]s — the form the bit-parallel
     /// world-block kernel consumes.
-    #[inline]
+    #[inline(always)]
     pub fn out_edge_range(&self, v: NodeId) -> std::ops::Range<usize> {
         let i = v.index();
         self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize
@@ -191,7 +193,7 @@ impl UncertainGraph {
     /// Canonical edge ids of the in-edges of `v`, parallel to
     /// [`in_neighbors`](Self::in_neighbors): position `p` of both slices
     /// describes the same edge `(in_neighbors(v)[p], v)`.
-    #[inline]
+    #[inline(always)]
     pub fn in_edge_ids(&self, v: NodeId) -> &[u32] {
         let i = v.index();
         &self.in_edge_ids[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]

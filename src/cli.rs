@@ -21,8 +21,8 @@ use std::fmt::Write as _;
 use ugraph::{GraphStats, UncertainGraph};
 use vulnds_core::engine::{default_threads, DetectRequest, Detector};
 use vulnds_core::{
-    compute_bounds, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams, VulnConfig,
-    VulnError,
+    compute_bounds, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams, BlockWords,
+    VulnConfig, VulnError,
 };
 use vulnds_datasets::Dataset;
 
@@ -59,7 +59,9 @@ USAGE:
   vulnds detect   <graph> --k <n> [--algorithm n|sn|sr|bsr|bsrbk]
                   [--epsilon <e>] [--delta <d>] [--seed <s>]
                   [--threads <t>] [--bk <b>] [--bound-order <z>]
+                  [--block-words auto|1|2|4|8]
   vulnds score    <graph> [--method mc|bottomk] [--seed <s>] [--threads <t>]
+                  [--block-words auto|1|2|4|8]
   vulnds bounds   <graph> [--order <z>]
   vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
                   datasets: bitcoin facebook wiki p2p citation
@@ -67,8 +69,19 @@ USAGE:
   vulnds convert  <in> <out>       (.bin extension selects binary format)
 
 --threads defaults to the machine's available parallelism; results are
-bit-identical for any thread count.
+bit-identical for any thread count. --block-words pins the samplers'
+superblock width (worlds per traversal = words x 64); the default
+'auto' plans it per pass from budget and threads, and every width
+returns bit-identical results.
 Graph files: text format (see ugraph::io) or binary (.bin).";
+
+/// Parses a `--block-words` value: `auto` (planner) or a fixed width.
+fn parse_block_words(s: &str) -> Result<Option<BlockWords>, VulnError> {
+    if s.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    s.parse::<BlockWords>().map(Some).map_err(|e| err(format!("--block-words: {e}")))
+}
 
 /// Parses an argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, VulnError> {
@@ -135,6 +148,9 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                             .parse()
                             .map_err(|_| err("--bound-order: not an integer"))?
                     }
+                    "--block-words" => {
+                        config.block_words = parse_block_words(&value(&rest, &mut i)?)?
+                    }
                     other => return Err(err(format!("detect: unknown option {other}"))),
                 }
                 i += 1;
@@ -171,6 +187,9 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                                 .parse()
                                 .map_err(|_| err("--threads: not an integer"))?,
                         )
+                    }
+                    "--block-words" => {
+                        config.block_words = parse_block_words(&value(&rest, &mut i)?)?
                     }
                     other => return Err(err(format!("score: unknown option {other}"))),
                 }
@@ -337,6 +356,11 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 r.engine.lazy_edge_words_skipped,
                 session.coin_tables_built
             );
+            let _ = writeln!(
+                out,
+                "# blocks block-words {} | superblocks {}",
+                r.engine.block_words, r.engine.superblocks
+            );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
                 let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
@@ -400,7 +424,7 @@ mod tests {
     #[test]
     fn parses_detect_with_options() {
         let c = parse(&args(
-            "detect g.txt --k 10 --algorithm bsr --epsilon 0.2 --delta 0.05 --seed 7 --threads 4 --bk 8 --bound-order 3",
+            "detect g.txt --k 10 --algorithm bsr --epsilon 0.2 --delta 0.05 --seed 7 --threads 4 --bk 8 --bound-order 3 --block-words 4",
         ))
         .unwrap();
         match c {
@@ -414,9 +438,34 @@ mod tests {
                 assert_eq!(config.threads, 4);
                 assert_eq!(config.bk, 8);
                 assert_eq!(config.bound_order, 3);
+                assert_eq!(config.block_words, Some(BlockWords::W4));
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_block_words_values() {
+        for (value, expected) in [
+            ("auto", None),
+            ("1", Some(BlockWords::W1)),
+            ("2", Some(BlockWords::W2)),
+            ("4", Some(BlockWords::W4)),
+            ("8", Some(BlockWords::W8)),
+        ] {
+            let c = parse(&args(&format!("detect g.txt --k 3 --block-words {value}"))).unwrap();
+            match c {
+                Command::Detect { config, .. } => assert_eq!(config.block_words, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+            let c = parse(&args(&format!("score g.txt --block-words {value}"))).unwrap();
+            match c {
+                Command::Score { config, .. } => assert_eq!(config.block_words, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        assert!(parse(&args("detect g.txt --k 3 --block-words 3")).is_err());
+        assert!(parse(&args("detect g.txt --k 3 --block-words wide")).is_err());
     }
 
     #[test]
@@ -483,6 +532,7 @@ mod tests {
         assert!(det.contains("# algorithm BSRBK"), "{det}");
         assert!(det.contains("# coins coin-words"), "{det}");
         assert!(det.contains("tables built 1"), "{det}");
+        assert!(det.contains("# blocks block-words"), "{det}");
 
         let conv = run(parse(&args(&format!("convert {txt} {bin}"))).unwrap()).unwrap();
         assert!(conv.contains("converted"));
@@ -512,15 +562,51 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let txt = dir.join("g.txt").to_string_lossy().to_string();
         run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
-        let one = run(parse(&args(&format!("detect {txt} --k 5 --threads 1 --seed 2"))).unwrap())
-            .unwrap();
-        let four = run(parse(&args(&format!("detect {txt} --k 5 --threads 4 --seed 2"))).unwrap())
-            .unwrap();
-        assert_eq!(
-            one.lines().skip(1).collect::<Vec<_>>(),
-            four.lines().skip(1).collect::<Vec<_>>(),
-            "thread count changed the ranking"
-        );
+        // Rankings are byte-identical for any thread count; the
+        // `#`-prefixed diagnostics (elapsed time, planned superblock
+        // width, coin counters) reflect execution strategy and may
+        // differ.
+        for algorithm in ["sn", "bsrbk"] {
+            let detect = |threads: usize| {
+                run(parse(&args(&format!(
+                    "detect {txt} --k 5 --algorithm {algorithm} --threads {threads} --seed 2"
+                )))
+                .unwrap())
+                .unwrap()
+            };
+            let one = detect(1);
+            let four = detect(4);
+            assert_eq!(
+                one.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>(),
+                four.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>(),
+                "{algorithm}: thread count changed the ranking"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn block_words_do_not_change_cli_ranking() {
+        let dir = std::env::temp_dir().join("vulnds_cli_width_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
+        let rankings: Vec<Vec<String>> = ["auto", "1", "2", "4", "8"]
+            .iter()
+            .map(|w| {
+                let out = run(parse(&args(&format!(
+                    "detect {txt} --k 5 --algorithm sn --seed 2 --block-words {w}"
+                )))
+                .unwrap())
+                .unwrap();
+                // Compare the ranking lines only: the coin/superblock
+                // diagnostics legitimately vary with the width.
+                out.lines().filter(|l| !l.starts_with('#')).map(|l| l.to_string()).collect()
+            })
+            .collect();
+        for (i, r) in rankings.iter().enumerate().skip(1) {
+            assert_eq!(r, &rankings[0], "width variant {i} changed the ranking");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

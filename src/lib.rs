@@ -55,12 +55,10 @@ pub mod prelude {
     pub use ugraph::{
         from_parts, DuplicateEdgePolicy, EdgeId, GraphBuilder, GraphStats, NodeId, UncertainGraph,
     };
-    #[allow(deprecated)]
-    pub use vulnds_core::detect;
     pub use vulnds_core::{
-        precision_at_k, AlgorithmKind, ApproxParams, BoundsMethod, DetectRequest, DetectResponse,
-        DetectionResult, Detector, DetectorBuilder, EngineStats, IncrementalBounds, Intervention,
-        ScoredNode, SessionStats, VulnConfig, VulnError, WhatIfReport,
+        precision_at_k, AlgorithmKind, ApproxParams, BlockWords, BoundsMethod, DetectRequest,
+        DetectResponse, DetectionResult, Detector, DetectorBuilder, EngineStats, IncrementalBounds,
+        Intervention, ScoredNode, SessionStats, VulnConfig, VulnError, WhatIfReport,
     };
     pub use vulnds_datasets::{Dataset, ProbabilityModel};
     pub use vulnds_sampling::{forward_counts, reverse_counts, Xoshiro256pp};

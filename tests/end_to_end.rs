@@ -98,25 +98,22 @@ fn detection_is_reproducible_across_sessions() {
 }
 
 #[test]
-fn deprecated_shims_match_engine_sessions() {
-    // The classic free functions are thin shims over a throwaway
-    // session; their answers must be bit-identical to the engine's.
-    #[allow(deprecated)]
-    fn legacy(
-        g: &UncertainGraph,
-        k: usize,
-        alg: AlgorithmKind,
-        cfg: &VulnConfig,
-    ) -> DetectionResult {
-        detect(g, k, alg, cfg)
-    }
+fn every_superblock_width_matches_the_planned_engine() {
+    // Width is purely a throughput knob: a session pinned to any
+    // superblock width must answer bit-identically to the
+    // planner-driven session, for every algorithm.
     let g = small(Dataset::Citation);
     let cfg = VulnConfig::default().with_seed(13);
     for alg in AlgorithmKind::ALL {
-        let old = legacy(&g, 5, alg, &cfg);
-        let new = detect_once(&g, 5, alg, &cfg);
-        assert_eq!(old.top_k, new.top_k, "{alg}");
-        assert_eq!(old.stats.samples_used, new.stats.samples_used, "{alg}");
+        let planned = detect_once(&g, 5, alg, &cfg);
+        for width in BlockWords::ALL {
+            let pinned = detect_once(&g, 5, alg, &cfg.clone().with_block_words(width));
+            assert_eq!(pinned.top_k, planned.top_k, "{alg} at width {width}");
+            assert_eq!(
+                pinned.stats.samples_used, planned.stats.samples_used,
+                "{alg} at width {width}"
+            );
+        }
     }
 }
 

@@ -56,18 +56,25 @@ fn batch_draws_strictly_fewer_samples_than_independent_calls() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_produce_identical_topk() {
-    // The classic free functions must keep answering exactly like the
-    // engine (they are thin shims over a cold session).
+fn batches_are_width_independent() {
+    // A batch on a width-pinned session must return exactly the answers
+    // of the planner-driven batch — sharing sampled prefixes across
+    // requests composes with superblock widths.
     let g = graph();
-    for alg in AlgorithmKind::ALL {
-        let shim = detect(&g, 8, alg, &cfg());
-        let mut d = Detector::builder(&g).config(cfg()).build().unwrap();
-        let engine = d.detect(&DetectRequest::new(8, alg)).unwrap();
-        assert_eq!(shim.top_k, engine.top_k, "{alg}");
-        assert_eq!(shim.stats.samples_used, engine.stats.samples_used, "{alg}");
-        assert_eq!(shim.stats.candidates, engine.stats.candidates, "{alg}");
+    let mut planned = Detector::builder(&g).config(cfg()).build().unwrap();
+    let reference = planned.detect_many(&requests()).unwrap();
+    for width in BlockWords::ALL {
+        let mut pinned =
+            Detector::builder(&g).config(cfg().with_block_words(width)).build().unwrap();
+        let responses = pinned.detect_many(&requests()).unwrap();
+        for (p, r) in reference.iter().zip(&responses) {
+            assert_eq!(p.top_k, r.top_k, "width {width}");
+            assert_eq!(p.stats.samples_used, r.stats.samples_used, "width {width}");
+        }
+        assert!(
+            pinned.session_stats().widest_block_words <= width.words(),
+            "width {width} session exceeded its pinned width"
+        );
     }
 }
 

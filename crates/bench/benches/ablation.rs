@@ -44,15 +44,15 @@ fn main() {
     bench("reverse_negative_cache/with_cache", || run_reverse(&g, &candidates, 100, true));
     bench("reverse_negative_cache/without_cache", || run_reverse(&g, &candidates, 100, false));
 
-    let g2 = Dataset::Citation.generate_scaled(2, 0.5);
+    let g2 = std::sync::Arc::new(Dataset::Citation.generate_scaled(2, 0.5));
     let k = (g2.num_nodes() / 20).max(1);
     let cfg = VulnConfig::default().with_seed(42);
     bench("early_stop_vs_full_budget/bsr_full_budget", || {
-        let mut d = Detector::builder(&g2).config(cfg.clone()).build().unwrap();
+        let d = Detector::builder(std::sync::Arc::clone(&g2)).config(cfg.clone()).build().unwrap();
         d.detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse)).unwrap()
     });
     bench("early_stop_vs_full_budget/bsrbk_early_stop", || {
-        let mut d = Detector::builder(&g2).config(cfg.clone()).build().unwrap();
+        let d = Detector::builder(std::sync::Arc::clone(&g2)).config(cfg.clone()).build().unwrap();
         d.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).unwrap()
     });
 

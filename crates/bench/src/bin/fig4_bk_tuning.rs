@@ -19,7 +19,7 @@ fn main() {
     );
     let bks = [4usize, 8, 16, 32, 64];
     for ds in Dataset::TUNING {
-        let g = workload::generate(ds);
+        let g = std::sync::Arc::new(workload::generate(ds));
         let truth = workload::truth(&g);
         println!("{} (n = {}, m = {})", ds, g.num_nodes(), g.num_edges());
         let mut t = Table::new(&["k%", "bk-4", "bk-8", "bk-16", "bk-32", "bk-64"]);
@@ -28,8 +28,10 @@ fn main() {
             for bk in bks {
                 // `bk` is session state, so each setting gets its own
                 // session; bounds are cheap relative to sampling here.
-                let mut d =
-                    Detector::builder(&g).config(workload::config().with_bk(bk)).build().unwrap();
+                let d = Detector::builder(std::sync::Arc::clone(&g))
+                    .config(workload::config().with_bk(bk))
+                    .build()
+                    .unwrap();
                 let r = d.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).unwrap();
                 cells.push(f3(precision_with_ties(&r.top_k, &truth, k, 1e-9)));
             }

@@ -18,7 +18,7 @@ fn main() {
         workload::seed()
     );
     for ds in Dataset::ALL {
-        let g = workload::generate(ds);
+        let g = std::sync::Arc::new(workload::generate(ds));
         println!("{} (n = {}, m = {})", ds, g.num_nodes(), g.num_edges());
         let mut t = Table::new(&["k%", "N", "SN", "SR", "BSR", "BSRBK", "N/BSRBK"]);
         for (pct, k) in workload::k_grid(g.num_nodes()) {
@@ -27,7 +27,10 @@ fn main() {
             let mut bk_time = 0.0f64;
             for alg in AlgorithmKind::ALL {
                 // Fresh session per run: Figure 6 times the cold path.
-                let mut d = Detector::builder(&g).config(workload::config()).build().unwrap();
+                let d = Detector::builder(std::sync::Arc::clone(&g))
+                    .config(workload::config())
+                    .build()
+                    .unwrap();
                 let r = d.detect(&DetectRequest::new(k, alg)).unwrap();
                 let secs = r.stats.elapsed.as_secs_f64();
                 match alg {

@@ -25,7 +25,7 @@ fn main() {
         let mut t = Table::new(&["k%", "N", "SN", "SR", "BSR", "BSRBK"]);
         // One session per dataset: all k values and algorithms share the
         // cached bounds, reductions, and sampled worlds.
-        let mut d = Detector::builder(&g).config(workload::config()).build().unwrap();
+        let d = Detector::builder(&g).config(workload::config()).build().unwrap();
         for (pct, k) in workload::k_grid(g.num_nodes()) {
             let mut cells = vec![pct.to_string()];
             let requests: Vec<DetectRequest> =

@@ -107,19 +107,25 @@ pub(crate) fn validate_k(graph: &UncertainGraph, k: usize) {
 }
 
 /// One-shot run through a throwaway engine session — the harness behind
-/// the per-algorithm behavioral test suites and benches. Produces
-/// results identical to a cold [`Detector`](crate::engine::Detector)
-/// session (it *is* one). The 0.2.0 deprecated free-function shims
-/// (`detect`, `detect_naive`/`_sn`/`_sr`/`_bsr`/`_bsrbk`) that wrapped
-/// this were removed in 0.3.0 — build a session instead.
+/// the per-algorithm behavioral test suites, the benches, and the
+/// what-if module. Produces results identical to a cold
+/// [`Detector`](crate::engine::Detector) session (it *is* one). The
+/// 0.2.0 deprecated free-function shims (`detect`,
+/// `detect_naive`/`_sn`/`_sr`/`_bsr`/`_bsrbk`) that wrapped this were
+/// removed in 0.3.0 — build a session instead.
+///
+/// Takes any [`IntoSharedGraph`](crate::engine::IntoSharedGraph) shape;
+/// callers that loop (e.g. `greedy_hardening`) should pass an `Arc` so
+/// each call shares the graph instead of cloning it.
 pub(crate) fn run_one_shot(
-    graph: &UncertainGraph,
+    graph: impl crate::engine::IntoSharedGraph,
     k: usize,
     algorithm: AlgorithmKind,
     config: &VulnConfig,
 ) -> DetectionResult {
-    validate_k(graph, k);
-    let mut detector = crate::engine::Detector::builder(graph)
+    let graph = graph.into_shared();
+    validate_k(&graph, k);
+    let detector = crate::engine::Detector::builder(graph)
         .config(config.clone())
         .build()
         .expect("session configuration is valid");

@@ -1,5 +1,33 @@
 //! Session caches: bounds, candidate reductions, and prefix-extendable
-//! sample counts.
+//! sample counts — all safe to reach from many query threads at once.
+//!
+//! # Concurrency model
+//!
+//! Since 0.4 the [`Detector`](super::Detector) answers queries through
+//! `&self`, so every cache in this module is an interior-mutability cell
+//! designed for **single-flight** builds: when several queries miss on
+//! the same key at the same moment, exactly one of them computes the
+//! value while the others block on the same slot and then share the
+//! one `Arc` — never two redundant builds, never a torn read.
+//!
+//! * [`FlightMap`] — a keyed memo map (bounds, candidate reductions)
+//!   whose per-key slots serialize the build and let later arrivals
+//!   join an in-flight one.
+//! * [`StreamMap`] — per-sample-stream [`SampleCache`] cells. The
+//!   stream's mutex is held across a draw, which *is* the single-flight
+//!   property: a second query that wanted the same prefix blocks, then
+//!   finds the snapshot and draws nothing.
+//! * [`CoinCache`] — one mutex around the session's coin table.
+//!
+//! Lock ordering: a map-level mutex is only ever held to clone a slot
+//! `Arc` out (never across a build), and slot/stream locks are never
+//! nested — so the engine cannot deadlock no matter how queries
+//! interleave. Poisoned locks are recovered (`Mutex::into_inner`
+//! semantics): every cached value is inserted atomically after its
+//! build completes, so a panicking query can never publish a torn
+//! snapshot to the survivors.
+//!
+//! # The sample cache
 //!
 //! The sample cache exploits the samplers' per-sample RNG streams
 //! (sample `i` is always drawn from the stream derived from `(seed, i)`):
@@ -21,9 +49,11 @@
 //! boundary still merge exactly — partial superblocks mask the home
 //! blocks they do not cover.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use ugraph::UncertainGraph;
 use vulnds_sampling::{CoinTable, DefaultCounts};
@@ -35,6 +65,196 @@ use vulnds_sampling::{CoinTable, DefaultCounts};
 /// extension builds on) is always among the survivors.
 const MAX_SNAPSHOTS: usize = 8;
 
+/// Cap on distinct sample streams a session keeps (per direction). A
+/// service exposed to untrusted per-request seeds or candidate hints
+/// would otherwise grow one O(slots)-snapshot cell per distinct key
+/// forever. When full, an arbitrary other stream is evicted: every
+/// cached value here is rebuildable, so eviction costs a redraw, never
+/// correctness — answers are pure functions of `(seed, range)`.
+const MAX_STREAMS: usize = 64;
+
+/// Cap on distinct single-flight memo slots (candidate reductions are
+/// keyed by `k`, which untrusted requests choose). Same rebuildable
+/// rationale as [`MAX_STREAMS`].
+const MAX_SLOTS: usize = 256;
+
+/// Locks a mutex, recovering from poison (see the module docs), and
+/// reports whether the caller had to block to get it — the engine's
+/// `cache_waits` contention signal. Best-effort: a failed `try_lock`
+/// may also be a reader passing through, not a build.
+pub(crate) fn lock_tracked<T>(mutex: &Mutex<T>) -> (MutexGuard<'_, T>, bool) {
+    match mutex.try_lock() {
+        Ok(guard) => (guard, false),
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => (poisoned.into_inner(), false),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let guard = mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            (guard, true)
+        }
+    }
+}
+
+/// How a [`FlightMap`] lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flight {
+    /// The value was already cached; nothing was waited on.
+    Hit,
+    /// This caller computed the value.
+    Built,
+    /// Another caller was computing the value; this one blocked on the
+    /// same slot and shares the result (a deduplicated build).
+    Joined,
+}
+
+/// One single-flight slot: the `building` flag marks an in-progress
+/// build so late arrivals can tell "cache hit" from "joined a flight",
+/// and the value mutex is what they block on.
+#[derive(Debug)]
+struct Slot<V> {
+    building: AtomicBool,
+    value: Mutex<Option<Arc<V>>>,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Self {
+        Slot { building: AtomicBool::new(false), value: Mutex::new(None) }
+    }
+}
+
+/// A keyed memo map with single-flight builds: concurrent misses on the
+/// same key build once; everyone else blocks on the same slot and
+/// shares the one `Arc`.
+pub(crate) struct FlightMap<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K, V> Default for FlightMap<K, V> {
+    fn default() -> Self {
+        FlightMap { slots: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<K, V> std::fmt::Debug for FlightMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = lock_tracked(&self.slots).0.len();
+        f.debug_struct("FlightMap").field("slots", &len).finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> FlightMap<K, V> {
+    fn slot(&self, key: &K) -> Arc<Slot<V>> {
+        let (mut slots, _) = lock_tracked(&self.slots);
+        if !slots.contains_key(key) && slots.len() >= MAX_SLOTS {
+            evict_one(&mut slots, key);
+        }
+        slots.entry(key.clone()).or_default().clone()
+    }
+
+    /// Non-building probe. Returns the cached value and whether the
+    /// caller joined an in-flight build to get it; `None` if the key
+    /// has never finished building.
+    pub(crate) fn get(&self, key: &K) -> Option<(Arc<V>, bool)> {
+        let slot = {
+            let (slots, _) = lock_tracked(&self.slots);
+            slots.get(key)?.clone()
+        };
+        let joined = slot.building.load(Ordering::Acquire);
+        let (value, _) = lock_tracked(&slot.value);
+        value.as_ref().map(|v| (v.clone(), joined))
+    }
+
+    /// Returns the value for `key`, running `build` if (and only if) no
+    /// other caller has built or is building it.
+    pub(crate) fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> (Arc<V>, Flight) {
+        let slot = self.slot(key);
+        let in_flight = slot.building.load(Ordering::Acquire);
+        let (mut value, _) = lock_tracked(&slot.value);
+        if let Some(v) = &*value {
+            return (v.clone(), if in_flight { Flight::Joined } else { Flight::Hit });
+        }
+        slot.building.store(true, Ordering::Release);
+        let building_reset = MarkerReset(&slot.building);
+        let v = Arc::new(build());
+        *value = Some(v.clone());
+        drop(building_reset);
+        (v, Flight::Built)
+    }
+
+    /// Forgets every cached value. In-flight builds keep their detached
+    /// slots and complete normally; only future lookups see a cold map.
+    pub(crate) fn clear(&self) {
+        lock_tracked(&self.slots).0.clear();
+    }
+}
+
+/// Evicts an arbitrary entry other than `keep` from a full map (the
+/// cardinality backstop for untrusted key diversity — see
+/// [`MAX_STREAMS`]/[`MAX_SLOTS`]).
+fn evict_one<K: Eq + Hash + Clone, V>(map: &mut HashMap<K, V>, keep: &K) {
+    if let Some(victim) = map.keys().find(|k| *k != keep).cloned() {
+        map.remove(&victim);
+    }
+}
+
+/// One sample stream: the prefix-extendable cache plus a `drawing`
+/// marker set while a query materializes worlds under the cell lock, so
+/// a blocked second query can tell "joined an in-flight draw" from
+/// plain lock contention on a warm cell.
+#[derive(Debug, Default)]
+pub(crate) struct StreamCell {
+    pub(crate) drawing: AtomicBool,
+    pub(crate) cache: Mutex<SampleCache>,
+}
+
+/// Clears an atomic build/draw marker on drop — **including on
+/// unwind** — so a panicking build can never leave the join-detection
+/// flag stuck `true` (which would misclassify every later wait on that
+/// key as a deduplicated build).
+pub(crate) struct MarkerReset<'a>(pub(crate) &'a AtomicBool);
+
+impl Drop for MarkerReset<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Per-stream [`StreamCell`]s (one per seed, or per
+/// `(seed, candidate-set)` for reverse sampling). The cell mutex is held
+/// across a draw, which gives sample streams their single-flight
+/// property for free.
+pub(crate) struct StreamMap<K> {
+    streams: Mutex<HashMap<K, Arc<StreamCell>>>,
+}
+
+impl<K> Default for StreamMap<K> {
+    fn default() -> Self {
+        StreamMap { streams: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<K> std::fmt::Debug for StreamMap<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = lock_tracked(&self.streams).0.len();
+        f.debug_struct("StreamMap").field("streams", &len).finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone> StreamMap<K> {
+    /// The stream's cache cell, created cold on first access.
+    pub(crate) fn stream(&self, key: K) -> Arc<StreamCell> {
+        let (mut streams, _) = lock_tracked(&self.streams);
+        if !streams.contains_key(&key) && streams.len() >= MAX_STREAMS {
+            evict_one(&mut streams, &key);
+        }
+        streams.entry(key).or_default().clone()
+    }
+
+    /// Forgets every stream. Queries mid-draw keep their detached cell
+    /// (and their snapshots stay valid); future queries start cold.
+    pub(crate) fn clear(&self) {
+        lock_tracked(&self.streams).0.clear();
+    }
+}
+
 /// Session cache of the graph's [`CoinTable`] — the per-graph
 /// fixed-point thresholds the counter-RNG synthesis reads.
 ///
@@ -42,7 +262,10 @@ const MAX_SNAPSHOTS: usize = 8;
 /// graph's probability version: a `set_self_risk`/`set_edge_prob` call
 /// bumps the version, so a stale table is **rebuilt** instead of
 /// serving old thresholds (and the rebuild is counted, so sessions can
-/// report it).
+/// report it). A `Detector` shares its graph immutably through an
+/// `Arc`, so within a session the table is effectively built once; the
+/// revalidation guards the cache when it is driven directly against a
+/// graph that mutates between calls.
 #[derive(Debug, Default)]
 pub(crate) struct CoinCache {
     table: Option<Arc<CoinTable>>,
@@ -50,19 +273,27 @@ pub(crate) struct CoinCache {
 }
 
 impl CoinCache {
+    /// The cached table, if it is current for `graph` — never builds.
+    pub(crate) fn peek(&self, graph: &UncertainGraph) -> Option<Arc<CoinTable>> {
+        self.table.as_ref().filter(|table| table.matches(graph)).cloned()
+    }
+
     /// Returns a current table for `graph`, building (or rebuilding)
     /// it if the cached one is missing or stale. The flag reports
     /// whether this call built a table.
     pub(crate) fn get(&mut self, graph: &UncertainGraph) -> (Arc<CoinTable>, bool) {
-        if let Some(table) = &self.table {
-            if table.matches(graph) {
-                return (table.clone(), false);
-            }
+        if let Some(table) = self.peek(graph) {
+            return (table, false);
         }
         let table = Arc::new(CoinTable::new(graph));
         self.table = Some(table.clone());
         self.builds += 1;
         (table, true)
+    }
+
+    /// Forgets the cached table.
+    pub(crate) fn clear(&mut self) {
+        self.table = None;
     }
 
     /// Tables built (including rebuilds after invalidation) over the
@@ -172,6 +403,99 @@ mod tests {
         assert!(built, "stale coin table served after set_self_risk");
         assert_eq!(t4.node_threshold(1), vulnds_sampling::coins::quantize_probability(0.9));
         assert_eq!(cache.builds(), 3);
+    }
+
+    #[test]
+    fn flight_map_builds_once_and_hits_after() {
+        let map: FlightMap<u32, u64> = FlightMap::default();
+        assert!(map.get(&7).is_none());
+        let (v, flight) = map.get_or_build(&7, || 42);
+        assert_eq!((*v, flight), (42, Flight::Built));
+        let (v, flight) = map.get_or_build(&7, || panic!("must not rebuild"));
+        assert_eq!((*v, flight), (42, Flight::Hit));
+        let (v, joined) = map.get(&7).expect("built key probes as present");
+        assert_eq!((*v, joined), (42, false));
+        map.clear();
+        assert!(map.get(&7).is_none());
+        let (_, flight) = map.get_or_build(&7, || 43);
+        assert_eq!(flight, Flight::Built, "clear() must cold-start future lookups");
+    }
+
+    #[test]
+    fn flight_map_dedups_concurrent_builds() {
+        use std::sync::atomic::AtomicU64;
+        let map: FlightMap<u32, u64> = FlightMap::default();
+        let builds = AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        let (v, flight) = map.get_or_build(&1, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            // Widen the build window so late arrivals
+                            // reliably join the flight.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            99u64
+                        });
+                        (*v, flight)
+                    })
+                })
+                .collect();
+            let results: Vec<(u64, Flight)> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(results.iter().all(|&(v, _)| v == 99));
+            assert_eq!(
+                results.iter().filter(|&&(_, f)| f == Flight::Built).count(),
+                1,
+                "exactly one thread may build"
+            );
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "the build closure ran more than once");
+    }
+
+    #[test]
+    fn stream_map_shares_cells_and_clears_cold() {
+        let map: StreamMap<u64> = StreamMap::default();
+        let a = map.stream(5);
+        let b = map.stream(5);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one cell");
+        let other = map.stream(6);
+        assert!(!Arc::ptr_eq(&a, &other));
+        lock_tracked(&a.cache).0.serve(10, 64, draw);
+        map.clear();
+        let fresh = map.stream(5);
+        assert!(!Arc::ptr_eq(&a, &fresh), "clear() must detach old cells");
+        let (_, drawn, reused) = lock_tracked(&fresh.cache).0.serve(10, 64, draw);
+        assert_eq!((drawn, reused), (10, 0), "post-clear stream must start cold");
+        // The detached cell still works for whoever holds it.
+        let (_, drawn, reused) = lock_tracked(&a.cache).0.serve(10, 64, draw);
+        assert_eq!((drawn, reused), (0, 10));
+    }
+
+    #[test]
+    fn cache_cardinality_is_bounded_against_key_diversity() {
+        // Hostile seed sweep: the stream map never exceeds its cap, and
+        // the requested key always gets a live cell.
+        let map: StreamMap<u64> = StreamMap::default();
+        for seed in 0..(MAX_STREAMS as u64 * 4) {
+            let cell = map.stream(seed);
+            lock_tracked(&cell.cache).0.serve(10, 64, draw);
+        }
+        let len = lock_tracked(&map.streams).0.len();
+        assert!(len <= MAX_STREAMS, "stream map grew to {len}");
+        // Same for single-flight slots under a k sweep.
+        let slots: FlightMap<u64, u64> = FlightMap::default();
+        for k in 0..(MAX_SLOTS as u64 * 2) {
+            let (v, _) = slots.get_or_build(&k, || k);
+            assert_eq!(*v, k);
+        }
+        let len = lock_tracked(&slots.slots).0.len();
+        assert!(len <= MAX_SLOTS, "slot map grew to {len}");
+        // An evicted key simply rebuilds — values are pure.
+        let (v, _) = slots.get_or_build(&0, || 0);
+        assert_eq!(*v, 0);
     }
 
     /// Fake draw: counts slot 0 once per sample, tagging nothing else —

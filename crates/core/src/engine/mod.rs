@@ -1,14 +1,27 @@
 //! # The session-oriented detection engine
 //!
 //! [`Detector`] is the primary public API of the VulnDS system: a query
-//! session bound to one graph that owns the run configuration, a worker
-//! thread count, and **reusable state** — bound vectors (Algorithms 2–3),
-//! candidate reductions (Algorithm 4), and cumulative sampled-world
-//! counts — so that repeated queries (multiple `k`, tweaked `ε`/`δ`,
-//! what-if follow-ups) amortize each other's work instead of re-deriving
-//! everything from scratch like the classic free functions.
+//! session that **owns** one shared graph (`Arc<UncertainGraph>`), the
+//! run configuration, a worker thread count, and **reusable state** —
+//! bound vectors (Algorithms 2–3), candidate reductions (Algorithm 4),
+//! and cumulative sampled-world counts — so that repeated queries
+//! (multiple `k`, tweaked `ε`/`δ`, what-if follow-ups) amortize each
+//! other's work instead of re-deriving everything from scratch like the
+//! classic free functions.
+//!
+//! Since 0.4 the engine is built for **concurrent multi-client use**:
+//! [`Detector::detect`], [`Detector::detect_many`],
+//! [`Detector::session_stats`], and [`Detector::clear_cache`] all take
+//! `&self`, `Detector` is `Send + Sync`, and one session can be shared
+//! across any number of query threads (wrap it in an `Arc`, or hand out
+//! `&Detector` borrows from a scoped thread). Session caches build
+//! **single-flight**: when several queries miss on the same plan key at
+//! the same moment, one of them computes the value while the rest block
+//! on the same slot and share the one `Arc` — so amortization compounds
+//! across clients, not just across requests.
 //!
 //! ```
+//! use std::sync::Arc;
 //! use ugraph::{NodeId, UncertainGraph};
 //! use vulnds_core::engine::{DetectRequest, Detector};
 //! use vulnds_core::AlgorithmKind;
@@ -22,28 +35,51 @@
 //! }
 //! let graph = b.build().unwrap();
 //!
-//! let mut detector = Detector::builder(&graph).seed(7).build().unwrap();
+//! // The builder takes `&UncertainGraph` (clones), `UncertainGraph`
+//! // (moves), or `Arc<UncertainGraph>` (shares) — the session owns the
+//! // graph either way.
+//! let detector = Detector::builder(graph).seed(7).build().unwrap();
 //! let top1 = detector.detect(&DetectRequest::new(1, AlgorithmKind::BottomK)).unwrap();
 //! assert_eq!(top1.top_k[0].node, NodeId(4));
 //!
 //! // A follow-up query reuses the session's bounds and sampled worlds.
 //! let top2 = detector.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)).unwrap();
 //! assert!(top2.engine.bounds_reused);
+//!
+//! // Concurrent clients share one session through `&self`.
+//! let service = Arc::new(detector);
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let service = Arc::clone(&service);
+//!         s.spawn(move || {
+//!             service.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)).unwrap()
+//!         });
+//!     }
+//! });
 //! ```
 //!
 //! ## Determinism
 //!
 //! Results are bit-identical for a given `(graph, config, request)`
-//! across thread counts, across repeated calls, and across warm vs cold
-//! caches: sample `i` is always drawn from the RNG stream derived from
-//! `(seed, i)` and IS the materialized world
-//! `PossibleWorld::sample_indexed(graph, seed, i)`, so cached cumulative
-//! counts over ids `0..t0` extend to `0..t` by drawing only `t0..t` —
-//! exactly what a cold run would have produced. Sampling executes on the
-//! bit-parallel world-block kernel (64 worlds per block, see
-//! `vulnds_sampling::block`); the session cache additionally snapshots
-//! counts at 64-aligned block boundaries so prefix extensions resume on
-//! whole blocks.
+//! across thread counts, across repeated calls, across warm vs cold
+//! caches, **and across concurrent interleavings**: sample `i` is
+//! always drawn from the RNG stream derived from `(seed, i)` and IS the
+//! materialized world `PossibleWorld::sample_indexed(graph, seed, i)`,
+//! so cached cumulative counts over ids `0..t0` extend to `0..t` by
+//! drawing only `t0..t` — exactly what a cold run would have produced.
+//! A stream's cache cell is locked across a draw, so concurrent queries
+//! on the same stream serialize into the same prefix-extension order a
+//! serial run would take; queries on different streams proceed in
+//! parallel. Sampling executes on the bit-parallel world-block kernel
+//! (64 worlds per block, see `vulnds_sampling::block`); the session
+//! cache additionally snapshots counts at 64-aligned block boundaries
+//! so prefix extensions resume on whole blocks.
+//!
+//! Only the *diagnostics* may differ between interleavings: cache
+//! counters ([`EngineStats`], [`SessionStats`]) describe which query
+//! happened to build or reuse shared state, and wall-clock `elapsed`
+//! is wall clock. The answers (`top_k`, `RunStats` budgets/counts) are
+//! invariant.
 //!
 //! ## Batching
 //!
@@ -65,6 +101,7 @@ pub use algorithms::{
 pub use request::{DetectRequest, DetectResponse, EngineStats, ResolvedRequest};
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ugraph::{NodeId, UncertainGraph};
@@ -79,20 +116,60 @@ use crate::candidates::{reduce_candidates, CandidateReduction};
 use crate::config::{ApproxParams, BoundsMethod, VulnConfig};
 use crate::error::Result;
 
-use cache::{CoinCache, SampleCache};
+use cache::{lock_tracked, CoinCache, Flight, FlightMap, MarkerReset, StreamMap};
 
 /// Lower and upper bound vectors, as cached by a session.
 pub type BoundsPair = (Vec<f64>, Vec<f64>);
 
+/// Conversion into the shared graph a [`Detector`] session owns.
+///
+/// Lets [`Detector::builder`] accept every common ownership shape:
+///
+/// * `Arc<UncertainGraph>` / `&Arc<UncertainGraph>` — shared as-is
+///   (this is how a service hands one graph to many sessions without
+///   copying it),
+/// * `UncertainGraph` — moved into a fresh `Arc`,
+/// * `&UncertainGraph` — **cloned** into a fresh `Arc`, so pre-0.4 call
+///   sites keep compiling (at the cost of one graph copy — pass the
+///   graph by value or by `Arc` to avoid it).
+pub trait IntoSharedGraph {
+    /// The shared graph the session will own.
+    fn into_shared(self) -> Arc<UncertainGraph>;
+}
+
+impl IntoSharedGraph for Arc<UncertainGraph> {
+    fn into_shared(self) -> Arc<UncertainGraph> {
+        self
+    }
+}
+
+impl IntoSharedGraph for &Arc<UncertainGraph> {
+    fn into_shared(self) -> Arc<UncertainGraph> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoSharedGraph for UncertainGraph {
+    fn into_shared(self) -> Arc<UncertainGraph> {
+        Arc::new(self)
+    }
+}
+
+impl IntoSharedGraph for &UncertainGraph {
+    fn into_shared(self) -> Arc<UncertainGraph> {
+        Arc::new(self.clone())
+    }
+}
+
 /// Builder for a [`Detector`] session.
 #[derive(Debug, Clone)]
-pub struct DetectorBuilder<'g> {
-    graph: &'g UncertainGraph,
+pub struct DetectorBuilder {
+    graph: Arc<UncertainGraph>,
     config: VulnConfig,
     threads: Option<usize>,
 }
 
-impl<'g> DetectorBuilder<'g> {
+impl DetectorBuilder {
     /// Adopts a full configuration (including its thread count, for
     /// drop-in compatibility with the classic API).
     pub fn config(mut self, config: VulnConfig) -> Self {
@@ -160,7 +237,7 @@ impl<'g> DetectorBuilder<'g> {
     }
 
     /// Builds the session.
-    pub fn build(self) -> Result<Detector<'g>> {
+    pub fn build(self) -> Result<Detector> {
         let mut config = self.config;
         config.threads = self.threads.unwrap_or_else(default_threads).max(1);
         Ok(Detector { graph: self.graph, config, state: EngineState::default() })
@@ -173,6 +250,12 @@ pub fn default_threads() -> usize {
 }
 
 /// Cumulative cache counters for a whole session.
+///
+/// Under concurrent use the counters are maintained with relaxed
+/// atomics: totals are exact once the session is quiescent, and a
+/// snapshot taken mid-traffic is a consistent-enough view for
+/// monitoring (each counter is individually accurate; cross-counter
+/// invariants may be momentarily off by in-flight queries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// Queries answered (batch requests count individually).
@@ -204,25 +287,110 @@ pub struct SessionStats {
     /// Widest superblock (in 64-lane words) any pass of the session ran
     /// on — 0 until a sampling pass executes.
     pub widest_block_words: usize,
+    /// Times a query blocked on session state another query was holding
+    /// (an in-flight single-flight build, or a sample stream mid-draw).
+    /// Best-effort: brief reader/reader contention can count too.
+    pub cache_waits: u64,
+    /// Builds avoided by single-flight deduplication: the query wanted
+    /// a value another query was already computing, waited, and shared
+    /// the result instead of redoing the work.
+    pub builds_deduped: u64,
+    /// Most `detect`/`detect_many` calls ever in flight at once — the
+    /// session's observed concurrency level (1 under serial use).
+    pub concurrent_peak: u64,
 }
 
-/// Session caches (bounds, reductions, sample streams) plus counters.
+/// Lock-free session totals (the source of [`SessionStats`] snapshots).
+#[derive(Debug, Default)]
+struct SessionTotals {
+    queries: AtomicU64,
+    samples_drawn: AtomicU64,
+    samples_reused: AtomicU64,
+    bounds_computed: AtomicU64,
+    bounds_reused: AtomicU64,
+    reductions_computed: AtomicU64,
+    reductions_reused: AtomicU64,
+    coin_tables_built: AtomicU64,
+    coin_words_synthesized: AtomicU64,
+    lazy_edge_words_skipped: AtomicU64,
+    superblocks_evaluated: AtomicU64,
+    widest_block_words: AtomicUsize,
+    cache_waits: AtomicU64,
+    builds_deduped: AtomicU64,
+    concurrent_peak: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl SessionTotals {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks a query in flight and tracks the concurrency high-water
+    /// mark; the guard un-marks on drop (including error paths).
+    fn enter(&self) -> InFlightGuard<'_> {
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.concurrent_peak.fetch_max(now, Ordering::AcqRel);
+        InFlightGuard(self)
+    }
+
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            samples_drawn: self.samples_drawn.load(Ordering::Relaxed),
+            samples_reused: self.samples_reused.load(Ordering::Relaxed),
+            bounds_computed: self.bounds_computed.load(Ordering::Relaxed),
+            bounds_reused: self.bounds_reused.load(Ordering::Relaxed),
+            reductions_computed: self.reductions_computed.load(Ordering::Relaxed),
+            reductions_reused: self.reductions_reused.load(Ordering::Relaxed),
+            coin_tables_built: self.coin_tables_built.load(Ordering::Relaxed),
+            coin_words_synthesized: self.coin_words_synthesized.load(Ordering::Relaxed),
+            lazy_edge_words_skipped: self.lazy_edge_words_skipped.load(Ordering::Relaxed),
+            superblocks_evaluated: self.superblocks_evaluated.load(Ordering::Relaxed),
+            widest_block_words: self.widest_block_words.load(Ordering::Relaxed),
+            cache_waits: self.cache_waits.load(Ordering::Relaxed),
+            builds_deduped: self.builds_deduped.load(Ordering::Relaxed),
+            concurrent_peak: self.concurrent_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct InFlightGuard<'a>(&'a SessionTotals);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Session caches (bounds, reductions, sample streams) plus counters —
+/// every cell safe to reach from many query threads at once (see the
+/// [`cache`] module docs for the concurrency model).
 #[derive(Debug, Default)]
 struct EngineState {
-    bounds: HashMap<(usize, BoundsMethod), Arc<BoundsPair>>,
-    reductions: HashMap<(usize, usize, BoundsMethod), Arc<CandidateReduction>>,
-    forward: HashMap<u64, SampleCache>,
-    reverse: HashMap<(u64, Vec<u32>), SampleCache>,
-    coins: CoinCache,
-    totals: SessionStats,
+    bounds: FlightMap<(usize, BoundsMethod), BoundsPair>,
+    reductions: FlightMap<(usize, usize, BoundsMethod), CandidateReduction>,
+    forward: StreamMap<u64>,
+    reverse: StreamMap<(u64, Vec<u32>)>,
+    coins: std::sync::Mutex<CoinCache>,
+    /// True while a query holds `coins` for a table (re)build — lets a
+    /// blocked `coin_table` call tell a single-flight join from warm
+    /// lock contention (see [`EngineCtx::coin_table`]).
+    coins_building: std::sync::atomic::AtomicBool,
+    totals: SessionTotals,
 }
 
 /// What [`Algorithm`] implementations see of a session: the graph, the
 /// resolved configuration, and cache accessors that record usage.
+///
+/// One `EngineCtx` exists per query, on the query's stack: the
+/// mutability (`&mut self` accessors) is the query's own stat
+/// accumulator, while all shared session state behind `state` is
+/// reached through interior-concurrent cells.
 pub struct EngineCtx<'a> {
     graph: &'a UncertainGraph,
     config: &'a VulnConfig,
-    state: &'a mut EngineState,
+    state: &'a EngineState,
     request: EngineStats,
     // First-access guards: a request that computes bounds and then reaches
     // them again through the cache did not "reuse" session state.
@@ -244,53 +412,105 @@ impl<'a> EngineCtx<'a> {
         self.config
     }
 
+    /// Records a single-flight join (this query waited for another
+    /// query's in-flight build and shared its result).
+    fn note_join(&mut self) {
+        if self.record_usage {
+            SessionTotals::add(&self.state.totals.cache_waits, 1);
+            SessionTotals::add(&self.state.totals.builds_deduped, 1);
+        }
+    }
+
+    /// Single-flight lookup accounting shared by every memo layer: a
+    /// build counts as computed; a hit (or join) on the request's first
+    /// access marks the layer reused; a join additionally counts
+    /// wait + dedup. One implementation so the layers cannot drift.
+    fn note_flight(&mut self, flight: Flight, first_access: bool, layer: MemoLayer) {
+        let state = self.state;
+        match flight {
+            Flight::Built => {
+                let computed = match layer {
+                    MemoLayer::Bounds => &state.totals.bounds_computed,
+                    MemoLayer::Reductions => &state.totals.reductions_computed,
+                };
+                SessionTotals::add(computed, 1);
+            }
+            Flight::Hit | Flight::Joined => {
+                if first_access && self.record_usage {
+                    match layer {
+                        MemoLayer::Bounds => {
+                            self.request.bounds_reused = true;
+                            SessionTotals::add(&state.totals.bounds_reused, 1);
+                        }
+                        MemoLayer::Reductions => {
+                            self.request.reduction_reused = true;
+                            SessionTotals::add(&state.totals.reductions_reused, 1);
+                        }
+                    }
+                }
+                if flight == Flight::Joined {
+                    self.note_join();
+                }
+            }
+        }
+    }
+
     /// Bound vectors for the session's `(order, method)`, computed once
-    /// per session.
+    /// per session (single-flight under concurrent misses).
     pub fn bounds(&mut self) -> Arc<BoundsPair> {
         let first_access = !self.bounds_accessed;
         self.bounds_accessed = true;
         let key = (self.config.bound_order, self.config.bounds_method);
-        if let Some(hit) = self.state.bounds.get(&key) {
-            if first_access && self.record_usage {
-                self.request.bounds_reused = true;
-                self.state.totals.bounds_reused += 1;
-            }
-            return hit.clone();
-        }
-        let pair = Arc::new(compute_bounds(self.graph, key.0, key.1));
-        self.state.bounds.insert(key, pair.clone());
-        self.state.totals.bounds_computed += 1;
+        let graph = self.graph;
+        let (pair, flight) =
+            self.state.bounds.get_or_build(&key, || compute_bounds(graph, key.0, key.1));
+        self.note_flight(flight, first_access, MemoLayer::Bounds);
         pair
     }
 
     /// Candidate reduction (Algorithm 4) for `k`, computed once per
-    /// session and `k`.
+    /// session and `k` (single-flight under concurrent misses).
     pub fn reduction(&mut self, k: usize) -> Arc<CandidateReduction> {
         let first_access = !self.reduction_accessed;
         self.reduction_accessed = true;
         let key = (k, self.config.bound_order, self.config.bounds_method);
-        if let Some(hit) = self.state.reductions.get(&key) {
-            if first_access && self.record_usage {
-                self.request.reduction_reused = true;
-                self.state.totals.reductions_reused += 1;
-            }
-            return hit.clone();
+        // Probe before touching bounds: a cached reduction must not
+        // pull the bound vectors (pre-0.4 behavior, preserved).
+        if let Some((hit, joined)) = self.state.reductions.get(&key) {
+            let flight = if joined { Flight::Joined } else { Flight::Hit };
+            self.note_flight(flight, first_access, MemoLayer::Reductions);
+            return hit;
         }
         let bounds = self.bounds();
-        let reduction = Arc::new(reduce_candidates(&bounds.0, &bounds.1, k));
-        self.state.reductions.insert(key, reduction.clone());
-        self.state.totals.reductions_computed += 1;
+        let (reduction, flight) =
+            self.state.reductions.get_or_build(&key, || reduce_candidates(&bounds.0, &bounds.1, k));
+        self.note_flight(flight, first_access, MemoLayer::Reductions);
         reduction
     }
 
     /// The session's [`CoinTable`], built on first use and rebuilt
     /// whenever the graph's probability version changes (so a stale
-    /// table can never serve old thresholds).
+    /// table can never serve old thresholds). Concurrent first uses
+    /// build once: the cache mutex is held across the build, and the
+    /// `coins_building` marker distinguishes "waited on a real build"
+    /// (a single-flight join) from warm-lookup lock contention, which
+    /// counts as neither a wait nor a dedup.
     pub fn coin_table(&mut self) -> Arc<CoinTable> {
-        let (table, built) = self.state.coins.get(self.graph);
-        if built {
-            self.state.totals.coin_tables_built += 1;
+        let build_seen = self.state.coins_building.load(Ordering::Acquire);
+        let (mut coins, waited) = lock_tracked(&self.state.coins);
+        if let Some(table) = coins.peek(self.graph) {
+            drop(coins);
+            if waited && build_seen {
+                self.note_join();
+            }
+            return table;
         }
+        self.state.coins_building.store(true, Ordering::Release);
+        let building_reset = MarkerReset(&self.state.coins_building);
+        let (table, _) = coins.get(self.graph);
+        drop(building_reset);
+        drop(coins);
+        SessionTotals::add(&self.state.totals.coin_tables_built, 1);
         table
     }
 
@@ -304,37 +524,24 @@ impl<'a> EngineCtx<'a> {
     }
 
     /// Cumulative forward-sample counts over ids `0..t` for `seed`,
-    /// served through the session's prefix-extendable cache.
+    /// served through the session's prefix-extendable cache. The
+    /// stream's cell is locked across the draw, so a concurrent query
+    /// wanting the same prefix blocks and then reuses it (single-flight
+    /// sampling).
     pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
-        let width = self.plan_block_words(t);
-        let cache = self.state.forward.entry(seed).or_default();
-        let mut usage = CoinUsage::default();
-        // The width a drawn range actually runs on: `fit_width` narrows
-        // the planned width when the gap is too small to keep every
-        // thread busy (e.g. a short cache extension), and the stats
-        // must report what executed, not what was planned.
-        let mut used_width: Option<BlockWords> = None;
-        let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
-            let fitted = fit_width(&range, width, threads);
-            used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
-            let (c, u) =
-                parallel_forward_counts_range_width(graph, &coins, range, seed, threads, fitted);
-            usage.merge(&u);
-            c
-        });
-        self.note_usage(drawn, reused);
-        self.note_coins(&usage);
-        if let Some(width) = used_width {
-            self.note_width(width);
-        }
-        counts
+        let stream = self.state.forward.stream(seed);
+        self.stream_counts(&stream, t, |range, fitted| {
+            parallel_forward_counts_range_width(graph, &coins, range, seed, threads, fitted)
+        })
     }
 
     /// Cumulative reverse-sample counts over ids `0..t` for
     /// `(seed, candidates)`, served through the session's
-    /// prefix-extendable cache. Counts are indexed by candidate position.
+    /// prefix-extendable cache (locked across the draw, like
+    /// [`EngineCtx::forward_counts`]). Counts are indexed by candidate
+    /// position.
     pub fn reverse_counts(
         &mut self,
         candidates: &[NodeId],
@@ -343,21 +550,58 @@ impl<'a> EngineCtx<'a> {
     ) -> Arc<DefaultCounts> {
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
-        let width = self.plan_block_words(t);
         let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
-        let cache = self.state.reverse.entry(key).or_default();
+        let stream = self.state.reverse.stream(key);
+        self.stream_counts(&stream, t, |range, fitted| {
+            parallel_reverse_counts_range_width(
+                graph, &coins, candidates, range, seed, threads, fitted,
+            )
+        })
+    }
+
+    /// The shared stream-cell protocol behind
+    /// [`EngineCtx::forward_counts`]/[`EngineCtx::reverse_counts`]:
+    /// probe the `drawing` marker, lock the cell, serve through the
+    /// prefix cache, and account waits/coins/width. `draw` materializes
+    /// one raw id range at the fitted width.
+    ///
+    /// Protocol invariants (correctness-sensitive for the wait/dedup
+    /// counters, so they live in exactly one place):
+    /// * the marker is read *before* the lock — that snapshot is what
+    ///   distinguishes "joined an in-flight draw" from warm lock
+    ///   contention;
+    /// * the marker flips *inside* the serve closure, which only runs
+    ///   when worlds are actually materialized, so a warm hit never
+    ///   marks;
+    /// * the guard clears the marker even on unwind.
+    ///
+    /// `fit_width` narrows the planned width when a drawn gap is too
+    /// small to keep every thread busy (e.g. a short cache extension);
+    /// the stats report the width that executed, not the plan.
+    fn stream_counts(
+        &mut self,
+        stream: &cache::StreamCell,
+        t: u64,
+        mut draw: impl FnMut(std::ops::Range<u64>, BlockWords) -> (DefaultCounts, CoinUsage),
+    ) -> Arc<DefaultCounts> {
+        let threads = self.config.threads;
+        let width = self.plan_block_words(t);
+        let draw_in_flight = stream.drawing.load(Ordering::Acquire);
+        let (mut cache, waited) = lock_tracked(&stream.cache);
         let mut usage = CoinUsage::default();
-        // See `forward_counts`: report the fitted width that executed.
         let mut used_width: Option<BlockWords> = None;
+        let drawing_reset = MarkerReset(&stream.drawing);
         let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
+            stream.drawing.store(true, Ordering::Release);
             let fitted = fit_width(&range, width, threads);
             used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
-            let (c, u) = parallel_reverse_counts_range_width(
-                graph, &coins, candidates, range, seed, threads, fitted,
-            );
+            let (c, u) = draw(range, fitted);
             usage.merge(&u);
             c
         });
+        drop(drawing_reset);
+        drop(cache);
+        self.note_stream_wait(waited, draw_in_flight, drawn);
         self.note_usage(drawn, reused);
         self.note_coins(&usage);
         if let Some(width) = used_width {
@@ -379,25 +623,47 @@ impl<'a> EngineCtx<'a> {
         self.request.coin_words_synthesized += usage.words;
         self.request.lazy_edge_words_skipped += usage.edge_words_skipped;
         self.request.superblocks += usage.superblocks;
-        self.state.totals.coin_words_synthesized += usage.words;
-        self.state.totals.lazy_edge_words_skipped += usage.edge_words_skipped;
-        self.state.totals.superblocks_evaluated += usage.superblocks;
+        SessionTotals::add(&self.state.totals.coin_words_synthesized, usage.words);
+        SessionTotals::add(&self.state.totals.lazy_edge_words_skipped, usage.edge_words_skipped);
+        SessionTotals::add(&self.state.totals.superblocks_evaluated, usage.superblocks);
     }
 
     /// Records the superblock width a sampling pass ran on (the widest
     /// pass wins within a request and across the session).
     pub fn note_width(&mut self, width: BlockWords) {
         self.request.block_words = self.request.block_words.max(width.words());
-        self.state.totals.widest_block_words =
-            self.state.totals.widest_block_words.max(width.words());
+        self.state.totals.widest_block_words.fetch_max(width.words(), Ordering::Relaxed);
+    }
+
+    /// Stream-cell contention bookkeeping. `waited` means the query
+    /// blocked on the cell lock; a *deduplicated build* is only counted
+    /// when the cell's `drawing` marker showed an actual materialization
+    /// in flight when this query arrived AND the query then drew
+    /// nothing itself — plain lock contention between warm cache hits
+    /// counts as a wait, never as a dedup.
+    fn note_stream_wait(&mut self, waited: bool, draw_in_flight: bool, drawn: u64) {
+        if waited && self.record_usage {
+            SessionTotals::add(&self.state.totals.cache_waits, 1);
+            if draw_in_flight && drawn == 0 {
+                SessionTotals::add(&self.state.totals.builds_deduped, 1);
+            }
+        }
     }
 
     fn note_usage(&mut self, drawn: u64, reused: u64) {
         self.request.samples_drawn += drawn;
         self.request.samples_reused += reused;
-        self.state.totals.samples_drawn += drawn;
-        self.state.totals.samples_reused += reused;
+        SessionTotals::add(&self.state.totals.samples_drawn, drawn);
+        SessionTotals::add(&self.state.totals.samples_reused, reused);
     }
+}
+
+/// Which single-flight memo layer a lookup touched (for
+/// [`EngineCtx::note_flight`]'s shared accounting).
+#[derive(Clone, Copy)]
+enum MemoLayer {
+    Bounds,
+    Reductions,
 }
 
 /// How a request will sample, for batch planning: requests with equal
@@ -413,23 +679,45 @@ enum PlanKey {
     Solo { index: usize },
 }
 
-/// A query session bound to one graph. See the [module docs](self).
+/// A query session that owns one shared graph. See the
+/// [module docs](self).
+///
+/// `Detector` is `Send + Sync`: share one session across threads (via
+/// `Arc<Detector>` or scoped borrows) and call [`Detector::detect`] /
+/// [`Detector::detect_many`] from all of them — answers are
+/// bit-identical to serial execution, and the caches amortize across
+/// every client.
 #[derive(Debug)]
-pub struct Detector<'g> {
-    graph: &'g UncertainGraph,
+pub struct Detector {
+    graph: Arc<UncertainGraph>,
     config: VulnConfig,
     state: EngineState,
 }
 
-impl<'g> Detector<'g> {
-    /// Starts building a session for `graph`.
-    pub fn builder(graph: &'g UncertainGraph) -> DetectorBuilder<'g> {
-        DetectorBuilder { graph, config: VulnConfig::default(), threads: None }
+// Compile-time proof of the 0.4 concurrency contract: a `Detector`
+// can be shared across threads by reference.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Detector>();
+};
+
+impl Detector {
+    /// Starts building a session for `graph` — accepts
+    /// `&UncertainGraph` (clones), `UncertainGraph` (moves), or
+    /// `Arc<UncertainGraph>` (shares); see [`IntoSharedGraph`].
+    pub fn builder(graph: impl IntoSharedGraph) -> DetectorBuilder {
+        DetectorBuilder { graph: graph.into_shared(), config: VulnConfig::default(), threads: None }
     }
 
     /// The session's graph.
-    pub fn graph(&self) -> &'g UncertainGraph {
-        self.graph
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.graph
+    }
+
+    /// The session's graph, shareable with other sessions or threads
+    /// without copying.
+    pub fn shared_graph(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The session's resolved configuration (threads already defaulted).
@@ -437,31 +725,40 @@ impl<'g> Detector<'g> {
         &self.config
     }
 
-    /// Cumulative cache counters for the session.
+    /// Cumulative cache counters for the session (a consistent snapshot
+    /// of the atomic totals).
     pub fn session_stats(&self) -> SessionStats {
-        self.state.totals
+        self.state.totals.snapshot()
     }
 
-    /// Drops all cached state (bounds, reductions, sampled worlds) but
-    /// keeps the session counters. Subsequent queries behave like a
-    /// fresh session — results are identical either way.
-    pub fn clear_cache(&mut self) {
-        let totals = self.state.totals;
-        self.state = EngineState::default();
-        self.state.totals = totals;
+    /// Drops all cached state (bounds, reductions, coin table, sampled
+    /// worlds) but keeps the session counters. Subsequent queries
+    /// behave like a fresh session — results are identical either way.
+    ///
+    /// Safe to call while other queries are in flight: an in-flight
+    /// query keeps `Arc` snapshots of (and detached cells for) whatever
+    /// state it already reached, finishes on them, and returns exactly
+    /// what it would have returned without the clear; only queries that
+    /// *start* afterwards see a cold cache.
+    pub fn clear_cache(&self) {
+        self.state.bounds.clear();
+        self.state.reductions.clear();
+        self.state.forward.clear();
+        self.state.reverse.clear();
+        lock_tracked(&self.state.coins).0.clear();
     }
 
     /// Precomputes the session's bound vectors (useful before taking
     /// traffic) and returns them.
-    pub fn warm_bounds(&mut self) -> Arc<BoundsPair> {
+    pub fn warm_bounds(&self) -> Arc<BoundsPair> {
         self.ctx().bounds()
     }
 
-    fn ctx(&mut self) -> EngineCtx<'_> {
+    fn ctx(&self) -> EngineCtx<'_> {
         EngineCtx {
-            graph: self.graph,
+            graph: &self.graph,
             config: &self.config,
-            state: &mut self.state,
+            state: &self.state,
             request: EngineStats::default(),
             bounds_accessed: false,
             reduction_accessed: false,
@@ -469,14 +766,16 @@ impl<'g> Detector<'g> {
         }
     }
 
-    /// Answers one request.
-    pub fn detect(&mut self, request: &DetectRequest) -> Result<DetectResponse> {
-        let resolved = request.resolve(self.graph, &self.config)?;
+    /// Answers one request. Callable from any number of threads at
+    /// once; the answer is bit-identical to a serial run.
+    pub fn detect(&self, request: &DetectRequest) -> Result<DetectResponse> {
+        let resolved = request.resolve(&self.graph, &self.config)?;
+        let _in_flight = self.state.totals.enter();
         let algo = algorithm(resolved.algorithm);
         let mut ctx = self.ctx();
         let mut response = algo.run(&mut ctx, &resolved)?;
         response.engine = ctx.request;
-        self.state.totals.queries += 1;
+        SessionTotals::add(&self.state.totals.queries, 1);
         Ok(response)
     }
 
@@ -497,9 +796,10 @@ impl<'g> Detector<'g> {
     /// batch planner computed while sizing budgets count as session
     /// state, so even the batch's first reverse-sampling request can
     /// report them reused. Planning itself records no cache usage.
-    pub fn detect_many(&mut self, requests: &[DetectRequest]) -> Result<Vec<DetectResponse>> {
+    pub fn detect_many(&self, requests: &[DetectRequest]) -> Result<Vec<DetectResponse>> {
         let resolved: Vec<ResolvedRequest> =
-            requests.iter().map(|r| r.resolve(self.graph, &self.config)).collect::<Result<_>>()?;
+            requests.iter().map(|r| r.resolve(&self.graph, &self.config)).collect::<Result<_>>()?;
+        let _in_flight = self.state.totals.enter();
 
         // Plan each request's stream and budget, then order: groups by
         // first appearance, ascending budget within a group (so later
@@ -519,7 +819,7 @@ impl<'g> Detector<'g> {
             let mut ctx = self.ctx();
             let mut response = algo.run(&mut ctx, &resolved[i])?;
             response.engine = ctx.request;
-            self.state.totals.queries += 1;
+            SessionTotals::add(&self.state.totals.queries, 1);
             responses[i] = Some(response);
         }
         Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
@@ -529,7 +829,7 @@ impl<'g> Detector<'g> {
     /// session caches (bounds/reductions computed here are reused by the
     /// actual run) but records no usage: planning is bookkeeping, not a
     /// query.
-    fn plan(&mut self, index: usize, req: &ResolvedRequest) -> (PlanKey, u64) {
+    fn plan(&self, index: usize, req: &ResolvedRequest) -> (PlanKey, u64) {
         let mut ctx = self.ctx();
         ctx.record_usage = false;
         match req.algorithm {
@@ -574,8 +874,29 @@ mod tests {
         ugraph::from_parts(&risks, &edges, ugraph::DuplicateEdgePolicy::KeepMax).unwrap()
     }
 
-    fn session(graph: &UncertainGraph) -> Detector<'_> {
+    fn session(graph: &UncertainGraph) -> Detector {
         Detector::builder(graph).config(VulnConfig::default().with_seed(77)).build().unwrap()
+    }
+
+    #[test]
+    fn builder_accepts_every_graph_ownership_shape() {
+        let g = random_graph(30, 60, 21);
+        let arc = Arc::new(g.clone());
+        let by_ref = Detector::builder(&g).seed(1).build().unwrap();
+        let by_value = Detector::builder(g.clone()).seed(1).build().unwrap();
+        let by_arc = Detector::builder(Arc::clone(&arc)).seed(1).build().unwrap();
+        let by_arc_ref = Detector::builder(&arc).seed(1).build().unwrap();
+        // Arc-built sessions share the caller's allocation; the others
+        // own their own copy.
+        assert!(Arc::ptr_eq(&by_arc.shared_graph(), &arc));
+        assert!(Arc::ptr_eq(&by_arc_ref.shared_graph(), &arc));
+        assert!(!Arc::ptr_eq(&by_ref.shared_graph(), &arc));
+        // All four answer identically.
+        let req = DetectRequest::new(3, AlgorithmKind::BottomK);
+        let reference = by_ref.detect(&req).unwrap();
+        for d in [&by_value, &by_arc, &by_arc_ref] {
+            assert_eq!(d.detect(&req).unwrap().top_k, reference.top_k);
+        }
     }
 
     #[test]
@@ -584,7 +905,7 @@ mod tests {
         let cfg = VulnConfig::default().with_seed(77);
         for kind in AlgorithmKind::ALL {
             let legacy = crate::algo::run_one_shot(&g, 6, kind, &cfg);
-            let mut d = session(&g);
+            let d = session(&g);
             let resp = d.detect(&DetectRequest::new(6, kind)).unwrap();
             assert_eq!(resp.top_k, legacy.top_k, "{kind}");
             assert_eq!(resp.stats.samples_used, legacy.stats.samples_used, "{kind}");
@@ -595,7 +916,7 @@ mod tests {
     #[test]
     fn warm_cache_serves_identical_results_without_redrawing() {
         let g = random_graph(100, 200, 2);
-        let mut d = session(&g);
+        let d = session(&g);
         for kind in [
             AlgorithmKind::Naive,
             AlgorithmKind::SampledNaive,
@@ -614,7 +935,7 @@ mod tests {
     #[test]
     fn bounds_and_reduction_are_reused_across_k() {
         let g = random_graph(80, 160, 3);
-        let mut d = session(&g);
+        let d = session(&g);
         let a = d.detect(&DetectRequest::new(3, AlgorithmKind::BoundedSampleReverse)).unwrap();
         assert!(!a.engine.bounds_reused);
         let b = d.detect(&DetectRequest::new(7, AlgorithmKind::BoundedSampleReverse)).unwrap();
@@ -633,13 +954,13 @@ mod tests {
             DetectRequest::new(4, AlgorithmKind::BoundedSampleReverse),
             DetectRequest::new(6, AlgorithmKind::Naive),
         ];
-        let mut batch = session(&g);
+        let batch = session(&g);
         let responses = batch.detect_many(&requests).unwrap();
         assert_eq!(responses.len(), requests.len());
 
         let mut independent_total = 0u64;
         for (req, resp) in requests.iter().zip(&responses) {
-            let mut solo = session(&g);
+            let solo = session(&g);
             let solo_resp = solo.detect(req).unwrap();
             assert_eq!(solo_resp.top_k, resp.top_k, "batch answer differs for {req:?}");
             independent_total += solo.session_stats().samples_drawn;
@@ -654,7 +975,7 @@ mod tests {
     #[test]
     fn per_request_overrides_do_not_touch_the_session() {
         let g = random_graph(60, 120, 5);
-        let mut d = session(&g);
+        let d = session(&g);
         let tight = DetectRequest::new(3, AlgorithmKind::SampledNaive)
             .with_epsilon(0.1)
             .with_delta(0.05)
@@ -668,7 +989,7 @@ mod tests {
     #[test]
     fn candidate_hint_restricts_reverse_sampling() {
         let g = random_graph(60, 120, 6);
-        let mut d = session(&g);
+        let d = session(&g);
         let hint: Vec<NodeId> = (0..10).map(NodeId).collect();
         let r = d
             .detect(&DetectRequest::new(2, AlgorithmKind::SampleReverse).with_candidates(hint))
@@ -682,7 +1003,7 @@ mod tests {
     #[test]
     fn hint_smaller_than_k_is_rejected() {
         let g = random_graph(60, 120, 11);
-        let mut d = session(&g);
+        let d = session(&g);
         for kind in [
             AlgorithmKind::SampleReverse,
             AlgorithmKind::BoundedSampleReverse,
@@ -704,7 +1025,7 @@ mod tests {
 
         // Hint validation happens at resolve time, so a bad hint anywhere
         // in a batch keeps detect_many all-or-nothing: nothing runs.
-        let mut fresh = session(&g);
+        let fresh = session(&g);
         let batch = vec![
             DetectRequest::new(5, AlgorithmKind::SampledNaive),
             DetectRequest::new(5, AlgorithmKind::SampleReverse)
@@ -718,7 +1039,7 @@ mod tests {
     #[test]
     fn unified_errors() {
         let g = random_graph(10, 20, 7);
-        let mut d = session(&g);
+        let d = session(&g);
         assert!(matches!(
             d.detect(&DetectRequest::new(0, AlgorithmKind::Naive)),
             Err(VulnError::InvalidK { k: 0, n: 10 })
@@ -738,14 +1059,14 @@ mod tests {
             ),
             Err(VulnError::CandidateOutOfBounds { node: 99, n: 10 })
         ));
-        let mut degenerate =
+        let degenerate =
             Detector::builder(&g).config(VulnConfig::default().with_bk(1)).build().unwrap();
         assert!(matches!(
             degenerate.detect(&DetectRequest::new(2, AlgorithmKind::BottomK)),
             Err(VulnError::InvalidParameter(_))
         ));
         // detect_many is all-or-nothing.
-        let mut d2 = session(&g);
+        let d2 = session(&g);
         let reqs = vec![
             DetectRequest::new(2, AlgorithmKind::Naive),
             DetectRequest::new(0, AlgorithmKind::Naive),
@@ -757,20 +1078,50 @@ mod tests {
     #[test]
     fn clear_cache_keeps_results_identical() {
         let g = random_graph(80, 160, 8);
-        let mut d = session(&g);
+        let d = session(&g);
         let req = DetectRequest::new(4, AlgorithmKind::BottomK);
         let a = d.detect(&req).unwrap();
         d.clear_cache();
         let b = d.detect(&req).unwrap();
         assert_eq!(a.top_k, b.top_k);
         assert_eq!(d.session_stats().queries, 2);
+        // The second run re-sampled from a cold cache.
+        assert_eq!(b.engine.samples_reused, 0);
+    }
+
+    #[test]
+    fn concurrent_same_stream_queries_draw_once() {
+        let g = random_graph(100, 200, 15);
+        let d = session(&g);
+        let req = DetectRequest::new(5, AlgorithmKind::SampledNaive);
+        let solo = session(&g);
+        solo.detect(&req).unwrap();
+        let expected_drawn = solo.session_stats().samples_drawn;
+
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    d.detect(&req).unwrap();
+                });
+            }
+        });
+        let totals = d.session_stats();
+        assert_eq!(totals.queries, 8);
+        assert_eq!(
+            totals.samples_drawn, expected_drawn,
+            "concurrent same-stream misses must share one sampling pass"
+        );
+        assert_eq!(totals.bounds_computed, 0, "SN never touches bounds");
+        assert!(totals.concurrent_peak >= 1 && totals.concurrent_peak <= 8);
     }
 
     #[test]
     fn width_planning_and_counters_are_reported() {
         let g = random_graph(100, 200, 12);
         // Planner-driven session: the naive 20k-world budget goes wide.
-        let mut d = session(&g);
+        let d = session(&g);
         let r = d.detect(&DetectRequest::new(4, AlgorithmKind::Naive)).unwrap();
         assert_eq!(r.engine.block_words, 8, "20k-world budget must plan the widest superblock");
         assert!(r.engine.superblocks > 0);
@@ -783,7 +1134,7 @@ mod tests {
 
         // Pinned session: the override wins over the planner and the
         // answers stay bit-identical.
-        let mut pinned = Detector::builder(&g)
+        let pinned = Detector::builder(&g)
             .config(VulnConfig::default().with_seed(77).with_block_words(BlockWords::W2))
             .build()
             .unwrap();
@@ -792,7 +1143,7 @@ mod tests {
         assert_eq!(p.top_k, r.top_k, "width must never change the answer");
 
         // BSRBK's scattered adaptive pass is single-word by construction.
-        let mut adaptive = session(&g);
+        let adaptive = session(&g);
         let b = adaptive.detect(&DetectRequest::new(4, AlgorithmKind::BottomK)).unwrap();
         if b.stats.samples_used > 0 {
             assert_eq!(b.engine.block_words, 1, "scattered replay must report width 1");
@@ -802,7 +1153,7 @@ mod tests {
     #[test]
     fn stats_report_fitted_width_for_small_cache_extensions() {
         let g = random_graph(60, 120, 14);
-        let mut d = Detector::builder(&g)
+        let d = Detector::builder(&g)
             .config(VulnConfig::default().with_seed(9))
             .threads(8)
             .build()
@@ -843,7 +1194,7 @@ mod tests {
         let g = random_graph(90, 180, 10);
         let mut reference: Option<Vec<DetectResponse>> = None;
         for threads in [1usize, 2, 4, 8] {
-            let mut d = Detector::builder(&g)
+            let d = Detector::builder(&g)
                 .config(VulnConfig::default().with_seed(77))
                 .threads(threads)
                 .build()

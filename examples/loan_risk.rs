@@ -4,12 +4,16 @@
 //!
 //! Run with `cargo run --release --example loan_risk`.
 
+use std::sync::Arc;
+
 use vulnds::prelude::*;
 
 fn main() {
     // A 10%-scale Guarantee network (Table 2 shape: near-tree with one
-    // dominant guarantor hub, financial skewed-low probabilities).
-    let graph = Dataset::Guarantee.generate_scaled(2024, 0.1);
+    // dominant guarantor hub, financial skewed-low probabilities). The
+    // bank keeps one `Arc` of it: the analyst below and the screening
+    // session share the same allocation.
+    let graph = Arc::new(Dataset::Guarantee.generate_scaled(2024, 0.1));
     let stats = GraphStats::compute(&graph);
     println!("Guaranteed-loan network:");
     println!("  enterprises:        {}", stats.nodes);
@@ -21,7 +25,7 @@ fn main() {
     // the thread pool size (defaults to available parallelism) and keeps
     // bounds and sampled worlds warm for follow-up queries.
     let k = (stats.nodes / 100).max(10);
-    let mut detector = Detector::builder(&graph).seed(2024).build().expect("valid session");
+    let detector = Detector::builder(Arc::clone(&graph)).seed(2024).build().expect("valid session");
     let result =
         detector.detect(&DetectRequest::new(k, AlgorithmKind::BottomK)).expect("valid request");
 

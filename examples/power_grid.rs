@@ -67,7 +67,7 @@ fn main() {
     println!("Layered power grid: {} facilities, {} feed lines", stats.nodes, stats.edges);
 
     let k = 25;
-    let mut detector = Detector::builder(&grid).seed(77).build().expect("valid session");
+    let detector = Detector::builder(&grid).seed(77).build().expect("valid session");
     let before = detector
         .detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse))
         .expect("valid request");
@@ -96,8 +96,9 @@ fn main() {
         b.add_edge(u, v, grid.edge_prob(e)).unwrap();
     }
     let hardened = b.build().expect("valid grid");
-    let mut hardened_detector =
-        Detector::builder(&hardened).seed(77).build().expect("valid session");
+    // The session owns its graph, so the hardened grid moves in — no
+    // borrow to keep alive, no copy.
+    let hardened_detector = Detector::builder(hardened).seed(77).build().expect("valid session");
     let after = hardened_detector
         .detect(&DetectRequest::new(k, AlgorithmKind::BoundedSampleReverse))
         .expect("valid request");

@@ -8,6 +8,7 @@
 //! vulnds detect   <graph> --k <n> [options]    top-k vulnerable nodes
 //! vulnds score    <graph> [--method mc|bottomk] all-node risk scores
 //! vulnds bounds   <graph> [--order z]          lower/upper bound summary
+//! vulnds serve    <graph> [options]            JSON query service (stdin or TCP)
 //! vulnds generate <dataset> <out> [--scale s]  synthetic Table-2 dataset
 //! vulnds convert  <in> <out>                   text ↔ binary by extension
 //! ```
@@ -15,7 +16,9 @@
 //! Detection runs through the session-oriented
 //! [`vulnds_core::engine::Detector`] engine; every failure
 //! (usage, graph I/O, configuration) surfaces as the workspace-wide
-//! [`VulnError`].
+//! [`VulnError`]. `detect` and `score` take `--format json` for
+//! machine-readable output (the same encoding the `serve` responses
+//! use — see [`crate::serve`]).
 
 use std::fmt::Write as _;
 use ugraph::{GraphStats, UncertainGraph};
@@ -26,6 +29,19 @@ use vulnds_core::{
 };
 use vulnds_datasets::Dataset;
 
+use crate::json::Json;
+use crate::serve::{detect_response_json, scores_json, serve, serve_tcp, session_stats_json};
+
+/// Output encoding for `detect`/`score`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The line-oriented human format (default).
+    #[default]
+    Human,
+    /// One JSON document, field-compatible with `serve` responses.
+    Json,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field meanings are given by the grammar above
@@ -33,9 +49,17 @@ pub enum Command {
     /// `stats <graph>`
     Stats { path: String },
     /// `detect <graph> --k <n> ...`
-    Detect { path: String, k: usize, algorithm: AlgorithmKind, config: VulnConfig },
+    Detect {
+        path: String,
+        k: usize,
+        algorithm: AlgorithmKind,
+        config: VulnConfig,
+        format: OutputFormat,
+    },
     /// `score <graph> --method ...`
-    Score { path: String, bottomk: bool, config: VulnConfig },
+    Score { path: String, bottomk: bool, config: VulnConfig, format: OutputFormat },
+    /// `serve <graph> --workers <w> [--tcp addr] ...`
+    Serve { path: String, config: VulnConfig, workers: usize, tcp: Option<String> },
     /// `bounds <graph> --order <z>`
     Bounds { path: String, order: usize },
     /// `generate <dataset> <out> --scale <s> --seed <s>`
@@ -59,10 +83,13 @@ USAGE:
   vulnds detect   <graph> --k <n> [--algorithm n|sn|sr|bsr|bsrbk]
                   [--epsilon <e>] [--delta <d>] [--seed <s>]
                   [--threads <t>] [--bk <b>] [--bound-order <z>]
-                  [--block-words auto|1|2|4|8]
+                  [--block-words auto|1|2|4|8] [--format human|json]
   vulnds score    <graph> [--method mc|bottomk] [--seed <s>] [--threads <t>]
-                  [--block-words auto|1|2|4|8]
+                  [--block-words auto|1|2|4|8] [--format human|json]
   vulnds bounds   <graph> [--order <z>]
+  vulnds serve    <graph> [--workers <w>] [--tcp <addr>] [--seed <s>]
+                  [--threads <t>] [--bk <b>] [--bound-order <z>]
+                  [--block-words auto|1|2|4|8] [--max-samples <n>]
   vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
                   datasets: bitcoin facebook wiki p2p citation
                             interbank guarantee fraud
@@ -73,6 +100,17 @@ bit-identical for any thread count. --block-words pins the samplers'
 superblock width (worlds per traversal = words x 64); the default
 'auto' plans it per pass from budget and threads, and every width
 returns bit-identical results.
+
+serve answers newline-delimited JSON requests (see the vulnds::serve
+module docs for the wire format) from one shared session: stdin by
+default, or a TCP listener with --tcp host:port. --workers sets the
+query worker pool per connection (defaults to available parallelism;
+TCP mode serves up to 64 connections at once, each with its own pool
+over the one shared session); --threads sets the per-query sampler
+threads and defaults to 1 in serve mode, the right posture when many
+clients query at once. Serve caps every query's sample budget at
+--max-samples (default 5000000) so a client-chosen epsilon cannot pin
+a worker on an unbounded sampling job.
 Graph files: text format (see ugraph::io) or binary (.bin).";
 
 /// Parses a `--block-words` value: `auto` (planner) or a fixed width.
@@ -81,6 +119,15 @@ fn parse_block_words(s: &str) -> Result<Option<BlockWords>, VulnError> {
         return Ok(None);
     }
     s.parse::<BlockWords>().map(Some).map_err(|e| err(format!("--block-words: {e}")))
+}
+
+/// Parses a `--format` value.
+fn parse_format(s: &str) -> Result<OutputFormat, VulnError> {
+    match s.to_ascii_lowercase().as_str() {
+        "human" => Ok(OutputFormat::Human),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(err(format!("--format: unknown format {other} (human|json)"))),
+    }
 }
 
 /// Parses an argument list (without the program name).
@@ -103,6 +150,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             let mut algorithm = AlgorithmKind::BottomK;
             let mut config = VulnConfig::default();
             let mut threads: Option<usize> = None;
+            let mut format = OutputFormat::Human;
             let mut epsilon = config.approx.epsilon();
             let mut delta = config.approx.delta();
             let mut i = 0;
@@ -151,6 +199,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                     "--block-words" => {
                         config.block_words = parse_block_words(&value(&rest, &mut i)?)?
                     }
+                    "--format" => format = parse_format(&value(&rest, &mut i)?)?,
                     other => return Err(err(format!("detect: unknown option {other}"))),
                 }
                 i += 1;
@@ -158,7 +207,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             config.approx = ApproxParams::new(epsilon, delta)?;
             config.threads = threads.unwrap_or_else(default_threads).max(1);
             let k = k.ok_or_else(|| err("detect: --k is required"))?;
-            Ok(Command::Detect { path, k, algorithm, config })
+            Ok(Command::Detect { path, k, algorithm, config, format })
         }
         "score" => {
             let path = it.next().ok_or_else(|| err("score: missing <graph> path"))?.clone();
@@ -166,6 +215,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             let mut bottomk = false;
             let mut config = VulnConfig::default();
             let mut threads: Option<usize> = None;
+            let mut format = OutputFormat::Human;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -191,12 +241,78 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                     "--block-words" => {
                         config.block_words = parse_block_words(&value(&rest, &mut i)?)?
                     }
+                    "--format" => format = parse_format(&value(&rest, &mut i)?)?,
                     other => return Err(err(format!("score: unknown option {other}"))),
                 }
                 i += 1;
             }
             config.threads = threads.unwrap_or_else(default_threads).max(1);
-            Ok(Command::Score { path, bottomk, config })
+            Ok(Command::Score { path, bottomk, config, format })
+        }
+        "serve" => {
+            let path = it.next().ok_or_else(|| err("serve: missing <graph> path"))?.clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut config = VulnConfig::default();
+            let mut threads: Option<usize> = None;
+            let mut workers: Option<usize> = None;
+            let mut tcp: Option<String> = None;
+            let mut max_samples = crate::serve::DEFAULT_SERVE_MAX_SAMPLES;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--workers" => {
+                        workers = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--workers: not an integer"))?,
+                        )
+                    }
+                    "--tcp" => tcp = Some(value(&rest, &mut i)?),
+                    "--max-samples" => {
+                        max_samples = value(&rest, &mut i)?
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--max-samples: not a positive integer"))?
+                    }
+                    "--seed" => {
+                        config.seed = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--seed: not an integer"))?
+                    }
+                    "--threads" => {
+                        threads = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--threads: not an integer"))?,
+                        )
+                    }
+                    "--bk" => {
+                        config.bk = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--bk: not an integer"))?
+                    }
+                    "--bound-order" => {
+                        config.bound_order = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--bound-order: not an integer"))?
+                    }
+                    "--block-words" => {
+                        config.block_words = parse_block_words(&value(&rest, &mut i)?)?
+                    }
+                    other => return Err(err(format!("serve: unknown option {other}"))),
+                }
+                i += 1;
+            }
+            // Serving posture: many concurrent clients, so the worker
+            // pool gets the parallelism, each query's samplers stay
+            // single-threaded unless told otherwise, and every budget
+            // is capped — clients pick ε/δ per request, and without a
+            // cap a hostile ε (e.g. 1e-9) is a denial of service.
+            config.threads = threads.unwrap_or(1).max(1);
+            config.max_samples = Some(max_samples);
+            let workers = workers.unwrap_or_else(default_threads).max(1);
+            Ok(Command::Serve { path, config, workers, tcp })
         }
         "bounds" => {
             let path = it.next().ok_or_else(|| err("bounds: missing <graph> path"))?.clone();
@@ -264,7 +380,8 @@ fn expect_empty<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), Vuln
     }
 }
 
-fn parse_algorithm(s: &str) -> Result<AlgorithmKind, VulnError> {
+/// Parses an algorithm label (shared with the `serve` request decoder).
+pub(crate) fn parse_algorithm(s: &str) -> Result<AlgorithmKind, VulnError> {
     match s.to_ascii_lowercase().as_str() {
         "n" | "naive" => Ok(AlgorithmKind::Naive),
         "sn" => Ok(AlgorithmKind::SampledNaive),
@@ -331,13 +448,25 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 scc.non_trivial().len()
             );
         }
-        Command::Detect { path, k, algorithm, config } => {
+        Command::Detect { path, k, algorithm, config, format } => {
             let g = load(&path)?;
             if k == 0 || k > g.num_nodes() {
                 return Err(err(format!("--k must be in 1..={}", g.num_nodes())));
             }
-            let mut detector = Detector::builder(&g).config(config).build()?;
+            let detector = Detector::builder(g).config(config).build()?;
             let r = detector.detect(&DetectRequest::new(k, algorithm))?;
+            let session = detector.session_stats();
+            if format == OutputFormat::Json {
+                let doc = match detect_response_json(&r) {
+                    Json::Obj(mut fields) => {
+                        fields.push(("session".to_string(), session_stats_json(&session)));
+                        Json::Obj(fields)
+                    }
+                    other => other,
+                };
+                let _ = writeln!(out, "{doc}");
+                return Ok(out);
+            }
             let _ = writeln!(
                 out,
                 "# algorithm {} | samples {}/{} | candidates {} | verified {} | {:?}",
@@ -348,7 +477,6 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 r.stats.verified,
                 r.stats.elapsed
             );
-            let session = detector.session_stats();
             let _ = writeln!(
                 out,
                 "# coins coin-words {} | lazy edge-words skipped {} | tables built {}",
@@ -366,17 +494,45 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
             }
         }
-        Command::Score { path, bottomk, config } => {
+        Command::Score { path, bottomk, config, format } => {
             let g = load(&path)?;
             let k_hint = (g.num_nodes() / 10).max(1);
+            let method = if bottomk { "bottomk" } else { "mc" };
             let scores = if bottomk {
                 score_nodes_bottomk(&g, k_hint, &config)
             } else {
                 score_nodes_mc(&g, k_hint, &config)
             };
-            let _ = writeln!(out, "# node score ({})", if bottomk { "bottomk" } else { "mc" });
+            if format == OutputFormat::Json {
+                let _ = writeln!(out, "{}", scores_json(method, &scores));
+                return Ok(out);
+            }
+            let _ = writeln!(out, "# node score ({method})");
             for (v, s) in scores.iter().enumerate() {
                 let _ = writeln!(out, "{v} {s:.6}");
+            }
+        }
+        Command::Serve { path, config, workers, tcp } => {
+            let g = load(&path)?;
+            let detector = Detector::builder(g).config(config).build()?;
+            match tcp {
+                Some(addr) => {
+                    let listener = std::net::TcpListener::bind(&addr)
+                        .map_err(|e| VulnError::Usage(format!("serve: cannot bind {addr}: {e}")))?;
+                    eprintln!(
+                        "vulnds serve: listening on {addr} ({workers} workers per connection)"
+                    );
+                    serve_tcp(&detector, listener, workers)?;
+                }
+                None => {
+                    // `StdoutLock` is not `Send`; the handle itself is,
+                    // and locks per `write` call. The summary goes to
+                    // stderr: stdout is the NDJSON response stream and
+                    // must stay machine-parseable to the last line.
+                    let stdin = std::io::stdin();
+                    let summary = serve(&detector, workers, stdin.lock(), std::io::stdout())?;
+                    eprintln!("vulnds serve: answered {} requests", summary.requests);
+                }
             }
         }
         Command::Bounds { path, order } => {
@@ -428,7 +584,7 @@ mod tests {
         ))
         .unwrap();
         match c {
-            Command::Detect { path, k, algorithm, config } => {
+            Command::Detect { path, k, algorithm, config, format } => {
                 assert_eq!(path, "g.txt");
                 assert_eq!(k, 10);
                 assert_eq!(algorithm, AlgorithmKind::BoundedSampleReverse);
@@ -439,9 +595,63 @@ mod tests {
                 assert_eq!(config.bk, 8);
                 assert_eq!(config.bound_order, 3);
                 assert_eq!(config.block_words, Some(BlockWords::W4));
+                assert_eq!(format, OutputFormat::Human);
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let c =
+            parse(&args("serve g.txt --workers 6 --tcp 127.0.0.1:7070 --seed 9 --bk 16")).unwrap();
+        match c {
+            Command::Serve { path, config, workers, tcp } => {
+                assert_eq!(path, "g.txt");
+                assert_eq!(workers, 6);
+                assert_eq!(tcp.as_deref(), Some("127.0.0.1:7070"));
+                assert_eq!(config.seed, 9);
+                assert_eq!(config.bk, 16);
+                assert_eq!(config.threads, 1, "serve defaults per-query samplers to 1 thread");
+                assert_eq!(
+                    config.max_samples,
+                    Some(crate::serve::DEFAULT_SERVE_MAX_SAMPLES),
+                    "serve must cap budgets by default (hostile-epsilon DoS guard)"
+                );
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("serve g.txt --max-samples 1000")).unwrap() {
+            Command::Serve { config, .. } => assert_eq!(config.max_samples, Some(1000)),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("serve g.txt --max-samples 0")).is_err());
+        assert!(parse(&args("serve g.txt --max-samples lots")).is_err());
+        // Defaults: stdin mode, worker pool sized to the machine.
+        match parse(&args("serve g.txt")).unwrap() {
+            Command::Serve { workers, tcp, .. } => {
+                assert_eq!(workers, default_threads().max(1));
+                assert_eq!(tcp, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("serve")).is_err());
+        assert!(parse(&args("serve g.txt --frobnicate yes")).is_err());
+    }
+
+    #[test]
+    fn parses_format_values() {
+        for (value, expected) in [("human", OutputFormat::Human), ("json", OutputFormat::Json)] {
+            match parse(&args(&format!("detect g.txt --k 3 --format {value}"))).unwrap() {
+                Command::Detect { format, .. } => assert_eq!(format, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+            match parse(&args(&format!("score g.txt --format {value}"))).unwrap() {
+                Command::Score { format, .. } => assert_eq!(format, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        assert!(parse(&args("detect g.txt --k 3 --format yaml")).is_err());
     }
 
     #[test]

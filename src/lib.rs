@@ -21,9 +21,12 @@
 //! let graph = b.build().unwrap();
 //!
 //! // Open a query session and ask for the most vulnerable node with the
-//! // fastest algorithm. Follow-up queries reuse the session's cached
-//! // bounds, candidate sets, and sampled worlds.
-//! let mut detector = Detector::builder(&graph).build().unwrap();
+//! // fastest algorithm. The session owns the graph (pass it by value,
+//! // by `&` to clone, or by `Arc` to share) and answers through
+//! // `&self`, so one session can serve many threads at once; follow-up
+//! // queries reuse the session's cached bounds, candidate sets, and
+//! // sampled worlds.
+//! let detector = Detector::builder(graph).build().unwrap();
 //! let result = detector.detect(&DetectRequest::new(1, AlgorithmKind::BottomK)).unwrap();
 //! assert_eq!(result.top_k[0].node, NodeId(4));
 //! ```
@@ -42,6 +45,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod json;
+pub mod serve;
 
 pub use ugraph;
 pub use vulnds_baselines as baselines;
@@ -58,7 +63,8 @@ pub mod prelude {
     pub use vulnds_core::{
         precision_at_k, AlgorithmKind, ApproxParams, BlockWords, BoundsMethod, DetectRequest,
         DetectResponse, DetectionResult, Detector, DetectorBuilder, EngineStats, IncrementalBounds,
-        Intervention, ScoredNode, SessionStats, VulnConfig, VulnError, WhatIfReport,
+        Intervention, IntoSharedGraph, ScoredNode, SessionStats, VulnConfig, VulnError,
+        WhatIfReport,
     };
     pub use vulnds_datasets::{Dataset, ProbabilityModel};
     pub use vulnds_sampling::{forward_counts, reverse_counts, Xoshiro256pp};

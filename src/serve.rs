@@ -1,0 +1,736 @@
+//! The `vulnds serve` front end: a zero-dependency query service over
+//! one shared [`Detector`] session.
+//!
+//! Requests are newline-delimited JSON objects, answered by a pool of
+//! worker threads that all query the **same** session through `&self` —
+//! the 0.4 concurrency contract ([`Detector`] is `Send + Sync`, answers
+//! are bit-identical to serial execution) is what makes this front end
+//! a thin loop: no per-client session, no request serialization, and
+//! every client compounds the same bounds/reduction/sampled-world
+//! caches.
+//!
+//! ```text
+//! # request (one per line; `id` is echoed back, any JSON value)
+//! {"id": 1, "cmd": "detect", "k": 5, "algorithm": "bsrbk", "epsilon": 0.2, "seed": 7}
+//! {"id": 2, "cmd": "batch", "requests": [{"k": 5, "algorithm": "sn"}, {"k": 9, "algorithm": "sn"}]}
+//! {"id": 3, "cmd": "stats"}
+//! {"id": 4, "cmd": "clear"}
+//!
+//! # response (one per line; order may differ from request order — match by id)
+//! {"id": 1, "ok": true, "top_k": [{"node": 17, "score": 0.31}, …], "stats": {…}, "engine": {…}}
+//! {"id": 3, "ok": true, "session": {"queries": 2, "samples_drawn": 18000, …}}
+//! {"id": 9, "ok": false, "error": "detect: \"k\" (positive integer) is required"}
+//! ```
+//!
+//! `cmd` defaults to `"detect"` when a `k` field is present. Responses
+//! stream back as they complete, so a slow query never blocks a fast
+//! one; clients that need pairing must send an `id`.
+//!
+//! The same loop serves stdin (the default) or a TCP listener
+//! (`--tcp addr`, one connection handler per client, all sharing the
+//! one session). The JSON response encoders are shared with the CLI's
+//! `--format json` mode, so scripted `vulnds detect` output and service
+//! responses stay field-compatible.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use ugraph::NodeId;
+use vulnds_core::engine::{DetectRequest, DetectResponse, Detector};
+use vulnds_core::{EngineStats, RunStats, SessionStats, VulnError};
+
+use crate::cli::parse_algorithm;
+use crate::json::Json;
+
+/// What one [`serve`] loop did, reported when its input ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Non-empty request lines answered (including error responses).
+    pub requests: u64,
+}
+
+/// Longest request line the service buffers (1 MiB). A client that
+/// streams more without a newline gets an error response for that line
+/// and the excess is discarded unbuffered, so one connection can never
+/// grow the server's memory without bound.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Depth of the task and response queues between the reader, the
+/// worker pool, and the writer. Bounded so a client that floods
+/// requests or never reads its responses back-pressures the reader
+/// (blocked `send`) instead of growing server memory: at most
+/// `2 · QUEUE_DEPTH` lines are ever in flight per connection.
+pub const QUEUE_DEPTH: usize = 256;
+
+/// Default hard cap on any one query's sample budget in serve mode
+/// (`VulnConfig::max_samples`; override with `--max-samples`). Clients
+/// choose `ε`/`δ` per request, and an `ε` of `1e-9` is a valid value
+/// whose Equation-3 budget would pin a worker for years — the cap
+/// turns that into a bounded (if cap-truncated) answer instead of a
+/// denial of service. 5M worlds ≈ tight-contract territory for the
+/// graph sizes a single node serves.
+pub const DEFAULT_SERVE_MAX_SAMPLES: u64 = 5_000_000;
+
+/// Reads one `\n`-terminated line into `buf` (cleared first), buffering
+/// at most [`MAX_REQUEST_BYTES`]. Returns `Ok(None)` at end-of-file,
+/// `Ok(Some(oversized))` otherwise; an oversized line's excess bytes
+/// are consumed and dropped without being stored.
+fn read_request_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<Option<bool>> {
+    buf.clear();
+    // +2: room for a CRLF terminator on a content line of exactly
+    // MAX_REQUEST_BYTES, so the LF- and CRLF-framed forms of the same
+    // at-limit request are judged identically.
+    let read = input.by_ref().take(MAX_REQUEST_BYTES as u64 + 2).read_until(b'\n', buf)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() <= MAX_REQUEST_BYTES {
+        return Ok(Some(false));
+    }
+    // Oversized: drain the rest of the line without buffering it.
+    buf.clear();
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(Some(true));
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                input.consume(i + 1);
+                return Ok(Some(true));
+            }
+            None => {
+                let len = chunk.len();
+                input.consume(len);
+            }
+        }
+    }
+}
+
+/// Answers newline-delimited JSON requests from `input` on `workers`
+/// pool threads sharing `detector`, writing one JSON response line per
+/// request to `output` as each completes. Returns when `input` reaches
+/// end-of-file and every in-flight response has been written.
+pub fn serve(
+    detector: &Detector,
+    workers: usize,
+    input: impl BufRead,
+    output: impl Write + Send,
+) -> Result<ServeSummary, VulnError> {
+    let workers = workers.max(1);
+    let requests = AtomicU64::new(0);
+    let io_result: std::io::Result<()> = std::thread::scope(|s| {
+        let (task_tx, task_rx) = mpsc::sync_channel::<String>(QUEUE_DEPTH);
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (response_tx, response_rx) = mpsc::sync_channel::<String>(QUEUE_DEPTH);
+        for _ in 0..workers {
+            let task_rx = Arc::clone(&task_rx);
+            let response_tx = response_tx.clone();
+            let requests = &requests;
+            s.spawn(move || loop {
+                // Hold the receiver lock only to pop one line, not
+                // while answering it.
+                let line = match task_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
+                let Ok(line) = line else { break };
+                requests.fetch_add(1, Ordering::Relaxed);
+                let response = respond(detector, &line);
+                if response_tx.send(response.to_string()).is_err() {
+                    break;
+                }
+            });
+        }
+        let oversize_tx = response_tx.clone();
+        drop(response_tx);
+        let writer = s.spawn(move || -> std::io::Result<()> {
+            let mut output = output;
+            for line in response_rx {
+                writeln!(output, "{line}")?;
+                output.flush()?;
+            }
+            Ok(())
+        });
+        let mut input = input;
+        let mut buf = Vec::new();
+        while let Some(oversized) = read_request_line(&mut input, &mut buf)? {
+            if oversized {
+                // Answer in-line (the request is gone, there is nothing
+                // to hand a worker) and keep serving the connection.
+                requests.fetch_add(1, Ordering::Relaxed);
+                let error = Json::obj([
+                    ("id", Json::Null),
+                    ("ok", Json::Bool(false)),
+                    ("error", format!("request line exceeds {MAX_REQUEST_BYTES} bytes").into()),
+                ]);
+                if oversize_tx.send(error.to_string()).is_err() {
+                    break;
+                }
+                continue;
+            }
+            let line = String::from_utf8_lossy(&buf);
+            if line.trim().is_empty() {
+                continue;
+            }
+            if task_tx.send(line.into_owned()).is_err() {
+                break;
+            }
+        }
+        drop(oversize_tx);
+        drop(task_tx);
+        writer.join().expect("writer thread never panics")
+    });
+    io_result.map_err(|e| VulnError::Usage(format!("serve: I/O error: {e}")))?;
+    Ok(ServeSummary { requests: requests.load(Ordering::Relaxed) })
+}
+
+/// Concurrent TCP connections the service accepts; further clients are
+/// refused with a single JSON error line and disconnected, so hostile
+/// connection floods cannot multiply worker pools without bound
+/// (threads per connection = `workers` + 2).
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// Accepts TCP connections forever, answering each client's
+/// newline-delimited JSON requests with a **per-connection**
+/// `workers`-thread pool over the one shared `detector`. Connections
+/// are served concurrently (capped at [`MAX_CONNECTIONS`]) and all
+/// compound the same session caches.
+pub fn serve_tcp(
+    detector: &Detector,
+    listener: TcpListener,
+    workers: usize,
+) -> Result<(), VulnError> {
+    /// Releases the connection slot on drop — including when the
+    /// handler unwinds — so a panicking connection can never leak one
+    /// of the [`MAX_CONNECTIONS`] slots permanently.
+    struct SlotRelease<'a>(&'a AtomicU64);
+    impl Drop for SlotRelease<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    let open = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            if open.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS as u64 {
+                open.fetch_sub(1, Ordering::AcqRel);
+                let refusal = Json::obj([
+                    ("id", Json::Null),
+                    ("ok", Json::Bool(false)),
+                    ("error", format!("server at capacity ({MAX_CONNECTIONS} connections)").into()),
+                ]);
+                let _ = writeln!(stream, "{refusal}");
+                continue;
+            }
+            let open = &open;
+            s.spawn(move || {
+                let _slot = SlotRelease(open);
+                // Per-connection I/O errors drop the connection, not
+                // the service.
+                if let Ok(reader) = stream.try_clone() {
+                    let _ = serve(detector, workers, BufReader::new(reader), stream);
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Answers one raw request line (already non-empty) as a response
+/// object; parse and engine errors become `ok: false` responses rather
+/// than killing the connection.
+fn respond(detector: &Detector, line: &str) -> Json {
+    let (id, outcome) = match Json::parse(line) {
+        Err(e) => (Json::Null, Err(e)),
+        Ok(request) => {
+            let id = request.get("id").cloned().unwrap_or(Json::Null);
+            (id, dispatch(detector, &request))
+        }
+    };
+    let mut fields = vec![("id".to_string(), id)];
+    match outcome {
+        Ok(Json::Obj(payload)) => {
+            fields.push(("ok".to_string(), Json::Bool(true)));
+            fields.extend(payload);
+        }
+        Ok(other) => {
+            fields.push(("ok".to_string(), Json::Bool(true)));
+            fields.push(("result".to_string(), other));
+        }
+        Err(e) => {
+            fields.push(("ok".to_string(), Json::Bool(false)));
+            fields.push(("error".to_string(), Json::Str(e.to_string())));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Routes one parsed request to the engine.
+fn dispatch(detector: &Detector, request: &Json) -> Result<Json, VulnError> {
+    let cmd = match request.get("cmd").map(|c| (c, c.as_str())) {
+        None if request.get("k").is_some() => "detect",
+        None => "",
+        Some((_, Some(s))) => s,
+        Some((_, None)) => return Err(usage("\"cmd\" must be a string")),
+    };
+    match cmd {
+        "detect" => {
+            let response = detector.detect(&parse_detect(request)?)?;
+            Ok(detect_response_json(&response))
+        }
+        "batch" => {
+            let items = request
+                .get("requests")
+                .and_then(Json::as_array)
+                .ok_or_else(|| usage("batch: \"requests\" (array) is required"))?;
+            let parsed: Vec<DetectRequest> =
+                items.iter().map(parse_detect).collect::<Result<_, _>>()?;
+            let responses = detector.detect_many(&parsed)?;
+            Ok(Json::obj([(
+                "responses",
+                Json::Arr(responses.iter().map(detect_response_json).collect()),
+            )]))
+        }
+        "stats" => Ok(Json::obj([("session", session_stats_json(&detector.session_stats()))])),
+        "clear" => {
+            detector.clear_cache();
+            Ok(Json::obj([("cleared", Json::Bool(true))]))
+        }
+        other => Err(usage(&format!("unknown cmd {other:?} (detect|batch|stats|clear)"))),
+    }
+}
+
+fn usage(msg: &str) -> VulnError {
+    VulnError::Usage(msg.to_string())
+}
+
+/// Extracts a [`DetectRequest`] from a request object (used both for
+/// `detect` and for each element of `batch`'s `requests`).
+fn parse_detect(request: &Json) -> Result<DetectRequest, VulnError> {
+    let k = request
+        .get("k")
+        .and_then(Json::as_u64)
+        .filter(|&k| k > 0)
+        .ok_or_else(|| usage("detect: \"k\" (positive integer) is required"))? as usize;
+    let algorithm = match request.get("algorithm") {
+        None => vulnds_core::AlgorithmKind::BottomK,
+        Some(a) => parse_algorithm(
+            a.as_str().ok_or_else(|| usage("detect: \"algorithm\" must be a string"))?,
+        )?,
+    };
+    let mut parsed = DetectRequest::new(k, algorithm);
+    if let Some(v) = request.get("epsilon") {
+        parsed = parsed
+            .with_epsilon(v.as_f64().ok_or_else(|| usage("detect: \"epsilon\" must be a number"))?);
+    }
+    if let Some(v) = request.get("delta") {
+        parsed = parsed
+            .with_delta(v.as_f64().ok_or_else(|| usage("detect: \"delta\" must be a number"))?);
+    }
+    if let Some(v) = request.get("seed") {
+        parsed = parsed
+            .with_seed(v.as_u64().ok_or_else(|| usage("detect: \"seed\" must be an integer"))?);
+    }
+    if let Some(v) = request.get("candidates") {
+        let items = v.as_array().ok_or_else(|| usage("detect: \"candidates\" must be an array"))?;
+        let mut candidates = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item
+                .as_u64()
+                .filter(|&id| id <= u32::MAX as u64)
+                .ok_or_else(|| usage("detect: candidate ids must be u32 integers"))?;
+            candidates.push(NodeId(id as u32));
+        }
+        parsed = parsed.with_candidates(candidates);
+    }
+    Ok(parsed)
+}
+
+/// Encodes a detection answer — the shared shape of `serve` responses
+/// and `vulnds detect --format json` output.
+pub fn detect_response_json(response: &DetectResponse) -> Json {
+    Json::obj([
+        (
+            "top_k",
+            Json::Arr(
+                response
+                    .top_k
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("node", Json::from(s.node.0 as u64)),
+                            ("score", s.score.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("stats", run_stats_json(&response.stats)),
+        ("engine", engine_stats_json(&response.engine)),
+    ])
+}
+
+/// Encodes the algorithm-level diagnostics of one answer.
+pub fn run_stats_json(stats: &RunStats) -> Json {
+    Json::obj([
+        ("algorithm", stats.algorithm.label().into()),
+        ("sample_budget", stats.sample_budget.into()),
+        ("samples_used", stats.samples_used.into()),
+        ("candidates", stats.candidates.into()),
+        ("verified", stats.verified.into()),
+        ("early_stopped", stats.early_stopped.into()),
+        ("elapsed_ms", (stats.elapsed.as_secs_f64() * 1e3).into()),
+    ])
+}
+
+/// Encodes the session-cache diagnostics of one answer.
+pub fn engine_stats_json(engine: &EngineStats) -> Json {
+    Json::obj([
+        ("samples_drawn", engine.samples_drawn.into()),
+        ("samples_reused", engine.samples_reused.into()),
+        ("bounds_reused", engine.bounds_reused.into()),
+        ("reduction_reused", engine.reduction_reused.into()),
+        ("coin_words_synthesized", engine.coin_words_synthesized.into()),
+        ("lazy_edge_words_skipped", engine.lazy_edge_words_skipped.into()),
+        ("block_words", engine.block_words.into()),
+        ("superblocks", engine.superblocks.into()),
+    ])
+}
+
+/// Encodes cumulative session counters (the `stats` command, and the
+/// session line of `--format json` CLI output).
+pub fn session_stats_json(session: &SessionStats) -> Json {
+    Json::obj([
+        ("queries", session.queries.into()),
+        ("samples_drawn", session.samples_drawn.into()),
+        ("samples_reused", session.samples_reused.into()),
+        ("bounds_computed", session.bounds_computed.into()),
+        ("bounds_reused", session.bounds_reused.into()),
+        ("reductions_computed", session.reductions_computed.into()),
+        ("reductions_reused", session.reductions_reused.into()),
+        ("coin_tables_built", session.coin_tables_built.into()),
+        ("coin_words_synthesized", session.coin_words_synthesized.into()),
+        ("lazy_edge_words_skipped", session.lazy_edge_words_skipped.into()),
+        ("superblocks_evaluated", session.superblocks_evaluated.into()),
+        ("widest_block_words", session.widest_block_words.into()),
+        ("cache_waits", session.cache_waits.into()),
+        ("builds_deduped", session.builds_deduped.into()),
+        ("concurrent_peak", session.concurrent_peak.into()),
+    ])
+}
+
+/// Encodes all-node scores (`vulnds score --format json`).
+pub fn scores_json(method: &str, scores: &[f64]) -> Json {
+    Json::obj([
+        ("method", method.into()),
+        ("scores", Json::Arr(scores.iter().map(|&s| Json::Num(s)).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnds_core::AlgorithmKind;
+    use vulnds_datasets::Dataset;
+
+    fn service() -> Detector {
+        let graph = Dataset::Interbank.generate_scaled(3, 1.0);
+        Detector::builder(graph).seed(7).threads(1).build().unwrap()
+    }
+
+    /// Runs a full serve loop over in-memory I/O and returns the
+    /// response lines parsed back to JSON.
+    fn run_lines(detector: &Detector, workers: usize, input: &str) -> Vec<Json> {
+        let mut output = Vec::new();
+        let summary = serve(detector, workers, input.as_bytes(), &mut output).expect("serve runs");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<Json> =
+            text.lines().map(|l| Json::parse(l).expect("valid response JSON")).collect();
+        assert_eq!(summary.requests as usize, lines.len());
+        lines
+    }
+
+    fn by_id(lines: &[Json], id: u64) -> &Json {
+        lines
+            .iter()
+            .find(|l| l.get("id").and_then(Json::as_u64) == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+    }
+
+    #[test]
+    fn answers_detect_stats_and_errors() {
+        let detector = service();
+        let lines = run_lines(
+            &detector,
+            2,
+            concat!(
+                "{\"id\": 1, \"cmd\": \"detect\", \"k\": 5, \"algorithm\": \"bsrbk\"}\n",
+                "\n", // blank lines are skipped, not errors
+                "{\"id\": 2, \"k\": 3, \"algorithm\": \"sn\"}\n", // cmd defaults to detect
+                "{\"id\": 3, \"cmd\": \"stats\"}\n",
+                "{\"id\": 4, \"cmd\": \"warp\"}\n",
+                "{\"id\": 5, \"cmd\": \"detect\"}\n", // missing k
+                "not json at all\n",
+            ),
+        );
+        assert_eq!(lines.len(), 6);
+
+        let detect = by_id(&lines, 1);
+        assert_eq!(detect.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(detect.get("top_k").and_then(Json::as_array).map(<[Json]>::len), Some(5));
+        assert_eq!(
+            detect.get("stats").and_then(|s| s.get("algorithm")).and_then(Json::as_str),
+            Some("BSRBK")
+        );
+        assert!(detect.get("engine").and_then(|e| e.get("samples_drawn")).is_some());
+
+        assert_eq!(by_id(&lines, 2).get("ok").and_then(Json::as_bool), Some(true));
+
+        let stats = by_id(&lines, 3);
+        // Workers race with the stats request; the counter is whatever
+        // it was at that moment, but the field must exist and be sane.
+        let queries =
+            stats.get("session").and_then(|s| s.get("queries")).and_then(Json::as_u64).unwrap();
+        assert!(queries <= 3);
+
+        for id in [4, 5] {
+            let err = by_id(&lines, id);
+            assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false), "{err}");
+            assert!(err.get("error").is_some());
+        }
+        // The unparseable line still gets a response, with a null id.
+        let bad = lines
+            .iter()
+            .find(|l| l.get("id") == Some(&Json::Null))
+            .expect("malformed line answered");
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn concurrent_service_answers_match_direct_calls() {
+        let detector = service();
+        let reference = service();
+        let mut input = String::new();
+        for id in 0..12u64 {
+            let k = 2 + (id % 4);
+            let alg = ["n", "sn", "sr", "bsr", "bsrbk"][(id % 5) as usize];
+            input.push_str(&format!("{{\"id\": {id}, \"k\": {k}, \"algorithm\": \"{alg}\"}}\n"));
+        }
+        let lines = run_lines(&detector, 4, &input);
+        for id in 0..12u64 {
+            let k = 2 + (id % 4);
+            let alg = [
+                AlgorithmKind::Naive,
+                AlgorithmKind::SampledNaive,
+                AlgorithmKind::SampleReverse,
+                AlgorithmKind::BoundedSampleReverse,
+                AlgorithmKind::BottomK,
+            ][(id % 5) as usize];
+            let expected = reference.detect(&DetectRequest::new(k as usize, alg)).unwrap();
+            let got = by_id(&lines, id);
+            assert_eq!(got.get("ok").and_then(Json::as_bool), Some(true), "{got}");
+            let top: Vec<(u64, f64)> = got
+                .get("top_k")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|e| {
+                    (
+                        e.get("node").and_then(Json::as_u64).unwrap(),
+                        e.get("score").and_then(Json::as_f64).unwrap(),
+                    )
+                })
+                .collect();
+            let want: Vec<(u64, f64)> =
+                expected.top_k.iter().map(|s| (s.node.0 as u64, s.score)).collect();
+            assert_eq!(top, want, "service answer diverged for id {id}");
+        }
+    }
+
+    #[test]
+    fn batch_requests_share_the_session() {
+        let detector = service();
+        let lines = run_lines(
+            &detector,
+            2,
+            "{\"id\": 1, \"cmd\": \"batch\", \"requests\": [{\"k\": 3, \"algorithm\": \"sn\"}, {\"k\": 6, \"algorithm\": \"sn\"}]}\n",
+        );
+        let responses = by_id(&lines, 1).get("responses").and_then(Json::as_array).unwrap();
+        assert_eq!(responses.len(), 2);
+        // Budget-ordered batching: the k=3 request's stream is a prefix
+        // of the k=6 request's, so the pair draws max(t) not sum(t).
+        let drawn: u64 = responses
+            .iter()
+            .map(|r| r.get("engine").and_then(|e| e.get("samples_drawn")).and_then(Json::as_u64))
+            .map(Option::unwrap)
+            .sum();
+        let budgets: Vec<u64> = responses
+            .iter()
+            .map(|r| r.get("stats").and_then(|s| s.get("sample_budget")).and_then(Json::as_u64))
+            .map(Option::unwrap)
+            .collect();
+        assert_eq!(drawn, *budgets.iter().max().unwrap());
+    }
+
+    #[test]
+    fn clear_command_cold_starts_future_queries() {
+        let detector = service();
+        let lines = run_lines(&detector, 1, "{\"id\": 1, \"k\": 4, \"algorithm\": \"sn\"}\n");
+        let first_drawn = by_id(&lines, 1)
+            .get("engine")
+            .and_then(|e| e.get("samples_drawn"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(first_drawn > 0);
+        // Same query warm: nothing drawn. After clear: everything drawn.
+        let lines = run_lines(
+            &detector,
+            1,
+            concat!(
+                "{\"id\": 1, \"k\": 4, \"algorithm\": \"sn\"}\n",
+                "{\"id\": 2, \"cmd\": \"clear\"}\n",
+                "{\"id\": 3, \"k\": 4, \"algorithm\": \"sn\"}\n",
+            ),
+        );
+        let drawn = |id| {
+            by_id(&lines, id)
+                .get("engine")
+                .and_then(|e| e.get("samples_drawn"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(drawn(1), 0, "warm query must reuse the cache");
+        assert_eq!(by_id(&lines, 2).get("cleared").and_then(Json::as_bool), Some(true));
+        assert_eq!(drawn(3), first_drawn, "post-clear query must redraw from cold");
+    }
+
+    #[test]
+    fn hostile_epsilon_is_bounded_by_the_session_sample_cap() {
+        // A serve-mode session caps budgets (the CLI wires
+        // DEFAULT_SERVE_MAX_SAMPLES into the config); a client-chosen
+        // tiny epsilon must answer promptly at the cap instead of
+        // pinning a worker on an astronomically large sampling job.
+        let graph = Dataset::Interbank.generate_scaled(3, 1.0);
+        let detector =
+            Detector::builder(graph).seed(7).threads(1).max_samples(2_000).build().unwrap();
+        let lines = run_lines(
+            &detector,
+            1,
+            "{\"id\": 1, \"k\": 2, \"algorithm\": \"sn\", \"epsilon\": 0.000001}\n",
+        );
+        let r = by_id(&lines, 1);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        let budget =
+            r.get("stats").and_then(|s| s.get("sample_budget")).and_then(Json::as_u64).unwrap();
+        assert_eq!(budget, 2_000, "budget must truncate at the session cap");
+    }
+
+    #[test]
+    fn oversized_and_hostile_lines_get_error_responses_not_crashes() {
+        let detector = service();
+        // One oversized line (no newline until past the cap), one
+        // deeply-nested hostile line, then a normal request: the
+        // connection survives all three.
+        let mut input = Vec::new();
+        input.extend(std::iter::repeat_n(b'x', MAX_REQUEST_BYTES + 100));
+        input.push(b'\n');
+        input.extend("[".repeat(200_000).into_bytes());
+        input.push(b'\n');
+        input.extend(b"{\"id\": 9, \"k\": 2, \"algorithm\": \"sn\"}\n");
+        let mut output = Vec::new();
+        let summary =
+            serve(&detector, 2, std::io::Cursor::new(input), &mut output).expect("serve runs");
+        assert_eq!(summary.requests, 3);
+        let lines: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("valid response JSON"))
+            .collect();
+        let oversized = lines
+            .iter()
+            .find(|l| l.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("exceeds")))
+            .expect("oversized line answered with an error");
+        assert_eq!(oversized.get("ok").and_then(Json::as_bool), Some(false));
+        let hostile = lines
+            .iter()
+            .find(|l| l.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("nesting")))
+            .expect("hostile nesting answered with an error");
+        assert_eq!(hostile.get("ok").and_then(Json::as_bool), Some(false));
+        let good = by_id(&lines, 9);
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(good.get("top_k").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn per_request_overrides_parse() {
+        let detector = service();
+        let lines = run_lines(
+            &detector,
+            1,
+            concat!(
+                "{\"id\": 1, \"k\": 3, \"algorithm\": \"sr\", \"epsilon\": 0.5, \"delta\": 0.2, \"seed\": 11, \"candidates\": [0, 1, 2, 3, 4, 5, 6, 7]}\n",
+                "{\"id\": 2, \"k\": 3, \"algorithm\": \"sr\", \"epsilon\": 0.1, \"delta\": 0.2, \"seed\": 11, \"candidates\": [0, 1, 2, 3, 4, 5, 6, 7]}\n",
+            ),
+        );
+        let budget = |id| {
+            by_id(&lines, id)
+                .get("stats")
+                .and_then(|s| s.get("sample_budget"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert!(budget(2) > budget(1), "tighter epsilon must cost a bigger budget");
+        let candidates = by_id(&lines, 1)
+            .get("stats")
+            .and_then(|s| s.get("candidates"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(candidates <= 8);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        let graph = Dataset::Interbank.generate_scaled(3, 1.0);
+        let detector = Arc::new(Detector::builder(graph).seed(7).threads(1).build().unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::clone(&detector);
+        // Detached acceptor: lives until the test process exits.
+        std::thread::spawn(move || {
+            let _ = serve_tcp(&server, listener, 2);
+        });
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"id\": 1, \"k\": 3, \"algorithm\": \"bsrbk\"}\n{\"id\": 2, \"cmd\": \"stats\"}\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut lines = Vec::new();
+        for line in BufReader::new(stream).lines() {
+            lines.push(Json::parse(&line.unwrap()).unwrap());
+        }
+        assert_eq!(lines.len(), 2);
+        let detect = by_id(&lines, 1);
+        assert_eq!(detect.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(detect.get("top_k").and_then(Json::as_array).map(<[Json]>::len), Some(3));
+        // The TCP answer matches a direct call on the shared session's twin.
+        let direct = detector.detect(&DetectRequest::new(3, AlgorithmKind::BottomK)).unwrap();
+        let first = detect.get("top_k").unwrap().as_array().unwrap()[0]
+            .get("node")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(first, direct.top_k[0].node.0 as u64);
+    }
+}

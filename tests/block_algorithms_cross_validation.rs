@@ -49,7 +49,7 @@ fn forward_algorithms_match_scalar_oracle_estimates() {
         let t = rng.range_usize(65, 300) as u64 | 1;
         for threads in [1usize, 4] {
             let cfg = VulnConfig::default().with_seed(seed).with_threads(threads);
-            let mut d = Detector::builder(&g).config(cfg).naive_samples(t).build().unwrap();
+            let d = Detector::builder(&g).config(cfg).naive_samples(t).build().unwrap();
             let r = d.detect(&DetectRequest::new(3, AlgorithmKind::Naive)).unwrap();
 
             // Scalar oracle: estimate every node over the same worlds.
@@ -78,7 +78,7 @@ fn reverse_algorithms_match_scalar_oracle_estimates() {
         let hint: Vec<NodeId> = (0..10).map(NodeId).collect();
         for kind in [AlgorithmKind::SampleReverse, AlgorithmKind::BoundedSampleReverse] {
             let cfg = VulnConfig::default().with_seed(seed);
-            let mut d = Detector::builder(&g).config(cfg).build().unwrap();
+            let d = Detector::builder(&g).config(cfg).build().unwrap();
             let req = DetectRequest::new(2, kind).with_candidates(hint.clone());
             let r = d.detect(&req).unwrap();
             let t = r.stats.sample_budget;
@@ -223,7 +223,7 @@ fn engine_bsrbk_matches_scalar_adaptive_reference() {
         let bk = rng.range_usize(2, 5);
         let hint: Vec<NodeId> = g.nodes().collect();
         let cfg = VulnConfig::default().with_seed(seed).with_bk(bk);
-        let mut d = Detector::builder(&g).config(cfg).build().unwrap();
+        let d = Detector::builder(&g).config(cfg).build().unwrap();
         let req = DetectRequest::new(k, AlgorithmKind::BottomK).with_candidates(hint.clone());
         let r = d.detect(&req).unwrap();
         let t = r.stats.sample_budget;
@@ -297,7 +297,7 @@ fn five_algorithms_bit_identical_across_thread_counts() {
         for kind in AlgorithmKind::ALL {
             let mut reference: Option<DetectResponse> = None;
             for threads in [1usize, 3, 16] {
-                let mut d = Detector::builder(&g)
+                let d = Detector::builder(&g)
                     .config(VulnConfig::default().with_seed(seed))
                     .threads(threads)
                     .build()

@@ -40,7 +40,7 @@ fn detect_once(
     alg: AlgorithmKind,
     cfg: &VulnConfig,
 ) -> DetectResponse {
-    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    let d = Detector::builder(g).config(cfg.clone()).build().unwrap();
     d.detect(&DetectRequest::new(k, alg)).unwrap()
 }
 
@@ -50,7 +50,7 @@ fn all_algorithms_find_figure3_top1() {
     // with the default ε = 0.3 the theorems do not promise this ranking
     // and whether it comes out right is seed luck.
     let g = figure3();
-    let mut d = Detector::builder(&g).config(VulnConfig::default().with_seed(3)).build().unwrap();
+    let d = Detector::builder(&g).config(VulnConfig::default().with_seed(3)).build().unwrap();
     for alg in AlgorithmKind::ALL {
         let req = DetectRequest::new(1, alg).with_epsilon(0.05).with_delta(0.05);
         let r = d.detect(&req).unwrap();

@@ -15,7 +15,7 @@ fn detect_once(
     alg: AlgorithmKind,
     cfg: &VulnConfig,
 ) -> DetectResponse {
-    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    let d = Detector::builder(g).config(cfg.clone()).build().unwrap();
     d.detect(&DetectRequest::new(k, alg)).unwrap()
 }
 
@@ -25,7 +25,7 @@ fn full_pipeline_on_interbank() {
     let truth = ground_truth(&g, 20_000, 99, 2);
     let k = (g.num_nodes() / 10).max(1);
     // One session answers all five algorithms.
-    let mut d = Detector::builder(&g).config(VulnConfig::default().with_seed(5)).build().unwrap();
+    let d = Detector::builder(&g).config(VulnConfig::default().with_seed(5)).build().unwrap();
     for alg in AlgorithmKind::ALL {
         let r = d.detect(&DetectRequest::new(k, alg)).unwrap();
         assert_eq!(r.top_k.len(), k, "{alg}");

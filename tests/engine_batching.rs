@@ -27,13 +27,13 @@ fn requests() -> Vec<DetectRequest> {
 fn batch_draws_strictly_fewer_samples_than_independent_calls() {
     let g = graph();
 
-    let mut batch = Detector::builder(&g).config(cfg()).build().unwrap();
+    let batch = Detector::builder(&g).config(cfg()).build().unwrap();
     let batched = batch.detect_many(&requests()).unwrap();
 
     let mut independent_drawn = 0u64;
     let mut independent_responses = Vec::new();
     for req in requests() {
-        let mut solo = Detector::builder(&g).config(cfg()).build().unwrap();
+        let solo = Detector::builder(&g).config(cfg()).build().unwrap();
         independent_responses.push(solo.detect(&req).unwrap());
         independent_drawn += solo.session_stats().samples_drawn;
     }
@@ -61,11 +61,10 @@ fn batches_are_width_independent() {
     // of the planner-driven batch — sharing sampled prefixes across
     // requests composes with superblock widths.
     let g = graph();
-    let mut planned = Detector::builder(&g).config(cfg()).build().unwrap();
+    let planned = Detector::builder(&g).config(cfg()).build().unwrap();
     let reference = planned.detect_many(&requests()).unwrap();
     for width in BlockWords::ALL {
-        let mut pinned =
-            Detector::builder(&g).config(cfg().with_block_words(width)).build().unwrap();
+        let pinned = Detector::builder(&g).config(cfg().with_block_words(width)).build().unwrap();
         let responses = pinned.detect_many(&requests()).unwrap();
         for (p, r) in reference.iter().zip(&responses) {
             assert_eq!(p.top_k, r.top_k, "width {width}");
@@ -81,7 +80,7 @@ fn batches_are_width_independent() {
 #[test]
 fn batch_responses_preserve_request_order() {
     let g = graph();
-    let mut d = Detector::builder(&g).config(cfg()).build().unwrap();
+    let d = Detector::builder(&g).config(cfg()).build().unwrap();
     let reqs = requests();
     let responses = d.detect_many(&reqs).unwrap();
     assert_eq!(responses.len(), reqs.len());

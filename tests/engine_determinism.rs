@@ -39,7 +39,7 @@ fn results_identical_across_thread_counts() {
         let req = arb_request(rng, g.num_nodes());
         let mut reference: Option<DetectResponse> = None;
         for threads in [1usize, 2, 5, 8] {
-            let mut d = Detector::builder(&g)
+            let d = Detector::builder(&g)
                 .config(VulnConfig::default().with_seed(seed))
                 .threads(threads)
                 .build()
@@ -75,10 +75,10 @@ fn warm_cache_matches_cold_cache() {
         let requests: Vec<DetectRequest> =
             (0..5).map(|_| arb_request(rng, g.num_nodes())).collect();
 
-        let mut warm = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+        let warm = Detector::builder(&g).config(cfg.clone()).build().unwrap();
         for req in &requests {
             let warm_resp = warm.detect(req).unwrap();
-            let mut cold = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+            let cold = Detector::builder(&g).config(cfg.clone()).build().unwrap();
             let cold_resp = cold.detect(req).unwrap();
             assert_eq!(warm_resp.top_k, cold_resp.top_k, "warm differs from cold for {req:?}");
             assert_eq!(
@@ -106,7 +106,7 @@ fn coin_table_invalidated_by_probability_updates() {
     };
 
     let first = {
-        let mut d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
+        let d = Detector::builder(&g).config(cfg.clone()).build().unwrap();
         let r = d.detect(&req).unwrap();
         assert_eq!(d.session_stats().coin_tables_built, 1);
         // A warm repeat reuses the cached table (and the cached worlds).
@@ -120,7 +120,7 @@ fn coin_table_invalidated_by_probability_updates() {
     assert_ne!(g.version(), v0, "probability updates must bump the graph version");
 
     let second = {
-        let mut d = Detector::builder(&g).config(cfg).build().unwrap();
+        let d = Detector::builder(&g).config(cfg).build().unwrap();
         score_of(&d.detect(&req).unwrap())
     };
     assert_eq!(second, 1.0, "stale coin thresholds served after set_edge_prob");
@@ -133,7 +133,7 @@ fn repeat_requests_are_pure_cache_hits() {
     check(10, |rng| {
         let g = arb_graph(rng);
         let seed = rng.next_bounded(1000);
-        let mut d =
+        let d =
             Detector::builder(&g).config(VulnConfig::default().with_seed(seed)).build().unwrap();
         let req = arb_request(rng, g.num_nodes());
         let first = d.detect(&req).unwrap();

@@ -13,7 +13,7 @@ fn detect_once(
     alg: AlgorithmKind,
     cfg: &VulnConfig,
 ) -> DetectResponse {
-    let mut d = Detector::builder(g).config(cfg.clone()).build().unwrap();
+    let d = Detector::builder(g).config(cfg.clone()).build().unwrap();
     d.detect(&DetectRequest::new(k, alg)).unwrap()
 }
 

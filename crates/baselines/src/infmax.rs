@@ -91,6 +91,9 @@ pub fn influence_maximization(
         let best = (0..n)
             .filter(|&v| !chosen[v])
             .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
+            // xlint: allow(panic-hygiene) — iteration `i < k ≤ n`
+            // leaves `n − i ≥ 1` unchosen nodes, so the filter is
+            // never empty.
             .expect("k ≤ n");
         chosen[best] = true;
         seeds.push(NodeId(best as u32));

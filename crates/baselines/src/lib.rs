@@ -11,6 +11,7 @@
 //!   uncertain-graph process (the substitute for the bank's delinquency
 //!   records; see DESIGN.md).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -14,7 +14,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
 
     // Rank scores ascending with midranks for ties.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_unstable_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    idx.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < idx.len() {

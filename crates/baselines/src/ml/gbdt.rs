@@ -63,7 +63,7 @@ impl Gbdt {
         let mut grids: Vec<Vec<f64>> = Vec::with_capacity(d);
         for j in 0..d {
             let mut col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
-            col.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            col.sort_unstable_by(|a, b| a.total_cmp(b));
             let mut grid = Vec::with_capacity(params.bins);
             for b in 1..=params.bins {
                 let idx = (b * (n - 1)) / (params.bins + 1);

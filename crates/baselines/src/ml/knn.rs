@@ -37,9 +37,7 @@ impl WeightedKnn {
         let mut dist: Vec<(f64, bool)> =
             self.rows.iter().zip(&self.labels).map(|(r, &l)| (euclidean(row, r), l)).collect();
         let k = self.k.min(dist.len());
-        dist.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("distances are finite")
-        });
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let mut pos = 0.0;
         let mut total = 0.0;
         for &(d, l) in &dist[..k] {

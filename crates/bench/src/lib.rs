@@ -16,6 +16,7 @@
 //! [`microbench`]. Set `VULNDS_SCALE=1.0` to run experiments at the
 //! paper's full dataset sizes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -128,6 +128,9 @@ pub(crate) fn run_one_shot(
     let detector = crate::engine::Detector::builder(graph)
         .config(config.clone())
         .build()
+        // xlint: allow(panic-hygiene) — the one-shot API documents
+        // that it panics on invalid input (see the match arm below);
+        // fallible callers use the `Detector` API instead.
         .expect("session configuration is valid");
     match detector.detect(&crate::engine::DetectRequest::new(k, algorithm)) {
         Ok(response) => response.into_detection_result(),

@@ -55,17 +55,17 @@ pub fn reduce_candidates(lower: &[f64], upper: &[f64], k: usize) -> CandidateRed
     let n = lower.len();
     assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
 
+    // xlint: allow(panic-hygiene) — `kth_largest` is `Some` whenever
+    // `1 <= k <= n`, which the assert above guarantees.
     let t_lower = kth_largest(lower, k).expect("k validated above");
+    // xlint: allow(panic-hygiene) — same `1 <= k <= n` argument as
+    // `t_lower`.
     let t_upper = kth_largest(upper, k).expect("k validated above");
 
     // Rule 1 survivors, to be capped at k.
     let mut rule1: Vec<u32> = (0..n as u32).filter(|&v| lower[v as usize] >= t_upper).collect();
-    rule1.sort_unstable_by(|&a, &b| {
-        lower[b as usize]
-            .partial_cmp(&lower[a as usize])
-            .expect("bounds are finite")
-            .then(a.cmp(&b))
-    });
+    rule1
+        .sort_unstable_by(|&a, &b| lower[b as usize].total_cmp(&lower[a as usize]).then(a.cmp(&b)));
     let verified: Vec<NodeId> = rule1.iter().take(k).map(|&v| NodeId(v)).collect();
     let verified_set: Vec<bool> = {
         let mut s = vec![false; n];

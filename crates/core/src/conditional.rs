@@ -51,6 +51,9 @@ pub fn intervention_scores(
 ) -> Vec<f64> {
     let mut g = graph.clone();
     for &v in evidence {
+        // xlint: allow(panic-hygiene) — evidence ids come from the
+        // same graph per this function's contract; 1.0 is always a
+        // valid probability.
         g.set_self_risk(v, 1.0).expect("evidence node must exist");
     }
     vulnds_sampling::parallel_forward_counts(&g, t, config.seed, config.threads.max(1)).estimates()

@@ -54,7 +54,7 @@ impl ApproxParams {
 }
 
 /// Which lower/upper bound recursion the pruning phase uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum BoundsMethod {
     /// Algorithms 2 and 3 verbatim. The upper bound is provably valid (the
     /// default indicators are increasing functions of independent coins,

@@ -69,11 +69,15 @@ impl IncrementalBounds {
 
     /// Current (final-level) lower bounds.
     pub fn lower(&self) -> &[f64] {
+        // xlint: allow(panic-hygiene) — the constructor rejects
+        // `z == 0`, so both level stacks are never empty.
         self.lower_levels.last().expect("z >= 1")
     }
 
     /// Current (final-level) upper bounds.
     pub fn upper(&self) -> &[f64] {
+        // xlint: allow(panic-hygiene) — same `z >= 1` construction
+        // invariant as `lower`.
         self.upper_levels.last().expect("z >= 1")
     }
 

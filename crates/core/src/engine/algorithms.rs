@@ -61,6 +61,8 @@ fn forward_detect(
     t: u64,
     kind: AlgorithmKind,
 ) -> DetectResponse {
+    // xlint: allow(no-wall-clock) — `elapsed` is a reported
+    // diagnostic; no answer bit depends on the clock.
     let start = Instant::now();
     let counts = ctx.forward_counts(t, req.seed);
     let top_k = select_top_k_dense(&counts.estimates(), req.k);
@@ -222,6 +224,8 @@ impl Algorithm for SampleReverse {
     }
 
     fn run(&self, ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Result<DetectResponse> {
+        // xlint: allow(no-wall-clock) — `elapsed` is a reported
+        // diagnostic; no answer bit depends on the clock.
         let start = Instant::now();
         let bounds = ctx.bounds();
         let reduction = ctx.reduction(req.k);
@@ -263,6 +267,8 @@ impl Algorithm for BoundedSampleReverse {
     }
 
     fn run(&self, ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Result<DetectResponse> {
+        // xlint: allow(no-wall-clock) — `elapsed` is a reported
+        // diagnostic; no answer bit depends on the clock.
         let start = Instant::now();
         let bounds = ctx.bounds();
         let reduction = ctx.reduction(req.k);
@@ -317,6 +323,8 @@ impl Algorithm for BottomKEarlyStop {
     }
 
     fn run(&self, ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Result<DetectResponse> {
+        // xlint: allow(no-wall-clock) — `elapsed` is a reported
+        // diagnostic; no answer bit depends on the clock.
         let start = Instant::now();
         let bk = ctx.config().bk;
         let bounds = ctx.bounds();

@@ -49,8 +49,7 @@
 //! boundary still merge exactly — partial superblocks mask the home
 //! blocks they do not cover.
 
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -124,12 +123,12 @@ impl<V> Default for Slot<V> {
 /// same key build once; everyone else blocks on the same slot and
 /// shares the one `Arc`.
 pub(crate) struct FlightMap<K, V> {
-    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    slots: Mutex<BTreeMap<K, Arc<Slot<V>>>>,
 }
 
 impl<K, V> Default for FlightMap<K, V> {
     fn default() -> Self {
-        FlightMap { slots: Mutex::new(HashMap::new()) }
+        FlightMap { slots: Mutex::new(BTreeMap::new()) }
     }
 }
 
@@ -140,7 +139,7 @@ impl<K, V> std::fmt::Debug for FlightMap<K, V> {
     }
 }
 
-impl<K: Eq + Hash + Clone, V> FlightMap<K, V> {
+impl<K: Ord + Clone, V> FlightMap<K, V> {
     fn slot(&self, key: &K) -> Arc<Slot<V>> {
         let (mut slots, _) = lock_tracked(&self.slots);
         if !slots.contains_key(key) && slots.len() >= MAX_SLOTS {
@@ -157,6 +156,10 @@ impl<K: Eq + Hash + Clone, V> FlightMap<K, V> {
             let (slots, _) = lock_tracked(&self.slots);
             slots.get(key)?.clone()
         };
+        // ORDERING: Acquire pairs with the Release store/reset in
+        // `get_or_build`; seeing `true` here means a build was in
+        // flight when this probe started, which is all the flag
+        // classifies — the value itself is published under the mutex.
         let joined = slot.building.load(Ordering::Acquire);
         let (value, _) = lock_tracked(&slot.value);
         value.as_ref().map(|v| (v.clone(), joined))
@@ -166,11 +169,16 @@ impl<K: Eq + Hash + Clone, V> FlightMap<K, V> {
     /// other caller has built or is building it.
     pub(crate) fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> (Arc<V>, Flight) {
         let slot = self.slot(key);
+        // ORDERING: Acquire/Release on `building` only classifies the
+        // wait (hit vs joined flight); the value is transferred under
+        // the slot mutex, so stronger orderings would buy nothing.
         let in_flight = slot.building.load(Ordering::Acquire);
         let (mut value, _) = lock_tracked(&slot.value);
         if let Some(v) = &*value {
             return (v.clone(), if in_flight { Flight::Joined } else { Flight::Hit });
         }
+        // ORDERING: Release — the paired store for the Acquire probes
+        // above; cleared with the same pairing by the guard below.
         slot.building.store(true, Ordering::Release);
         let building_reset = MarkerReset(&slot.building);
         let v = Arc::new(build());
@@ -189,7 +197,7 @@ impl<K: Eq + Hash + Clone, V> FlightMap<K, V> {
 /// Evicts an arbitrary entry other than `keep` from a full map (the
 /// cardinality backstop for untrusted key diversity — see
 /// [`MAX_STREAMS`]/[`MAX_SLOTS`]).
-fn evict_one<K: Eq + Hash + Clone, V>(map: &mut HashMap<K, V>, keep: &K) {
+fn evict_one<K: Ord + Clone, V>(map: &mut BTreeMap<K, V>, keep: &K) {
     if let Some(victim) = map.keys().find(|k| *k != keep).cloned() {
         map.remove(&victim);
     }
@@ -213,6 +221,8 @@ pub(crate) struct MarkerReset<'a>(pub(crate) &'a AtomicBool);
 
 impl Drop for MarkerReset<'_> {
     fn drop(&mut self) {
+        // ORDERING: Release pairs with the Acquire loads that classify
+        // waits; the marker is advisory and protects no data.
         self.0.store(false, Ordering::Release);
     }
 }
@@ -222,12 +232,12 @@ impl Drop for MarkerReset<'_> {
 /// across a draw, which gives sample streams their single-flight
 /// property for free.
 pub(crate) struct StreamMap<K> {
-    streams: Mutex<HashMap<K, Arc<StreamCell>>>,
+    streams: Mutex<BTreeMap<K, Arc<StreamCell>>>,
 }
 
 impl<K> Default for StreamMap<K> {
     fn default() -> Self {
-        StreamMap { streams: Mutex::new(HashMap::new()) }
+        StreamMap { streams: Mutex::new(BTreeMap::new()) }
     }
 }
 
@@ -238,7 +248,7 @@ impl<K> std::fmt::Debug for StreamMap<K> {
     }
 }
 
-impl<K: Eq + Hash + Clone> StreamMap<K> {
+impl<K: Ord + Clone> StreamMap<K> {
     /// The stream's cache cell, created cold on first access.
     pub(crate) fn stream(&self, key: K) -> Arc<StreamCell> {
         let (mut streams, _) = lock_tracked(&self.streams);
@@ -360,15 +370,12 @@ impl SampleCache {
         };
         self.snapshots.insert(t, counts.clone());
         while self.snapshots.len() > MAX_SNAPSHOTS {
-            let smallest = *self.snapshots.keys().next().expect("cache is non-empty");
-            if smallest == t {
-                // Never evict what this call just produced; the next
-                // smallest goes instead.
-                let second = *self.snapshots.keys().nth(1).expect("len > MAX >= 2");
-                self.snapshots.remove(&second);
-            } else {
-                self.snapshots.remove(&smallest);
-            }
+            // Evict the smallest prefix other than what this call just
+            // produced — it is the cheapest to re-draw.
+            match self.snapshots.keys().find(|&&s| s != t).copied() {
+                Some(victim) => self.snapshots.remove(&victim),
+                None => break,
+            };
         }
         (counts, t - t0, t0)
     }

@@ -100,7 +100,7 @@ pub use algorithms::{
 };
 pub use request::{DetectRequest, DetectResponse, EngineStats, ResolvedRequest};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -323,12 +323,17 @@ struct SessionTotals {
 
 impl SessionTotals {
     fn add(counter: &AtomicU64, n: u64) {
+        // ORDERING: Relaxed — independent monotone stat counters; no
+        // reader infers anything from one counter about another.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Marks a query in flight and tracks the concurrency high-water
     /// mark; the guard un-marks on drop (including error paths).
     fn enter(&self) -> InFlightGuard<'_> {
+        // ORDERING: AcqRel — each RMW must observe every prior
+        // enter/exit so `now` (and therefore the recorded peak) is the
+        // true momentary concurrency, not a stale undercount.
         let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
         self.concurrent_peak.fetch_max(now, Ordering::AcqRel);
         InFlightGuard(self)
@@ -336,6 +341,9 @@ impl SessionTotals {
 
     fn snapshot(&self) -> SessionStats {
         SessionStats {
+            // ORDERING: Relaxed — the snapshot is advisory; each
+            // counter is independently monotone and the stats contract
+            // promises no cross-counter consistency.
             queries: self.queries.load(Ordering::Relaxed),
             samples_drawn: self.samples_drawn.load(Ordering::Relaxed),
             samples_reused: self.samples_reused.load(Ordering::Relaxed),
@@ -359,6 +367,8 @@ struct InFlightGuard<'a>(&'a SessionTotals);
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: AcqRel — pairs with the RMWs in `enter` so the
+        // in-flight count stays exact across all interleavings.
         self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -496,6 +506,9 @@ impl<'a> EngineCtx<'a> {
     /// (a single-flight join) from warm-lookup lock contention, which
     /// counts as neither a wait nor a dedup.
     pub fn coin_table(&mut self) -> Arc<CoinTable> {
+        // ORDERING: Acquire pairs with the Release store below; the
+        // marker only classifies a wait as a single-flight join — the
+        // table itself is transferred under the cache mutex.
         let build_seen = self.state.coins_building.load(Ordering::Acquire);
         let (mut coins, waited) = lock_tracked(&self.state.coins);
         if let Some(table) = coins.peek(self.graph) {
@@ -505,6 +518,8 @@ impl<'a> EngineCtx<'a> {
             }
             return table;
         }
+        // ORDERING: Release pairs with the Acquire probe above (see
+        // there); the guard clears the marker with the same pairing.
         self.state.coins_building.store(true, Ordering::Release);
         let building_reset = MarkerReset(&self.state.coins_building);
         let (table, _) = coins.get(self.graph);
@@ -586,12 +601,17 @@ impl<'a> EngineCtx<'a> {
     ) -> Arc<DefaultCounts> {
         let threads = self.config.threads;
         let width = self.plan_block_words(t);
+        // ORDERING: Acquire pairs with the Release store in the serve
+        // closure; the marker only classifies this query's wait — all
+        // counts are transferred under the cell mutex.
         let draw_in_flight = stream.drawing.load(Ordering::Acquire);
         let (mut cache, waited) = lock_tracked(&stream.cache);
         let mut usage = CoinUsage::default();
         let mut used_width: Option<BlockWords> = None;
         let drawing_reset = MarkerReset(&stream.drawing);
         let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
+            // ORDERING: Release pairs with the Acquire probe above —
+            // set only when worlds actually materialize.
             stream.drawing.store(true, Ordering::Release);
             let fitted = fit_width(&range, width, threads);
             used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
@@ -632,6 +652,8 @@ impl<'a> EngineCtx<'a> {
     /// pass wins within a request and across the session).
     pub fn note_width(&mut self, width: BlockWords) {
         self.request.block_words = self.request.block_words.max(width.words());
+        // ORDERING: Relaxed — a monotone high-water stat; no other
+        // memory depends on observing it.
         self.state.totals.widest_block_words.fetch_max(width.words(), Ordering::Relaxed);
     }
 
@@ -668,7 +690,7 @@ enum MemoLayer {
 
 /// How a request will sample, for batch planning: requests with equal
 /// keys share one stream and extend each other's prefixes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum PlanKey {
     /// Forward sampling over all nodes (N, SN).
     Forward { seed: u64 },
@@ -806,7 +828,7 @@ impl Detector {
         // requests extend earlier prefixes instead of redrawing).
         let plans: Vec<(PlanKey, u64)> =
             resolved.iter().enumerate().map(|(i, r)| self.plan(i, r)).collect();
-        let mut first_seen: HashMap<&PlanKey, usize> = HashMap::new();
+        let mut first_seen: BTreeMap<&PlanKey, usize> = BTreeMap::new();
         for (i, (key, _)) in plans.iter().enumerate() {
             first_seen.entry(key).or_insert(i);
         }
@@ -822,6 +844,8 @@ impl Detector {
             SessionTotals::add(&self.state.totals.queries, 1);
             responses[i] = Some(response);
         }
+        // xlint: allow(panic-hygiene) — the loop above writes `Some`
+        // at every index of `order`, a permutation of `0..len`.
         Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
     }
 

@@ -44,6 +44,7 @@
 //! assert!(again.engine.bounds_reused);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -32,7 +32,7 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("scores are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -65,8 +65,7 @@ pub fn kth_largest(values: &[f64], k: usize) -> Option<f64> {
     }
     let mut v = values.to_vec();
     let idx = k - 1;
-    let (_, kth, _) =
-        v.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("values are finite"));
+    let (_, kth, _) = v.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
     Some(*kth)
 }
 

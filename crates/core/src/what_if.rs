@@ -135,6 +135,9 @@ pub fn greedy_hardening(
             break;
         };
         let p = current.self_risk(target) * 0.5;
+        // xlint: allow(panic-hygiene) — `target` came out of this
+        // graph's top-k, and halving a valid probability keeps it in
+        // `[0, 1]`.
         Arc::make_mut(&mut current).set_self_risk(target, p).expect("halving keeps validity");
         hardened.push(target);
     }

@@ -258,6 +258,9 @@ pub fn attach_probabilities(
     let wedges: Vec<(u32, u32, f64)> =
         edges.iter().map(|&(u, v)| (u, v, model.draw(rng))).collect();
     from_parts(&risks, &wedges, DuplicateEdgePolicy::KeepMax)
+        // xlint: allow(panic-hygiene) — generators emit in-range ids
+        // and the model draws probabilities in `[0, 1]`, so the build
+        // cannot fail.
         .expect("generators produce valid structure")
 }
 

@@ -8,12 +8,12 @@ pub mod erdos;
 pub mod interbank;
 pub mod pref_attach;
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Deduplicates `(u, v)` pairs and drops self-loops, preserving first-seen
 /// order.
 pub(crate) fn dedup_edges(edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
-    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
     let mut out = Vec::with_capacity(edges.len());
     for (u, v) in edges {
         if u != v && seen.insert((u, v)) {

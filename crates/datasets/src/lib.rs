@@ -14,6 +14,7 @@
 //! assert_eq!(g.num_edges(), 249);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -71,7 +71,12 @@ pub fn replay(graph: &UncertainGraph, events: &[UpdateEvent]) -> UncertainGraph 
     let mut g = graph.clone();
     for &ev in events {
         match ev {
+            // xlint: allow(panic-hygiene) — event streams are
+            // generated against this graph, so ids and probabilities
+            // are valid by construction.
             UpdateEvent::SelfRisk(v, p) => g.set_self_risk(v, p).expect("valid event"),
+            // xlint: allow(panic-hygiene) — same construction
+            // invariant as the self-risk arm.
             UpdateEvent::EdgeProb(e, p) => g.set_edge_prob(e, p).expect("valid event"),
         }
     }

@@ -70,12 +70,16 @@ pub fn lane_mask(lanes: usize) -> u64 {
 /// The word-vector of item `i` in a flat stride-`W` slice.
 #[inline(always)]
 fn wv<const W: usize>(words: &[u64], i: usize) -> &[u64; W] {
+    // xlint: allow(panic-hygiene) — the slice is exactly `W` words by
+    // construction of the index range, so the conversion is infallible.
     (&words[i * W..i * W + W]).try_into().expect("stride-W word-vector")
 }
 
 /// Mutable [`wv`].
 #[inline(always)]
 fn wv_mut<const W: usize>(words: &mut [u64], i: usize) -> &mut [u64; W] {
+    // xlint: allow(panic-hygiene) — same exact-length slice invariant
+    // as `wv`.
     (&mut words[i * W..i * W + W]).try_into().expect("stride-W word-vector")
 }
 

@@ -39,6 +39,7 @@
 //! assert!((counts.estimate(1) - 0.25).abs() < 0.02);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -157,7 +157,10 @@ fn forward_partitioned<const W: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect::<Vec<_>>()
     });
 
     let mut total = DefaultCounts::new(graph.num_nodes());
@@ -296,7 +299,10 @@ fn reverse_partitioned<const W: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect::<Vec<_>>()
     });
 
     let mut total = DefaultCounts::new(candidates.len());

@@ -91,6 +91,8 @@ impl ReverseSampler {
     /// (`h_v` of Algorithm 5). Must be called between
     /// [`begin_sample`](Self::begin_sample) calls.
     pub fn is_influenced(&mut self, graph: &UncertainGraph, table: &CoinTable, v: NodeId) -> bool {
+        // xlint: allow(panic-hygiene) — documented API contract (see
+        // the doc comment): `begin_sample` must precede this call.
         let coins = self.coins.expect("call begin_sample before is_influenced");
         if self.hit_epoch[v.index()] == self.epoch {
             return true;

@@ -30,7 +30,7 @@ impl PartialOrd for Finite {
 
 impl Ord for Finite {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("only finite values are stored")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -142,7 +142,7 @@ impl BottomK {
     /// The retained values in ascending order.
     pub fn sorted_values(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.heap.iter().map(|&Finite(x)| x).collect();
-        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
         v
     }
 }

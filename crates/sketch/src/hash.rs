@@ -58,10 +58,7 @@ impl UnitHasher {
 pub fn hash_order(hasher: &UnitHasher, t: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..t as u32).collect();
     idx.sort_unstable_by(|&a, &b| {
-        hasher
-            .hash_unit(a as u64)
-            .partial_cmp(&hasher.hash_unit(b as u64))
-            .expect("hash values are finite")
+        hasher.hash_unit(a as u64).total_cmp(&hasher.hash_unit(b as u64))
     });
     idx
 }

@@ -19,6 +19,7 @@
 //! assert!((est - 10_000.0).abs() / 10_000.0 < 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

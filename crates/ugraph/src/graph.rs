@@ -226,12 +226,18 @@ impl UncertainGraph {
     pub fn transpose(&self) -> UncertainGraph {
         let mut b = crate::builder::GraphBuilder::new(self.num_nodes());
         for v in self.nodes() {
+            // xlint: allow(panic-hygiene) — every id and probability
+            // re-inserted here was validated when this graph was built.
             b.set_self_risk(v, self.self_risk(v)).expect("existing risk is valid");
         }
         for e in self.edges() {
             let (u, v) = self.edge_endpoints(e);
+            // xlint: allow(panic-hygiene) — same revalidation argument
+            // as the self-risks above.
             b.add_edge(v, u, self.edge_prob(e)).expect("existing edge is valid");
         }
+        // xlint: allow(panic-hygiene) — a valid graph's transpose
+        // satisfies every builder invariant.
         b.build().expect("transpose of a valid graph is valid")
     }
 

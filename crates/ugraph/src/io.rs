@@ -147,7 +147,7 @@ pub fn read_edge_list<R: BufRead>(
     default_self_risk: f64,
     default_edge_prob: f64,
 ) -> Result<UncertainGraph> {
-    let mut remap: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut remap: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let lineno = i + 1;

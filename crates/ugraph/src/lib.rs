@@ -39,6 +39,7 @@
 //! assert_eq!(g.in_degree(NodeId(4)), 3); // E is guaranteed by B, C, D
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

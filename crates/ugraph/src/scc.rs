@@ -101,8 +101,7 @@ pub fn strongly_connected_components(graph: &UncertainGraph) -> SccDecomposition
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v roots a component: pop it off the Tarjan stack.
-                    loop {
-                        let w = stack.pop().expect("stack holds the component");
+                    while let Some(w) = stack.pop() {
                         on_stack[w as usize] = false;
                         component[w as usize] = count;
                         if w == v {

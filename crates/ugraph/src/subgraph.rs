@@ -47,17 +47,23 @@ pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
 
     let mut b = GraphBuilder::new(original.len());
     for (i, &v) in original.iter().enumerate() {
+        // xlint: allow(panic-hygiene) — ids are the compacted `0..len`
+        // range and probabilities were validated by the source graph.
         b.set_self_risk(NodeId(i as u32), graph.self_risk(v)).expect("existing risk is valid");
     }
     for &v in &original {
         for e in graph.out_edges(v) {
             let t = remap[e.target.index()];
             if t != u32::MAX {
+                // xlint: allow(panic-hygiene) — same remap argument as
+                // the self-risks above.
                 b.add_edge(NodeId(remap[v.index()]), NodeId(t), e.prob)
                     .expect("existing edge is valid");
             }
         }
     }
+    // xlint: allow(panic-hygiene) — an induced subgraph of a valid
+    // graph satisfies every builder invariant.
     Subgraph { graph: b.build().expect("induced subgraph is valid"), original }
 }
 

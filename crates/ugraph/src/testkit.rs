@@ -62,6 +62,9 @@ pub fn random_graph(rng: &mut TestRng, max_n: usize, max_m: usize) -> UncertainG
             (u, (u + d) % n as u32, rng.next_f64())
         })
         .collect();
+    // xlint: allow(panic-hygiene) — test-support generator: ids are
+    // reduced mod `n` and probabilities drawn from `[0, 1)`, so the
+    // parts are always valid.
     from_parts(&risks, &edges, DuplicateEdgePolicy::KeepMax).expect("valid parts")
 }
 

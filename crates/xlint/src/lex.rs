@@ -1,0 +1,401 @@
+//! The masking lexer: classifies every byte of a Rust source file as
+//! code, regular comment, doc comment, or literal, then resolves
+//! `#[cfg(test)]` / `#[test]` item extents — so rules match on exactly
+//! the channel they mean to and never fire on a pattern that only
+//! appears inside a string, a doc example, or a unit test.
+//!
+//! This is deliberately not a parser: no syntax tree, no macro
+//! expansion, no `syn`. The rules this tool enforces are lexical
+//! properties (a token in production code, a justification comment next
+//! to it), and a byte classifier that understands comments, string
+//! escapes, raw strings, char-vs-lifetime quotes, and attribute extents
+//! is enough to evaluate them without any dependency.
+
+/// Which channel a byte belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Chan {
+    /// Compiled, non-literal source text.
+    Code,
+    /// A regular `//` or `/* */` comment — where waivers and
+    /// justification markers live.
+    Comment,
+    /// A `///`, `//!`, `/** */` or `/*! */` doc comment. Excluded from
+    /// both channels: doc prose and doc examples are not production
+    /// code, and waiver syntax shown in documentation must not register
+    /// as a live waiver.
+    Doc,
+    /// String, raw-string, byte-string, or char literal content.
+    Literal,
+}
+
+/// A source file split into per-line rule-matching channels.
+pub struct SourceMap {
+    /// Per line: source text with comments and literal contents blanked
+    /// to spaces. Token searches run against this.
+    pub code: Vec<String>,
+    /// Per line: regular-comment text (doc comments excluded), blanked
+    /// elsewhere. Waivers, `SAFETY:` and `ORDERING:` markers are read
+    /// from this.
+    pub comments: Vec<String>,
+    /// Per line: true when the line is inside a `#[cfg(test)]` or
+    /// `#[test]` item (the attribute itself included).
+    pub test: Vec<bool>,
+}
+
+impl SourceMap {
+    /// Number of lines in the file.
+    pub fn lines(&self) -> usize {
+        self.code.len()
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Classifies `source` into channels and resolves test-item extents.
+pub fn scan(source: &str) -> SourceMap {
+    let bytes = source.as_bytes();
+    let mut chan = vec![Chan::Code; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                i = scan_line_comment(bytes, &mut chan, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = scan_block_comment(bytes, &mut chan, i);
+            }
+            b'"' => {
+                i = scan_string(bytes, &mut chan, i);
+            }
+            b'\'' => {
+                i = scan_quote(bytes, &mut chan, i);
+            }
+            b'r' | b'b' if i == 0 || !is_ident_byte(bytes[i - 1]) => {
+                match scan_prefixed_literal(bytes, &mut chan, i) {
+                    Some(end) => i = end,
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let code = channel_text(source, &chan, Chan::Code);
+    let comments = channel_text(source, &chan, Chan::Comment);
+    let code_lines: Vec<String> = code.lines().map(str::to_string).collect();
+    let comment_lines: Vec<String> = comments.lines().map(str::to_string).collect();
+    let test = test_lines(&code, code_lines.len());
+    SourceMap { code: code_lines, comments: comment_lines, test }
+}
+
+/// `//` comment to end of line; `///`/`//!` are doc comments, while
+/// `////…` banners count as regular comments again.
+fn scan_line_comment(bytes: &[u8], chan: &mut [Chan], start: usize) -> usize {
+    let third = bytes.get(start + 2);
+    let doc = (third == Some(&b'/') && bytes.get(start + 3) != Some(&b'/')) || third == Some(&b'!');
+    let c = if doc { Chan::Doc } else { Chan::Comment };
+    let mut i = start;
+    while i < bytes.len() && bytes[i] != b'\n' {
+        chan[i] = c;
+        i += 1;
+    }
+    i
+}
+
+/// `/* */` with nesting; `/**`/`/*!` are doc comments (but `/**/` is an
+/// empty regular comment).
+fn scan_block_comment(bytes: &[u8], chan: &mut [Chan], start: usize) -> usize {
+    let third = bytes.get(start + 2);
+    let doc = (third == Some(&b'*') && bytes.get(start + 3) != Some(&b'/')) || third == Some(&b'!');
+    let c = if doc { Chan::Doc } else { Chan::Comment };
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            chan[i] = c;
+            chan[i + 1] = c;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth = depth.saturating_sub(1);
+            chan[i] = c;
+            chan[i + 1] = c;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            if bytes[i] != b'\n' {
+                chan[i] = c;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// A `"…"` string with `\` escapes. Returns the index after the
+/// closing quote.
+fn scan_string(bytes: &[u8], chan: &mut [Chan], start: usize) -> usize {
+    chan[start] = Chan::Literal;
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                chan[i] = Chan::Literal;
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    chan[i + 1] = Chan::Literal;
+                }
+                i += 2;
+            }
+            b'"' => {
+                chan[i] = Chan::Literal;
+                return i + 1;
+            }
+            b'\n' => i += 1,
+            _ => {
+                chan[i] = Chan::Literal;
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// A `'` that may open a char literal (`'x'`, `'\n'`, `'é'`) or be a
+/// lifetime (`'a`). Lifetimes stay in the code channel.
+fn scan_quote(bytes: &[u8], chan: &mut [Chan], start: usize) -> usize {
+    let next = match bytes.get(start + 1) {
+        Some(&b) => b,
+        None => return start + 1,
+    };
+    let lifetime = is_ident_byte(next) && next < 0x80 && bytes.get(start + 2) != Some(&b'\'');
+    if lifetime {
+        return start + 1;
+    }
+    // Char literal: mark through the closing quote (escapes skip the
+    // byte after the backslash so `'\''` terminates correctly).
+    chan[start] = Chan::Literal;
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                chan[i] = Chan::Literal;
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    chan[i + 1] = Chan::Literal;
+                }
+                i += 2;
+            }
+            b'\'' => {
+                chan[i] = Chan::Literal;
+                return i + 1;
+            }
+            b'\n' => return i, // stray quote; never a literal
+            _ => {
+                chan[i] = Chan::Literal;
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` — prefixed literals.
+/// Returns `None` when `start` is a plain identifier character.
+fn scan_prefixed_literal(bytes: &[u8], chan: &mut [Chan], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    if bytes[start] == b'b' {
+        match bytes.get(i) {
+            Some(&b'"') => {
+                chan[start] = Chan::Literal;
+                return Some(scan_string(bytes, chan, i));
+            }
+            Some(&b'\'') => {
+                chan[start] = Chan::Literal;
+                return Some(scan_quote(bytes, chan, i));
+            }
+            Some(&b'r') => i += 1,
+            _ => return None,
+        }
+    }
+    // Raw string: hashes then a quote.
+    let hash_start = i;
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    let hashes = i - hash_start;
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    for c in chan.iter_mut().take(i + 1).skip(start) {
+        *c = Chan::Literal;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            for c in chan.iter_mut().take(i + 1 + hashes).skip(i) {
+                *c = Chan::Literal;
+            }
+            return Some(i + 1 + hashes);
+        }
+        if bytes[i] != b'\n' {
+            chan[i] = Chan::Literal;
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Extracts one channel as a same-shape string: bytes owned by `want`
+/// are copied, newlines are preserved, everything else is a space.
+fn channel_text(source: &str, chan: &[Chan], want: Chan) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' || chan[i] == want {
+            out.push(if b == b'\n' { b'\n' } else { b });
+        } else {
+            out.push(b' ');
+        }
+    }
+    // Replacing non-channel bytes with spaces can split a multi-byte
+    // sequence only when a literal/comment boundary lands inside one,
+    // which classified Rust never produces; lossy conversion is a
+    // safety net, not an expected path.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Marks the lines covered by `#[cfg(test)]` / `#[test]` items in the
+/// masked code text.
+fn test_lines(code: &str, line_count: usize) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let mut test = vec![false; line_count.max(1)];
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let Some((content, after)) = attribute_at(bytes, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attribute(&content) {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes between the test marker and the
+        // item itself (`#[cfg(test)] #[allow(…)] mod tests { … }`).
+        let mut k = after;
+        loop {
+            let ws = skip_ws(bytes, k);
+            match attribute_at(bytes, ws) {
+                Some((_, next)) => k = next,
+                None => break,
+            }
+        }
+        let end = item_end(bytes, k);
+        let (from, to) = (line_of(i), line_of(end.min(bytes.len().saturating_sub(1))));
+        for flag in test.iter_mut().take(to + 1).skip(from) {
+            *flag = true;
+        }
+        i = end.max(i + 1);
+    }
+    test.truncate(line_count.max(1));
+    test
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+/// If an attribute `#[…]` starts at `i`, returns its bracket content
+/// and the index just past the closing `]`.
+fn attribute_at(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'#') {
+        return None;
+    }
+    let mut j = skip_ws(bytes, i + 1);
+    if bytes.get(j) == Some(&b'!') {
+        // Inner attributes (`#![…]`) configure the enclosing scope, not
+        // a following item; they never open a test region.
+        return None;
+    }
+    if bytes.get(j) != Some(&b'[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let start = j + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let content = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                    return Some((content, j + 1));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+/// `#[cfg(not(test))]` (production-only) or `#[cfg_attr(test, …)]`
+/// (conditional attribute on a production item).
+fn is_test_attribute(content: &str) -> bool {
+    let t = content.trim();
+    if t == "test" {
+        return true;
+    }
+    t.starts_with("cfg(") && contains_word(t, "test") && !t.contains("not(test")
+}
+
+fn contains_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// From `i`, the end of the item: the first `;` at brace depth zero, or
+/// the matching `}` of the first `{`.
+fn item_end(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b';' if depth == 0 => return j + 1,
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}

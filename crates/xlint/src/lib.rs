@@ -1,0 +1,65 @@
+//! # vulnds-xlint — the workspace's own static-analysis pass
+//!
+//! Everything this system promises — `(ε, δ)`-guaranteed top-k answers
+//! that are bit-identical across seeds, widths, thread counts, and
+//! concurrent interleavings — rests on invariants no off-the-shelf
+//! linter knows about: no clock reads or hash-iteration order in
+//! answer paths, a written justification next to every atomic
+//! memory-ordering choice, no nested lock acquisition, no panics in
+//! library code, and a `SAFETY:` comment on every unsafe block. This
+//! crate machine-checks those invariants over the workspace source and
+//! gates CI on them.
+//!
+//! The analysis is lexical by design (see [`lex`]): a zero-dependency
+//! byte classifier that understands comments, strings, raw strings,
+//! char-vs-lifetime quotes, and `#[cfg(test)]` extents is enough to
+//! evaluate every rule, keeps the tool inside the workspace's
+//! zero-external-deps rule, and makes `cargo run -p vulnds-xlint` fast
+//! enough to run on every commit.
+//!
+//! Deliberate exceptions are written down as waivers (see [`waiver`])
+//! and double as a greppable registry: `cargo run -p vulnds-xlint --
+//! --waivers` lists every exception in the codebase with its reason.
+
+#![forbid(unsafe_code)]
+
+pub mod lex;
+pub mod rules;
+pub mod waiver;
+
+pub use rules::{FileClass, RawViolation, Rule, RULES};
+pub use waiver::Waiver;
+
+/// A confirmed finding in one file.
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// What fired.
+    pub message: String,
+}
+
+/// Checks one file's source text: lex, run every rule, apply waivers.
+/// Returns the surviving violations and the file's waiver registry
+/// entries (with their `used` flags resolved).
+pub fn check_source(file: &str, source: &str, class: &FileClass) -> (Vec<Violation>, Vec<Waiver>) {
+    let map = lex::scan(source);
+    let raw = rules::check(&map, class);
+    let (mut waivers, mut malformed) = waiver::collect(&map);
+    let mut surviving = waiver::apply(&map, raw, &mut waivers);
+    surviving.append(&mut malformed);
+    surviving.sort_by_key(|v| v.line);
+    let violations = surviving
+        .into_iter()
+        .map(|v| Violation {
+            file: file.to_string(),
+            line: v.line,
+            rule: v.rule,
+            message: v.message,
+        })
+        .collect();
+    (violations, waivers)
+}

@@ -1,0 +1,185 @@
+//! `cargo run -p vulnds-xlint` — walk the workspace, run every rule,
+//! print findings as `file:line: [rule] message` plus the rule's
+//! rationale, and exit nonzero on any violation.
+//!
+//! Flags:
+//! * `--waivers` — print the waiver registry (every deliberate
+//!   exception with its reason) and exit 0.
+//! * `--list-rules` — print the ruleset with rationales and exit 0.
+//! * `--root <dir>` — workspace root (defaults to the workspace this
+//!   binary was built from, falling back to the current directory).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vulnds_xlint::{check_source, FileClass, Violation, Waiver, RULES};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut list_waivers = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--waivers" => list_waivers = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if list_rules {
+        for rule in RULES {
+            println!("{}: {}", rule.name, rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = root.unwrap_or_else(default_root);
+    let files = match source_files(&root) {
+        Ok(files) => files,
+        Err(e) => return usage(&format!("cannot walk {}: {e}", root.display())),
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut registry: Vec<(String, Waiver)> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(&file.path) {
+            Ok(s) => s,
+            Err(e) => return usage(&format!("cannot read {}: {e}", file.path.display())),
+        };
+        checked += 1;
+        let (mut found, waivers) = check_source(&file.rel, &source, &file.class);
+        violations.append(&mut found);
+        registry.extend(waivers.into_iter().map(|w| (file.rel.clone(), w)));
+    }
+
+    if list_waivers {
+        for (file, w) in &registry {
+            let scope = if w.file_level { " [file-wide]" } else { "" };
+            println!("{file}:{}: [{}]{scope} {}", w.line, w.rule, w.reason);
+        }
+        println!("xlint: {} waiver(s) in the registry", registry.len());
+        return ExitCode::SUCCESS;
+    }
+
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        if let Some(rule) = vulnds_xlint::rules::rule(v.rule) {
+            println!("    rule: {}", rule.rationale);
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "xlint: clean — {checked} files checked, {} waiver(s) in the registry",
+            registry.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xlint: {} violation(s) in {checked} files ({} waiver(s) active)",
+            violations.len(),
+            registry.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("vulnds-xlint: {msg}");
+    ExitCode::from(2)
+}
+
+/// The workspace root: two levels above this crate's manifest when the
+/// binary runs under cargo, else the current directory.
+fn default_root() -> PathBuf {
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+struct SourceFile {
+    path: PathBuf,
+    rel: String,
+    class: FileClass,
+}
+
+/// Every `src/**/*.rs` of the root package and of each `crates/*`
+/// member, in sorted order so reports are deterministic. `tests/`,
+/// `benches/`, and `examples/` are test-adjacent code and out of scope.
+fn source_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut src_dirs: Vec<(PathBuf, String)> = Vec::new();
+    let root_pkg = package_name(&root.join("Cargo.toml")).unwrap_or_else(|| "root".to_string());
+    src_dirs.push((root.join("src"), root_pkg));
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let manifest = member.join("Cargo.toml");
+            if let Some(name) = package_name(&manifest) {
+                src_dirs.push((member.join("src"), name));
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for (dir, package) in src_dirs {
+        let mut found = Vec::new();
+        collect_rs(&dir, &mut found)?;
+        found.sort();
+        for path in found {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let is_bin = rel.contains("/bin/");
+            files.push(SourceFile {
+                path,
+                rel,
+                class: FileClass { package: package.clone(), is_bin },
+            });
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The `name = "…"` of a manifest's `[package]` section.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = t.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}

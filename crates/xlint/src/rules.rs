@@ -1,0 +1,346 @@
+//! The ruleset: each rule is a lexical invariant of this workspace,
+//! with a one-line rationale that the reporter prints next to every
+//! violation.
+//!
+//! Rules fire on the masked code channel produced by [`crate::lex`],
+//! never on comments, string literals, doc examples, or `#[cfg(test)]`
+//! items. Per-site exceptions are granted by waivers (see
+//! [`crate::waiver`]), which must carry a written reason.
+
+use crate::lex::SourceMap;
+
+/// A rule's identity and the one-line rationale printed with each of
+/// its findings.
+pub struct Rule {
+    /// Stable kebab-case name, used in waivers.
+    pub name: &'static str,
+    /// Why the invariant exists, in one line.
+    pub rationale: &'static str,
+}
+
+/// Every rule the tool knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-wall-clock",
+        rationale: "answers must be pure functions of (graph, config, request); a clock read in \
+                    an answer path breaks bit-for-bit reproducibility",
+    },
+    Rule {
+        name: "no-sleep",
+        rationale: "sleeping encodes timing assumptions that make behavior interleaving- and \
+                    load-dependent; synchronize with locks or channels instead",
+    },
+    Rule {
+        name: "no-hash-order",
+        rationale: "HashMap/HashSet iteration order is randomized per process; any traversal \
+                    that can reach an answer must use BTreeMap/BTreeSet or sorted access",
+    },
+    Rule {
+        name: "ordering-comment",
+        rationale: "every atomic memory-ordering choice must carry an adjacent `// ORDERING:` \
+                    comment justifying why that strength is sufficient",
+    },
+    Rule {
+        name: "lock-nesting",
+        rationale: "holding one lock while acquiring another is how this codebase would \
+                    deadlock; keep lock scopes disjoint or waive with a lock-order proof",
+    },
+    Rule {
+        name: "panic-hygiene",
+        rationale: "library code must not decide to abort the caller: return a typed error, \
+                    restructure so the case is impossible, or waive with a proof it cannot fire",
+    },
+    Rule {
+        name: "unsafe-block",
+        rationale: "every unsafe block needs an adjacent `// SAFETY:` comment stating the \
+                    invariant that makes it sound",
+    },
+    Rule {
+        name: "waiver-hygiene",
+        rationale: "waivers are the registry of deliberate exceptions; each must name a known \
+                    rule, carry a reason, and actually suppress something",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+pub struct FileClass {
+    /// The owning package (e.g. `vulnds-core`).
+    pub package: String,
+    /// True for `src/bin/**` sources (binary entry points).
+    pub is_bin: bool,
+}
+
+/// A finding before waivers are applied.
+pub struct RawViolation {
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// What fired, specifically.
+    pub message: String,
+}
+
+/// The bench harness measures wall-clock time by design; holding it to
+/// the determinism clock rules would only breed waivers.
+fn timing_exempt(class: &FileClass) -> bool {
+    class.package == "vulnds-bench"
+}
+
+/// Panic hygiene covers library code: the bench harness and binary
+/// entry points may abort on setup errors like any CLI tool.
+fn panic_exempt(class: &FileClass) -> bool {
+    class.package == "vulnds-bench" || class.is_bin
+}
+
+/// Runs every rule over one masked file.
+pub fn check(map: &SourceMap, class: &FileClass) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for line in 0..map.lines() {
+        if map.test[line] {
+            continue;
+        }
+        let code = &map.code[line];
+        if !timing_exempt(class) {
+            for pat in ["Instant::now", "SystemTime", "UNIX_EPOCH"] {
+                if has_token(code, pat) {
+                    push(&mut out, line, "no-wall-clock", format!("`{pat}` in an answer path"));
+                }
+            }
+            for pat in ["thread::sleep", "park_timeout"] {
+                if has_token(code, pat) {
+                    push(&mut out, line, "no-sleep", format!("`{pat}` in non-test code"));
+                }
+            }
+        }
+        for pat in ["HashMap", "HashSet"] {
+            if has_token(code, pat) {
+                push(
+                    &mut out,
+                    line,
+                    "no-hash-order",
+                    format!("`{pat}` in non-test code (use BTreeMap/BTreeSet or waive)"),
+                );
+            }
+        }
+        if !panic_exempt(class) {
+            for pat in [".unwrap()", ".expect("] {
+                if has_token(code, pat) {
+                    push(
+                        &mut out,
+                        line,
+                        "panic-hygiene",
+                        format!("`{}` in library code", pat.trim_end_matches('(')),
+                    );
+                }
+            }
+        }
+        if has_token(code, "unsafe") && !safety_documented(map, line) {
+            push(
+                &mut out,
+                line,
+                "unsafe-block",
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+            );
+        }
+    }
+    check_ordering_comments(map, &mut out);
+    check_lock_nesting(map, &mut out);
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+fn push(out: &mut Vec<RawViolation>, line: usize, rule: &'static str, message: String) {
+    out.push(RawViolation { line: line + 1, rule, message });
+}
+
+/// Token search with identifier-boundary checks on whichever ends of
+/// the pattern are identifier characters.
+pub fn has_token(hay: &str, pat: &str) -> bool {
+    let hay_bytes = hay.as_bytes();
+    let pat_bytes = pat.as_bytes();
+    let head_ident = pat_bytes.first().is_some_and(|&b| ident(b));
+    let tail_ident = pat_bytes.last().is_some_and(|&b| ident(b));
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(pat) {
+        let at = from + pos;
+        let before_ok = !head_ident || at == 0 || !ident(hay_bytes[at - 1]);
+        let end = at + pat.len();
+        let after_ok = !tail_ident || end >= hay_bytes.len() || !ident(hay_bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `// SAFETY:` on the same line or within the three preceding lines.
+fn safety_documented(map: &SourceMap, line: usize) -> bool {
+    (line.saturating_sub(3)..=line).any(|l| map.comments[l].contains("SAFETY:"))
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn has_atomic_ordering(code: &str) -> bool {
+    ATOMIC_ORDERINGS.iter().any(|pat| has_token(code, pat))
+}
+
+/// Every atomic-ordering token needs a covering `// ORDERING:` comment.
+///
+/// Coverage: a comment line (or trailing comment) containing
+/// `ORDERING:` covers its own line and the next line; coverage then
+/// extends through a contiguous run of lines that each carry an atomic
+/// ordering token, so one justification can cover a block of related
+/// operations (e.g. a stats snapshot of many relaxed loads).
+fn check_ordering_comments(map: &SourceMap, out: &mut Vec<RawViolation>) {
+    let n = map.lines();
+    let mut marked: Vec<bool> = (0..n).map(|l| map.comments[l].contains("ORDERING:")).collect();
+    // A mark flows down a contiguous comment-only block, so a
+    // multi-line justification covers the code that follows it.
+    for l in 1..n {
+        if marked[l - 1] && map.code[l].trim().is_empty() && !map.comments[l].trim().is_empty() {
+            marked[l] = true;
+        }
+    }
+    let atomic: Vec<bool> = (0..n).map(|l| has_atomic_ordering(&map.code[l])).collect();
+    let mut covered = marked.clone();
+    for l in 0..n {
+        if covered[l] && l + 1 < n && atomic[l + 1] && (marked[l] || atomic[l]) {
+            covered[l + 1] = true;
+        }
+    }
+    for l in 0..n {
+        if atomic[l] && !covered[l] && !map.test[l] {
+            push(
+                out,
+                l,
+                "ordering-comment",
+                "atomic memory ordering without a covering `// ORDERING:` comment".to_string(),
+            );
+        }
+    }
+}
+
+/// Heuristic lock-nesting audit: a `let`-bound guard from `.lock(…)` or
+/// `lock_tracked(…)` is live until `drop(guard)` or the close of the
+/// block it was declared in; any further lock acquisition while one is
+/// live is flagged.
+///
+/// Temporaries (`x.lock().unwrap().field`) are not tracked as guards —
+/// they die at the end of their statement — but they *are* checked as
+/// acquisitions against live `let`-bound guards.
+fn check_lock_nesting(map: &SourceMap, out: &mut Vec<RawViolation>) {
+    struct Guard {
+        names: Vec<String>,
+        depth: usize,
+        line: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    for l in 0..map.lines() {
+        let code = &map.code[l];
+        let line_base = depth;
+        // Depth at each column, so a guard declared inside `{ … }` on a
+        // partially-braced line gets the right scope.
+        let depth_at = |col: usize| {
+            let mut d = line_base;
+            for b in code.as_bytes()[..col].iter() {
+                match b {
+                    b'{' => d += 1,
+                    b'}' => d = d.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            d
+        };
+        let mut min_depth = line_base;
+        {
+            let mut d = line_base;
+            for b in code.as_bytes() {
+                match b {
+                    b'{' => d += 1,
+                    b'}' => {
+                        d = d.saturating_sub(1);
+                        min_depth = min_depth.min(d);
+                    }
+                    _ => {}
+                }
+            }
+            depth = d;
+        }
+        // Close out guards whose block ended on this line.
+        guards.retain(|g| g.depth <= min_depth);
+        // Explicit drops release guards mid-block.
+        if let Some(pos) = code.find("drop(") {
+            let arg: String = code[pos + 5..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|g| !g.names.contains(&arg));
+        }
+        let acquisition = ["lock_tracked(", ".lock("].iter().filter_map(|pat| code.find(pat)).min();
+        if let Some(col) = acquisition {
+            if !map.test[l] {
+                if let Some(live) = guards.first() {
+                    push(
+                        out,
+                        l,
+                        "lock-nesting",
+                        format!(
+                            "lock acquired while guard from line {} is still live",
+                            live.line + 1
+                        ),
+                    );
+                }
+            }
+            if let Some(let_col) = code.find("let ") {
+                if let_col < col {
+                    let pattern = &code[let_col + 4..col];
+                    let names: Vec<String> = split_idents(pattern)
+                        .into_iter()
+                        .filter(|n| n != "mut" && n != "_")
+                        .collect();
+                    if !names.is_empty() {
+                        guards.push(Guard { names, depth: depth_at(let_col), line: l });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn split_idents(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+        if c == '=' {
+            // The pattern ends at `=`; whatever follows is the
+            // initializer expression.
+            break;
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}

@@ -1,0 +1,150 @@
+//! Waivers: per-site (and per-file) exceptions with written reasons.
+//!
+//! Syntax, in a regular (non-doc) comment:
+//!
+//! ```text
+//! // xlint: allow(rule-name) — reason the exception is sound
+//! // xlint: allow-file(rule-name) — reason covering the whole file
+//! ```
+//!
+//! The separator may be an em dash, en dash, one or two hyphens, or a
+//! colon; the reason is mandatory. A same-line waiver covers its own
+//! line; a waiver on a comment-only line covers the next code line
+//! (through any further comment-only lines). Waivers that name an
+//! unknown rule, omit the reason, or suppress nothing are themselves
+//! violations (`waiver-hygiene`), so the registry can never rot.
+
+use crate::lex::SourceMap;
+use crate::rules::{self, RawViolation};
+
+/// One parsed waiver.
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The rule being waived.
+    pub rule: String,
+    /// True for `allow-file(...)`: covers the whole file.
+    pub file_level: bool,
+    /// The written justification.
+    pub reason: String,
+    /// Set during application when the waiver suppressed a finding.
+    pub used: bool,
+}
+
+/// Scans the comment channel for waivers. Malformed ones are returned
+/// as `waiver-hygiene` violations instead.
+pub fn collect(map: &SourceMap) -> (Vec<Waiver>, Vec<RawViolation>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for (l, comment) in map.comments.iter().enumerate() {
+        let Some(at) = comment.find("xlint:") else { continue };
+        let rest = comment[at + "xlint:".len()..].trim_start();
+        let (file_level, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    bad.push(hygiene(l, "unrecognized `xlint:` directive (want `allow(...)`)"));
+                    continue;
+                }
+            },
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(hygiene(l, "unterminated `allow(` in waiver"));
+            continue;
+        };
+        let names: Vec<&str> = rest[..close].split(',').map(str::trim).collect();
+        let reason = strip_separator(rest[close + 1..].trim());
+        for name in names {
+            if rules::rule(name).is_none() {
+                bad.push(hygiene(l, &format!("waiver names unknown rule `{name}`")));
+                continue;
+            }
+            match reason {
+                Some(reason) if !reason.is_empty() => waivers.push(Waiver {
+                    line: l + 1,
+                    rule: name.to_string(),
+                    file_level,
+                    reason: reason.to_string(),
+                    used: false,
+                }),
+                _ => bad.push(hygiene(
+                    l,
+                    &format!("waiver for `{name}` has no reason (want `allow({name}) — why`)"),
+                )),
+            }
+        }
+    }
+    (waivers, bad)
+}
+
+fn hygiene(line: usize, msg: &str) -> RawViolation {
+    RawViolation { line: line + 1, rule: "waiver-hygiene", message: msg.to_string() }
+}
+
+/// Strips the reason separator: em/en dash, `--`, `-`, or `:`.
+fn strip_separator(text: &str) -> Option<&str> {
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(rest) = text.strip_prefix(sep) {
+            return Some(rest.trim());
+        }
+    }
+    None
+}
+
+/// Applies `waivers` to `violations`: suppressed findings are removed,
+/// matched waivers are marked used, and unused waivers become
+/// `waiver-hygiene` findings appended to the result.
+pub fn apply(
+    map: &SourceMap,
+    mut violations: Vec<RawViolation>,
+    waivers: &mut [Waiver],
+) -> Vec<RawViolation> {
+    violations.retain(|v| {
+        for w in waivers.iter_mut() {
+            if w.rule == v.rule && (w.file_level || covers(map, w.line, v.line)) {
+                w.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for w in waivers.iter().filter(|w| !w.used) {
+        violations.push(hygiene(
+            w.line - 1,
+            &format!("waiver for `{}` suppresses nothing — remove it", w.rule),
+        ));
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// A waiver at `w` (1-based) covers a violation at `v` (1-based) when
+/// they share a line, or when the waiver sits on a comment-only line
+/// and `v` belongs to the next statement: comment-only/blank lines are
+/// skipped, then coverage extends through the statement's continuation
+/// lines until one ends it (trailing `;`, `,`, `{`, or `}` — so a
+/// match arm or struct field is covered alone, not its successors).
+fn covers(map: &SourceMap, w: usize, v: usize) -> bool {
+    if w == v {
+        return true;
+    }
+    if w > v {
+        return false;
+    }
+    let code = |line_1: usize| map.code[line_1 - 1].trim();
+    if !code(w).is_empty() {
+        return false; // trailing waiver on a code line covers that line only
+    }
+    let mut l = w + 1;
+    while l < v && code(l).is_empty() {
+        l += 1;
+    }
+    while l < v {
+        if [";", ",", "{", "}"].iter().any(|t| code(l).ends_with(t)) {
+            return false; // the covered statement ended before `v`
+        }
+        l += 1;
+    }
+    true
+}

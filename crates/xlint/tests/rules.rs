@@ -1,0 +1,263 @@
+//! Fixture tests: every rule has at least one firing and one
+//! non-firing snippet, waivers round-trip through the registry, and
+//! the lexer's masking (comments, strings, `#[cfg(test)]` extents)
+//! keeps rules off non-code channels.
+
+use vulnds_xlint::{check_source, FileClass, RULES};
+
+/// Lints a fixture as library code of a non-exempt package.
+fn lint(source: &str) -> Vec<(usize, &'static str)> {
+    lint_as(source, "vulnds-core", false)
+}
+
+fn lint_as(source: &str, package: &str, is_bin: bool) -> Vec<(usize, &'static str)> {
+    let class = FileClass { package: package.to_string(), is_bin };
+    let (violations, _) = check_source("fixture.rs", source, &class);
+    violations.into_iter().map(|v| (v.line, v.rule)).collect()
+}
+
+fn fired(source: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint(source).into_iter().map(|(_, r)| r).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn every_rule_has_a_rationale() {
+    for rule in RULES {
+        assert!(!rule.rationale.is_empty(), "{} has no rationale", rule.name);
+    }
+}
+
+#[test]
+fn no_wall_clock_fires_and_spares() {
+    let firing = r#"
+fn f() {
+    let t = std::time::Instant::now();
+}
+"#;
+    assert_eq!(fired(firing), ["no-wall-clock"]);
+    // The same read inside a #[test] item is out of scope.
+    let test_only = r#"
+#[test]
+fn timing() {
+    let t = std::time::Instant::now();
+}
+"#;
+    assert_eq!(fired(test_only), [""; 0]);
+    // The bench harness is exempt by package.
+    assert_eq!(lint_as(firing, "vulnds-bench", false), []);
+}
+
+#[test]
+fn no_sleep_fires_and_spares() {
+    let firing = "fn f() { std::thread::sleep(d); }\n";
+    assert_eq!(fired(firing), ["no-sleep"]);
+    let non_firing = "fn f() { let s = \"thread::sleep\"; } // thread::sleep\n";
+    assert_eq!(fired(non_firing), [""; 0]);
+}
+
+#[test]
+fn no_hash_order_fires_and_spares() {
+    let firing = "use std::collections::HashMap;\n";
+    assert_eq!(fired(firing), ["no-hash-order"]);
+    let firing_set = "fn f(s: &HashSet<u32>) {}\n";
+    assert_eq!(fired(firing_set), ["no-hash-order"]);
+    let non_firing = "use std::collections::BTreeMap;\n";
+    assert_eq!(fired(non_firing), [""; 0]);
+    // Identifier boundaries: a name that merely contains the token
+    // does not fire.
+    assert_eq!(fired("fn f(m: MyHashMapLike) {}\n"), [""; 0]);
+}
+
+#[test]
+fn ordering_comment_fires_and_spares() {
+    let firing = r#"
+fn f(x: &AtomicU64) {
+    x.load(Ordering::Relaxed);
+}
+"#;
+    assert_eq!(fired(firing), ["ordering-comment"]);
+    let non_firing = r#"
+fn f(x: &AtomicU64) {
+    // ORDERING: Relaxed — a pure stat counter.
+    x.load(Ordering::Relaxed);
+}
+"#;
+    assert_eq!(fired(non_firing), [""; 0]);
+}
+
+#[test]
+fn ordering_comment_covers_contiguous_atomic_runs() {
+    // One justification covers a block of adjacent atomic lines (a
+    // stats snapshot), but not a detached one after a gap.
+    let source = r#"
+fn snapshot(s: &Totals) -> (u64, u64) {
+    // ORDERING: Relaxed — independent monotone counters; the comment
+    // block also flows down to the code it precedes.
+    let a = s.a.load(Ordering::Relaxed);
+    let b = s.b.load(Ordering::Relaxed);
+
+    let c = s.c.load(Ordering::Relaxed);
+}
+"#;
+    assert_eq!(lint(source), [(8, "ordering-comment")]);
+}
+
+#[test]
+fn lock_nesting_fires_and_spares() {
+    let firing = r#"
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+}
+"#;
+    let rules: Vec<_> = lint(firing).into_iter().filter(|(_, r)| *r == "lock-nesting").collect();
+    assert_eq!(rules, [(4, "lock-nesting")]);
+    // Disjoint scopes do not nest.
+    let scoped = r#"
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    {
+        let ga = a.lock().unwrap();
+    }
+    let gb = b.lock().unwrap();
+}
+"#;
+    assert!(lint(scoped).iter().all(|(_, r)| *r != "lock-nesting"));
+    // An explicit drop releases the guard mid-block.
+    let dropped = r#"
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    drop(ga);
+    let gb = b.lock().unwrap();
+}
+"#;
+    assert!(lint(dropped).iter().all(|(_, r)| *r != "lock-nesting"));
+}
+
+#[test]
+fn panic_hygiene_fires_and_spares() {
+    assert_eq!(fired("fn f(x: Option<u32>) { x.unwrap(); }\n"), ["panic-hygiene"]);
+    assert_eq!(fired("fn f(x: Option<u32>) { x.expect(\"set\"); }\n"), ["panic-hygiene"]);
+    // Non-panicking relatives do not fire.
+    assert_eq!(fired("fn f(x: Option<u32>) { x.unwrap_or(0); }\n"), [""; 0]);
+    assert_eq!(fired("fn f(x: Result<u32, ()>) { x.expect_err(\"err\"); }\n"), [""; 0]);
+    // Binary entry points may abort like any CLI tool.
+    assert_eq!(lint_as("fn main() { run().unwrap(); }\n", "vulnds", true), []);
+}
+
+#[test]
+fn unsafe_block_fires_and_spares() {
+    let firing = "fn f(p: *const u8) { unsafe { p.read() }; }\n";
+    assert_eq!(fired(firing), ["unsafe-block"]);
+    let non_firing = r#"
+fn f(p: *const u8) {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { p.read() };
+}
+"#;
+    assert_eq!(fired(non_firing), [""; 0]);
+}
+
+#[test]
+fn waivers_suppress_and_register() {
+    let source = r#"
+fn f(x: Option<u32>) {
+    // xlint: allow(panic-hygiene) — x is Some by construction.
+    x.unwrap();
+}
+"#;
+    let class = FileClass { package: "vulnds-core".to_string(), is_bin: false };
+    let (violations, waivers) = check_source("fixture.rs", source, &class);
+    assert!(violations.is_empty(), "waiver must suppress: {:?}", violations[0].message);
+    assert_eq!(waivers.len(), 1);
+    let w = &waivers[0];
+    assert_eq!((w.line, w.rule.as_str(), w.file_level, w.used), (3, "panic-hygiene", false, true));
+    assert_eq!(w.reason, "x is Some by construction.");
+}
+
+#[test]
+fn waiver_separators_round_trip() {
+    // Em dash, en dash, double hyphen, hyphen, and colon all parse.
+    for sep in ["—", "–", "--", "-", ":"] {
+        let source =
+            format!("fn f(x: Option<u32>) {{\n    x.unwrap(); // xlint: allow(panic-hygiene) {sep} proven above\n}}\n");
+        let class = FileClass { package: "vulnds-core".to_string(), is_bin: false };
+        let (violations, waivers) = check_source("fixture.rs", &source, &class);
+        assert!(violations.is_empty(), "separator {sep:?} failed");
+        assert_eq!(waivers[0].reason, "proven above");
+    }
+}
+
+#[test]
+fn file_level_waivers_cover_the_whole_file() {
+    let source = r#"
+// xlint: allow-file(no-wall-clock) — this module reports elapsed time.
+fn f() {
+    let a = std::time::Instant::now();
+}
+fn g() {
+    let b = std::time::Instant::now();
+}
+"#;
+    let class = FileClass { package: "vulnds-core".to_string(), is_bin: false };
+    let (violations, waivers) = check_source("fixture.rs", source, &class);
+    assert!(violations.is_empty());
+    assert!(waivers[0].file_level && waivers[0].used);
+}
+
+#[test]
+fn malformed_waivers_are_violations() {
+    // Unknown rule.
+    let unknown = "fn f() {} // xlint: allow(no-such-rule) — why\n";
+    assert_eq!(fired(unknown), ["waiver-hygiene"]);
+    // Missing reason.
+    let unreasoned = "fn f(x: Option<u32>) { x.unwrap() } // xlint: allow(panic-hygiene)\n";
+    assert!(fired(unreasoned).contains(&"waiver-hygiene"));
+    // Suppresses nothing.
+    let unused = "fn f() {} // xlint: allow(panic-hygiene) — stale\n";
+    assert_eq!(fired(unused), ["waiver-hygiene"]);
+}
+
+#[test]
+fn masked_channels_never_fire() {
+    // Tokens in strings, comments, and doc comments are not code.
+    let source = r##"
+//! HashMap in module docs is fine; so is `x.unwrap()`.
+
+/// Doc example: `Instant::now()` and thread::sleep mentioned here.
+fn f() {
+    let s = "HashMap::new() Instant::now() .unwrap()";
+    let r = r#"unsafe { } Ordering::Relaxed"#;
+    // a comment naming HashMap, thread::sleep, and .expect( too
+}
+"##;
+    assert_eq!(fired(source), [""; 0]);
+}
+
+#[test]
+fn cfg_test_extents_are_out_of_scope() {
+    let source = r#"
+fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        m.get(&1).unwrap();
+    }
+}
+"#;
+    assert_eq!(fired(source), [""; 0]);
+    // But cfg(not(test)) is live code.
+    let not_test = r#"
+#[cfg(not(test))]
+fn live() {
+    let t = std::time::Instant::now();
+}
+"#;
+    assert_eq!(fired(not_test), ["no-wall-clock"]);
+}

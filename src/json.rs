@@ -32,14 +32,25 @@ pub enum Json {
 impl Json {
     /// Parses one JSON document, rejecting trailing garbage.
     pub fn parse(text: &str) -> Result<Json, VulnError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        Json::parse_salvaging_id(text).0
+    }
+
+    /// Like [`Json::parse`], but additionally returns any root-level
+    /// `"id"` member that had already been parsed when a later syntax
+    /// error cut the document short — so a protocol error response can
+    /// still echo the request's id.
+    pub fn parse_salvaging_id(text: &str) -> (Result<Json, VulnError>, Option<Json>) {
+        let mut p = Parser { text, bytes: text.as_bytes(), pos: 0, depth: 0, root_id: None };
         p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after JSON value"));
-        }
-        Ok(value)
+        let result = p.value().and_then(|value| {
+            p.skip_ws();
+            if p.pos != p.bytes.len() {
+                return Err(p.err("trailing characters after JSON value"));
+            }
+            Ok(value)
+        });
+        let id = p.root_id.take();
+        (result, id)
     }
 
     /// Object field lookup (`None` for non-objects and missing keys).
@@ -200,9 +211,14 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 const MAX_DEPTH: usize = 64;
 
 struct Parser<'a> {
+    /// The source document; `bytes` is its byte view and `pos` always
+    /// sits on a UTF-8 scalar boundary within it.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    /// Root-level `"id"` member seen so far (for error-id salvage).
+    root_id: Option<Json>,
 }
 
 impl<'a> Parser<'a> {
@@ -220,7 +236,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), VulnError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), VulnError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -267,7 +283,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, VulnError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -290,7 +306,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, VulnError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -301,9 +317,14 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            // Depth 1 is the document's root object: remember its id
+            // so an error later in the document can still echo it.
+            if self.depth == 1 && key == "id" && self.root_id.is_none() {
+                self.root_id = Some(value.clone());
+            }
             fields.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -318,7 +339,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, VulnError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -365,11 +386,13 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte slice is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar. `pos` only ever
+                    // advances by whole scalars or past ASCII bytes,
+                    // so it is always a valid `str` boundary and the
+                    // checked slice cannot fail.
+                    let Some(c) = self.text.get(self.pos..).and_then(|s| s.chars().next()) else {
+                        return Err(self.err("malformed UTF-8 sequence"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -400,7 +423,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        // The scanned range is all ASCII, so the slice is always on
+        // char boundaries; a failed slice is unreachable but maps to a
+        // clean parse error rather than a panic.
+        let text = self.text.get(start..self.pos).ok_or_else(|| self.err("invalid number"))?;
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
     }
 }
@@ -476,6 +502,30 @@ mod tests {
         let rendered = parsed.to_string();
         assert_eq!(rendered, original);
         assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn salvages_root_id_from_broken_documents() {
+        // id parsed before the error: salvaged.
+        let (res, id) = Json::parse_salvaging_id(r#"{"id": 42, "cmd": "detect", "k": }"#);
+        assert!(res.is_err());
+        assert_eq!(id, Some(Json::Num(42.0)));
+        // String ids salvage too.
+        let (res, id) = Json::parse_salvaging_id(r#"{"id": "req-7", "k": [}"#);
+        assert!(res.is_err());
+        assert_eq!(id, Some(Json::Str("req-7".into())));
+        // Error before the id member: nothing to salvage.
+        let (res, id) = Json::parse_salvaging_id(r#"{"k": , "id": 42}"#);
+        assert!(res.is_err());
+        assert_eq!(id, None);
+        // Nested ids are not the request's id.
+        let (res, id) = Json::parse_salvaging_id(r#"{"opts": {"id": 9}, "k": }"#);
+        assert!(res.is_err());
+        assert_eq!(id, None);
+        // A clean parse reports the id as well (unused by callers).
+        let (res, id) = Json::parse_salvaging_id(r#"{"id": 1, "k": 5}"#);
+        assert!(res.is_ok());
+        assert_eq!(id, Some(Json::Num(1.0)));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! * [`baselines`] — centralities, influence maximization, from-scratch ML.
 //! * [`datasets`] — synthetic workloads matching the paper's Table 2.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -143,6 +143,8 @@ pub fn serve(
                     Err(_) => break,
                 };
                 let Ok(line) = line else { break };
+                // ORDERING: Relaxed — a pure tally; the final read
+                // happens after the scope joins every thread.
                 requests.fetch_add(1, Ordering::Relaxed);
                 let response = respond(detector, &line);
                 if response_tx.send(response.to_string()).is_err() {
@@ -166,6 +168,7 @@ pub fn serve(
             if oversized {
                 // Answer in-line (the request is gone, there is nothing
                 // to hand a worker) and keep serving the connection.
+                // ORDERING: Relaxed — same pure tally as the workers'.
                 requests.fetch_add(1, Ordering::Relaxed);
                 let error = Json::obj([
                     ("id", Json::Null),
@@ -187,9 +190,11 @@ pub fn serve(
         }
         drop(oversize_tx);
         drop(task_tx);
-        writer.join().expect("writer thread never panics")
+        writer.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
     });
     io_result.map_err(|e| VulnError::Usage(format!("serve: I/O error: {e}")))?;
+    // ORDERING: Relaxed — the scope above joined every writer of this
+    // counter, so this read races with nothing.
     Ok(ServeSummary { requests: requests.load(Ordering::Relaxed) })
 }
 
@@ -215,6 +220,9 @@ pub fn serve_tcp(
     struct SlotRelease<'a>(&'a AtomicU64);
     impl Drop for SlotRelease<'_> {
         fn drop(&mut self) {
+            // ORDERING: AcqRel — pairs with the acceptor's RMWs so the
+            // open-connection count is exact and the cap cannot be
+            // overshot by a stale read.
             self.0.fetch_sub(1, Ordering::AcqRel);
         }
     }
@@ -223,6 +231,9 @@ pub fn serve_tcp(
     std::thread::scope(|s| {
         for stream in listener.incoming() {
             let Ok(mut stream) = stream else { continue };
+            // ORDERING: AcqRel — reserve-then-release must be exact
+            // RMWs against concurrent SlotRelease drops, or a refusal
+            // storm could leak slots past the cap.
             if open.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS as u64 {
                 open.fetch_sub(1, Ordering::AcqRel);
                 let refusal = Json::obj([
@@ -251,9 +262,11 @@ pub fn serve_tcp(
 /// object; parse and engine errors become `ok: false` responses rather
 /// than killing the connection.
 fn respond(detector: &Detector, line: &str) -> Json {
-    let (id, outcome) = match Json::parse(line) {
-        Err(e) => (Json::Null, Err(e)),
-        Ok(request) => {
+    let (id, outcome) = match Json::parse_salvaging_id(line) {
+        // A syntax error still echoes any root-level id parsed before
+        // the error, so clients can pair the failure with its request.
+        (Err(e), salvaged) => (salvaged.unwrap_or(Json::Null), Err(e)),
+        (Ok(request), _) => {
             let id = request.get("id").cloned().unwrap_or(Json::Null);
             (id, dispatch(detector, &request))
         }
@@ -515,6 +528,24 @@ mod tests {
             .find(|l| l.get("id") == Some(&Json::Null))
             .expect("malformed line answered");
         assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn syntax_errors_echo_the_id_parsed_before_the_error() {
+        let detector = service();
+        let lines = run_lines(
+            &detector,
+            1,
+            concat!(
+                "{\"id\": 77, \"cmd\": \"detect\", \"k\": }\n", // id seen, then broken
+                "{\"k\": , \"id\": 78}\n",                      // broken before the id
+            ),
+        );
+        let with_id = by_id(&lines, 77);
+        assert_eq!(with_id.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(with_id.get("error").is_some());
+        let without = lines.iter().find(|l| l.get("id") == Some(&Json::Null)).unwrap();
+        assert_eq!(without.get("ok").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

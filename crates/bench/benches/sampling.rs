@@ -16,47 +16,21 @@
 //! is tracked from PR 2 on, together with the coin precision and the
 //! lazy-skip ratio. Raise `VULNDS_BENCH_MS` for tighter medians.
 
-use ugraph::{NodeId, UncertainGraph};
+use ugraph::{NodeId, NodeOrder, UncertainGraph};
+use vulnds_bench::machine::{available_parallelism, detected_simd, emit_machine};
 use vulnds_bench::microbench::{bench, measure, JsonReport};
 use vulnds_datasets::gen::{chung_lu, erdos, pref_attach};
 use vulnds_datasets::{attach_probabilities, ProbabilityModel};
 use vulnds_sampling::{
-    forward_counts_range_width, forward_counts_range_with, parallel_forward_counts, reverse_counts,
-    reverse_counts_range_width, reverse_counts_range_with, BlockKernel, BlockWords, CoinTable,
-    CoinUsage, DefaultCounts, ForwardSampler, PossibleWorld, ReverseSampler, ScalarCoins,
-    WorldBlock, Xoshiro256pp, COIN_PRECISION, LANES,
+    forward_counts_range_width, forward_counts_range_width_directed, forward_counts_range_with,
+    parallel_forward_counts, reverse_counts, reverse_counts_range_width, reverse_counts_range_with,
+    BlockKernel, BlockWords, CoinTable, CoinUsage, DefaultCounts, Direction, ForwardSampler,
+    PossibleWorld, ReverseSampler, ScalarCoins, WorldBlock, Xoshiro256pp, COIN_PRECISION, LANES,
 };
 
 /// Worlds per end-to-end measurement: one widest superblock, so every
 /// width runs the same fixed budget through one driver call.
 const WIDTH_BUDGET: u64 = (vulnds_sampling::MAX_BLOCK_WORDS * LANES) as u64;
-
-/// The widest SIMD extension the running CPU reports (compile-target
-/// fallback off x86-64). Recorded so trajectory readers can tell what
-/// the autovectorized word-vector loops had to work with.
-fn detected_simd() -> &'static str {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            return "avx512";
-        }
-        if std::arch::is_x86_feature_detected!("avx2") {
-            return "avx2";
-        }
-        if std::arch::is_x86_feature_detected!("sse4.2") {
-            return "sse4.2";
-        }
-        "sse2"
-    }
-    #[cfg(target_arch = "aarch64")]
-    {
-        "neon"
-    }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
-    {
-        "unknown"
-    }
-}
 
 struct Family {
     name: &'static str,
@@ -165,6 +139,75 @@ fn main() {
         let planned_ns =
             width_ns.iter().find(|(w, _)| *w == planned).expect("planned width measured").1;
 
+        // Per-direction rows at the planned width: the same fixed budget
+        // pinned to push, pinned to pull, and occupancy-switched auto.
+        // Counts are bit-identical (see `direction_equivalence.rs`);
+        // these rows track the throughput spread direction buys.
+        let mut direction_ns = Vec::new();
+        for direction in Direction::ALL {
+            let m = measure(
+                &format!("{name}/end_to_end/superblock_{direction}_per_512_worlds"),
+                || {
+                    forward_counts_range_width_directed(
+                        &g,
+                        &table,
+                        0..WIDTH_BUDGET,
+                        43,
+                        planned,
+                        direction,
+                    )
+                    .0
+                    .samples()
+                },
+            );
+            direction_ns.push((direction, m.median_secs / WIDTH_BUDGET as f64 * 1e9));
+        }
+        let direction_row = |d: Direction| {
+            direction_ns.iter().find(|(dd, _)| *dd == d).expect("direction measured").1
+        };
+        // Auto's step mix over the budget — a two-bucket frontier
+        // occupancy histogram (push steps ran sparse, pull steps ran at
+        // ≥ n/8 occupancy) plus how often the strategy flipped.
+        let (_, auto_usage) = forward_counts_range_width_directed(
+            &g,
+            &table,
+            0..WIDTH_BUDGET,
+            43,
+            planned,
+            Direction::Auto,
+        );
+        let auto_steps = (auto_usage.push_steps + auto_usage.pull_steps).max(1);
+
+        // Relabeled-vs-original rows: the same budget through each
+        // cache-conscious node order. Relabeling renumbers canonical
+        // edge ids, so these runs draw *different* coin streams — the
+        // comparison is layout throughput under the same `(ε, δ)`
+        // budget, not bit-identity (see `ugraph::relabel`).
+        let mut relabel_ns = Vec::new();
+        for (label, order) in
+            [("degree", NodeOrder::DegreeDescending), ("bfs", NodeOrder::BfsFromHub)]
+        {
+            let (relabeled, _) = g.relabeled(order);
+            let relabeled_table = CoinTable::new(&relabeled);
+            let m = measure(
+                &format!("{name}/end_to_end/superblock_relabel_{label}_per_512_worlds"),
+                || {
+                    forward_counts_range_width(
+                        &relabeled,
+                        &relabeled_table,
+                        0..WIDTH_BUDGET,
+                        43,
+                        planned,
+                    )
+                    .0
+                    .samples()
+                },
+            );
+            relabel_ns.push((label, m.median_secs / WIDTH_BUDGET as f64 * 1e9));
+        }
+        let relabel_row =
+            |l: &str| relabel_ns.iter().find(|(ll, _)| *ll == l).expect("order measured").1;
+
         // Lazy-skip ratio of the production path, over a longer run so
         // per-block variation averages out.
         let (_, usage) = forward_counts_range_with(&g, &table, 0..(32 * LANES as u64), 43);
@@ -178,6 +221,14 @@ fn main() {
              lazy skip {:.0}%",
             w1_ns / planned_ns,
             usage.lazy_skip_ratio() * 100.0
+        );
+        println!(
+            "{name}: direction auto vs push {:.2}x (pull share {:.0}%, {} switches), \
+             bfs relabel vs original {:.2}x",
+            direction_row(Direction::Push) / direction_row(Direction::Auto),
+            auto_usage.pull_steps as f64 / auto_steps as f64 * 100.0,
+            auto_usage.direction_switches,
+            planned_ns / relabel_row("bfs"),
         );
 
         let per_world = 1.0 / LANES as f64 * 1e9;
@@ -198,10 +249,26 @@ fn main() {
         for (width, ns) in &width_ns {
             group = group.num(&format!("superblock_end_to_end_per_world_ns_w{width}"), *ns);
         }
+        for (direction, ns) in &direction_ns {
+            group = group.num(&format!("superblock_end_to_end_per_world_ns_{direction}"), *ns);
+        }
+        for (label, ns) in &relabel_ns {
+            group = group.num(&format!("superblock_end_to_end_per_world_ns_relabel_{label}"), *ns);
+        }
         group
             .num("superblock_end_to_end_per_world_ns", planned_ns)
             .num("superblock_block_words", planned.words() as f64)
             .num("superblock_speedup_vs_w1", w1_ns / planned_ns)
+            .num(
+                "auto_speedup_vs_push",
+                direction_row(Direction::Push) / direction_row(Direction::Auto),
+            )
+            .num("auto_push_steps", auto_usage.push_steps as f64)
+            .num("auto_pull_steps", auto_usage.pull_steps as f64)
+            .num("auto_pull_step_share", auto_usage.pull_steps as f64 / auto_steps as f64)
+            .num("auto_direction_switches", auto_usage.direction_switches as f64)
+            .num("relabel_bfs_speedup_vs_original", planned_ns / relabel_row("bfs"))
+            .num("relabel_degree_speedup_vs_original", planned_ns / relabel_row("degree"))
             .num("lazy_edge_skip_ratio", usage.lazy_skip_ratio())
             .num("coin_words_per_world", usage.words as f64 / (32.0 * LANES as f64));
     }
@@ -289,7 +356,7 @@ fn main() {
     // `effective_threads` clamps to available_parallelism, so on a
     // machine with fewer cores these rows measure the same (sequential)
     // path — record the hardware limit so trajectory readers can tell.
-    let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hardware = available_parallelism();
     println!("available_parallelism: {hardware}, simd: {}", detected_simd());
     for threads in [1usize, 2, 4] {
         let effective = threads.min(hardware);
@@ -297,11 +364,7 @@ fn main() {
             parallel_forward_counts(&g, 2048, 42, threads)
         });
     }
-    report
-        .group("machine")
-        .num("available_parallelism", hardware as f64)
-        .num("block_words", BlockWords::plan(WIDTH_BUDGET, 1).words() as f64)
-        .text("simd", detected_simd());
+    emit_machine(&mut report).num("block_words", BlockWords::plan(WIDTH_BUDGET, 1).words() as f64);
 
     // Default next to the workspace root, independent of the bench CWD.
     let path = std::env::var("VULNDS_BENCH_JSON").unwrap_or_else(|_| {

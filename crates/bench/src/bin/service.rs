@@ -27,6 +27,7 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+use vulnds_bench::machine::{available_parallelism, emit_machine};
 use vulnds_bench::microbench::JsonReport;
 use vulnds_bench::workload;
 use vulnds_core::engine::{DetectRequest, Detector};
@@ -112,7 +113,7 @@ fn main() {
     let graph = std::sync::Arc::new(workload::generate(Dataset::Citation));
     let n = graph.num_nodes();
     let mix = request_mix(n);
-    let hardware = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hardware = available_parallelism();
     println!(
         "service bench: {} nodes, {} edges, {} requests/client, {} hardware threads",
         n,
@@ -122,9 +123,10 @@ fn main() {
     );
 
     let mut report = JsonReport::new();
-    report
-        .group("machine")
-        .num("available_parallelism", hardware as f64)
+    // The shared probe keeps the `machine` group's hardware fields in
+    // lockstep with `BENCH_sampling.json` (this report used to lack
+    // `simd`); workload-specific fields chain onto the same group.
+    emit_machine(&mut report)
         .num("nodes", n as f64)
         .num("edges", graph.num_edges() as f64)
         .num("requests_per_client", mix.len() as f64)

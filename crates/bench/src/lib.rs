@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod machine;
 pub mod microbench;
 pub mod report;
 pub mod workload;

@@ -104,10 +104,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ugraph::{NodeId, UncertainGraph};
+use ugraph::{NodeId, NodeMap, NodeOrder, UncertainGraph};
 use vulnds_sampling::{
-    fit_width, parallel_forward_counts_range_width, parallel_reverse_counts_range_width,
-    BlockWords, CoinTable, CoinUsage, DefaultCounts,
+    fit_width, parallel_forward_counts_range_width_directed, parallel_reverse_counts_range_width,
+    BlockWords, CoinTable, CoinUsage, DefaultCounts, Direction,
 };
 
 use crate::algo::AlgorithmKind;
@@ -167,6 +167,7 @@ pub struct DetectorBuilder {
     graph: Arc<UncertainGraph>,
     config: VulnConfig,
     threads: Option<usize>,
+    relabel: Option<NodeOrder>,
 }
 
 impl DetectorBuilder {
@@ -236,11 +237,43 @@ impl DetectorBuilder {
         self
     }
 
+    /// Traversal direction policy for the forward samplers; results do
+    /// not depend on the choice (see [`VulnConfig::direction`]).
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.config.direction = direction;
+        self
+    }
+
+    /// Runs the session on a cache-relabeled copy of the graph: nodes
+    /// are renumbered by `order` (hubs and BFS-neighbors get adjacent
+    /// ids) so the samplers' hot adjacency walks become
+    /// cache-sequential, and every query's `top_k` is mapped back to
+    /// the caller's original node ids — the API is label-transparent.
+    ///
+    /// Unlike [`DetectorBuilder::direction`] and
+    /// [`DetectorBuilder::block_words`], relabeling is *not*
+    /// answer-preserving at the bit level: the relabeled graph has
+    /// different canonical edge ids and therefore different coin
+    /// streams, so sampled scores differ within the same `(ε, δ)`
+    /// contract (see `ugraph::relabel` for the determinism contract —
+    /// the relabeling itself is fully deterministic).
+    pub fn relabel(mut self, order: NodeOrder) -> Self {
+        self.relabel = Some(order);
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Result<Detector> {
         let mut config = self.config;
         config.threads = self.threads.unwrap_or_else(default_threads).max(1);
-        Ok(Detector { graph: self.graph, config, state: EngineState::default() })
+        let (graph, relabel) = match self.relabel {
+            None => (self.graph, None),
+            Some(order) => {
+                let (relabeled, map) = self.graph.relabeled(order);
+                (Arc::new(relabeled), Some(map))
+            }
+        };
+        Ok(Detector { graph, config, state: EngineState::default(), relabel })
     }
 }
 
@@ -298,6 +331,17 @@ pub struct SessionStats {
     /// Most `detect`/`detect_many` calls ever in flight at once — the
     /// session's observed concurrency level (1 under serial use).
     pub concurrent_peak: u64,
+    /// Frontier steps the forward samplers ran as sparse push
+    /// expansions (see [`Direction`]).
+    pub push_steps: u64,
+    /// Frontier steps the forward samplers ran as dense pull sweeps.
+    pub pull_steps: u64,
+    /// Times an [`Auto`](Direction::Auto) traversal changed direction
+    /// between consecutive frontier steps of one superblock.
+    pub direction_switches: u64,
+    /// Whether the session runs on a cache-relabeled copy of the graph
+    /// (see [`DetectorBuilder::relabel`]).
+    pub relabel_applied: bool,
 }
 
 /// Lock-free session totals (the source of [`SessionStats`] snapshots).
@@ -319,6 +363,9 @@ struct SessionTotals {
     builds_deduped: AtomicU64,
     concurrent_peak: AtomicU64,
     in_flight: AtomicU64,
+    push_steps: AtomicU64,
+    pull_steps: AtomicU64,
+    direction_switches: AtomicU64,
 }
 
 impl SessionTotals {
@@ -359,6 +406,12 @@ impl SessionTotals {
             cache_waits: self.cache_waits.load(Ordering::Relaxed),
             builds_deduped: self.builds_deduped.load(Ordering::Relaxed),
             concurrent_peak: self.concurrent_peak.load(Ordering::Relaxed),
+            push_steps: self.push_steps.load(Ordering::Relaxed),
+            pull_steps: self.pull_steps.load(Ordering::Relaxed),
+            direction_switches: self.direction_switches.load(Ordering::Relaxed),
+            // A per-session configuration fact, not an atomic counter;
+            // `Detector::session_stats` fills it in.
+            relabel_applied: false,
         }
     }
 }
@@ -546,9 +599,12 @@ impl<'a> EngineCtx<'a> {
     pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
+        let direction = self.config.direction;
         let stream = self.state.forward.stream(seed);
         self.stream_counts(&stream, t, |range, fitted| {
-            parallel_forward_counts_range_width(graph, &coins, range, seed, threads, fitted)
+            parallel_forward_counts_range_width_directed(
+                graph, &coins, range, seed, threads, fitted, direction,
+            )
         })
     }
 
@@ -643,9 +699,15 @@ impl<'a> EngineCtx<'a> {
         self.request.coin_words_synthesized += usage.words;
         self.request.lazy_edge_words_skipped += usage.edge_words_skipped;
         self.request.superblocks += usage.superblocks;
+        self.request.push_steps += usage.push_steps;
+        self.request.pull_steps += usage.pull_steps;
+        self.request.direction_switches += usage.direction_switches;
         SessionTotals::add(&self.state.totals.coin_words_synthesized, usage.words);
         SessionTotals::add(&self.state.totals.lazy_edge_words_skipped, usage.edge_words_skipped);
         SessionTotals::add(&self.state.totals.superblocks_evaluated, usage.superblocks);
+        SessionTotals::add(&self.state.totals.push_steps, usage.push_steps);
+        SessionTotals::add(&self.state.totals.pull_steps, usage.pull_steps);
+        SessionTotals::add(&self.state.totals.direction_switches, usage.direction_switches);
     }
 
     /// Records the superblock width a sampling pass ran on (the widest
@@ -714,6 +776,9 @@ pub struct Detector {
     graph: Arc<UncertainGraph>,
     config: VulnConfig,
     state: EngineState,
+    /// Present iff the session runs on a relabeled copy of the caller's
+    /// graph: maps caller ids (`old`) to working ids (`new`) and back.
+    relabel: Option<NodeMap>,
 }
 
 // Compile-time proof of the 0.4 concurrency contract: a `Detector`
@@ -728,12 +793,28 @@ impl Detector {
     /// `&UncertainGraph` (clones), `UncertainGraph` (moves), or
     /// `Arc<UncertainGraph>` (shares); see [`IntoSharedGraph`].
     pub fn builder(graph: impl IntoSharedGraph) -> DetectorBuilder {
-        DetectorBuilder { graph: graph.into_shared(), config: VulnConfig::default(), threads: None }
+        DetectorBuilder {
+            graph: graph.into_shared(),
+            config: VulnConfig::default(),
+            threads: None,
+            relabel: None,
+        }
     }
 
-    /// The session's graph.
+    /// The session's working graph. Under
+    /// [`DetectorBuilder::relabel`] this is the *relabeled* copy —
+    /// translate ids through [`Detector::node_map`] when comparing
+    /// against the caller's original labeling.
     pub fn graph(&self) -> &UncertainGraph {
         &self.graph
+    }
+
+    /// The relabeling permutation, when the session was built with
+    /// [`DetectorBuilder::relabel`] (`None` otherwise). `top_k` answers
+    /// are already mapped back to original ids; the map is exposed for
+    /// callers that inspect the working graph directly.
+    pub fn node_map(&self) -> Option<&NodeMap> {
+        self.relabel.as_ref()
     }
 
     /// The session's graph, shareable with other sessions or threads
@@ -750,7 +831,9 @@ impl Detector {
     /// Cumulative cache counters for the session (a consistent snapshot
     /// of the atomic totals).
     pub fn session_stats(&self) -> SessionStats {
-        self.state.totals.snapshot()
+        let mut stats = self.state.totals.snapshot();
+        stats.relabel_applied = self.relabel.is_some();
+        stats
     }
 
     /// Drops all cached state (bounds, reductions, coin table, sampled
@@ -788,15 +871,46 @@ impl Detector {
         }
     }
 
+    /// Maps a request's candidate hint into the working labeling.
+    /// Must run *before* [`DetectRequest::resolve`]: the normalized
+    /// (sorted, deduplicated) candidate list is part of the
+    /// sample-cache key and of the per-sample coin-consumption order,
+    /// so it has to be normalized in working ids.
+    fn map_request(&self, request: &DetectRequest) -> DetectRequest {
+        let mut mapped = request.clone();
+        if let (Some(map), Some(hint)) = (&self.relabel, &mut mapped.candidates) {
+            for v in hint.iter_mut() {
+                if v.index() < map.len() {
+                    *v = map.to_new(*v);
+                }
+                // Out-of-bounds ids pass through untranslated so
+                // `resolve` reports the caller's original id.
+            }
+        }
+        mapped
+    }
+
+    /// Maps a response's `top_k` back to the caller's original node
+    /// ids and stamps the relabel flag.
+    fn unmap_response(&self, response: &mut DetectResponse) {
+        if let Some(map) = &self.relabel {
+            for scored in &mut response.top_k {
+                scored.node = map.to_old(scored.node);
+            }
+            response.engine.relabel_applied = true;
+        }
+    }
+
     /// Answers one request. Callable from any number of threads at
     /// once; the answer is bit-identical to a serial run.
     pub fn detect(&self, request: &DetectRequest) -> Result<DetectResponse> {
-        let resolved = request.resolve(&self.graph, &self.config)?;
+        let resolved = self.map_request(request).resolve(&self.graph, &self.config)?;
         let _in_flight = self.state.totals.enter();
         let algo = algorithm(resolved.algorithm);
         let mut ctx = self.ctx();
         let mut response = algo.run(&mut ctx, &resolved)?;
         response.engine = ctx.request;
+        self.unmap_response(&mut response);
         SessionTotals::add(&self.state.totals.queries, 1);
         Ok(response)
     }
@@ -819,8 +933,10 @@ impl Detector {
     /// state, so even the batch's first reverse-sampling request can
     /// report them reused. Planning itself records no cache usage.
     pub fn detect_many(&self, requests: &[DetectRequest]) -> Result<Vec<DetectResponse>> {
-        let resolved: Vec<ResolvedRequest> =
-            requests.iter().map(|r| r.resolve(&self.graph, &self.config)).collect::<Result<_>>()?;
+        let resolved: Vec<ResolvedRequest> = requests
+            .iter()
+            .map(|r| self.map_request(r).resolve(&self.graph, &self.config))
+            .collect::<Result<_>>()?;
         let _in_flight = self.state.totals.enter();
 
         // Plan each request's stream and budget, then order: groups by
@@ -841,6 +957,7 @@ impl Detector {
             let mut ctx = self.ctx();
             let mut response = algo.run(&mut ctx, &resolved[i])?;
             response.engine = ctx.request;
+            self.unmap_response(&mut response);
             SessionTotals::add(&self.state.totals.queries, 1);
             responses[i] = Some(response);
         }
@@ -1199,6 +1316,112 @@ mod tests {
                 "stats must report the fitted width, not the planned one"
             );
         }
+    }
+
+    /// A graph whose top-5 is unambiguous at any sane sample budget:
+    /// five scattered nodes carry well-separated high self-risks, the
+    /// rest are near zero, edges are weak. Lets relabeling tests assert
+    /// answer equality across *different* coin streams.
+    fn separated_graph() -> UncertainGraph {
+        let n = 60;
+        let mut risks = vec![0.01; n];
+        for (i, r) in [0.95, 0.85, 0.75, 0.65, 0.55].into_iter().enumerate() {
+            risks[10 * i + 3] = r;
+        }
+        let mut rng = Xoshiro256pp::new(0xF00D);
+        let mut edges = Vec::new();
+        while edges.len() < 120 {
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            if u != v {
+                edges.push((u, v, 0.05));
+            }
+        }
+        ugraph::from_parts(&risks, &edges, ugraph::DuplicateEdgePolicy::KeepMax).unwrap()
+    }
+
+    #[test]
+    fn direction_choice_never_changes_answers() {
+        let g = random_graph(100, 200, 16);
+        let mut reference: Option<DetectResponse> = None;
+        for direction in Direction::ALL {
+            let d = Detector::builder(&g)
+                .config(VulnConfig::default().with_seed(77).with_direction(direction))
+                .build()
+                .unwrap();
+            let r = d.detect(&DetectRequest::new(5, AlgorithmKind::Naive)).unwrap();
+            assert!(r.engine.push_steps + r.engine.pull_steps > 0, "{direction}: no steps");
+            match direction {
+                Direction::Push => {
+                    assert_eq!(r.engine.pull_steps, 0, "pinned push must never pull")
+                }
+                Direction::Pull => {
+                    assert_eq!(r.engine.push_steps, 0, "pinned pull must never push")
+                }
+                Direction::Auto => {}
+            }
+            match &reference {
+                None => reference = Some(r),
+                Some(e) => {
+                    assert_eq!(e.top_k, r.top_k, "{direction} changed the answer");
+                    assert_eq!(e.stats.samples_used, r.stats.samples_used, "{direction}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_session_maps_answers_back_to_original_ids() {
+        let g = separated_graph();
+        let plain = session(&g);
+        for order in [NodeOrder::DegreeDescending, NodeOrder::BfsFromHub] {
+            let d = Detector::builder(&g)
+                .config(VulnConfig::default().with_seed(77))
+                .relabel(order)
+                .build()
+                .unwrap();
+            let map = d.node_map().expect("relabeled session must expose its map");
+            assert_eq!(map.len(), g.num_nodes());
+            assert!(d.session_stats().relabel_applied);
+            assert!(!plain.session_stats().relabel_applied);
+            for kind in AlgorithmKind::ALL {
+                let req = DetectRequest::new(5, kind);
+                let r = d.detect(&req).unwrap();
+                assert!(r.engine.relabel_applied, "{order:?}/{kind}");
+                // Different coin streams, same answer set: sampled
+                // scores differ within (ε, δ), but on this sharply
+                // separated graph the detected nodes cannot.
+                let mut got = r.node_ids();
+                let mut want = plain.detect(&req).unwrap().node_ids();
+                got.sort_unstable_by_key(|v| v.0);
+                want.sort_unstable_by_key(|v| v.0);
+                assert_eq!(got, want, "{order:?}/{kind}");
+                for s in &r.top_k {
+                    assert!(s.node.index() < g.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_session_translates_candidate_hints() {
+        let g = separated_graph();
+        let d = Detector::builder(&g)
+            .config(VulnConfig::default().with_seed(77))
+            .relabel(NodeOrder::BfsFromHub)
+            .build()
+            .unwrap();
+        // Hint in ORIGINAL ids: the five risky nodes plus background.
+        let hint: Vec<NodeId> = vec![3, 13, 23, 33, 43, 0, 1, 2].into_iter().map(NodeId).collect();
+        let req = DetectRequest::new(3, AlgorithmKind::SampleReverse).with_candidates(hint.clone());
+        let r = d.detect(&req).unwrap();
+        for s in &r.top_k {
+            assert!(hint.contains(&s.node), "hint violated in original ids: {:?}", s.node);
+        }
+        // Out-of-bounds hints report the caller's original id.
+        let bad =
+            DetectRequest::new(1, AlgorithmKind::SampleReverse).with_candidates(vec![NodeId(999)]);
+        assert!(matches!(d.detect(&bad), Err(VulnError::CandidateOutOfBounds { node: 999, .. })));
     }
 
     #[test]

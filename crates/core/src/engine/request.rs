@@ -170,6 +170,17 @@ pub struct EngineStats {
     pub block_words: usize,
     /// Superblocks this query materialized (one per `W·64`-world unit).
     pub superblocks: u64,
+    /// Frontier steps the forward sampler ran as sparse push
+    /// expansions (see [`Direction`](vulnds_sampling::Direction)).
+    pub push_steps: u64,
+    /// Frontier steps the forward sampler ran as dense pull sweeps.
+    pub pull_steps: u64,
+    /// Times an `Auto` traversal changed direction between consecutive
+    /// frontier steps of one superblock.
+    pub direction_switches: u64,
+    /// Whether this query ran on a cache-relabeled copy of the graph
+    /// (see [`DetectorBuilder::relabel`](super::DetectorBuilder::relabel)).
+    pub relabel_applied: bool,
 }
 
 /// Answer to one [`DetectRequest`].

@@ -390,6 +390,14 @@ pub struct CoinUsage {
     /// Superblocks materialized (a width-1 run counts one per 64-lane
     /// block; a width-W run one per W home blocks).
     pub superblocks: u64,
+    /// Frontier steps the forward kernel ran as sparse out-edge
+    /// expansions (see [`Direction`](crate::Direction)).
+    pub push_steps: u64,
+    /// Frontier steps the forward kernel ran as dense in-edge sweeps.
+    pub pull_steps: u64,
+    /// Times an [`Auto`](crate::Direction::Auto) traversal changed
+    /// direction between consecutive frontier steps of one superblock.
+    pub direction_switches: u64,
 }
 
 impl CoinUsage {
@@ -399,6 +407,9 @@ impl CoinUsage {
         self.edge_words_materialized += other.edge_words_materialized;
         self.edge_words_skipped += other.edge_words_skipped;
         self.superblocks += other.superblocks;
+        self.push_steps += other.push_steps;
+        self.pull_steps += other.pull_steps;
+        self.direction_switches += other.direction_switches;
     }
 
     /// Fraction of edge lane-words the lazy path never materialized
@@ -597,12 +608,18 @@ mod tests {
             edge_words_materialized: 3,
             edge_words_skipped: 9,
             superblocks: 2,
+            push_steps: 4,
+            pull_steps: 2,
+            direction_switches: 1,
         };
         let b = CoinUsage {
             words: 5,
             edge_words_materialized: 1,
             edge_words_skipped: 3,
             superblocks: 1,
+            push_steps: 1,
+            pull_steps: 3,
+            direction_switches: 2,
         };
         a.merge(&b);
         assert_eq!(
@@ -612,6 +629,9 @@ mod tests {
                 edge_words_materialized: 4,
                 edge_words_skipped: 12,
                 superblocks: 3,
+                push_steps: 5,
+                pull_steps: 5,
+                direction_switches: 3,
             }
         );
         assert!((a.lazy_skip_ratio() - 0.75).abs() < 1e-12);

@@ -1,0 +1,87 @@
+//! Traversal direction selection — how the superblock kernel expands
+//! its frontier.
+//!
+//! The bit-parallel forward kernel is a frontier fixpoint over monotone
+//! word-OR updates. That fixpoint can be driven two ways:
+//!
+//! * **Push** — the classic queue: pop a defaulted node, expand its
+//!   **out-edges**, OR its lanes into each target. Cheap when the
+//!   frontier is sparse (only live nodes are visited).
+//! * **Pull** — a Beamer-style dense sweep: scan every node that still
+//!   has undecided lanes and OR-in reachability over its **in-edges**,
+//!   breaking out of the scan as soon as the node's lanes saturate.
+//!   Cheap when the frontier is dense (no queue churn, saturated nodes
+//!   are skipped wholesale, and the in-edge scan retires early).
+//!
+//! Coin words are random access by `(seed, block, item, level)` (see
+//! [`crate::coins`]) and the update is a monotone OR, so *touch order
+//! cannot change values*: push, pull, and any per-step mix of the two
+//! reach the identical fixpoint and produce bit-identical
+//! [`DefaultCounts`](crate::DefaultCounts). Direction is purely a
+//! performance knob, threaded through the stack exactly like
+//! [`BlockWords`](crate::BlockWords).
+//!
+//! [`Direction::Auto`] (the default) measures frontier occupancy each
+//! step and picks per step: dense frontiers pull, sparse frontiers
+//! push. On the financial self-risk regimes of the paper a `W·64`-lane
+//! superblock almost always starts dense (a node is in the initial
+//! frontier if *any* of its `W·64` self-default coins fired), so `Auto`
+//! typically pulls from step 0 and decays to push as lanes decide.
+
+/// How the forward kernel expands a frontier step. See the
+/// [module docs](self) for the push/pull trade-off; counts are
+/// bit-identical for every choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Direction {
+    /// Always expand out-edges from a frontier queue.
+    Push,
+    /// Always sweep in-edges of undecided nodes.
+    Pull,
+    /// Choose per frontier step on measured occupancy (the default).
+    #[default]
+    Auto,
+}
+
+impl Direction {
+    /// All supported directions.
+    pub const ALL: [Direction; 3] = [Direction::Push, Direction::Pull, Direction::Auto];
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+            Direction::Auto => "auto",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for Direction {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "push" => Ok(Direction::Push),
+            "pull" => Ok(Direction::Pull),
+            "auto" => Ok(Direction::Auto),
+            _ => Err(format!("direction must be one of push, pull, auto (got {s})")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(d.to_string().parse::<Direction>(), Ok(d));
+        }
+        assert!("both".parse::<Direction>().is_err());
+        assert!("Push".parse::<Direction>().is_err());
+        assert_eq!(Direction::default(), Direction::Auto);
+    }
+}

@@ -20,6 +20,7 @@
 use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
 use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
+use crate::direction::Direction;
 use crate::width::{with_block_words, BlockWords};
 use ugraph::{NodeId, UncertainGraph};
 
@@ -158,11 +159,34 @@ pub fn forward_counts_range_wide<const W: usize>(
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> (DefaultCounts, CoinUsage) {
+    forward_counts_range_wide_directed::<W>(graph, coins, range, seed, Direction::default())
+}
+
+/// [`forward_counts_range_wide`] with an explicit traversal
+/// [`Direction`]. Counts are bit-identical for every direction — like
+/// width, direction is purely a throughput knob (see
+/// [`crate::direction`]).
+pub fn forward_counts_range_wide_directed<const W: usize>(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    direction: Direction,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(graph.num_nodes());
     let mut block = SuperBlock::<W>::new(graph);
     let mut kernel = SuperKernel::<W>::new(graph);
     for chunk in superblock_chunks(range, W) {
-        accumulate_forward_chunk(graph, coins, chunk, seed, &mut block, &mut kernel, &mut counts);
+        accumulate_forward_chunk(
+            graph,
+            coins,
+            chunk,
+            seed,
+            direction,
+            &mut block,
+            &mut kernel,
+            &mut counts,
+        );
     }
     (counts, block.take_usage())
 }
@@ -178,20 +202,39 @@ pub fn forward_counts_range_width(
     with_block_words!(width, W, forward_counts_range_wide::<W>(graph, coins, range, seed))
 }
 
+/// [`forward_counts_range_width`] with an explicit traversal
+/// [`Direction`].
+pub fn forward_counts_range_width_directed(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    width: BlockWords,
+    direction: Direction,
+) -> (DefaultCounts, CoinUsage) {
+    with_block_words!(
+        width,
+        W,
+        forward_counts_range_wide_directed::<W>(graph, coins, range, seed, direction)
+    )
+}
+
 /// Materializes and evaluates one ≤`W·64`-sample chunk, accumulating
 /// into `counts`. Shared with the parallel driver.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn accumulate_forward_chunk<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
     chunk: std::ops::Range<u64>,
     seed: u64,
+    direction: Direction,
     block: &mut SuperBlock<W>,
     kernel: &mut SuperKernel<W>,
     counts: &mut DefaultCounts,
 ) {
     let lanes = (chunk.end - chunk.start) as usize;
     block.materialize(graph, coins, seed, chunk.start, lanes);
-    let words = kernel.forward_defaults(graph, coins, block);
+    let words = kernel.forward_defaults_directed(graph, coins, block, direction);
     counts.record_words::<W>(words, block.lane_masks());
 }
 

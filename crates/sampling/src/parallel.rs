@@ -20,6 +20,7 @@
 use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
 use crate::coins::{CoinTable, CoinUsage};
 use crate::counts::DefaultCounts;
+use crate::direction::Direction;
 use crate::width::{with_block_words, BlockWords};
 use ugraph::{NodeId, UncertainGraph};
 
@@ -113,14 +114,40 @@ pub fn parallel_forward_counts_range_width(
     threads: usize,
     width: BlockWords,
 ) -> (DefaultCounts, CoinUsage) {
+    parallel_forward_counts_range_width_directed(
+        graph,
+        coins,
+        range,
+        seed,
+        threads,
+        width,
+        Direction::default(),
+    )
+}
+
+/// [`parallel_forward_counts_range_width`] with an explicit traversal
+/// [`Direction`]: bit-identical counts for every direction, width, and
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_forward_counts_range_width_directed(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+    direction: Direction,
+) -> (DefaultCounts, CoinUsage) {
     let width = fit_width(&range, width, threads);
     with_block_words!(width, W, {
         let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
         let threads = effective_threads(threads, chunks.len() as u64);
         if threads == 1 {
-            return crate::forward::forward_counts_range_wide::<W>(graph, coins, range, seed);
+            return crate::forward::forward_counts_range_wide_directed::<W>(
+                graph, coins, range, seed, direction,
+            );
         }
-        forward_partitioned::<W>(graph, coins, &chunks, seed, threads)
+        forward_partitioned::<W>(graph, coins, &chunks, seed, threads, direction)
     })
 }
 
@@ -134,6 +161,7 @@ fn forward_partitioned<const W: usize>(
     chunks: &[std::ops::Range<u64>],
     seed: u64,
     threads: usize,
+    direction: Direction,
 ) -> (DefaultCounts, CoinUsage) {
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -148,6 +176,7 @@ fn forward_partitioned<const W: usize>(
                             coins,
                             chunk.clone(),
                             seed,
+                            direction,
                             &mut block,
                             &mut kernel,
                             &mut counts,
@@ -362,7 +391,8 @@ mod tests {
         let chunks: Vec<std::ops::Range<u64>> = block_chunks(37..411).collect();
         let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
         for threads in [2, 3, 5] {
-            let (par, usage) = forward_partitioned::<1>(&g, &coins, &chunks, 9, threads);
+            let (par, usage) =
+                forward_partitioned::<1>(&g, &coins, &chunks, 9, threads, Direction::Auto);
             assert_eq!(par, seq, "threads = {threads}");
             // Lazy accounting covers every block exactly once regardless
             // of the partition.
@@ -375,7 +405,8 @@ mod tests {
         let wide_chunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..1500, 4).collect();
         let wide_seq = crate::forward::forward_counts_range(&g, 37..1500, 9);
         for threads in [2, 3] {
-            let (par, _) = forward_partitioned::<4>(&g, &coins, &wide_chunks, 9, threads);
+            let (par, _) =
+                forward_partitioned::<4>(&g, &coins, &wide_chunks, 9, threads, Direction::Auto);
             assert_eq!(par, wide_seq, "width 4, threads = {threads}");
         }
         let cands: Vec<NodeId> = g.nodes().collect();

@@ -49,6 +49,7 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod io_binary;
+pub mod relabel;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
@@ -59,6 +60,7 @@ pub use builder::{from_parts, DuplicateEdgePolicy, GraphBuilder};
 pub use error::{GraphError, Result};
 pub use graph::{EdgeRef, InEdges, OutEdges, UncertainGraph};
 pub use ids::{EdgeId, NodeId};
+pub use relabel::{NodeMap, NodeOrder};
 pub use scc::{strongly_connected_components, SccDecomposition};
 pub use stats::{DegreeHistogram, GraphStats};
 pub use subgraph::{induced_subgraph, neighborhood, Subgraph};

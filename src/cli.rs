@@ -25,7 +25,7 @@ use ugraph::{GraphStats, UncertainGraph};
 use vulnds_core::engine::{default_threads, DetectRequest, Detector};
 use vulnds_core::{
     compute_bounds, score_nodes_bottomk, score_nodes_mc, AlgorithmKind, ApproxParams, BlockWords,
-    VulnConfig, VulnError,
+    Direction, NodeOrder, VulnConfig, VulnError,
 };
 use vulnds_datasets::Dataset;
 
@@ -55,6 +55,7 @@ pub enum Command {
         algorithm: AlgorithmKind,
         config: VulnConfig,
         format: OutputFormat,
+        relabel: Option<NodeOrder>,
     },
     /// `score <graph> --method ...`
     Score { path: String, bottomk: bool, config: VulnConfig, format: OutputFormat },
@@ -83,13 +84,15 @@ USAGE:
   vulnds detect   <graph> --k <n> [--algorithm n|sn|sr|bsr|bsrbk]
                   [--epsilon <e>] [--delta <d>] [--seed <s>]
                   [--threads <t>] [--bk <b>] [--bound-order <z>]
-                  [--block-words auto|1|2|4|8] [--format human|json]
+                  [--block-words auto|1|2|4|8] [--direction push|pull|auto]
+                  [--relabel none|degree|bfs] [--format human|json]
   vulnds score    <graph> [--method mc|bottomk] [--seed <s>] [--threads <t>]
                   [--block-words auto|1|2|4|8] [--format human|json]
   vulnds bounds   <graph> [--order <z>]
   vulnds serve    <graph> [--workers <w>] [--tcp <addr>] [--seed <s>]
                   [--threads <t>] [--bk <b>] [--bound-order <z>]
-                  [--block-words auto|1|2|4|8] [--max-samples <n>]
+                  [--block-words auto|1|2|4|8] [--direction push|pull|auto]
+                  [--max-samples <n>]
   vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
                   datasets: bitcoin facebook wiki p2p citation
                             interbank guarantee fraud
@@ -99,7 +102,15 @@ USAGE:
 bit-identical for any thread count. --block-words pins the samplers'
 superblock width (worlds per traversal = words x 64); the default
 'auto' plans it per pass from budget and threads, and every width
-returns bit-identical results.
+returns bit-identical results. --direction picks the forward
+samplers' frontier strategy: push (sparse out-edge expansion), pull
+(dense in-edge sweep), or the default auto, which switches per step
+on measured frontier occupancy; every choice also returns
+bit-identical results. --relabel runs detection on a cache-relabeled
+copy of the graph (degree: hubs first; bfs: breadth-first from the
+biggest hub) and maps every answer back to the input labeling;
+unlike the other knobs it resamples with different coin streams, so
+scores vary within the same epsilon/delta contract.
 
 serve answers newline-delimited JSON requests (see the vulnds::serve
 module docs for the wire format) from one shared session: stdin by
@@ -119,6 +130,21 @@ fn parse_block_words(s: &str) -> Result<Option<BlockWords>, VulnError> {
         return Ok(None);
     }
     s.parse::<BlockWords>().map(Some).map_err(|e| err(format!("--block-words: {e}")))
+}
+
+/// Parses a `--direction` value: `push`, `pull`, or `auto`.
+fn parse_direction(s: &str) -> Result<Direction, VulnError> {
+    s.parse::<Direction>().map_err(|e| err(format!("--direction: {e}")))
+}
+
+/// Parses a `--relabel` value: `none`, `degree`, or `bfs`.
+fn parse_relabel(s: &str) -> Result<Option<NodeOrder>, VulnError> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Ok(None),
+        "degree" => Ok(Some(NodeOrder::DegreeDescending)),
+        "bfs" => Ok(Some(NodeOrder::BfsFromHub)),
+        other => Err(err(format!("--relabel: unknown order {other} (none|degree|bfs)"))),
+    }
 }
 
 /// Parses a `--format` value.
@@ -151,6 +177,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             let mut config = VulnConfig::default();
             let mut threads: Option<usize> = None;
             let mut format = OutputFormat::Human;
+            let mut relabel: Option<NodeOrder> = None;
             let mut epsilon = config.approx.epsilon();
             let mut delta = config.approx.delta();
             let mut i = 0;
@@ -199,6 +226,8 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                     "--block-words" => {
                         config.block_words = parse_block_words(&value(&rest, &mut i)?)?
                     }
+                    "--direction" => config.direction = parse_direction(&value(&rest, &mut i)?)?,
+                    "--relabel" => relabel = parse_relabel(&value(&rest, &mut i)?)?,
                     "--format" => format = parse_format(&value(&rest, &mut i)?)?,
                     other => return Err(err(format!("detect: unknown option {other}"))),
                 }
@@ -207,7 +236,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             config.approx = ApproxParams::new(epsilon, delta)?;
             config.threads = threads.unwrap_or_else(default_threads).max(1);
             let k = k.ok_or_else(|| err("detect: --k is required"))?;
-            Ok(Command::Detect { path, k, algorithm, config, format })
+            Ok(Command::Detect { path, k, algorithm, config, format, relabel })
         }
         "score" => {
             let path = it.next().ok_or_else(|| err("score: missing <graph> path"))?.clone();
@@ -300,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                     "--block-words" => {
                         config.block_words = parse_block_words(&value(&rest, &mut i)?)?
                     }
+                    "--direction" => config.direction = parse_direction(&value(&rest, &mut i)?)?,
                     other => return Err(err(format!("serve: unknown option {other}"))),
                 }
                 i += 1;
@@ -448,12 +478,16 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 scc.non_trivial().len()
             );
         }
-        Command::Detect { path, k, algorithm, config, format } => {
+        Command::Detect { path, k, algorithm, config, format, relabel } => {
             let g = load(&path)?;
             if k == 0 || k > g.num_nodes() {
                 return Err(err(format!("--k must be in 1..={}", g.num_nodes())));
             }
-            let detector = Detector::builder(g).config(config).build()?;
+            let mut builder = Detector::builder(g).config(config);
+            if let Some(order) = relabel {
+                builder = builder.relabel(order);
+            }
+            let detector = builder.build()?;
             let r = detector.detect(&DetectRequest::new(k, algorithm))?;
             let session = detector.session_stats();
             if format == OutputFormat::Json {
@@ -488,6 +522,14 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 out,
                 "# blocks block-words {} | superblocks {}",
                 r.engine.block_words, r.engine.superblocks
+            );
+            let _ = writeln!(
+                out,
+                "# traversal push-steps {} | pull-steps {} | switches {} | relabeled {}",
+                r.engine.push_steps,
+                r.engine.pull_steps,
+                r.engine.direction_switches,
+                r.engine.relabel_applied
             );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
@@ -584,7 +626,7 @@ mod tests {
         ))
         .unwrap();
         match c {
-            Command::Detect { path, k, algorithm, config, format } => {
+            Command::Detect { path, k, algorithm, config, format, relabel } => {
                 assert_eq!(path, "g.txt");
                 assert_eq!(k, 10);
                 assert_eq!(algorithm, AlgorithmKind::BoundedSampleReverse);
@@ -596,9 +638,45 @@ mod tests {
                 assert_eq!(config.bound_order, 3);
                 assert_eq!(config.block_words, Some(BlockWords::W4));
                 assert_eq!(format, OutputFormat::Human);
+                assert_eq!(relabel, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_direction_and_relabel_values() {
+        for (value, expected) in
+            [("push", Direction::Push), ("pull", Direction::Pull), ("auto", Direction::Auto)]
+        {
+            match parse(&args(&format!("detect g.txt --k 3 --direction {value}"))).unwrap() {
+                Command::Detect { config, .. } => assert_eq!(config.direction, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+            match parse(&args(&format!("serve g.txt --direction {value}"))).unwrap() {
+                Command::Serve { config, .. } => assert_eq!(config.direction, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        // Default is the occupancy-adaptive policy.
+        match parse(&args("detect g.txt --k 3")).unwrap() {
+            Command::Detect { config, .. } => assert_eq!(config.direction, Direction::Auto),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("detect g.txt --k 3 --direction both")).is_err());
+        assert!(parse(&args("serve g.txt --direction sideways")).is_err());
+
+        for (value, expected) in [
+            ("none", None),
+            ("degree", Some(NodeOrder::DegreeDescending)),
+            ("bfs", Some(NodeOrder::BfsFromHub)),
+        ] {
+            match parse(&args(&format!("detect g.txt --k 3 --relabel {value}"))).unwrap() {
+                Command::Detect { relabel, .. } => assert_eq!(relabel, expected),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        assert!(parse(&args("detect g.txt --k 3 --relabel hilbert")).is_err());
     }
 
     #[test]
@@ -816,6 +894,51 @@ mod tests {
             .collect();
         for (i, r) in rankings.iter().enumerate().skip(1) {
             assert_eq!(r, &rankings[0], "width variant {i} changed the ranking");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn direction_does_not_change_cli_ranking() {
+        let dir = std::env::temp_dir().join("vulnds_cli_direction_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
+        let rankings: Vec<Vec<String>> = ["auto", "push", "pull"]
+            .iter()
+            .map(|d| {
+                let out = run(parse(&args(&format!(
+                    "detect {txt} --k 5 --algorithm sn --seed 2 --direction {d}"
+                )))
+                .unwrap())
+                .unwrap();
+                // Ranking lines only: the step/switch diagnostics
+                // legitimately vary with the direction policy.
+                out.lines().filter(|l| !l.starts_with('#')).map(|l| l.to_string()).collect()
+            })
+            .collect();
+        for (i, r) in rankings.iter().enumerate().skip(1) {
+            assert_eq!(r, &rankings[0], "direction variant {i} changed the ranking");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn relabel_detect_reports_original_ids() {
+        let dir = std::env::temp_dir().join("vulnds_cli_relabel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt").to_string_lossy().to_string();
+        run(parse(&args(&format!("generate interbank {txt} --scale 1.0"))).unwrap()).unwrap();
+        let out = run(parse(&args(&format!(
+            "detect {txt} --k 5 --algorithm bsrbk --seed 2 --relabel bfs"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("relabeled true"), "{out}");
+        // Reported node ids are in the input labeling (125 nodes).
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let node: usize = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(node < 125, "{line}");
         }
         std::fs::remove_dir_all(dir).ok();
     }

@@ -418,6 +418,10 @@ pub fn engine_stats_json(engine: &EngineStats) -> Json {
         ("lazy_edge_words_skipped", engine.lazy_edge_words_skipped.into()),
         ("block_words", engine.block_words.into()),
         ("superblocks", engine.superblocks.into()),
+        ("push_steps", engine.push_steps.into()),
+        ("pull_steps", engine.pull_steps.into()),
+        ("direction_switches", engine.direction_switches.into()),
+        ("relabel_applied", engine.relabel_applied.into()),
     ])
 }
 
@@ -440,6 +444,10 @@ pub fn session_stats_json(session: &SessionStats) -> Json {
         ("cache_waits", session.cache_waits.into()),
         ("builds_deduped", session.builds_deduped.into()),
         ("concurrent_peak", session.concurrent_peak.into()),
+        ("push_steps", session.push_steps.into()),
+        ("pull_steps", session.pull_steps.into()),
+        ("direction_switches", session.direction_switches.into()),
+        ("relabel_applied", session.relabel_applied.into()),
     ])
 }
 

@@ -1,0 +1,148 @@
+//! Overload-behavior bench (`BENCH_overload.json`): offered load vs
+//! answered/shed/degraded counts for the serve loop's bounded-queue
+//! admission control.
+//!
+//! Each run feeds one pre-built burst of newline-delimited requests —
+//! a mix of instant `stats` probes and deadline-limited heavy queries —
+//! through `serve_with` at maximum arrival rate (the reader ingests as
+//! fast as the cursor yields, exactly the worst case a flood produces
+//! over TCP). The interesting outputs are the *shape* of the response
+//! population: how many requests were answered, how many were shed
+//! with the structured `overloaded` refusal, how many answers came
+//! back degraded, and what the burst cost wall-clock end to end
+//! (including the drain).
+//!
+//! Env knobs: `VULNDS_SCALE`, `VULNDS_SEED` (see `workload`),
+//! `VULNDS_BENCH_JSON` (output path).
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use vulnds::json::Json;
+use vulnds::serve::{serve_with, ServeOptions, DEFAULT_SERVE_MAX_SAMPLES};
+use vulnds_bench::machine::{available_parallelism, emit_machine};
+use vulnds_bench::microbench::JsonReport;
+use vulnds_bench::workload;
+use vulnds_core::engine::Detector;
+use vulnds_datasets::Dataset;
+
+/// Every eighth request is a heavy sampling query that pins a worker
+/// for up to `HEAVY_TIMEOUT_MS`; the rest are instant probes. The
+/// heavy queries are what turn a deep burst into queue pressure.
+const HEAVY_EVERY: u64 = 8;
+const HEAVY_TIMEOUT_MS: u64 = 20;
+
+fn burst(offered: u64) -> String {
+    let mut input = String::new();
+    for id in 0..offered {
+        if id % HEAVY_EVERY == 0 {
+            // A fresh seed per heavy query forces a cold sampling pass
+            // (a repeated seed would be served from the session cache
+            // after the first arrival and stop exerting any pressure).
+            input.push_str(&format!(
+                "{{\"id\": {id}, \"cmd\": \"detect\", \"algorithm\": \"sn\", \"k\": 4, \
+                 \"epsilon\": 0.005, \"seed\": {id}, \"timeout_ms\": {HEAVY_TIMEOUT_MS}}}\n"
+            ));
+        } else {
+            input.push_str(&format!("{{\"id\": {id}, \"cmd\": \"stats\"}}\n"));
+        }
+    }
+    input
+}
+
+struct Outcome {
+    answered: u64,
+    shed: u64,
+    degraded: u64,
+    cancelled: u64,
+    wall_ms: f64,
+}
+
+fn run(detector: &Detector, options: &ServeOptions, input: &str) -> Outcome {
+    let mut output = Vec::new();
+    let start = Instant::now();
+    let summary = serve_with(detector, options, Cursor::new(input.as_bytes()), &mut output)
+        .expect("in-memory serve cannot fail");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut outcome =
+        Outcome { answered: 0, shed: summary.shed, degraded: 0, cancelled: 0, wall_ms };
+    for line in String::from_utf8(output).expect("responses are utf-8").lines() {
+        let response = Json::parse(line).expect("responses are valid JSON");
+        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        if ok {
+            outcome.answered += 1;
+            if response.get("degraded") == Some(&Json::Bool(true)) {
+                outcome.degraded += 1;
+            }
+        } else if response.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("cancel"))
+        {
+            outcome.cancelled += 1;
+        }
+    }
+    outcome
+}
+
+fn main() {
+    let graph = workload::generate(Dataset::Interbank);
+    let n = graph.num_nodes();
+    // Server posture, mirroring the CLI defaults: single-threaded
+    // samplers (parallelism lives in the worker pool) and the capped
+    // per-query budget that keeps hostile ε bounded.
+    let config = workload::config().with_threads(1);
+    println!(
+        "overload bench: {} nodes, {} edges, {} hardware threads",
+        n,
+        graph.num_edges(),
+        available_parallelism()
+    );
+
+    let mut report = JsonReport::new();
+    emit_machine(&mut report)
+        .num("nodes", n as f64)
+        .num("edges", graph.num_edges() as f64)
+        .num("scale", workload::scale())
+        .num("heavy_every", HEAVY_EVERY as f64)
+        .num("heavy_timeout_ms", HEAVY_TIMEOUT_MS as f64);
+
+    for workers in [1usize, 4] {
+        for offered in [64u64, 256, 1024, 4096] {
+            let detector = Detector::builder(&graph)
+                .config(config.clone())
+                .max_samples(DEFAULT_SERVE_MAX_SAMPLES)
+                .build()
+                .unwrap();
+            let options = ServeOptions { workers, ..ServeOptions::default() };
+            let input = burst(offered);
+            let o = run(&detector, &options, &input);
+            let shed_rate = o.shed as f64 / offered as f64;
+            let qps = o.answered as f64 / (o.wall_ms / 1e3).max(1e-9);
+            println!(
+                "workers {workers} offered {offered}: answered {} | shed {} ({:.1}%) | \
+                 degraded {} | cancelled {} | {:.0} ms | {qps:.0} q/s",
+                o.answered,
+                o.shed,
+                shed_rate * 1e2,
+                o.degraded,
+                o.cancelled,
+                o.wall_ms
+            );
+            report
+                .group(&format!("workers_{workers}_offered_{offered}"))
+                .num("workers", workers as f64)
+                .num("offered", offered as f64)
+                .num("answered", o.answered as f64)
+                .num("shed", o.shed as f64)
+                .num("shed_rate", shed_rate)
+                .num("degraded", o.degraded as f64)
+                .num("cancelled", o.cancelled as f64)
+                .num("wall_ms", o.wall_ms)
+                .num("answered_qps", qps);
+        }
+    }
+
+    let path = std::env::var("VULNDS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json").to_string()
+    });
+    report.write(&path).expect("write benchmark report");
+    println!("wrote {path}");
+}

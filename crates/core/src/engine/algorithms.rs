@@ -15,8 +15,8 @@ use vulnds_sketch::{bottomk_default_probability, hash_order, UnitHasher};
 use crate::algo::reverse_common::{assemble_result, merge_verified, Pruned};
 use crate::algo::{AlgorithmKind, RunStats};
 use crate::candidates::CandidateReduction;
-use crate::error::Result;
-use crate::sample_size::{basic_sample_size, reduced_sample_size};
+use crate::error::{Result, VulnError};
+use crate::sample_size::{achieved_epsilon, basic_sample_size, reduced_sample_size};
 use crate::topk::{select_top_k, select_top_k_dense, ScoredNode};
 
 use super::request::{DetectResponse, EngineStats, ResolvedRequest};
@@ -53,32 +53,56 @@ pub fn algorithm(kind: AlgorithmKind) -> &'static dyn Algorithm {
     }
 }
 
+/// The degradation outcome of one sampling pass: whether the pass fell
+/// short of its budget and the `ε` the answer still satisfies. `a · b`
+/// is the pair count of the algorithm's bound (Eq. 3/4).
+fn epsilon_outcome(req: &ResolvedRequest, a: u64, b: u64, budget: u64, used: u64) -> (bool, f64) {
+    let degraded = used < budget;
+    let achieved = if degraded {
+        achieved_epsilon(a, b, req.approx.delta(), used)
+    } else {
+        req.approx.epsilon()
+    };
+    (degraded, achieved)
+}
+
 /// Shared by N and SN: forward-sample `t` worlds (through the session
 /// cache), estimate every node's default probability, return the top-k.
+/// A pass cut short by cancellation returns the degraded prefix answer,
+/// or [`VulnError::Cancelled`] when no samples were drawn at all.
 fn forward_detect(
     ctx: &mut EngineCtx<'_>,
     req: &ResolvedRequest,
     t: u64,
     kind: AlgorithmKind,
-) -> DetectResponse {
+) -> Result<DetectResponse> {
     // xlint: allow(no-wall-clock) — `elapsed` is a reported
     // diagnostic; no answer bit depends on the clock.
     let start = Instant::now();
     let counts = ctx.forward_counts(t, req.seed);
+    let samples_used = counts.samples();
+    if samples_used == 0 && t > 0 {
+        return Err(VulnError::Cancelled);
+    }
+    let n = ctx.graph().num_nodes();
+    let (degraded, achieved) =
+        epsilon_outcome(req, req.k as u64, n.saturating_sub(req.k) as u64, t, samples_used);
     let top_k = select_top_k_dense(&counts.estimates(), req.k);
-    DetectResponse {
+    Ok(DetectResponse {
         top_k,
         stats: RunStats {
             algorithm: kind,
             sample_budget: t,
-            samples_used: t,
-            candidates: ctx.graph().num_nodes(),
+            samples_used,
+            candidates: n,
             verified: 0,
             early_stopped: false,
             elapsed: start.elapsed(),
         },
         engine: EngineStats::default(),
-    }
+        degraded,
+        achieved_epsilon: achieved,
+    })
 }
 
 /// `N` — Algorithm 1 with the fixed budget of
@@ -92,7 +116,7 @@ impl Algorithm for NaiveMonteCarlo {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Result<DetectResponse> {
         let t = ctx.config().naive_samples;
-        Ok(forward_detect(ctx, req, t, AlgorithmKind::Naive))
+        forward_detect(ctx, req, t, AlgorithmKind::Naive)
     }
 }
 
@@ -106,7 +130,7 @@ impl Algorithm for SampledNaive {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Result<DetectResponse> {
         let t = sn_budget(ctx, req);
-        Ok(forward_detect(ctx, req, t, AlgorithmKind::SampledNaive))
+        forward_detect(ctx, req, t, AlgorithmKind::SampledNaive)
     }
 }
 
@@ -186,8 +210,10 @@ pub(super) fn reverse_plan(ctx: &mut EngineCtx<'_>, req: &ResolvedRequest) -> Re
 }
 
 /// The sampling-free answer for a degenerate BSR/BSRBK plan: open slots
-/// are filled by bound midpoints, verified nodes lead.
+/// are filled by bound midpoints, verified nodes lead. Never degraded:
+/// there is no sampling pass to cut short.
 fn degenerate_response(
+    req: &ResolvedRequest,
     pruned: &Pruned<'_>,
     plan: &ReversePlan,
     k: usize,
@@ -211,6 +237,8 @@ fn degenerate_response(
             elapsed: start.elapsed(),
         },
         engine: EngineStats::default(),
+        degraded: false,
+        achieved_epsilon: req.approx.epsilon(),
     }
 }
 
@@ -231,6 +259,17 @@ impl Algorithm for SampleReverse {
         let reduction = ctx.reduction(req.k);
         let plan = reverse_plan(ctx, req);
         let counts = ctx.reverse_counts(&plan.candidates, plan.budget, req.seed);
+        let samples_used = counts.samples();
+        if samples_used == 0 && plan.budget > 0 {
+            return Err(VulnError::Cancelled);
+        }
+        let (degraded, achieved) = epsilon_outcome(
+            req,
+            req.k as u64,
+            plan.candidates.len().saturating_sub(req.k) as u64,
+            plan.budget,
+            samples_used,
+        );
 
         // Rank purely by estimates: an empty verified set in the view.
         let unverified = CandidateReduction {
@@ -246,13 +285,15 @@ impl Algorithm for SampleReverse {
             stats: RunStats {
                 algorithm: AlgorithmKind::SampleReverse,
                 sample_budget: plan.budget,
-                samples_used: plan.budget,
+                samples_used,
                 candidates: plan.candidates.len(),
                 verified: 0,
                 early_stopped: false,
                 elapsed: start.elapsed(),
             },
             engine: EngineStats::default(),
+            degraded,
+            achieved_epsilon: achieved,
         })
     }
 }
@@ -278,6 +319,7 @@ impl Algorithm for BoundedSampleReverse {
         // Degenerate cases: everything decided by the bounds alone.
         if plan.degenerate {
             return Ok(degenerate_response(
+                req,
                 &pruned,
                 &plan,
                 req.k,
@@ -287,19 +329,32 @@ impl Algorithm for BoundedSampleReverse {
         }
 
         let counts = ctx.reverse_counts(&plan.candidates, plan.budget, req.seed);
+        let samples_used = counts.samples();
+        if samples_used == 0 && plan.budget > 0 {
+            return Err(VulnError::Cancelled);
+        }
+        let (degraded, achieved) = epsilon_outcome(
+            req,
+            plan.k_rem as u64,
+            plan.candidates.len().saturating_sub(plan.k_rem) as u64,
+            plan.budget,
+            samples_used,
+        );
         let top_k = assemble_result(&pruned, &plan.candidates, &counts, req.k);
         Ok(DetectResponse {
             top_k,
             stats: RunStats {
                 algorithm: AlgorithmKind::BoundedSampleReverse,
                 sample_budget: plan.budget,
-                samples_used: plan.budget,
+                samples_used,
                 candidates: plan.candidates.len(),
                 verified: plan.k_verified,
                 early_stopped: false,
                 elapsed: start.elapsed(),
             },
             engine: EngineStats::default(),
+            degraded,
+            achieved_epsilon: achieved,
         })
     }
 }
@@ -333,10 +388,31 @@ impl Algorithm for BottomKEarlyStop {
         let pruned = Pruned { lower: &bounds.0, upper: &bounds.1, reduction: &reduction };
 
         if plan.degenerate {
-            return Ok(degenerate_response(&pruned, &plan, req.k, AlgorithmKind::BottomK, start));
+            return Ok(degenerate_response(
+                req,
+                &pruned,
+                &plan,
+                req.k,
+                AlgorithmKind::BottomK,
+                start,
+            ));
         }
         let ReversePlan { candidates, k_verified, k_rem, budget: t, .. } = plan;
+        // Degradation knobs: the adaptive pass samples outside the
+        // session cache, so it honours the token and cap itself. The
+        // cap bounds *worlds replayed*, not the budget `t` — the
+        // hash-shuffled sample order is a pure function of `(seed, t)`,
+        // so a capped replay walks the identical prefix of the identical
+        // order.
+        let cancel = req.cancel.clone();
+        let cap = req.sample_cap.unwrap_or(u64::MAX);
 
+        // The order build is O(t log t) before the first world is
+        // drawn; an already-expired deadline (or a server drain) must
+        // not pay for it.
+        if cancel.as_ref().is_some_and(vulnds_sampling::CancelToken::is_cancelled) {
+            return Err(VulnError::Cancelled);
+        }
         let hasher = UnitHasher::new(req.seed ^ HASH_DOMAIN);
         let order = hash_order(&hasher, t as usize);
 
@@ -357,6 +433,13 @@ impl Algorithm for BottomKEarlyStop {
         let mut hit_words: Vec<u64> = Vec::with_capacity(candidates.len());
 
         'outer: for chunk in order.chunks(LANES) {
+            // Polled once per 64-world chunk, like the kernel samplers
+            // poll per superblock: the clock-driven cut never lands
+            // mid-chunk, and `samples_used` is an exact replayable cut
+            // either way.
+            if cancel.as_ref().is_some_and(vulnds_sampling::CancelToken::is_cancelled) {
+                break 'outer;
+            }
             ids.clear();
             ids.extend(chunk.iter().map(|&s| s as u64));
             block.materialize_ids(graph, &coins, req.seed, &ids);
@@ -378,6 +461,11 @@ impl Algorithm for BottomKEarlyStop {
             // mid-chunk simply ignores its later lanes, like the scalar
             // loop skipped saturated candidates.)
             for (lane, &sample_id) in ids.iter().enumerate() {
+                if samples_used >= cap {
+                    // Replay cap reached: stop exactly here, like the
+                    // original degraded run did.
+                    break 'outer;
+                }
                 let h = hasher.hash_unit(sample_id);
                 samples_used += 1;
                 for (&(i, _), &word) in active.iter().zip(&hit_words) {
@@ -400,6 +488,24 @@ impl Algorithm for BottomKEarlyStop {
         ctx.note_coins(&block.take_usage());
         // Scattered hash-order replay is inherently single-word.
         ctx.note_width(vulnds_sampling::BlockWords::W1);
+
+        if samples_used == 0 {
+            return Err(VulnError::Cancelled);
+        }
+        // An early stop is success, not degradation: the stop rule's
+        // contract is satisfied. Only an unfinished budget without the
+        // stop firing widens ε.
+        let (degraded, achieved) = if early_stopped {
+            (false, req.approx.epsilon())
+        } else {
+            epsilon_outcome(
+                req,
+                k_rem as u64,
+                candidates.len().saturating_sub(k_rem) as u64,
+                t,
+                samples_used,
+            )
+        };
 
         let chosen = if early_stopped {
             // Rank the saturated candidates by their sketch estimates;
@@ -441,6 +547,8 @@ impl Algorithm for BottomKEarlyStop {
                 elapsed: start.elapsed(),
             },
             engine: EngineStats::default(),
+            degraded,
+            achieved_epsilon: achieved,
         })
     }
 }

@@ -328,7 +328,15 @@ impl SampleCache {
     /// fresh samples as possible. `align` is the snapshot alignment —
     /// the stream's worlds-per-superblock (`W · 64`), a positive
     /// multiple of 64. `draw` materializes counts for a raw id range.
-    /// Returns `(counts, drawn, reused)` where `drawn + reused == t`.
+    /// Returns `(counts, drawn, reused)` where `drawn + reused == t` for
+    /// a complete serve.
+    ///
+    /// A draw may come back **short** (fewer samples than its range)
+    /// when a cancellation token cut the pass at a chunk boundary. The
+    /// truncated prefix is still an exact cumulative count, so it is
+    /// snapshotted at the point actually reached — a retry of the same
+    /// request resumes from there instead of restarting — and returned
+    /// as-is with `drawn` reflecting what was really drawn.
     pub(crate) fn serve(
         &mut self,
         t: u64,
@@ -345,39 +353,41 @@ impl SampleCache {
         // gap: worth its own snapshot so later extensions resume on a
         // superblock boundary (see the module docs).
         let t_align = t / align * align;
-        let counts = if t_align > t0 && t_align < t {
-            let mut aligned = match &floor {
-                Some((_, base)) => {
-                    let mut extended = (**base).clone();
-                    extended.merge(&draw(t0..t_align));
-                    extended
-                }
-                None => draw(0..t_align),
-            };
-            let aligned_arc = Arc::new(aligned.clone());
-            self.snapshots.insert(t_align, aligned_arc);
-            aligned.merge(&draw(t_align..t));
-            Arc::new(aligned)
-        } else {
-            match floor {
-                Some((_, base)) => {
-                    let mut extended = (*base).clone();
-                    extended.merge(&draw(t0..t));
-                    Arc::new(extended)
-                }
-                None => Arc::new(draw(0..t)),
+        let split = t_align > t0 && t_align < t;
+        let first_end = if split { t_align } else { t };
+
+        let first = draw(t0..first_end);
+        let first_complete = first.samples() == first_end - t0;
+        let mut reached = t0 + first.samples();
+        let mut acc = match floor {
+            Some((_, base)) => {
+                let mut extended = (*base).clone();
+                extended.merge(&first);
+                extended
             }
+            None => first,
         };
-        self.snapshots.insert(t, counts.clone());
+        if split && first_complete {
+            self.snapshots.insert(t_align, Arc::new(acc.clone()));
+            let second = draw(t_align..t);
+            reached += second.samples();
+            acc.merge(&second);
+        }
+        let counts = Arc::new(acc);
+        // `reached < t` only under cancellation; `reached == t0` means
+        // not one chunk completed — nothing new to snapshot.
+        if reached > t0 {
+            self.snapshots.insert(reached, counts.clone());
+        }
         while self.snapshots.len() > MAX_SNAPSHOTS {
             // Evict the smallest prefix other than what this call just
             // produced — it is the cheapest to re-draw.
-            match self.snapshots.keys().find(|&&s| s != t).copied() {
+            match self.snapshots.keys().find(|&&s| s != reached).copied() {
                 Some(victim) => self.snapshots.remove(&victim),
                 None => break,
             };
         }
-        (counts, t - t0, t0)
+        (counts, reached - t0, t0)
     }
 }
 
@@ -590,6 +600,52 @@ mod tests {
         // the widest prefix exactly.
         let (c, drawn, reused) = cache.serve(1100, 64, draw);
         assert_eq!((c.samples(), c.count(0), drawn, reused), (1100, 1100, 100, 1000));
+    }
+
+    /// Fake cancelled draw: like [`draw`] but stops at absolute sample
+    /// id `limit`, mimicking a token cutting the pass mid-gap.
+    fn draw_until(limit: u64) -> impl FnMut(Range<u64>) -> DefaultCounts {
+        move |range: Range<u64>| draw(range.start..range.end.min(limit.max(range.start)))
+    }
+
+    #[test]
+    fn truncated_first_stage_snapshots_at_reached_and_resumes() {
+        let mut cache = SampleCache::default();
+        // The aligned first stage (0..64) is cut at 30: no second stage
+        // runs, and the 30-sample prefix is cached as-is.
+        let (c, drawn, reused) = cache.serve(100, 64, draw_until(30));
+        assert_eq!((c.samples(), c.count(0), drawn, reused), (30, 30, 30, 0));
+        assert!(cache.snapshots.contains_key(&30), "truncated prefix not snapshotted");
+        assert!(!cache.snapshots.contains_key(&64), "incomplete stage must not snapshot");
+        assert!(!cache.snapshots.contains_key(&100));
+        // A retry resumes from the truncated prefix instead of redrawing.
+        let (c, drawn, reused) = cache.serve(100, 64, draw);
+        assert_eq!((c.samples(), c.count(0), drawn, reused), (100, 100, 70, 30));
+    }
+
+    #[test]
+    fn truncated_second_stage_keeps_the_aligned_snapshot() {
+        let mut cache = SampleCache::default();
+        // 0..64 completes, 64..100 is cut at 80: both the aligned and
+        // the reached prefixes are cached.
+        let (c, drawn, reused) = cache.serve(100, 64, draw_until(80));
+        assert_eq!((c.samples(), drawn, reused), (80, 80, 0));
+        assert!(cache.snapshots.contains_key(&64));
+        assert!(cache.snapshots.contains_key(&80));
+        let (c, drawn, reused) = cache.serve(100, 64, draw);
+        assert_eq!((c.samples(), drawn, reused), (100, 20, 80));
+    }
+
+    #[test]
+    fn zero_progress_draw_caches_nothing() {
+        let mut cache = SampleCache::default();
+        let (c, drawn, reused) = cache.serve(10, 64, draw_until(0));
+        assert_eq!((c.samples(), drawn, reused), (0, 0, 0));
+        assert!(cache.snapshots.is_empty(), "an empty prefix must not be cached");
+        // With a warm floor, a zero-progress draw serves the floor.
+        cache.serve(10, 64, draw);
+        let (c, drawn, reused) = cache.serve(25, 64, draw_until(0));
+        assert_eq!((c.samples(), drawn, reused), (10, 0, 10));
     }
 
     #[test]

@@ -106,8 +106,9 @@ use std::sync::Arc;
 
 use ugraph::{NodeId, NodeMap, NodeOrder, UncertainGraph};
 use vulnds_sampling::{
-    fit_width, parallel_forward_counts_range_width_directed, parallel_reverse_counts_range_width,
-    BlockWords, CoinTable, CoinUsage, DefaultCounts, Direction,
+    fit_width, parallel_forward_counts_range_width_cancellable,
+    parallel_reverse_counts_range_width_cancellable, BlockWords, CancelToken, CoinTable, CoinUsage,
+    DefaultCounts, Direction,
 };
 
 use crate::algo::AlgorithmKind;
@@ -339,6 +340,20 @@ pub struct SessionStats {
     /// Times an [`Auto`](Direction::Auto) traversal changed direction
     /// between consecutive frontier steps of one superblock.
     pub direction_switches: u64,
+    /// Queries that returned a **degraded** answer: a deadline, token,
+    /// or explicit `sample_cap` cut sampling short of its ε-derived
+    /// budget (see [`DetectResponse::degraded`]).
+    pub queries_degraded: u64,
+    /// Queries cancelled before a single sample was drawn
+    /// ([`VulnError::Cancelled`](crate::VulnError::Cancelled)); these do
+    /// not count as `queries`.
+    pub queries_cancelled: u64,
+    /// Requests a serving layer refused under load instead of queueing
+    /// (see [`Detector::note_shed`]).
+    pub requests_shed: u64,
+    /// Queries in flight at the moment of the snapshot — a gauge, not a
+    /// monotone counter.
+    pub in_flight: u64,
     /// Whether the session runs on a cache-relabeled copy of the graph
     /// (see [`DetectorBuilder::relabel`]).
     pub relabel_applied: bool,
@@ -366,6 +381,9 @@ struct SessionTotals {
     push_steps: AtomicU64,
     pull_steps: AtomicU64,
     direction_switches: AtomicU64,
+    queries_degraded: AtomicU64,
+    queries_cancelled: AtomicU64,
+    requests_shed: AtomicU64,
 }
 
 impl SessionTotals {
@@ -409,6 +427,12 @@ impl SessionTotals {
             push_steps: self.push_steps.load(Ordering::Relaxed),
             pull_steps: self.pull_steps.load(Ordering::Relaxed),
             direction_switches: self.direction_switches.load(Ordering::Relaxed),
+            queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            // ORDERING: Relaxed — a momentary gauge; the monitoring
+            // reader draws no cross-thread conclusions from it.
+            in_flight: self.in_flight.load(Ordering::Relaxed),
             // A per-session configuration fact, not an atomic counter;
             // `Detector::session_stats` fills it in.
             relabel_applied: false,
@@ -462,6 +486,12 @@ pub struct EngineCtx<'a> {
     // False during batch planning: cache traffic that only sizes budgets
     // must not show up in the session or per-request counters.
     record_usage: bool,
+    // The request's effective cancellation signal: polled by the stream
+    // draws so a deadline can cut a pass at a chunk boundary.
+    cancel: Option<CancelToken>,
+    // The request's draw cap (see `DetectRequest::sample_cap`): caps the
+    // worlds a stream draw materializes without changing any budget.
+    sample_cap: Option<u64>,
 }
 
 impl<'a> EngineCtx<'a> {
@@ -596,14 +626,29 @@ impl<'a> EngineCtx<'a> {
     /// stream's cell is locked across the draw, so a concurrent query
     /// wanting the same prefix blocks and then reuses it (single-flight
     /// sampling).
+    ///
+    /// The request's `sample_cap` truncates `t` here (a capped replay
+    /// serves exactly the degraded prefix), and its cancellation token
+    /// can cut the draw at a chunk boundary — either way the returned
+    /// counts report how many samples they actually cover via
+    /// [`DefaultCounts::samples`].
     pub fn forward_counts(&mut self, t: u64, seed: u64) -> Arc<DefaultCounts> {
+        let t = self.sample_cap.map_or(t, |cap| t.min(cap));
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
         let direction = self.config.direction;
+        let cancel = self.cancel.clone();
         let stream = self.state.forward.stream(seed);
         self.stream_counts(&stream, t, |range, fitted| {
-            parallel_forward_counts_range_width_directed(
-                graph, &coins, range, seed, threads, fitted, direction,
+            parallel_forward_counts_range_width_cancellable(
+                graph,
+                &coins,
+                range,
+                seed,
+                threads,
+                fitted,
+                direction,
+                cancel.as_ref(),
             )
         })
     }
@@ -619,13 +664,22 @@ impl<'a> EngineCtx<'a> {
         t: u64,
         seed: u64,
     ) -> Arc<DefaultCounts> {
+        let t = self.sample_cap.map_or(t, |cap| t.min(cap));
         let coins = self.coin_table();
         let (graph, threads) = (self.graph, self.config.threads);
+        let cancel = self.cancel.clone();
         let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
         let stream = self.state.reverse.stream(key);
         self.stream_counts(&stream, t, |range, fitted| {
-            parallel_reverse_counts_range_width(
-                graph, &coins, candidates, range, seed, threads, fitted,
+            parallel_reverse_counts_range_width_cancellable(
+                graph,
+                &coins,
+                candidates,
+                range,
+                seed,
+                threads,
+                fitted,
+                cancel.as_ref(),
             )
         })
     }
@@ -868,7 +922,44 @@ impl Detector {
             bounds_accessed: false,
             reduction_accessed: false,
             record_usage: true,
+            cancel: None,
+            sample_cap: None,
         }
+    }
+
+    /// A query context carrying one resolved request's cancellation
+    /// signal and draw cap into the stream draws.
+    fn ctx_for(&self, resolved: &ResolvedRequest) -> EngineCtx<'_> {
+        let mut ctx = self.ctx();
+        ctx.cancel = resolved.cancel.clone();
+        ctx.sample_cap = resolved.sample_cap;
+        ctx
+    }
+
+    /// Outcome accounting shared by [`Detector::detect`] and
+    /// [`Detector::detect_many`]: a completed query counts as a query
+    /// (and as degraded when cut short); a query cancelled before any
+    /// sample counts only as cancelled.
+    fn note_outcome(&self, outcome: &Result<DetectResponse>) {
+        match outcome {
+            Ok(response) => {
+                SessionTotals::add(&self.state.totals.queries, 1);
+                if response.degraded {
+                    SessionTotals::add(&self.state.totals.queries_degraded, 1);
+                }
+            }
+            Err(crate::VulnError::Cancelled) => {
+                SessionTotals::add(&self.state.totals.queries_cancelled, 1);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Records a request a serving layer refused under load (shed before
+    /// ever reaching [`Detector::detect`]), so session stats describe
+    /// offered load, not just answered load.
+    pub fn note_shed(&self) {
+        SessionTotals::add(&self.state.totals.requests_shed, 1);
     }
 
     /// Maps a request's candidate hint into the working labeling.
@@ -907,12 +998,14 @@ impl Detector {
         let resolved = self.map_request(request).resolve(&self.graph, &self.config)?;
         let _in_flight = self.state.totals.enter();
         let algo = algorithm(resolved.algorithm);
-        let mut ctx = self.ctx();
-        let mut response = algo.run(&mut ctx, &resolved)?;
-        response.engine = ctx.request;
-        self.unmap_response(&mut response);
-        SessionTotals::add(&self.state.totals.queries, 1);
-        Ok(response)
+        let mut ctx = self.ctx_for(&resolved);
+        let outcome = algo.run(&mut ctx, &resolved).map(|mut response| {
+            response.engine = ctx.request;
+            self.unmap_response(&mut response);
+            response
+        });
+        self.note_outcome(&outcome);
+        outcome
     }
 
     /// Answers a batch of requests, sharing one sampling pass per
@@ -954,12 +1047,14 @@ impl Detector {
         let mut responses: Vec<Option<DetectResponse>> = vec![None; resolved.len()];
         for i in order {
             let algo = algorithm(resolved[i].algorithm);
-            let mut ctx = self.ctx();
-            let mut response = algo.run(&mut ctx, &resolved[i])?;
-            response.engine = ctx.request;
-            self.unmap_response(&mut response);
-            SessionTotals::add(&self.state.totals.queries, 1);
-            responses[i] = Some(response);
+            let mut ctx = self.ctx_for(&resolved[i]);
+            let outcome = algo.run(&mut ctx, &resolved[i]).map(|mut response| {
+                response.engine = ctx.request;
+                self.unmap_response(&mut response);
+                response
+            });
+            self.note_outcome(&outcome);
+            responses[i] = Some(outcome?);
         }
         // xlint: allow(panic-hygiene) — the loop above writes `Some`
         // at every index of `order`, a permutation of `0..len`.
@@ -1434,6 +1529,96 @@ mod tests {
         // `.config()` adopts the classic thread semantics wholesale.
         let f = Detector::builder(&g).config(VulnConfig::default()).build().unwrap();
         assert_eq!(f.config().threads, 1);
+    }
+
+    #[test]
+    fn pre_cancelled_queries_fail_without_counting_as_queries() {
+        let g = random_graph(80, 160, 31);
+        let d = session(&g);
+        let dead = CancelToken::new();
+        dead.cancel();
+        for kind in
+            [AlgorithmKind::SampledNaive, AlgorithmKind::SampleReverse, AlgorithmKind::BottomK]
+        {
+            let req = DetectRequest::new(4, kind).with_cancel(dead.clone());
+            assert!(
+                matches!(d.detect(&req), Err(VulnError::Cancelled)),
+                "{kind}: pre-cancelled query must report Cancelled"
+            );
+        }
+        let stats = d.session_stats();
+        assert_eq!(stats.queries, 0, "cancelled queries must not count as answered");
+        assert_eq!(stats.queries_cancelled, 3);
+        assert_eq!(stats.queries_degraded, 0);
+        assert_eq!(stats.in_flight, 0, "quiescent session must report an empty gauge");
+    }
+
+    #[test]
+    fn sample_cap_degrades_and_replays_bit_identically() {
+        let g = random_graph(100, 200, 32);
+        let full = session(&g).detect(&DetectRequest::new(5, AlgorithmKind::SampledNaive)).unwrap();
+        assert!(!full.degraded);
+        assert_eq!(full.achieved_epsilon, 0.3, "full pass achieves the requested ε");
+        let cap = full.stats.samples_used / 2;
+        assert!(cap > 0);
+
+        let capped_req = DetectRequest::new(5, AlgorithmKind::SampledNaive).with_sample_cap(cap);
+        let capped = session(&g).detect(&capped_req).unwrap();
+        assert!(capped.degraded, "a cap below budget must degrade");
+        assert_eq!(capped.stats.samples_used, cap);
+        assert_eq!(
+            capped.stats.sample_budget, full.stats.sample_budget,
+            "the ε-derived budget must not change under a cap"
+        );
+        assert!(
+            capped.achieved_epsilon > 0.3,
+            "achieved ε must widen: {}",
+            capped.achieved_epsilon
+        );
+        // The replay contract: the same cap reproduces the degraded
+        // answer bit-identically, cold or warm, at any thread count.
+        let replay = session(&g).detect(&capped_req).unwrap();
+        assert_eq!(replay.top_k, capped.top_k);
+        let warm = session(&g);
+        warm.detect(&DetectRequest::new(5, AlgorithmKind::SampledNaive)).unwrap();
+        let warm_replay = warm.detect(&capped_req).unwrap();
+        assert_eq!(warm_replay.top_k, capped.top_k, "warm cache changed a degraded answer");
+        assert_eq!(warm_replay.stats.samples_used, cap);
+
+        // A cap at or above the budget is not degradation.
+        let roomy = DetectRequest::new(5, AlgorithmKind::SampledNaive)
+            .with_sample_cap(full.stats.sample_budget);
+        let r = session(&g).detect(&roomy).unwrap();
+        assert!(!r.degraded);
+        assert_eq!(r.top_k, full.top_k);
+    }
+
+    #[test]
+    fn degraded_queries_are_counted() {
+        let g = random_graph(100, 200, 33);
+        let d = session(&g);
+        let full = d.detect(&DetectRequest::new(4, AlgorithmKind::SampleReverse)).unwrap();
+        let cap = (full.stats.samples_used / 2).max(1);
+        let req = DetectRequest::new(4, AlgorithmKind::SampleReverse).with_sample_cap(cap);
+        let capped = session(&g).detect(&req).unwrap();
+        assert!(capped.degraded);
+        let counter = session(&g);
+        counter.detect(&req).unwrap();
+        let stats = counter.session_stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.queries_degraded, 1);
+        assert_eq!(stats.queries_cancelled, 0);
+    }
+
+    #[test]
+    fn shed_requests_are_counted_without_a_query() {
+        let g = random_graph(20, 40, 34);
+        let d = session(&g);
+        d.note_shed();
+        d.note_shed();
+        let stats = d.session_stats();
+        assert_eq!(stats.requests_shed, 2);
+        assert_eq!(stats.queries, 0);
     }
 
     #[test]

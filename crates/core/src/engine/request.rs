@@ -1,11 +1,14 @@
 //! Typed queries and answers for the [`Detector`](super::Detector)
 //! engine.
 
+use std::time::{Duration, Instant};
+
 use crate::algo::{AlgorithmKind, RunStats};
 use crate::config::ApproxParams;
 use crate::error::{Result, VulnError};
 use crate::topk::ScoredNode;
 use ugraph::{NodeId, UncertainGraph};
+use vulnds_sampling::CancelToken;
 
 use super::VulnConfig;
 
@@ -34,13 +37,40 @@ pub struct DetectRequest {
     /// estimate every node. Use when a previous query or external
     /// knowledge already narrowed the plausible top-k.
     pub candidates: Option<Vec<NodeId>>,
+    /// Soft deadline for the sampling passes, in milliseconds from the
+    /// moment the request is resolved. When it expires mid-pass the
+    /// query returns the block-aligned sample prefix it completed as a
+    /// **degraded** answer (`degraded = true`, `achieved_epsilon`
+    /// widened accordingly) — or [`VulnError::Cancelled`] if not a
+    /// single sample was drawn. The bound/verification phases are not
+    /// interruptible; only sampling is.
+    pub timeout_ms: Option<u64>,
+    /// Exact cap on the worlds the sampling pass may draw, *without*
+    /// changing the ε-derived budget (which also seeds BSRBK's sample
+    /// order). This is the replay knob for degraded answers: re-running
+    /// a degraded query with its reported `samples_used` as the cap
+    /// reproduces the degraded answer bit-identically.
+    pub sample_cap: Option<u64>,
+    /// External cancellation token (e.g. a server's per-request child of
+    /// its drain token). Combined with `timeout_ms` when both are set.
+    pub cancel: Option<CancelToken>,
 }
 
 impl DetectRequest {
     /// A request with session defaults for everything but `k` and the
     /// algorithm.
     pub fn new(k: usize, algorithm: AlgorithmKind) -> Self {
-        DetectRequest { k, algorithm, epsilon: None, delta: None, seed: None, candidates: None }
+        DetectRequest {
+            k,
+            algorithm,
+            epsilon: None,
+            delta: None,
+            seed: None,
+            candidates: None,
+            timeout_ms: None,
+            sample_cap: None,
+            cancel: None,
+        }
     }
 
     /// Per-request `ε` override.
@@ -64,6 +94,25 @@ impl DetectRequest {
     /// Candidate hint (see [`DetectRequest::candidates`]).
     pub fn with_candidates(mut self, candidates: Vec<NodeId>) -> Self {
         self.candidates = Some(candidates);
+        self
+    }
+
+    /// Soft sampling deadline (see [`DetectRequest::timeout_ms`]).
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Exact draw cap for degraded-answer replay (see
+    /// [`DetectRequest::sample_cap`]).
+    pub fn with_sample_cap(mut self, cap: u64) -> Self {
+        self.sample_cap = Some(cap);
+        self
+    }
+
+    /// External cancellation token (see [`DetectRequest::cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -120,12 +169,36 @@ impl DetectRequest {
                 Some(ids)
             }
         };
+        // The effective cancellation signal: the caller's token, a
+        // deadline token, or a deadline child of the caller's token.
+        // The deadline clock starts here, at resolve time.
+        let cancel = match (&self.cancel, self.timeout_ms) {
+            (None, None) => None,
+            (Some(token), None) => Some(token.clone()),
+            (token, Some(ms)) => {
+                // xlint: allow(no-wall-clock) — sanctioned deadline
+                // anchor: the monotonic clock only decides where a
+                // sampling prefix ends, never any sampled value (see
+                // vulnds_sampling::cancel).
+                let deadline = Instant::now().checked_add(Duration::from_millis(ms));
+                match (token, deadline) {
+                    (Some(t), Some(d)) => Some(t.child_with_deadline(d)),
+                    (Some(t), None) => Some(t.clone()),
+                    // A deadline too far out to represent can never
+                    // fire; treat it as absent.
+                    (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+                    (None, None) => None,
+                }
+            }
+        };
         Ok(ResolvedRequest {
             k: self.k,
             algorithm: self.algorithm,
             approx,
             seed: self.seed.unwrap_or(config.seed),
             candidates,
+            sample_cap: self.sample_cap,
+            cancel,
         })
     }
 }
@@ -144,6 +217,12 @@ pub struct ResolvedRequest {
     pub seed: u64,
     /// Normalized candidate hint (ascending ids, deduplicated).
     pub candidates: Option<Vec<NodeId>>,
+    /// Exact draw cap for degraded-answer replay (see
+    /// [`DetectRequest::sample_cap`]).
+    pub sample_cap: Option<u64>,
+    /// Effective cancellation signal: the caller's token and/or the
+    /// request deadline, anchored at resolve time.
+    pub cancel: Option<CancelToken>,
 }
 
 /// What the session cache contributed to one query.
@@ -193,6 +272,22 @@ pub struct DetectResponse {
     pub stats: RunStats,
     /// Session-cache diagnostics for this query.
     pub engine: EngineStats,
+    /// True when cancellation (deadline, token, or an explicit
+    /// `sample_cap` below the budget) cut the sampling pass short of its
+    /// ε-derived budget. The answer is still a valid `(ε', δ)` answer at
+    /// the wider [`achieved_epsilon`](DetectResponse::achieved_epsilon),
+    /// and replaying the request with `stats.samples_used` as its
+    /// `sample_cap` reproduces it bit-identically. BSRBK's early stop is
+    /// *not* degradation: stopping early with a satisfied contract keeps
+    /// `degraded = false`.
+    pub degraded: bool,
+    /// The `ε` the request's `δ` guarantee holds at, given the samples
+    /// actually used: the requested `ε` for a full pass, the inverted
+    /// Hoeffding/union bound (Eq. 3/4 solved for `ε` at
+    /// `stats.samples_used`) for a degraded one. Not meaningful for
+    /// fixed-budget `N` runs, which have no requested contract; the
+    /// inversion is still reported against the session's `(ε, δ)`.
+    pub achieved_epsilon: f64,
 }
 
 impl DetectResponse {

@@ -46,6 +46,11 @@ pub enum VulnError {
     },
     /// A command-line invocation could not be parsed or executed.
     Usage(String),
+    /// The query was cancelled (deadline or explicit token) before any
+    /// samples were drawn, so not even a degraded answer exists. A
+    /// cancellation that lands *after* some samples were drawn is not an
+    /// error: the query succeeds with `degraded = true`.
+    Cancelled,
 }
 
 impl fmt::Display for VulnError {
@@ -62,6 +67,7 @@ impl fmt::Display for VulnError {
             }
             VulnError::File { path, error } => write!(f, "{path}: {error}"),
             VulnError::Usage(msg) => f.write_str(msg),
+            VulnError::Cancelled => f.write_str("query cancelled before any samples were drawn"),
         }
     }
 }

@@ -58,6 +58,28 @@ pub fn failure_probability(t: u64, pairs: u64, epsilon: f64) -> f64 {
     (pairs as f64 * pairwise_tail(t, epsilon)).min(1.0)
 }
 
+/// Inverts the Eq. 3/4 bound at the samples actually drawn: the `ε` the
+/// same `δ` guarantee still holds at after `t_used` of the budgeted
+/// samples. A degraded (cancelled mid-pass) Monte-Carlo answer is a
+/// valid answer at this wider `ε`, which is what makes deadline-driven
+/// degradation principled rather than lossy.
+///
+/// `a · b` is the pair count of the bound (`k (n − k)` for Eq. 3,
+/// `(k − k') (|B| − k + k')` for Eq. 4). Returns 0 when there are no
+/// pairs to order (the answer is exact regardless of samples) and
+/// `+∞` when `t_used` is 0 (no samples, no guarantee — the engine
+/// reports such queries as cancelled, not degraded).
+pub fn achieved_epsilon(a: u64, b: u64, delta: f64, t_used: u64) -> f64 {
+    let pairs = (a as f64) * (b as f64);
+    if pairs < 1.0 {
+        return 0.0;
+    }
+    if t_used == 0 {
+        return f64::INFINITY;
+    }
+    (2.0 * (pairs / delta).ln() / t_used as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +156,26 @@ mod tests {
 
     fn pair_bound_sample_size_public(a: u64, b: u64) -> u64 {
         super::pair_bound_sample_size(a, b, paper())
+    }
+
+    #[test]
+    fn achieved_epsilon_inverts_the_budget() {
+        // Running the full Eq. 3 budget achieves (about) the requested ε;
+        // the ceil() in the budget makes the achieved value slightly
+        // tighter, never looser.
+        let t = basic_sample_size(1000, 10, paper());
+        let eps = achieved_epsilon(10, 990, 0.1, t);
+        assert!(eps <= 0.3 + 1e-12, "achieved {eps} looser than requested");
+        assert!(eps > 0.29, "achieved {eps} implausibly tight");
+        // Fewer samples → wider ε, monotonically.
+        assert!(achieved_epsilon(10, 990, 0.1, t / 2) > eps);
+        assert!(achieved_epsilon(10, 990, 0.1, t / 10) > achieved_epsilon(10, 990, 0.1, t / 2));
+    }
+
+    #[test]
+    fn achieved_epsilon_degenerate_cases() {
+        assert_eq!(achieved_epsilon(0, 990, 0.1, 100), 0.0, "no pairs → exact");
+        assert_eq!(achieved_epsilon(10, 0, 0.1, 100), 0.0);
+        assert!(achieved_epsilon(10, 990, 0.1, 0).is_infinite(), "no samples → no guarantee");
     }
 }

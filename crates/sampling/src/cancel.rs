@@ -1,0 +1,169 @@
+//! Cooperative cancellation for sampling passes.
+//!
+//! A [`CancelToken`] is a cheap, shareable "stop soon" signal: a relaxed
+//! atomic flag, an optional monotonic deadline, and an optional parent
+//! token (so a server-wide drain signal cancels every per-request token
+//! at once). The samplers poll it **once per superblock chunk** — the
+//! hot per-step loops stay branch-free — and a cancelled pass returns
+//! the block-aligned prefix of worlds it completed, plus the exact
+//! sample count inside the returned [`crate::DefaultCounts`].
+//!
+//! Determinism contract: cancellation never changes *which* worlds a
+//! prefix contains, only *how many* chunks were evaluated. Because
+//! sample `i` is always drawn from the stateless `(seed, i)` stream and
+//! chunk counts merge commutatively, re-running the same request with
+//! the returned sample count as its exact budget reproduces the
+//! degraded answer bit-identically. The clock only decides where the
+//! prefix ends; it never reaches the answer itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation signal shared between a controller (a
+/// server's drain logic, a deadline) and the sampling passes that poll
+/// it at superblock granularity.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. Equality is identity: two tokens are equal iff they share
+/// state, which is what request-level `PartialEq` derives need.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::build(None, None)
+    }
+
+    /// A token that additionally reports cancelled once the monotonic
+    /// clock passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::build(Some(deadline), None)
+    }
+
+    /// A child token: cancelled when its own flag/deadline fires *or*
+    /// when `self` (the parent) is cancelled. A server hands each
+    /// request a child of its drain token so one `cancel()` stops all
+    /// in-flight work.
+    pub fn child(&self) -> CancelToken {
+        CancelToken::build(None, Some(self.clone()))
+    }
+
+    /// A child token with its own deadline (per-request timeout under a
+    /// server-wide drain parent).
+    pub fn child_with_deadline(&self, deadline: Instant) -> CancelToken {
+        CancelToken::build(Some(deadline), Some(self.clone()))
+    }
+
+    fn build(deadline: Option<Instant>, parent: Option<CancelToken>) -> CancelToken {
+        CancelToken { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline, parent }) }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        // ORDERING: Relaxed — the flag is advisory. Pollers act on it at
+        // the next chunk boundary and the data they publish travels
+        // through join/channel synchronization, never through this flag.
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the token (or any ancestor) is cancelled or past its
+    /// deadline. Cheap enough to call once per superblock chunk.
+    pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Relaxed — see `cancel`; a stale read only delays the
+        // stop by one chunk, it cannot corrupt the returned prefix.
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(parent) = &self.inner.parent {
+            if parent.is_cancelled() {
+                return true;
+            }
+        }
+        match self.inner.deadline {
+            // xlint: allow(no-wall-clock) — sanctioned deadline check:
+            // the monotonic clock decides only where a sampling prefix
+            // ends (which chunk count), never any sampled value; the
+            // degraded answer replays bit-identically from that count.
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_live_and_cancels_idempotently() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(t, c);
+        assert_ne!(t, CancelToken::new());
+    }
+
+    #[test]
+    fn past_deadline_is_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_reaches_children() {
+        let drain = CancelToken::new();
+        let request = drain.child();
+        let timed = drain.child_with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!request.is_cancelled());
+        assert!(!timed.is_cancelled());
+        drain.cancel();
+        assert!(request.is_cancelled());
+        assert!(timed.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_does_not_reach_parent() {
+        let drain = CancelToken::new();
+        let request = drain.child();
+        request.cancel();
+        assert!(!drain.is_cancelled());
+        assert!(request.is_cancelled());
+    }
+}

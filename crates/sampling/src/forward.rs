@@ -18,6 +18,7 @@
 //!   the scalar reference for any range and seed.
 
 use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
+use crate::cancel::CancelToken;
 use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
 use crate::direction::Direction;
@@ -173,10 +174,30 @@ pub fn forward_counts_range_wide_directed<const W: usize>(
     seed: u64,
     direction: Direction,
 ) -> (DefaultCounts, CoinUsage) {
+    forward_counts_range_wide_cancellable::<W>(graph, coins, range, seed, direction, None)
+}
+
+/// [`forward_counts_range_wide_directed`] polling a [`CancelToken`]
+/// once per superblock chunk. A cancelled pass stops at the next chunk
+/// boundary and returns the chunk-aligned **prefix** it completed; the
+/// exact sample count is `counts.samples()`, and re-running the range
+/// truncated to that count reproduces the prefix bit-identically (the
+/// token decides only where the prefix ends, never what it contains).
+pub fn forward_counts_range_wide_cancellable<const W: usize>(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    direction: Direction,
+    cancel: Option<&CancelToken>,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(graph.num_nodes());
     let mut block = SuperBlock::<W>::new(graph);
     let mut kernel = SuperKernel::<W>::new(graph);
     for chunk in superblock_chunks(range, W) {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         accumulate_forward_chunk(
             graph,
             coins,

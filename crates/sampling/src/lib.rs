@@ -45,6 +45,7 @@
 
 pub mod antithetic;
 pub mod block;
+pub mod cancel;
 pub mod coins;
 pub mod counts;
 pub mod direction;
@@ -60,23 +61,27 @@ pub use block::{
     block_chunks, lane_mask, superblock_chunks, BlockKernel, SuperBlock, SuperKernel, WorldBlock,
     LANES,
 };
+pub use cancel::CancelToken;
 pub use coins::{CoinTable, CoinUsage, ScalarCoins, COIN_PRECISION};
 pub use counts::DefaultCounts;
 pub use direction::Direction;
 pub use forward::{
     forward_counts, forward_counts_range, forward_counts_range_wide,
-    forward_counts_range_wide_directed, forward_counts_range_width,
-    forward_counts_range_width_directed, forward_counts_range_with, ForwardSampler,
+    forward_counts_range_wide_cancellable, forward_counts_range_wide_directed,
+    forward_counts_range_width, forward_counts_range_width_directed, forward_counts_range_with,
+    ForwardSampler,
 };
 pub use parallel::{
     fit_width, parallel_forward_counts, parallel_forward_counts_range,
-    parallel_forward_counts_range_width, parallel_forward_counts_range_width_directed,
-    parallel_forward_counts_range_with, parallel_reverse_counts, parallel_reverse_counts_range,
-    parallel_reverse_counts_range_width, parallel_reverse_counts_range_with,
+    parallel_forward_counts_range_width, parallel_forward_counts_range_width_cancellable,
+    parallel_forward_counts_range_width_directed, parallel_forward_counts_range_with,
+    parallel_reverse_counts, parallel_reverse_counts_range, parallel_reverse_counts_range_width,
+    parallel_reverse_counts_range_width_cancellable, parallel_reverse_counts_range_with,
 };
 pub use reverse::{
-    reverse_counts, reverse_counts_range, reverse_counts_range_wide, reverse_counts_range_width,
-    reverse_counts_range_with, ReverseSampler,
+    reverse_counts, reverse_counts_range, reverse_counts_range_wide,
+    reverse_counts_range_wide_cancellable, reverse_counts_range_width, reverse_counts_range_with,
+    ReverseSampler,
 };
 pub use rng::Xoshiro256pp;
 pub use width::{BlockWords, MAX_BLOCK_WORDS};

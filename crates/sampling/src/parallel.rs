@@ -1,14 +1,21 @@
 //! Parallel sample execution over std scoped threads.
 //!
 //! Work is partitioned by **superblock** (`W·64`-sample aligned chunks,
-//! see [`crate::block`]), not by individual sample: thread `tid` owns
-//! chunks `tid, tid + T, tid + 2T, …` of the range's superblock
-//! decomposition. Each chunk's counts are a pure function of
+//! see [`crate::block`]), not by individual sample: threads claim
+//! chunks of the range's superblock decomposition from a shared atomic
+//! counter, in index order. Each chunk's counts are a pure function of
 //! `(seed, chunk)` — the coin generator is a stateless counter RNG, so
-//! threads share one read-only [`CoinTable`] and never coordinate — and
-//! partial counts merge with commutative addition, so a parallel run
-//! with any thread count produces **bit-identical counts** to the
-//! sequential run, at any width.
+//! threads share one read-only [`CoinTable`] and never coordinate
+//! beyond the claim counter — and partial counts merge with commutative
+//! addition, so a parallel run with any thread count produces
+//! **bit-identical counts** to the sequential run, at any width.
+//!
+//! Cancellation ([`CancelToken`]) is checked before each claim, never
+//! mid-chunk: a claimed chunk always finishes. Because claims are a
+//! single monotone counter, the set of completed chunks at cancellation
+//! is exactly the contiguous prefix `0..C` of the decomposition — the
+//! same prefix a sequential cancelled run produces — so a degraded
+//! answer replays bit-identically from its sample count alone.
 //!
 //! Width-aware chunking: a wide superblock coarsens the partition unit,
 //! so before partitioning the drivers narrow the requested width until
@@ -18,10 +25,12 @@
 //! threads.
 
 use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
+use crate::cancel::CancelToken;
 use crate::coins::{CoinTable, CoinUsage};
 use crate::counts::DefaultCounts;
 use crate::direction::Direction;
 use crate::width::{with_block_words, BlockWords};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use ugraph::{NodeId, UncertainGraph};
 
 /// Clamps a requested thread count to something sane: at least one, at
@@ -138,23 +147,50 @@ pub fn parallel_forward_counts_range_width_directed(
     width: BlockWords,
     direction: Direction,
 ) -> (DefaultCounts, CoinUsage) {
+    parallel_forward_counts_range_width_cancellable(
+        graph, coins, range, seed, threads, width, direction, None,
+    )
+}
+
+/// [`parallel_forward_counts_range_width_directed`] polling a
+/// [`CancelToken`] between superblock chunks. A cancelled run returns
+/// the contiguous chunk-aligned prefix it completed (exact sample count
+/// inside the counts); replaying with that count as the budget
+/// reproduces the prefix bit-identically at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_forward_counts_range_width_cancellable(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+    direction: Direction,
+    cancel: Option<&CancelToken>,
+) -> (DefaultCounts, CoinUsage) {
     let width = fit_width(&range, width, threads);
     with_block_words!(width, W, {
         let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
         let threads = effective_threads(threads, chunks.len() as u64);
         if threads == 1 {
-            return crate::forward::forward_counts_range_wide_directed::<W>(
-                graph, coins, range, seed, direction,
+            return crate::forward::forward_counts_range_wide_cancellable::<W>(
+                graph, coins, range, seed, direction, cancel,
             );
         }
-        forward_partitioned::<W>(graph, coins, &chunks, seed, threads, direction)
+        forward_partitioned::<W>(graph, coins, &chunks, seed, threads, direction, cancel)
     })
 }
 
-/// The strided multi-thread forward runner, taking `threads` as-is.
+/// The claim-based multi-thread forward runner, taking `threads` as-is.
 /// Split out from the public entry point so tests exercise the threaded
 /// merge path even on single-core machines (where `effective_threads`
 /// would clamp to the sequential path).
+///
+/// Threads draw chunk indices from a shared monotone counter; the
+/// cancel token is polled before each claim and a claimed chunk always
+/// finishes, so the completed set is exactly the contiguous prefix of
+/// `chunks` at the counter's final value — the same prefix the
+/// sequential cancellable driver produces.
 fn forward_partitioned<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
@@ -162,15 +198,26 @@ fn forward_partitioned<const W: usize>(
     seed: u64,
     threads: usize,
     direction: Direction,
+    cancel: Option<&CancelToken>,
 ) -> (DefaultCounts, CoinUsage) {
+    let next = AtomicUsize::new(0);
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|tid| {
+            .map(|_| {
+                let next = &next;
                 scope.spawn(move || {
                     let mut block = SuperBlock::<W>::new(graph);
                     let mut kernel = SuperKernel::<W>::new(graph);
                     let mut counts = DefaultCounts::new(graph.num_nodes());
-                    for chunk in chunks.iter().skip(tid).step_by(threads) {
+                    loop {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
+                        // ORDERING: Relaxed — the counter only hands out
+                        // distinct indices; chunk results flow to the
+                        // merge through thread join, not this atomic.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
                         crate::forward::accumulate_forward_chunk(
                             graph,
                             coins,
@@ -280,21 +327,42 @@ pub fn parallel_reverse_counts_range_width(
     threads: usize,
     width: BlockWords,
 ) -> (DefaultCounts, CoinUsage) {
+    parallel_reverse_counts_range_width_cancellable(
+        graph, coins, candidates, range, seed, threads, width, None,
+    )
+}
+
+/// [`parallel_reverse_counts_range_width`] polling a [`CancelToken`]
+/// between superblock chunks, with the same contiguous-prefix guarantee
+/// as [`parallel_forward_counts_range_width_cancellable`].
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_reverse_counts_range_width_cancellable(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+    cancel: Option<&CancelToken>,
+) -> (DefaultCounts, CoinUsage) {
     let width = fit_width(&range, width, threads);
     with_block_words!(width, W, {
         let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
         let threads = effective_threads(threads, chunks.len() as u64);
         if threads == 1 {
-            return crate::reverse::reverse_counts_range_wide::<W>(
-                graph, coins, candidates, range, seed,
+            return crate::reverse::reverse_counts_range_wide_cancellable::<W>(
+                graph, coins, candidates, range, seed, cancel,
             );
         }
-        reverse_partitioned::<W>(graph, coins, candidates, &chunks, seed, threads)
+        reverse_partitioned::<W>(graph, coins, candidates, &chunks, seed, threads, cancel)
     })
 }
 
-/// The strided multi-thread reverse runner, taking `threads` as-is (see
-/// [`forward_partitioned`] for why it is split out).
+/// The claim-based multi-thread reverse runner, taking `threads` as-is
+/// (see [`forward_partitioned`] for why it is split out and how
+/// cancellation keeps the completed set a contiguous prefix).
+#[allow(clippy::too_many_arguments)]
 fn reverse_partitioned<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
@@ -302,16 +370,26 @@ fn reverse_partitioned<const W: usize>(
     chunks: &[std::ops::Range<u64>],
     seed: u64,
     threads: usize,
+    cancel: Option<&CancelToken>,
 ) -> (DefaultCounts, CoinUsage) {
+    let next = AtomicUsize::new(0);
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|tid| {
+            .map(|_| {
+                let next = &next;
                 scope.spawn(move || {
                     let mut block = SuperBlock::<W>::new(graph);
                     let mut kernel = SuperKernel::<W>::new(graph);
                     let mut hits = Vec::with_capacity(candidates.len() * W);
                     let mut counts = DefaultCounts::new(candidates.len());
-                    for chunk in chunks.iter().skip(tid).step_by(threads) {
+                    loop {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
+                        // ORDERING: Relaxed — distinct-index handout only;
+                        // results synchronize through thread join.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
                         crate::reverse::accumulate_reverse_chunk(
                             graph,
                             coins,
@@ -392,7 +470,7 @@ mod tests {
         let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
         for threads in [2, 3, 5] {
             let (par, usage) =
-                forward_partitioned::<1>(&g, &coins, &chunks, 9, threads, Direction::Auto);
+                forward_partitioned::<1>(&g, &coins, &chunks, 9, threads, Direction::Auto, None);
             assert_eq!(par, seq, "threads = {threads}");
             // Lazy accounting covers every block exactly once regardless
             // of the partition.
@@ -405,21 +483,112 @@ mod tests {
         let wide_chunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..1500, 4).collect();
         let wide_seq = crate::forward::forward_counts_range(&g, 37..1500, 9);
         for threads in [2, 3] {
-            let (par, _) =
-                forward_partitioned::<4>(&g, &coins, &wide_chunks, 9, threads, Direction::Auto);
+            let (par, _) = forward_partitioned::<4>(
+                &g,
+                &coins,
+                &wide_chunks,
+                9,
+                threads,
+                Direction::Auto,
+                None,
+            );
             assert_eq!(par, wide_seq, "width 4, threads = {threads}");
         }
         let cands: Vec<NodeId> = g.nodes().collect();
         let rseq = crate::reverse::reverse_counts_range(&g, &cands, 37..411, 9);
         for threads in [2, 4] {
             assert_eq!(
-                reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, threads).0,
+                reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, threads, None).0,
                 rseq,
                 "threads = {threads}"
             );
         }
         let rchunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..411, 2).collect();
-        assert_eq!(reverse_partitioned::<2>(&g, &coins, &cands, &rchunks, 9, 2).0, rseq);
+        assert_eq!(reverse_partitioned::<2>(&g, &coins, &cands, &rchunks, 9, 2, None).0, rseq);
+    }
+
+    #[test]
+    fn pre_cancelled_runs_return_empty_prefix() {
+        let g = graph();
+        let coins = CoinTable::new(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        let chunks: Vec<std::ops::Range<u64>> = block_chunks(0..500).collect();
+        let (f, _) =
+            forward_partitioned::<1>(&g, &coins, &chunks, 9, 3, Direction::Auto, Some(&token));
+        assert_eq!(f.samples(), 0);
+        let cands: Vec<NodeId> = g.nodes().collect();
+        let (r, _) = reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, 3, Some(&token));
+        assert_eq!(r.samples(), 0);
+        // The width-dispatching entry points honour the token too, on
+        // both the sequential (threads = 1) and threaded paths.
+        for threads in [1, 4] {
+            let (f, _) = parallel_forward_counts_range_width_cancellable(
+                &g,
+                &coins,
+                0..500,
+                9,
+                threads,
+                BlockWords::W1,
+                Direction::Auto,
+                Some(&token),
+            );
+            assert_eq!(f.samples(), 0, "threads = {threads}");
+            let (r, _) = parallel_reverse_counts_range_width_cancellable(
+                &g,
+                &coins,
+                &cands,
+                0..500,
+                9,
+                threads,
+                BlockWords::W1,
+                Some(&token),
+            );
+            assert_eq!(r.samples(), 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_prefix_replays_bit_identically() {
+        // Cancel from another thread mid-pass, then replay the run with
+        // the observed sample count as the exact budget: the replay must
+        // reproduce the degraded counts bit-for-bit at several thread
+        // counts. The cancel may land anywhere (including after the full
+        // range) — the property must hold wherever it lands.
+        let g = graph();
+        let coins = CoinTable::new(&g);
+        let token = CancelToken::new();
+        let (counts, _) = std::thread::scope(|scope| {
+            let canceller = {
+                let token = token.clone();
+                scope.spawn(move || token.cancel())
+            };
+            let out = parallel_forward_counts_range_width_cancellable(
+                &g,
+                &coins,
+                0..51_200,
+                11,
+                3,
+                BlockWords::W1,
+                Direction::Auto,
+                Some(&token),
+            );
+            canceller.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            out
+        });
+        let used = counts.samples();
+        assert_eq!(used % crate::LANES as u64, 0, "prefix must be block-aligned");
+        for threads in [1, 2, 5] {
+            let (replay, _) = parallel_forward_counts_range_width(
+                &g,
+                &coins,
+                0..used,
+                11,
+                threads,
+                BlockWords::W1,
+            );
+            assert_eq!(replay, counts, "replay threads = {threads}");
+        }
     }
 
     #[test]

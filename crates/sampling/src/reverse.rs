@@ -25,6 +25,7 @@
 //!   `O(edges reached)` coins per block, not `O(m)`.
 
 use crate::block::{superblock_chunks, SuperBlock, SuperKernel};
+use crate::cancel::CancelToken;
 use crate::coins::{CoinTable, CoinUsage, ScalarCoins};
 use crate::counts::DefaultCounts;
 use crate::width::{with_block_words, BlockWords};
@@ -231,11 +232,30 @@ pub fn reverse_counts_range_wide<const W: usize>(
     range: std::ops::Range<u64>,
     seed: u64,
 ) -> (DefaultCounts, CoinUsage) {
+    reverse_counts_range_wide_cancellable::<W>(graph, coins, candidates, range, seed, None)
+}
+
+/// [`reverse_counts_range_wide`] polling a [`CancelToken`] once per
+/// superblock chunk. A cancelled pass stops at the next chunk boundary
+/// and returns the chunk-aligned **prefix** it completed; the exact
+/// sample count is `counts.samples()`, and re-running the range
+/// truncated to that count reproduces the prefix bit-identically.
+pub fn reverse_counts_range_wide_cancellable<const W: usize>(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> (DefaultCounts, CoinUsage) {
     let mut counts = DefaultCounts::new(candidates.len());
     let mut block = SuperBlock::<W>::new(graph);
     let mut kernel = SuperKernel::<W>::new(graph);
     let mut hits = Vec::with_capacity(candidates.len() * W);
     for chunk in superblock_chunks(range, W) {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         accumulate_reverse_chunk(
             graph,
             coins,

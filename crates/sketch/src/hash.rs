@@ -56,10 +56,12 @@ impl UnitHasher {
 /// samples: it "sorts the samples in ascending order based on the hash
 /// value" (paper §3.3) without materializing them first. `O(t log t)`.
 pub fn hash_order(hasher: &UnitHasher, t: usize) -> Vec<u32> {
+    // Keys are cached up front: recomputing two hashes inside the
+    // comparator costs `2·t·log t` hash evaluations and dominated query
+    // start-up for multi-million-sample budgets.
+    let keys: Vec<f64> = (0..t as u64).map(|i| hasher.hash_unit(i)).collect();
     let mut idx: Vec<u32> = (0..t as u32).collect();
-    idx.sort_unstable_by(|&a, &b| {
-        hasher.hash_unit(a as u64).total_cmp(&hasher.hash_unit(b as u64))
-    });
+    idx.sort_unstable_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
     idx
 }
 

@@ -23,7 +23,10 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "no-wall-clock",
         rationale: "answers must be pure functions of (graph, config, request); a clock read in \
-                    an answer path breaks bit-for-bit reproducibility",
+                    an answer path breaks bit-for-bit reproducibility. Monotonic `Instant` reads \
+                    that only decide where work *stops* (deadlines, elapsed diagnostics) are \
+                    waivable with a written justification; calendar time (`SystemTime`, \
+                    `UNIX_EPOCH`) is banned everywhere and cannot be waived",
     },
     Rule {
         name: "no-sleep",
@@ -83,6 +86,11 @@ pub struct RawViolation {
     pub rule: &'static str,
     /// What fired, specifically.
     pub message: String,
+    /// Whether an inline `// xlint: allow(...)` waiver may suppress
+    /// this finding. Most can; a few patterns (wall-clock reads via
+    /// `SystemTime`/`UNIX_EPOCH`) are banned outright because no
+    /// written justification makes them deterministic.
+    pub waivable: bool,
 }
 
 /// The bench harness measures wall-clock time by design; holding it to
@@ -105,11 +113,32 @@ pub fn check(map: &SourceMap, class: &FileClass) -> Vec<RawViolation> {
             continue;
         }
         let code = &map.code[line];
+        // Wall-clock splits by determinism blast radius. The monotonic
+        // `Instant` can legitimately bound *when work stops* (deadline
+        // checks, elapsed diagnostics) without touching what a prefix
+        // contains, so it is waivable with a written justification.
+        // `SystemTime`/`UNIX_EPOCH` read calendar time, which has no
+        // deterministic use in an answer path at all — unwaivable, and
+        // banned even in the timing-exempt bench harness.
+        for pat in ["SystemTime", "UNIX_EPOCH"] {
+            if has_token(code, pat) {
+                push_unwaivable(
+                    &mut out,
+                    line,
+                    "no-wall-clock",
+                    format!("`{pat}` reads calendar time (banned everywhere, not waivable)"),
+                );
+            }
+        }
         if !timing_exempt(class) {
-            for pat in ["Instant::now", "SystemTime", "UNIX_EPOCH"] {
-                if has_token(code, pat) {
-                    push(&mut out, line, "no-wall-clock", format!("`{pat}` in an answer path"));
-                }
+            if has_token(code, "Instant::now") {
+                push(
+                    &mut out,
+                    line,
+                    "no-wall-clock",
+                    "`Instant::now` in an answer path (waivable for deadline/elapsed use)"
+                        .to_string(),
+                );
             }
             for pat in ["thread::sleep", "park_timeout"] {
                 if has_token(code, pat) {
@@ -155,7 +184,11 @@ pub fn check(map: &SourceMap, class: &FileClass) -> Vec<RawViolation> {
 }
 
 fn push(out: &mut Vec<RawViolation>, line: usize, rule: &'static str, message: String) {
-    out.push(RawViolation { line: line + 1, rule, message });
+    out.push(RawViolation { line: line + 1, rule, message, waivable: true });
+}
+
+fn push_unwaivable(out: &mut Vec<RawViolation>, line: usize, rule: &'static str, message: String) {
+    out.push(RawViolation { line: line + 1, rule, message, waivable: false });
 }
 
 /// Token search with identifier-boundary checks on whichever ends of

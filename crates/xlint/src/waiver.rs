@@ -79,7 +79,12 @@ pub fn collect(map: &SourceMap) -> (Vec<Waiver>, Vec<RawViolation>) {
 }
 
 fn hygiene(line: usize, msg: &str) -> RawViolation {
-    RawViolation { line: line + 1, rule: "waiver-hygiene", message: msg.to_string() }
+    RawViolation {
+        line: line + 1,
+        rule: "waiver-hygiene",
+        message: msg.to_string(),
+        waivable: true,
+    }
 }
 
 /// Strips the reason separator: em/en dash, `--`, `-`, or `:`.
@@ -101,6 +106,12 @@ pub fn apply(
     waivers: &mut [Waiver],
 ) -> Vec<RawViolation> {
     violations.retain(|v| {
+        // Unwaivable findings survive untouched; a waiver aimed at one
+        // stays unused and is flagged below, so the ban cannot be
+        // argued around in a comment.
+        if !v.waivable {
+            return true;
+        }
         for w in waivers.iter_mut() {
             if w.rule == v.rule && (w.file_level || covers(map, w.line, v.line)) {
                 w.used = true;

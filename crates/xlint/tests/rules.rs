@@ -50,6 +50,50 @@ fn timing() {
 }
 
 #[test]
+fn instant_is_waivable_but_calendar_time_is_not() {
+    // A justified waiver suppresses the monotonic deadline pattern …
+    let deadline = r#"
+fn expired(deadline: std::time::Instant) -> bool {
+    // xlint: allow(no-wall-clock) — deadline check; decides only when
+    // sampling stops, never what it returns.
+    std::time::Instant::now() >= deadline
+}
+"#;
+    assert_eq!(fired(deadline), [""; 0]);
+    // … but the identical waiver shape cannot argue away calendar
+    // time: the violation survives AND the waiver is flagged as
+    // suppressing nothing.
+    let calendar = r#"
+fn stamp() -> u64 {
+    // xlint: allow(no-wall-clock) — we promise it is fine.
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+"#;
+    let mut rules = fired(calendar);
+    rules.sort_unstable();
+    assert!(rules.contains(&"no-wall-clock"), "SystemTime must survive a waiver: {rules:?}");
+    assert!(rules.contains(&"waiver-hygiene"), "the useless waiver must be flagged: {rules:?}");
+    // A file-level waiver is equally powerless.
+    let file_level = r#"
+// xlint: allow-file(no-wall-clock) — timing module.
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+"#;
+    assert!(fired(file_level).contains(&"no-wall-clock"));
+}
+
+#[test]
+fn calendar_time_is_banned_even_in_the_timing_exempt_bench() {
+    let calendar = "fn f() { let t = std::time::SystemTime::now(); }\n";
+    let fired: Vec<_> =
+        lint_as(calendar, "vulnds-bench", false).into_iter().map(|(_, r)| r).collect();
+    assert_eq!(fired, ["no-wall-clock"], "the bench timing exemption must not cover SystemTime");
+    // The exemption still covers what it is for: monotonic timing.
+    assert_eq!(lint_as("fn f() { let t = Instant::now(); }\n", "vulnds-bench", false), []);
+}
+
+#[test]
 fn no_sleep_fires_and_spares() {
     let firing = "fn f() { std::thread::sleep(d); }\n";
     assert_eq!(fired(firing), ["no-sleep"]);

@@ -30,7 +30,9 @@ use vulnds_core::{
 use vulnds_datasets::Dataset;
 
 use crate::json::Json;
-use crate::serve::{detect_response_json, scores_json, serve, serve_tcp, session_stats_json};
+use crate::serve::{
+    detect_response_json, scores_json, serve_tcp, serve_with, session_stats_json, ServeOptions,
+};
 
 /// Output encoding for `detect`/`score`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,7 +62,7 @@ pub enum Command {
     /// `score <graph> --method ...`
     Score { path: String, bottomk: bool, config: VulnConfig, format: OutputFormat },
     /// `serve <graph> --workers <w> [--tcp addr] ...`
-    Serve { path: String, config: VulnConfig, workers: usize, tcp: Option<String> },
+    Serve { path: String, config: VulnConfig, tcp: Option<String>, options: ServeOptions },
     /// `bounds <graph> --order <z>`
     Bounds { path: String, order: usize },
     /// `generate <dataset> <out> --scale <s> --seed <s>`
@@ -92,7 +94,8 @@ USAGE:
   vulnds serve    <graph> [--workers <w>] [--tcp <addr>] [--seed <s>]
                   [--threads <t>] [--bk <b>] [--bound-order <z>]
                   [--block-words auto|1|2|4|8] [--direction push|pull|auto]
-                  [--max-samples <n>]
+                  [--max-samples <n>] [--default-timeout-ms <ms>]
+                  [--max-connections <n>] [--drain-ms <ms>]
   vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
                   datasets: bitcoin facebook wiki p2p citation
                             interbank guarantee fraud
@@ -116,12 +119,21 @@ serve answers newline-delimited JSON requests (see the vulnds::serve
 module docs for the wire format) from one shared session: stdin by
 default, or a TCP listener with --tcp host:port. --workers sets the
 query worker pool per connection (defaults to available parallelism;
-TCP mode serves up to 64 connections at once, each with its own pool
-over the one shared session); --threads sets the per-query sampler
-threads and defaults to 1 in serve mode, the right posture when many
-clients query at once. Serve caps every query's sample budget at
---max-samples (default 5000000) so a client-chosen epsilon cannot pin
-a worker on an unbounded sampling job.
+TCP mode serves up to --max-connections clients at once, default 64,
+each with its own pool over the one shared session, refusing the rest
+with a structured overloaded response); --threads sets the per-query
+sampler threads and defaults to 1 in serve mode, the right posture
+when many clients query at once. Serve caps every query's sample
+budget at --max-samples (default 5000000) so a client-chosen epsilon
+cannot pin a worker on an unbounded sampling job.
+--default-timeout-ms gives every query a deadline (and caps each
+request's own timeout_ms): a query cut off by its deadline returns a
+degraded answer — fewer samples, a wider achieved_epsilon, still
+bit-identically replayable. Requests past the queue are shed with an
+error: overloaded response carrying retry_after_ms. A cmd: shutdown
+request (or end of input) stops the intake and drains in-flight
+queries for --drain-ms (default 2000) before cancelling them into
+degraded answers; serve then flushes and exits 0.
 Graph files: text format (see ugraph::io) or binary (.bin).";
 
 /// Parses a `--block-words` value: `auto` (planner) or a fixed width.
@@ -286,6 +298,9 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             let mut workers: Option<usize> = None;
             let mut tcp: Option<String> = None;
             let mut max_samples = crate::serve::DEFAULT_SERVE_MAX_SAMPLES;
+            let mut default_timeout_ms: Option<u64> = None;
+            let mut max_connections = crate::serve::MAX_CONNECTIONS;
+            let mut drain_ms = crate::serve::DEFAULT_DRAIN_MS;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -303,6 +318,25 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                             .ok()
                             .filter(|&n| n > 0)
                             .ok_or_else(|| err("--max-samples: not a positive integer"))?
+                    }
+                    "--default-timeout-ms" => {
+                        default_timeout_ms = Some(
+                            value(&rest, &mut i)?
+                                .parse()
+                                .map_err(|_| err("--default-timeout-ms: not an integer"))?,
+                        )
+                    }
+                    "--max-connections" => {
+                        max_connections = value(&rest, &mut i)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--max-connections: not a positive integer"))?
+                    }
+                    "--drain-ms" => {
+                        drain_ms = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| err("--drain-ms: not an integer"))?
                     }
                     "--seed" => {
                         config.seed = value(&rest, &mut i)?
@@ -341,8 +375,14 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             // cap a hostile ε (e.g. 1e-9) is a denial of service.
             config.threads = threads.unwrap_or(1).max(1);
             config.max_samples = Some(max_samples);
-            let workers = workers.unwrap_or_else(default_threads).max(1);
-            Ok(Command::Serve { path, config, workers, tcp })
+            let options = ServeOptions {
+                workers: workers.unwrap_or_else(default_threads).max(1),
+                default_timeout_ms,
+                drain_ms,
+                max_connections,
+                ..ServeOptions::default()
+            };
+            Ok(Command::Serve { path, config, tcp, options })
         }
         "bounds" => {
             let path = it.next().ok_or_else(|| err("bounds: missing <graph> path"))?.clone();
@@ -531,6 +571,15 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 r.engine.direction_switches,
                 r.engine.relabel_applied
             );
+            let _ = writeln!(
+                out,
+                "# traffic queries {} | degraded {} | cancelled {} | shed {} | in-flight {}",
+                session.queries,
+                session.queries_degraded,
+                session.queries_cancelled,
+                session.requests_shed,
+                session.in_flight
+            );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
                 let _ = writeln!(out, "{} {} {:.6}", rank + 1, s.node.0, s.score);
@@ -554,17 +603,26 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 let _ = writeln!(out, "{v} {s:.6}");
             }
         }
-        Command::Serve { path, config, workers, tcp } => {
+        Command::Serve { path, config, tcp, options } => {
             let g = load(&path)?;
             let detector = Detector::builder(g).config(config).build()?;
             match tcp {
                 Some(addr) => {
                     let listener = std::net::TcpListener::bind(&addr)
                         .map_err(|e| VulnError::Usage(format!("serve: cannot bind {addr}: {e}")))?;
+                    // Print the *bound* address: with a `:0` port the
+                    // kernel picks, and harness-driven clients (the
+                    // fault-injection suite) parse this line to find it.
+                    let bound = listener
+                        .local_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| addr.clone());
                     eprintln!(
-                        "vulnds serve: listening on {addr} ({workers} workers per connection)"
+                        "vulnds serve: listening on {bound} ({} workers per connection, max {} connections)",
+                        options.workers, options.max_connections
                     );
-                    serve_tcp(&detector, listener, workers)?;
+                    serve_tcp(&detector, listener, &options)?;
+                    eprintln!("vulnds serve: drained and stopped");
                 }
                 None => {
                     // `StdoutLock` is not `Send`; the handle itself is,
@@ -572,8 +630,13 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                     // stderr: stdout is the NDJSON response stream and
                     // must stay machine-parseable to the last line.
                     let stdin = std::io::stdin();
-                    let summary = serve(&detector, workers, stdin.lock(), std::io::stdout())?;
-                    eprintln!("vulnds serve: answered {} requests", summary.requests);
+                    let summary = serve_with(&detector, &options, stdin.lock(), std::io::stdout())?;
+                    eprintln!(
+                        "vulnds serve: answered {} requests ({} shed{})",
+                        summary.requests,
+                        summary.shed,
+                        if summary.shutdown { ", shutdown requested" } else { "" }
+                    );
                 }
             }
         }
@@ -684,9 +747,9 @@ mod tests {
         let c =
             parse(&args("serve g.txt --workers 6 --tcp 127.0.0.1:7070 --seed 9 --bk 16")).unwrap();
         match c {
-            Command::Serve { path, config, workers, tcp } => {
+            Command::Serve { path, config, tcp, options } => {
                 assert_eq!(path, "g.txt");
-                assert_eq!(workers, 6);
+                assert_eq!(options.workers, 6);
                 assert_eq!(tcp.as_deref(), Some("127.0.0.1:7070"));
                 assert_eq!(config.seed, 9);
                 assert_eq!(config.bk, 16);
@@ -696,6 +759,9 @@ mod tests {
                     Some(crate::serve::DEFAULT_SERVE_MAX_SAMPLES),
                     "serve must cap budgets by default (hostile-epsilon DoS guard)"
                 );
+                assert_eq!(options.default_timeout_ms, None);
+                assert_eq!(options.max_connections, crate::serve::MAX_CONNECTIONS);
+                assert_eq!(options.drain_ms, crate::serve::DEFAULT_DRAIN_MS);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -707,14 +773,33 @@ mod tests {
         assert!(parse(&args("serve g.txt --max-samples lots")).is_err());
         // Defaults: stdin mode, worker pool sized to the machine.
         match parse(&args("serve g.txt")).unwrap() {
-            Command::Serve { workers, tcp, .. } => {
-                assert_eq!(workers, default_threads().max(1));
+            Command::Serve { tcp, options, .. } => {
+                assert_eq!(options.workers, default_threads().max(1));
                 assert_eq!(tcp, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse(&args("serve")).is_err());
         assert!(parse(&args("serve g.txt --frobnicate yes")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_robustness_options() {
+        let c =
+            parse(&args("serve g.txt --default-timeout-ms 250 --max-connections 8 --drain-ms 750"))
+                .unwrap();
+        match c {
+            Command::Serve { options, .. } => {
+                assert_eq!(options.default_timeout_ms, Some(250));
+                assert_eq!(options.max_connections, 8);
+                assert_eq!(options.drain_ms, 750);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("serve g.txt --default-timeout-ms soon")).is_err());
+        assert!(parse(&args("serve g.txt --max-connections 0")).is_err());
+        assert!(parse(&args("serve g.txt --max-connections many")).is_err());
+        assert!(parse(&args("serve g.txt --drain-ms gently")).is_err());
     }
 
     #[test]

@@ -385,6 +385,12 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                // RFC 8259: control characters (including NUL) must
+                // arrive as escapes; a raw one is framing damage, not
+                // content.
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string (escape it)"));
+                }
                 Some(_) => {
                     // Consume one UTF-8 scalar. `pos` only ever
                     // advances by whole scalars or past ASCII bytes,

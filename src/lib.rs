@@ -68,7 +68,7 @@ pub mod prelude {
         WhatIfReport,
     };
     pub use vulnds_datasets::{Dataset, ProbabilityModel};
-    pub use vulnds_sampling::{forward_counts, reverse_counts, Xoshiro256pp};
+    pub use vulnds_sampling::{forward_counts, reverse_counts, CancelToken, Xoshiro256pp};
 }
 
 pub use prelude::*;

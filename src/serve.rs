@@ -15,16 +15,41 @@
 //! {"id": 2, "cmd": "batch", "requests": [{"k": 5, "algorithm": "sn"}, {"k": 9, "algorithm": "sn"}]}
 //! {"id": 3, "cmd": "stats"}
 //! {"id": 4, "cmd": "clear"}
+//! {"id": 5, "k": 5, "timeout_ms": 50, "sample_cap": 100000}
+//! {"id": 6, "cmd": "shutdown"}
 //!
 //! # response (one per line; order may differ from request order — match by id)
-//! {"id": 1, "ok": true, "top_k": [{"node": 17, "score": 0.31}, …], "stats": {…}, "engine": {…}}
-//! {"id": 3, "ok": true, "session": {"queries": 2, "samples_drawn": 18000, …}}
+//! {"id": 1, "ok": true, "top_k": [{"node": 17, "score": 0.31}, …], "degraded": false, …}
+//! {"id": 3, "ok": true, "session": {"queries": 2, "samples_drawn": 18000, …}, "queued": 0}
+//! {"id": 5, "ok": true, "top_k": […], "degraded": true, "achieved_epsilon": 0.31, …}
+//! {"id": 6, "ok": true, "draining": true}
 //! {"id": 9, "ok": false, "error": "detect: \"k\" (positive integer) is required"}
+//! {"id": 7, "ok": false, "error": "overloaded", "retry_after_ms": 100}
 //! ```
 //!
 //! `cmd` defaults to `"detect"` when a `k` field is present. Responses
 //! stream back as they complete, so a slow query never blocks a fast
 //! one; clients that need pairing must send an `id`.
+//!
+//! ## Deadlines, degradation, and drain
+//!
+//! Every request may carry a `timeout_ms` (monotonic deadline for the
+//! query; capped by the server's `--default-timeout-ms` when set) and a
+//! `sample_cap` (hard cap on Monte-Carlo worlds). A query cut short by
+//! either returns a **degraded** answer: `"degraded": true`, the exact
+//! `samples_used`, and the widened `achieved_epsilon` actually earned by
+//! those samples. Replaying the same request with that `samples_used`
+//! as its `sample_cap` reproduces the degraded answer bit-identically —
+//! a cut-off pass is a valid (ε′, δ) answer, not a corrupted one.
+//!
+//! When the task queue is full the reader **sheds** instead of
+//! buffering without bound: the request is answered immediately with
+//! `{"error": "overloaded", "retry_after_ms": …}` and never queued.
+//! A `shutdown` request (or end-of-input) stops the intake, then gives
+//! in-flight queries a drain window (`--drain-ms`) to finish; whatever
+//! is still running when it expires is cancelled at the next superblock
+//! boundary and answered degraded. Either way every accepted request
+//! gets a response and the loop exits cleanly.
 //!
 //! The same loop serves stdin (the default) or a TCP listener
 //! (`--tcp addr`, one connection handler per client, all sharing the
@@ -34,12 +59,15 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ugraph::NodeId;
 use vulnds_core::engine::{DetectRequest, DetectResponse, Detector};
 use vulnds_core::{EngineStats, RunStats, SessionStats, VulnError};
+use vulnds_sampling::CancelToken;
 
 use crate::cli::parse_algorithm;
 use crate::json::Json;
@@ -49,6 +77,46 @@ use crate::json::Json;
 pub struct ServeSummary {
     /// Non-empty request lines answered (including error responses).
     pub requests: u64,
+    /// Requests refused with `overloaded` because the queue was full.
+    pub shed: u64,
+    /// Whether the loop ended on a `shutdown` request (from this
+    /// connection or, under TCP, any other) rather than end-of-input.
+    pub shutdown: bool,
+}
+
+/// Tuning knobs for one serve loop (or one TCP listener's worth of
+/// them). [`serve`] uses the defaults with an explicit worker count;
+/// the CLI maps `--workers`, `--default-timeout-ms`, `--drain-ms`, and
+/// `--max-connections` onto the fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads answering queries (per connection under TCP).
+    pub workers: usize,
+    /// Deadline applied to every query that does not bring its own
+    /// `timeout_ms`; a request's own value is **capped** at this, so a
+    /// client cannot opt out of the server's latency posture.
+    pub default_timeout_ms: Option<u64>,
+    /// How long in-flight queries may keep running after shutdown or
+    /// end-of-input before being cancelled into degraded answers.
+    pub drain_ms: u64,
+    /// Concurrent TCP connections accepted before refusing with a
+    /// structured `overloaded` response ([`serve_tcp`] only).
+    pub max_connections: usize,
+    /// Depth of the task and response queues; requests beyond it are
+    /// shed, not buffered.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 1,
+            default_timeout_ms: None,
+            drain_ms: DEFAULT_DRAIN_MS,
+            max_connections: MAX_CONNECTIONS,
+            queue_depth: QUEUE_DEPTH,
+        }
+    }
 }
 
 /// Longest request line the service buffers (1 MiB). A client that
@@ -57,11 +125,10 @@ pub struct ServeSummary {
 /// grow the server's memory without bound.
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// Depth of the task and response queues between the reader, the
-/// worker pool, and the writer. Bounded so a client that floods
-/// requests or never reads its responses back-pressures the reader
-/// (blocked `send`) instead of growing server memory: at most
-/// `2 · QUEUE_DEPTH` lines are ever in flight per connection.
+/// Default depth of the task and response queues between the reader,
+/// the worker pool, and the writer. A client that floods past it is
+/// shed with `overloaded` responses instead of growing server memory:
+/// at most `2 · queue_depth` lines are ever in flight per connection.
 pub const QUEUE_DEPTH: usize = 256;
 
 /// Default hard cap on any one query's sample budget in serve mode
@@ -73,18 +140,108 @@ pub const QUEUE_DEPTH: usize = 256;
 /// graph sizes a single node serves.
 pub const DEFAULT_SERVE_MAX_SAMPLES: u64 = 5_000_000;
 
+/// Default concurrent-TCP-connection cap (override with
+/// `--max-connections`); further clients are refused with one
+/// structured `overloaded` line and disconnected, so hostile connection
+/// floods cannot multiply worker pools without bound (threads per
+/// connection = `workers` + 3).
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// Default drain window after shutdown/end-of-input (override with
+/// `--drain-ms`): long enough for well-behaved queries to finish, short
+/// enough that a pinned worker degrades instead of stalling exit.
+pub const DEFAULT_DRAIN_MS: u64 = 2_000;
+
+/// `retry_after_ms` hint attached to every `overloaded` refusal — one
+/// queue's worth of typical service time, not a promise.
+pub const RETRY_AFTER_MS: u64 = 100;
+
+/// TCP read-poll interval: how often an idle connection handler wakes
+/// to check for a server-wide shutdown.
+const TCP_POLL_MS: u64 = 200;
+
+/// Cross-connection stop signal: set by the first `shutdown` request
+/// (or by the acceptor) and polled by every reader.
+#[derive(Default)]
+struct ServeControl {
+    stop: AtomicBool,
+}
+
+impl ServeControl {
+    fn stop_requested(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in the
+        // shutdown path so a reader that observes the flag also
+        // observes everything the requester did before setting it.
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn request_stop(&self) {
+        // ORDERING: Release — see `stop_requested`.
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// How one [`read_request_line`] call ended.
+enum LineRead {
+    /// Input is exhausted.
+    Eof,
+    /// `buf` holds one complete request line.
+    Line,
+    /// The line exceeded [`MAX_REQUEST_BYTES`]; its bytes were drained
+    /// and dropped.
+    Oversized,
+    /// A stop was requested while waiting for bytes.
+    Stopped,
+}
+
+/// A retryable "no bytes yet" read error: the poll interval expiring on
+/// a TCP stream with a read timeout, or a plain EINTR.
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
 /// Reads one `\n`-terminated line into `buf` (cleared first), buffering
-/// at most [`MAX_REQUEST_BYTES`]. Returns `Ok(None)` at end-of-file,
-/// `Ok(Some(oversized))` otherwise; an oversized line's excess bytes
-/// are consumed and dropped without being stored.
-fn read_request_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<Option<bool>> {
+/// at most [`MAX_REQUEST_BYTES`]; an oversized line's excess bytes are
+/// consumed and dropped without being stored. Timed-out reads (TCP
+/// streams poll at [`TCP_POLL_MS`]) retry until bytes arrive or
+/// `stopped` reports a shutdown — partial bytes survive the retries, so
+/// a slow-loris client neither blocks shutdown nor corrupts framing.
+fn read_request_line(
+    input: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    stopped: &impl Fn() -> bool,
+) -> std::io::Result<LineRead> {
     buf.clear();
-    // +2: room for a CRLF terminator on a content line of exactly
-    // MAX_REQUEST_BYTES, so the LF- and CRLF-framed forms of the same
-    // at-limit request are judged identically.
-    let read = input.by_ref().take(MAX_REQUEST_BYTES as u64 + 2).read_until(b'\n', buf)?;
-    if read == 0 {
-        return Ok(None);
+    loop {
+        // +2: room for a CRLF terminator on a content line of exactly
+        // MAX_REQUEST_BYTES, so the LF- and CRLF-framed forms of the
+        // same at-limit request are judged identically.
+        let room = (MAX_REQUEST_BYTES + 2).saturating_sub(buf.len());
+        if room == 0 {
+            break; // at the limit with no newline: oversized
+        }
+        match input.by_ref().take(room as u64).read_until(b'\n', buf) {
+            Ok(0) if buf.is_empty() => return Ok(LineRead::Eof),
+            Ok(0) => break, // EOF mid-line: serve what arrived
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    break;
+                }
+                // No newline yet: the take limit was hit (loop exits
+                // via room == 0) or EOF follows (next read returns 0).
+            }
+            Err(e) if retryable(&e) => {
+                if stopped() {
+                    return Ok(LineRead::Stopped);
+                }
+            }
+            Err(e) => return Err(e),
+        }
     }
     if buf.last() == Some(&b'\n') {
         buf.pop();
@@ -93,66 +250,144 @@ fn read_request_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Re
         }
     }
     if buf.len() <= MAX_REQUEST_BYTES {
-        return Ok(Some(false));
+        return Ok(LineRead::Line);
     }
     // Oversized: drain the rest of the line without buffering it.
     buf.clear();
     loop {
-        let chunk = input.fill_buf()?;
-        if chunk.is_empty() {
-            return Ok(Some(true));
-        }
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                input.consume(i + 1);
-                return Ok(Some(true));
+        match input.fill_buf() {
+            Ok(chunk) => {
+                if chunk.is_empty() {
+                    return Ok(LineRead::Oversized);
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        input.consume(i + 1);
+                        return Ok(LineRead::Oversized);
+                    }
+                    None => {
+                        let len = chunk.len();
+                        input.consume(len);
+                    }
+                }
             }
-            None => {
-                let len = chunk.len();
-                input.consume(len);
+            Err(e) if retryable(&e) => {
+                if stopped() {
+                    return Ok(LineRead::Stopped);
+                }
             }
+            Err(e) => return Err(e),
         }
     }
 }
 
-/// Answers newline-delimited JSON requests from `input` on `workers`
-/// pool threads sharing `detector`, writing one JSON response line per
-/// request to `output` as each completes. Returns when `input` reaches
-/// end-of-file and every in-flight response has been written.
+/// One unit of work handed from the reader to the pool: a parsed
+/// request, or a parse failure to be answered in request order.
+enum Task {
+    Request(Json),
+    Malformed { id: Json, error: String },
+}
+
+impl Task {
+    fn id(&self) -> Json {
+        match self {
+            Task::Request(json) => json.get("id").cloned().unwrap_or(Json::Null),
+            Task::Malformed { id, .. } => id.clone(),
+        }
+    }
+}
+
+/// Per-loop context the workers answer requests against.
+#[derive(Clone, Copy)]
+struct ServeCtx<'a> {
+    detector: &'a Detector,
+    /// Parent token for every query: cancelled when the drain window
+    /// expires, turning in-flight work into degraded answers.
+    drain: &'a CancelToken,
+    default_timeout_ms: Option<u64>,
+    /// Tasks accepted but not yet popped by a worker (queue gauge).
+    queued: &'a AtomicU64,
+}
+
+/// Answers newline-delimited JSON requests from `input` on a pool of
+/// `workers` threads sharing `detector` — [`serve_with`] with default
+/// options. Kept as the simplest entry point (and the one the in-repo
+/// tests exercise).
 pub fn serve(
     detector: &Detector,
     workers: usize,
     input: impl BufRead,
     output: impl Write + Send,
 ) -> Result<ServeSummary, VulnError> {
-    let workers = workers.max(1);
+    serve_with(detector, &ServeOptions { workers, ..ServeOptions::default() }, input, output)
+}
+
+/// Answers newline-delimited JSON requests from `input` on
+/// `options.workers` pool threads sharing `detector`, writing one JSON
+/// response line per request to `output` as each completes. Returns
+/// when `input` ends or a `shutdown` request arrives, after draining
+/// in-flight queries under `options.drain_ms`.
+pub fn serve_with(
+    detector: &Detector,
+    options: &ServeOptions,
+    input: impl BufRead,
+    output: impl Write + Send,
+) -> Result<ServeSummary, VulnError> {
+    serve_inner(detector, options, input, output, &ServeControl::default())
+}
+
+fn serve_inner(
+    detector: &Detector,
+    options: &ServeOptions,
+    input: impl BufRead,
+    output: impl Write + Send,
+    control: &ServeControl,
+) -> Result<ServeSummary, VulnError> {
+    let workers = options.workers.max(1);
+    let queue_depth = options.queue_depth.max(1);
     let requests = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let queued = AtomicU64::new(0);
+    let drain = CancelToken::new();
+    let shutdown = AtomicBool::new(false);
     let io_result: std::io::Result<()> = std::thread::scope(|s| {
-        let (task_tx, task_rx) = mpsc::sync_channel::<String>(QUEUE_DEPTH);
+        let (task_tx, task_rx) = mpsc::sync_channel::<Task>(queue_depth);
         let task_rx = Arc::new(Mutex::new(task_rx));
-        let (response_tx, response_rx) = mpsc::sync_channel::<String>(QUEUE_DEPTH);
+        let (response_tx, response_rx) = mpsc::sync_channel::<String>(queue_depth);
+        let ctx = ServeCtx {
+            detector,
+            drain: &drain,
+            default_timeout_ms: options.default_timeout_ms,
+            queued: &queued,
+        };
         for _ in 0..workers {
             let task_rx = Arc::clone(&task_rx);
             let response_tx = response_tx.clone();
             let requests = &requests;
             s.spawn(move || loop {
-                // Hold the receiver lock only to pop one line, not
+                // Hold the receiver lock only to pop one task, not
                 // while answering it.
-                let line = match task_rx.lock() {
+                let task = match task_rx.lock() {
                     Ok(rx) => rx.recv(),
                     Err(_) => break,
                 };
-                let Ok(line) = line else { break };
+                let Ok(task) = task else { break };
+                // ORDERING: Relaxed — a momentary gauge; the reader's
+                // increment for this task happened before its send.
+                ctx.queued.fetch_sub(1, Ordering::Relaxed);
                 // ORDERING: Relaxed — a pure tally; the final read
                 // happens after the scope joins every thread.
                 requests.fetch_add(1, Ordering::Relaxed);
-                let response = respond(detector, &line);
+                let response = match task {
+                    Task::Request(json) => respond_parsed(&ctx, &json),
+                    Task::Malformed { id, error } => failure(id, error),
+                };
                 if response_tx.send(response.to_string()).is_err() {
                     break;
                 }
             });
         }
-        let oversize_tx = response_tx.clone();
+        let inline_tx = response_tx.clone();
         drop(response_tx);
         let writer = s.spawn(move || -> std::io::Result<()> {
             let mut output = output;
@@ -164,59 +399,132 @@ pub fn serve(
         });
         let mut input = input;
         let mut buf = Vec::new();
-        while let Some(oversized) = read_request_line(&mut input, &mut buf)? {
-            if oversized {
-                // Answer in-line (the request is gone, there is nothing
-                // to hand a worker) and keep serving the connection.
-                // ORDERING: Relaxed — same pure tally as the workers'.
-                requests.fetch_add(1, Ordering::Relaxed);
-                let error = Json::obj([
-                    ("id", Json::Null),
-                    ("ok", Json::Bool(false)),
-                    ("error", format!("request line exceeds {MAX_REQUEST_BYTES} bytes").into()),
-                ]);
-                if oversize_tx.send(error.to_string()).is_err() {
+        let stop_observed = || control.stop_requested();
+        loop {
+            match read_request_line(&mut input, &mut buf, &stop_observed)? {
+                LineRead::Eof => break,
+                LineRead::Stopped => {
+                    // Another connection asked the server to shut down.
+                    // ORDERING: Relaxed — read after the scope joins.
+                    shutdown.store(true, Ordering::Relaxed);
                     break;
                 }
-                continue;
-            }
-            let line = String::from_utf8_lossy(&buf);
-            if line.trim().is_empty() {
-                continue;
-            }
-            if task_tx.send(line.into_owned()).is_err() {
-                break;
+                LineRead::Oversized => {
+                    // Answer in-line (the request is gone, there is
+                    // nothing to hand a worker) and keep serving.
+                    // ORDERING: Relaxed — same pure tally as above.
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    let error = failure(
+                        Json::Null,
+                        format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+                    );
+                    if inline_tx.send(error.to_string()).is_err() {
+                        break;
+                    }
+                }
+                LineRead::Line => {
+                    let line = String::from_utf8_lossy(&buf);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let task = match Json::parse_salvaging_id(&line) {
+                        (Ok(json), _) => {
+                            if json.get("cmd").and_then(Json::as_str) == Some("shutdown") {
+                                // Ack, stop the intake everywhere, and
+                                // fall through to the drain below.
+                                // ORDERING: Relaxed — pure tallies.
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                shutdown.store(true, Ordering::Relaxed);
+                                let id = json.get("id").cloned().unwrap_or(Json::Null);
+                                let ack = Json::obj([
+                                    ("id", id),
+                                    ("ok", Json::Bool(true)),
+                                    ("draining", Json::Bool(true)),
+                                ]);
+                                let _ = inline_tx.send(ack.to_string());
+                                control.request_stop();
+                                break;
+                            }
+                            Task::Request(json)
+                        }
+                        (Err(e), salvaged) => Task::Malformed {
+                            id: salvaged.unwrap_or(Json::Null),
+                            error: e.to_string(),
+                        },
+                    };
+                    // ORDERING: Relaxed — incremented before the send
+                    // so a worker's decrement can never observe the
+                    // gauge at zero first.
+                    queued.fetch_add(1, Ordering::Relaxed);
+                    match task_tx.try_send(task) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(task)) => {
+                            // Shed: answer now, never queue. Bounded
+                            // memory beats unbounded latency.
+                            // ORDERING: Relaxed — gauge + tallies.
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            requests.fetch_add(1, Ordering::Relaxed);
+                            detector.note_shed();
+                            let refusal = overloaded(task.id());
+                            if inline_tx.send(refusal.to_string()).is_err() {
+                                break;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            // ORDERING: Relaxed — gauge, loop is ending.
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
             }
         }
-        drop(oversize_tx);
+        drop(inline_tx);
         drop(task_tx);
-        writer.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+        // Drain watchdog: give in-flight queries `drain_ms` to finish,
+        // then cancel them into degraded answers. The writer finishing
+        // first disconnects the channel and retires the watchdog
+        // without cancelling anything.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let drain_ms = options.drain_ms;
+        let drain_token = &drain;
+        s.spawn(move || {
+            if let Err(RecvTimeoutError::Timeout) =
+                done_rx.recv_timeout(Duration::from_millis(drain_ms))
+            {
+                drain_token.cancel();
+            }
+        });
+        let joined = writer.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        drop(done_tx);
+        joined
     });
     io_result.map_err(|e| VulnError::Usage(format!("serve: I/O error: {e}")))?;
-    // ORDERING: Relaxed — the scope above joined every writer of this
-    // counter, so this read races with nothing.
-    Ok(ServeSummary { requests: requests.load(Ordering::Relaxed) })
+    Ok(ServeSummary {
+        // ORDERING: Relaxed — the scope above joined every writer of
+        // these counters, so the reads race with nothing.
+        requests: requests.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        shutdown: shutdown.load(Ordering::Relaxed),
+    })
 }
 
-/// Concurrent TCP connections the service accepts; further clients are
-/// refused with a single JSON error line and disconnected, so hostile
-/// connection floods cannot multiply worker pools without bound
-/// (threads per connection = `workers` + 2).
-pub const MAX_CONNECTIONS: usize = 64;
-
-/// Accepts TCP connections forever, answering each client's
-/// newline-delimited JSON requests with a **per-connection**
-/// `workers`-thread pool over the one shared `detector`. Connections
-/// are served concurrently (capped at [`MAX_CONNECTIONS`]) and all
-/// compound the same session caches.
+/// Accepts TCP connections, answering each client's newline-delimited
+/// JSON requests with a **per-connection** `options.workers`-thread
+/// pool over the one shared `detector`. Connections are served
+/// concurrently (capped at `options.max_connections`; further clients
+/// get one structured `overloaded` line) and all compound the same
+/// session caches. Returns cleanly — after draining every connection —
+/// once any client sends a `shutdown` request.
 pub fn serve_tcp(
     detector: &Detector,
     listener: TcpListener,
-    workers: usize,
+    options: &ServeOptions,
 ) -> Result<(), VulnError> {
     /// Releases the connection slot on drop — including when the
     /// handler unwinds — so a panicking connection can never leak one
-    /// of the [`MAX_CONNECTIONS`] slots permanently.
+    /// of the `max_connections` slots permanently.
     struct SlotRelease<'a>(&'a AtomicU64);
     impl Drop for SlotRelease<'_> {
         fn drop(&mut self) {
@@ -227,30 +535,47 @@ pub fn serve_tcp(
         }
     }
 
+    let max_connections = options.max_connections.max(1);
+    let control = ServeControl::default();
+    let addr = listener.local_addr().ok();
     let open = AtomicU64::new(0);
     std::thread::scope(|s| {
         for stream in listener.incoming() {
+            if control.stop_requested() {
+                break; // a handler observed `shutdown` and woke us
+            }
             let Ok(mut stream) = stream else { continue };
             // ORDERING: AcqRel — reserve-then-release must be exact
             // RMWs against concurrent SlotRelease drops, or a refusal
             // storm could leak slots past the cap.
-            if open.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS as u64 {
+            if open.fetch_add(1, Ordering::AcqRel) >= max_connections as u64 {
                 open.fetch_sub(1, Ordering::AcqRel);
-                let refusal = Json::obj([
-                    ("id", Json::Null),
-                    ("ok", Json::Bool(false)),
-                    ("error", format!("server at capacity ({MAX_CONNECTIONS} connections)").into()),
-                ]);
-                let _ = writeln!(stream, "{refusal}");
+                let _ = writeln!(stream, "{}", overloaded(Json::Null));
                 continue;
             }
             let open = &open;
+            let control = &control;
             s.spawn(move || {
                 let _slot = SlotRelease(open);
+                // Poll-friendly reads: an idle connection observes a
+                // server-wide shutdown within TCP_POLL_MS instead of
+                // blocking in read() forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(TCP_POLL_MS)));
                 // Per-connection I/O errors drop the connection, not
                 // the service.
-                if let Ok(reader) = stream.try_clone() {
-                    let _ = serve(detector, workers, BufReader::new(reader), stream);
+                let summary = match stream.try_clone() {
+                    Ok(reader) => {
+                        serve_inner(detector, options, BufReader::new(reader), stream, control).ok()
+                    }
+                    Err(_) => None,
+                };
+                // The acceptor blocks in accept(); a handler that saw
+                // the shutdown wakes it with a throwaway connection so
+                // it can observe the stop flag and exit.
+                if summary.is_some_and(|sm| sm.shutdown) {
+                    if let Some(addr) = addr {
+                        let _ = std::net::TcpStream::connect(addr);
+                    }
                 }
             });
         }
@@ -258,21 +583,28 @@ pub fn serve_tcp(
     })
 }
 
-/// Answers one raw request line (already non-empty) as a response
-/// object; parse and engine errors become `ok: false` responses rather
-/// than killing the connection.
-fn respond(detector: &Detector, line: &str) -> Json {
-    let (id, outcome) = match Json::parse_salvaging_id(line) {
-        // A syntax error still echoes any root-level id parsed before
-        // the error, so clients can pair the failure with its request.
-        (Err(e), salvaged) => (salvaged.unwrap_or(Json::Null), Err(e)),
-        (Ok(request), _) => {
-            let id = request.get("id").cloned().unwrap_or(Json::Null);
-            (id, dispatch(detector, &request))
-        }
-    };
+/// Shapes one engine/parse failure as a response line.
+fn failure(id: Json, error: impl Into<String>) -> Json {
+    Json::obj([("id", id), ("ok", Json::Bool(false)), ("error", Json::Str(error.into()))])
+}
+
+/// Shapes a load-shed refusal: machine-matchable `error` plus a
+/// back-off hint.
+fn overloaded(id: Json) -> Json {
+    Json::obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("overloaded".to_string())),
+        ("retry_after_ms", RETRY_AFTER_MS.into()),
+    ])
+}
+
+/// Answers one parsed request as a response object; engine errors
+/// become `ok: false` responses rather than killing the connection.
+fn respond_parsed(ctx: &ServeCtx<'_>, request: &Json) -> Json {
+    let id = request.get("id").cloned().unwrap_or(Json::Null);
     let mut fields = vec![("id".to_string(), id)];
-    match outcome {
+    match dispatch(ctx, request) {
         Ok(Json::Obj(payload)) => {
             fields.push(("ok".to_string(), Json::Bool(true)));
             fields.extend(payload);
@@ -289,8 +621,22 @@ fn respond(detector: &Detector, line: &str) -> Json {
     Json::Obj(fields)
 }
 
+/// Applies the serve loop's query policy to one parsed request: the
+/// server's default timeout caps the client's (so a client cannot opt
+/// out of the latency posture), and every query hangs off the drain
+/// token so shutdown can cancel it into a degraded answer.
+fn scoped(mut request: DetectRequest, ctx: &ServeCtx<'_>) -> DetectRequest {
+    request.timeout_ms = match (request.timeout_ms, ctx.default_timeout_ms) {
+        (Some(t), Some(cap)) => Some(t.min(cap)),
+        (t, cap) => t.or(cap),
+    };
+    request.cancel = Some(ctx.drain.clone());
+    request
+}
+
 /// Routes one parsed request to the engine.
-fn dispatch(detector: &Detector, request: &Json) -> Result<Json, VulnError> {
+fn dispatch(ctx: &ServeCtx<'_>, request: &Json) -> Result<Json, VulnError> {
+    let detector = ctx.detector;
     let cmd = match request.get("cmd").map(|c| (c, c.as_str())) {
         None if request.get("k").is_some() => "detect",
         None => "",
@@ -299,7 +645,7 @@ fn dispatch(detector: &Detector, request: &Json) -> Result<Json, VulnError> {
     };
     match cmd {
         "detect" => {
-            let response = detector.detect(&parse_detect(request)?)?;
+            let response = detector.detect(&scoped(parse_detect(request)?, ctx))?;
             Ok(detect_response_json(&response))
         }
         "batch" => {
@@ -307,20 +653,26 @@ fn dispatch(detector: &Detector, request: &Json) -> Result<Json, VulnError> {
                 .get("requests")
                 .and_then(Json::as_array)
                 .ok_or_else(|| usage("batch: \"requests\" (array) is required"))?;
-            let parsed: Vec<DetectRequest> =
-                items.iter().map(parse_detect).collect::<Result<_, _>>()?;
+            let parsed: Vec<DetectRequest> = items
+                .iter()
+                .map(|item| parse_detect(item).map(|r| scoped(r, ctx)))
+                .collect::<Result<_, _>>()?;
             let responses = detector.detect_many(&parsed)?;
             Ok(Json::obj([(
                 "responses",
                 Json::Arr(responses.iter().map(detect_response_json).collect()),
             )]))
         }
-        "stats" => Ok(Json::obj([("session", session_stats_json(&detector.session_stats()))])),
+        "stats" => Ok(Json::obj([
+            ("session", session_stats_json(&detector.session_stats())),
+            // ORDERING: Relaxed — a momentary gauge for operators.
+            ("queued", ctx.queued.load(Ordering::Relaxed).into()),
+        ])),
         "clear" => {
             detector.clear_cache();
             Ok(Json::obj([("cleared", Json::Bool(true))]))
         }
-        other => Err(usage(&format!("unknown cmd {other:?} (detect|batch|stats|clear)"))),
+        other => Err(usage(&format!("unknown cmd {other:?} (detect|batch|stats|clear|shutdown)"))),
     }
 }
 
@@ -354,6 +706,19 @@ fn parse_detect(request: &Json) -> Result<DetectRequest, VulnError> {
     if let Some(v) = request.get("seed") {
         parsed = parsed
             .with_seed(v.as_u64().ok_or_else(|| usage("detect: \"seed\" must be an integer"))?);
+    }
+    if let Some(v) = request.get("timeout_ms") {
+        parsed = parsed.with_timeout_ms(
+            v.as_u64()
+                .ok_or_else(|| usage("detect: \"timeout_ms\" must be a non-negative integer"))?,
+        );
+    }
+    if let Some(v) = request.get("sample_cap") {
+        parsed = parsed.with_sample_cap(
+            v.as_u64()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| usage("detect: \"sample_cap\" must be a positive integer"))?,
+        );
     }
     if let Some(v) = request.get("candidates") {
         let items = v.as_array().ok_or_else(|| usage("detect: \"candidates\" must be an array"))?;
@@ -389,6 +754,9 @@ pub fn detect_response_json(response: &DetectResponse) -> Json {
                     .collect(),
             ),
         ),
+        ("degraded", response.degraded.into()),
+        // Non-finite (no samples at all) renders as null by design.
+        ("achieved_epsilon", response.achieved_epsilon.into()),
         ("stats", run_stats_json(&response.stats)),
         ("engine", engine_stats_json(&response.engine)),
     ])
@@ -430,6 +798,10 @@ pub fn engine_stats_json(engine: &EngineStats) -> Json {
 pub fn session_stats_json(session: &SessionStats) -> Json {
     Json::obj([
         ("queries", session.queries.into()),
+        ("queries_degraded", session.queries_degraded.into()),
+        ("queries_cancelled", session.queries_cancelled.into()),
+        ("requests_shed", session.requests_shed.into()),
+        ("in_flight", session.in_flight.into()),
         ("samples_drawn", session.samples_drawn.into()),
         ("samples_reused", session.samples_reused.into()),
         ("bounds_computed", session.bounds_computed.into()),
@@ -473,13 +845,22 @@ mod tests {
     /// Runs a full serve loop over in-memory I/O and returns the
     /// response lines parsed back to JSON.
     fn run_lines(detector: &Detector, workers: usize, input: &str) -> Vec<Json> {
+        run_lines_with(detector, &ServeOptions { workers, ..ServeOptions::default() }, input).1
+    }
+
+    fn run_lines_with(
+        detector: &Detector,
+        options: &ServeOptions,
+        input: &str,
+    ) -> (ServeSummary, Vec<Json>) {
         let mut output = Vec::new();
-        let summary = serve(detector, workers, input.as_bytes(), &mut output).expect("serve runs");
+        let summary =
+            serve_with(detector, options, input.as_bytes(), &mut output).expect("serve runs");
         let text = String::from_utf8(output).unwrap();
         let lines: Vec<Json> =
             text.lines().map(|l| Json::parse(l).expect("valid response JSON")).collect();
         assert_eq!(summary.requests as usize, lines.len());
-        lines
+        (summary, lines)
     }
 
     fn by_id(lines: &[Json], id: u64) -> &Json {
@@ -510,6 +891,7 @@ mod tests {
         let detect = by_id(&lines, 1);
         assert_eq!(detect.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(detect.get("top_k").and_then(Json::as_array).map(<[Json]>::len), Some(5));
+        assert_eq!(detect.get("degraded").and_then(Json::as_bool), Some(false));
         assert_eq!(
             detect.get("stats").and_then(|s| s.get("algorithm")).and_then(Json::as_str),
             Some("BSRBK")
@@ -524,6 +906,14 @@ mod tests {
         let queries =
             stats.get("session").and_then(|s| s.get("queries")).and_then(Json::as_u64).unwrap();
         assert!(queries <= 3);
+        // The robustness gauges ride along on every stats answer.
+        for gauge in ["queries_degraded", "queries_cancelled", "requests_shed", "in_flight"] {
+            assert!(
+                stats.get("session").and_then(|s| s.get(gauge)).and_then(Json::as_u64).is_some(),
+                "missing session gauge {gauge}"
+            );
+        }
+        assert!(stats.get("queued").and_then(Json::as_u64).is_some());
 
         for id in [4, 5] {
             let err = by_id(&lines, id);
@@ -739,6 +1129,140 @@ mod tests {
     }
 
     #[test]
+    fn sample_cap_requests_answer_degraded_and_replay() {
+        let detector = service();
+        let lines = run_lines(
+            &detector,
+            1,
+            concat!(
+                "{\"id\": 1, \"k\": 3, \"algorithm\": \"sn\"}\n",
+                "{\"id\": 2, \"cmd\": \"clear\"}\n",
+                "{\"id\": 3, \"k\": 3, \"algorithm\": \"sn\", \"sample_cap\": 64}\n",
+                "{\"id\": 4, \"cmd\": \"clear\"}\n",
+                "{\"id\": 5, \"k\": 3, \"algorithm\": \"sn\", \"sample_cap\": 64}\n",
+                "{\"id\": 6, \"k\": 3, \"algorithm\": \"sn\", \"sample_cap\": 0}\n",
+            ),
+        );
+        let full = by_id(&lines, 1);
+        assert_eq!(full.get("degraded").and_then(Json::as_bool), Some(false));
+        let capped = by_id(&lines, 3);
+        assert_eq!(capped.get("ok").and_then(Json::as_bool), Some(true), "{capped}");
+        assert_eq!(capped.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            capped.get("stats").and_then(|s| s.get("samples_used")).and_then(Json::as_u64),
+            Some(64)
+        );
+        let widened = capped.get("achieved_epsilon").and_then(Json::as_f64).unwrap();
+        assert!(widened.is_finite() && widened > 0.0);
+        // Same cap from cold replays the identical degraded answer.
+        assert_eq!(by_id(&lines, 5).get("top_k"), capped.get("top_k"), "degraded replay differs");
+        // A zero cap is a usage error, not a hung or empty answer.
+        assert_eq!(by_id(&lines, 6).get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn timeout_zero_cancels_cold_queries_cleanly() {
+        let detector = service();
+        let (_, lines) = run_lines_with(
+            &detector,
+            &ServeOptions::default(),
+            "{\"id\": 1, \"k\": 3, \"algorithm\": \"sn\", \"timeout_ms\": 0}\n",
+        );
+        let r = by_id(&lines, 1);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        assert!(
+            r.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("cancelled")),
+            "{r}"
+        );
+        assert_eq!(detector.session_stats().queries_cancelled, 1);
+        // The session is not poisoned.
+        let (_, lines) = run_lines_with(
+            &detector,
+            &ServeOptions::default(),
+            "{\"id\": 2, \"k\": 3, \"algorithm\": \"sn\"}\n",
+        );
+        assert_eq!(by_id(&lines, 2).get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn server_default_timeout_caps_the_clients() {
+        let detector = service();
+        // An expired server default applies to requests without their
+        // own timeout AND caps a client's generous one.
+        let options = ServeOptions { default_timeout_ms: Some(0), ..ServeOptions::default() };
+        let (_, lines) = run_lines_with(
+            &detector,
+            &options,
+            concat!(
+                "{\"id\": 1, \"k\": 3, \"algorithm\": \"sn\"}\n",
+                "{\"id\": 2, \"k\": 3, \"algorithm\": \"sn\", \"timeout_ms\": 99999999}\n",
+            ),
+        );
+        for id in [1, 2] {
+            let r = by_id(&lines, id);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        }
+        assert_eq!(detector.session_stats().queries_cancelled, 2);
+    }
+
+    #[test]
+    fn shutdown_acks_stops_intake_and_reports() {
+        let detector = service();
+        let (summary, lines) = run_lines_with(
+            &detector,
+            &ServeOptions::default(),
+            concat!(
+                "{\"id\": 1, \"k\": 3, \"algorithm\": \"sn\"}\n",
+                "{\"id\": 2, \"cmd\": \"shutdown\"}\n",
+                "{\"id\": 3, \"k\": 3, \"algorithm\": \"sn\"}\n", // after shutdown: unread
+            ),
+        );
+        assert!(summary.shutdown);
+        assert_eq!(summary.requests, 2, "intake must stop at the shutdown line");
+        assert_eq!(by_id(&lines, 1).get("ok").and_then(Json::as_bool), Some(true));
+        let ack = by_id(&lines, 2);
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true));
+        assert!(lines.iter().all(|l| l.get("id").and_then(Json::as_u64) != Some(3)));
+    }
+
+    #[test]
+    fn flood_past_the_queue_sheds_with_structured_refusals() {
+        let detector = service();
+        // One worker, a queue of one, and two slow head-of-line queries
+        // (tight ε on a cold cache): the burst behind them cannot all
+        // fit, so at least one refusal is guaranteed; every refusal is
+        // the structured overloaded shape and the summary tallies them.
+        let mut input = String::new();
+        for id in 0..2u64 {
+            input.push_str(&format!(
+                "{{\"id\": {id}, \"k\": 3, \"algorithm\": \"sn\", \"epsilon\": 0.03, \"seed\": {id}}}\n"
+            ));
+        }
+        for id in 2..40u64 {
+            input.push_str(&format!("{{\"id\": {id}, \"cmd\": \"stats\"}}\n"));
+        }
+        let options = ServeOptions { workers: 1, queue_depth: 1, ..ServeOptions::default() };
+        let (summary, lines) = run_lines_with(&detector, &options, &input);
+        assert_eq!(summary.requests, 40);
+        let refusals: Vec<&Json> = lines
+            .iter()
+            .filter(|l| l.get("error").and_then(Json::as_str) == Some("overloaded"))
+            .collect();
+        assert!(!refusals.is_empty(), "flood past a full queue must shed");
+        assert_eq!(summary.shed as usize, refusals.len());
+        for refusal in refusals {
+            assert_eq!(refusal.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(
+                refusal.get("retry_after_ms").and_then(Json::as_u64),
+                Some(RETRY_AFTER_MS),
+                "{refusal}"
+            );
+        }
+        assert_eq!(detector.session_stats().requests_shed, summary.shed);
+    }
+
+    #[test]
     fn tcp_round_trip() {
         use std::io::{BufRead, BufReader, Write};
         let graph = Dataset::Interbank.generate_scaled(3, 1.0);
@@ -748,7 +1272,8 @@ mod tests {
         let server = Arc::clone(&detector);
         // Detached acceptor: lives until the test process exits.
         std::thread::spawn(move || {
-            let _ = serve_tcp(&server, listener, 2);
+            let options = ServeOptions { workers: 2, ..ServeOptions::default() };
+            let _ = serve_tcp(&server, listener, &options);
         });
 
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
@@ -771,5 +1296,45 @@ mod tests {
             .and_then(Json::as_u64)
             .unwrap();
         assert_eq!(first, direct.top_k[0].node.0 as u64);
+    }
+
+    #[test]
+    fn tcp_shutdown_refuses_and_exits_cleanly() {
+        use std::io::{BufRead, BufReader, Write};
+        let graph = Dataset::Interbank.generate_scaled(3, 1.0);
+        let detector = Detector::builder(graph).seed(7).threads(1).build().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn({
+            let detector = Arc::new(detector);
+            move || {
+                let options = ServeOptions {
+                    workers: 1,
+                    max_connections: 1,
+                    drain_ms: 500,
+                    ..ServeOptions::default()
+                };
+                serve_tcp(&detector, listener, &options)
+            }
+        });
+        // First client occupies the single slot (acceptor claims the
+        // slot before accepting the next stream, so this is ordered).
+        let first = std::net::TcpStream::connect(addr).unwrap();
+        // Second client is refused with the structured overloaded line.
+        let refused = std::net::TcpStream::connect(addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(refused).read_line(&mut line).unwrap();
+        let refusal = Json::parse(line.trim()).unwrap();
+        assert_eq!(refusal.get("error").and_then(Json::as_str), Some("overloaded"), "{refusal}");
+        assert_eq!(refusal.get("retry_after_ms").and_then(Json::as_u64), Some(RETRY_AFTER_MS));
+        // The surviving client asks the whole server to shut down; the
+        // acceptor wakes, drains, and serve_tcp returns.
+        let mut first = first;
+        first.write_all(b"{\"id\": 1, \"cmd\": \"shutdown\"}\n").unwrap();
+        let mut ack = String::new();
+        BufReader::new(first.try_clone().unwrap()).read_line(&mut ack).unwrap();
+        let ack = Json::parse(ack.trim()).unwrap();
+        assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true), "{ack}");
+        server.join().unwrap().expect("serve_tcp exits cleanly after shutdown");
     }
 }

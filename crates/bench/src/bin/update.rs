@@ -1,0 +1,250 @@
+//! Live-update bench (`BENCH_update.json`): what a graph delta costs
+//! and what the delta-aware caches save.
+//!
+//! Three measurement families:
+//!
+//! * **Epoch swap latency** — `Detector::apply_delta` wall time for
+//!   small (1 node + 1 edge) and larger (1% of items) batches against
+//!   a warm session, with the revalidated/invalidated cache counts.
+//! * **Warm vs cold** — the first query after a delta, answered by the
+//!   revalidated session vs by a from-scratch session on the same
+//!   post-delta graph. Same bits by construction; the gap is the
+//!   revalidation payoff.
+//! * **Update-rate × query-mix sweep** — `serve_with` throughput on
+//!   request streams mixing `update` and `detect` at 1:16, 1:4, and
+//!   1:1, single connection, worker pool as configured. The stream
+//!   arrives at maximum rate (a `Cursor`, the worst case a flood
+//!   produces), so the bounded queue sheds part of it — acked updates
+//!   and shed requests are reported separately.
+//!
+//! Env knobs: `VULNDS_SCALE`, `VULNDS_SEED` (see `workload`),
+//! `VULNDS_BENCH_JSON` (output path).
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use ugraph::{EdgeId, GraphDelta, NodeId, UncertainGraph};
+use vulnds::json::Json;
+use vulnds::serve::{serve_with, ServeOptions, DEFAULT_SERVE_MAX_SAMPLES};
+use vulnds_bench::machine::{available_parallelism, emit_machine};
+use vulnds_bench::microbench::JsonReport;
+use vulnds_bench::workload;
+use vulnds_core::engine::Detector;
+use vulnds_core::{AlgorithmKind, DetectRequest};
+use vulnds_datasets::Dataset;
+
+/// Deterministic delta stream: index → which node/edge move and to
+/// what. Small deltas touch 1 node + 1 edge; a `span` of n touches n
+/// of each.
+fn delta_at(index: u64, span: u64, graph: &UncertainGraph) -> GraphDelta {
+    let n = graph.num_nodes() as u64;
+    let m = graph.num_edges() as u64;
+    let mut delta = GraphDelta::default();
+    for j in 0..span {
+        let i = index * span + j;
+        delta = delta
+            .set_self_risk(NodeId(((i * 7 + 3) % n) as u32), 0.2 + (i % 60) as f64 * 0.01)
+            .set_edge_prob(EdgeId(((i * 5 + 1) % m) as u32), 0.15 + (i % 70) as f64 * 0.01);
+    }
+    delta
+}
+
+struct SwapStats {
+    apply_ms_mean: f64,
+    revalidated: u64,
+    invalidated: u64,
+    warm_query_ms: f64,
+    cold_query_ms: f64,
+}
+
+/// Applies `rounds` deltas of `span` items to a warm session, timing
+/// each swap, then times the first post-delta query warm (revalidated
+/// session) and cold (fresh session on the same graph).
+fn swap_latency(graph: &UncertainGraph, span: u64, rounds: u64) -> SwapStats {
+    let config = workload::config().with_threads(1);
+    let detector = Detector::builder(graph)
+        .config(config.clone())
+        .max_samples(DEFAULT_SERVE_MAX_SAMPLES)
+        .build()
+        .expect("session builds");
+    let request = DetectRequest::new(8, AlgorithmKind::BottomK);
+    // Warm every cache the delta path can revalidate.
+    detector.detect(&request).expect("warmup query");
+
+    let mut apply_ms = 0.0;
+    let (mut revalidated, mut invalidated) = (0u64, 0u64);
+    for i in 0..rounds {
+        let delta = delta_at(i, span, graph);
+        let start = Instant::now();
+        let outcome = detector.apply_delta(&delta).expect("delta applies");
+        apply_ms += start.elapsed().as_secs_f64() * 1e3;
+        revalidated += outcome.revalidated;
+        invalidated += outcome.invalidated;
+    }
+
+    let start = Instant::now();
+    let warm = detector.detect(&request).expect("warm query");
+    let warm_query_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut mutated = graph.clone();
+    for i in 0..rounds {
+        delta_at(i, span, graph).apply(&mut mutated).expect("delta applies to the copy");
+    }
+    let cold_session = Detector::builder(mutated)
+        .config(config)
+        .max_samples(DEFAULT_SERVE_MAX_SAMPLES)
+        .build()
+        .expect("cold session builds");
+    let start = Instant::now();
+    let cold = cold_session.detect(&request).expect("cold query");
+    let cold_query_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        warm.top_k.iter().map(|s| (s.node, s.score.to_bits())).collect::<Vec<_>>(),
+        cold.top_k.iter().map(|s| (s.node, s.score.to_bits())).collect::<Vec<_>>(),
+        "warm and cold answers must be bit-identical"
+    );
+
+    SwapStats {
+        apply_ms_mean: apply_ms / rounds as f64,
+        revalidated,
+        invalidated,
+        warm_query_ms,
+        cold_query_ms,
+    }
+}
+
+/// One `update` request per `queries_per_update` detects, ids dense.
+fn mixed_stream(total: u64, queries_per_update: u64, graph: &UncertainGraph) -> String {
+    let n = graph.num_nodes() as u64;
+    let m = graph.num_edges() as u64;
+    let mut input = String::new();
+    let mut updates = 0u64;
+    for id in 0..total {
+        if id % (queries_per_update + 1) == 0 {
+            let i = updates;
+            updates += 1;
+            input.push_str(&format!(
+                "{{\"id\": {id}, \"cmd\": \"update\", \"self_risk\": [[{}, {}]], \
+                 \"edge_prob\": [[{}, {}]]}}\n",
+                (i * 7 + 3) % n,
+                0.2 + (i % 60) as f64 * 0.01,
+                (i * 5 + 1) % m,
+                0.15 + (i % 70) as f64 * 0.01
+            ));
+        } else {
+            input.push_str(&format!(
+                "{{\"id\": {id}, \"cmd\": \"detect\", \"k\": 8, \"algorithm\": \"bsrbk\"}}\n"
+            ));
+        }
+    }
+    input
+}
+
+fn main() {
+    let graph = workload::generate(Dataset::Interbank);
+    let n = graph.num_nodes();
+    println!(
+        "update bench: {} nodes, {} edges, {} hardware threads",
+        n,
+        graph.num_edges(),
+        available_parallelism()
+    );
+
+    let mut report = JsonReport::new();
+    emit_machine(&mut report)
+        .num("nodes", n as f64)
+        .num("edges", graph.num_edges() as f64)
+        .num("scale", workload::scale());
+
+    // Epoch swap latency + warm-vs-cold, small and 1%-of-items deltas.
+    let one_percent = ((graph.num_edges() as u64) / 100).max(1);
+    for (label, span) in [("small", 1u64), ("one_percent", one_percent)] {
+        let s = swap_latency(&graph, span, 16);
+        let survival = s.revalidated as f64 / (s.revalidated + s.invalidated).max(1) as f64;
+        println!(
+            "delta {label} (span {span}): apply {:.3} ms | revalidated {} | invalidated {} \
+             ({:.0}% survival) | first query warm {:.1} ms vs cold {:.1} ms",
+            s.apply_ms_mean,
+            s.revalidated,
+            s.invalidated,
+            survival * 1e2,
+            s.warm_query_ms,
+            s.cold_query_ms
+        );
+        report
+            .group(&format!("swap_{label}"))
+            .num("span_items", span as f64)
+            .num("apply_ms_mean", s.apply_ms_mean)
+            .num("caches_revalidated", s.revalidated as f64)
+            .num("caches_invalidated", s.invalidated as f64)
+            .num("cache_survival", survival)
+            .num("first_query_warm_ms", s.warm_query_ms)
+            .num("first_query_cold_ms", s.cold_query_ms)
+            .num("warm_over_cold", s.warm_query_ms / s.cold_query_ms.max(1e-9));
+    }
+
+    // Update-rate × query-mix sweep through the serve loop.
+    const TOTAL: u64 = 512;
+    for workers in [1usize, 4] {
+        for queries_per_update in [16u64, 4, 1] {
+            let detector = Detector::builder(&graph)
+                .config(workload::config().with_threads(1))
+                .max_samples(DEFAULT_SERVE_MAX_SAMPLES)
+                .build()
+                .expect("session builds");
+            let options = ServeOptions { workers, ..ServeOptions::default() };
+            let input = mixed_stream(TOTAL, queries_per_update, &graph);
+            let start = Instant::now();
+            let mut output = Vec::new();
+            let summary =
+                serve_with(&detector, &options, Cursor::new(input.as_bytes()), &mut output)
+                    .expect("in-memory serve cannot fail");
+            let wall_s = start.elapsed().as_secs_f64();
+            let (mut updates_acked, mut queries_answered) = (0u64, 0u64);
+            for line in String::from_utf8(output).expect("responses are utf-8").lines() {
+                let response = Json::parse(line).expect("responses are valid JSON");
+                if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                    continue;
+                }
+                if response.get("epoch").is_some() && response.get("top_k").is_none() {
+                    updates_acked += 1;
+                } else if response.get("top_k").is_some() {
+                    queries_answered += 1;
+                }
+            }
+            let session = detector.session_stats();
+            assert_eq!(session.epoch, updates_acked, "every acked update is an epoch");
+            let rps = TOTAL as f64 / wall_s.max(1e-9);
+            println!(
+                "workers {workers} mix 1:{queries_per_update}: {TOTAL} requests in {:.0} ms \
+                 ({rps:.0} req/s) | epochs {} | queries {} | shed {} | revalidated {} | \
+                 invalidated {}",
+                wall_s * 1e3,
+                session.epoch,
+                queries_answered,
+                summary.shed,
+                session.caches_revalidated,
+                session.caches_invalidated
+            );
+            report
+                .group(&format!("mix_w{workers}_q{queries_per_update}"))
+                .num("workers", workers as f64)
+                .num("queries_per_update", queries_per_update as f64)
+                .num("requests", TOTAL as f64)
+                .num("wall_ms", wall_s * 1e3)
+                .num("requests_per_sec", rps)
+                .num("epochs_applied", session.epoch as f64)
+                .num("updates_acked", updates_acked as f64)
+                .num("queries_answered", queries_answered as f64)
+                .num("shed", summary.shed as f64)
+                .num("caches_revalidated", session.caches_revalidated as f64)
+                .num("caches_invalidated", session.caches_invalidated as f64);
+        }
+    }
+
+    let path = std::env::var("VULNDS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update.json").to_string()
+    });
+    report.write(&path).expect("write benchmark report");
+    println!("wrote {path}");
+}

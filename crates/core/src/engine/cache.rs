@@ -52,10 +52,10 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use ugraph::UncertainGraph;
-use vulnds_sampling::{CoinTable, DefaultCounts};
+use vulnds_sampling::{CoinTable, DefaultCounts, TouchLedger};
 
 /// Cap on stored snapshots per stream: a session sweeping many distinct
 /// budgets would otherwise accumulate one O(slots) counts vector per
@@ -192,6 +192,39 @@ impl<K: Ord + Clone, V> FlightMap<K, V> {
     pub(crate) fn clear(&self) {
         lock_tracked(&self.slots).0.clear();
     }
+
+    /// Replaces (or creates) the cached value for `key` outright — the
+    /// epoch-revalidation path, where a repaired value was computed
+    /// outside any slot lock and must supersede whatever is there.
+    pub(crate) fn insert(&self, key: &K, value: V) {
+        let slot = self.slot(key);
+        let (mut cell, _) = lock_tracked(&slot.value);
+        *cell = Some(Arc::new(value));
+    }
+
+    /// Drops every slot whose key fails the predicate (epoch
+    /// revalidation: stale-version keys become unreachable). Returns how
+    /// many *built* values were dropped — empty in-flight slots detach
+    /// without counting.
+    pub(crate) fn retain(&self, mut keep: impl FnMut(&K) -> bool) -> u64 {
+        let (mut slots, _) = lock_tracked(&self.slots);
+        let mut dropped = 0u64;
+        slots.retain(|key, slot| {
+            if keep(key) {
+                return true;
+            }
+            // xlint: allow(lock-nesting) — lock order is slots -> slot
+            // value, the same order `get_or_build` uses (it clones the
+            // slot Arc under `slots`, releases, then locks the value);
+            // no path locks a value first and `slots` second, so the
+            // nesting cannot invert.
+            if lock_tracked(&slot.value).0.is_some() {
+                dropped += 1;
+            }
+            false
+        });
+        dropped
+    }
 }
 
 /// Evicts an arbitrary entry other than `keep` from a full map (the
@@ -211,6 +244,25 @@ fn evict_one<K: Ord + Clone, V>(map: &mut BTreeMap<K, V>, keep: &K) {
 pub(crate) struct StreamCell {
     pub(crate) drawing: AtomicBool,
     pub(crate) cache: Mutex<SampleCache>,
+    /// Union of the edge coins every draw into this cell ever
+    /// materialized — the survival witness for delta-aware
+    /// revalidation: counts are independent of every unmarked edge's
+    /// coin, so a delta that only touches unmarked edges leaves the
+    /// cached prefix bit-identical to a cold post-delta draw.
+    ledger: OnceLock<TouchLedger>,
+}
+
+impl StreamCell {
+    /// The cell's touch ledger, created on first draw.
+    pub(crate) fn ledger(&self, num_edges: usize) -> &TouchLedger {
+        self.ledger.get_or_init(|| TouchLedger::new(num_edges))
+    }
+
+    /// True if any dirty edge was ever materialized by a draw into this
+    /// cell (a never-drawn cell intersects nothing).
+    pub(crate) fn ledger_intersects(&self, edges: &[u32]) -> bool {
+        self.ledger.get().is_some_and(|ledger| ledger.intersects(edges))
+    }
 }
 
 /// Clears an atomic build/draw marker on drop — **including on
@@ -263,6 +315,15 @@ impl<K: Ord + Clone> StreamMap<K> {
     pub(crate) fn clear(&self) {
         lock_tracked(&self.streams).0.clear();
     }
+
+    /// Applies an epoch-revalidation verdict to every cached stream:
+    /// cells for which `keep` returns `false` are removed (a query
+    /// mid-draw keeps its detached cell and finishes on its pinned
+    /// snapshot). `keep` typically locks the cell, which waits out any
+    /// in-flight draw — so the ledger it inspects is complete.
+    pub(crate) fn retain(&self, mut keep: impl FnMut(&Arc<StreamCell>) -> bool) {
+        lock_tracked(&self.streams).0.retain(|_, cell| keep(cell));
+    }
 }
 
 /// Session cache of the graph's [`CoinTable`] — the per-graph
@@ -306,6 +367,36 @@ impl CoinCache {
         self.table = None;
     }
 
+    /// Epoch revalidation: re-quantizes only the delta's dirty items of
+    /// the cached table for the post-delta graph (bit-identical to a
+    /// full rebuild — thresholds are per-item pure). Patching is only
+    /// sound from a table that matches `prev` exactly; a stale table
+    /// (an in-flight old-epoch query may have rebuilt for its own
+    /// snapshot) is dropped instead, so the next query rebuilds.
+    ///
+    /// Returns `Some(true)` when the table was patched in place,
+    /// `Some(false)` when a stale table was dropped, `None` when
+    /// nothing was cached.
+    pub(crate) fn patch(
+        &mut self,
+        prev: &UncertainGraph,
+        next: &UncertainGraph,
+        dirty_nodes: &[u32],
+        dirty_edges: &[u32],
+    ) -> Option<bool> {
+        match self.table.as_mut() {
+            Some(table) if table.matches(prev) => {
+                Arc::make_mut(table).patch(next, dirty_nodes, dirty_edges);
+                Some(true)
+            }
+            Some(_) => {
+                self.table = None;
+                Some(false)
+            }
+            None => None,
+        }
+    }
+
     /// Tables built (including rebuilds after invalidation) over the
     /// cache's lifetime.
     #[cfg(test)]
@@ -321,6 +412,13 @@ pub(crate) struct SampleCache {
     /// `t →` cumulative counts over sample ids `0..t`. Shared out as
     /// `Arc` so exact cache hits are O(1) instead of an O(slots) copy.
     snapshots: BTreeMap<u64, Arc<DefaultCounts>>,
+    /// Probability version of the graph the snapshots are valid for:
+    /// stamped on first draw, re-stamped when an epoch's revalidation
+    /// proves the cached prefix survives a delta. `None` until the
+    /// first serve. A query whose pinned snapshot has a different
+    /// version must not touch the snapshots (see
+    /// `EngineCtx::stream_counts`).
+    pub(crate) graph_version: Option<u64>,
 }
 
 impl SampleCache {

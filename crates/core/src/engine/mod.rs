@@ -89,6 +89,21 @@
 //! served in ascending budget order, so the whole group draws only
 //! `max(tᵢ)` fresh worlds instead of `Σ tᵢ`. Every response is still
 //! bit-identical to a lone [`Detector::detect`] call for that request.
+//!
+//! ## Live updates
+//!
+//! [`Detector::apply_delta`] commits a batched [`GraphDelta`]
+//! (probability recalibrations — topology is immutable) as a new
+//! **epoch**: the session's live graph is an `Arc` snapshot that every
+//! query pins at entry, so in-flight queries finish bit-identically on
+//! the pre-delta snapshot while queries that start after the commit see
+//! the new one. Session caches are *revalidated*, not dropped: the coin
+//! table re-quantizes only the dirty items, cached bound vectors are
+//! repaired through [`IncrementalBounds`] (`O(|dirty z-ball|)` instead
+//! of `O(z (n + m))`), and a cached sample stream survives whenever its
+//! touch ledger proves no draw ever materialized a dirty edge — all
+//! bit-identical to a cold rebuild against the post-delta graph, which
+//! the tests assert.
 
 mod algorithms;
 mod cache;
@@ -104,20 +119,20 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ugraph::{NodeId, NodeMap, NodeOrder, UncertainGraph};
+use ugraph::{EdgeId, GraphDelta, NodeId, NodeMap, NodeOrder, UncertainGraph};
 use vulnds_sampling::{
-    fit_width, parallel_forward_counts_range_width_cancellable,
-    parallel_reverse_counts_range_width_cancellable, BlockWords, CancelToken, CoinTable, CoinUsage,
-    DefaultCounts, Direction,
+    fit_width, parallel_forward_counts_range_width_traced,
+    parallel_reverse_counts_range_width_traced, BlockWords, CancelToken, CoinTable, CoinUsage,
+    DefaultCounts, Direction, TouchLedger,
 };
 
 use crate::algo::AlgorithmKind;
-use crate::bounds::compute_bounds;
 use crate::candidates::{reduce_candidates, CandidateReduction};
 use crate::config::{ApproxParams, BoundsMethod, VulnConfig};
+use crate::dynamic::IncrementalBounds;
 use crate::error::Result;
 
-use cache::{lock_tracked, CoinCache, Flight, FlightMap, MarkerReset, StreamMap};
+use cache::{lock_tracked, CoinCache, Flight, FlightMap, MarkerReset, SampleCache, StreamMap};
 
 /// Lower and upper bound vectors, as cached by a session.
 pub type BoundsPair = (Vec<f64>, Vec<f64>);
@@ -274,7 +289,12 @@ impl DetectorBuilder {
                 (Arc::new(relabeled), Some(map))
             }
         };
-        Ok(Detector { graph, config, state: EngineState::default(), relabel })
+        Ok(Detector {
+            epochs: GraphEpochs::new(graph),
+            config,
+            state: EngineState::default(),
+            relabel,
+        })
     }
 }
 
@@ -357,6 +377,21 @@ pub struct SessionStats {
     /// Whether the session runs on a cache-relabeled copy of the graph
     /// (see [`DetectorBuilder::relabel`]).
     pub relabel_applied: bool,
+    /// Current epoch — 0 for the base graph, +1 per committed
+    /// [`Detector::apply_delta`]. A gauge, not a counter.
+    pub epoch: u64,
+    /// Probability version of the current live graph (a gauge; each
+    /// delta item bumps it once).
+    pub graph_version: u64,
+    /// Delta batches committed by [`Detector::apply_delta`].
+    pub deltas_applied: u64,
+    /// Cached structures that **survived** a delta by being patched or
+    /// re-stamped in place: the coin table, repaired bound vectors, and
+    /// sample streams whose touch ledger cleared them.
+    pub caches_revalidated: u64,
+    /// Cached structures a delta dropped because its dirty set touched
+    /// them (rebuilt lazily by the next query that needs them).
+    pub caches_invalidated: u64,
 }
 
 /// Lock-free session totals (the source of [`SessionStats`] snapshots).
@@ -384,6 +419,9 @@ struct SessionTotals {
     queries_degraded: AtomicU64,
     queries_cancelled: AtomicU64,
     requests_shed: AtomicU64,
+    deltas_applied: AtomicU64,
+    caches_revalidated: AtomicU64,
+    caches_invalidated: AtomicU64,
 }
 
 impl SessionTotals {
@@ -430,12 +468,17 @@ impl SessionTotals {
             queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            caches_revalidated: self.caches_revalidated.load(Ordering::Relaxed),
+            caches_invalidated: self.caches_invalidated.load(Ordering::Relaxed),
             // ORDERING: Relaxed — a momentary gauge; the monitoring
             // reader draws no cross-thread conclusions from it.
             in_flight: self.in_flight.load(Ordering::Relaxed),
-            // A per-session configuration fact, not an atomic counter;
-            // `Detector::session_stats` fills it in.
+            // Per-session facts and epoch gauges, not atomic counters;
+            // `Detector::session_stats` fills them in.
             relabel_applied: false,
+            epoch: 0,
+            graph_version: 0,
         }
     }
 }
@@ -450,13 +493,27 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Cap on cached bound maintainers (each owns a graph copy plus its
+/// level stacks). Keys are `(z, method)` — normally one per session —
+/// so the cap only guards hostile per-request `z` diversity.
+const MAX_BOUND_MAINTAINERS: usize = 16;
+
 /// Session caches (bounds, reductions, sample streams) plus counters —
 /// every cell safe to reach from many query threads at once (see the
 /// [`cache`] module docs for the concurrency model).
+///
+/// The bounds and reduction memo keys lead with the graph's probability
+/// version: a committed delta makes every stale entry unreachable by
+/// construction, so an old-epoch query racing a commit can never
+/// publish a value a new-epoch query would read.
 #[derive(Debug, Default)]
 struct EngineState {
-    bounds: FlightMap<(usize, BoundsMethod), BoundsPair>,
-    reductions: FlightMap<(usize, usize, BoundsMethod), CandidateReduction>,
+    bounds: FlightMap<(u64, usize, BoundsMethod), BoundsPair>,
+    reductions: FlightMap<(u64, usize, usize, BoundsMethod), CandidateReduction>,
+    /// The incremental maintainers behind every cached bounds entry,
+    /// keyed `(z, method)`: a delta repairs the dirty z-ball here and
+    /// republishes into `bounds` instead of recomputing from scratch.
+    inc_bounds: std::sync::Mutex<BTreeMap<(usize, BoundsMethod), IncrementalBounds>>,
     forward: StreamMap<u64>,
     reverse: StreamMap<(u64, Vec<u32>)>,
     coins: std::sync::Mutex<CoinCache>,
@@ -465,6 +522,108 @@ struct EngineState {
     /// lock contention (see [`EngineCtx::coin_table`]).
     coins_building: std::sync::atomic::AtomicBool,
     totals: SessionTotals,
+}
+
+impl EngineState {
+    /// Revalidates every session cache for the committed swap
+    /// `prev → next`. Runs under the epoch commit lock; returns
+    /// `(revalidated, invalidated)`.
+    fn revalidate(
+        &self,
+        prev: &UncertainGraph,
+        next: &UncertainGraph,
+        delta: &GraphDelta,
+        dirty_nodes: &[u32],
+        dirty_edges: &[u32],
+    ) -> (u64, u64) {
+        let mut revalidated = 0u64;
+        let mut invalidated = 0u64;
+
+        // Coin table: thresholds are per-item pure, so only the dirty
+        // items re-quantize (bit-identical to a rebuild).
+        match lock_tracked(&self.coins).0.patch(prev, next, dirty_nodes, dirty_edges) {
+            Some(true) => revalidated += 1,
+            Some(false) => invalidated += 1,
+            None => {}
+        }
+
+        // Bounds: repair each maintainer's dirty z-ball, then republish
+        // under the next version's key. Collected first and inserted
+        // after the maintainer lock drops — queries acquire slot locks
+        // before the maintainer lock, so holding both here could
+        // deadlock.
+        let mut repaired: Vec<((u64, usize, BoundsMethod), BoundsPair)> = Vec::new();
+        {
+            let (mut maintainers, _) = lock_tracked(&self.inc_bounds);
+            maintainers.retain(|&(z, method), inc| {
+                // A maintainer from a lagging old-epoch build cannot be
+                // repaired across the unobserved gap; drop it.
+                if inc.graph().version() != prev.version() {
+                    invalidated += 1;
+                    return false;
+                }
+                let applied = delta
+                    .self_risk
+                    .iter()
+                    .all(|&(v, ps)| inc.update_self_risk(NodeId(v), ps).is_ok())
+                    && delta
+                        .edge_prob
+                        .iter()
+                        .all(|&(e, p)| inc.update_edge_prob(EdgeId(e), p).is_ok());
+                if !applied {
+                    invalidated += 1;
+                    return false;
+                }
+                let pair = (inc.lower().to_vec(), inc.upper().to_vec());
+                repaired.push(((next.version(), z, method), pair));
+                revalidated += 1;
+                true
+            });
+        }
+        let dropped = self.bounds.retain(|&(version, _, _)| version == next.version());
+        invalidated += dropped.saturating_sub(repaired.len() as u64);
+        for (key, pair) in repaired {
+            self.bounds.insert(&key, pair);
+        }
+
+        // Reductions are cheap derivations of the bounds: drop stale
+        // versions and let the next query rebuild from the repaired
+        // vectors.
+        invalidated += self.reductions.retain(|&(version, ..)| version == next.version());
+
+        // Sample streams: node coin words are synthesized for every
+        // node of every superblock, so any self-risk change invalidates
+        // all of them; an edge-only delta keeps exactly the streams
+        // whose ledger proves no draw ever materialized a dirty edge.
+        // Locking the cell waits out in-flight draws, so the ledger is
+        // complete when inspected, and survivors are re-stamped to the
+        // next version under the same lock.
+        let all_dirty = !dirty_nodes.is_empty();
+        let mut verdict = |cell: &Arc<cache::StreamCell>| -> bool {
+            let (mut cache, _) = lock_tracked(&cell.cache);
+            match cache.graph_version {
+                // Never drawn into: nothing to validate or count.
+                None => true,
+                Some(version)
+                    if version == prev.version()
+                        && !all_dirty
+                        && !cell.ledger_intersects(dirty_edges) =>
+                {
+                    cache.graph_version = Some(next.version());
+                    revalidated += 1;
+                    true
+                }
+                Some(_) => {
+                    invalidated += 1;
+                    false
+                }
+            }
+        };
+        self.forward.retain(&mut verdict);
+        self.reverse.retain(&mut verdict);
+
+        (revalidated, invalidated)
+    }
 }
 
 /// What [`Algorithm`] implementations see of a session: the graph, the
@@ -549,24 +708,38 @@ impl<'a> EngineCtx<'a> {
     }
 
     /// Bound vectors for the session's `(order, method)`, computed once
-    /// per session (single-flight under concurrent misses).
+    /// per epoch (single-flight under concurrent misses).
+    ///
+    /// The build runs through [`IncrementalBounds`] and parks the
+    /// maintainer in the session, so a later [`Detector::apply_delta`]
+    /// repairs the dirty z-ball instead of recomputing — and the
+    /// repaired vectors are bit-identical to what this cold path would
+    /// produce on the post-delta graph.
     pub fn bounds(&mut self) -> Arc<BoundsPair> {
         let first_access = !self.bounds_accessed;
         self.bounds_accessed = true;
-        let key = (self.config.bound_order, self.config.bounds_method);
-        let graph = self.graph;
-        let (pair, flight) =
-            self.state.bounds.get_or_build(&key, || compute_bounds(graph, key.0, key.1));
+        let (z, method) = (self.config.bound_order, self.config.bounds_method);
+        let key = (self.graph.version(), z, method);
+        let (graph, state) = (self.graph, self.state);
+        let (pair, flight) = self.state.bounds.get_or_build(&key, || {
+            let inc = IncrementalBounds::new(graph.clone(), z, method);
+            let pair = (inc.lower().to_vec(), inc.upper().to_vec());
+            let (mut maintainers, _) = lock_tracked(&state.inc_bounds);
+            if maintainers.len() < MAX_BOUND_MAINTAINERS || maintainers.contains_key(&(z, method)) {
+                maintainers.insert((z, method), inc);
+            }
+            pair
+        });
         self.note_flight(flight, first_access, MemoLayer::Bounds);
         pair
     }
 
     /// Candidate reduction (Algorithm 4) for `k`, computed once per
-    /// session and `k` (single-flight under concurrent misses).
+    /// epoch and `k` (single-flight under concurrent misses).
     pub fn reduction(&mut self, k: usize) -> Arc<CandidateReduction> {
         let first_access = !self.reduction_accessed;
         self.reduction_accessed = true;
-        let key = (k, self.config.bound_order, self.config.bounds_method);
+        let key = (self.graph.version(), k, self.config.bound_order, self.config.bounds_method);
         // Probe before touching bounds: a cached reduction must not
         // pull the bound vectors (pre-0.4 behavior, preserved).
         if let Some((hit, joined)) = self.state.reductions.get(&key) {
@@ -639,8 +812,8 @@ impl<'a> EngineCtx<'a> {
         let direction = self.config.direction;
         let cancel = self.cancel.clone();
         let stream = self.state.forward.stream(seed);
-        self.stream_counts(&stream, t, |range, fitted| {
-            parallel_forward_counts_range_width_cancellable(
+        self.stream_counts(&stream, t, |range, fitted, ledger| {
+            parallel_forward_counts_range_width_traced(
                 graph,
                 &coins,
                 range,
@@ -649,6 +822,7 @@ impl<'a> EngineCtx<'a> {
                 fitted,
                 direction,
                 cancel.as_ref(),
+                ledger,
             )
         })
     }
@@ -670,8 +844,8 @@ impl<'a> EngineCtx<'a> {
         let cancel = self.cancel.clone();
         let key = (seed, candidates.iter().map(|v| v.0).collect::<Vec<u32>>());
         let stream = self.state.reverse.stream(key);
-        self.stream_counts(&stream, t, |range, fitted| {
-            parallel_reverse_counts_range_width_cancellable(
+        self.stream_counts(&stream, t, |range, fitted, ledger| {
+            parallel_reverse_counts_range_width_traced(
                 graph,
                 &coins,
                 candidates,
@@ -680,6 +854,7 @@ impl<'a> EngineCtx<'a> {
                 threads,
                 fitted,
                 cancel.as_ref(),
+                ledger,
             )
         })
     }
@@ -703,29 +878,50 @@ impl<'a> EngineCtx<'a> {
     /// `fit_width` narrows the planned width when a drawn gap is too
     /// small to keep every thread busy (e.g. a short cache extension);
     /// the stats report the width that executed, not the plan.
+    ///
+    /// Epoch handling: the cell's cached prefix carries the graph
+    /// version it is valid for. A query whose pinned snapshot has a
+    /// *different* version (it straddles a delta commit) serves itself
+    /// from a detached scratch cache instead — its answer stays
+    /// bit-identical to a cold run on its snapshot, and it can neither
+    /// corrupt the shared prefix nor pollute the survival ledger.
     fn stream_counts(
         &mut self,
         stream: &cache::StreamCell,
         t: u64,
-        mut draw: impl FnMut(std::ops::Range<u64>, BlockWords) -> (DefaultCounts, CoinUsage),
+        mut draw: impl FnMut(
+            std::ops::Range<u64>,
+            BlockWords,
+            Option<&TouchLedger>,
+        ) -> (DefaultCounts, CoinUsage),
     ) -> Arc<DefaultCounts> {
         let threads = self.config.threads;
         let width = self.plan_block_words(t);
+        let (version, num_edges) = (self.graph.version(), self.graph.num_edges());
         // ORDERING: Acquire pairs with the Release store in the serve
         // closure; the marker only classifies this query's wait — all
         // counts are transferred under the cell mutex.
         let draw_in_flight = stream.drawing.load(Ordering::Acquire);
         let (mut cache, waited) = lock_tracked(&stream.cache);
+        let stale = cache.graph_version.is_some_and(|v| v != version);
+        let ledger = (!stale).then(|| stream.ledger(num_edges));
+        let mut scratch = SampleCache::default();
+        let serve_cache: &mut SampleCache = if stale {
+            &mut scratch
+        } else {
+            cache.graph_version = Some(version);
+            &mut cache
+        };
         let mut usage = CoinUsage::default();
         let mut used_width: Option<BlockWords> = None;
         let drawing_reset = MarkerReset(&stream.drawing);
-        let (counts, drawn, reused) = cache.serve(t, width.lanes(), |range| {
+        let (counts, drawn, reused) = serve_cache.serve(t, width.lanes(), |range| {
             // ORDERING: Release pairs with the Acquire probe above —
             // set only when worlds actually materialize.
             stream.drawing.store(true, Ordering::Release);
             let fitted = fit_width(&range, width, threads);
             used_width = Some(used_width.map_or(fitted, |w| w.max(fitted)));
-            let (c, u) = draw(range, fitted);
+            let (c, u) = draw(range, fitted, ledger);
             usage.merge(&u);
             c
         });
@@ -817,6 +1013,64 @@ enum PlanKey {
     Solo { index: usize },
 }
 
+/// The session's live-graph cell: the current epoch's snapshot plus the
+/// epoch counter. Queries pin an `Arc` clone at entry and run to
+/// completion on it; [`Detector::apply_delta`] swaps the next snapshot
+/// in under the cell mutex, which doubles as the session's **commit
+/// lock** — held across swap *and* cache revalidation, so deltas
+/// serialize and a pin always observes a fully revalidated epoch.
+#[derive(Debug)]
+struct GraphEpochs {
+    live: std::sync::Mutex<Arc<UncertainGraph>>,
+    /// Epochs committed: 0 for the base graph, +1 per applied delta.
+    epoch: AtomicU64,
+}
+
+impl GraphEpochs {
+    fn new(graph: Arc<UncertainGraph>) -> Self {
+        GraphEpochs { live: std::sync::Mutex::new(graph), epoch: AtomicU64::new(0) }
+    }
+
+    /// Pins the current snapshot (a brief lock around an `Arc` clone).
+    fn pin(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&lock_tracked(&self.live).0)
+    }
+
+    /// Pins the current snapshot together with its epoch number. The
+    /// epoch is read under the live lock, where `apply_delta` bumps it,
+    /// so the pair is always consistent.
+    fn pin_with_epoch(&self) -> (Arc<UncertainGraph>, u64) {
+        let (live, _) = lock_tracked(&self.live);
+        // ORDERING: Acquire pairs with the Release bump in
+        // `Detector::apply_delta`; the live lock already serializes
+        // against the bump, so this only needs to carry the epoch
+        // value, not extra publication.
+        (Arc::clone(&live), self.epoch.load(Ordering::Acquire))
+    }
+
+    fn epoch(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release bump in
+        // `Detector::apply_delta`: an observer that sees epoch `e` also
+        // sees every cache revalidation that commit published.
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// What one [`Detector::apply_delta`] commit did: the new epoch plus
+/// the cache-revalidation tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Epoch after the commit (the base graph is epoch 0).
+    pub epoch: u64,
+    /// Probability version of the new live graph.
+    pub graph_version: u64,
+    /// Cached structures that survived by being patched or re-stamped
+    /// in place (coin table, repaired bounds, surviving streams).
+    pub revalidated: u64,
+    /// Cached structures dropped because the dirty set touched them.
+    pub invalidated: u64,
+}
+
 /// A query session that owns one shared graph. See the
 /// [module docs](self).
 ///
@@ -827,7 +1081,7 @@ enum PlanKey {
 /// every client.
 #[derive(Debug)]
 pub struct Detector {
-    graph: Arc<UncertainGraph>,
+    epochs: GraphEpochs,
     config: VulnConfig,
     state: EngineState,
     /// Present iff the session runs on a relabeled copy of the caller's
@@ -855,12 +1109,14 @@ impl Detector {
         }
     }
 
-    /// The session's working graph. Under
+    /// A pinned snapshot of the session's current working graph. Under
     /// [`DetectorBuilder::relabel`] this is the *relabeled* copy —
     /// translate ids through [`Detector::node_map`] when comparing
-    /// against the caller's original labeling.
-    pub fn graph(&self) -> &UncertainGraph {
-        &self.graph
+    /// against the caller's original labeling. The snapshot stays
+    /// immutable (and valid) even as later [`Detector::apply_delta`]
+    /// calls move the session to new epochs.
+    pub fn graph(&self) -> Arc<UncertainGraph> {
+        self.epochs.pin()
     }
 
     /// The relabeling permutation, when the session was built with
@@ -871,10 +1127,17 @@ impl Detector {
         self.relabel.as_ref()
     }
 
-    /// The session's graph, shareable with other sessions or threads
-    /// without copying.
+    /// The session's current graph snapshot, shareable with other
+    /// sessions or threads without copying (same as
+    /// [`Detector::graph`]).
     pub fn shared_graph(&self) -> Arc<UncertainGraph> {
-        Arc::clone(&self.graph)
+        self.epochs.pin()
+    }
+
+    /// The session's current epoch: 0 for the base graph, +1 per
+    /// committed [`Detector::apply_delta`].
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
     }
 
     /// The session's resolved configuration (threads already defaulted).
@@ -887,7 +1150,45 @@ impl Detector {
     pub fn session_stats(&self) -> SessionStats {
         let mut stats = self.state.totals.snapshot();
         stats.relabel_applied = self.relabel.is_some();
+        stats.epoch = self.epochs.epoch();
+        stats.graph_version = self.epochs.pin().version();
         stats
+    }
+
+    /// Commits a batched probability delta as a new epoch.
+    ///
+    /// The whole batch validates against the current snapshot before
+    /// any item applies — an invalid batch changes nothing (no epoch, no
+    /// cache effect). On success the swap is atomic: queries already in
+    /// flight finish bit-identically on their pinned pre-delta
+    /// snapshot; queries that start afterwards see the new graph and
+    /// the *revalidated* caches — the coin table patched in place,
+    /// bound vectors repaired through their incremental maintainers,
+    /// and every sample stream whose touch ledger proves independence
+    /// of the dirty edges carried over. All surviving state is
+    /// bit-identical to a cold rebuild against the post-delta graph.
+    ///
+    /// Deltas address the session's **working graph**: under
+    /// [`DetectorBuilder::relabel`], translate node ids through
+    /// [`Detector::node_map`] and resolve edge ids against
+    /// [`Detector::graph`] first.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaOutcome> {
+        let (mut live, _) = lock_tracked(&self.epochs.live);
+        let prev = Arc::clone(&live);
+        let mut next = Arc::clone(&live);
+        delta.apply(Arc::make_mut(&mut next))?;
+        let (dirty_nodes, dirty_edges) = (delta.dirty_nodes(), delta.dirty_edges());
+        let (revalidated, invalidated) =
+            self.state.revalidate(&prev, &next, delta, &dirty_nodes, &dirty_edges);
+        let graph_version = next.version();
+        *live = next;
+        // ORDERING: Release pairs with the Acquire in `GraphEpochs::epoch`
+        // — observers of the new epoch number see the revalidation above.
+        let epoch = self.epochs.epoch.fetch_add(1, Ordering::Release) + 1;
+        SessionTotals::add(&self.state.totals.deltas_applied, 1);
+        SessionTotals::add(&self.state.totals.caches_revalidated, revalidated);
+        SessionTotals::add(&self.state.totals.caches_invalidated, invalidated);
+        Ok(DeltaOutcome { epoch, graph_version, revalidated, invalidated })
     }
 
     /// Drops all cached state (bounds, reductions, coin table, sampled
@@ -902,6 +1203,7 @@ impl Detector {
     pub fn clear_cache(&self) {
         self.state.bounds.clear();
         self.state.reductions.clear();
+        lock_tracked(&self.state.inc_bounds).0.clear();
         self.state.forward.clear();
         self.state.reverse.clear();
         lock_tracked(&self.state.coins).0.clear();
@@ -910,12 +1212,16 @@ impl Detector {
     /// Precomputes the session's bound vectors (useful before taking
     /// traffic) and returns them.
     pub fn warm_bounds(&self) -> Arc<BoundsPair> {
-        self.ctx().bounds()
+        let graph = self.epochs.pin();
+        self.ctx(&graph).bounds()
     }
 
-    fn ctx(&self) -> EngineCtx<'_> {
+    /// A context for one query, borrowing the snapshot the query pinned
+    /// at entry (so a concurrent delta commit cannot move the graph out
+    /// from under it).
+    fn ctx<'a>(&'a self, graph: &'a UncertainGraph) -> EngineCtx<'a> {
         EngineCtx {
-            graph: &self.graph,
+            graph,
             config: &self.config,
             state: &self.state,
             request: EngineStats::default(),
@@ -929,8 +1235,12 @@ impl Detector {
 
     /// A query context carrying one resolved request's cancellation
     /// signal and draw cap into the stream draws.
-    fn ctx_for(&self, resolved: &ResolvedRequest) -> EngineCtx<'_> {
-        let mut ctx = self.ctx();
+    fn ctx_for<'a>(
+        &'a self,
+        graph: &'a UncertainGraph,
+        resolved: &ResolvedRequest,
+    ) -> EngineCtx<'a> {
+        let mut ctx = self.ctx(graph);
         ctx.cancel = resolved.cancel.clone();
         ctx.sample_cap = resolved.sample_cap;
         ctx
@@ -995,12 +1305,15 @@ impl Detector {
     /// Answers one request. Callable from any number of threads at
     /// once; the answer is bit-identical to a serial run.
     pub fn detect(&self, request: &DetectRequest) -> Result<DetectResponse> {
-        let resolved = self.map_request(request).resolve(&self.graph, &self.config)?;
+        let (graph, epoch) = self.epochs.pin_with_epoch();
+        let resolved = self.map_request(request).resolve(&graph, &self.config)?;
         let _in_flight = self.state.totals.enter();
         let algo = algorithm(resolved.algorithm);
-        let mut ctx = self.ctx_for(&resolved);
+        let mut ctx = self.ctx_for(&graph, &resolved);
         let outcome = algo.run(&mut ctx, &resolved).map(|mut response| {
             response.engine = ctx.request;
+            response.engine.epoch = epoch;
+            response.engine.graph_version = graph.version();
             self.unmap_response(&mut response);
             response
         });
@@ -1026,9 +1339,12 @@ impl Detector {
     /// state, so even the batch's first reverse-sampling request can
     /// report them reused. Planning itself records no cache usage.
     pub fn detect_many(&self, requests: &[DetectRequest]) -> Result<Vec<DetectResponse>> {
+        // One pin for the whole batch: every request (and the planning
+        // pass) runs on the same epoch, even mid-commit.
+        let (graph, epoch) = self.epochs.pin_with_epoch();
         let resolved: Vec<ResolvedRequest> = requests
             .iter()
-            .map(|r| self.map_request(r).resolve(&self.graph, &self.config))
+            .map(|r| self.map_request(r).resolve(&graph, &self.config))
             .collect::<Result<_>>()?;
         let _in_flight = self.state.totals.enter();
 
@@ -1036,7 +1352,7 @@ impl Detector {
         // first appearance, ascending budget within a group (so later
         // requests extend earlier prefixes instead of redrawing).
         let plans: Vec<(PlanKey, u64)> =
-            resolved.iter().enumerate().map(|(i, r)| self.plan(i, r)).collect();
+            resolved.iter().enumerate().map(|(i, r)| self.plan(&graph, i, r)).collect();
         let mut first_seen: BTreeMap<&PlanKey, usize> = BTreeMap::new();
         for (i, (key, _)) in plans.iter().enumerate() {
             first_seen.entry(key).or_insert(i);
@@ -1047,9 +1363,11 @@ impl Detector {
         let mut responses: Vec<Option<DetectResponse>> = vec![None; resolved.len()];
         for i in order {
             let algo = algorithm(resolved[i].algorithm);
-            let mut ctx = self.ctx_for(&resolved[i]);
+            let mut ctx = self.ctx_for(&graph, &resolved[i]);
             let outcome = algo.run(&mut ctx, &resolved[i]).map(|mut response| {
                 response.engine = ctx.request;
+                response.engine.epoch = epoch;
+                response.engine.graph_version = graph.version();
                 self.unmap_response(&mut response);
                 response
             });
@@ -1065,8 +1383,8 @@ impl Detector {
     /// session caches (bounds/reductions computed here are reused by the
     /// actual run) but records no usage: planning is bookkeeping, not a
     /// query.
-    fn plan(&self, index: usize, req: &ResolvedRequest) -> (PlanKey, u64) {
-        let mut ctx = self.ctx();
+    fn plan(&self, graph: &UncertainGraph, index: usize, req: &ResolvedRequest) -> (PlanKey, u64) {
+        let mut ctx = self.ctx(graph);
         ctx.record_usage = false;
         match req.algorithm {
             AlgorithmKind::Naive => {
@@ -1394,8 +1712,9 @@ mod tests {
             .threads(8)
             .build()
             .unwrap();
+        let graph = d.graph();
         {
-            let mut ctx = d.ctx();
+            let mut ctx = d.ctx(&graph);
             let _ = ctx.forward_counts(20_000, 9);
             assert_eq!(ctx.request.block_words, 8, "big cold pass runs wide");
         }
@@ -1403,7 +1722,7 @@ mod tests {
         // narrows it so 8 threads keep fine-grained chunks — and the
         // stats must report the width that actually executed.
         {
-            let mut ctx = d.ctx();
+            let mut ctx = d.ctx(&graph);
             let _ = ctx.forward_counts(20_200, 9);
             assert_eq!(ctx.request.samples_drawn, 200);
             assert_eq!(
@@ -1648,5 +1967,158 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Node `n-1` has self-risk 0 and no in-edges, so under push
+    /// traversal it never defaults and its single out-edge is never
+    /// materialized by any draw — a "dormant" edge a delta can retouch
+    /// without perturbing cached sampled state.
+    fn dormant_edge_graph() -> (UncertainGraph, EdgeId) {
+        let mut risks = vec![0.35; 10];
+        risks[9] = 0.0;
+        let mut edges: Vec<(u32, u32, f64)> = (0..9u32).map(|v| (v, (v + 1) % 9, 0.4)).collect();
+        edges.push((9, 0, 0.9));
+        let g = ugraph::from_parts(&risks, &edges, ugraph::DuplicateEdgePolicy::Error).unwrap();
+        let dormant = g.find_edge(NodeId(9), NodeId(0)).unwrap();
+        (g, dormant)
+    }
+
+    #[test]
+    fn apply_delta_matches_a_cold_session_bit_for_bit() {
+        let g = random_graph(100, 200, 31);
+        let warm = session(&g);
+        for kind in AlgorithmKind::ALL {
+            warm.detect(&DetectRequest::new(5, kind)).unwrap();
+        }
+        let delta =
+            GraphDelta::default().set_self_risk(NodeId(7), 0.45).set_edge_prob(EdgeId(3), 0.41);
+        let outcome = warm.apply_delta(&delta).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(warm.epoch(), 1);
+        assert!(outcome.revalidated >= 1, "coin table and bounds should be patched in place");
+
+        let mut post = g.clone();
+        delta.apply(&mut post).unwrap();
+        let cold = session(&post);
+        for kind in AlgorithmKind::ALL {
+            let req = DetectRequest::new(5, kind);
+            let w = warm.detect(&req).unwrap();
+            let c = cold.detect(&req).unwrap();
+            assert_eq!(w.top_k, c.top_k, "{kind}");
+            assert_eq!(w.stats.samples_used, c.stats.samples_used, "{kind}");
+        }
+        // Bounds were repaired through the incremental maintainer and
+        // re-published under the new graph version, so the first
+        // post-delta pruned query finds them warm.
+        let pruned = warm.detect(&DetectRequest::new(5, AlgorithmKind::SampleReverse)).unwrap();
+        assert!(pruned.engine.bounds_reused, "repaired bounds must be served from cache");
+    }
+
+    #[test]
+    fn small_edge_delta_preserves_cached_sampled_state() {
+        let (g, dormant) = dormant_edge_graph();
+        let build = |graph: &UncertainGraph| {
+            Detector::builder(graph)
+                .seed(77)
+                .naive_samples(2_000)
+                .direction(Direction::Push)
+                .build()
+                .unwrap()
+        };
+        let d = build(&g);
+        for s in 0..10u64 {
+            d.detect(&DetectRequest::new(3, AlgorithmKind::Naive).with_seed(s)).unwrap();
+        }
+        let drawn_before = d.session_stats().samples_drawn;
+
+        let outcome = d.apply_delta(&GraphDelta::default().set_edge_prob(dormant, 0.01)).unwrap();
+        // 10 sample streams + the coin table survive; nothing is dropped.
+        assert!(outcome.revalidated >= 11, "revalidated only {}", outcome.revalidated);
+        assert_eq!(outcome.invalidated, 0);
+        assert!(
+            outcome.revalidated * 10 >= (outcome.revalidated + outcome.invalidated) * 9,
+            "a <=1% delta must preserve >=90% of cached sampled state"
+        );
+
+        let mut post = g.clone();
+        GraphDelta::default().set_edge_prob(dormant, 0.01).apply(&mut post).unwrap();
+        let cold = build(&post);
+        for s in 0..10u64 {
+            let req = DetectRequest::new(3, AlgorithmKind::Naive).with_seed(s);
+            assert_eq!(d.detect(&req).unwrap().top_k, cold.detect(&req).unwrap().top_k);
+        }
+        assert_eq!(
+            d.session_stats().samples_drawn,
+            drawn_before,
+            "replaying warm queries after the delta must not redraw"
+        );
+        let stats = d.session_stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.deltas_applied, 1);
+        assert!(stats.caches_revalidated >= 11);
+        assert_eq!(stats.caches_invalidated, 0);
+    }
+
+    #[test]
+    fn self_risk_delta_drops_streams_but_stays_bit_identical() {
+        let g = random_graph(60, 120, 5);
+        let build = |graph: &UncertainGraph| {
+            Detector::builder(graph).seed(77).naive_samples(2_000).build().unwrap()
+        };
+        let d = build(&g);
+        for s in 0..3u64 {
+            d.detect(&DetectRequest::new(3, AlgorithmKind::Naive).with_seed(s)).unwrap();
+        }
+        let delta = GraphDelta::default().set_self_risk(NodeId(0), 0.9);
+        let outcome = d.apply_delta(&delta).unwrap();
+        // Self-risk coins are materialized for every node in every
+        // block, so all sample streams must go.
+        assert!(outcome.invalidated >= 3, "invalidated only {}", outcome.invalidated);
+
+        let drawn_before = d.session_stats().samples_drawn;
+        let mut post = g.clone();
+        delta.apply(&mut post).unwrap();
+        let cold = build(&post);
+        for s in 0..3u64 {
+            let req = DetectRequest::new(3, AlgorithmKind::Naive).with_seed(s);
+            assert_eq!(d.detect(&req).unwrap().top_k, cold.detect(&req).unwrap().top_k);
+        }
+        assert!(
+            d.session_stats().samples_drawn > drawn_before,
+            "invalidated streams must be redrawn"
+        );
+    }
+
+    #[test]
+    fn invalid_delta_is_rejected_without_side_effects() {
+        let g = random_graph(20, 40, 6);
+        let d = session(&g);
+        let req = DetectRequest::new(2, AlgorithmKind::SampledNaive);
+        let before = d.detect(&req).unwrap();
+        let bad =
+            GraphDelta::default().set_edge_prob(EdgeId(0), 0.2).set_self_risk(NodeId(999), 0.5);
+        assert!(d.apply_delta(&bad).is_err());
+        assert_eq!(d.epoch(), 0);
+        assert_eq!(d.session_stats().deltas_applied, 0);
+        let after = d.detect(&req).unwrap();
+        assert_eq!(before.top_k, after.top_k);
+        assert_eq!(after.engine.samples_drawn, 0, "caches must be untouched");
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_epochs() {
+        let g = random_graph(30, 60, 8);
+        let d = session(&g);
+        let pre = d.graph();
+        let stats = d.session_stats();
+        assert_eq!((stats.epoch, stats.graph_version), (0, pre.version()));
+
+        d.apply_delta(&GraphDelta::default().set_self_risk(NodeId(0), 0.9)).unwrap();
+        let post = d.graph();
+        assert!(!Arc::ptr_eq(&pre, &post), "a committed delta must publish a new snapshot");
+        assert_eq!(pre.self_risk(NodeId(0)), g.self_risk(NodeId(0)));
+        assert_eq!(post.self_risk(NodeId(0)), 0.9);
+        let stats = d.session_stats();
+        assert_eq!((stats.epoch, stats.graph_version), (1, post.version()));
     }
 }

@@ -260,6 +260,12 @@ pub struct EngineStats {
     /// Whether this query ran on a cache-relabeled copy of the graph
     /// (see [`DetectorBuilder::relabel`](super::DetectorBuilder::relabel)).
     pub relabel_applied: bool,
+    /// Epoch of the snapshot this query ran on (0 = base graph). A
+    /// query pins its snapshot at entry, so under live updates this
+    /// names the exact graph the answer is bit-reproducible against.
+    pub epoch: u64,
+    /// Probability version of the pinned snapshot.
+    pub graph_version: u64,
 }
 
 /// Answer to one [`DetectRequest`].

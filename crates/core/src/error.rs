@@ -46,6 +46,11 @@ pub enum VulnError {
     },
     /// A command-line invocation could not be parsed or executed.
     Usage(String),
+    /// Durable state failed an integrity check (a WAL record or
+    /// snapshot with a bad checksum or torn frame). Kept distinct from
+    /// [`VulnError::Usage`] so tooling can exit with a dedicated
+    /// status: corruption is a property of the data, not the command.
+    Corrupt(String),
     /// The query was cancelled (deadline or explicit token) before any
     /// samples were drawn, so not even a degraded answer exists. A
     /// cancellation that lands *after* some samples were drawn is not an
@@ -67,6 +72,7 @@ impl fmt::Display for VulnError {
             }
             VulnError::File { path, error } => write!(f, "{path}: {error}"),
             VulnError::Usage(msg) => f.write_str(msg),
+            VulnError::Corrupt(msg) => write!(f, "corrupt: {msg}"),
             VulnError::Cancelled => f.write_str("query cancelled before any samples were drawn"),
         }
     }

@@ -70,8 +70,8 @@ pub use conditional::{conditional_scores, intervention_scores, ConditionalScores
 pub use config::{ApproxParams, BoundsMethod, ConfigError, VulnConfig};
 pub use dynamic::IncrementalBounds;
 pub use engine::{
-    DetectRequest, DetectResponse, Detector, DetectorBuilder, EngineStats, IntoSharedGraph,
-    SessionStats,
+    DeltaOutcome, DetectRequest, DetectResponse, Detector, DetectorBuilder, EngineStats,
+    IntoSharedGraph, SessionStats,
 };
 pub use error::VulnError;
 pub use exact::{exact_default_probabilities, ground_truth, paper_ground_truth};

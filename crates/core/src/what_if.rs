@@ -245,4 +245,57 @@ mod tests {
         assert!(hardened.is_empty());
         assert!((report.risk_reduction()).abs() < 1e-9);
     }
+
+    /// The snapshot a live session exposes after `apply_delta` is the
+    /// same input as a from-scratch graph with the delta applied.
+    fn delta_updated_and_fresh() -> (std::sync::Arc<UncertainGraph>, UncertainGraph) {
+        use ugraph::{EdgeId, GraphDelta};
+        let base = g();
+        let delta =
+            GraphDelta::default().set_self_risk(NodeId(2), 0.55).set_edge_prob(EdgeId(1), 0.35);
+        let session = crate::Detector::builder(&base).build().expect("session builds");
+        // Warm the session first so the delta path exercises cache
+        // revalidation, not a cold swap.
+        let _ = session.detect(&crate::DetectRequest::new(2, AlgorithmKind::SampledNaive));
+        session.apply_delta(&delta).expect("delta applies");
+        let mut fresh = base;
+        delta.apply(&mut fresh).expect("delta applies to the copy");
+        (session.graph(), fresh)
+    }
+
+    fn same_result(a: &DetectionResult, b: &DetectionResult) {
+        let pairs = |r: &DetectionResult| {
+            r.top_k.iter().map(|s| (s.node, s.score.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(a), pairs(b), "top-k diverged");
+        assert_eq!(a.stats.samples_used, b.stats.samples_used);
+    }
+
+    #[test]
+    fn interventions_on_a_delta_updated_graph_match_a_fresh_graph() {
+        let (updated, fresh) = delta_updated_and_fresh();
+        let package = [
+            Intervention::SetSelfRisk(NodeId(0), 0.1),
+            Intervention::CutEdge(fresh.find_edge(NodeId(1), NodeId(2)).unwrap()),
+        ];
+        let warm =
+            evaluate_interventions(updated, 2, &package, AlgorithmKind::SampledNaive, &cfg())
+                .unwrap();
+        let cold = evaluate_interventions(fresh, 2, &package, AlgorithmKind::SampledNaive, &cfg())
+            .unwrap();
+        same_result(&warm.before, &cold.before);
+        same_result(&warm.after, &cold.after);
+        assert_eq!(warm.risk_reduction().to_bits(), cold.risk_reduction().to_bits());
+    }
+
+    #[test]
+    fn hardening_on_a_delta_updated_graph_matches_a_fresh_graph() {
+        let (updated, fresh) = delta_updated_and_fresh();
+        let (warm_nodes, warm) =
+            greedy_hardening(updated, 2, 2, AlgorithmKind::SampledNaive, &cfg());
+        let (cold_nodes, cold) = greedy_hardening(fresh, 2, 2, AlgorithmKind::SampledNaive, &cfg());
+        assert_eq!(warm_nodes, cold_nodes, "hardening order diverged");
+        same_result(&warm.before, &cold.before);
+        same_result(&warm.after, &cold.after);
+    }
 }

@@ -50,6 +50,7 @@
 use crate::coins::{bernoulli_bit, bernoulli_words, block_key, edge_key, node_key};
 use crate::coins::{CoinTable, CoinUsage};
 use crate::direction::Direction;
+use crate::touch::TouchedEdges;
 use crate::world::PossibleWorld;
 use ugraph::{NodeId, UncertainGraph};
 
@@ -157,6 +158,10 @@ pub struct SuperBlock<const W: usize> {
     /// begins).
     pending_edge_words: u64,
     usage: CoinUsage,
+    /// Every edge whose survival words this block ever synthesized, in
+    /// any superblock — the revalidation ledger: counts are independent
+    /// of every unmarked edge's coin (see [`crate::touch`]).
+    touched: TouchedEdges,
 }
 
 /// The classic 64-lane world block — a [`SuperBlock`] of width 1.
@@ -180,6 +185,7 @@ impl<const W: usize> SuperBlock<W> {
             source: LaneSource::Empty,
             pending_edge_words: 0,
             usage: CoinUsage::default(),
+            touched: TouchedEdges::new(graph.num_edges()),
         }
     }
 
@@ -260,6 +266,7 @@ impl<const W: usize> SuperBlock<W> {
 
     fn materialize_edge(&mut self, coins: &CoinTable, e: usize) -> [u64; W] {
         self.edge_epoch[e] = self.epoch;
+        self.touched.mark(e);
         // Saturating: a `take_usage` mid-block already flushed the
         // remaining edge words as skipped, so later touches must not
         // underflow the pending count.
@@ -337,6 +344,13 @@ impl<const W: usize> SuperBlock<W> {
         self.usage.edge_words_skipped += self.pending_edge_words;
         self.pending_edge_words = 0;
         std::mem::take(&mut self.usage)
+    }
+
+    /// Every edge this block has ever materialized a survival word for
+    /// (across all superblocks since construction) — the revalidation
+    /// ledger consumed by delta-aware caches.
+    pub fn touched_edges(&self) -> &TouchedEdges {
+        &self.touched
     }
 
     /// Unpacks one lane (`lane < W · 64`, indexing the superblock's

@@ -318,6 +318,29 @@ impl CoinTable {
     pub fn edge_threshold(&self, e: usize) -> u64 {
         self.edge_thresholds[e]
     }
+
+    /// Re-quantizes only the listed items against `graph` (the
+    /// post-delta snapshot) and adopts its probability version.
+    ///
+    /// Thresholds are per-item pure functions of the probability, so
+    /// when the dirty sets cover every item whose probability changed,
+    /// the patched table is **bit-identical** to `CoinTable::new(graph)`
+    /// — at `O(|dirty|)` instead of `O(n + m)`. Ids must be in bounds
+    /// for the table's shape (a validated [`ugraph::GraphDelta`]
+    /// guarantees this) and the graph's shape must match the table's.
+    pub fn patch(&mut self, graph: &UncertainGraph, dirty_nodes: &[u32], dirty_edges: &[u32]) {
+        assert_eq!(self.node_thresholds.len(), graph.num_nodes(), "table/graph node mismatch");
+        assert_eq!(self.edge_thresholds.len(), graph.num_edges(), "table/graph edge mismatch");
+        for &v in dirty_nodes {
+            self.node_thresholds[v as usize] =
+                quantize_probability(graph.self_risk(ugraph::NodeId(v)));
+        }
+        for &e in dirty_edges {
+            self.edge_thresholds[e as usize] =
+                quantize_probability(graph.edge_prob(ugraph::EdgeId(e)));
+        }
+        self.graph_version = graph.version();
+    }
 }
 
 /// One sample's scalar coin view: lane `sample_id % 64` of block
@@ -579,6 +602,29 @@ mod tests {
         assert!(rebuilt.matches(&g));
         g.set_self_risk(NodeId(1), 0.1).unwrap();
         assert!(!rebuilt.matches(&g), "stale table must be detected after a node update");
+    }
+
+    #[test]
+    fn patched_table_is_bit_identical_to_a_rebuild() {
+        let mut g = from_parts(
+            &[0.5, 0.25, 0.125, 0.75],
+            &[(0, 1, 0.5), (1, 2, 0.3), (2, 3, 0.9), (0, 3, 0.1)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let mut table = CoinTable::new(&g);
+        g.set_self_risk(NodeId(1), 0.875).unwrap();
+        g.set_self_risk(NodeId(3), 0.0).unwrap();
+        g.set_edge_prob(EdgeId(2), 0.05).unwrap();
+        assert!(!table.matches(&g));
+        table.patch(&g, &[1, 3], &[2]);
+        assert!(table.matches(&g));
+        assert_eq!(table, CoinTable::new(&g), "patch must equal a cold rebuild bit-for-bit");
+        // An empty patch only adopts the version.
+        let mut idle = table.clone();
+        g.set_self_risk(NodeId(0), 0.5).unwrap(); // same value, version still bumps
+        idle.patch(&g, &[0], &[]);
+        assert_eq!(idle, CoinTable::new(&g));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod forward;
 pub mod parallel;
 pub mod reverse;
 pub mod rng;
+pub mod touch;
 pub mod width;
 pub mod world;
 
@@ -74,9 +75,10 @@ pub use forward::{
 pub use parallel::{
     fit_width, parallel_forward_counts, parallel_forward_counts_range,
     parallel_forward_counts_range_width, parallel_forward_counts_range_width_cancellable,
-    parallel_forward_counts_range_width_directed, parallel_forward_counts_range_with,
-    parallel_reverse_counts, parallel_reverse_counts_range, parallel_reverse_counts_range_width,
-    parallel_reverse_counts_range_width_cancellable, parallel_reverse_counts_range_with,
+    parallel_forward_counts_range_width_directed, parallel_forward_counts_range_width_traced,
+    parallel_forward_counts_range_with, parallel_reverse_counts, parallel_reverse_counts_range,
+    parallel_reverse_counts_range_width, parallel_reverse_counts_range_width_cancellable,
+    parallel_reverse_counts_range_width_traced, parallel_reverse_counts_range_with,
 };
 pub use reverse::{
     reverse_counts, reverse_counts_range, reverse_counts_range_wide,
@@ -84,5 +86,6 @@ pub use reverse::{
     ReverseSampler,
 };
 pub use rng::Xoshiro256pp;
+pub use touch::{TouchLedger, TouchedEdges};
 pub use width::{BlockWords, MAX_BLOCK_WORDS};
 pub use world::{PossibleWorld, WorldEnumerator};

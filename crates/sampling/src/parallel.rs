@@ -29,6 +29,7 @@ use crate::cancel::CancelToken;
 use crate::coins::{CoinTable, CoinUsage};
 use crate::counts::DefaultCounts;
 use crate::direction::Direction;
+use crate::touch::TouchLedger;
 use crate::width::{with_block_words, BlockWords};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use ugraph::{NodeId, UncertainGraph};
@@ -168,16 +169,37 @@ pub fn parallel_forward_counts_range_width_cancellable(
     direction: Direction,
     cancel: Option<&CancelToken>,
 ) -> (DefaultCounts, CoinUsage) {
+    parallel_forward_counts_range_width_traced(
+        graph, coins, range, seed, threads, width, direction, cancel, None,
+    )
+}
+
+/// [`parallel_forward_counts_range_width_cancellable`] that additionally
+/// folds every worker's touched-edge set into `ledger` — the
+/// revalidation bookkeeping for delta-aware sampled-state caches. The
+/// counts are bit-identical with or without a ledger.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_forward_counts_range_width_traced(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+    direction: Direction,
+    cancel: Option<&CancelToken>,
+    ledger: Option<&TouchLedger>,
+) -> (DefaultCounts, CoinUsage) {
     let width = fit_width(&range, width, threads);
     with_block_words!(width, W, {
         let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
         let threads = effective_threads(threads, chunks.len() as u64);
-        if threads == 1 {
+        if threads == 1 && ledger.is_none() {
             return crate::forward::forward_counts_range_wide_cancellable::<W>(
                 graph, coins, range, seed, direction, cancel,
             );
         }
-        forward_partitioned::<W>(graph, coins, &chunks, seed, threads, direction, cancel)
+        forward_partitioned::<W>(graph, coins, &chunks, seed, threads, direction, cancel, ledger)
     })
 }
 
@@ -191,6 +213,7 @@ pub fn parallel_forward_counts_range_width_cancellable(
 /// finishes, so the completed set is exactly the contiguous prefix of
 /// `chunks` at the counter's final value — the same prefix the
 /// sequential cancellable driver produces.
+#[allow(clippy::too_many_arguments)]
 fn forward_partitioned<const W: usize>(
     graph: &UncertainGraph,
     coins: &CoinTable,
@@ -199,6 +222,7 @@ fn forward_partitioned<const W: usize>(
     threads: usize,
     direction: Direction,
     cancel: Option<&CancelToken>,
+    ledger: Option<&TouchLedger>,
 ) -> (DefaultCounts, CoinUsage) {
     let next = AtomicUsize::new(0);
     let partials = std::thread::scope(|scope| {
@@ -228,6 +252,9 @@ fn forward_partitioned<const W: usize>(
                             &mut kernel,
                             &mut counts,
                         );
+                    }
+                    if let Some(ledger) = ledger {
+                        ledger.absorb(block.touched_edges());
                     }
                     (counts, block.take_usage())
                 })
@@ -346,16 +373,36 @@ pub fn parallel_reverse_counts_range_width_cancellable(
     width: BlockWords,
     cancel: Option<&CancelToken>,
 ) -> (DefaultCounts, CoinUsage) {
+    parallel_reverse_counts_range_width_traced(
+        graph, coins, candidates, range, seed, threads, width, cancel, None,
+    )
+}
+
+/// [`parallel_reverse_counts_range_width_cancellable`] that additionally
+/// folds every worker's touched-edge set into `ledger` (see
+/// [`parallel_forward_counts_range_width_traced`]).
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_reverse_counts_range_width_traced(
+    graph: &UncertainGraph,
+    coins: &CoinTable,
+    candidates: &[NodeId],
+    range: std::ops::Range<u64>,
+    seed: u64,
+    threads: usize,
+    width: BlockWords,
+    cancel: Option<&CancelToken>,
+    ledger: Option<&TouchLedger>,
+) -> (DefaultCounts, CoinUsage) {
     let width = fit_width(&range, width, threads);
     with_block_words!(width, W, {
         let chunks: Vec<std::ops::Range<u64>> = superblock_chunks(range.clone(), W).collect();
         let threads = effective_threads(threads, chunks.len() as u64);
-        if threads == 1 {
+        if threads == 1 && ledger.is_none() {
             return crate::reverse::reverse_counts_range_wide_cancellable::<W>(
                 graph, coins, candidates, range, seed, cancel,
             );
         }
-        reverse_partitioned::<W>(graph, coins, candidates, &chunks, seed, threads, cancel)
+        reverse_partitioned::<W>(graph, coins, candidates, &chunks, seed, threads, cancel, ledger)
     })
 }
 
@@ -371,6 +418,7 @@ fn reverse_partitioned<const W: usize>(
     seed: u64,
     threads: usize,
     cancel: Option<&CancelToken>,
+    ledger: Option<&TouchLedger>,
 ) -> (DefaultCounts, CoinUsage) {
     let next = AtomicUsize::new(0);
     let partials = std::thread::scope(|scope| {
@@ -401,6 +449,9 @@ fn reverse_partitioned<const W: usize>(
                             &mut hits,
                             &mut counts,
                         );
+                    }
+                    if let Some(ledger) = ledger {
+                        ledger.absorb(block.touched_edges());
                     }
                     (counts, block.take_usage())
                 })
@@ -469,8 +520,16 @@ mod tests {
         let chunks: Vec<std::ops::Range<u64>> = block_chunks(37..411).collect();
         let seq = crate::forward::forward_counts_range(&g, 37..411, 9);
         for threads in [2, 3, 5] {
-            let (par, usage) =
-                forward_partitioned::<1>(&g, &coins, &chunks, 9, threads, Direction::Auto, None);
+            let (par, usage) = forward_partitioned::<1>(
+                &g,
+                &coins,
+                &chunks,
+                9,
+                threads,
+                Direction::Auto,
+                None,
+                None,
+            );
             assert_eq!(par, seq, "threads = {threads}");
             // Lazy accounting covers every block exactly once regardless
             // of the partition.
@@ -491,6 +550,7 @@ mod tests {
                 threads,
                 Direction::Auto,
                 None,
+                None,
             );
             assert_eq!(par, wide_seq, "width 4, threads = {threads}");
         }
@@ -498,13 +558,16 @@ mod tests {
         let rseq = crate::reverse::reverse_counts_range(&g, &cands, 37..411, 9);
         for threads in [2, 4] {
             assert_eq!(
-                reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, threads, None).0,
+                reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, threads, None, None).0,
                 rseq,
                 "threads = {threads}"
             );
         }
         let rchunks: Vec<std::ops::Range<u64>> = superblock_chunks(37..411, 2).collect();
-        assert_eq!(reverse_partitioned::<2>(&g, &coins, &cands, &rchunks, 9, 2, None).0, rseq);
+        assert_eq!(
+            reverse_partitioned::<2>(&g, &coins, &cands, &rchunks, 9, 2, None, None).0,
+            rseq
+        );
     }
 
     #[test]
@@ -514,11 +577,20 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let chunks: Vec<std::ops::Range<u64>> = block_chunks(0..500).collect();
-        let (f, _) =
-            forward_partitioned::<1>(&g, &coins, &chunks, 9, 3, Direction::Auto, Some(&token));
+        let (f, _) = forward_partitioned::<1>(
+            &g,
+            &coins,
+            &chunks,
+            9,
+            3,
+            Direction::Auto,
+            Some(&token),
+            None,
+        );
         assert_eq!(f.samples(), 0);
         let cands: Vec<NodeId> = g.nodes().collect();
-        let (r, _) = reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, 3, Some(&token));
+        let (r, _) =
+            reverse_partitioned::<1>(&g, &coins, &cands, &chunks, 9, 3, Some(&token), None);
         assert_eq!(r.samples(), 0);
         // The width-dispatching entry points honour the token too, on
         // both the sequential (threads = 1) and threaded paths.
@@ -615,6 +687,89 @@ mod tests {
                 assert_eq!(r, rseq, "reverse width {width}, threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_and_record_touches() {
+        let g = graph();
+        let coins = CoinTable::new(&g);
+        let plain = parallel_forward_counts_range_width(&g, &coins, 0..900, 3, 2, BlockWords::W2).0;
+        let ledger = TouchLedger::new(g.num_edges());
+        for threads in [1, 3] {
+            let (traced, _) = parallel_forward_counts_range_width_traced(
+                &g,
+                &coins,
+                0..900,
+                3,
+                threads,
+                BlockWords::W2,
+                Direction::Auto,
+                None,
+                Some(&ledger),
+            );
+            assert_eq!(traced, plain, "threads = {threads}");
+        }
+        // Every self-risk here is positive and every edge p = 0.5, so at
+        // 900 worlds each edge's source defaults somewhere: all edges
+        // must appear in the ledger.
+        assert_eq!(ledger.count(), g.num_edges());
+
+        let cands: Vec<NodeId> = g.nodes().collect();
+        let rplain =
+            parallel_reverse_counts_range_width(&g, &coins, &cands, 0..900, 3, 2, BlockWords::W1).0;
+        let rledger = TouchLedger::new(g.num_edges());
+        let (rtraced, _) = parallel_reverse_counts_range_width_traced(
+            &g,
+            &coins,
+            &cands,
+            0..900,
+            3,
+            2,
+            BlockWords::W1,
+            None,
+            Some(&rledger),
+        );
+        assert_eq!(rtraced, rplain);
+        assert!(rledger.count() > 0);
+    }
+
+    #[test]
+    fn untouched_edges_cannot_change_counts() {
+        // Node 4 has zero self-risk and no in-edges, so no world ever
+        // defaults it and the frontier never reaches edge 4 → 0: that
+        // edge's survival words are never synthesized. Changing its
+        // probability and patching only its threshold must reproduce
+        // every count bit-identically — the soundness invariant behind
+        // delta-aware stream survival.
+        let mut g = from_parts(
+            &[0.3, 0.2, 0.1, 0.4, 0.0],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.25), (4, 0, 0.9)],
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let coins = CoinTable::new(&g);
+        let ledger = TouchLedger::new(g.num_edges());
+        let before = parallel_forward_counts_range_width_traced(
+            &g,
+            &coins,
+            0..2000,
+            21,
+            3,
+            BlockWords::W2,
+            Direction::Auto,
+            None,
+            Some(&ledger),
+        )
+        .0;
+        let dormant = g.find_edge(NodeId(4), NodeId(0)).unwrap();
+        assert!(!ledger.intersects(&[dormant.0]), "dormant edge must never materialize");
+
+        g.set_edge_prob(dormant, 0.01).unwrap();
+        let mut patched = coins.clone();
+        patched.patch(&g, &[], &[dormant.0]);
+        let after =
+            parallel_forward_counts_range_width(&g, &patched, 0..2000, 21, 3, BlockWords::W2).0;
+        assert_eq!(after, before, "untouched-edge delta changed sampled counts");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Touched-edge ledgers — which edge coins a sampled stream actually
+//! consumed, the key to delta-aware cache revalidation.
+//!
+//! The lazy superblock kernel only synthesizes an edge's survival word
+//! when the frontier reaches that edge. An edge that was **never
+//! materialized** across every draw of a cached stream contributed no
+//! transmission gate to any fixpoint, so the cached counts are
+//! independent of that edge's coin: a later probability change to it
+//! cannot alter what a cold re-run would have produced, and the cached
+//! stream may survive the epoch bit-identically. [`TouchedEdges`] is
+//! the per-kernel bitset recording those materializations;
+//! [`TouchLedger`] is the shared, thread-safe union a session keeps per
+//! cached stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plain one-bit-per-edge set, owned by a single sampling kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedEdges {
+    bits: Vec<u64>,
+}
+
+impl TouchedEdges {
+    /// An empty set sized for `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        Self { bits: vec![0; num_edges.div_ceil(64)] }
+    }
+
+    /// Marks edge `e` as touched.
+    #[inline]
+    pub fn mark(&mut self, e: usize) {
+        self.bits[e / 64] |= 1 << (e % 64);
+    }
+
+    /// True if edge `e` has been marked.
+    #[inline]
+    pub fn contains(&self, e: usize) -> bool {
+        self.bits.get(e / 64).is_some_and(|w| w >> (e % 64) & 1 == 1)
+    }
+
+    /// Union with another set of the same size.
+    pub fn merge(&mut self, other: &TouchedEdges) {
+        debug_assert_eq!(self.bits.len(), other.bits.len());
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Number of marked edges.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if any of the (sorted or not) edge ids is marked.
+    pub fn intersects(&self, edges: &[u32]) -> bool {
+        edges.iter().any(|&e| self.contains(e as usize))
+    }
+}
+
+/// A shared union of [`TouchedEdges`] across the worker threads of every
+/// draw that fed one cached stream. Lock-free: workers `absorb` their
+/// local bitsets with relaxed `fetch_or`, and readers take a coherent
+/// view only after the drawing thread has published the draw (the
+/// session's stream mutex orders the two).
+#[derive(Debug, Default)]
+pub struct TouchLedger {
+    bits: Vec<AtomicU64>,
+}
+
+impl TouchLedger {
+    /// An empty ledger sized for `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        let mut bits = Vec::with_capacity(num_edges.div_ceil(64));
+        bits.resize_with(num_edges.div_ceil(64), AtomicU64::default);
+        Self { bits }
+    }
+
+    /// Folds a kernel-local touched set into the shared union.
+    pub fn absorb(&self, local: &TouchedEdges) {
+        debug_assert_eq!(self.bits.len(), local.bits.len());
+        for (shared, &word) in self.bits.iter().zip(&local.bits) {
+            if word != 0 {
+                // ORDERING: Relaxed — the bits are a commutative union;
+                // visibility to readers is ordered by the stream lock
+                // (and thread join in the parallel drivers), not here.
+                shared.fetch_or(word, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A plain copy of the current union.
+    pub fn snapshot(&self) -> TouchedEdges {
+        TouchedEdges {
+            // ORDERING: Relaxed — see `absorb`; callers hold the stream
+            // lock, which orders all prior draws before this read.
+            bits: self.bits.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// True if any of the edge ids is marked in the union.
+    pub fn intersects(&self, edges: &[u32]) -> bool {
+        edges.iter().any(|&e| {
+            let (word, bit) = (e as usize / 64, e % 64);
+            // ORDERING: Relaxed — see `absorb`.
+            self.bits.get(word).is_some_and(|w| w.load(Ordering::Relaxed) >> bit & 1 == 1)
+        })
+    }
+
+    /// Number of marked edges in the union.
+    pub fn count(&self) -> usize {
+        // ORDERING: Relaxed — see `absorb`.
+        self.bits.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_contains_count() {
+        let mut t = TouchedEdges::new(130);
+        assert_eq!(t.count(), 0);
+        for e in [0, 63, 64, 129] {
+            t.mark(e);
+            assert!(t.contains(e));
+        }
+        assert_eq!(t.count(), 4);
+        assert!(!t.contains(1));
+        assert!(!t.contains(1000), "out of range is simply absent");
+        assert!(t.intersects(&[5, 129]));
+        assert!(!t.intersects(&[5, 7, 128]));
+        assert!(!t.intersects(&[]));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = TouchedEdges::new(100);
+        let mut b = TouchedEdges::new(100);
+        a.mark(3);
+        b.mark(3);
+        b.mark(97);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.contains(3) && a.contains(97));
+    }
+
+    #[test]
+    fn ledger_absorbs_and_snapshots() {
+        let ledger = TouchLedger::new(200);
+        let mut a = TouchedEdges::new(200);
+        a.mark(0);
+        a.mark(150);
+        let mut b = TouchedEdges::new(200);
+        b.mark(150);
+        b.mark(199);
+        ledger.absorb(&a);
+        ledger.absorb(&b);
+        assert_eq!(ledger.count(), 3);
+        assert!(ledger.intersects(&[199]));
+        assert!(!ledger.intersects(&[198, 1000]));
+        let snap = ledger.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert!(snap.contains(0) && snap.contains(150) && snap.contains(199));
+    }
+
+    #[test]
+    fn concurrent_absorbs_union_exactly() {
+        let ledger = TouchLedger::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let ledger = &ledger;
+                s.spawn(move || {
+                    let mut local = TouchedEdges::new(1024);
+                    for e in (t..1024).step_by(8) {
+                        local.mark(e);
+                    }
+                    ledger.absorb(&local);
+                });
+            }
+        });
+        assert_eq!(ledger.count(), 1024);
+    }
+}

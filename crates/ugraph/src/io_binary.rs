@@ -12,9 +12,19 @@
 //! sources m × u32     (canonical edge order)
 //! targets m × u32
 //! probs   m × f64
+//! version u8       = 2            (format revision, v2 trailer)
+//! crc32   u32 LE                  (over every preceding byte)
 //! ```
+//!
+//! The 5-byte trailer was added in format revision 2 so corrupt or
+//! torn snapshot files are rejected instead of silently loading
+//! garbage — a prerequisite for WAL compaction, where a snapshot
+//! written during a crash window must be detectably incomplete.
+//! Readers still accept trailer-less v1 files; any other trailing
+//! length is an error.
 
 use crate::builder::{DuplicateEdgePolicy, GraphBuilder};
+use crate::crc32::Crc32;
 use crate::error::{GraphError, Result};
 use crate::graph::UncertainGraph;
 use crate::ids::NodeId;
@@ -23,12 +33,32 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"VULNDSG1";
 
+/// Current format revision, written in the trailer's version byte.
+pub const BINARY_FORMAT_VERSION: u8 = 2;
+
+/// Trailer length in bytes: version byte + CRC-32.
+const TRAILER_LEN: usize = 5;
+
 fn bad(message: impl Into<String>) -> GraphError {
     GraphError::Parse { line: 0, message: message.into() }
 }
 
-/// Writes the binary form.
-pub fn write_binary<W: Write>(g: &UncertainGraph, mut w: W) -> Result<()> {
+/// A writer shim that folds every written byte into a CRC-32.
+struct ChecksumWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.crc.update(bytes);
+        self.inner.write_all(bytes)
+    }
+}
+
+/// Writes the binary form (current revision, with the v2 trailer).
+pub fn write_binary<W: Write>(g: &UncertainGraph, w: W) -> Result<()> {
+    let mut w = ChecksumWriter { inner: w, crc: Crc32::new() };
     w.write_all(MAGIC)?;
     w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
     w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
@@ -46,11 +76,31 @@ pub fn write_binary<W: Write>(g: &UncertainGraph, mut w: W) -> Result<()> {
     for e in g.edges() {
         w.write_all(&g.edge_prob(e).to_le_bytes())?;
     }
+    w.write_all(&[BINARY_FORMAT_VERSION])?;
+    let crc = w.crc.finish();
+    w.inner.write_all(&crc.to_le_bytes())?;
     Ok(())
 }
 
-/// Reads the binary form, validating magic, counts, and probabilities.
-pub fn read_binary<R: Read>(mut r: R) -> Result<UncertainGraph> {
+/// A reader shim that folds every read byte into a CRC-32.
+struct ChecksumReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.crc.update(buf);
+        Ok(())
+    }
+}
+
+/// Reads the binary form, validating magic, counts, probabilities, and
+/// — for revision-2 files — the trailing checksum. Trailer-less v1
+/// files are still accepted; any other trailing length is an error.
+pub fn read_binary<R: Read>(r: R) -> Result<UncertainGraph> {
+    let mut r = ChecksumReader { inner: r, crc: Crc32::new() };
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -80,10 +130,35 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<UncertainGraph> {
         let p = read_f64(&mut r)?;
         b.add_edge(NodeId(sources[i]), NodeId(targets[i]), p).map_err(|e| bad(e.to_string()))?;
     }
-    // Trailing garbage is an error: catches truncated/concatenated files.
-    let mut probe = [0u8; 1];
-    match r.read(&mut probe)? {
+    // Everything after the edge section must be absent (legacy v1) or
+    // exactly the 5-byte trailer. Read up to one byte more than the
+    // trailer so concatenated files are caught too.
+    let mut tail = [0u8; TRAILER_LEN + 1];
+    let mut got = 0;
+    loop {
+        let k = r.inner.read(&mut tail[got..])?;
+        if k == 0 {
+            break;
+        }
+        got += k;
+        if got == tail.len() {
+            break;
+        }
+    }
+    match got {
         0 => b.build(),
+        TRAILER_LEN => {
+            let version = tail[0];
+            if version != BINARY_FORMAT_VERSION {
+                return Err(bad(format!("unsupported binary format version {version}")));
+            }
+            r.crc.update(&tail[..1]);
+            let stored = u32::from_le_bytes([tail[1], tail[2], tail[3], tail[4]]);
+            if r.crc.finish() != stored {
+                return Err(bad("checksum mismatch: snapshot is corrupt or truncated"));
+            }
+            b.build()
+        }
         _ => Err(bad("trailing bytes after edge section")),
     }
 }
@@ -100,19 +175,19 @@ pub fn load_binary(path: impl AsRef<Path>) -> Result<UncertainGraph> {
     read_binary(std::io::BufReader::new(f))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+fn read_u64<R: Read>(r: &mut ChecksumReader<R>) -> Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+fn read_u32<R: Read>(r: &mut ChecksumReader<R>) -> Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_f64<R: Read>(r: &mut R) -> Result<f64> {
+fn read_f64<R: Read>(r: &mut ChecksumReader<R>) -> Result<f64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(f64::from_le_bytes(buf))
@@ -184,9 +259,48 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         // Overwrite the last f64 (an edge probability) with 7.0.
-        let last = buf.len() - 8;
-        buf[last..].copy_from_slice(&7.0f64.to_le_bytes());
+        let last = buf.len() - TRAILER_LEN - 8;
+        buf[last..last + 8].copy_from_slice(&7.0f64.to_le_bytes());
         assert!(read_binary(std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_silent_bit_rot() {
+        let g = sample();
+        let mut clean = Vec::new();
+        write_binary(&g, &mut clean).unwrap();
+        // Flip the lowest mantissa bit of the first self-risk: still a
+        // perfectly valid probability, only the CRC can catch it.
+        let mut buf = clean.clone();
+        buf[24] ^= 1;
+        let err = read_binary(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
+        // A corrupted stored CRC is caught the same way.
+        let mut buf = clean;
+        let last = buf.len() - 1;
+        buf[last] ^= 0x80;
+        assert!(read_binary(std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn accepts_legacy_v1_files_without_trailer() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - TRAILER_LEN);
+        assert_eq!(read_binary(std::io::Cursor::new(buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_unknown_format_version() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let version_at = buf.len() - TRAILER_LEN;
+        buf[version_at] = 9;
+        let err = read_binary(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
     }
 
     #[test]

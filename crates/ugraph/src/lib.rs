@@ -44,6 +44,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod crc32;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -57,6 +59,8 @@ pub mod testkit;
 pub mod traversal;
 
 pub use builder::{from_parts, DuplicateEdgePolicy, GraphBuilder};
+pub use crc32::{crc32, Crc32};
+pub use delta::GraphDelta;
 pub use error::{GraphError, Result};
 pub use graph::{EdgeRef, InEdges, OutEdges, UncertainGraph};
 pub use ids::{EdgeId, NodeId};

@@ -4,6 +4,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match vulnds::cli::parse(&args).and_then(vulnds::cli::run) {
         Ok(output) => print!("{output}"),
+        // Exit 1: durable state failed an integrity check (`wal
+        // verify` found a corrupt record). Exit 2: everything else.
+        Err(e @ vulnds::VulnError::Corrupt(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

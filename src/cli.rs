@@ -31,8 +31,10 @@ use vulnds_datasets::Dataset;
 
 use crate::json::Json;
 use crate::serve::{
-    detect_response_json, scores_json, serve_tcp, serve_with, session_stats_json, ServeOptions,
+    detect_response_json, scores_json, serve_durable, serve_tcp, session_stats_json, ServeOptions,
+    UpdateLog,
 };
+use crate::wal::FsyncPolicy;
 
 /// Output encoding for `detect`/`score`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,8 +63,18 @@ pub enum Command {
     },
     /// `score <graph> --method ...`
     Score { path: String, bottomk: bool, config: VulnConfig, format: OutputFormat },
-    /// `serve <graph> --workers <w> [--tcp addr] ...`
-    Serve { path: String, config: VulnConfig, tcp: Option<String>, options: ServeOptions },
+    /// `serve <graph> --workers <w> [--tcp addr] [--wal path] ...`
+    Serve {
+        path: String,
+        config: VulnConfig,
+        tcp: Option<String>,
+        options: ServeOptions,
+        wal: Option<String>,
+        fsync: FsyncPolicy,
+        compact_every: Option<u64>,
+    },
+    /// `wal dump|verify <log>`
+    Wal { verify: bool, path: String },
     /// `bounds <graph> --order <z>`
     Bounds { path: String, order: usize },
     /// `generate <dataset> <out> --scale <s> --seed <s>`
@@ -96,6 +108,9 @@ USAGE:
                   [--block-words auto|1|2|4|8] [--direction push|pull|auto]
                   [--max-samples <n>] [--default-timeout-ms <ms>]
                   [--max-connections <n>] [--drain-ms <ms>]
+                  [--wal <log>] [--fsync always|never]
+                  [--compact-every <n>]
+  vulnds wal      dump|verify <log>
   vulnds generate <dataset> <out> [--scale <0..1>] [--seed <s>]
                   datasets: bitcoin facebook wiki p2p citation
                             interbank guarantee fraud
@@ -134,6 +149,16 @@ error: overloaded response carrying retry_after_ms. A cmd: shutdown
 request (or end of input) stops the intake and drains in-flight
 queries for --drain-ms (default 2000) before cancelling them into
 degraded answers; serve then flushes and exits 0.
+
+--wal makes serve durable: every acked update request is first
+appended to <log> as a checksummed, epoch-numbered record (fsync per
+--fsync, default always). On startup serve replays the log — loading
+<log>.snapshot as the base when a compaction has written one — and
+drops any torn tail, so a kill -9 at any instant loses at most
+un-acked updates. --compact-every <n> snapshots the live graph and
+rotates the log after every n records. vulnds wal dump prints the
+records of a log; vulnds wal verify exits 1 on a corrupt record,
+reporting the torn-tail offset.
 Graph files: text format (see ugraph::io) or binary (.bin).";
 
 /// Parses a `--block-words` value: `auto` (planner) or a fixed width.
@@ -301,6 +326,9 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
             let mut default_timeout_ms: Option<u64> = None;
             let mut max_connections = crate::serve::MAX_CONNECTIONS;
             let mut drain_ms = crate::serve::DEFAULT_DRAIN_MS;
+            let mut wal: Option<String> = None;
+            let mut fsync = FsyncPolicy::Always;
+            let mut compact_every: Option<u64> = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -312,6 +340,22 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                         )
                     }
                     "--tcp" => tcp = Some(value(&rest, &mut i)?),
+                    "--wal" => wal = Some(value(&rest, &mut i)?),
+                    "--fsync" => {
+                        let v = value(&rest, &mut i)?;
+                        fsync = FsyncPolicy::parse(&v).ok_or_else(|| {
+                            err(format!("--fsync: unknown policy {v} (always|never)"))
+                        })?
+                    }
+                    "--compact-every" => {
+                        compact_every = Some(
+                            value(&rest, &mut i)?
+                                .parse::<u64>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| err("--compact-every: not a positive integer"))?,
+                        )
+                    }
                     "--max-samples" => {
                         max_samples = value(&rest, &mut i)?
                             .parse::<u64>()
@@ -382,7 +426,18 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
                 max_connections,
                 ..ServeOptions::default()
             };
-            Ok(Command::Serve { path, config, tcp, options })
+            Ok(Command::Serve { path, config, tcp, options, wal, fsync, compact_every })
+        }
+        "wal" => {
+            let action = it.next().ok_or_else(|| err("wal: missing action (dump|verify)"))?;
+            let verify = match action.as_str() {
+                "dump" => false,
+                "verify" => true,
+                other => return Err(err(format!("wal: unknown action {other} (dump|verify)"))),
+            };
+            let path = it.next().ok_or_else(|| err("wal: missing <log> path"))?.clone();
+            expect_empty(it)?;
+            Ok(Command::Wal { verify, path })
         }
         "bounds" => {
             let path = it.next().ok_or_else(|| err("bounds: missing <graph> path"))?.clone();
@@ -436,6 +491,50 @@ pub fn parse(args: &[String]) -> Result<Command, VulnError> {
         }
         other => Err(err(format!("unknown command {other}; see --help"))),
     }
+}
+
+/// Shared tail of `Command::Serve`: bind-or-stdin serving over an
+/// already-recovered detector, with an optional durable update log.
+fn run_serve(
+    detector: &Detector,
+    tcp: Option<String>,
+    options: &ServeOptions,
+    updates: Option<&UpdateLog>,
+    out: String,
+) -> Result<String, VulnError> {
+    match tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| VulnError::Usage(format!("serve: cannot bind {addr}: {e}")))?;
+            // Print the *bound* address: with a `:0` port the
+            // kernel picks, and harness-driven clients (the
+            // fault-injection suite) parse this line to find it.
+            let bound =
+                listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| addr.clone());
+            eprintln!(
+                "vulnds serve: listening on {bound} ({} workers per connection, max {} connections)",
+                options.workers, options.max_connections
+            );
+            serve_tcp(detector, listener, options, updates)?;
+            eprintln!("vulnds serve: drained and stopped");
+        }
+        None => {
+            // `StdoutLock` is not `Send`; the handle itself is,
+            // and locks per `write` call. The summary goes to
+            // stderr: stdout is the NDJSON response stream and
+            // must stay machine-parseable to the last line.
+            let stdin = std::io::stdin();
+            let summary =
+                serve_durable(detector, options, updates, stdin.lock(), std::io::stdout())?;
+            eprintln!(
+                "vulnds serve: answered {} requests ({} shed{})",
+                summary.requests,
+                summary.shed,
+                if summary.shutdown { ", shutdown requested" } else { "" }
+            );
+        }
+    }
+    Ok(out)
 }
 
 fn value(rest: &[String], i: &mut usize) -> Result<String, VulnError> {
@@ -573,12 +672,17 @@ pub fn run(command: Command) -> Result<String, VulnError> {
             );
             let _ = writeln!(
                 out,
-                "# traffic queries {} | degraded {} | cancelled {} | shed {} | in-flight {}",
+                "# traffic queries {} | degraded {} | cancelled {} | shed {} | in-flight {} | \
+                 epoch {} | graph-version {} | caches revalidated {} | invalidated {}",
                 session.queries,
                 session.queries_degraded,
                 session.queries_cancelled,
                 session.requests_shed,
-                session.in_flight
+                session.in_flight,
+                session.epoch,
+                session.graph_version,
+                session.caches_revalidated,
+                session.caches_invalidated
             );
             let _ = writeln!(out, "# rank node score");
             for (rank, s) in r.top_k.iter().enumerate() {
@@ -603,42 +707,78 @@ pub fn run(command: Command) -> Result<String, VulnError> {
                 let _ = writeln!(out, "{v} {s:.6}");
             }
         }
-        Command::Serve { path, config, tcp, options } => {
-            let g = load(&path)?;
-            let detector = Detector::builder(g).config(config).build()?;
-            match tcp {
-                Some(addr) => {
-                    let listener = std::net::TcpListener::bind(&addr)
-                        .map_err(|e| VulnError::Usage(format!("serve: cannot bind {addr}: {e}")))?;
-                    // Print the *bound* address: with a `:0` port the
-                    // kernel picks, and harness-driven clients (the
-                    // fault-injection suite) parse this line to find it.
-                    let bound = listener
-                        .local_addr()
-                        .map(|a| a.to_string())
-                        .unwrap_or_else(|_| addr.clone());
-                    eprintln!(
-                        "vulnds serve: listening on {bound} ({} workers per connection, max {} connections)",
-                        options.workers, options.max_connections
-                    );
-                    serve_tcp(&detector, listener, &options)?;
-                    eprintln!("vulnds serve: drained and stopped");
+        Command::Serve { path, config, tcp, options, wal, fsync, compact_every } => {
+            let mut g = load(&path)?;
+            // Durable startup: a compaction snapshot, when present,
+            // replaces the input graph as the replay base; the WAL's
+            // base epoch then matches the snapshot and every surviving
+            // record re-applies through the engine so caches, bounds,
+            // and epoch counters rebuild exactly as if the deltas had
+            // just been committed.
+            if let Some(wal_path) = &wal {
+                let snapshot = crate::wal::snapshot_path(std::path::Path::new(wal_path));
+                if snapshot.exists() {
+                    g = ugraph::io_binary::load_binary(&snapshot).map_err(|e| {
+                        VulnError::Corrupt(format!("snapshot {}: {e}", snapshot.display()))
+                    })?;
                 }
-                None => {
-                    // `StdoutLock` is not `Send`; the handle itself is,
-                    // and locks per `write` call. The summary goes to
-                    // stderr: stdout is the NDJSON response stream and
-                    // must stay machine-parseable to the last line.
-                    let stdin = std::io::stdin();
-                    let summary = serve_with(&detector, &options, stdin.lock(), std::io::stdout())?;
+                let (log, scan) =
+                    crate::wal::Wal::recover(std::path::Path::new(wal_path), fsync)
+                        .map_err(|e| VulnError::Usage(format!("serve: wal {wal_path}: {e}")))?;
+                if let Some(torn) = &scan.torn {
                     eprintln!(
-                        "vulnds serve: answered {} requests ({} shed{})",
-                        summary.requests,
-                        summary.shed,
-                        if summary.shutdown { ", shutdown requested" } else { "" }
+                        "vulnds serve: wal {wal_path}: dropped torn tail at offset {} ({} bytes: {})",
+                        torn.offset, torn.dropped_bytes, torn.reason
+                    );
+                }
+                eprintln!(
+                    "vulnds serve: wal {wal_path}: base epoch {}, replaying {} record(s)",
+                    scan.base_epoch,
+                    scan.records.len()
+                );
+                let detector = Detector::builder(g).config(config).build()?;
+                for record in &scan.records {
+                    detector.apply_delta(&record.delta).map_err(|e| {
+                        VulnError::Corrupt(format!("wal {wal_path}: epoch {}: {e}", record.epoch))
+                    })?;
+                }
+                let updates = UpdateLog::new(log, compact_every);
+                return run_serve(&detector, tcp, &options, Some(&updates), out);
+            }
+            let detector = Detector::builder(g).config(config).build()?;
+            return run_serve(&detector, tcp, &options, None, out);
+        }
+        Command::Wal { verify, path } => {
+            let scan = crate::wal::scan(std::path::Path::new(&path))
+                .map_err(|e| VulnError::Corrupt(format!("wal {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "# wal {path} | base epoch {} | records {} | committed bytes {}",
+                scan.base_epoch,
+                scan.records.len(),
+                scan.committed_len()
+            );
+            if !verify {
+                let _ = writeln!(out, "# epoch offset bytes nodes-touched edges-touched");
+                for r in &scan.records {
+                    let _ = writeln!(
+                        out,
+                        "{} {} {} {} {}",
+                        r.epoch,
+                        r.offset,
+                        r.delta.encode().len(),
+                        r.delta.self_risk.len(),
+                        r.delta.edge_prob.len()
                     );
                 }
             }
+            if let Some(torn) = &scan.torn {
+                return Err(VulnError::Corrupt(format!(
+                    "wal {path}: torn tail at offset {} ({} bytes dropped: {})",
+                    torn.offset, torn.dropped_bytes, torn.reason
+                )));
+            }
+            let _ = writeln!(out, "# verify ok");
         }
         Command::Bounds { path, order } => {
             let g = load(&path)?;
@@ -747,7 +887,7 @@ mod tests {
         let c =
             parse(&args("serve g.txt --workers 6 --tcp 127.0.0.1:7070 --seed 9 --bk 16")).unwrap();
         match c {
-            Command::Serve { path, config, tcp, options } => {
+            Command::Serve { path, config, tcp, options, .. } => {
                 assert_eq!(path, "g.txt");
                 assert_eq!(options.workers, 6);
                 assert_eq!(tcp.as_deref(), Some("127.0.0.1:7070"));
@@ -781,6 +921,96 @@ mod tests {
         }
         assert!(parse(&args("serve")).is_err());
         assert!(parse(&args("serve g.txt --frobnicate yes")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_durability_flags_and_wal_subcommand() {
+        match parse(&args("serve g.bin --wal g.wal --fsync never --compact-every 32")).unwrap() {
+            Command::Serve { wal, fsync, compact_every, .. } => {
+                assert_eq!(wal.as_deref(), Some("g.wal"));
+                assert_eq!(fsync, FsyncPolicy::Never);
+                assert_eq!(compact_every, Some(32));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults: no log, fsync on every append, no compaction.
+        match parse(&args("serve g.bin")).unwrap() {
+            Command::Serve { wal, fsync, compact_every, .. } => {
+                assert_eq!(wal, None);
+                assert_eq!(fsync, FsyncPolicy::Always);
+                assert_eq!(compact_every, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("serve g.bin --fsync sometimes")).is_err());
+        assert!(parse(&args("serve g.bin --compact-every 0")).is_err());
+        assert!(parse(&args("serve g.bin --compact-every many")).is_err());
+
+        match parse(&args("wal dump g.wal")).unwrap() {
+            Command::Wal { verify, path } => {
+                assert!(!verify);
+                assert_eq!(path, "g.wal");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(matches!(
+            parse(&args("wal verify g.wal")).unwrap(),
+            Command::Wal { verify: true, .. }
+        ));
+        assert!(parse(&args("wal g.wal")).is_err());
+        assert!(parse(&args("wal verify")).is_err());
+        assert!(parse(&args("wal verify g.wal extra")).is_err());
+    }
+
+    #[test]
+    fn wal_dump_and_verify_report_records_and_corruption() {
+        use std::io::{Seek, SeekFrom, Write as _};
+
+        let dir = std::env::temp_dir().join("vulnds_cli_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("updates.wal");
+        let mut wal = crate::wal::Wal::create(&log, 0, FsyncPolicy::Never).unwrap();
+        wal.append(1, &ugraph::GraphDelta::default().set_self_risk(ugraph::NodeId(2), 0.5))
+            .unwrap();
+        wal.append(
+            2,
+            &ugraph::GraphDelta::default()
+                .set_edge_prob(ugraph::EdgeId(0), 0.25)
+                .set_self_risk(ugraph::NodeId(1), 0.75),
+        )
+        .unwrap();
+        drop(wal);
+        let log_s = log.to_string_lossy().to_string();
+
+        let dump = run(parse(&args(&format!("wal dump {log_s}"))).unwrap()).unwrap();
+        assert!(dump.contains("base epoch 0"), "{dump}");
+        assert!(dump.contains("records 2"), "{dump}");
+        let rows: Vec<&str> = dump.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(rows.len(), 2, "{dump}");
+        assert!(rows[0].starts_with("1 "), "{dump}");
+        assert!(rows[1].starts_with("2 "), "{dump}");
+
+        let verify = run(parse(&args(&format!("wal verify {log_s}"))).unwrap()).unwrap();
+        assert!(verify.contains("# verify ok"), "{verify}");
+
+        // Flip one payload byte in the second record: verify must fail
+        // with the corruption error (exit 1 at the binary), naming the
+        // torn-tail offset, while dump-without-verify of the intact
+        // prefix still works.
+        let len = std::fs::metadata(&log).unwrap().len();
+        let mut f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+        f.seek(SeekFrom::Start(len - 6)).unwrap();
+        f.write_all(&[0xFF]).unwrap();
+        drop(f);
+        let err = run(parse(&args(&format!("wal verify {log_s}"))).unwrap()).unwrap_err();
+        match &err {
+            VulnError::Corrupt(msg) => {
+                assert!(msg.contains("torn tail at offset"), "{msg}");
+            }
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

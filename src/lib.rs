@@ -48,6 +48,7 @@
 pub mod cli;
 pub mod json;
 pub mod serve;
+pub mod wal;
 
 pub use ugraph;
 pub use vulnds_baselines as baselines;
@@ -59,13 +60,14 @@ pub use vulnds_sketch as sketch;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use ugraph::{
-        from_parts, DuplicateEdgePolicy, EdgeId, GraphBuilder, GraphStats, NodeId, UncertainGraph,
+        from_parts, DuplicateEdgePolicy, EdgeId, GraphBuilder, GraphDelta, GraphStats, NodeId,
+        UncertainGraph,
     };
     pub use vulnds_core::{
-        precision_at_k, AlgorithmKind, ApproxParams, BlockWords, BoundsMethod, DetectRequest,
-        DetectResponse, DetectionResult, Detector, DetectorBuilder, EngineStats, IncrementalBounds,
-        Intervention, IntoSharedGraph, ScoredNode, SessionStats, VulnConfig, VulnError,
-        WhatIfReport,
+        precision_at_k, AlgorithmKind, ApproxParams, BlockWords, BoundsMethod, DeltaOutcome,
+        DetectRequest, DetectResponse, DetectionResult, Detector, DetectorBuilder, EngineStats,
+        IncrementalBounds, Intervention, IntoSharedGraph, ScoredNode, SessionStats, VulnConfig,
+        VulnError, WhatIfReport,
     };
     pub use vulnds_datasets::{Dataset, ProbabilityModel};
     pub use vulnds_sampling::{forward_counts, reverse_counts, CancelToken, Xoshiro256pp};

@@ -1,0 +1,553 @@
+//! Crash-durable write-ahead log for live graph deltas.
+//!
+//! `vulnds serve --wal <path>` appends every committed [`GraphDelta`]
+//! batch to this log **before** applying it, fsyncs (policy-gated), and
+//! only then acks the client — so the acked history always survives a
+//! crash, and recovery replays exactly the committed prefix.
+//!
+//! ## On-disk format
+//!
+//! All integers are little-endian.
+//!
+//! | section | bytes | contents                                      |
+//! |---------|-------|-----------------------------------------------|
+//! | header  | 8     | magic `VULNDSW1`                              |
+//! | header  | 8     | `base_epoch` — epoch of the base snapshot     |
+//! | record  | 4     | `len` — payload length in bytes               |
+//! | record  | 8     | `epoch` — epoch this commit produced          |
+//! | record  | `len` | [`GraphDelta::encode`] payload                |
+//! | record  | 4     | CRC-32 over the epoch and payload bytes       |
+//!
+//! Records repeat until end of file. A **torn tail** — a record cut
+//! short by a crash mid-write, or one whose checksum does not match —
+//! ends the committed prefix: [`Wal::recover`] truncates it away and
+//! resumes appending at the truncation point, while the read-only
+//! [`scan`] just reports it (the `vulnds wal verify` behaviour).
+//!
+//! ## Compaction
+//!
+//! [`write_snapshot`] persists the current graph as an
+//! [`io_binary`](ugraph::io_binary) file via write-temp / fsync /
+//! rename, and [`Wal::rotate`] then resets the log to an empty one
+//! whose `base_epoch` is the snapshot's epoch. Startup prefers the
+//! snapshot over the original input graph, so replay cost stays
+//! proportional to the deltas since the last compaction, not since the
+//! beginning of time.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ugraph::{GraphDelta, UncertainGraph};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"VULNDSW1";
+
+/// Header length: magic plus the base-epoch word.
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// Per-record framing overhead: length, epoch, and checksum words.
+pub const RECORD_OVERHEAD: u64 = 16;
+
+/// Largest record payload accepted when reading (64 MiB). A corrupt
+/// length word must not translate into an unbounded allocation; real
+/// delta batches are kilobytes.
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// When to fsync the log relative to acking a commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record, before the commit is acked —
+    /// the durable default: an acked update survives power loss.
+    #[default]
+    Always,
+    /// Never fsync; the OS flushes on its own schedule. An acked
+    /// update survives a process crash (the write hit the page cache)
+    /// but not necessarily power loss. For benchmarks and tests.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses a `--fsync` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
+/// One committed record read back from the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Epoch the commit produced (`base_epoch + position + 1`).
+    pub epoch: u64,
+    /// The delta batch, decoded from its canonical payload.
+    pub delta: GraphDelta,
+    /// Byte offset of the record's length word in the file.
+    pub offset: u64,
+}
+
+/// A tail the committed prefix does not reach: bytes past the last
+/// record whose frame is complete and whose checksum matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset the committed prefix ends at (= where the torn
+    /// record starts).
+    pub offset: u64,
+    /// Bytes from `offset` to end of file.
+    pub dropped_bytes: u64,
+    /// Why the tail does not parse (truncated frame, checksum
+    /// mismatch, undecodable payload).
+    pub reason: String,
+}
+
+/// Everything a read pass learned about a log file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// The header's base epoch: records apply on top of the snapshot
+    /// (or original graph) carrying this epoch.
+    pub base_epoch: u64,
+    /// The committed records, in log order.
+    pub records: Vec<WalRecord>,
+    /// The torn tail, if the file does not end on a record boundary.
+    pub torn: Option<TornTail>,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+impl WalScan {
+    /// Byte offset the committed prefix ends at — the file length when
+    /// the log is clean, the torn record's start otherwise.
+    pub fn committed_len(&self) -> u64 {
+        self.torn.as_ref().map_or(self.file_len, |t| t.offset)
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads a log file without touching it: committed records plus a
+/// description of any torn tail. Errors only on I/O failure or a
+/// corrupt **header** — a bad record is a torn tail, not an error,
+/// because crash recovery must accept exactly such files.
+pub fn scan(path: impl AsRef<Path>) -> io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    parse(&bytes)
+}
+
+fn parse(bytes: &[u8]) -> io::Result<WalScan> {
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(bad_data("WAL shorter than its header"));
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(bad_data("bad WAL magic (not a VULNDSW1 file)"));
+    }
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[8..16]);
+    let base_epoch = u64::from_le_bytes(word);
+
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER_LEN as usize;
+    let mut torn = None;
+    while offset < bytes.len() {
+        match parse_record(&bytes[offset..]) {
+            Ok((record_len, epoch, delta)) => {
+                records.push(WalRecord { epoch, delta, offset: offset as u64 });
+                offset += record_len;
+            }
+            Err(reason) => {
+                torn = Some(TornTail {
+                    offset: offset as u64,
+                    dropped_bytes: (bytes.len() - offset) as u64,
+                    reason,
+                });
+                break;
+            }
+        }
+    }
+    Ok(WalScan { base_epoch, records, torn, file_len: bytes.len() as u64 })
+}
+
+/// Parses one record at the start of `bytes`; the error string is the
+/// torn-tail reason.
+fn parse_record(bytes: &[u8]) -> Result<(usize, u64, GraphDelta), String> {
+    if bytes.len() < RECORD_OVERHEAD as usize {
+        return Err(format!("truncated record frame ({} bytes)", bytes.len()));
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_RECORD_BYTES {
+        return Err(format!("implausible record length {len}"));
+    }
+    let total = RECORD_OVERHEAD as usize + len as usize;
+    if bytes.len() < total {
+        return Err(format!("truncated record body ({} of {total} bytes)", bytes.len()));
+    }
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[4..12]);
+    let epoch = u64::from_le_bytes(word);
+    let payload = &bytes[12..12 + len as usize];
+    let stored = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    let computed = record_crc(epoch, payload);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        ));
+    }
+    let delta = GraphDelta::decode(payload).map_err(|e| format!("undecodable payload: {e}"))?;
+    Ok((total, epoch, delta))
+}
+
+/// The record checksum: CRC-32 over the epoch word followed by the
+/// payload.
+fn record_crc(epoch: u64, payload: &[u8]) -> u32 {
+    let mut crc = ugraph::Crc32::new();
+    crc.update(&epoch.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// An open, appendable log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    base_epoch: u64,
+    records: u64,
+    /// Records appended since creation or the last [`Wal::rotate`] —
+    /// the compaction trigger counter.
+    since_rotate: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` (truncating anything there),
+    /// writes the header, and syncs it.
+    pub fn create(path: impl AsRef<Path>, base_epoch: u64, fsync: FsyncPolicy) -> io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&base_epoch.to_le_bytes())?;
+        sync(&file, fsync)?;
+        Ok(Wal { file, path, fsync, base_epoch, records: 0, since_rotate: 0 })
+    }
+
+    /// Opens the log at `path` for appending, creating it (base epoch
+    /// 0) when missing. A torn tail is truncated away — that is the
+    /// crash-recovery contract: the file afterwards holds exactly the
+    /// committed prefix. Returns the scan so the caller can replay the
+    /// records.
+    pub fn recover(path: impl AsRef<Path>, fsync: FsyncPolicy) -> io::Result<(Wal, WalScan)> {
+        let path_buf = path.as_ref().to_path_buf();
+        if !path_buf.exists() {
+            let wal = Wal::create(&path_buf, 0, fsync)?;
+            let scan = WalScan {
+                base_epoch: 0,
+                records: Vec::new(),
+                torn: None,
+                file_len: WAL_HEADER_LEN,
+            };
+            return Ok((wal, scan));
+        }
+        let scan = scan(&path_buf)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&path_buf)?;
+        if scan.torn.is_some() {
+            file.set_len(scan.committed_len())?;
+            sync(&file, fsync)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let records = scan.records.len() as u64;
+        let wal = Wal {
+            file,
+            path: path_buf,
+            fsync,
+            base_epoch: scan.base_epoch,
+            records,
+            since_rotate: records,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Appends one committed delta and makes it durable per the fsync
+    /// policy. `epoch` is the epoch the commit produces.
+    pub fn append(&mut self, epoch: u64, delta: &GraphDelta) -> io::Result<()> {
+        let payload = delta.encode();
+        let mut frame = Vec::with_capacity(RECORD_OVERHEAD as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&epoch.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&record_crc(epoch, &payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        sync(&self.file, self.fsync)?;
+        self.records += 1;
+        self.since_rotate += 1;
+        Ok(())
+    }
+
+    /// Resets the log to an empty one whose base epoch is
+    /// `new_base_epoch` — the compaction step after [`write_snapshot`]
+    /// persisted the graph at that epoch.
+    pub fn rotate(&mut self, new_base_epoch: u64) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(WAL_MAGIC)?;
+        self.file.write_all(&new_base_epoch.to_le_bytes())?;
+        self.file.set_len(WAL_HEADER_LEN)?;
+        sync(&self.file, self.fsync)?;
+        self.base_epoch = new_base_epoch;
+        self.since_rotate = 0;
+        Ok(())
+    }
+
+    /// Total records in the log (recovered plus appended).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records appended since the last rotation (the compaction
+    /// trigger).
+    pub fn since_rotate(&self) -> u64 {
+        self.since_rotate
+    }
+
+    /// The header's base epoch.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn sync(file: &File, policy: FsyncPolicy) -> io::Result<()> {
+    match policy {
+        FsyncPolicy::Always => file.sync_data(),
+        FsyncPolicy::Never => Ok(()),
+    }
+}
+
+/// The compaction snapshot path convention: the log path with
+/// `.snapshot` appended (`deltas.wal` → `deltas.wal.snapshot`).
+pub fn snapshot_path(wal_path: impl AsRef<Path>) -> PathBuf {
+    let mut os = wal_path.as_ref().as_os_str().to_os_string();
+    os.push(".snapshot");
+    PathBuf::from(os)
+}
+
+/// Durably persists `graph` as a checksummed
+/// [`io_binary`](ugraph::io_binary) snapshot at `path`: written to a
+/// temp sibling, fsynced, then renamed into place, so a crash leaves
+/// either the old snapshot or the new one — never a torn file.
+pub fn write_snapshot(graph: &UncertainGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp)?;
+        let mut body = Vec::new();
+        ugraph::io_binary::write_binary(graph, &mut body)
+            .map_err(|e| bad_data(format!("encode snapshot: {e}")))?;
+        file.write_all(&body)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{from_parts, DuplicateEdgePolicy, EdgeId, NodeId};
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vulnds-wal-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_delta(i: u32) -> GraphDelta {
+        GraphDelta::default()
+            .set_self_risk(NodeId(i), 0.25 + f64::from(i) * 0.01)
+            .set_edge_prob(EdgeId(i), 0.5)
+    }
+
+    #[test]
+    fn round_trips_records_bit_identically() {
+        let path = tmp_path("roundtrip");
+        let deltas: Vec<GraphDelta> = (0..5).map(sample_delta).collect();
+        {
+            let mut wal = Wal::create(&path, 0, FsyncPolicy::Never).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+            assert_eq!(wal.records(), 5);
+        }
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.base_epoch, 0);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.records.len(), 5);
+        for (i, r) in scan.records.iter().enumerate() {
+            assert_eq!(r.epoch, i as u64 + 1);
+            assert_eq!(&r.delta, &deltas[i]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_truncates_a_torn_tail_at_every_cut_point() {
+        let base = tmp_path("torn");
+        let deltas: Vec<GraphDelta> = (0..3).map(sample_delta).collect();
+        {
+            let mut wal = Wal::create(&base, 0, FsyncPolicy::Never).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+        }
+        let full = std::fs::read(&base).unwrap();
+        // Cut the file at every byte length from the header to full:
+        // recovery must keep exactly the records whose frames fit.
+        for cut in (WAL_HEADER_LEN as usize)..full.len() {
+            std::fs::write(&base, &full[..cut]).unwrap();
+            let (wal, scan) = Wal::recover(&base, FsyncPolicy::Never).unwrap();
+            let whole: Vec<&GraphDelta> = scan.records.iter().map(|r| &r.delta).collect();
+            assert!(whole.len() <= deltas.len());
+            for (i, d) in whole.iter().enumerate() {
+                assert_eq!(*d, &deltas[i], "cut at {cut}");
+            }
+            // The torn tail is gone from disk: a second scan is clean.
+            drop(wal);
+            let rescan = self::scan(&base).unwrap();
+            assert!(rescan.torn.is_none(), "cut at {cut} left a torn tail behind");
+            assert_eq!(rescan.records.len(), whole.len());
+        }
+        std::fs::remove_file(&base).unwrap();
+    }
+
+    #[test]
+    fn corrupted_byte_is_caught_by_the_checksum() {
+        let path = tmp_path("corrupt");
+        {
+            let mut wal = Wal::create(&path, 0, FsyncPolicy::Never).unwrap();
+            wal.append(1, &sample_delta(0)).unwrap();
+            wal.append(2, &sample_delta(1)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the FIRST record.
+        let hit = WAL_HEADER_LEN as usize + 13;
+        bytes[hit] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan(&path).unwrap();
+        // The corruption ends the committed prefix immediately — the
+        // intact second record is unreachable behind it by design.
+        assert_eq!(scan.records.len(), 0);
+        let torn = scan.torn.expect("corruption must be reported");
+        assert_eq!(torn.offset, WAL_HEADER_LEN);
+        assert!(torn.reason.contains("checksum"), "{}", torn.reason);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_resumes_after_recovery() {
+        let path = tmp_path("resume");
+        {
+            let mut wal = Wal::create(&path, 0, FsyncPolicy::Never).unwrap();
+            wal.append(1, &sample_delta(0)).unwrap();
+        }
+        // Simulate a torn half-record then recover and keep appending.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[7, 0, 0, 0, 9, 9]);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let (mut wal, scan) = Wal::recover(&path, FsyncPolicy::Never).unwrap();
+            assert_eq!(scan.records.len(), 1);
+            assert!(scan.torn.is_some());
+            wal.append(2, &sample_delta(1)).unwrap();
+        }
+        let scan = scan(&path).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].epoch, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_resets_the_log_to_a_new_base() {
+        let path = tmp_path("rotate");
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::Never).unwrap();
+        for i in 0..4 {
+            wal.append(i + 1, &sample_delta(i as u32)).unwrap();
+        }
+        assert_eq!(wal.since_rotate(), 4);
+        wal.rotate(4).unwrap();
+        assert_eq!(wal.since_rotate(), 0);
+        wal.append(5, &sample_delta(9)).unwrap();
+        drop(wal);
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.base_epoch, 4);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].epoch, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_write_is_atomic_and_loadable() {
+        let path = tmp_path("snapshot");
+        let g =
+            from_parts(&[0.1, 0.2, 0.3], &[(0, 1, 0.4), (1, 2, 0.5)], DuplicateEdgePolicy::Error)
+                .unwrap();
+        write_snapshot(&g, &path).unwrap();
+        let loaded = ugraph::io_binary::load_binary(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), 3);
+        assert_eq!(loaded.self_risk(NodeId(2)), 0.3);
+        assert_eq!(loaded.edge_prob(EdgeId(1)), 0.5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replaying_the_log_reproduces_the_live_graph_bit_for_bit() {
+        let path = tmp_path("replay");
+        let mut live = from_parts(
+            &[0.1; 8],
+            &(0..7u32).map(|v| (v, v + 1, 0.3)).collect::<Vec<_>>(),
+            DuplicateEdgePolicy::Error,
+        )
+        .unwrap();
+        let base = live.clone();
+        {
+            let mut wal = Wal::create(&path, 0, FsyncPolicy::Never).unwrap();
+            for i in 0..6u32 {
+                let delta = sample_delta(i % 7);
+                delta.apply(&mut live).unwrap();
+                wal.append(u64::from(i) + 1, &delta).unwrap();
+            }
+        }
+        let mut replayed = base;
+        for record in scan(&path).unwrap().records {
+            record.delta.apply(&mut replayed).unwrap();
+        }
+        for v in 0..8 {
+            assert_eq!(
+                replayed.self_risk(NodeId(v)).to_bits(),
+                live.self_risk(NodeId(v)).to_bits()
+            );
+        }
+        for e in 0..7 {
+            assert_eq!(
+                replayed.edge_prob(EdgeId(e)).to_bits(),
+                live.edge_prob(EdgeId(e)).to_bits()
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -254,6 +254,98 @@ fn clear_cache_while_queries_are_in_flight_is_safe_and_exact() {
 }
 
 #[test]
+fn updates_under_live_traffic_answer_bit_identically_per_epoch() {
+    let g = graph();
+    let batch = mixed_batch();
+    let deltas: Vec<GraphDelta> = (0..4u32)
+        .map(|i| {
+            GraphDelta::default()
+                .set_self_risk(NodeId(i), 0.55 + 0.05 * f64::from(i))
+                .set_edge_prob(EdgeId(i), 0.45)
+        })
+        .collect();
+
+    // Reference answers per epoch, from fresh cold sessions on each
+    // post-delta graph. Epoch e's graph carries a distinct probability
+    // version, which responses echo — that is how a concurrent query
+    // names the snapshot it pinned.
+    let mut epoch_graphs = vec![g.clone()];
+    for delta in &deltas {
+        let mut next = epoch_graphs.last().unwrap().clone();
+        delta.apply(&mut next).unwrap();
+        epoch_graphs.push(next);
+    }
+    let reference: std::collections::BTreeMap<u64, Vec<_>> = epoch_graphs
+        .iter()
+        .map(|eg| {
+            let cold = session(eg);
+            (eg.version(), batch.iter().map(|r| fingerprint(&cold.detect(r).unwrap())).collect())
+        })
+        .collect();
+
+    // 6 query threads hammer the shared session while the main thread
+    // commits the deltas one by one. Every answer must be bit-identical
+    // to the cold reference for whichever epoch the query pinned —
+    // queries in flight across a commit keep their old snapshot.
+    let shared = session(&g);
+    let committed = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let queriers: Vec<_> = (0..6)
+            .map(|t| {
+                let shared = &shared;
+                let batch = &batch;
+                let reference = &reference;
+                let committed = &committed;
+                s.spawn(move || {
+                    let mut rounds = 0usize;
+                    // Keep querying until every delta is in, plus one
+                    // full post-commit round.
+                    loop {
+                        let done = committed.load(Ordering::Acquire);
+                        for i in 0..batch.len() {
+                            let idx = (i + t + rounds) % batch.len();
+                            let got = shared.detect(&batch[idx]).unwrap();
+                            let expected = &reference[&got.engine.graph_version][idx];
+                            assert_eq!(
+                                &fingerprint(&got),
+                                expected,
+                                "request {idx} diverged on epoch {}",
+                                got.engine.epoch
+                            );
+                        }
+                        rounds += 1;
+                        if done {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for delta in &deltas {
+            shared.apply_delta(delta).unwrap();
+            std::thread::yield_now();
+        }
+        committed.store(true, Ordering::Release);
+        for q in queriers {
+            q.join().expect("query thread panicked");
+        }
+    });
+
+    // Quiescent: every future query runs on the final epoch and matches
+    // the final cold reference.
+    assert_eq!(shared.epoch(), deltas.len() as u64);
+    let final_version = epoch_graphs.last().unwrap().version();
+    for (i, req) in batch.iter().enumerate() {
+        let got = shared.detect(req).unwrap();
+        assert_eq!(got.engine.graph_version, final_version);
+        assert_eq!(fingerprint(&got), reference[&final_version][i], "settled request {i}");
+    }
+    let stats = shared.session_stats();
+    assert_eq!(stats.deltas_applied, deltas.len() as u64);
+    assert_eq!(stats.epoch, deltas.len() as u64);
+}
+
+#[test]
 fn detector_is_send_sync_and_shareable_by_reference() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Detector>();

@@ -1,0 +1,370 @@
+//! Crash-durability of `vulnds serve --wal`: a storm of acked updates
+//! and queries is cut short by `kill -9` at points chosen by a
+//! deterministic schedule — after an ack, between send and ack, with
+//! and without compaction — and the server is restarted on the same
+//! log. The recovery contract checked after every kill:
+//!
+//! * acked ⊆ recovered ⊆ sent — every update acked before the kill is
+//!   present after restart (the WAL appends and fsyncs before the
+//!   engine applies, so recovery can only run *ahead* of the acks,
+//!   never behind), and nothing beyond what was sent appears;
+//! * the recovered graph answers queries bit-identically to a fresh
+//!   in-process session on the base graph with exactly the recovered
+//!   prefix of deltas applied;
+//! * `vulnds wal verify` passes on the log the restarted server left
+//!   behind (recovery truncated any torn tail).
+//!
+//! Every client read carries a hard socket timeout and every child
+//! wait is bounded, so a regression shows up as a test failure, not a
+//! wedged CI job.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use vulnds::json::Json;
+use vulnds::prelude::*;
+use vulnds::serve::DEFAULT_SERVE_MAX_SAMPLES;
+
+/// Longest any single client read may take before the test fails.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Seed the serve session is started with (`--seed`); the reference
+/// sessions must match it for bit-identical answers.
+const SERVE_SEED: u64 = 11;
+
+/// Generates the shared graph fixture once, via the binary's own
+/// `generate` command, and loads it for the in-process references.
+fn base_graph() -> &'static (String, UncertainGraph) {
+    static BASE: OnceLock<(String, UncertainGraph)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let path = std::env::temp_dir().join(format!("vulnds_walrec_{}.graph", std::process::id()));
+        let path = path.to_str().expect("temp path is utf-8").to_string();
+        let status = Command::new(env!("CARGO_BIN_EXE_vulnds"))
+            .args(["generate", "interbank", &path, "--scale", "0.5", "--seed", "7"])
+            .status()
+            .expect("spawn vulnds generate");
+        assert!(status.success(), "generate failed: {status}");
+        let graph = vulnds::ugraph::io::load_from_path(&path).expect("load fixture");
+        (path, graph)
+    })
+}
+
+/// A serve child with a WAL attached. Dropping the handle kills the
+/// child (SIGKILL), so a failing test never leaks a server.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(wal: &str, extra: &[&str]) -> Server {
+        let (graph, _) = base_graph();
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vulnds"))
+            .args(["serve", graph, "--tcp", "127.0.0.1:0", "--seed", "11", "--wal", wal])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn vulnds serve");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        // Recovery lines come first, then the bound-address line; read
+        // until the latter (port 0 means this is the only way to learn
+        // the address).
+        let addr = loop {
+            let mut line = String::new();
+            let n = stderr.read_line(&mut line).expect("read startup line");
+            assert!(n > 0, "serve exited before announcing its address");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                break rest.split(' ').next().expect("address token").to_string();
+            }
+        };
+        // Drain the rest of stderr forever so the child never blocks
+        // on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = stderr.read_to_string(&mut sink);
+        });
+        Server { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr)
+    }
+
+    /// The fault under test: SIGKILL, no drain, no flush.
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("kill -9");
+        self.child.wait().expect("reap");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A newline-delimited JSON client with a hard read timeout.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT)).expect("read timeout");
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { writer: stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("client read");
+        assert!(n > 0, "server closed instead of answering");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+    }
+}
+
+fn ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+/// Deterministic schedule source (an LCG): the kill points vary from
+/// round to round but replay identically on every run.
+struct Schedule(u64);
+
+impl Schedule {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// The update stream is a pure function of its index, so the test can
+/// rebuild any acked prefix as an in-process reference.
+fn delta_at(index: u64, graph: &UncertainGraph) -> GraphDelta {
+    let n = graph.num_nodes() as u64;
+    let m = graph.num_edges() as u64;
+    let node = (index * 7 + 3) % n;
+    let edge = (index * 5 + 1) % m;
+    GraphDelta::default()
+        .set_self_risk(NodeId(node as u32), risk_at(index))
+        .set_edge_prob(EdgeId(edge as u32), prob_at(index))
+}
+
+fn risk_at(index: u64) -> f64 {
+    0.2 + (index % 60) as f64 * 0.01
+}
+
+fn prob_at(index: u64) -> f64 {
+    0.15 + (index % 70) as f64 * 0.01
+}
+
+/// The same delta as JSON for the wire. `{}` on f64 prints the
+/// shortest round-tripping form, so the server parses back the exact
+/// bits the reference applies.
+fn update_line(id: u64, index: u64, graph: &UncertainGraph) -> String {
+    let n = graph.num_nodes() as u64;
+    let m = graph.num_edges() as u64;
+    let node = (index * 7 + 3) % n;
+    let edge = (index * 5 + 1) % m;
+    format!(
+        "{{\"id\": {id}, \"cmd\": \"update\", \"self_risk\": [[{node}, {}]], \"edge_prob\": [[{edge}, {}]]}}",
+        risk_at(index),
+        prob_at(index)
+    )
+}
+
+/// Fresh session on the base graph with the first `epochs` deltas
+/// applied, configured exactly like the serve child.
+fn reference_detector(epochs: u64) -> Detector {
+    let (_, base) = base_graph();
+    let mut graph = base.clone();
+    for i in 0..epochs {
+        delta_at(i, base).apply(&mut graph).expect("reference delta applies");
+    }
+    Detector::builder(graph)
+        .seed(SERVE_SEED)
+        .threads(1)
+        .max_samples(DEFAULT_SERVE_MAX_SAMPLES)
+        .build()
+        .expect("reference builds")
+}
+
+/// Asserts a served `detect` answer is bit-identical to the same
+/// query on the reference session (nodes, scores, samples used).
+fn assert_answer_matches(reference: &Detector, answer: &Json, k: usize, kind: AlgorithmKind) {
+    assert!(ok(answer), "query failed after recovery: {answer}");
+    let want = reference.detect(&DetectRequest::new(k, kind)).expect("reference detects");
+    let got: Vec<(u64, String)> = answer
+        .get("top_k")
+        .and_then(Json::as_array)
+        .expect("top_k array")
+        .iter()
+        .map(|e| {
+            (
+                e.get("node").and_then(Json::as_u64).expect("node id"),
+                e.get("score").expect("score").to_string(),
+            )
+        })
+        .collect();
+    let wanted: Vec<(u64, String)> =
+        want.top_k.iter().map(|s| (u64::from(s.node.0), Json::from(s.score).to_string())).collect();
+    assert_eq!(got, wanted, "recovered answer diverged from reference ({kind:?}, k={k})");
+    assert_eq!(
+        answer.get("stats").and_then(|s| s.get("samples_used")).and_then(Json::as_u64),
+        Some(want.stats.samples_used),
+        "sample count diverged ({kind:?}, k={k})"
+    );
+}
+
+/// Absolute epoch of a live server, as reported by `stats`.
+fn recovered_epoch(client: &mut Client) -> u64 {
+    client.send(r#"{"id": 9000, "cmd": "stats"}"#);
+    let stats = client.recv();
+    assert!(ok(&stats), "{stats}");
+    stats
+        .get("session")
+        .and_then(|s| s.get("epoch"))
+        .and_then(Json::as_u64)
+        .expect("stats reports the epoch")
+}
+
+#[test]
+fn kill_nine_storm_recovers_bit_identically_at_every_cut() {
+    let wal = std::env::temp_dir().join(format!("vulnds_walrec_{}.wal", std::process::id()));
+    let wal = wal.to_str().expect("temp path is utf-8").to_string();
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(format!("{wal}.snapshot"));
+    let (_, base) = base_graph();
+
+    let mut schedule = Schedule(0x5EED_CAB1E);
+    let mut sent: u64 = 0; // updates written to the socket, ever
+    let mut acked: u64 = 0; // updates acked by a server, ever
+    let mut kinds =
+        [AlgorithmKind::SampleReverse, AlgorithmKind::BoundedSampleReverse].iter().cycle();
+
+    // Rounds 0..3 run plain; round 3 adds compaction so a snapshot +
+    // rotated log also feeds a recovery.
+    for round in 0..4u64 {
+        let extra: &[&str] =
+            if round == 3 { &["--fsync", "always", "--compact-every", "3"] } else { &[] };
+        let mut server = Server::spawn(&wal, extra);
+        let mut client = server.client();
+
+        // The restarted server must already hold every previously
+        // acked update — and answer queries for its exact recovered
+        // prefix bit-identically — before this round's storm begins.
+        let recovered = recovered_epoch(&mut client);
+        assert!(
+            (acked..=sent).contains(&recovered),
+            "round {round}: recovered epoch {recovered} outside acked..=sent ({acked}..={sent})"
+        );
+        let reference = reference_detector(recovered);
+        let k = 2 + (schedule.pick(4) as usize);
+        let kind = *kinds.next().expect("cycle");
+        let label = match kind {
+            AlgorithmKind::BoundedSampleReverse => "bsr",
+            _ => "sr",
+        };
+        client.send(&format!(
+            "{{\"id\": 9001, \"cmd\": \"detect\", \"k\": {k}, \"algorithm\": \"{label}\"}}"
+        ));
+        assert_answer_matches(&reference, &client.recv(), k, kind);
+        // Epochs resume from the recovered point: deltas the reference
+        // replayed are exactly the deltas the server replayed.
+        acked = recovered;
+        sent = recovered;
+
+        // The storm: updates interleaved with queries, cut short by a
+        // kill -9 whose position (and whether the final ack is awaited)
+        // the schedule picks.
+        let storm = 3 + schedule.pick(5);
+        let kill_after = 1 + schedule.pick(storm);
+        let await_last_ack = schedule.pick(2) == 0;
+        for i in 0..storm {
+            let last = i + 1 == kill_after;
+            client.send(&update_line(100 + i, sent, base));
+            sent += 1;
+            if last && !await_last_ack {
+                break; // die with the ack in flight
+            }
+            let ack = client.recv();
+            assert!(ok(&ack), "round {round}: update refused: {ack}");
+            assert_eq!(
+                ack.get("epoch").and_then(Json::as_u64),
+                Some(acked + 1),
+                "acked epochs must be dense: {ack}"
+            );
+            assert_eq!(ack.get("durable").and_then(Json::as_bool), Some(true), "{ack}");
+            acked += 1;
+            if last {
+                break;
+            }
+            if schedule.pick(3) == 0 {
+                client.send(r#"{"id": 200, "cmd": "detect", "k": 3, "algorithm": "sr"}"#);
+                let answer = client.recv();
+                assert!(ok(&answer), "round {round}: query under updates failed: {answer}");
+            }
+        }
+        server.kill_dash_nine();
+    }
+
+    // Final restart: full window check, bit-identical answers across
+    // two algorithms and several k, and a clean `wal verify` on the
+    // log recovery left behind.
+    let server = Server::spawn(&wal, &[]);
+    let mut client = server.client();
+    let recovered = recovered_epoch(&mut client);
+    assert!(
+        (acked..=sent).contains(&recovered),
+        "final recovery epoch {recovered} outside acked..=sent ({acked}..={sent})"
+    );
+    assert!(acked > 0, "schedule degenerated: no update was ever acked");
+    let reference = reference_detector(recovered);
+    for (id, (k, label, kind)) in [
+        (3usize, "sr", AlgorithmKind::SampleReverse),
+        (5, "bsr", AlgorithmKind::BoundedSampleReverse),
+        (2, "bsrbk", AlgorithmKind::BottomK),
+    ]
+    .iter()
+    .enumerate()
+    {
+        client.send(&format!(
+            "{{\"id\": {id}, \"cmd\": \"detect\", \"k\": {k}, \"algorithm\": \"{label}\"}}"
+        ));
+        assert_answer_matches(&reference, &client.recv(), *k, *kind);
+    }
+    drop(client);
+    drop(server);
+
+    let verify = Command::new(env!("CARGO_BIN_EXE_vulnds"))
+        .args(["wal", "verify", &wal])
+        .output()
+        .expect("spawn vulnds wal verify");
+    assert!(
+        verify.status.success(),
+        "wal verify failed on a recovered log: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(format!("{wal}.snapshot"));
+}
